@@ -1,0 +1,49 @@
+//! Theorem 5.2 bench: consistency-closure time as the schema grows, across
+//! the three generated families, plus witness construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bschema_core::consistency::{ConsistencyChecker, WitnessBuilder};
+use bschema_workload::{SchemaGenerator, SchemaParams};
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency/t52");
+    for n in [10usize, 40, 160] {
+        for family in ["consistent", "inconsistent", "unconstrained"] {
+            let mut g = SchemaGenerator::new(SchemaParams { seed: 1, ..SchemaParams::sized(n) });
+            let schema = match family {
+                "consistent" => g.consistent(),
+                "inconsistent" => g.inconsistent(),
+                _ => g.unconstrained(),
+            };
+            group.bench_with_input(
+                BenchmarkId::new(family, schema.size()),
+                &schema,
+                |b, schema| b.iter(|| ConsistencyChecker::new(schema).check().is_consistent()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_witness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency/witness");
+    for n in [10usize, 40] {
+        let mut g = SchemaGenerator::new(SchemaParams { seed: 1, ..SchemaParams::sized(n) });
+        let schema = g.consistent();
+        group.bench_with_input(BenchmarkId::new("chase", n), &schema, |b, schema| {
+            b.iter(|| WitnessBuilder::new(schema).build().map(|d| d.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_schema(c: &mut Criterion) {
+    let schema = bschema_core::paper::white_pages_schema();
+    c.bench_function("consistency/white_pages", |b| {
+        b.iter(|| ConsistencyChecker::new(&schema).check().is_consistent())
+    });
+}
+
+criterion_group!(benches, bench_closure, bench_witness, bench_paper_schema);
+criterion_main!(benches);

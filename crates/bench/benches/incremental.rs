@@ -1,0 +1,86 @@
+//! Theorem 4.2 / Figure 5 bench: Δ-checks after a small subtree update vs a
+//! full legality recheck, as the base instance grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bschema_bench::org_of_size;
+use bschema_core::legality::LegalityChecker;
+use bschema_core::paper::white_pages_schema;
+use bschema_core::updates::IncrementalChecker;
+use bschema_workload::{TxGenerator, TxParams};
+
+fn bench_insertion(c: &mut Criterion) {
+    let schema = white_pages_schema();
+    let full = LegalityChecker::new(&schema);
+    let incremental = IncrementalChecker::new(&schema);
+    let mut group = c.benchmark_group("incremental/insert");
+    for n in [1_000usize, 10_000] {
+        let mut org = org_of_size(n);
+        let mut txgen = TxGenerator::new(TxParams::default());
+        let tx = txgen.legal_insertion(&org);
+        let normalized = tx.normalize(&org.dir).expect("valid tx");
+        let root = normalized.insertions[0].apply(&mut org.dir)[0];
+        org.dir.prepare();
+        group.bench_with_input(BenchmarkId::new("delta", n), &org, |b, org| {
+            b.iter(|| incremental.check_insertion(&org.dir, root))
+        });
+        group.bench_with_input(BenchmarkId::new("full", n), &org, |b, org| {
+            b.iter(|| full.check(&org.dir))
+        });
+    }
+    group.finish();
+}
+
+fn bench_deletion(c: &mut Criterion) {
+    let schema = white_pages_schema();
+    let full = LegalityChecker::new(&schema);
+    let incremental = IncrementalChecker::new(&schema);
+    let mut group = c.benchmark_group("incremental/delete");
+    for n in [1_000usize, 10_000] {
+        let mut org = org_of_size(n);
+        let mut txgen = TxGenerator::new(TxParams::default());
+        let tx = txgen.legal_deletion(&org, &org.dir).expect("deletable person exists");
+        let normalized = tx.normalize(&org.dir).expect("valid tx");
+        let removed: Vec<_> = normalized
+            .deletion_roots
+            .iter()
+            .flat_map(|&r| org.dir.remove_subtree(r).expect("validated"))
+            .map(|(_, e)| e)
+            .collect();
+        org.dir.prepare();
+        group.bench_with_input(BenchmarkId::new("delta", n), &org, |b, org| {
+            b.iter(|| incremental.check_deletion(&org.dir, &removed))
+        });
+        group.bench_with_input(BenchmarkId::new("full", n), &org, |b, org| {
+            b.iter(|| full.check(&org.dir))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transaction_pipeline(c: &mut Criterion) {
+    // End-to-end: normalize + apply + incremental check of a 5-entry
+    // insertion transaction (clone cost included, as a ManagedDirectory
+    // would pay it).
+    let schema = white_pages_schema();
+    let mut group = c.benchmark_group("incremental/txn");
+    {
+        let n = 1_000usize;
+        let org = org_of_size(n);
+        let mut txgen = TxGenerator::new(TxParams::default());
+        let tx = txgen.legal_insertion(&org);
+        group.bench_with_input(BenchmarkId::new("apply_and_check", n), &org, |b, org| {
+            b.iter(|| {
+                let mut dir = org.dir.clone();
+                bschema_core::updates::apply_and_check(&schema, &mut dir, &tx)
+                    .expect("valid tx")
+                    .report
+                    .is_legal()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insertion, bench_deletion, bench_transaction_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation bench: schema-aware query rewriting (paper §7 future work) —
+//! raw vs optimized evaluation of queries the schema can decide or shrink.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bschema_bench::org_of_size;
+use bschema_core::paper::white_pages_schema;
+use bschema_core::qopt::SchemaAwareOptimizer;
+use bschema_query::{evaluate, EvalContext, Query};
+
+fn cases() -> Vec<(&'static str, Query)> {
+    vec![
+        (
+            "required_sigma_d",
+            Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
+        ),
+        (
+            "legality_query",
+            Query::object_class("orgGroup").minus(
+                Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
+            ),
+        ),
+        (
+            "subclass_intersection",
+            Query::object_class("researcher").intersect(Query::object_class("person")),
+        ),
+        (
+            "forbidden_sigma_c",
+            Query::object_class("person").with_child(Query::object_class("top")),
+        ),
+    ]
+}
+
+fn bench_qopt(c: &mut Criterion) {
+    let schema = white_pages_schema();
+    let optimizer = SchemaAwareOptimizer::new(&schema);
+    let org = org_of_size(10_000);
+    let ctx = EvalContext::new(&org.dir);
+    let mut group = c.benchmark_group("qopt");
+    for (name, raw) in cases() {
+        let optimized = optimizer.optimize(raw.clone());
+        assert_eq!(evaluate(&ctx, &raw), evaluate(&ctx, &optimized));
+        group.bench_with_input(BenchmarkId::new("raw", name), &raw, |b, q| {
+            b.iter(|| evaluate(&ctx, q))
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", name), &optimized, |b, q| {
+            b.iter(|| evaluate(&ctx, q))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rewrite_cost(c: &mut Criterion) {
+    // The rewrite itself must be cheap relative to evaluation.
+    let schema = white_pages_schema();
+    let optimizer = SchemaAwareOptimizer::new(&schema);
+    let (_, raw) = cases().remove(1);
+    c.bench_function("qopt/rewrite_cost", |b| {
+        b.iter(|| optimizer.optimize(raw.clone()))
+    });
+    c.bench_function("qopt/optimizer_construction", |b| {
+        b.iter(|| SchemaAwareOptimizer::new(&schema))
+    });
+}
+
+criterion_group!(benches, bench_qopt, bench_rewrite_cost);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Substrate bench (reference [9]): hierarchical selection operators with
+//! the interval-merge evaluator vs the naive evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bschema_bench::org_of_size;
+use bschema_query::{evaluate, evaluate_naive, EvalContext, Query};
+
+fn queries() -> Vec<(&'static str, Query)> {
+    vec![
+        (
+            "child",
+            Query::object_class("orgUnit").with_child(Query::object_class("person")),
+        ),
+        (
+            "parent",
+            Query::object_class("person").with_parent(Query::object_class("orgUnit")),
+        ),
+        (
+            "descendant",
+            Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
+        ),
+        (
+            "ancestor",
+            Query::object_class("person").with_ancestor(Query::object_class("organization")),
+        ),
+        (
+            "paper_q1",
+            Query::object_class("orgGroup").minus(
+                Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
+            ),
+        ),
+    ]
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/q9");
+    for n in [1_000usize, 10_000] {
+        let org = org_of_size(n);
+        let ctx = EvalContext::new(&org.dir);
+        group.throughput(Throughput::Elements(n as u64));
+        for (name, q) in queries() {
+            group.bench_with_input(BenchmarkId::new(format!("interval/{name}"), n), &q, |b, q| {
+                b.iter(|| evaluate(&ctx, q))
+            });
+            if n <= 1_000 {
+                group.bench_with_input(BenchmarkId::new(format!("naive/{name}"), n), &q, |b, q| {
+                    b.iter(|| evaluate_naive(&ctx, q))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_filter_shapes(c: &mut Criterion) {
+    // Atomic selection routing: indexed class lookup vs full scan.
+    use bschema_query::Filter;
+    let org = org_of_size(10_000);
+    let ctx = EvalContext::new(&org.dir);
+    let mut group = c.benchmark_group("query/filters");
+    group.bench_function("indexed_object_class", |b| {
+        let q = Query::object_class("person");
+        b.iter(|| evaluate(&ctx, &q))
+    });
+    group.bench_function("indexed_presence", |b| {
+        let q = Query::select(Filter::present("mail"));
+        b.iter(|| evaluate(&ctx, &q))
+    });
+    group.bench_function("scan_substring", |b| {
+        let q = Query::select(Filter::Substring {
+            attr: "name".into(),
+            initial: Some("name of".into()),
+            any: vec![],
+            finally: None,
+        });
+        b.iter(|| evaluate(&ctx, &q))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_filter_shapes);
+criterion_main!(benches);

@@ -1,0 +1,506 @@
+//! # bschema-cli
+//!
+//! The `bschema` command-line tool: bounding-schema administration from the
+//! shell. All command logic lives here (writer-parameterised) so it is unit
+//! testable; `main.rs` is a thin shim.
+//!
+//! ```text
+//! bschema check-schema <schema.bs>                  consistency + ◇∅ proof
+//! bschema validate <schema.bs> <data.ldif>          legality report with DNs
+//! bschema witness <schema.bs>                       construct a legal example instance
+//! bschema search <data.ldif> --filter F [--base DN] [--scope base|one|sub] [--schema S]
+//! bschema print-schema <schema.bs>                  parse + normalise the DSL
+//! bschema evolve <schema.bs> <data.ldif> <step...>  try a schema-evolution step
+//! bschema suggest-schema <data.ldif>                mine a schema from data (§6.2)
+//! ```
+//!
+//! Exit codes: 0 success / legal / consistent; 1 illegal or inconsistent;
+//! 2 usage or input error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use bschema_core::consistency::{build_witness, ConsistencyChecker};
+use bschema_core::evolution::{self, Evolution};
+use bschema_core::legality::LegalityChecker;
+use bschema_core::schema::dsl::{parse_schema, print_schema, ParsedSchema};
+use bschema_core::schema::{ForbidKind, RelKind};
+use bschema_directory::{ldif, DirectoryInstance};
+use bschema_query::{parse_filter, search, SearchRequest, SearchScope};
+
+/// A CLI failure: message plus process exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Suggested process exit code (2 = usage/input, 1 = negative verdict).
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage_error(message: impl Into<String>) -> CliError {
+    CliError { message: message.into(), code: 2 }
+}
+
+/// Dispatches a command line (without the program name). Writes output to
+/// `out`; returns the exit code.
+pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let Some(command) = args.first() else {
+        return Err(usage_error(USAGE));
+    };
+    match command.as_str() {
+        "check-schema" => check_schema(&args[1..], out),
+        "validate" => validate(&args[1..], out),
+        "witness" => witness(&args[1..], out),
+        "search" => cmd_search(&args[1..], out),
+        "print-schema" => cmd_print_schema(&args[1..], out),
+        "evolve" => cmd_evolve(&args[1..], out),
+        "suggest-schema" => cmd_suggest(&args[1..], out),
+        "help" | "--help" | "-h" => {
+            out.push_str(USAGE);
+            Ok(0)
+        }
+        other => Err(usage_error(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+bschema — bounding-schemas for LDAP directories (EDBT 2000)
+
+usage:
+  bschema check-schema <schema.bs>
+  bschema validate <schema.bs> <data.ldif>
+  bschema witness <schema.bs>
+  bschema search <data.ldif> --filter <rfc2254> [--base <dn>] [--scope base|one|sub] [--schema <schema.bs>]
+  bschema print-schema <schema.bs>
+  bschema evolve <schema.bs> <data.ldif> require-attr <class> <attr>
+  bschema evolve <schema.bs> <data.ldif> allow-attr <class> <attr>
+  bschema evolve <schema.bs> <data.ldif> require-rel <src> <ch|de|pa|an> <tgt>
+  bschema evolve <schema.bs> <data.ldif> forbid-rel <upper> <ch|de> <lower>
+  bschema suggest-schema <data.ldif> [--forbidden] [--required-classes]
+";
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| usage_error(format!("cannot read {path:?}: {e}")))
+}
+
+fn load_schema(path: &str) -> Result<ParsedSchema, CliError> {
+    parse_schema(&read_file(path)?)
+        .map_err(|e| usage_error(format!("{path}: {e}")))
+}
+
+fn load_ldif(path: &str, parsed: Option<&ParsedSchema>) -> Result<DirectoryInstance, CliError> {
+    let text = read_file(path)?;
+    let mut dir = match parsed {
+        Some(p) => DirectoryInstance::new(p.registry.clone()),
+        None => DirectoryInstance::white_pages(),
+    };
+    ldif::load_into(&mut dir, &text).map_err(|e| usage_error(format!("{path}: {e}")))?;
+    dir.prepare();
+    Ok(dir)
+}
+
+fn check_schema(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let [path] = args else {
+        return Err(usage_error("check-schema takes exactly one schema file"));
+    };
+    let parsed = load_schema(path)?;
+    let verdict = ConsistencyChecker::new(&parsed.schema).check();
+    let _ = writeln!(
+        out,
+        "schema {:?}: {} classes, {} structure elements, closure {} elements",
+        parsed.schema.name().unwrap_or("unnamed"),
+        parsed.schema.classes().len(),
+        parsed.schema.structure().len(),
+        verdict.closure_size()
+    );
+    if verdict.is_consistent() {
+        let _ = writeln!(out, "CONSISTENT: at least one legal directory instance exists");
+        Ok(0)
+    } else {
+        let _ = writeln!(out, "INCONSISTENT: no legal directory instance can exist");
+        let _ = writeln!(out, "{}", verdict.explain_inconsistency().unwrap_or_default());
+        Ok(1)
+    }
+}
+
+fn validate(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let [schema_path, ldif_path] = args else {
+        return Err(usage_error("validate takes <schema.bs> <data.ldif>"));
+    };
+    let parsed = load_schema(schema_path)?;
+    let dir = load_ldif(ldif_path, Some(&parsed))?;
+    let report = LegalityChecker::new(&parsed.schema)
+        .with_value_validation(true)
+        .check(&dir);
+    let _ = writeln!(out, "{} entries checked against {:?}", dir.len(), parsed.schema.name().unwrap_or("unnamed"));
+    if report.is_legal() {
+        let _ = writeln!(out, "LEGAL");
+        Ok(0)
+    } else {
+        let _ = writeln!(out, "ILLEGAL: {} violation(s)", report.len());
+        for v in report.violations() {
+            let location = v
+                .entry()
+                .and_then(|id| dir.dn(id).ok())
+                .map(|dn| format!(" [dn: {dn}]"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "  - {v}{location}");
+        }
+        Ok(1)
+    }
+}
+
+fn witness(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let [path] = args else {
+        return Err(usage_error("witness takes exactly one schema file"));
+    };
+    let parsed = load_schema(path)?;
+    let verdict = ConsistencyChecker::new(&parsed.schema).check();
+    if !verdict.is_consistent() {
+        let _ = writeln!(out, "INCONSISTENT — no witness exists:");
+        let _ = writeln!(out, "{}", verdict.explain_inconsistency().unwrap_or_default());
+        return Ok(1);
+    }
+    match build_witness(&parsed.schema) {
+        Ok(instance) => {
+            let _ = writeln!(out, "witness with {} entries (verified legal):", instance.len());
+            for (id, entry) in instance.iter() {
+                let depth = instance.forest().depth(id);
+                let _ = writeln!(out, "{}- {}", "  ".repeat(depth), entry.classes().join(","));
+            }
+            Ok(0)
+        }
+        Err(e) => Err(CliError { message: format!("witness construction failed: {e}"), code: 1 }),
+    }
+}
+
+fn cmd_search(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut ldif_path: Option<&str> = None;
+    let mut filter_text: Option<&str> = None;
+    let mut base_dn: Option<&str> = None;
+    let mut scope = SearchScope::Subtree;
+    let mut schema_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--filter" => filter_text = Some(next_value(&mut it, "--filter")?),
+            "--base" => base_dn = Some(next_value(&mut it, "--base")?),
+            "--schema" => schema_path = Some(next_value(&mut it, "--schema")?),
+            "--scope" => {
+                scope = match next_value(&mut it, "--scope")? {
+                    "base" => SearchScope::Base,
+                    "one" | "onelevel" => SearchScope::OneLevel,
+                    "sub" | "subtree" => SearchScope::Subtree,
+                    other => return Err(usage_error(format!("unknown scope {other:?}"))),
+                }
+            }
+            path if !path.starts_with("--") => ldif_path = Some(path),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let ldif_path = ldif_path.ok_or_else(|| usage_error("search needs a data.ldif argument"))?;
+    let filter_text = filter_text.ok_or_else(|| usage_error("search needs --filter"))?;
+    let filter = parse_filter(filter_text).map_err(|e| usage_error(format!("bad filter: {e}")))?;
+
+    let parsed = schema_path.map(load_schema).transpose()?;
+    let dir = load_ldif(ldif_path, parsed.as_ref())?;
+
+    let base = match base_dn {
+        Some(text) => {
+            let dn = text
+                .parse()
+                .map_err(|e| usage_error(format!("bad base DN: {e}")))?;
+            Some(
+                dir.lookup_dn(&dn)
+                    .ok_or_else(|| usage_error(format!("base DN {text:?} not found")))?,
+            )
+        }
+        None => None,
+    };
+    let request = SearchRequest { base, scope, filter, size_limit: None };
+    let hits = search(&dir, &request);
+    let _ = writeln!(out, "{} entries match", hits.len());
+    for id in hits {
+        match dir.dn(id) {
+            Ok(dn) => {
+                let _ = writeln!(out, "dn: {dn}");
+            }
+            Err(_) => {
+                let _ = writeln!(out, "entry {id}");
+            }
+        }
+    }
+    Ok(0)
+}
+
+fn next_value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<&'a str, CliError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| usage_error(format!("{flag} needs a value")))
+}
+
+fn cmd_print_schema(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let [path] = args else {
+        return Err(usage_error("print-schema takes exactly one schema file"));
+    };
+    let parsed = load_schema(path)?;
+    out.push_str(&print_schema(&parsed.schema, Some(&parsed.registry)));
+    Ok(0)
+}
+
+fn cmd_evolve(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let [schema_path, ldif_path, rest @ ..] = args else {
+        return Err(usage_error("evolve takes <schema.bs> <data.ldif> <step...>"));
+    };
+    let step = parse_step(rest)?;
+    let parsed = load_schema(schema_path)?;
+    let dir = load_ldif(ldif_path, Some(&parsed))?;
+    // The instance must be legal for the targeted recheck to be meaningful.
+    let before = LegalityChecker::new(&parsed.schema).check(&dir);
+    if !before.is_legal() {
+        let _ = writeln!(out, "directory is not legal under the current schema; fix it first:\n{before}");
+        return Ok(1);
+    }
+    match evolution::evolve(&parsed.schema, &step, &dir) {
+        Ok(evolved) => {
+            let _ = writeln!(out, "OK: {step} is safe ({} kind)", if step.is_relaxing() { "relaxing — no recheck needed" } else { "restricting — new element verified" });
+            let _ = writeln!(out, "evolved schema:\n");
+            out.push_str(&print_schema(&evolved, None));
+            Ok(0)
+        }
+        Err(e) => {
+            let _ = writeln!(out, "REFUSED: {e}");
+            Ok(1)
+        }
+    }
+}
+
+fn cmd_suggest(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut ldif_path: Option<&str> = None;
+    let mut options = bschema_core::discover::DiscoveryOptions::default();
+    for arg in args {
+        match arg.as_str() {
+            "--forbidden" => options.forbidden = true,
+            "--required-classes" => options.required_classes = true,
+            path if !path.starts_with("--") => ldif_path = Some(path),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let ldif_path = ldif_path.ok_or_else(|| usage_error("suggest-schema needs a data.ldif"))?;
+    let dir = load_ldif(ldif_path, None)?;
+    let suggested = bschema_core::discover::suggest_schema(&dir, &options);
+    // Sanity: the suggestion must accept its own source.
+    let report = LegalityChecker::new(&suggested).check(&dir);
+    debug_assert!(report.is_legal(), "discovery invariant: {report}");
+    let _ = writeln!(
+        out,
+        "# mined from {} entries; prune before adopting as a prescriptive schema",
+        dir.len()
+    );
+    out.push_str(&print_schema(&suggested, None));
+    Ok(0)
+}
+
+fn parse_step(words: &[String]) -> Result<Evolution, CliError> {
+    let words: Vec<&str> = words.iter().map(String::as_str).collect();
+    let rel_kind = |w: &str| match w {
+        "ch" | "child" => Ok(RelKind::Child),
+        "de" | "descendant" => Ok(RelKind::Descendant),
+        "pa" | "parent" => Ok(RelKind::Parent),
+        "an" | "ancestor" => Ok(RelKind::Ancestor),
+        other => Err(usage_error(format!("unknown relationship kind {other:?}"))),
+    };
+    match words.as_slice() {
+        ["require-attr", class, attr] => Ok(Evolution::RequireAttribute {
+            class: (*class).to_owned(),
+            attribute: (*attr).to_owned(),
+        }),
+        ["allow-attr", class, attr] => Ok(Evolution::AllowAttribute {
+            class: (*class).to_owned(),
+            attribute: (*attr).to_owned(),
+        }),
+        ["require-class", class] => Ok(Evolution::RequireClass { class: (*class).to_owned() }),
+        ["require-rel", src, kind, tgt] => Ok(Evolution::RequireRel {
+            source: (*src).to_owned(),
+            kind: rel_kind(kind)?,
+            target: (*tgt).to_owned(),
+        }),
+        ["forbid-rel", upper, kind, lower] => Ok(Evolution::ForbidRel {
+            upper: (*upper).to_owned(),
+            kind: match *kind {
+                "ch" | "child" => ForbidKind::Child,
+                "de" | "descendant" => ForbidKind::Descendant,
+                other => return Err(usage_error(format!("forbidden kind must be ch|de, got {other:?}"))),
+            },
+            lower: (*lower).to_owned(),
+        }),
+        _ => Err(usage_error("unknown evolution step; see `bschema help`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = "\
+schema \"t\"
+class orgGroup extends top
+class organization extends orgGroup
+class orgUnit extends orgGroup
+class person extends top
+  require uid name
+require-class person
+require orgGroup descendant person
+forbid person child top
+";
+
+    const LDIF: &str = "\
+dn: o=acme
+objectClass: organization
+objectClass: orgGroup
+objectClass: top
+
+dn: uid=a,o=acme
+objectClass: person
+objectClass: top
+uid: a
+name: a
+";
+
+    fn write_tmp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("bschema-cli-test-{}-{name}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run_ok(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        let code = run(&args, &mut out).unwrap_or_else(|e| panic!("cli error: {e}"));
+        (code, out)
+    }
+
+    #[test]
+    fn check_schema_consistent() {
+        let schema = write_tmp("s1.bs", SCHEMA);
+        let (code, out) = run_ok(&["check-schema", &schema]);
+        assert_eq!(code, 0);
+        assert!(out.contains("CONSISTENT"));
+    }
+
+    #[test]
+    fn check_schema_inconsistent() {
+        let schema = write_tmp(
+            "s2.bs",
+            "class a extends top\nclass b extends top\nrequire-class a\nrequire a child b\nrequire b descendant a\n",
+        );
+        let (code, out) = run_ok(&["check-schema", &schema]);
+        assert_eq!(code, 1);
+        assert!(out.contains("INCONSISTENT"));
+        assert!(out.contains("◇∅"));
+    }
+
+    #[test]
+    fn validate_legal_and_illegal() {
+        let schema = write_tmp("s3.bs", SCHEMA);
+        let data = write_tmp("d3.ldif", LDIF);
+        let (code, out) = run_ok(&["validate", &schema, &data]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("LEGAL"));
+
+        let bad = LDIF.replace("name: a\n", "");
+        let data = write_tmp("d3b.ldif", &bad);
+        let (code, out) = run_ok(&["validate", &schema, &data]);
+        assert_eq!(code, 1);
+        assert!(out.contains("ILLEGAL"));
+        assert!(out.contains("dn: uid=a,o=acme"), "{out}");
+    }
+
+    #[test]
+    fn witness_output() {
+        let schema = write_tmp("s4.bs", SCHEMA);
+        let (code, out) = run_ok(&["witness", &schema]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("verified legal"));
+        assert!(out.contains("person"));
+    }
+
+    #[test]
+    fn search_with_filter_and_scope() {
+        let schema = write_tmp("s5.bs", SCHEMA);
+        let data = write_tmp("d5.ldif", LDIF);
+        let (code, out) = run_ok(&[
+            "search", &data, "--schema", &schema, "--filter", "(objectClass=person)",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("1 entries match"));
+        assert!(out.contains("dn: uid=a,o=acme"));
+
+        let (code, out) = run_ok(&[
+            "search", &data, "--filter", "(objectClass=person)", "--base", "o=acme", "--scope", "one",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("dn: uid=a,o=acme"));
+    }
+
+    #[test]
+    fn print_schema_normalises() {
+        let schema = write_tmp("s6.bs", SCHEMA);
+        let (code, out) = run_ok(&["print-schema", &schema]);
+        assert_eq!(code, 0);
+        assert!(out.contains("require orgGroup descendant person"));
+        // Output reparses.
+        assert!(parse_schema(&out).is_ok());
+    }
+
+    #[test]
+    fn evolve_accepts_and_refuses() {
+        let schema = write_tmp("s7.bs", SCHEMA);
+        let data = write_tmp("d7.ldif", LDIF);
+        let (code, out) = run_ok(&["evolve", &schema, &data, "allow-attr", "person", "mail"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("relaxing"));
+
+        let (code, out) = run_ok(&["evolve", &schema, &data, "require-attr", "person", "mail"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("REFUSED"));
+    }
+
+    #[test]
+    fn suggest_schema_output_reparses() {
+        let data = write_tmp("d8.ldif", LDIF);
+        let (code, out) = run_ok(&["suggest-schema", &data, "--forbidden"]);
+        assert_eq!(code, 0, "{out}");
+        let body: String = out.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+        let parsed = parse_schema(&body).expect("suggested schema reparses");
+        assert!(parsed.schema.classes().len() > 1);
+        // Mined regularity: the person under the org needs its org ancestor.
+        assert!(body.contains("require person"), "{body}");
+    }
+
+    #[test]
+    fn usage_errors() {
+        let mut out = String::new();
+        assert!(run(&[], &mut out).is_err());
+        let args = vec!["bogus".to_owned()];
+        assert!(run(&args, &mut out).is_err());
+        let args = vec!["help".to_owned()];
+        assert_eq!(run(&args, &mut out).unwrap(), 0);
+        assert!(out.contains("usage"));
+    }
+}

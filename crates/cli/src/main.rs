@@ -1,0 +1,16 @@
+//! Thin shim over [`bschema_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match bschema_cli::run(&args, &mut out) {
+        Ok(code) => {
+            print!("{out}");
+            std::process::exit(code);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Schema elements: the sentences the §5 inference system derives.
+//!
+//! Elements range over the schema's core classes extended with the
+//! pseudo-class `∅` ("no object class"). `◇∅` — *there must exist an entry
+//! with no associated object class* — is the inconsistency marker: it admits
+//! no legal instance, and Theorem 5.2 says the schema is consistent iff the
+//! closure does not contain it. Elements of the form `ci →de ∅` / `ci →an ∅`
+//! do **not** themselves signal inconsistency: they merely say `ci` entries
+//! are impossible, which is fine as long as nothing requires a `ci` entry.
+
+use std::fmt;
+
+use crate::schema::{ClassId, DirectorySchema, ForbidKind, RelKind};
+
+/// A class term: a real core class or the pseudo-class `∅`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClassTerm {
+    /// A schema core class.
+    Class(ClassId),
+    /// The pseudo-class `∅`.
+    Empty,
+}
+
+impl ClassTerm {
+    /// The underlying class, if not `∅`.
+    pub fn class(self) -> Option<ClassId> {
+        match self {
+            ClassTerm::Class(c) => Some(c),
+            ClassTerm::Empty => None,
+        }
+    }
+
+    /// Renders with schema names.
+    pub fn display(self, schema: &DirectorySchema) -> String {
+        match self {
+            ClassTerm::Class(c) => schema.classes().name(c).to_owned(),
+            ClassTerm::Empty => "∅".to_owned(),
+        }
+    }
+}
+
+impl From<ClassId> for ClassTerm {
+    fn from(c: ClassId) -> Self {
+        ClassTerm::Class(c)
+    }
+}
+
+/// One schema element (sentence) of the inference system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Element {
+    /// `◇c`: some entry must belong to `c`. `◇∅` signals inconsistency.
+    Req(ClassTerm),
+    /// `(ci, k, cj) ∈ Er`-style requirement: every `ci` entry has a
+    /// `k`-related `cj` entry. With `cj = ∅` it encodes "`ci` entries are
+    /// impossible" (they would need a relative belonging to no class).
+    ReqRel(ClassTerm, RelKind, ClassTerm),
+    /// Forbidden relationship: no `ci` entry has a `k`-related `cj` entry.
+    Forb(ClassTerm, ForbidKind, ClassTerm),
+    /// `ci ⇒ cj`: subclass fact from the class schema (leaf premise).
+    Sub(ClassTerm, ClassTerm),
+    /// `ci ⇏ cj`: exclusion fact from the class schema (leaf premise).
+    Excl(ClassTerm, ClassTerm),
+}
+
+impl Element {
+    /// The inconsistency marker `◇∅`.
+    pub const fn bottom() -> Element {
+        Element::Req(ClassTerm::Empty)
+    }
+
+    /// Renders in paper-style notation with schema names.
+    pub fn display(&self, schema: &DirectorySchema) -> String {
+        match self {
+            Element::Req(c) => format!("◇{}", c.display(schema)),
+            Element::ReqRel(a, k, b) => {
+                format!("{} →{} {}", a.display(schema), k, b.display(schema))
+            }
+            Element::Forb(a, k, b) => {
+                format!("{} ↛{} {}", a.display(schema), k, b.display(schema))
+            }
+            Element::Sub(a, b) => format!("{} ⇒ {}", a.display(schema), b.display(schema)),
+            Element::Excl(a, b) => format!("{} ⇏ {}", a.display(schema), b.display(schema)),
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    /// Schema-free rendering (ids instead of names) for logs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let term = |t: &ClassTerm| match t {
+            ClassTerm::Class(c) => format!("c{}", c.index()),
+            ClassTerm::Empty => "∅".to_owned(),
+        };
+        match self {
+            Element::Req(c) => write!(f, "◇{}", term(c)),
+            Element::ReqRel(a, k, b) => write!(f, "{} →{} {}", term(a), k, term(b)),
+            Element::Forb(a, k, b) => write!(f, "{} ↛{} {}", term(a), k, term(b)),
+            Element::Sub(a, b) => write!(f, "{} ⇒ {}", term(a), term(b)),
+            Element::Excl(a, b) => write!(f, "{} ⇏ {}", term(a), term(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::white_pages_schema;
+
+    #[test]
+    fn display_with_names() {
+        let s = white_pages_schema();
+        let person = ClassTerm::Class(s.classes().resolve("person").unwrap());
+        let top = ClassTerm::Class(s.classes().top());
+        assert_eq!(Element::Req(person).display(&s), "◇person");
+        assert_eq!(
+            Element::ReqRel(person, RelKind::Parent, top).display(&s),
+            "person →pa top"
+        );
+        assert_eq!(
+            Element::Forb(person, ForbidKind::Child, top).display(&s),
+            "person ↛ch top"
+        );
+        assert_eq!(Element::bottom().display(&s), "◇∅");
+        assert_eq!(
+            Element::ReqRel(person, RelKind::Descendant, ClassTerm::Empty).display(&s),
+            "person →de ∅"
+        );
+    }
+
+    #[test]
+    fn bottom_is_req_empty() {
+        assert_eq!(Element::bottom(), Element::Req(ClassTerm::Empty));
+        assert_ne!(
+            Element::bottom(),
+            Element::Req(ClassTerm::Class(crate::schema::ClassId(0)))
+        );
+    }
+}

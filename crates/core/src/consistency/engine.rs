@@ -1,0 +1,661 @@
+//! The inference engine: fixpoint closure of the Figures 6–7 rules,
+//! with derivation tracking (§5, Theorems 5.1–5.2).
+//!
+//! The closure runs as a worklist (semi-naive) fixpoint over schema
+//! elements. Subclass (`⇒`) and exclusion (`⇏`) facts are fully determined
+//! by the class-schema tree, so rules consult the tree directly and record
+//! the facts as leaf premises; only `◇`, required-relationship and
+//! forbidden-relationship elements flow through the worklist. The universe
+//! of such elements is O(|C|² · forms), and each is derived at most once, so
+//! the closure is polynomial in the schema size (Theorem 5.2).
+//!
+//! The rule set is a sound reconstruction of the paper's Figures 6–7 (the
+//! published figures are partly garbled in the available text; DESIGN.md
+//! documents the reconstruction). Every rule is justified by a semantic
+//! argument in its doc comment, which is what Theorem 5.1 (soundness)
+//! requires; completeness for consistency detection (Theorem 5.2) is
+//! validated empirically by the witness constructor and property tests.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::schema::{ClassId, DirectorySchema, ForbidKind, RelKind};
+
+use super::element::{ClassTerm, Element};
+
+/// How an element entered the closure: the rule name and its premises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Derivation {
+    /// Rule identifier (see the `rules` constants).
+    pub rule: &'static str,
+    /// The elements this one was derived from (empty for schema facts).
+    pub premises: Vec<Element>,
+}
+
+/// Rule-name constants, grouped as in the paper's figures.
+pub mod rules {
+    /// Base fact taken directly from the schema.
+    pub const SCHEMA: &str = "schema";
+    /// Leaf fact read off the class tree (`⇒` / `⇏`).
+    pub const CLASS_SCHEMA: &str = "class-schema";
+    // ----- Figure 6: cycles -----
+    /// `◇ci, ci →k cj ⊢ ◇cj` — a required relative must exist.
+    pub const NODE_EDGE: &str = "node-edge";
+    /// `ci →ch cj ⊢ ci →de cj`; `ci →pa cj ⊢ ci →an cj`.
+    pub const PATH: &str = "path";
+    /// `ci →de cj, cj →de ck ⊢ ci →de ck` (same for `an`).
+    pub const TRANSITIVITY: &str = "transitivity";
+    /// `ci →de ci ⊢ ci →de ∅` (same for `an`) — a self-requirement forces an
+    /// infinite chain, so `ci` entries are impossible in finite instances.
+    pub const LOOP: &str = "loop";
+    /// `◇ci, ci ⇒ cj ⊢ ◇cj` — members of a subclass are members of the
+    /// superclass.
+    pub const REQ_SUB: &str = "req-subclass";
+    /// `ci →k cj, ci' ⇒ ci ⊢ ci' →k cj` — obligations descend to subclasses.
+    pub const SOURCE_SUB: &str = "source-subclass";
+    /// `ci →k cj', cj' ⇒ cj ⊢ ci →k cj` — a required relative of a subclass
+    /// also witnesses the superclass requirement.
+    pub const TARGET_SUB: &str = "target-subclass";
+    // ----- Figure 7: contradictions -----
+    /// `ci →de top ⊢ ci →ch top`; `ci →an top ⊢ ci →pa top` — in a legal
+    /// instance every entry belongs to `top`, so "some descendant" is
+    /// equivalent to "some child".
+    pub const TOP_PATH: &str = "top-path";
+    /// `ci ↛ch top ⊢ ci ↛de top` (childless entries have no descendants);
+    /// `top ↛ch ci ⊢ top ↛de ci` (parentless `ci` entries are roots, so
+    /// nothing has a `ci` descendant).
+    pub const TOP_PATH_FORBIDDEN: &str = "top-path-forbidden";
+    /// `ci ↛de cj ⊢ ci ↛ch cj` — a child is a descendant.
+    pub const FORBID_PATH: &str = "forbid-path";
+    /// Required and forbidden versions of the same relationship:
+    /// `ci →k cj, (forbidden counterpart) ⊢ ci →k ∅`.
+    pub const DIRECT_CONFLICT: &str = "direct-conflict";
+    /// `ci ↛k cj, ci' ⇒ ci ⊢ ci' ↛k cj` and `cj' ⇒ cj ⊢ ci ↛k cj'` —
+    /// prohibitions descend to subclasses on both ends.
+    pub const FORBID_SUB: &str = "forbid-subclass";
+    /// `ci →pa cj, ci →pa ck, cj ⇏ ck ⊢ ci →pa ∅` — the parent is a single
+    /// entry and cannot belong to two incomparable core classes.
+    pub const PARENTHOOD: &str = "parenthood";
+    /// `ci →an cj, ci →an ck, cj ⇏ ck, cj ↛de ck, ck ↛de cj ⊢ ci →an ∅` —
+    /// ancestors of one entry form a chain; two required ancestors must be
+    /// comparable entries or related by ancestry, all options exhausted.
+    pub const ANCESTORHOOD: &str = "ancestorhood";
+    /// `ci →ch cj, cj →pa ck, ci ⇏ ck ⊢ ci →ch ∅` — the required child's
+    /// parent is the `ci` entry itself, which would have to belong to `ck`.
+    pub const CHILD_PARENT: &str = "child-parent";
+    /// `ci →k cj, cj →k' ∅ ⊢ ci →k ∅` — a required relative of an impossible
+    /// class is itself impossible to provide.
+    pub const IMPOSSIBLE_TARGET: &str = "impossible-target";
+}
+
+/// The computed closure plus the consistency verdict.
+#[derive(Debug, Clone)]
+pub struct ConsistencyResult<'s> {
+    schema: &'s DirectorySchema,
+    derived: HashMap<Element, Derivation>,
+    consistent: bool,
+}
+
+impl<'s> ConsistencyResult<'s> {
+    /// Theorem 5.2: consistent iff `◇∅` was not derived.
+    pub fn is_consistent(&self) -> bool {
+        self.consistent
+    }
+
+    /// Number of elements in the closure (including leaf class facts that
+    /// were touched).
+    pub fn closure_size(&self) -> usize {
+        self.derived.len()
+    }
+
+    /// Whether `element` is in the closure.
+    pub fn derives(&self, element: &Element) -> bool {
+        self.derived.contains_key(element)
+    }
+
+    /// The derivation of `element`, if derived.
+    pub fn derivation_of(&self, element: &Element) -> Option<&Derivation> {
+        self.derived.get(element)
+    }
+
+    /// Iterates the closure.
+    pub fn elements(&self) -> impl Iterator<Item = (&Element, &Derivation)> {
+        self.derived.iter()
+    }
+
+    /// Renders the proof tree of `element` (if derived) in human-readable
+    /// form, sharing repeated sub-derivations.
+    pub fn explain(&self, element: &Element) -> Option<String> {
+        self.derived.get(element)?;
+        let mut out = String::new();
+        let mut shown: HashSet<Element> = HashSet::new();
+        self.render(element, 0, &mut shown, &mut out);
+        Some(out)
+    }
+
+    /// Renders why the schema is inconsistent; `None` when consistent.
+    pub fn explain_inconsistency(&self) -> Option<String> {
+        if self.consistent {
+            return None;
+        }
+        self.explain(&Element::bottom())
+    }
+
+    fn render(&self, element: &Element, depth: usize, shown: &mut HashSet<Element>, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let Some(derivation) = self.derived.get(element) else {
+            out.push_str(&format!("{indent}{} [missing]\n", element.display(self.schema)));
+            return;
+        };
+        if !shown.insert(*element) {
+            out.push_str(&format!(
+                "{indent}{} (derived above)\n",
+                element.display(self.schema)
+            ));
+            return;
+        }
+        out.push_str(&format!(
+            "{indent}{}   [{}]\n",
+            element.display(self.schema),
+            derivation.rule
+        ));
+        for premise in &derivation.premises {
+            self.render(premise, depth + 1, shown, out);
+        }
+    }
+}
+
+/// The consistency checker for a schema.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsistencyChecker<'s> {
+    schema: &'s DirectorySchema,
+}
+
+impl<'s> ConsistencyChecker<'s> {
+    /// A checker for `schema`.
+    pub fn new(schema: &'s DirectorySchema) -> Self {
+        ConsistencyChecker { schema }
+    }
+
+    /// Computes the closure and the consistency verdict.
+    pub fn check(&self) -> ConsistencyResult<'s> {
+        let mut engine = Engine::new(self.schema);
+        engine.seed();
+        engine.run();
+        let consistent = !engine.derived.contains_key(&Element::bottom());
+        ConsistencyResult {
+            schema: self.schema,
+            derived: engine.derived,
+            consistent,
+        }
+    }
+}
+
+struct Engine<'s> {
+    schema: &'s DirectorySchema,
+    derived: HashMap<Element, Derivation>,
+    work: VecDeque<Element>,
+    /// `◇` facts present.
+    req: HashSet<ClassTerm>,
+    /// ReqRel indexed by source: source → (kind, target).
+    by_source: HashMap<ClassTerm, Vec<(RelKind, ClassTerm)>>,
+    /// ReqRel indexed by target: target → (source, kind).
+    by_target: HashMap<ClassTerm, Vec<(ClassTerm, RelKind)>>,
+    /// Forb indexed by upper: upper → (kind, lower).
+    forb_by_upper: HashMap<ClassTerm, Vec<(ForbidKind, ClassTerm)>>,
+    /// Forb indexed by lower: lower → (upper, kind).
+    forb_by_lower: HashMap<ClassTerm, Vec<(ClassTerm, ForbidKind)>>,
+    /// Classes proven impossible, with the witnessing `c →k ∅` element.
+    impossible: HashMap<ClassTerm, Element>,
+    /// Proper subclasses per core class (precomputed from the tree).
+    subclasses: HashMap<ClassId, Vec<ClassId>>,
+}
+
+impl<'s> Engine<'s> {
+    fn new(schema: &'s DirectorySchema) -> Self {
+        let mut subclasses: HashMap<ClassId, Vec<ClassId>> = HashMap::new();
+        for c in schema.classes().core_classes() {
+            for sup in schema.classes().superclass_chain(c).into_iter().skip(1) {
+                subclasses.entry(sup).or_default().push(c);
+            }
+        }
+        Engine {
+            schema,
+            derived: HashMap::new(),
+            work: VecDeque::new(),
+            req: HashSet::new(),
+            by_source: HashMap::new(),
+            by_target: HashMap::new(),
+            forb_by_upper: HashMap::new(),
+            forb_by_lower: HashMap::new(),
+            impossible: HashMap::new(),
+            subclasses: HashMap::new(),
+        }
+        .with_subclasses(subclasses)
+    }
+
+    fn with_subclasses(mut self, subclasses: HashMap<ClassId, Vec<ClassId>>) -> Self {
+        self.subclasses = subclasses;
+        self
+    }
+
+    fn seed(&mut self) {
+        let structure = self.schema.structure();
+        let base: Vec<Element> = structure
+            .required_classes()
+            .map(|c| Element::Req(c.into()))
+            .chain(structure.required_rels().iter().map(|r| {
+                Element::ReqRel(r.source.into(), r.kind, r.target.into())
+            }))
+            .chain(structure.forbidden_rels().iter().map(|r| {
+                let kind = match r.kind {
+                    crate::schema::ForbidKind::Child => ForbidKind::Child,
+                    crate::schema::ForbidKind::Descendant => ForbidKind::Descendant,
+                };
+                Element::Forb(r.upper.into(), kind, r.lower.into())
+            }))
+            .collect();
+        for element in base {
+            self.add(element, rules::SCHEMA, Vec::new());
+        }
+    }
+
+    /// Records a class-tree leaf fact so proof trees can resolve it.
+    fn leaf(&mut self, element: Element) -> Element {
+        self.derived
+            .entry(element)
+            .or_insert_with(|| Derivation { rule: rules::CLASS_SCHEMA, premises: Vec::new() });
+        element
+    }
+
+    fn add(&mut self, element: Element, rule: &'static str, premises: Vec<Element>) {
+        if self.derived.contains_key(&element) {
+            return;
+        }
+        self.derived.insert(element, Derivation { rule, premises });
+        match element {
+            Element::Req(t) => {
+                self.req.insert(t);
+            }
+            Element::ReqRel(a, k, b) => {
+                self.by_source.entry(a).or_default().push((k, b));
+                self.by_target.entry(b).or_default().push((a, k));
+                if b == ClassTerm::Empty {
+                    self.impossible.entry(a).or_insert(element);
+                }
+            }
+            Element::Forb(a, k, b) => {
+                self.forb_by_upper.entry(a).or_default().push((k, b));
+                self.forb_by_lower.entry(b).or_default().push((a, k));
+            }
+            Element::Sub(..) | Element::Excl(..) => {}
+        }
+        self.work.push_back(element);
+    }
+
+    fn run(&mut self) {
+        while let Some(element) = self.work.pop_front() {
+            match element {
+                Element::Req(t) => self.on_req(t),
+                Element::ReqRel(a, k, b) => self.on_reqrel(a, k, b),
+                Element::Forb(a, k, b) => self.on_forb(a, k, b),
+                Element::Sub(..) | Element::Excl(..) => {}
+            }
+        }
+    }
+
+    fn has_forb(&self, a: ClassTerm, k: ForbidKind, b: ClassTerm) -> bool {
+        self.forb_by_upper
+            .get(&a)
+            .is_some_and(|v| v.contains(&(k, b)))
+    }
+
+    fn has_reqrel(&self, a: ClassTerm, k: RelKind, b: ClassTerm) -> bool {
+        self.by_source.get(&a).is_some_and(|v| v.contains(&(k, b)))
+    }
+
+    fn excl(&self, a: ClassTerm, b: ClassTerm) -> Option<(ClassId, ClassId)> {
+        let (ca, cb) = (a.class()?, b.class()?);
+        self.schema.classes().are_exclusive(ca, cb).then_some((ca, cb))
+    }
+
+    // ----- rule triggers -----
+
+    fn on_req(&mut self, t: ClassTerm) {
+        // NODE_EDGE: ◇t + (t →k b) ⊢ ◇b.
+        let partners: Vec<(RelKind, ClassTerm)> =
+            self.by_source.get(&t).cloned().unwrap_or_default();
+        for (k, b) in partners {
+            self.add(
+                Element::Req(b),
+                rules::NODE_EDGE,
+                vec![Element::Req(t), Element::ReqRel(t, k, b)],
+            );
+        }
+        // REQ_SUB: ◇c ⊢ ◇sup for every proper superclass.
+        if let Some(c) = t.class() {
+            for sup in self.schema.classes().superclass_chain(c).into_iter().skip(1) {
+                let sub_fact = self.leaf(Element::Sub(c.into(), sup.into()));
+                self.add(
+                    Element::Req(sup.into()),
+                    rules::REQ_SUB,
+                    vec![Element::Req(t), sub_fact],
+                );
+            }
+        }
+    }
+
+    fn on_reqrel(&mut self, a: ClassTerm, k: RelKind, b: ClassTerm) {
+        let this = Element::ReqRel(a, k, b);
+        let top: ClassTerm = self.schema.classes().top().into();
+
+        // NODE_EDGE (other arrival order).
+        if self.req.contains(&a) {
+            self.add(Element::Req(b), rules::NODE_EDGE, vec![Element::Req(a), this]);
+        }
+
+        // PATH.
+        match k {
+            RelKind::Child => {
+                self.add(Element::ReqRel(a, RelKind::Descendant, b), rules::PATH, vec![this]);
+            }
+            RelKind::Parent => {
+                self.add(Element::ReqRel(a, RelKind::Ancestor, b), rules::PATH, vec![this]);
+            }
+            _ => {}
+        }
+
+        // TRANSITIVITY (both directions), de and an; middle must be a real
+        // class.
+        if matches!(k, RelKind::Descendant | RelKind::Ancestor) {
+            if b.class().is_some() {
+                let nexts: Vec<(RelKind, ClassTerm)> =
+                    self.by_source.get(&b).cloned().unwrap_or_default();
+                for (k2, c) in nexts {
+                    if k2 == k {
+                        self.add(
+                            Element::ReqRel(a, k, c),
+                            rules::TRANSITIVITY,
+                            vec![this, Element::ReqRel(b, k, c)],
+                        );
+                    }
+                }
+            }
+            if a.class().is_some() {
+                let prevs: Vec<(ClassTerm, RelKind)> =
+                    self.by_target.get(&a).cloned().unwrap_or_default();
+                for (x, k0) in prevs {
+                    if k0 == k {
+                        self.add(
+                            Element::ReqRel(x, k, b),
+                            rules::TRANSITIVITY,
+                            vec![Element::ReqRel(x, k, a), this],
+                        );
+                    }
+                }
+            }
+        }
+
+        // LOOP.
+        if a == b && a.class().is_some() && matches!(k, RelKind::Descendant | RelKind::Ancestor) {
+            self.add(Element::ReqRel(a, k, ClassTerm::Empty), rules::LOOP, vec![this]);
+        }
+
+        // SOURCE_SUB: obligations descend to subclasses of the source.
+        if let Some(ca) = a.class() {
+            let subs = self.subclasses.get(&ca).cloned().unwrap_or_default();
+            for sub in subs {
+                let fact = self.leaf(Element::Sub(sub.into(), a));
+                self.add(
+                    Element::ReqRel(sub.into(), k, b),
+                    rules::SOURCE_SUB,
+                    vec![this, fact],
+                );
+            }
+        }
+
+        // TARGET_SUB: targets weaken to superclasses.
+        if let Some(cb) = b.class() {
+            for sup in self.schema.classes().superclass_chain(cb).into_iter().skip(1) {
+                let fact = self.leaf(Element::Sub(b, sup.into()));
+                self.add(
+                    Element::ReqRel(a, k, sup.into()),
+                    rules::TARGET_SUB,
+                    vec![this, fact],
+                );
+            }
+        }
+
+        // TOP_PATH.
+        if b == top {
+            match k {
+                RelKind::Descendant => {
+                    self.add(Element::ReqRel(a, RelKind::Child, top), rules::TOP_PATH, vec![this]);
+                }
+                RelKind::Ancestor => {
+                    self.add(Element::ReqRel(a, RelKind::Parent, top), rules::TOP_PATH, vec![this]);
+                }
+                _ => {}
+            }
+        }
+
+        // DIRECT_CONFLICT (required side arriving).
+        let conflict = match k {
+            RelKind::Child => self
+                .has_forb(a, ForbidKind::Child, b)
+                .then_some(Element::Forb(a, ForbidKind::Child, b)),
+            RelKind::Descendant => self
+                .has_forb(a, ForbidKind::Descendant, b)
+                .then_some(Element::Forb(a, ForbidKind::Descendant, b)),
+            RelKind::Parent => self
+                .has_forb(b, ForbidKind::Child, a)
+                .then_some(Element::Forb(b, ForbidKind::Child, a)),
+            RelKind::Ancestor => self
+                .has_forb(b, ForbidKind::Descendant, a)
+                .then_some(Element::Forb(b, ForbidKind::Descendant, a)),
+        };
+        if let Some(forb) = conflict {
+            self.add(
+                Element::ReqRel(a, k, ClassTerm::Empty),
+                rules::DIRECT_CONFLICT,
+                vec![this, forb],
+            );
+        }
+
+        // PARENTHOOD: two incomparable required parent classes.
+        if k == RelKind::Parent {
+            let siblings: Vec<(RelKind, ClassTerm)> =
+                self.by_source.get(&a).cloned().unwrap_or_default();
+            for (k2, c2) in siblings {
+                if k2 == RelKind::Parent && c2 != b
+                    && self.excl(b, c2).is_some() {
+                        let fact = self.leaf(Element::Excl(b, c2));
+                        self.add(
+                            Element::ReqRel(a, RelKind::Parent, ClassTerm::Empty),
+                            rules::PARENTHOOD,
+                            vec![this, Element::ReqRel(a, RelKind::Parent, c2), fact],
+                        );
+                    }
+            }
+        }
+
+        // ANCESTORHOOD: two required ancestor classes that can neither
+        // coincide nor stack.
+        if k == RelKind::Ancestor {
+            let siblings: Vec<(RelKind, ClassTerm)> =
+                self.by_source.get(&a).cloned().unwrap_or_default();
+            for (k2, c2) in siblings {
+                if k2 == RelKind::Ancestor
+                    && c2 != b
+                    && self.excl(b, c2).is_some()
+                    && self.has_forb(b, ForbidKind::Descendant, c2)
+                    && self.has_forb(c2, ForbidKind::Descendant, b)
+                {
+                    let fact = self.leaf(Element::Excl(b, c2));
+                    self.add(
+                        Element::ReqRel(a, RelKind::Ancestor, ClassTerm::Empty),
+                        rules::ANCESTORHOOD,
+                        vec![
+                            this,
+                            Element::ReqRel(a, RelKind::Ancestor, c2),
+                            fact,
+                            Element::Forb(b, ForbidKind::Descendant, c2),
+                            Element::Forb(c2, ForbidKind::Descendant, b),
+                        ],
+                    );
+                }
+            }
+        }
+
+        // CHILD_PARENT: the required child's parent is the source entry.
+        if k == RelKind::Child && b.class().is_some() {
+            let needs: Vec<(RelKind, ClassTerm)> =
+                self.by_source.get(&b).cloned().unwrap_or_default();
+            for (k2, ck) in needs {
+                if k2 == RelKind::Parent && self.excl(a, ck).is_some() {
+                    let fact = self.leaf(Element::Excl(a, ck));
+                    self.add(
+                        Element::ReqRel(a, RelKind::Child, ClassTerm::Empty),
+                        rules::CHILD_PARENT,
+                        vec![this, Element::ReqRel(b, RelKind::Parent, ck), fact],
+                    );
+                }
+            }
+        }
+        // CHILD_PARENT (other arrival order): this is (b', pa, ck); every
+        // x with (x, ch, b') and x ⇏ ck conflicts.
+        if k == RelKind::Parent && a.class().is_some() {
+            let holders: Vec<(ClassTerm, RelKind)> =
+                self.by_target.get(&a).cloned().unwrap_or_default();
+            for (x, k0) in holders {
+                if k0 == RelKind::Child && self.excl(x, b).is_some() {
+                    let fact = self.leaf(Element::Excl(x, b));
+                    self.add(
+                        Element::ReqRel(x, RelKind::Child, ClassTerm::Empty),
+                        rules::CHILD_PARENT,
+                        vec![Element::ReqRel(x, RelKind::Child, a), this, fact],
+                    );
+                }
+            }
+        }
+
+        // IMPOSSIBLE_TARGET.
+        if b == ClassTerm::Empty {
+            // This marks `a` impossible: propagate to everything requiring
+            // an `a` relative.
+            let holders: Vec<(ClassTerm, RelKind)> =
+                self.by_target.get(&a).cloned().unwrap_or_default();
+            for (x, k0) in holders {
+                self.add(
+                    Element::ReqRel(x, k0, ClassTerm::Empty),
+                    rules::IMPOSSIBLE_TARGET,
+                    vec![Element::ReqRel(x, k0, a), this],
+                );
+            }
+        } else if let Some(&witness) = self.impossible.get(&b) {
+            self.add(
+                Element::ReqRel(a, k, ClassTerm::Empty),
+                rules::IMPOSSIBLE_TARGET,
+                vec![this, witness],
+            );
+        }
+    }
+
+    fn on_forb(&mut self, a: ClassTerm, k: ForbidKind, b: ClassTerm) {
+        let this = Element::Forb(a, k, b);
+        let top: ClassTerm = self.schema.classes().top().into();
+
+        // FORBID_SUB: prohibitions descend to subclasses on both ends.
+        if let Some(ca) = a.class() {
+            let subs = self.subclasses.get(&ca).cloned().unwrap_or_default();
+            for sub in subs {
+                let fact = self.leaf(Element::Sub(sub.into(), a));
+                self.add(Element::Forb(sub.into(), k, b), rules::FORBID_SUB, vec![this, fact]);
+            }
+        }
+        if let Some(cb) = b.class() {
+            let subs = self.subclasses.get(&cb).cloned().unwrap_or_default();
+            for sub in subs {
+                let fact = self.leaf(Element::Sub(sub.into(), b));
+                self.add(Element::Forb(a, k, sub.into()), rules::FORBID_SUB, vec![this, fact]);
+            }
+        }
+
+        // FORBID_PATH: ↛de implies ↛ch.
+        if k == ForbidKind::Descendant {
+            self.add(Element::Forb(a, ForbidKind::Child, b), rules::FORBID_PATH, vec![this]);
+        }
+
+        // TOP_PATH_FORBIDDEN.
+        if k == ForbidKind::Child && b == top {
+            self.add(
+                Element::Forb(a, ForbidKind::Descendant, top),
+                rules::TOP_PATH_FORBIDDEN,
+                vec![this],
+            );
+        }
+        if k == ForbidKind::Child && a == top {
+            self.add(
+                Element::Forb(top, ForbidKind::Descendant, b),
+                rules::TOP_PATH_FORBIDDEN,
+                vec![this],
+            );
+        }
+
+        // DIRECT_CONFLICT (forbidden side arriving).
+        match k {
+            ForbidKind::Child => {
+                if self.has_reqrel(a, RelKind::Child, b) {
+                    self.add(
+                        Element::ReqRel(a, RelKind::Child, ClassTerm::Empty),
+                        rules::DIRECT_CONFLICT,
+                        vec![Element::ReqRel(a, RelKind::Child, b), this],
+                    );
+                }
+                if self.has_reqrel(b, RelKind::Parent, a) {
+                    self.add(
+                        Element::ReqRel(b, RelKind::Parent, ClassTerm::Empty),
+                        rules::DIRECT_CONFLICT,
+                        vec![Element::ReqRel(b, RelKind::Parent, a), this],
+                    );
+                }
+            }
+            ForbidKind::Descendant => {
+                if self.has_reqrel(a, RelKind::Descendant, b) {
+                    self.add(
+                        Element::ReqRel(a, RelKind::Descendant, ClassTerm::Empty),
+                        rules::DIRECT_CONFLICT,
+                        vec![Element::ReqRel(a, RelKind::Descendant, b), this],
+                    );
+                }
+                if self.has_reqrel(b, RelKind::Ancestor, a) {
+                    self.add(
+                        Element::ReqRel(b, RelKind::Ancestor, ClassTerm::Empty),
+                        rules::DIRECT_CONFLICT,
+                        vec![Element::ReqRel(b, RelKind::Ancestor, a), this],
+                    );
+                }
+                // ANCESTORHOOD (forbidden side arriving): complete pairs.
+                if self.has_forb(b, ForbidKind::Descendant, a) && self.excl(a, b).is_some() {
+                    let holders: Vec<(ClassTerm, RelKind)> =
+                        self.by_target.get(&a).cloned().unwrap_or_default();
+                    for (x, k0) in holders {
+                        if k0 == RelKind::Ancestor && self.has_reqrel(x, RelKind::Ancestor, b) {
+                            let fact = self.leaf(Element::Excl(a, b));
+                            self.add(
+                                Element::ReqRel(x, RelKind::Ancestor, ClassTerm::Empty),
+                                rules::ANCESTORHOOD,
+                                vec![
+                                    Element::ReqRel(x, RelKind::Ancestor, a),
+                                    Element::ReqRel(x, RelKind::Ancestor, b),
+                                    fact,
+                                    this,
+                                    Element::Forb(b, ForbidKind::Descendant, a),
+                                ],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Directory-wide key (uniqueness) checking — the §6.1 key discussion:
+//! "any notion of a key in an LDAP directory must be unique across all
+//! entries in the directory instance, not just within a single object
+//! class."
+//!
+//! Values are compared under the attribute's matching rule (from the
+//! instance's registry), so `Laks` and `laks` clash for a case-ignore
+//! syntax.
+
+use std::collections::HashMap;
+
+use bschema_directory::{DirectoryInstance, EntryId};
+
+use super::report::Violation;
+use crate::schema::DirectorySchema;
+
+/// Checks every declared key attribute, appending one violation per entry
+/// that shares a value with an earlier (document-order) entry.
+pub fn check_instance(
+    schema: &DirectorySchema,
+    dir: &DirectoryInstance,
+    out: &mut Vec<Violation>,
+) {
+    for attr in schema.attributes().unique_attributes() {
+        let syntax = dir.registry().syntax_of(attr);
+        let holders = dir.index().entries_with_attribute(attr);
+        let mut seen: HashMap<String, EntryId> = HashMap::with_capacity(holders.len());
+        for &id in holders {
+            let entry = dir.entry(id).expect("indexed entries are live");
+            for value in entry.values(attr) {
+                let normalized = syntax.normalize(value);
+                match seen.get(&normalized) {
+                    Some(&first) if first != id => {
+                        out.push(Violation::DuplicateKey {
+                            entry: id,
+                            attribute: attr.to_owned(),
+                            value: value.clone(),
+                            first,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        seen.insert(normalized, id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Incremental variant for a subtree insertion: only the new entries'
+/// values need checking — against each other and against the rest of the
+/// instance. `dir` is post-insert and prepared.
+pub fn check_insertion(
+    schema: &DirectorySchema,
+    dir: &DirectoryInstance,
+    delta_root: EntryId,
+    out: &mut Vec<Violation>,
+) {
+    let forest = dir.forest();
+    let in_delta = |id: EntryId| id == delta_root || forest.interval_is_ancestor(delta_root, id);
+    for attr in schema.attributes().unique_attributes() {
+        let syntax = dir.registry().syntax_of(attr);
+        // Values held by new entries.
+        let mut new_values: HashMap<String, EntryId> = HashMap::new();
+        for id in std::iter::once(delta_root).chain(forest.descendants(delta_root)) {
+            let Some(entry) = dir.entry(id) else { continue };
+            for value in entry.values(attr) {
+                let normalized = syntax.normalize(value);
+                if let Some(&first) = new_values.get(&normalized) {
+                    if first != id {
+                        out.push(Violation::DuplicateKey {
+                            entry: id,
+                            attribute: attr.to_owned(),
+                            value: value.clone(),
+                            first,
+                        });
+                    }
+                } else {
+                    new_values.insert(normalized, id);
+                }
+            }
+        }
+        if new_values.is_empty() {
+            continue;
+        }
+        // Clashes with pre-existing entries (D was legal, so only
+        // new-vs-old pairs are possible beyond the new-vs-new above).
+        for &id in dir.index().entries_with_attribute(attr) {
+            if in_delta(id) {
+                continue;
+            }
+            let entry = dir.entry(id).expect("indexed entries are live");
+            for value in entry.values(attr) {
+                if let Some(&new_entry) = new_values.get(&syntax.normalize(value)) {
+                    out.push(Violation::DuplicateKey {
+                        entry: new_entry,
+                        attribute: attr.to_owned(),
+                        value: value.clone(),
+                        first: id,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DirectorySchema;
+    use bschema_directory::Entry;
+
+    fn schema() -> DirectorySchema {
+        DirectorySchema::builder()
+            .core_class("person", "top")
+            .map(|b| b.unique_attrs(["uid"]))
+            .map(|b| b.build())
+            .unwrap()
+    }
+
+    fn person(uid: &str) -> Entry {
+        Entry::builder().classes(["person", "top"]).attr("uid", uid).build()
+    }
+
+    #[test]
+    fn duplicate_keys_are_found() {
+        let schema = schema();
+        let mut dir = DirectoryInstance::white_pages();
+        let root = dir.add_root_entry(person("laks"));
+        dir.add_child_entry(root, person("suciu")).unwrap();
+        // Case-insensitive clash: uid is a directoryString.
+        let dup = dir.add_child_entry(root, person("LAKS")).unwrap();
+        dir.prepare();
+        let mut out = Vec::new();
+        check_instance(&schema, &dir, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0],
+            Violation::DuplicateKey { entry, attribute, first, .. }
+                if *entry == dup && attribute == "uid" && *first == root
+        ));
+    }
+
+    #[test]
+    fn distinct_keys_pass() {
+        let schema = schema();
+        let mut dir = DirectoryInstance::white_pages();
+        let root = dir.add_root_entry(person("a"));
+        dir.add_child_entry(root, person("b")).unwrap();
+        dir.prepare();
+        let mut out = Vec::new();
+        check_instance(&schema, &dir, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn incremental_matches_full() {
+        let schema = schema();
+        let mut dir = DirectoryInstance::white_pages();
+        let root = dir.add_root_entry(person("a"));
+        dir.add_child_entry(root, person("b")).unwrap();
+        // Insert a subtree with one internal duplicate and one clash with
+        // the existing data.
+        let new = dir.add_child_entry(root, person("a")).unwrap(); // clashes with root
+        dir.add_child_entry(new, person("c")).unwrap();
+        dir.add_child_entry(new, person("c")).unwrap(); // internal duplicate
+        dir.prepare();
+
+        let mut full = Vec::new();
+        check_instance(&schema, &dir, &mut full);
+        let mut incremental = Vec::new();
+        check_insertion(&schema, &dir, new, &mut incremental);
+        assert_eq!(full.len(), 2);
+        assert_eq!(incremental.len(), full.len());
+    }
+
+    #[test]
+    fn multivalued_keys_within_one_entry_do_not_self_clash() {
+        let schema = schema();
+        let mut dir = DirectoryInstance::white_pages();
+        let mut e = Entry::builder().classes(["person", "top"]).build();
+        e.add_value("uid", "x");
+        e.add_value("uid", "X"); // same normalized value, same entry
+        dir.add_root_entry(e);
+        dir.prepare();
+        let mut out = Vec::new();
+        check_instance(&schema, &dir, &mut out);
+        assert!(out.is_empty(), "an entry does not clash with itself: {out:?}");
+    }
+}

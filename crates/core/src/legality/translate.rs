@@ -1,0 +1,120 @@
+//! Figure 4: translating structure-schema elements to hierarchical
+//! selection queries.
+//!
+//! | element | query (must be **empty**) |
+//! |---|---|
+//! | `ci →ch cj` | `(σ? (oc=ci) (σc (oc=ci) (oc=cj)))` |
+//! | `ci →pa cj` | `(σ? (oc=ci) (σp (oc=ci) (oc=cj)))` |
+//! | `ci →de cj` | `(σ? (oc=ci) (σd (oc=ci) (oc=cj)))` |
+//! | `ci →an cj` | `(σ? (oc=ci) (σa (oc=ci) (oc=cj)))` |
+//! | `ci ↛ch cj` | `(σc (oc=ci) (oc=cj))` |
+//! | `ci ↛de cj` | `(σd (oc=ci) (oc=cj))` |
+//! | `◇c`        | `(oc=c)` — must be **non-empty** |
+//!
+//! An instance is legal w.r.t. `(Er, Ef)` iff every generated "must be
+//! empty" query is empty, and legal w.r.t. `Cr` iff every `◇` query is
+//! non-empty (§3.2).
+
+use bschema_query::Query;
+
+use crate::schema::{ClassId, DirectorySchema, ForbidKind, ForbiddenRel, RelKind, RequiredRel};
+
+fn oc(schema: &DirectorySchema, class: ClassId) -> Query {
+    Query::object_class(schema.classes().name(class))
+}
+
+/// Figure 4, required rows: the query whose **emptiness** is equivalent to
+/// satisfaction of `rel`. Witnesses returned by the query are exactly the
+/// entries violating the element.
+pub fn required_rel_query(schema: &DirectorySchema, rel: &RequiredRel) -> Query {
+    let inner = match rel.kind {
+        RelKind::Child => oc(schema, rel.source).with_child(oc(schema, rel.target)),
+        RelKind::Parent => oc(schema, rel.source).with_parent(oc(schema, rel.target)),
+        RelKind::Descendant => oc(schema, rel.source).with_descendant(oc(schema, rel.target)),
+        RelKind::Ancestor => oc(schema, rel.source).with_ancestor(oc(schema, rel.target)),
+    };
+    oc(schema, rel.source).minus(inner)
+}
+
+/// Figure 4, forbidden rows: the query whose **emptiness** is equivalent to
+/// satisfaction of `rel`. Witnesses are the `upper` entries having a
+/// forbidden relative.
+pub fn forbidden_rel_query(schema: &DirectorySchema, rel: &ForbiddenRel) -> Query {
+    match rel.kind {
+        ForbidKind::Child => oc(schema, rel.upper).with_child(oc(schema, rel.lower)),
+        ForbidKind::Descendant => oc(schema, rel.upper).with_descendant(oc(schema, rel.lower)),
+    }
+}
+
+/// Figure 4, `◇c` row: the query whose **non-emptiness** is equivalent to
+/// satisfaction.
+pub fn required_class_query(schema: &DirectorySchema, class: ClassId) -> Query {
+    oc(schema, class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DirectorySchema;
+
+    fn two_class_schema() -> DirectorySchema {
+        DirectorySchema::builder()
+            .core_class("orgGroup", "top")
+            .and_then(|b| b.core_class("person", "top"))
+            .map(|b| b.build())
+            .unwrap()
+    }
+
+    #[test]
+    fn required_descendant_matches_paper_q1() {
+        let s = two_class_schema();
+        let org = s.classes().resolve("orgGroup").unwrap();
+        let person = s.classes().resolve("person").unwrap();
+        let rel = RequiredRel { source: org, kind: RelKind::Descendant, target: person };
+        assert_eq!(
+            required_rel_query(&s, &rel).to_string(),
+            "(σ? (objectClass=orgGroup) (σd (objectClass=orgGroup) (objectClass=person)))"
+        );
+    }
+
+    #[test]
+    fn forbidden_child_matches_paper_q2() {
+        let s = two_class_schema();
+        let person = s.classes().resolve("person").unwrap();
+        let top = s.classes().top();
+        let rel = ForbiddenRel { upper: person, kind: ForbidKind::Child, lower: top };
+        assert_eq!(
+            forbidden_rel_query(&s, &rel).to_string(),
+            "(σc (objectClass=person) (objectClass=top))"
+        );
+    }
+
+    #[test]
+    fn all_required_kinds_translate() {
+        let s = two_class_schema();
+        let a = s.classes().resolve("orgGroup").unwrap();
+        let b = s.classes().resolve("person").unwrap();
+        let shapes = [
+            (RelKind::Child, "σc"),
+            (RelKind::Parent, "σp"),
+            (RelKind::Descendant, "σd"),
+            (RelKind::Ancestor, "σa"),
+        ];
+        for (kind, op) in shapes {
+            let q = required_rel_query(&s, &RequiredRel { source: a, kind, target: b });
+            let text = q.to_string();
+            assert!(text.starts_with("(σ? "), "{text}");
+            assert!(text.contains(op), "{text} should use {op}");
+            assert_eq!(q.size(), 5);
+        }
+    }
+
+    #[test]
+    fn required_class_is_atomic() {
+        let s = two_class_schema();
+        let person = s.classes().resolve("person").unwrap();
+        let q = required_class_query(&s, person);
+        assert_eq!(q.to_string(), "(objectClass=person)");
+        assert_eq!(q.size(), 1);
+    }
+}

@@ -1,0 +1,440 @@
+//! [`ManagedDirectory`]: a directory that *enforces* its bounding-schema.
+//!
+//! This is the downstream-user API the paper's machinery adds up to: a
+//! schema-checked directory server core. Construction verifies the schema
+//! is consistent (§5 — a schema nothing can satisfy is rejected up front);
+//! every update transaction is applied atomically and checked with the
+//! incremental §4 machinery, rolling back if it would leave the directory
+//! illegal.
+
+use std::fmt;
+
+use bschema_directory::{AttributeRegistry, DirectoryInstance, Entry, EntryId};
+use bschema_query::{evaluate, EvalContext, Query};
+
+use crate::consistency::ConsistencyChecker;
+use crate::legality::{LegalityChecker, LegalityReport};
+use crate::schema::DirectorySchema;
+use crate::updates::{apply_and_check, Transaction, TxError};
+
+/// Errors from managed-directory operations.
+#[derive(Debug)]
+pub enum ManagedError {
+    /// The schema admits no legal instance; the payload is the ◇∅
+    /// derivation trace.
+    InconsistentSchema(String),
+    /// A supplied initial instance was not legal.
+    IllegalInstance(LegalityReport),
+    /// The transaction was structurally invalid (bad refs, orphaning
+    /// deletes, ...).
+    Transaction(TxError),
+    /// Applying the transaction would leave the directory illegal; it was
+    /// rolled back.
+    RolledBack(LegalityReport),
+}
+
+impl fmt::Display for ManagedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagedError::InconsistentSchema(proof) => {
+                write!(f, "schema is inconsistent (admits no legal instance):\n{proof}")
+            }
+            ManagedError::IllegalInstance(report) => {
+                write!(f, "initial instance is illegal:\n{report}")
+            }
+            ManagedError::Transaction(e) => write!(f, "invalid transaction: {e}"),
+            ManagedError::RolledBack(report) => {
+                write!(f, "transaction rolled back; it would violate the schema:\n{report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManagedError {}
+
+impl From<TxError> for ManagedError {
+    fn from(e: TxError) -> Self {
+        ManagedError::Transaction(e)
+    }
+}
+
+/// A bounding-schema-enforcing directory.
+#[derive(Debug, Clone)]
+pub struct ManagedDirectory {
+    schema: DirectorySchema,
+    dir: DirectoryInstance,
+    /// Whether the current instance is known legal (enables the incremental
+    /// §4 checks; until then transactions are fully rechecked).
+    known_legal: bool,
+}
+
+impl ManagedDirectory {
+    /// Creates an empty managed directory after verifying schema
+    /// consistency. Note an empty instance is itself illegal when the
+    /// schema has required classes (`◇c`); the first transaction must
+    /// populate them, and is checked with a full legality pass.
+    pub fn new(schema: DirectorySchema, registry: AttributeRegistry) -> Result<Self, ManagedError> {
+        let result = ConsistencyChecker::new(&schema).check();
+        if !result.is_consistent() {
+            return Err(ManagedError::InconsistentSchema(
+                result.explain_inconsistency().unwrap_or_default(),
+            ));
+        }
+        let mut dir = DirectoryInstance::new(registry);
+        dir.prepare();
+        let known_legal = LegalityChecker::new(&schema).check(&dir).is_legal();
+        Ok(ManagedDirectory { schema, dir, known_legal })
+    }
+
+    /// Wraps an existing instance, verifying schema consistency and
+    /// instance legality.
+    pub fn with_instance(
+        schema: DirectorySchema,
+        mut dir: DirectoryInstance,
+    ) -> Result<Self, ManagedError> {
+        let result = ConsistencyChecker::new(&schema).check();
+        if !result.is_consistent() {
+            return Err(ManagedError::InconsistentSchema(
+                result.explain_inconsistency().unwrap_or_default(),
+            ));
+        }
+        dir.prepare();
+        let report = LegalityChecker::new(&schema).check(&dir);
+        if !report.is_legal() {
+            return Err(ManagedError::IllegalInstance(report));
+        }
+        Ok(ManagedDirectory { schema, dir, known_legal: true })
+    }
+
+    /// The schema being enforced.
+    pub fn schema(&self) -> &DirectorySchema {
+        &self.schema
+    }
+
+    /// Read access to the underlying instance.
+    pub fn instance(&self) -> &DirectoryInstance {
+        &self.dir
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// True when the directory has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.dir.is_empty()
+    }
+
+    /// Whether the current contents satisfy the schema. Only `false` before
+    /// the first successful transaction of a directory that starts with
+    /// unmet `◇c` requirements.
+    pub fn is_legal(&self) -> bool {
+        self.known_legal
+    }
+
+    /// Applies `tx` atomically: if the resulting directory would be
+    /// illegal, no change is made and the violations are returned.
+    pub fn apply(&mut self, tx: &Transaction) -> Result<(), ManagedError> {
+        let snapshot = self.dir.clone();
+        let report = if self.known_legal {
+            // D is legal: the Theorem 4.1 + Figure 5 incremental path.
+            apply_and_check(&self.schema, &mut self.dir, tx)?.report
+        } else {
+            // No legality baseline: apply, then full check.
+            let normalized = tx.normalize(&self.dir)?;
+            for subtree in &normalized.insertions {
+                subtree.apply(&mut self.dir);
+            }
+            for &root in &normalized.deletion_roots {
+                self.dir
+                    .remove_subtree(root)
+                    .expect("normalisation validated deletion roots");
+            }
+            self.dir.prepare();
+            LegalityChecker::new(&self.schema).check(&self.dir)
+        };
+        if report.is_legal() {
+            self.known_legal = true;
+            Ok(())
+        } else {
+            self.dir = snapshot;
+            Err(ManagedError::RolledBack(report))
+        }
+    }
+
+    /// Single-insert convenience (one-op transaction).
+    pub fn insert_under(&mut self, parent: EntryId, entry: Entry) -> Result<EntryId, ManagedError> {
+        let mut tx = Transaction::new();
+        tx.insert_under(parent, entry);
+        // Capture the id deterministically: it is the root of the single
+        // inserted subtree, i.e. the next slot the instance assigns.
+        self.apply_returning_root(&tx)
+    }
+
+    /// Single root-insert convenience.
+    pub fn insert_root(&mut self, entry: Entry) -> Result<EntryId, ManagedError> {
+        let mut tx = Transaction::new();
+        tx.insert_root(entry);
+        self.apply_returning_root(&tx)
+    }
+
+    fn apply_returning_root(&mut self, tx: &Transaction) -> Result<EntryId, ManagedError> {
+        let snapshot = self.dir.clone();
+        let applied = if self.known_legal {
+            apply_and_check(&self.schema, &mut self.dir, tx)?
+        } else {
+            let mut dir = self.dir.clone();
+            let normalized = tx.normalize(&dir)?;
+            let mut roots = Vec::new();
+            for subtree in &normalized.insertions {
+                roots.push(subtree.apply(&mut dir)[0]);
+            }
+            dir.prepare();
+            let report = LegalityChecker::new(&self.schema).check(&dir);
+            self.dir = dir;
+            crate::updates::AppliedTx { inserted_roots: roots, removed: Vec::new(), report }
+        };
+        if applied.report.is_legal() {
+            self.known_legal = true;
+            Ok(applied.inserted_roots[0])
+        } else {
+            self.dir = snapshot;
+            Err(ManagedError::RolledBack(applied.report))
+        }
+    }
+
+    /// Single subtree-delete convenience: deletes `target` and its whole
+    /// subtree in one transaction.
+    pub fn delete_subtree(&mut self, target: EntryId) -> Result<(), ManagedError> {
+        let mut tx = Transaction::new();
+        let forest = self.dir.forest();
+        // Delete bottom-up so the transaction is a valid leaf-delete
+        // sequence.
+        for id in forest.postorder_of(target) {
+            tx.delete(id);
+        }
+        self.apply(&tx)
+    }
+
+    /// Modifies one entry's attributes (LDAP Modify), atomically: rolled
+    /// back if the result would be illegal.
+    pub fn modify_entry(
+        &mut self,
+        target: EntryId,
+        mods: &[crate::updates::Mod],
+    ) -> Result<(), ManagedError> {
+        let snapshot = self.dir.clone();
+        let Some(changed) = crate::updates::apply_mods(&mut self.dir, target, mods) else {
+            self.dir = snapshot;
+            return Err(ManagedError::RolledBack(crate::legality::LegalityReport::from_violations(
+                vec![crate::legality::Violation::ValueViolation {
+                    entry: target,
+                    message: "no such entry".to_owned(),
+                }],
+            )));
+        };
+        self.dir.prepare();
+        let report = if self.known_legal {
+            crate::updates::check_modification(&self.schema, &self.dir, target, &changed)
+        } else {
+            LegalityChecker::new(&self.schema).check(&self.dir)
+        };
+        if report.is_legal() {
+            self.known_legal = true;
+            Ok(())
+        } else {
+            self.dir = snapshot;
+            Err(ManagedError::RolledBack(report))
+        }
+    }
+
+    /// Moves the subtree rooted at `target` under `new_parent` (LDAP
+    /// ModifyDN), atomically: rolled back if the result would be illegal.
+    pub fn move_subtree(&mut self, target: EntryId, new_parent: EntryId) -> Result<(), ManagedError> {
+        let snapshot = self.dir.clone();
+        if let Err(e) = self.dir.move_subtree(target, new_parent) {
+            self.dir = snapshot;
+            return Err(ManagedError::RolledBack(crate::legality::LegalityReport::from_violations(
+                vec![crate::legality::Violation::ValueViolation {
+                    entry: target,
+                    message: e.to_string(),
+                }],
+            )));
+        }
+        self.dir.prepare();
+        let report = if self.known_legal {
+            crate::updates::IncrementalChecker::new(&self.schema).check_move(&self.dir, target)
+        } else {
+            LegalityChecker::new(&self.schema).check(&self.dir)
+        };
+        if report.is_legal() {
+            self.known_legal = true;
+            Ok(())
+        } else {
+            self.dir = snapshot;
+            Err(ManagedError::RolledBack(report))
+        }
+    }
+
+    /// Evaluates a hierarchical selection query against the directory.
+    pub fn query(&self, query: &Query) -> Vec<EntryId> {
+        evaluate(&EvalContext::new(&self.dir), query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{white_pages_instance, white_pages_schema};
+    use crate::schema::RelKind;
+
+    fn researcher(uid: &str) -> Entry {
+        Entry::builder()
+            .classes(["researcher", "person", "top"])
+            .attr("uid", uid)
+            .attr("name", uid)
+            .build()
+    }
+
+    #[test]
+    fn wraps_legal_instance() {
+        let (dir, ids) = white_pages_instance();
+        let mut managed = ManagedDirectory::with_instance(white_pages_schema(), dir).unwrap();
+        assert!(managed.is_legal());
+        assert_eq!(managed.len(), 6);
+        // Legal insert goes through.
+        let new = managed.insert_under(ids.databases, researcher("milo")).unwrap();
+        assert_eq!(managed.len(), 7);
+        assert!(managed.instance().contains(new));
+    }
+
+    #[test]
+    fn rejects_inconsistent_schema() {
+        let schema = DirectorySchema::builder()
+            .core_class("a", "top")
+            .and_then(|b| b.core_class("b", "top"))
+            .and_then(|b| b.require_class("a"))
+            .and_then(|b| b.require_rel("a", RelKind::Child, "b"))
+            .and_then(|b| b.require_rel("b", RelKind::Descendant, "a"))
+            .map(|b| b.build())
+            .unwrap();
+        let err = ManagedDirectory::new(schema, AttributeRegistry::new()).unwrap_err();
+        assert!(matches!(err, ManagedError::InconsistentSchema(_)));
+        assert!(err.to_string().contains("◇∅"));
+    }
+
+    #[test]
+    fn rejects_illegal_instance() {
+        let (mut dir, ids) = white_pages_instance();
+        dir.entry_mut(ids.suciu).unwrap().remove_attribute("name");
+        dir.prepare();
+        let err = ManagedDirectory::with_instance(white_pages_schema(), dir).unwrap_err();
+        assert!(matches!(err, ManagedError::IllegalInstance(_)));
+    }
+
+    #[test]
+    fn illegal_transaction_rolls_back() {
+        let (dir, ids) = white_pages_instance();
+        let mut managed = ManagedDirectory::with_instance(white_pages_schema(), dir).unwrap();
+        let err = managed
+            .insert_under(
+                ids.suciu,
+                Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", "x").build(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ManagedError::RolledBack(_)));
+        assert_eq!(managed.len(), 6, "rollback must restore the instance");
+        assert!(managed.is_legal());
+    }
+
+    #[test]
+    fn delete_subtree_checks_legality() {
+        let (dir, ids) = white_pages_instance();
+        let mut managed = ManagedDirectory::with_instance(white_pages_schema(), dir).unwrap();
+        // Deleting the whole databases unit removes laks & suciu but keeps
+        // armstrong: attLabs still has a person descendant. Legal.
+        managed.delete_subtree(ids.databases).unwrap();
+        assert_eq!(managed.len(), 3);
+        // Deleting armstrong now would leave attLabs with no person
+        // descendant (and ◇person unmet): rolled back.
+        let err = managed.delete_subtree(ids.armstrong).unwrap_err();
+        assert!(matches!(err, ManagedError::RolledBack(_)));
+        assert_eq!(managed.len(), 3);
+    }
+
+    #[test]
+    fn bootstrap_from_empty() {
+        // Schema with ◇a: the empty directory is illegal, but a transaction
+        // creating an `a` entry fixes it.
+        let schema = DirectorySchema::builder()
+            .core_class("a", "top")
+            .and_then(|b| b.require_class("a"))
+            .map(|b| b.build())
+            .unwrap();
+        let mut managed = ManagedDirectory::new(schema, AttributeRegistry::new()).unwrap();
+        assert!(!managed.is_legal());
+        // An unrelated insert that leaves ◇a unmet is rejected.
+        let err = managed
+            .insert_root(Entry::builder().class("top").build())
+            .unwrap_err();
+        assert!(matches!(err, ManagedError::RolledBack(_)));
+        // Adding the required entry succeeds.
+        managed
+            .insert_root(Entry::builder().classes(["a", "top"]).build())
+            .unwrap();
+        assert!(managed.is_legal());
+    }
+
+    #[test]
+    fn legal_move_is_accepted_and_illegal_move_rolls_back() {
+        let (dir, ids) = white_pages_instance();
+        let mut managed = ManagedDirectory::with_instance(white_pages_schema(), dir).unwrap();
+        // Legal: move the databases unit directly under the organization.
+        managed.move_subtree(ids.databases, ids.att).unwrap();
+        assert_eq!(managed.instance().forest().parent(ids.databases), Some(ids.att));
+        assert!(managed.is_legal());
+        // Illegal: moving armstrong under suciu gives a person a child.
+        let err = managed.move_subtree(ids.armstrong, ids.suciu).unwrap_err();
+        assert!(matches!(err, ManagedError::RolledBack(_)));
+        assert_eq!(
+            managed.instance().forest().parent(ids.armstrong),
+            Some(ids.att_labs),
+            "rollback must restore the old location"
+        );
+        // Illegal: moving databases away would leave attLabs without a
+        // person descendant... armstrong is still under attLabs, so that
+        // stays legal — instead move attLabs under laks (person child).
+        let err = managed.move_subtree(ids.att_labs, ids.laks).unwrap_err();
+        assert!(matches!(err, ManagedError::RolledBack(_)));
+    }
+
+    #[test]
+    fn modify_entry_enforces_schema() {
+        use crate::updates::Mod;
+        let (dir, ids) = white_pages_instance();
+        let mut managed = ManagedDirectory::with_instance(white_pages_schema(), dir).unwrap();
+        // Legal modification.
+        managed
+            .modify_entry(
+                ids.suciu,
+                &[Mod::Add { attribute: "title".into(), value: "researcher".into() }],
+            )
+            .unwrap();
+        // Illegal: dropping a required attribute rolls back.
+        let err = managed
+            .modify_entry(ids.suciu, &[Mod::DeleteAttribute { attribute: "name".into() }])
+            .unwrap_err();
+        assert!(matches!(err, ManagedError::RolledBack(_)));
+        assert!(managed.instance().entry(ids.suciu).unwrap().has_attribute("name"));
+        assert!(managed.is_legal());
+    }
+
+    #[test]
+    fn query_through_managed_api() {
+        let (dir, _) = white_pages_instance();
+        let managed = ManagedDirectory::with_instance(white_pages_schema(), dir).unwrap();
+        let persons = managed.query(&Query::object_class("person"));
+        assert_eq!(persons.len(), 3);
+    }
+}

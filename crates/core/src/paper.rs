@@ -1,0 +1,194 @@
+//! The paper's running example, verbatim: the Figure 1 white-pages instance,
+//! the Figure 2 class schema, and the Figure 3 structure schema.
+//!
+//! Tests, examples and benchmarks all build on these constructors, so the
+//! reproduction exercises exactly the artefacts the paper presents.
+
+use bschema_directory::{AttributeRegistry, DirectoryInstance, Entry, EntryId, Rdn};
+
+use crate::schema::{DirectorySchema, ForbidKind, RelKind};
+
+/// The Figure 2 + Figure 3 bounding-schema, with the attribute-schema sketch
+/// that follows Definition 2.2 ("attributes name and uid could be required
+/// attributes of object class person").
+pub fn white_pages_schema() -> DirectorySchema {
+    white_pages_schema_builder().build()
+}
+
+/// The [`white_pages_schema`] as a still-open builder, for callers that
+/// want to extend the paper's schema with extra elements (the benchmark
+/// harness adds per-kind relationships this way).
+pub fn white_pages_schema_builder() -> crate::schema::SchemaBuilder {
+    DirectorySchema::builder()
+        .named("corporate white pages")
+        // ----- Figure 2: class schema -----
+        .core_class("orgGroup", "top")
+        .and_then(|b| b.core_class("organization", "orgGroup"))
+        .and_then(|b| b.core_class("orgUnit", "orgGroup"))
+        .and_then(|b| b.core_class("person", "top"))
+        .and_then(|b| b.core_class("staffMember", "person"))
+        .and_then(|b| b.core_class("researcher", "person"))
+        .and_then(|b| b.auxiliary("online"))
+        .and_then(|b| b.auxiliary("manager"))
+        .and_then(|b| b.auxiliary("secretary"))
+        .and_then(|b| b.auxiliary("consultant"))
+        .and_then(|b| b.auxiliary("facultyMember"))
+        .and_then(|b| b.allow_aux("orgGroup", "online"))
+        .and_then(|b| b.allow_aux("person", "online"))
+        .and_then(|b| b.allow_aux("staffMember", "manager"))
+        .and_then(|b| b.allow_aux("staffMember", "secretary"))
+        .and_then(|b| b.allow_aux("staffMember", "consultant"))
+        .and_then(|b| b.allow_aux("researcher", "manager"))
+        .and_then(|b| b.allow_aux("researcher", "consultant"))
+        .and_then(|b| b.allow_aux("researcher", "facultyMember"))
+        // ----- attribute schema (sketch following Def 2.2) -----
+        .and_then(|b| b.require_attrs("person", ["name", "uid"]))
+        .and_then(|b| b.allow_attrs("person", ["cellularPhone", "telephoneNumber", "title"]))
+        .and_then(|b| b.require_attrs("organization", ["o"]))
+        .and_then(|b| b.require_attrs("orgUnit", ["ou"]))
+        .and_then(|b| b.allow_attrs("orgUnit", ["location"]))
+        .and_then(|b| b.allow_attrs("orgGroup", ["description"]))
+        .and_then(|b| b.allow_attrs("online", ["mail", "uri"]))
+        // ----- Figure 3: structure schema -----
+        // Required classes (◇): the diagram marks top, organization, orgUnit
+        // and the orgGroup side; we require the ones the text motivates.
+        .and_then(|b| b.require_class("organization"))
+        .and_then(|b| b.require_class("orgUnit"))
+        .and_then(|b| b.require_class("person"))
+        // Required relationships.
+        .and_then(|b| b.require_rel("orgGroup", RelKind::Descendant, "person"))
+        // §4.2's "orgGroup ← orgUnit": every orgUnit has an orgGroup parent.
+        .and_then(|b| b.require_rel("orgUnit", RelKind::Parent, "orgGroup"))
+        .and_then(|b| b.require_rel("orgUnit", RelKind::Ancestor, "organization"))
+        .and_then(|b| b.require_rel("person", RelKind::Parent, "orgGroup"))
+        // Forbidden relationships: "a person cannot have any child in a
+        // legal directory instance".
+        .and_then(|b| b.forbid_rel("person", ForbidKind::Child, "top"))
+        .and_then(|b| b.forbid_rel("organization", ForbidKind::Child, "organization"))
+        .expect("the paper's schema is well-formed")
+}
+
+/// Handles to the six entries of the Figure 1 instance, in document order.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure1 {
+    /// `o=att` — organization, orgGroup, online, top.
+    pub att: EntryId,
+    /// `ou=attLabs` — orgUnit, orgGroup, top.
+    pub att_labs: EntryId,
+    /// `uid=armstrong` — staffMember, person, top.
+    pub armstrong: EntryId,
+    /// `ou=databases` — orgUnit, orgGroup, top.
+    pub databases: EntryId,
+    /// `uid=laks` — researcher, facultyMember, person, online, top.
+    pub laks: EntryId,
+    /// `uid=suciu` — researcher, person, top.
+    pub suciu: EntryId,
+}
+
+/// Builds the Figure 1 corporate white-pages instance (prepared).
+pub fn white_pages_instance() -> (DirectoryInstance, Figure1) {
+    let mut d = DirectoryInstance::new(AttributeRegistry::white_pages());
+    let att = d
+        .add_named_root(
+            Rdn::single("o", "att"),
+            Entry::builder()
+                .classes(["organization", "orgGroup", "online", "top"])
+                .attr("o", "att")
+                .attr("uri", "http://www.att.com/")
+                .build(),
+        )
+        .expect("fresh instance");
+    let att_labs = d
+        .add_named_child(
+            att,
+            Rdn::single("ou", "attLabs"),
+            Entry::builder()
+                .classes(["orgUnit", "orgGroup", "top"])
+                .attr("ou", "attLabs")
+                .attr("location", "FP")
+                .build(),
+        )
+        .expect("att exists");
+    let armstrong = d
+        .add_named_child(
+            att_labs,
+            Rdn::single("uid", "armstrong"),
+            Entry::builder()
+                .classes(["staffMember", "person", "top"])
+                .attr("uid", "armstrong")
+                .attr("name", "m armstrong")
+                .build(),
+        )
+        .expect("attLabs exists");
+    let databases = d
+        .add_named_child(
+            att_labs,
+            Rdn::single("ou", "databases"),
+            Entry::builder()
+                .classes(["orgUnit", "orgGroup", "top"])
+                .attr("ou", "databases")
+                .build(),
+        )
+        .expect("attLabs exists");
+    let laks = d
+        .add_named_child(
+            databases,
+            Rdn::single("uid", "laks"),
+            Entry::builder()
+                .classes(["researcher", "facultyMember", "person", "online", "top"])
+                .attr("uid", "laks")
+                .attr("name", "laks lakshmanan")
+                .attr("mail", "laks@cs.concordia.ca")
+                .attr("mail", "laks@research.att.com")
+                .build(),
+        )
+        .expect("databases exists");
+    let suciu = d
+        .add_named_child(
+            databases,
+            Rdn::single("uid", "suciu"),
+            Entry::builder()
+                .classes(["researcher", "person", "top"])
+                .attr("uid", "suciu")
+                .attr("name", "dan suciu")
+                .build(),
+        )
+        .expect("databases exists");
+    d.prepare();
+    (
+        d,
+        Figure1 { att, att_labs, armstrong, databases, laks, suciu },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_figure2() {
+        let s = white_pages_schema();
+        let c = s.classes();
+        assert!(c.is_subclass(c.resolve("researcher").unwrap(), c.resolve("person").unwrap()));
+        assert!(c.are_exclusive(
+            c.resolve("orgUnit").unwrap(),
+            c.resolve("person").unwrap()
+        ));
+        assert!(c.aux_allowed(
+            c.resolve("researcher").unwrap(),
+            c.resolve("facultyMember").unwrap()
+        ));
+    }
+
+    #[test]
+    fn instance_matches_figure1() {
+        let (d, ids) = white_pages_instance();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.forest().parent(ids.laks), Some(ids.databases));
+        assert_eq!(d.forest().parent(ids.databases), Some(ids.att_labs));
+        let laks = d.entry(ids.laks).unwrap();
+        assert_eq!(laks.values("mail").len(), 2);
+        assert!(laks.has_class("facultyMember"));
+        assert_eq!(d.dn(ids.suciu).unwrap().to_string(), "uid=suciu,ou=databases,ou=attLabs,o=att");
+    }
+}

@@ -1,0 +1,279 @@
+//! Schema-aware query optimization — the paper's stated future work made
+//! concrete (§7: "index structures rely upon notions of schema, and query
+//! optimization is facilitated using schema. The use of bounding-schemas
+//! for these topics is a subject of future study").
+//!
+//! On instances **legal w.r.t. a bounding-schema**, the schema's elements
+//! are theorems about the data, and queries can be rewritten against them:
+//!
+//! * `ci ⇒ cj` (subclass): `(oc=ci) ∩ (oc=cj) ≡ (oc=ci)` and
+//!   `(oc=ci) ∪ (oc=cj) ≡ (oc=cj)` — every `ci` entry is a `cj` entry.
+//! * `ci ⇏ cj` (exclusion): `(oc=ci) ∩ (oc=cj) ≡ ∅`.
+//! * required `(ci, k, cj)` (including elements *derived* by the §5
+//!   closure): `σk((oc=ci), (oc=cj)) ≡ (oc=ci)` — the selection filters
+//!   nothing, because legality guarantees every `ci` entry has the
+//!   relative.
+//! * forbidden `(ci, k, cj)` (derived included): `σc/σd((oc=ci), (oc=cj))
+//!   ≡ ∅`, and dually `σp((oc=cj'), (oc=ci'))` / `σa` for the flipped
+//!   pair.
+//!
+//! The rewrites are sound **only** on legal instances — exactly the
+//! instances a [`ManagedDirectory`](crate::managed::ManagedDirectory)
+//! guarantees. A differential property test over generated legal
+//! directories enforces soundness.
+
+use bschema_query::{simplify, Binding, Filter, Query};
+
+use crate::consistency::{ConsistencyChecker, ConsistencyResult, Element};
+use crate::schema::{ClassId, DirectorySchema, ForbidKind, RelKind};
+
+/// A query rewriter bound to one schema. Construction runs the §5 closure
+/// once so *derived* required/forbidden elements fuel rewrites too.
+#[derive(Debug)]
+pub struct SchemaAwareOptimizer<'s> {
+    schema: &'s DirectorySchema,
+    closure: ConsistencyResult<'s>,
+}
+
+impl<'s> SchemaAwareOptimizer<'s> {
+    /// Builds the optimizer (computes the schema closure).
+    pub fn new(schema: &'s DirectorySchema) -> Self {
+        SchemaAwareOptimizer { schema, closure: ConsistencyChecker::new(schema).check() }
+    }
+
+    /// Rewrites `query` using schema knowledge, then applies the
+    /// schema-independent simplifier. The result returns the same entries
+    /// as the input on every instance that is legal w.r.t. the schema.
+    pub fn optimize(&self, query: Query) -> Query {
+        simplify(self.rewrite(query))
+    }
+
+    /// Resolves an atomic whole-instance `(objectClass=c)` selection.
+    fn as_class_atom(&self, query: &Query) -> Option<ClassId> {
+        match query {
+            Query::Select { filter, binding: Binding::Whole } => {
+                let name = filter.as_object_class()?;
+                self.schema.classes().lookup(name)
+            }
+            _ => None,
+        }
+    }
+
+    fn derives_required(&self, source: ClassId, kind: RelKind, target: ClassId) -> bool {
+        self.closure
+            .derives(&Element::ReqRel(source.into(), kind, target.into()))
+    }
+
+    fn derives_forbidden(&self, upper: ClassId, kind: ForbidKind, lower: ClassId) -> bool {
+        self.closure
+            .derives(&Element::Forb(upper.into(), kind, lower.into()))
+    }
+
+    fn empty() -> Query {
+        Query::Select { filter: Filter::False, binding: Binding::Empty }
+    }
+
+    fn rewrite(&self, query: Query) -> Query {
+        match query {
+            leaf @ Query::Select { .. } => leaf,
+            Query::Child(a, b) => self.rewrite_hier(RelKind::Child, *a, *b),
+            Query::Parent(a, b) => self.rewrite_hier(RelKind::Parent, *a, *b),
+            Query::Descendant(a, b) => self.rewrite_hier(RelKind::Descendant, *a, *b),
+            Query::Ancestor(a, b) => self.rewrite_hier(RelKind::Ancestor, *a, *b),
+            Query::Minus(a, b) => {
+                let a = self.rewrite(*a);
+                let b = self.rewrite(*b);
+                if a == b {
+                    Self::empty()
+                } else {
+                    Query::Minus(Box::new(a), Box::new(b))
+                }
+            }
+            Query::Union(a, b) => {
+                let a = self.rewrite(*a);
+                let b = self.rewrite(*b);
+                if let (Some(ca), Some(cb)) = (self.as_class_atom(&a), self.as_class_atom(&b)) {
+                    let classes = self.schema.classes();
+                    if classes.is_subclass(ca, cb) {
+                        return b; // every ca entry is a cb entry
+                    }
+                    if classes.is_subclass(cb, ca) {
+                        return a;
+                    }
+                }
+                Query::Union(Box::new(a), Box::new(b))
+            }
+            Query::Intersect(a, b) => {
+                let a = self.rewrite(*a);
+                let b = self.rewrite(*b);
+                if let (Some(ca), Some(cb)) = (self.as_class_atom(&a), self.as_class_atom(&b)) {
+                    let classes = self.schema.classes();
+                    if classes.is_subclass(ca, cb) {
+                        return a;
+                    }
+                    if classes.is_subclass(cb, ca) {
+                        return b;
+                    }
+                    if classes.are_exclusive(ca, cb) {
+                        return Self::empty(); // single inheritance forbids co-occurrence
+                    }
+                }
+                Query::Intersect(Box::new(a), Box::new(b))
+            }
+        }
+    }
+
+    /// Rewrites one hierarchical selection using required / forbidden
+    /// schema elements (base or derived).
+    fn rewrite_hier(&self, kind: RelKind, a: Query, b: Query) -> Query {
+        let a = self.rewrite(a);
+        let b = self.rewrite(b);
+        if let (Some(ca), Some(cb)) = (self.as_class_atom(&a), self.as_class_atom(&b)) {
+            // Required element ⇒ the selection keeps every ca entry.
+            if self.derives_required(ca, kind, cb) {
+                return a;
+            }
+            // Forbidden element ⇒ the selection keeps nothing. For the
+            // downward kinds the element is (ca ↛ cb); for the upward kinds
+            // it is the flipped pair: no cb entry has a ca child/descendant
+            // ⇒ no ca entry has a cb parent/ancestor.
+            let impossible = match kind {
+                RelKind::Child => self.derives_forbidden(ca, ForbidKind::Child, cb),
+                RelKind::Descendant => self.derives_forbidden(ca, ForbidKind::Descendant, cb),
+                RelKind::Parent => self.derives_forbidden(cb, ForbidKind::Child, ca),
+                RelKind::Ancestor => self.derives_forbidden(cb, ForbidKind::Descendant, ca),
+            };
+            if impossible {
+                return Self::empty();
+            }
+        }
+        let (a, b) = (Box::new(a), Box::new(b));
+        match kind {
+            RelKind::Child => Query::Child(a, b),
+            RelKind::Parent => Query::Parent(a, b),
+            RelKind::Descendant => Query::Descendant(a, b),
+            RelKind::Ancestor => Query::Ancestor(a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{white_pages_instance, white_pages_schema};
+    use bschema_query::{evaluate, EvalContext};
+
+    fn opt(schema: &DirectorySchema, q: Query) -> Query {
+        SchemaAwareOptimizer::new(schema).optimize(q)
+    }
+
+    #[test]
+    fn subclass_collapses_intersections_and_unions() {
+        let schema = white_pages_schema();
+        // researcher ⇒ person.
+        let q = Query::object_class("researcher").intersect(Query::object_class("person"));
+        assert_eq!(opt(&schema, q), Query::object_class("researcher"));
+        let q = Query::object_class("researcher").union(Query::object_class("person"));
+        assert_eq!(opt(&schema, q), Query::object_class("person"));
+    }
+
+    #[test]
+    fn exclusion_empties_intersections() {
+        let schema = white_pages_schema();
+        // person ⇏ orgUnit.
+        let q = Query::object_class("person").intersect(Query::object_class("orgUnit"));
+        let o = opt(&schema, q);
+        assert!(matches!(o, Query::Select { binding: Binding::Empty, .. }), "{o}");
+    }
+
+    #[test]
+    fn required_elements_make_selections_total() {
+        let schema = white_pages_schema();
+        // orgGroup →de person ∈ Er: the σd keeps every orgGroup.
+        let q = Query::object_class("orgGroup").with_descendant(Query::object_class("person"));
+        assert_eq!(opt(&schema, q), Query::object_class("orgGroup"));
+        // Derived element: organization ⇒ orgGroup gives organization →de
+        // person by source-subclass — the rewrite uses the closure.
+        let q = Query::object_class("organization").with_descendant(Query::object_class("person"));
+        assert_eq!(opt(&schema, q), Query::object_class("organization"));
+        // Hence the Figure 4 legality query for the element is statically
+        // empty: σ?(x, x) → ∅.
+        let q = Query::object_class("orgGroup").minus(
+            Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
+        );
+        assert!(matches!(opt(&schema, q), Query::Select { binding: Binding::Empty, .. }));
+    }
+
+    #[test]
+    fn forbidden_elements_empty_selections() {
+        let schema = white_pages_schema();
+        // person ↛ch top ∈ Ef: nobody can have a person→child pair.
+        let q = Query::object_class("person").with_child(Query::object_class("top"));
+        assert!(matches!(opt(&schema, q), Query::Select { binding: Binding::Empty, .. }));
+        // Flipped: no entry can have a `top` parent that is a person — i.e.
+        // σp((oc=top), (oc=person)) is empty... only when the forbidden
+        // element covers it: forbidden (person, ch, top) says person
+        // parents are impossible for ANY entry (top covers everyone).
+        let q = Query::object_class("top").with_parent(Query::object_class("person"));
+        assert!(matches!(opt(&schema, q), Query::Select { binding: Binding::Empty, .. }));
+        // Derived through subclasses: researcher ⇒ person, so a researcher
+        // child pair is also forbidden.
+        let q = Query::object_class("researcher").with_child(Query::object_class("orgUnit"));
+        assert!(matches!(opt(&schema, q), Query::Select { binding: Binding::Empty, .. }));
+    }
+
+    #[test]
+    fn rewrites_preserve_semantics_on_the_legal_instance() {
+        let schema = white_pages_schema();
+        let (dir, _) = white_pages_instance();
+        let ctx = EvalContext::new(&dir);
+        let optimizer = SchemaAwareOptimizer::new(&schema);
+        let queries = [
+            Query::object_class("researcher").intersect(Query::object_class("person")),
+            Query::object_class("person").intersect(Query::object_class("orgUnit")),
+            Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
+            Query::object_class("person").with_child(Query::object_class("top")),
+            Query::object_class("orgUnit").with_parent(Query::object_class("orgGroup")),
+            Query::object_class("organization").union(Query::object_class("orgGroup")),
+            Query::object_class("orgGroup").minus(
+                Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
+            ),
+        ];
+        for q in queries {
+            let o = optimizer.optimize(q.clone());
+            assert_eq!(
+                evaluate(&ctx, &q),
+                evaluate(&ctx, &o),
+                "rewrite changed semantics: {q} vs {o}"
+            );
+            assert!(o.size() <= q.size(), "optimization should not grow queries");
+        }
+    }
+
+    #[test]
+    fn unknown_classes_are_left_alone() {
+        let schema = white_pages_schema();
+        let q = Query::object_class("martian").with_child(Query::object_class("person"));
+        assert_eq!(opt(&schema, q.clone()), q);
+    }
+
+    #[test]
+    fn delta_bound_atoms_are_not_rewritten() {
+        // Binding::Delta selections range over a subset; membership rewrites
+        // would be unsound, so they must be skipped.
+        let schema = white_pages_schema();
+        let q = Query::select_bound(Filter::object_class("researcher"), Binding::Delta)
+            .intersect(Query::select_bound(Filter::object_class("person"), Binding::Delta));
+        let o = opt(&schema, q.clone());
+        // The schema-independent simplifier may merge the two selections
+        // into one conjunctive scan, but the subclass rewrite (which would
+        // collapse to the researcher atom alone) must NOT fire.
+        match o {
+            Query::Select { filter: Filter::And(subs), binding: Binding::Delta } => {
+                assert_eq!(subs.len(), 2)
+            }
+            Query::Intersect(..) => {}
+            other => panic!("unsound rewrite on Delta-bound atoms: {other}"),
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! A plain-text DSL for bounding-schemas: parse and pretty-print.
+//!
+//! Bounding-schemas are administrative artefacts; operators need to read,
+//! diff and version them. The format is line-oriented:
+//!
+//! ```text
+//! schema "white pages"
+//!
+//! attribute uid : directoryString single
+//! attribute name : directoryString
+//!
+//! class orgGroup extends top
+//!   aux online
+//! class orgUnit extends orgGroup
+//! class person extends top
+//!   aux online
+//!   require name uid
+//!   allow cellularPhone
+//!
+//! auxiliary online
+//!   allow mail uri
+//!
+//! require-class orgUnit
+//! require orgGroup descendant person
+//! forbid person child top
+//! ```
+//!
+//! Indented lines (`aux` / `require` / `allow`) attach to the preceding
+//! `class` or `auxiliary` declaration. `#` starts a comment.
+
+use std::fmt::Write as _;
+
+use bschema_directory::{AttributeDef, AttributeRegistry, Syntax};
+
+use super::{ClassId, DirectorySchema, ForbidKind, RelKind, SchemaError};
+
+/// A parsed schema document: the bounding-schema plus the attribute
+/// namespace its `attribute` lines declare.
+#[derive(Debug, Clone)]
+pub struct ParsedSchema {
+    /// The bounding-schema.
+    pub schema: DirectorySchema,
+    /// Attribute definitions (`objectClass` plus every `attribute` line).
+    pub registry: AttributeRegistry,
+}
+
+/// Errors from [`parse_schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+fn err(line: usize, message: impl Into<String>) -> DslError {
+    DslError { line, message: message.into() }
+}
+
+fn schema_err(line: usize, e: SchemaError) -> DslError {
+    err(line, e.to_string())
+}
+
+fn rel_kind(word: &str) -> Option<RelKind> {
+    match word {
+        "child" | "ch" => Some(RelKind::Child),
+        "descendant" | "de" | "desc" => Some(RelKind::Descendant),
+        "parent" | "pa" => Some(RelKind::Parent),
+        "ancestor" | "an" | "anc" => Some(RelKind::Ancestor),
+        _ => None,
+    }
+}
+
+fn forbid_kind(word: &str) -> Option<ForbidKind> {
+    match word {
+        "child" | "ch" => Some(ForbidKind::Child),
+        "descendant" | "de" | "desc" => Some(ForbidKind::Descendant),
+        _ => None,
+    }
+}
+
+/// Parses a schema document.
+///
+/// Parsing is two-pass so properties may reference classes declared later in
+/// the document (`aux online` before `auxiliary online`): the first pass
+/// registers all class, auxiliary and attribute declarations; the second
+/// attaches properties and structure elements.
+pub fn parse_schema(text: &str) -> Result<ParsedSchema, DslError> {
+    let mut builder = DirectorySchema::builder();
+    let mut registry = AttributeRegistry::new();
+    /// The declaration an indented property line attaches to.
+    enum Context {
+        None,
+        Class(String),
+    }
+
+    struct Line<'a> {
+        line_no: usize,
+        indented: bool,
+        words: Vec<&'a str>,
+        raw: &'a str,
+    }
+
+    let mut lines: Vec<Line> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines.push(Line {
+            line_no: i + 1,
+            indented: line.starts_with(' ') || line.starts_with('\t'),
+            words: line.split_whitespace().collect(),
+            raw: line,
+        });
+    }
+
+    // ----- pass 1: declarations -----
+    for l in &lines {
+        if l.indented {
+            continue;
+        }
+        let line_no = l.line_no;
+        match l.words[0] {
+            "schema" => {
+                let name = l.raw.trim_start()["schema".len()..].trim().trim_matches('"');
+                builder = builder.named(name);
+            }
+            "attribute" => {
+                // attribute <name> : <syntax> [single]
+                let rest: Vec<&str> =
+                    l.words[1..].iter().copied().filter(|w| *w != ":").collect();
+                let (name, syntax_word) = match rest.as_slice() {
+                    [name, syntax, ..] => (*name, *syntax),
+                    _ => {
+                        return Err(err(
+                            line_no,
+                            "attribute line needs `attribute <name> : <syntax>`",
+                        ))
+                    }
+                };
+                let syntax = Syntax::by_name(syntax_word)
+                    .ok_or_else(|| err(line_no, format!("unknown syntax {syntax_word:?}")))?;
+                let mut def = AttributeDef::new(name, syntax);
+                if rest.get(2) == Some(&"single") {
+                    def = def.single_valued();
+                }
+                registry.register(def).map_err(|e| err(line_no, e.to_string()))?;
+            }
+            "class" => {
+                let (name, parent) = match l.words.as_slice() {
+                    ["class", name] => (*name, "top"),
+                    ["class", name, "extends", parent] => (*name, *parent),
+                    _ => {
+                        return Err(err(
+                            line_no,
+                            "class line needs `class <name> [extends <parent>]`",
+                        ))
+                    }
+                };
+                if !name.eq_ignore_ascii_case("top") {
+                    builder = builder
+                        .core_class(name, parent)
+                        .map_err(|e| schema_err(line_no, e))?;
+                }
+            }
+            "auxiliary" => {
+                let name = l
+                    .words
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "auxiliary line needs a name"))?;
+                builder = builder.auxiliary(name).map_err(|e| schema_err(line_no, e))?;
+            }
+            "require-class" | "require" | "forbid" => {}
+            "unique" => {
+                if l.words.len() < 2 {
+                    return Err(err(line_no, "unique line needs at least one attribute"));
+                }
+                builder = builder.unique_attrs(l.words[1..].iter().copied());
+            }
+            other => return Err(err(line_no, format!("unknown directive {other:?}"))),
+        }
+    }
+
+    // ----- pass 2: properties and structure elements -----
+    let mut context = Context::None;
+    for l in &lines {
+        let line_no = l.line_no;
+        let words = &l.words;
+
+        if l.indented {
+            let Context::Class(ref class) = context else {
+                return Err(err(line_no, "indented property with no preceding class declaration"));
+            };
+            match words[0] {
+                "aux" => {
+                    for aux in &words[1..] {
+                        builder = builder
+                            .allow_aux(class, aux)
+                            .map_err(|e| schema_err(line_no, e))?;
+                    }
+                }
+                "require" => {
+                    builder = builder
+                        .require_attrs(class, words[1..].iter().copied())
+                        .map_err(|e| schema_err(line_no, e))?;
+                }
+                "allow" => {
+                    builder = builder
+                        .allow_attrs(class, words[1..].iter().copied())
+                        .map_err(|e| schema_err(line_no, e))?;
+                }
+                "extensible" => {
+                    builder = builder.extensible(class).map_err(|e| schema_err(line_no, e))?;
+                }
+                other => return Err(err(line_no, format!("unknown property {other:?}"))),
+            }
+            continue;
+        }
+
+        match words[0] {
+            "schema" | "attribute" | "unique" => {
+                context = Context::None; // handled in pass 1
+            }
+            "class" | "auxiliary" => {
+                // Shape validated in pass 1.
+                context = Context::Class(words[1].to_owned());
+            }
+            "require-class" => {
+                let name = words
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "require-class needs a class name"))?;
+                builder = builder
+                    .require_class(name)
+                    .map_err(|e| schema_err(line_no, e))?;
+                context = Context::None;
+            }
+            "require" => {
+                let (src, kind, tgt) = match words.as_slice() {
+                    ["require", src, kind, tgt] => (*src, *kind, *tgt),
+                    _ => return Err(err(line_no, "require line needs `require <src> <kind> <target>`")),
+                };
+                let kind = rel_kind(kind)
+                    .ok_or_else(|| err(line_no, format!("unknown relationship kind {kind:?}")))?;
+                builder = builder
+                    .require_rel(src, kind, tgt)
+                    .map_err(|e| schema_err(line_no, e))?;
+                context = Context::None;
+            }
+            "forbid" => {
+                let (upper, kind, lower) = match words.as_slice() {
+                    ["forbid", upper, kind, lower] => (*upper, *kind, *lower),
+                    _ => return Err(err(line_no, "forbid line needs `forbid <upper> <kind> <lower>`")),
+                };
+                let kind = forbid_kind(kind)
+                    .ok_or_else(|| err(line_no, format!("forbidden kind must be child or descendant, got {kind:?}")))?;
+                builder = builder
+                    .forbid_rel(upper, kind, lower)
+                    .map_err(|e| schema_err(line_no, e))?;
+                context = Context::None;
+            }
+            other => return Err(err(line_no, format!("unknown directive {other:?}"))),
+        }
+    }
+
+    Ok(ParsedSchema { schema: builder.build(), registry })
+}
+
+/// Pretty-prints a schema (and optionally its attribute registry) in the DSL
+/// format; `parse_schema` of the output reproduces the schema.
+pub fn print_schema(schema: &DirectorySchema, registry: Option<&AttributeRegistry>) -> String {
+    let mut out = String::new();
+    if let Some(name) = schema.name() {
+        let _ = writeln!(out, "schema \"{name}\"\n");
+    }
+    if let Some(reg) = registry {
+        for def in reg.iter() {
+            if def.key() == bschema_directory::OBJECT_CLASS {
+                continue;
+            }
+            let single = if def.is_single_valued() { " single" } else { "" };
+            let _ = writeln!(out, "attribute {} : {}{}", def.name(), def.syntax().name(), single);
+        }
+        out.push('\n');
+    }
+
+    let classes = schema.classes();
+    let print_class_body = |out: &mut String, c: ClassId| {
+        if schema.attributes().is_extensible(c) {
+            let _ = writeln!(out, "  extensible");
+        }
+        let auxes = classes.allowed_auxiliaries(c);
+        if !auxes.is_empty() {
+            let names: Vec<&str> = auxes.iter().map(|&a| classes.name(a)).collect();
+            let _ = writeln!(out, "  aux {}", names.join(" "));
+        }
+        let required: Vec<&str> = schema.attributes().required(c).collect();
+        if !required.is_empty() {
+            let _ = writeln!(out, "  require {}", required.join(" "));
+        }
+        let allowed: Vec<&str> = schema
+            .attributes()
+            .allowed(c)
+            .filter(|a| !schema.attributes().is_required(c, a))
+            .collect();
+        if !allowed.is_empty() {
+            let _ = writeln!(out, "  allow {}", allowed.join(" "));
+        }
+    };
+
+    let uniques: Vec<&str> = schema.attributes().unique_attributes().collect();
+    if !uniques.is_empty() {
+        let _ = writeln!(out, "unique {}\n", uniques.join(" "));
+    }
+
+    // Core classes in declaration order guarantees parents print first.
+    for c in classes.core_classes() {
+        if c == classes.top() {
+            // `top` is implicit, but print its attribute rules if any.
+            let has_body = classes.allowed_auxiliaries(c).len()
+                + schema.attributes().allowed_count(c)
+                + usize::from(schema.attributes().is_extensible(c))
+                > 0;
+            if has_body {
+                let _ = writeln!(out, "class top");
+                print_class_body(&mut out, c);
+            }
+            continue;
+        }
+        let parent = classes.parent(c).expect("non-top core class has a parent");
+        let _ = writeln!(out, "class {} extends {}", classes.name(c), classes.name(parent));
+        print_class_body(&mut out, c);
+    }
+    for c in classes.auxiliary_classes() {
+        let _ = writeln!(out, "auxiliary {}", classes.name(c));
+        print_class_body(&mut out, c);
+    }
+
+    let structure = schema.structure();
+    if !structure.is_empty() {
+        out.push('\n');
+    }
+    for c in structure.required_classes() {
+        let _ = writeln!(out, "require-class {}", classes.name(c));
+    }
+    for rel in structure.required_rels() {
+        let kind = match rel.kind {
+            RelKind::Child => "child",
+            RelKind::Descendant => "descendant",
+            RelKind::Parent => "parent",
+            RelKind::Ancestor => "ancestor",
+        };
+        let _ = writeln!(
+            out,
+            "require {} {} {}",
+            classes.name(rel.source),
+            kind,
+            classes.name(rel.target)
+        );
+    }
+    for rel in structure.forbidden_rels() {
+        let kind = match rel.kind {
+            ForbidKind::Child => "child",
+            ForbidKind::Descendant => "descendant",
+        };
+        let _ = writeln!(
+            out,
+            "forbid {} {} {}",
+            classes.name(rel.upper),
+            kind,
+            classes.name(rel.lower)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WHITE_PAGES: &str = r#"
+schema "white pages"
+
+# attribute namespace
+attribute uid : directoryString single
+attribute name : directoryString
+attribute mail : ia5String
+attribute cellularPhone : telephoneNumber
+
+class orgGroup extends top
+  aux online
+class organization extends orgGroup
+class orgUnit extends orgGroup
+class person extends top
+  aux online
+  require name uid
+  allow cellularPhone mail
+class staffMember extends person
+  aux manager secretary consultant
+
+auxiliary online
+  allow mail
+auxiliary manager
+auxiliary secretary
+auxiliary consultant
+
+require-class orgUnit
+require orgGroup child orgUnit
+require orgGroup descendant person
+forbid person child top
+"#;
+
+    #[test]
+    fn parse_white_pages() {
+        let parsed = parse_schema(WHITE_PAGES).unwrap();
+        let s = &parsed.schema;
+        assert_eq!(s.name(), Some("white pages"));
+        let classes = s.classes();
+        let person = classes.resolve("person").unwrap();
+        let org_group = classes.resolve("orgGroup").unwrap();
+        assert!(classes.is_subclass(classes.resolve("organization").unwrap(), org_group));
+        assert!(s.attributes().is_required(person, "uid"));
+        assert!(s.attributes().is_allowed(person, "cellularPhone"));
+        assert!(!s.attributes().is_allowed(org_group, "cellularPhone"));
+        assert_eq!(s.structure().required_rels().len(), 2);
+        assert_eq!(s.structure().forbidden_rels().len(), 1);
+        assert!(parsed.registry.get("uid").unwrap().is_single_valued());
+        let online = classes.resolve("online").unwrap();
+        assert!(s.attributes().is_allowed(online, "mail"));
+    }
+
+    #[test]
+    fn roundtrip_print_parse() {
+        let parsed = parse_schema(WHITE_PAGES).unwrap();
+        let printed = print_schema(&parsed.schema, Some(&parsed.registry));
+        let reparsed = parse_schema(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        // Structural equality via a second print.
+        let printed2 = print_schema(&reparsed.schema, Some(&reparsed.registry));
+        assert_eq!(printed, printed2);
+        assert_eq!(reparsed.schema.size(), parsed.schema.size());
+    }
+
+    #[test]
+    fn comments_and_blanks() {
+        let parsed = parse_schema("# nothing but comments\n\n# more\n").unwrap();
+        assert_eq!(parsed.schema.classes().len(), 1); // just top
+    }
+
+    #[test]
+    fn error_reporting_has_line_numbers() {
+        let e = parse_schema("class a extends top\nbogus directive\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_schema("  aux online\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("no preceding class"));
+        let e = parse_schema("attribute x : nosuchsyntax\n").unwrap_err();
+        assert!(e.message.contains("unknown syntax"));
+        let e = parse_schema("require a b\n").unwrap_err();
+        assert!(e.message.contains("require line needs"));
+        let e = parse_schema("class a extends nowhere\n").unwrap_err();
+        assert!(e.message.contains("unknown class"));
+    }
+
+    #[test]
+    fn forbid_rejects_upward_kinds() {
+        let text = "class a extends top\nclass b extends top\nforbid a parent b\n";
+        let e = parse_schema(text).unwrap_err();
+        assert!(e.message.contains("child or descendant"));
+    }
+
+    #[test]
+    fn extensible_property_roundtrips() {
+        let text = "class bag extends top\n  extensible\nclass person extends top\n  require uid\n";
+        let parsed = parse_schema(text).unwrap();
+        let bag = parsed.schema.classes().resolve("bag").unwrap();
+        let person = parsed.schema.classes().resolve("person").unwrap();
+        assert!(parsed.schema.attributes().is_extensible(bag));
+        assert!(!parsed.schema.attributes().is_extensible(person));
+        assert!(parsed.schema.attributes().is_allowed(bag, "whatever"));
+        let printed = print_schema(&parsed.schema, None);
+        assert!(printed.contains("  extensible"), "{printed}");
+        let reparsed = parse_schema(&printed).unwrap();
+        let bag2 = reparsed.schema.classes().resolve("bag").unwrap();
+        assert!(reparsed.schema.attributes().is_extensible(bag2));
+    }
+
+    #[test]
+    fn unique_directive_roundtrips() {
+        let text = "class person extends top\nunique uid mail\n";
+        let parsed = parse_schema(text).unwrap();
+        assert!(parsed.schema.attributes().is_unique("uid"));
+        assert!(parsed.schema.attributes().is_unique("MAIL"));
+        assert!(!parsed.schema.attributes().is_unique("name"));
+        let printed = print_schema(&parsed.schema, None);
+        assert!(printed.contains("unique mail uid"), "{printed}");
+        let reparsed = parse_schema(&printed).unwrap();
+        assert!(reparsed.schema.attributes().is_unique("uid"));
+        // Empty unique line is rejected.
+        assert!(parse_schema("unique\n").is_err());
+    }
+
+    #[test]
+    fn kind_abbreviations() {
+        let text = "class a extends top\nclass b extends top\nrequire a ch b\nrequire a de b\nrequire a pa b\nrequire a an b\nforbid a ch b\n";
+        let parsed = parse_schema(text).unwrap();
+        assert_eq!(parsed.schema.structure().required_rels().len(), 4);
+        assert_eq!(parsed.schema.structure().forbidden_rels().len(), 1);
+    }
+}

@@ -1,0 +1,465 @@
+//! Incremental legality testing: the Figure 5 Δ-query table (§4.2,
+//! Theorem 4.2).
+//!
+//! Given a legal instance `D` and a single subtree update `∆D`, most
+//! structural relationships can be re-verified by a **Δ-query** — the
+//! Figure 4 translation with each atomic selection re-bound to `∅`, `∆D`,
+//! or the whole updated instance:
+//!
+//! | element | insertion | deletion |
+//! |---|---|---|
+//! | `ci →ch cj` | yes — all `[∆D]` | **no** — recheck on `D−∆D` |
+//! | `ci →pa cj` | yes — source `[∆D]`, target `[D+∆D]` | yes — nothing to check |
+//! | `ci →de cj` | yes — all `[∆D]` | **no** — recheck on `D−∆D` |
+//! | `ci →an cj` | yes — source `[∆D]`, target `[D+∆D]` | yes — nothing to check |
+//! | `ci ↛ch cj` | yes — upper `[D+∆D]`, lower `[∆D]` | yes — nothing to check |
+//! | `ci ↛de cj` | yes — upper `[D+∆D]`, lower `[∆D]` | yes — nothing to check |
+//! | `◇c` | nothing to check | testable given class counts |
+//!
+//! The content schema is fully incremental both ways: insertion checks only
+//! the new entries; deletion checks nothing (§4.2).
+
+use bschema_directory::{DirectoryInstance, Entry, EntryId};
+use bschema_query::{evaluate, Binding, EvalContext, Filter, Query};
+
+use crate::legality::report::{LegalityReport, Violation};
+use crate::legality::{content, translate};
+use crate::schema::{DirectorySchema, ForbiddenRel, RelKind, RequiredRel};
+
+/// Figure 5, required-relationship insertion rows: the Δ-query whose
+/// emptiness certifies that inserting the `∆D` subtree preserved `rel`.
+pub fn insertion_delta_query(schema: &DirectorySchema, rel: &RequiredRel) -> Query {
+    let classes = schema.classes();
+    let src = |b: Binding| Query::select_bound(Filter::object_class(classes.name(rel.source)), b);
+    let tgt = |b: Binding| Query::select_bound(Filter::object_class(classes.name(rel.target)), b);
+    match rel.kind {
+        // New entries' children/descendants all lie inside ∆D.
+        RelKind::Child => src(Binding::Delta).minus(src(Binding::Delta).with_child(tgt(Binding::Delta))),
+        RelKind::Descendant => {
+            src(Binding::Delta).minus(src(Binding::Delta).with_descendant(tgt(Binding::Delta)))
+        }
+        // New entries' parents/ancestors may lie outside ∆D.
+        RelKind::Parent => {
+            src(Binding::Delta).minus(src(Binding::Delta).with_parent(tgt(Binding::Whole)))
+        }
+        RelKind::Ancestor => {
+            src(Binding::Delta).minus(src(Binding::Delta).with_ancestor(tgt(Binding::Whole)))
+        }
+    }
+}
+
+/// Figure 5, forbidden-relationship insertion rows: every newly created
+/// (upper, lower) pair has its lower end inside `∆D`.
+pub fn insertion_delta_query_forbidden(schema: &DirectorySchema, rel: &ForbiddenRel) -> Query {
+    let classes = schema.classes();
+    let upper = Query::select_bound(
+        Filter::object_class(classes.name(rel.upper)),
+        Binding::Whole,
+    );
+    let lower = Query::select_bound(
+        Filter::object_class(classes.name(rel.lower)),
+        Binding::Delta,
+    );
+    match rel.kind {
+        crate::schema::ForbidKind::Child => upper.with_child(lower),
+        crate::schema::ForbidKind::Descendant => upper.with_descendant(lower),
+    }
+}
+
+/// Figure 5, deletion column for required relationships: `true` for the
+/// child/descendant rows, which are **not** incrementally testable and
+/// require a full recheck on `D − ∆D`.
+pub fn deletion_needs_recheck(kind: RelKind) -> bool {
+    matches!(kind, RelKind::Child | RelKind::Descendant)
+}
+
+/// The incremental checker for single-subtree updates.
+#[derive(Debug, Clone)]
+pub struct IncrementalChecker<'s> {
+    schema: &'s DirectorySchema,
+    validate_values: bool,
+}
+
+impl<'s> IncrementalChecker<'s> {
+    /// A checker for `schema`.
+    pub fn new(schema: &'s DirectorySchema) -> Self {
+        IncrementalChecker { schema, validate_values: false }
+    }
+
+    /// Also validate value syntaxes of inserted entries.
+    pub fn with_value_validation(mut self, on: bool) -> Self {
+        self.validate_values = on;
+        self
+    }
+
+    /// Checks that inserting the subtree rooted at `delta_root` preserved
+    /// legality. `dir` is the instance **after** the insertion, prepared;
+    /// `D` (the instance before) is assumed legal.
+    ///
+    /// Cost: O(per-entry content cost · |∆D| + Σ_rel |Δ-query inputs|) —
+    /// for the all-`[∆D]` rows this is independent of |D|.
+    pub fn check_insertion(&self, dir: &DirectoryInstance, delta_root: EntryId) -> LegalityReport {
+        let mut out = Vec::new();
+
+        // Content schema: only the new entries need checking (§4.2).
+        let forest = dir.forest();
+        for id in std::iter::once(delta_root).chain(forest.descendants(delta_root)) {
+            let entry = dir.entry(id).expect("delta entries are live");
+            content::check_entry(self.schema, id, entry, &mut out);
+            if self.validate_values {
+                if let Err(e) = dir.validate_entry_values(id) {
+                    out.push(Violation::ValueViolation { entry: id, message: e.to_string() });
+                }
+            }
+        }
+
+        // Keys (§6.1): only the new entries' values can clash.
+        crate::legality::keys::check_insertion(self.schema, dir, delta_root, &mut out);
+
+        // Structure schema: Figure 5 insertion Δ-queries. Required classes
+        // `◇c` cannot be violated by an insertion.
+        let ctx = EvalContext::with_delta(dir, delta_root);
+        let classes = self.schema.classes();
+        for rel in self.schema.structure().required_rels() {
+            let q = insertion_delta_query(self.schema, rel);
+            for witness in evaluate(&ctx, &q) {
+                out.push(Violation::RequiredRelViolation {
+                    entry: witness,
+                    source: classes.name(rel.source).to_owned(),
+                    kind: rel.kind,
+                    target: classes.name(rel.target).to_owned(),
+                });
+            }
+        }
+        for rel in self.schema.structure().forbidden_rels() {
+            let q = insertion_delta_query_forbidden(self.schema, rel);
+            for witness in evaluate(&ctx, &q) {
+                out.push(Violation::ForbiddenRelViolation {
+                    entry: witness,
+                    upper: classes.name(rel.upper).to_owned(),
+                    kind: rel.kind,
+                    lower: classes.name(rel.lower).to_owned(),
+                });
+            }
+        }
+
+        LegalityReport::from_violations(out)
+    }
+
+    /// Checks that **moving** a subtree (LDAP ModifyDN) preserved legality.
+    /// `dir` is the instance **after** the move, prepared, with the subtree
+    /// now rooted at `moved_root`; the instance before is assumed legal.
+    ///
+    /// A move is a deletion at the old location plus an insertion of the
+    /// same subtree at the new one, so the check is the union of both
+    /// Figure 5 columns — minus what a move can never change: entry content
+    /// is untouched, and per-class counts are preserved so `◇c` cannot
+    /// break.
+    pub fn check_move(&self, dir: &DirectoryInstance, moved_root: EntryId) -> LegalityReport {
+        let mut out = Vec::new();
+        let classes = self.schema.classes();
+
+        // Insertion half: the Figure 5 Δ-queries at the new location.
+        let ctx = EvalContext::with_delta(dir, moved_root);
+        for rel in self.schema.structure().required_rels() {
+            let q = insertion_delta_query(self.schema, rel);
+            for witness in evaluate(&ctx, &q) {
+                out.push(Violation::RequiredRelViolation {
+                    entry: witness,
+                    source: classes.name(rel.source).to_owned(),
+                    kind: rel.kind,
+                    target: classes.name(rel.target).to_owned(),
+                });
+            }
+        }
+        for rel in self.schema.structure().forbidden_rels() {
+            let q = insertion_delta_query_forbidden(self.schema, rel);
+            for witness in evaluate(&ctx, &q) {
+                out.push(Violation::ForbiddenRelViolation {
+                    entry: witness,
+                    upper: classes.name(rel.upper).to_owned(),
+                    kind: rel.kind,
+                    lower: classes.name(rel.lower).to_owned(),
+                });
+            }
+        }
+
+        // Deletion half: the "no" rows re-checked on the whole instance —
+        // entries outside the subtree may have lost a required child /
+        // descendant that moved away. Restrict witnesses to entries outside
+        // ∆D (inside ones were covered above) to avoid duplicates.
+        let whole = EvalContext::new(dir);
+        let forest = dir.forest();
+        for rel in self.schema.structure().required_rels() {
+            if !deletion_needs_recheck(rel.kind) {
+                continue;
+            }
+            let q = translate::required_rel_query(self.schema, rel);
+            for witness in evaluate(&whole, &q) {
+                let inside = witness == moved_root
+                    || forest.interval_is_ancestor(moved_root, witness);
+                if !inside {
+                    out.push(Violation::RequiredRelViolation {
+                        entry: witness,
+                        source: classes.name(rel.source).to_owned(),
+                        kind: rel.kind,
+                        target: classes.name(rel.target).to_owned(),
+                    });
+                }
+            }
+        }
+
+        LegalityReport::from_violations(out).normalized()
+    }
+
+    /// Checks that deleting a subtree preserved legality. `dir` is the
+    /// instance **after** the deletion, prepared; `removed` holds the
+    /// deleted entries (used for the count-based `◇c` test); the instance
+    /// before is assumed legal.
+    ///
+    /// Per Figure 5, only the child/descendant required rows and `◇c` can
+    /// break, so content, parent/ancestor required, and all forbidden
+    /// elements are skipped outright.
+    pub fn check_deletion(&self, dir: &DirectoryInstance, removed: &[Entry]) -> LegalityReport {
+        let mut out = Vec::new();
+        let ctx = EvalContext::new(dir);
+        let classes = self.schema.classes();
+
+        // `◇c` with counts (§4.2): only classes that lost members can have
+        // become empty, and the index answers emptiness in O(1).
+        for class in self.schema.structure().required_classes() {
+            let name = classes.name(class);
+            let lost_member = removed.iter().any(|e| e.has_class(name));
+            if lost_member && dir.index().class_count(name) == 0 {
+                out.push(Violation::MissingRequiredClass { class: name.to_owned() });
+            }
+        }
+
+        // The non-incrementally-testable rows: full recheck on D − ∆D.
+        for rel in self.schema.structure().required_rels() {
+            if !deletion_needs_recheck(rel.kind) {
+                continue;
+            }
+            let q = translate::required_rel_query(self.schema, rel);
+            for witness in evaluate(&ctx, &q) {
+                out.push(Violation::RequiredRelViolation {
+                    entry: witness,
+                    source: classes.name(rel.source).to_owned(),
+                    kind: rel.kind,
+                    target: classes.name(rel.target).to_owned(),
+                });
+            }
+        }
+
+        LegalityReport::from_violations(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::LegalityChecker;
+    use crate::paper::{white_pages_instance, white_pages_schema};
+    use bschema_directory::Entry;
+
+    fn researcher(uid: &str) -> Entry {
+        Entry::builder()
+            .classes(["researcher", "person", "top"])
+            .attr("uid", uid)
+            .attr("name", uid)
+            .build()
+    }
+
+    #[test]
+    fn legal_insertion_passes() {
+        let schema = white_pages_schema();
+        let (mut dir, ids) = white_pages_instance();
+        let new = dir.add_child_entry(ids.databases, researcher("milo")).unwrap();
+        dir.prepare();
+        let report = IncrementalChecker::new(&schema).check_insertion(&dir, new);
+        assert!(report.is_legal(), "{report}");
+        // Agreement with full recheck.
+        assert!(LegalityChecker::new(&schema).check(&dir).is_legal());
+    }
+
+    #[test]
+    fn section_4_2_illegal_insertion_is_caught() {
+        // §4.2: new orgUnit under suciu, plus persons under it — violates
+        // orgUnit →pa orgGroup and person ↛ch top; "neither of these
+        // violations can be detected by solely examining ∆D" (they need the
+        // Whole bindings).
+        let schema = white_pages_schema();
+        let (mut dir, ids) = white_pages_instance();
+        let bad_unit = dir
+            .add_child_entry(
+                ids.suciu,
+                Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", "oops").build(),
+            )
+            .unwrap();
+        dir.add_child_entry(bad_unit, researcher("p1")).unwrap();
+        dir.prepare();
+        let report = IncrementalChecker::new(&schema).check_insertion(&dir, bad_unit);
+        assert!(!report.is_legal());
+        // orgUnit →pa orgGroup caught (source ∆D, target Whole).
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            Violation::RequiredRelViolation { entry, source, kind: RelKind::Parent, .. }
+                if *entry == bad_unit && source == "orgUnit"
+        )));
+        // person ↛ch top caught at suciu (upper Whole, lower ∆D).
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            Violation::ForbiddenRelViolation { entry, upper, .. }
+                if *entry == ids.suciu && upper == "person"
+        )));
+        // Incremental verdict matches the full recheck.
+        assert_eq!(
+            report.is_legal(),
+            LegalityChecker::new(&schema).check(&dir).is_legal()
+        );
+    }
+
+    #[test]
+    fn insertion_content_violation_is_caught() {
+        let schema = white_pages_schema();
+        let (mut dir, ids) = white_pages_instance();
+        // Person missing its required name.
+        let new = dir
+            .add_child_entry(
+                ids.databases,
+                Entry::builder().classes(["person", "top"]).attr("uid", "anon").build(),
+            )
+            .unwrap();
+        dir.prepare();
+        let report = IncrementalChecker::new(&schema).check_insertion(&dir, new);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::MissingRequiredAttribute { .. })));
+    }
+
+    #[test]
+    fn legal_deletion_passes() {
+        let schema = white_pages_schema();
+        let (mut dir, ids) = white_pages_instance();
+        let removed: Vec<Entry> = dir
+            .remove_subtree(ids.armstrong)
+            .unwrap()
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
+        dir.prepare();
+        let report = IncrementalChecker::new(&schema).check_deletion(&dir, &removed);
+        assert!(report.is_legal(), "{report}");
+        assert!(LegalityChecker::new(&schema).check(&dir).is_legal());
+    }
+
+    #[test]
+    fn deletion_breaking_required_descendant_is_caught() {
+        // §4.2: "Deletion could, however, violate orgGroup ⇒⇒ person".
+        // Deleting both researchers leaves `databases` with no person
+        // descendant.
+        let schema = white_pages_schema();
+        let (mut dir, ids) = white_pages_instance();
+        let mut removed = Vec::new();
+        for id in [ids.laks, ids.suciu] {
+            removed.push(dir.remove_leaf(id).unwrap());
+        }
+        dir.prepare();
+        let report = IncrementalChecker::new(&schema).check_deletion(&dir, &removed);
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            Violation::RequiredRelViolation { entry, source, kind: RelKind::Descendant, .. }
+                if *entry == ids.databases && source == "orgGroup"
+        )));
+        assert_eq!(
+            report.is_legal(),
+            LegalityChecker::new(&schema).check(&dir).is_legal()
+        );
+    }
+
+    #[test]
+    fn deletion_breaking_required_class_uses_counts() {
+        let schema = white_pages_schema();
+        let (mut dir, ids) = white_pages_instance();
+        // Delete every person: ◇person becomes violated.
+        let mut removed = Vec::new();
+        for id in [ids.armstrong, ids.laks, ids.suciu] {
+            removed.push(dir.remove_leaf(id).unwrap());
+        }
+        dir.prepare();
+        let report = IncrementalChecker::new(&schema).check_deletion(&dir, &removed);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::MissingRequiredClass { class } if class == "person")));
+    }
+
+    #[test]
+    fn move_check_matches_full_recheck() {
+        let schema = white_pages_schema();
+        let checker = IncrementalChecker::new(&schema);
+        let full = LegalityChecker::new(&schema);
+        // Legal move: databases under att.
+        let (mut dir, ids) = white_pages_instance();
+        dir.move_subtree(ids.databases, ids.att).unwrap();
+        dir.prepare();
+        let inc = checker.check_move(&dir, ids.databases);
+        assert_eq!(inc.is_legal(), full.check(&dir).is_legal());
+        assert!(inc.is_legal(), "{inc}");
+
+        // Illegal move: databases under armstrong (a person gains a child;
+        // attLabs keeps its person descendants through armstrong itself).
+        let (mut dir, ids) = white_pages_instance();
+        dir.move_subtree(ids.databases, ids.armstrong).unwrap();
+        dir.prepare();
+        let inc = checker.check_move(&dir, ids.databases);
+        assert_eq!(inc.is_legal(), full.check(&dir).is_legal());
+        assert!(!inc.is_legal());
+        assert!(inc.violations().iter().any(|v| matches!(
+            v,
+            Violation::ForbiddenRelViolation { entry, .. } if *entry == ids.armstrong
+        )));
+
+        // Illegal move where only an OUTSIDE entry breaks: move armstrong
+        // under databases — attLabs keeps its person descendants via
+        // databases... so instead delete-side: move the whole databases
+        // subtree to the root; attLabs still has armstrong (fine), but the
+        // moved orgUnit loses its organization ancestor.
+        let (mut dir, ids) = white_pages_instance();
+        dir.move_subtree_to_root(ids.databases).unwrap();
+        dir.prepare();
+        let inc = checker.check_move(&dir, ids.databases);
+        assert_eq!(inc.is_legal(), full.check(&dir).is_legal());
+        assert!(!inc.is_legal());
+    }
+
+    #[test]
+    fn figure5_insertion_queries_render_with_bindings() {
+        let schema = white_pages_schema();
+        let rel = schema.structure().required_rels()[0]; // orgGroup →de person
+        let q = insertion_delta_query(&schema, &rel);
+        assert_eq!(
+            q.to_string(),
+            "(σ? (objectClass=orgGroup)[ΔD] (σd (objectClass=orgGroup)[ΔD] (objectClass=person)[ΔD]))"
+        );
+        let parent_rel = RequiredRel {
+            source: schema.classes().resolve("orgUnit").unwrap(),
+            kind: RelKind::Parent,
+            target: schema.classes().resolve("orgGroup").unwrap(),
+        };
+        let q = insertion_delta_query(&schema, &parent_rel);
+        assert_eq!(
+            q.to_string(),
+            "(σ? (objectClass=orgUnit)[ΔD] (σp (objectClass=orgUnit)[ΔD] (objectClass=orgGroup)))"
+        );
+    }
+
+    #[test]
+    fn figure5_deletion_column() {
+        assert!(deletion_needs_recheck(RelKind::Child));
+        assert!(deletion_needs_recheck(RelKind::Descendant));
+        assert!(!deletion_needs_recheck(RelKind::Parent));
+        assert!(!deletion_needs_recheck(RelKind::Ancestor));
+    }
+}

@@ -1,0 +1,808 @@
+//! The directory forest: Definition 2.1(4)'s binary relation `N ⊆ R × R`
+//! such that `(R, N)` is a forest.
+//!
+//! Entries live in an arena ([`Forest`]) indexed by [`EntryId`]. Structure is
+//! kept as first-child/next-sibling links, so child order is stable and
+//! insertion is O(1). For the query engine, every node carries a
+//! *(preorder, postorder)* interval: `a` is a proper ancestor of `d` iff
+//! `pre(a) < pre(d)` and `post(d) < post(a)`. Numbering is maintained lazily:
+//! structural updates mark it dirty and [`Forest::ensure_numbered`] rebuilds
+//! it in one O(n) traversal — the classic amortisation for the
+//! bulk-load-then-query pattern the paper's algorithms assume ("when the
+//! directory entries are sorted", §3.2).
+//!
+//! LDAP update discipline (paper §4.1) is enforced here: new entries are
+//! roots or children of existing entries; only leaves can be removed one at a
+//! time ([`Forest::remove_leaf`]), with [`Forest::remove_subtree`] as the
+//! paper's subtree-granularity composite.
+
+use std::fmt;
+
+/// Stable handle to an entry slot in a [`Forest`].
+///
+/// Ids are small integers suitable for direct indexing in side tables.
+/// Removing an entry frees its slot for reuse by later insertions, so holders
+/// of stale ids should check [`Forest::contains`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryId(u32);
+
+impl EntryId {
+    /// The raw slot index, for side-table indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from a raw index (e.g. when iterating side tables).
+    pub fn from_index(index: usize) -> EntryId {
+        EntryId(u32::try_from(index).expect("entry index fits u32"))
+    }
+}
+
+impl fmt::Display for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<EntryId>,
+    first_child: Option<EntryId>,
+    last_child: Option<EntryId>,
+    prev_sibling: Option<EntryId>,
+    next_sibling: Option<EntryId>,
+    /// Preorder rank; valid only while `Forest::numbering_valid`.
+    pre: u32,
+    /// Postorder rank; valid only while `Forest::numbering_valid`.
+    post: u32,
+    /// Maximum preorder rank within this node's subtree; valid only while
+    /// `Forest::numbering_valid`. A node `a` properly contains `d` iff
+    /// `pre(a) < pre(d) && pre(d) <= end(a)` — a containment test in a
+    /// single (preorder) coordinate space, which is what the merge joins in
+    /// `bschema-query` rely on.
+    end: u32,
+    alive: bool,
+}
+
+impl Node {
+    fn detached() -> Node {
+        Node {
+            parent: None,
+            first_child: None,
+            last_child: None,
+            prev_sibling: None,
+            next_sibling: None,
+            pre: 0,
+            post: 0,
+            end: 0,
+            alive: true,
+        }
+    }
+}
+
+/// Errors from structural forest updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForestError {
+    /// The referenced entry does not exist (never created, or removed).
+    NoSuchEntry(EntryId),
+    /// `remove_leaf` was called on an entry that still has children —
+    /// forbidden by the LDAP update discipline (paper §4.1).
+    NotALeaf(EntryId),
+    /// `move_subtree` would place an entry under itself or one of its own
+    /// descendants.
+    MoveIntoSelf {
+        /// The subtree being moved.
+        moved: EntryId,
+        /// The illegal destination.
+        target: EntryId,
+    },
+}
+
+impl fmt::Display for ForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestError::NoSuchEntry(id) => write!(f, "entry {id} does not exist"),
+            ForestError::NotALeaf(id) => {
+                write!(f, "entry {id} has descendants and cannot be deleted (LDAP allows leaf deletion only)")
+            }
+            ForestError::MoveIntoSelf { moved, target } => {
+                write!(f, "cannot move entry {moved} under {target}: the destination is inside the moved subtree")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+/// An arena forest with lazy preorder/postorder interval numbering.
+#[derive(Debug, Clone, Default)]
+pub struct Forest {
+    nodes: Vec<Node>,
+    first_root: Option<EntryId>,
+    last_root: Option<EntryId>,
+    free: Vec<u32>,
+    len: usize,
+    numbering_valid: bool,
+}
+
+impl Forest {
+    /// An empty forest.
+    pub fn new() -> Forest {
+        Forest::default()
+    }
+
+    /// An empty forest with room for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Forest {
+        Forest { nodes: Vec::with_capacity(capacity), ..Forest::default() }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Upper bound (exclusive) on `EntryId::index` values ever handed out;
+    /// side tables should size to this.
+    pub fn slot_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `id` refers to a live entry.
+    pub fn contains(&self, id: EntryId) -> bool {
+        self.nodes.get(id.index()).is_some_and(|n| n.alive)
+    }
+
+    fn node(&self, id: EntryId) -> Result<&Node, ForestError> {
+        self.nodes
+            .get(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ForestError::NoSuchEntry(id))
+    }
+
+    fn alloc(&mut self) -> EntryId {
+        self.numbering_valid = false;
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = Node::detached();
+            EntryId(slot)
+        } else {
+            let id = EntryId::from_index(self.nodes.len());
+            self.nodes.push(Node::detached());
+            id
+        }
+    }
+
+    /// Creates a new root entry, appended after existing roots.
+    pub fn add_root(&mut self) -> EntryId {
+        let id = self.alloc();
+        match self.last_root {
+            Some(prev) => {
+                self.nodes[prev.index()].next_sibling = Some(id);
+                self.nodes[id.index()].prev_sibling = Some(prev);
+            }
+            None => self.first_root = Some(id),
+        }
+        self.last_root = Some(id);
+        id
+    }
+
+    /// Creates a new child of `parent`, appended after its existing children.
+    pub fn add_child(&mut self, parent: EntryId) -> Result<EntryId, ForestError> {
+        self.node(parent)?;
+        let id = self.alloc();
+        let last = self.nodes[parent.index()].last_child;
+        self.nodes[id.index()].parent = Some(parent);
+        match last {
+            Some(prev) => {
+                self.nodes[prev.index()].next_sibling = Some(id);
+                self.nodes[id.index()].prev_sibling = Some(prev);
+            }
+            None => self.nodes[parent.index()].first_child = Some(id),
+        }
+        self.nodes[parent.index()].last_child = Some(id);
+        Ok(id)
+    }
+
+    fn unlink(&mut self, id: EntryId) {
+        let (parent, prev, next) = {
+            let n = &self.nodes[id.index()];
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        match prev {
+            Some(p) => self.nodes[p.index()].next_sibling = next,
+            None => match parent {
+                Some(par) => self.nodes[par.index()].first_child = next,
+                None => self.first_root = next,
+            },
+        }
+        match next {
+            Some(nx) => self.nodes[nx.index()].prev_sibling = prev,
+            None => match parent {
+                Some(par) => self.nodes[par.index()].last_child = prev,
+                None => self.last_root = prev,
+            },
+        }
+    }
+
+    /// Removes a leaf entry. Fails if `id` has children — per LDAP, "a
+    /// directory entry that has descendants cannot be deleted, unless all its
+    /// descendants are first deleted" (§4.1).
+    pub fn remove_leaf(&mut self, id: EntryId) -> Result<(), ForestError> {
+        let node = self.node(id)?;
+        if node.first_child.is_some() {
+            return Err(ForestError::NotALeaf(id));
+        }
+        self.unlink(id);
+        self.nodes[id.index()].alive = false;
+        self.free.push(id.0);
+        self.len -= 1;
+        self.numbering_valid = false;
+        Ok(())
+    }
+
+    /// Removes the whole subtree rooted at `id` (the paper's
+    /// subtree-deletion granularity, §4.1) as a sequence of leaf deletions in
+    /// post-order. Returns the removed ids, post-order (leaves first, `id`
+    /// last).
+    pub fn remove_subtree(&mut self, id: EntryId) -> Result<Vec<EntryId>, ForestError> {
+        self.node(id)?;
+        let order = self.postorder_of(id);
+        for &e in &order {
+            self.remove_leaf(e).expect("postorder guarantees leaves first");
+        }
+        Ok(order)
+    }
+
+    /// Moves the subtree rooted at `id` under `new_parent` (appended after
+    /// its existing children) — the LDAP ModifyDN/"move" operation. Fails if
+    /// either entry is dead or if `new_parent` is `id` itself or one of its
+    /// descendants (which would detach the subtree into a cycle).
+    pub fn move_subtree(&mut self, id: EntryId, new_parent: EntryId) -> Result<(), ForestError> {
+        self.node(id)?;
+        self.node(new_parent)?;
+        if new_parent == id || self.is_ancestor(id, new_parent) {
+            return Err(ForestError::MoveIntoSelf { moved: id, target: new_parent });
+        }
+        self.unlink(id);
+        let n = &mut self.nodes[id.index()];
+        n.parent = Some(new_parent);
+        n.prev_sibling = None;
+        n.next_sibling = None;
+        let last = self.nodes[new_parent.index()].last_child;
+        match last {
+            Some(prev) => {
+                self.nodes[prev.index()].next_sibling = Some(id);
+                self.nodes[id.index()].prev_sibling = Some(prev);
+            }
+            None => self.nodes[new_parent.index()].first_child = Some(id),
+        }
+        self.nodes[new_parent.index()].last_child = Some(id);
+        self.numbering_valid = false;
+        Ok(())
+    }
+
+    /// Detaches the subtree rooted at `id`, making it a new forest root
+    /// (appended after existing roots). The other half of ModifyDN.
+    pub fn move_subtree_to_root(&mut self, id: EntryId) -> Result<(), ForestError> {
+        self.node(id)?;
+        if self.nodes[id.index()].parent.is_none() {
+            return Ok(()); // already a root
+        }
+        self.unlink(id);
+        let n = &mut self.nodes[id.index()];
+        n.parent = None;
+        n.prev_sibling = None;
+        n.next_sibling = None;
+        match self.last_root {
+            Some(prev) => {
+                self.nodes[prev.index()].next_sibling = Some(id);
+                self.nodes[id.index()].prev_sibling = Some(prev);
+            }
+            None => self.first_root = Some(id),
+        }
+        self.last_root = Some(id);
+        self.numbering_valid = false;
+        Ok(())
+    }
+
+    /// The parent of `id`, or `None` for roots.
+    pub fn parent(&self, id: EntryId) -> Option<EntryId> {
+        self.node(id).ok().and_then(|n| n.parent)
+    }
+
+    /// Whether `id` is a live root.
+    pub fn is_root(&self, id: EntryId) -> bool {
+        self.node(id).is_ok_and(|n| n.parent.is_none())
+    }
+
+    /// Whether `id` is a live leaf.
+    pub fn is_leaf(&self, id: EntryId) -> bool {
+        self.node(id).is_ok_and(|n| n.first_child.is_none())
+    }
+
+    /// The roots, in insertion order.
+    pub fn roots(&self) -> SiblingIter<'_> {
+        SiblingIter { forest: self, next: self.first_root }
+    }
+
+    /// The children of `id`, in insertion order (empty if `id` is dead).
+    pub fn children(&self, id: EntryId) -> SiblingIter<'_> {
+        let next = self.node(id).ok().and_then(|n| n.first_child);
+        SiblingIter { forest: self, next }
+    }
+
+    /// Number of children of `id`.
+    pub fn child_count(&self, id: EntryId) -> usize {
+        self.children(id).count()
+    }
+
+    /// Proper ancestors of `id`, nearest (parent) first.
+    pub fn ancestors(&self, id: EntryId) -> AncestorIter<'_> {
+        AncestorIter { forest: self, next: self.parent(id) }
+    }
+
+    /// Depth of `id`: 0 for roots.
+    pub fn depth(&self, id: EntryId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// Proper descendants of `id` in preorder.
+    pub fn descendants(&self, id: EntryId) -> PreorderIter<'_> {
+        match self.node(id) {
+            Ok(n) => PreorderIter { forest: self, next: n.first_child, stop: Some(id) },
+            Err(_) => PreorderIter { forest: self, next: None, stop: None },
+        }
+    }
+
+    /// All live entries in preorder (roots in insertion order, each followed
+    /// by its subtree).
+    pub fn iter(&self) -> PreorderIter<'_> {
+        PreorderIter { forest: self, next: self.first_root, stop: None }
+    }
+
+    /// Entries of the subtree rooted at `id` in post-order (children before
+    /// parents).
+    pub fn postorder_of(&self, id: EntryId) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        // Iterative postorder: push self in preorder, then reverse trick is
+        // wrong for forests with sibling order; do explicit two-phase.
+        let mut stack = vec![(id, false)];
+        while let Some((e, expanded)) = stack.pop() {
+            if expanded {
+                out.push(e);
+            } else {
+                stack.push((e, true));
+                let children: Vec<EntryId> = self.children(e).collect();
+                for c in children.into_iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        out
+    }
+
+    /// Size of the subtree rooted at `id` (including `id`); 0 if dead.
+    pub fn subtree_size(&self, id: EntryId) -> usize {
+        if !self.contains(id) {
+            return 0;
+        }
+        1 + self.descendants(id).count()
+    }
+
+    /// Link-chasing ancestor test: true iff `a` is a **proper** ancestor of
+    /// `d`. O(depth(d)); always valid, independent of numbering.
+    pub fn is_ancestor(&self, a: EntryId, d: EntryId) -> bool {
+        if a == d || !self.contains(a) {
+            return false;
+        }
+        self.ancestors(d).any(|x| x == a)
+    }
+
+    // ----- interval numbering -----
+
+    /// Whether the `(pre, post)` numbering currently reflects the structure.
+    pub fn is_numbered(&self) -> bool {
+        self.numbering_valid
+    }
+
+    /// Recomputes the numbering if any structural change happened since the
+    /// last call. O(n); no-op when clean.
+    pub fn ensure_numbered(&mut self) {
+        if self.numbering_valid {
+            return;
+        }
+        let mut pre = 0u32;
+        let mut post = 0u32;
+        // Iterative DFS over the forest.
+        let mut next = self.first_root;
+        let mut stack: Vec<EntryId> = Vec::new();
+        while let Some(id) = next {
+            self.nodes[id.index()].pre = pre;
+            pre += 1;
+            if let Some(child) = self.nodes[id.index()].first_child {
+                stack.push(id);
+                next = Some(child);
+            } else {
+                self.nodes[id.index()].post = post;
+                self.nodes[id.index()].end = pre - 1;
+                post += 1;
+                // Walk up until a next sibling exists.
+                let mut cur = id;
+                next = None;
+                loop {
+                    if let Some(sib) = self.nodes[cur.index()].next_sibling {
+                        next = Some(sib);
+                        break;
+                    }
+                    match stack.pop() {
+                        Some(parent) => {
+                            self.nodes[parent.index()].post = post;
+                            self.nodes[parent.index()].end = pre - 1;
+                            post += 1;
+                            cur = parent;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        self.numbering_valid = true;
+    }
+
+    /// Preorder rank of `id`.
+    ///
+    /// # Panics
+    /// If the numbering is stale (call [`ensure_numbered`](Self::ensure_numbered)
+    /// first) or `id` is dead.
+    pub fn pre(&self, id: EntryId) -> u32 {
+        assert!(self.numbering_valid, "forest numbering is stale; call ensure_numbered()");
+        debug_assert!(self.contains(id));
+        self.nodes[id.index()].pre
+    }
+
+    /// Postorder rank of `id`. Same preconditions as [`pre`](Self::pre).
+    pub fn post(&self, id: EntryId) -> u32 {
+        assert!(self.numbering_valid, "forest numbering is stale; call ensure_numbered()");
+        debug_assert!(self.contains(id));
+        self.nodes[id.index()].post
+    }
+
+    /// Maximum preorder rank within `id`'s subtree. Same preconditions as
+    /// [`pre`](Self::pre). `a` properly contains `d` iff
+    /// `pre(a) < pre(d) && pre(d) <= end(a)` — the single-coordinate
+    /// containment test the `bschema-query` merge joins use.
+    pub fn end(&self, id: EntryId) -> u32 {
+        assert!(self.numbering_valid, "forest numbering is stale; call ensure_numbered()");
+        debug_assert!(self.contains(id));
+        self.nodes[id.index()].end
+    }
+
+    /// Interval-based proper-ancestor test; requires fresh numbering.
+    /// O(1) — this is what makes the §3.2 merge joins linear.
+    pub fn interval_is_ancestor(&self, a: EntryId, d: EntryId) -> bool {
+        let pa = self.pre(a);
+        let pd = self.pre(d);
+        pa < pd && pd <= self.end(a)
+    }
+}
+
+/// Iterator over a sibling chain.
+#[derive(Debug, Clone)]
+pub struct SiblingIter<'f> {
+    forest: &'f Forest,
+    next: Option<EntryId>,
+}
+
+impl Iterator for SiblingIter<'_> {
+    type Item = EntryId;
+    fn next(&mut self) -> Option<EntryId> {
+        let id = self.next?;
+        self.next = self.forest.nodes[id.index()].next_sibling;
+        Some(id)
+    }
+}
+
+/// Iterator over proper ancestors, nearest first.
+#[derive(Debug, Clone)]
+pub struct AncestorIter<'f> {
+    forest: &'f Forest,
+    next: Option<EntryId>,
+}
+
+impl Iterator for AncestorIter<'_> {
+    type Item = EntryId;
+    fn next(&mut self) -> Option<EntryId> {
+        let id = self.next?;
+        self.next = self.forest.nodes[id.index()].parent;
+        Some(id)
+    }
+}
+
+/// Preorder iterator, optionally confined to the subtree under `stop`.
+#[derive(Debug, Clone)]
+pub struct PreorderIter<'f> {
+    forest: &'f Forest,
+    next: Option<EntryId>,
+    /// When `Some(root)`, iteration stays strictly inside `root`'s subtree.
+    stop: Option<EntryId>,
+}
+
+impl Iterator for PreorderIter<'_> {
+    type Item = EntryId;
+    fn next(&mut self) -> Option<EntryId> {
+        let id = self.next?;
+        let nodes = &self.forest.nodes;
+        // Compute successor in preorder.
+        self.next = if let Some(child) = nodes[id.index()].first_child {
+            Some(child)
+        } else {
+            let mut cur = id;
+            loop {
+                if Some(cur) == self.stop {
+                    break None;
+                }
+                if let Some(sib) = nodes[cur.index()].next_sibling {
+                    break Some(sib);
+                }
+                match nodes[cur.index()].parent {
+                    Some(p) if Some(p) != self.stop => cur = p,
+                    _ => break None,
+                }
+            }
+        };
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Figure 1 shape:
+    /// att ── attLabs ── { armstrong, databases ── { laks, suciu } }
+    fn figure1_shape() -> (Forest, [EntryId; 6]) {
+        let mut f = Forest::new();
+        let att = f.add_root();
+        let labs = f.add_child(att).unwrap();
+        let armstrong = f.add_child(labs).unwrap();
+        let db = f.add_child(labs).unwrap();
+        let laks = f.add_child(db).unwrap();
+        let suciu = f.add_child(db).unwrap();
+        (f, [att, labs, armstrong, db, laks, suciu])
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (f, [att, labs, armstrong, db, laks, suciu]) = figure1_shape();
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.parent(laks), Some(db));
+        assert_eq!(f.parent(att), None);
+        assert!(f.is_root(att));
+        assert!(f.is_leaf(suciu));
+        assert!(!f.is_leaf(db));
+        assert_eq!(f.children(labs).collect::<Vec<_>>(), [armstrong, db]);
+        assert_eq!(f.ancestors(laks).collect::<Vec<_>>(), [db, labs, att]);
+        assert_eq!(f.depth(laks), 3);
+        assert_eq!(f.depth(att), 0);
+        assert_eq!(f.subtree_size(labs), 5);
+        assert_eq!(f.child_count(db), 2);
+    }
+
+    #[test]
+    fn preorder_iteration() {
+        let (f, [att, labs, armstrong, db, laks, suciu]) = figure1_shape();
+        assert_eq!(f.iter().collect::<Vec<_>>(), [att, labs, armstrong, db, laks, suciu]);
+        assert_eq!(f.descendants(labs).collect::<Vec<_>>(), [armstrong, db, laks, suciu]);
+        assert_eq!(f.descendants(suciu).count(), 0);
+    }
+
+    #[test]
+    fn multiple_roots_iterate_in_order() {
+        let mut f = Forest::new();
+        let r1 = f.add_root();
+        let r2 = f.add_root();
+        let c1 = f.add_child(r1).unwrap();
+        assert_eq!(f.roots().collect::<Vec<_>>(), [r1, r2]);
+        assert_eq!(f.iter().collect::<Vec<_>>(), [r1, c1, r2]);
+    }
+
+    #[test]
+    fn ancestor_tests_agree() {
+        let (mut f, ids) = figure1_shape();
+        f.ensure_numbered();
+        for &a in &ids {
+            for &d in &ids {
+                assert_eq!(
+                    f.is_ancestor(a, d),
+                    f.interval_is_ancestor(a, d),
+                    "mismatch for {a} -> {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn numbering_is_pre_post() {
+        let (mut f, [att, labs, _, db, laks, _]) = figure1_shape();
+        f.ensure_numbered();
+        assert_eq!(f.pre(att), 0);
+        assert!(f.pre(labs) < f.pre(db));
+        assert!(f.post(laks) < f.post(db));
+        assert!(f.interval_is_ancestor(att, laks));
+        assert!(!f.interval_is_ancestor(laks, att));
+        assert!(!f.interval_is_ancestor(att, att));
+    }
+
+    #[test]
+    fn end_is_max_preorder_in_subtree() {
+        let (mut f, [att, labs, armstrong, db, laks, suciu]) = figure1_shape();
+        f.ensure_numbered();
+        // Subtree of att covers all 6 nodes: pre 0..=5.
+        assert_eq!(f.end(att), 5);
+        assert_eq!(f.end(labs), 5);
+        assert_eq!(f.end(armstrong), f.pre(armstrong)); // leaf
+        assert_eq!(f.end(db), 5);
+        assert_eq!(f.end(laks), f.pre(laks));
+        assert_eq!(f.end(suciu), f.pre(suciu));
+        // Containment in the preorder coordinate space matches ancestry.
+        for &a in &[att, labs, armstrong, db, laks, suciu] {
+            for &d in &[att, labs, armstrong, db, laks, suciu] {
+                let by_interval = f.pre(a) < f.pre(d) && f.pre(d) <= f.end(a);
+                assert_eq!(by_interval, f.is_ancestor(a, d));
+            }
+        }
+    }
+
+    #[test]
+    fn remove_leaf_enforces_leaf_only() {
+        let (mut f, [_, labs, armstrong, ..]) = figure1_shape();
+        assert_eq!(f.remove_leaf(labs), Err(ForestError::NotALeaf(labs)));
+        f.remove_leaf(armstrong).unwrap();
+        assert!(!f.contains(armstrong));
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.remove_leaf(armstrong), Err(ForestError::NoSuchEntry(armstrong)));
+    }
+
+    #[test]
+    fn remove_subtree_is_postorder() {
+        let (mut f, [att, labs, armstrong, db, laks, suciu]) = figure1_shape();
+        let removed = f.remove_subtree(labs).unwrap();
+        assert_eq!(removed, [armstrong, laks, suciu, db, labs]);
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(att));
+        assert!(f.is_leaf(att));
+    }
+
+    #[test]
+    fn move_subtree_relocates_whole_subtree() {
+        let (mut f, [att, labs, armstrong, db, laks, suciu]) = figure1_shape();
+        // Move databases (with laks, suciu) directly under att.
+        f.move_subtree(db, att).unwrap();
+        assert_eq!(f.parent(db), Some(att));
+        assert_eq!(f.parent(laks), Some(db));
+        assert_eq!(f.children(att).collect::<Vec<_>>(), [labs, db]);
+        assert_eq!(f.children(labs).collect::<Vec<_>>(), [armstrong]);
+        assert_eq!(f.len(), 6);
+        f.ensure_numbered();
+        assert!(f.interval_is_ancestor(att, suciu));
+        assert!(!f.interval_is_ancestor(labs, suciu));
+    }
+
+    #[test]
+    fn move_into_own_subtree_is_rejected() {
+        let (mut f, [_, labs, _, db, laks, _]) = figure1_shape();
+        assert_eq!(
+            f.move_subtree(labs, laks),
+            Err(ForestError::MoveIntoSelf { moved: labs, target: laks })
+        );
+        assert_eq!(
+            f.move_subtree(db, db),
+            Err(ForestError::MoveIntoSelf { moved: db, target: db })
+        );
+        // Structure unchanged after rejections.
+        assert_eq!(f.parent(laks), Some(db));
+    }
+
+    #[test]
+    fn move_subtree_to_root_detaches() {
+        let (mut f, [att, labs, _, db, laks, _]) = figure1_shape();
+        f.move_subtree_to_root(db).unwrap();
+        assert_eq!(f.parent(db), None);
+        assert!(f.is_root(db));
+        assert_eq!(f.roots().collect::<Vec<_>>(), [att, db]);
+        assert_eq!(f.parent(laks), Some(db));
+        assert_eq!(f.children(labs).count(), 1);
+        // Idempotent on roots.
+        f.move_subtree_to_root(db).unwrap();
+        assert_eq!(f.roots().count(), 2);
+    }
+
+    #[test]
+    fn slot_reuse_after_removal() {
+        let mut f = Forest::new();
+        let r = f.add_root();
+        let c = f.add_child(r).unwrap();
+        f.remove_leaf(c).unwrap();
+        let c2 = f.add_child(r).unwrap();
+        assert_eq!(c2.index(), c.index(), "slot should be reused");
+        assert!(f.contains(c2));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn removing_middle_sibling_relinks() {
+        let mut f = Forest::new();
+        let r = f.add_root();
+        let a = f.add_child(r).unwrap();
+        let b = f.add_child(r).unwrap();
+        let c = f.add_child(r).unwrap();
+        f.remove_leaf(b).unwrap();
+        assert_eq!(f.children(r).collect::<Vec<_>>(), [a, c]);
+        let d = f.add_child(r).unwrap();
+        assert_eq!(f.children(r).collect::<Vec<_>>(), [a, c, d]);
+    }
+
+    #[test]
+    fn numbering_refreshes_after_update() {
+        let (mut f, [att, .., suciu]) = figure1_shape();
+        f.ensure_numbered();
+        assert!(f.is_numbered());
+        let extra = f.add_child(suciu).unwrap();
+        assert!(!f.is_numbered());
+        f.ensure_numbered();
+        assert!(f.interval_is_ancestor(att, extra));
+    }
+
+    #[test]
+    #[should_panic(expected = "numbering is stale")]
+    fn stale_numbering_panics() {
+        let mut f = Forest::new();
+        let r = f.add_root();
+        let _ = f.pre(r);
+    }
+
+    #[test]
+    fn empty_forest() {
+        let f = Forest::new();
+        assert!(f.is_empty());
+        assert_eq!(f.iter().count(), 0);
+        assert_eq!(f.roots().count(), 0);
+    }
+
+    #[test]
+    fn add_child_of_dead_parent_fails() {
+        let mut f = Forest::new();
+        let r = f.add_root();
+        f.remove_leaf(r).unwrap();
+        assert_eq!(f.add_child(r), Err(ForestError::NoSuchEntry(r)));
+    }
+
+    #[test]
+    fn deep_chain_numbering() {
+        // Exercise the iterative DFS on a deep path (would overflow a
+        // recursive implementation's stack at much larger sizes).
+        let mut f = Forest::new();
+        let mut cur = f.add_root();
+        let root = cur;
+        for _ in 0..10_000 {
+            cur = f.add_child(cur).unwrap();
+        }
+        f.ensure_numbered();
+        assert!(f.interval_is_ancestor(root, cur));
+        assert_eq!(f.pre(root), 0);
+        assert_eq!(f.post(root), 10_000);
+        assert_eq!(f.depth(cur), 10_000);
+    }
+
+    #[test]
+    fn postorder_of_single_node() {
+        let mut f = Forest::new();
+        let r = f.add_root();
+        assert_eq!(f.postorder_of(r), [r]);
+    }
+}

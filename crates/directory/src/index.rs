@@ -1,0 +1,154 @@
+//! Secondary indexes over a directory instance.
+//!
+//! The §3.2 evaluation strategy needs, for each object class `c`, the list of
+//! entries belonging to `c` *sorted in document (preorder) order* — that is
+//! the "directory entries are sorted" precondition under which hierarchical
+//! selection queries evaluate in O(|Q|·|D|). [`InstanceIndex`] materialises
+//! those lists, plus per-attribute presence lists for general filters.
+
+use std::collections::HashMap;
+
+use crate::entry::Entry;
+use crate::forest::{EntryId, Forest};
+
+/// Preorder-sorted entry lists by object class and by attribute presence.
+#[derive(Debug, Clone, Default)]
+pub struct InstanceIndex {
+    /// lowercase class name → entry ids sorted by preorder rank.
+    by_class: HashMap<String, Vec<EntryId>>,
+    /// lowercase attribute key → entry ids sorted by preorder rank.
+    by_attribute: HashMap<String, Vec<EntryId>>,
+    /// All live entries sorted by preorder rank.
+    all: Vec<EntryId>,
+}
+
+impl InstanceIndex {
+    /// Builds the index in one preorder pass. `forest` must be numbered
+    /// (entries are visited in preorder, so pushed lists come out sorted).
+    pub fn build(forest: &Forest, entries: &[Option<Entry>]) -> InstanceIndex {
+        debug_assert!(forest.is_numbered());
+        let mut index = InstanceIndex {
+            by_class: HashMap::new(),
+            by_attribute: HashMap::new(),
+            all: Vec::with_capacity(forest.len()),
+        };
+        for id in forest.iter() {
+            index.all.push(id);
+            let Some(entry) = entries.get(id.index()).and_then(Option::as_ref) else {
+                continue;
+            };
+            for class in entry.classes() {
+                index
+                    .by_class
+                    .entry(class.to_ascii_lowercase())
+                    .or_default()
+                    .push(id);
+            }
+            for (attr, _) in entry.attributes() {
+                index.by_attribute.entry(attr.to_owned()).or_default().push(id);
+            }
+        }
+        index
+    }
+
+    /// Entries that belong to `class` (case-insensitive), preorder-sorted.
+    pub fn entries_with_class(&self, class: &str) -> &[EntryId] {
+        match self.by_class.get(class) {
+            Some(v) => v,
+            None => self
+                .by_class
+                .get(&class.to_ascii_lowercase())
+                .map_or(&[], Vec::as_slice),
+        }
+    }
+
+    /// Entries holding at least one value of `attr`, preorder-sorted.
+    pub fn entries_with_attribute(&self, attr: &str) -> &[EntryId] {
+        match self.by_attribute.get(attr) {
+            Some(v) => v,
+            None => self
+                .by_attribute
+                .get(&attr.to_ascii_lowercase())
+                .map_or(&[], Vec::as_slice),
+        }
+    }
+
+    /// All live entries, preorder-sorted.
+    pub fn all_entries(&self) -> &[EntryId] {
+        &self.all
+    }
+
+    /// Number of entries that belong to `class` (the per-class counts that,
+    /// per §4.2, make required-class elements `◇c` incrementally testable
+    /// against deletion).
+    pub fn class_count(&self, class: &str) -> usize {
+        self.entries_with_class(class).len()
+    }
+
+    /// The distinct (lowercased) class names present in the instance.
+    pub fn classes(&self) -> impl Iterator<Item = &str> {
+        self.by_class.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Entry;
+
+    fn sample() -> (Forest, Vec<Option<Entry>>) {
+        let mut f = Forest::new();
+        let org = f.add_root();
+        let unit = f.add_child(org).unwrap();
+        let p1 = f.add_child(unit).unwrap();
+        let p2 = f.add_child(unit).unwrap();
+        f.ensure_numbered();
+        let mut entries: Vec<Option<Entry>> = vec![None; f.slot_bound()];
+        entries[org.index()] =
+            Some(Entry::builder().class("organization").class("top").attr("o", "att").build());
+        entries[unit.index()] =
+            Some(Entry::builder().class("orgUnit").class("top").attr("ou", "labs").build());
+        entries[p1.index()] =
+            Some(Entry::builder().class("person").class("top").attr("uid", "a").build());
+        entries[p2.index()] = Some(
+            Entry::builder().class("person").class("top").attr("uid", "b").attr("mail", "b@x").build(),
+        );
+        (f, entries)
+    }
+
+    #[test]
+    fn class_lists_are_preorder_sorted() {
+        let (f, entries) = sample();
+        let idx = InstanceIndex::build(&f, &entries);
+        let tops = idx.entries_with_class("top");
+        assert_eq!(tops.len(), 4);
+        for w in tops.windows(2) {
+            assert!(f.pre(w[0]) < f.pre(w[1]));
+        }
+        assert_eq!(idx.entries_with_class("person").len(), 2);
+        assert_eq!(idx.entries_with_class("PERSON").len(), 2);
+        assert!(idx.entries_with_class("absent").is_empty());
+    }
+
+    #[test]
+    fn attribute_presence() {
+        let (f, entries) = sample();
+        let idx = InstanceIndex::build(&f, &entries);
+        assert_eq!(idx.entries_with_attribute("uid").len(), 2);
+        assert_eq!(idx.entries_with_attribute("mail").len(), 1);
+        assert_eq!(idx.entries_with_attribute("objectClass").len(), 4);
+        assert_eq!(idx.all_entries().len(), 4);
+    }
+
+    #[test]
+    fn class_counts() {
+        let (f, entries) = sample();
+        let idx = InstanceIndex::build(&f, &entries);
+        assert_eq!(idx.class_count("person"), 2);
+        assert_eq!(idx.class_count("organization"), 1);
+        assert_eq!(idx.class_count("router"), 0);
+        let mut classes: Vec<_> = idx.classes().collect();
+        classes.sort_unstable();
+        assert_eq!(classes, ["organization", "orgunit", "person", "top"]);
+    }
+}

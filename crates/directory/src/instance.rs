@@ -1,0 +1,538 @@
+//! The directory instance: Definition 2.1's `D = (R, class, val, N)`.
+//!
+//! [`DirectoryInstance`] combines the arena [`Forest`] (the relation `N`),
+//! per-entry data ([`Entry`] gives `class` and `val`), the attribute
+//! namespace, and optional RDN naming so entries can be addressed by
+//! distinguished name. It also owns the lazily-maintained [`InstanceIndex`]
+//! that query evaluation and legality checking run against: call
+//! [`DirectoryInstance::prepare`] after a batch of mutations, then read
+//! through the shared accessors.
+
+use std::fmt;
+
+use crate::attribute::AttributeRegistry;
+use crate::dn::{Dn, Rdn};
+use crate::entry::Entry;
+use crate::forest::{EntryId, Forest, ForestError};
+use crate::index::InstanceIndex;
+
+/// Errors from instance-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// Underlying forest error (missing entry, non-leaf deletion, ...).
+    Forest(ForestError),
+    /// A value failed its attribute's syntax validation.
+    SyntaxViolation {
+        /// Attribute whose value was invalid.
+        attribute: String,
+        /// The offending value.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A sibling with a matching RDN already exists under the same parent
+    /// (DNs must be unique: "the distinguished name of an entry serves as a
+    /// key", paper §6.1).
+    DuplicateRdn(String),
+    /// The entry has no RDN so no DN can be formed.
+    Unnamed(EntryId),
+    /// A single-valued attribute was given several values.
+    SingleValueViolation {
+        /// The single-valued attribute.
+        attribute: String,
+        /// How many values the entry carried.
+        count: usize,
+    },
+}
+
+impl From<ForestError> for InstanceError {
+    fn from(e: ForestError) -> Self {
+        InstanceError::Forest(e)
+    }
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::Forest(e) => write!(f, "{e}"),
+            InstanceError::SyntaxViolation { attribute, value, reason } => {
+                write!(f, "value {value:?} invalid for attribute {attribute:?}: {reason}")
+            }
+            InstanceError::DuplicateRdn(rdn) => {
+                write!(f, "an entry named {rdn:?} already exists under this parent")
+            }
+            InstanceError::Unnamed(id) => write!(f, "entry {id} has no RDN"),
+            InstanceError::SingleValueViolation { attribute, count } => {
+                write!(f, "attribute {attribute:?} is single-valued but has {count} values")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// An LDAP directory instance.
+#[derive(Debug, Clone)]
+pub struct DirectoryInstance {
+    forest: Forest,
+    /// Slot-parallel entry storage.
+    entries: Vec<Option<Entry>>,
+    /// Slot-parallel RDN storage (optional naming).
+    rdns: Vec<Option<Rdn>>,
+    registry: AttributeRegistry,
+    index: Option<InstanceIndex>,
+}
+
+impl Default for DirectoryInstance {
+    fn default() -> Self {
+        DirectoryInstance::new(AttributeRegistry::new())
+    }
+}
+
+impl DirectoryInstance {
+    /// An empty instance over the given attribute namespace.
+    pub fn new(registry: AttributeRegistry) -> Self {
+        DirectoryInstance {
+            forest: Forest::new(),
+            entries: Vec::new(),
+            rdns: Vec::new(),
+            registry,
+            index: None,
+        }
+    }
+
+    /// An empty instance with the white-pages attribute namespace.
+    pub fn white_pages() -> Self {
+        DirectoryInstance::new(AttributeRegistry::white_pages())
+    }
+
+    /// The attribute namespace.
+    pub fn registry(&self) -> &AttributeRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the attribute namespace (for late registration).
+    pub fn registry_mut(&mut self) -> &mut AttributeRegistry {
+        &mut self.registry
+    }
+
+    /// The underlying forest (read-only).
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.forest.len()
+    }
+
+    /// True iff the instance has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.forest.is_empty()
+    }
+
+    fn grow_slots(&mut self, id: EntryId) {
+        let needed = id.index() + 1;
+        if self.entries.len() < needed {
+            self.entries.resize_with(needed, || None);
+            self.rdns.resize_with(needed, || None);
+        }
+    }
+
+    fn invalidate(&mut self) {
+        self.index = None;
+    }
+
+    // ----- construction -----
+
+    /// Adds `entry` as a new root.
+    pub fn add_root_entry(&mut self, entry: Entry) -> EntryId {
+        self.invalidate();
+        let id = self.forest.add_root();
+        self.grow_slots(id);
+        self.entries[id.index()] = Some(entry);
+        self.rdns[id.index()] = None;
+        id
+    }
+
+    /// Adds `entry` as a new child of `parent` (which must exist — LDAP
+    /// requires new entries be roots or children of existing entries, §4.1).
+    pub fn add_child_entry(&mut self, parent: EntryId, entry: Entry) -> Result<EntryId, InstanceError> {
+        self.invalidate();
+        let id = self.forest.add_child(parent)?;
+        self.grow_slots(id);
+        self.entries[id.index()] = Some(entry);
+        self.rdns[id.index()] = None;
+        Ok(id)
+    }
+
+    /// Adds a named root; the RDN must not collide with an existing root's.
+    pub fn add_named_root(&mut self, rdn: Rdn, entry: Entry) -> Result<EntryId, InstanceError> {
+        if self.find_root(&rdn).is_some() {
+            return Err(InstanceError::DuplicateRdn(rdn.to_string()));
+        }
+        let id = self.add_root_entry(entry);
+        self.rdns[id.index()] = Some(rdn);
+        Ok(id)
+    }
+
+    /// Adds a named child; the RDN must be unique among `parent`'s children.
+    pub fn add_named_child(
+        &mut self,
+        parent: EntryId,
+        rdn: Rdn,
+        entry: Entry,
+    ) -> Result<EntryId, InstanceError> {
+        if self.find_child(parent, &rdn).is_some() {
+            return Err(InstanceError::DuplicateRdn(rdn.to_string()));
+        }
+        let id = self.add_child_entry(parent, entry)?;
+        self.rdns[id.index()] = Some(rdn);
+        Ok(id)
+    }
+
+    // ----- removal -----
+
+    /// Removes a leaf entry (LDAP deletion discipline).
+    pub fn remove_leaf(&mut self, id: EntryId) -> Result<Entry, InstanceError> {
+        self.forest.remove_leaf(id)?;
+        self.invalidate();
+        self.rdns[id.index()] = None;
+        Ok(self.entries[id.index()].take().expect("live node has an entry"))
+    }
+
+    /// Removes the subtree rooted at `id`; returns removed `(id, entry)`
+    /// pairs in post-order.
+    pub fn remove_subtree(&mut self, id: EntryId) -> Result<Vec<(EntryId, Entry)>, InstanceError> {
+        let order = self.forest.remove_subtree(id)?;
+        self.invalidate();
+        let mut out = Vec::with_capacity(order.len());
+        for e in order {
+            self.rdns[e.index()] = None;
+            out.push((e, self.entries[e.index()].take().expect("live node has an entry")));
+        }
+        Ok(out)
+    }
+
+    /// Moves the subtree rooted at `id` under `new_parent` (LDAP ModifyDN).
+    /// If `id` is named, its RDN must not clash among the destination's
+    /// children.
+    pub fn move_subtree(&mut self, id: EntryId, new_parent: EntryId) -> Result<(), InstanceError> {
+        if let Some(rdn) = self.rdn(id).cloned() {
+            if self
+                .find_child(new_parent, &rdn)
+                .is_some_and(|existing| existing != id)
+            {
+                return Err(InstanceError::DuplicateRdn(rdn.to_string()));
+            }
+        }
+        self.forest.move_subtree(id, new_parent)?;
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Detaches the subtree rooted at `id` into a new forest root.
+    pub fn move_subtree_to_root(&mut self, id: EntryId) -> Result<(), InstanceError> {
+        if let Some(rdn) = self.rdn(id).cloned() {
+            if self.find_root(&rdn).is_some_and(|existing| existing != id) {
+                return Err(InstanceError::DuplicateRdn(rdn.to_string()));
+            }
+        }
+        self.forest.move_subtree_to_root(id)?;
+        self.invalidate();
+        Ok(())
+    }
+
+    // ----- access -----
+
+    /// Whether `id` refers to a live entry.
+    pub fn contains(&self, id: EntryId) -> bool {
+        self.forest.contains(id)
+    }
+
+    /// The entry at `id`, if live.
+    pub fn entry(&self, id: EntryId) -> Option<&Entry> {
+        if !self.forest.contains(id) {
+            return None;
+        }
+        self.entries.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the entry at `id`. Invalidates the index (class
+    /// membership may change).
+    pub fn entry_mut(&mut self, id: EntryId) -> Option<&mut Entry> {
+        if !self.forest.contains(id) {
+            return None;
+        }
+        self.invalidate();
+        self.entries.get_mut(id.index()).and_then(Option::as_mut)
+    }
+
+    /// The RDN of `id`, if the entry was added with a name.
+    pub fn rdn(&self, id: EntryId) -> Option<&Rdn> {
+        if !self.forest.contains(id) {
+            return None;
+        }
+        self.rdns.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Assigns or replaces the RDN of `id`.
+    pub fn set_rdn(&mut self, id: EntryId, rdn: Rdn) -> Result<(), InstanceError> {
+        if !self.forest.contains(id) {
+            return Err(InstanceError::Forest(ForestError::NoSuchEntry(id)));
+        }
+        self.rdns[id.index()] = Some(rdn);
+        Ok(())
+    }
+
+    /// The full DN of `id`, built from its RDN chain. Errors if any entry on
+    /// the path to the root is unnamed.
+    pub fn dn(&self, id: EntryId) -> Result<Dn, InstanceError> {
+        if !self.forest.contains(id) {
+            return Err(InstanceError::Forest(ForestError::NoSuchEntry(id)));
+        }
+        let mut rdns = Vec::new();
+        let mut cur = Some(id);
+        while let Some(e) = cur {
+            let rdn = self.rdn(e).ok_or(InstanceError::Unnamed(e))?;
+            rdns.push(rdn.clone());
+            cur = self.forest.parent(e);
+        }
+        Ok(Dn::from_rdns(rdns))
+    }
+
+    fn find_root(&self, rdn: &Rdn) -> Option<EntryId> {
+        self.forest
+            .roots()
+            .find(|&r| self.rdn(r).is_some_and(|x| x.matches(rdn)))
+    }
+
+    fn find_child(&self, parent: EntryId, rdn: &Rdn) -> Option<EntryId> {
+        self.forest
+            .children(parent)
+            .find(|&c| self.rdn(c).is_some_and(|x| x.matches(rdn)))
+    }
+
+    /// Resolves a DN to an entry by walking RDN components from the root.
+    pub fn lookup_dn(&self, dn: &Dn) -> Option<EntryId> {
+        let mut rdns = dn.rdns().iter().rev();
+        let mut cur = self.find_root(rdns.next()?)?;
+        for rdn in rdns {
+            cur = self.find_child(cur, rdn)?;
+        }
+        Some(cur)
+    }
+
+    /// Iterates `(id, entry)` in preorder.
+    pub fn iter(&self) -> impl Iterator<Item = (EntryId, &Entry)> {
+        self.forest.iter().map(move |id| {
+            (id, self.entries[id.index()].as_ref().expect("live node has an entry"))
+        })
+    }
+
+    // ----- validation against the attribute namespace -----
+
+    /// Validates every (attribute, value) pair of `id` against the registry:
+    /// syntax membership (`v ∈ dom(τ(a))`, Definition 2.1(3a)) and
+    /// single-value restrictions. Unregistered attributes pass (the
+    /// bounding-schema's *content* check is what constrains the vocabulary).
+    pub fn validate_entry_values(&self, id: EntryId) -> Result<(), InstanceError> {
+        let entry = self
+            .entry(id)
+            .ok_or(InstanceError::Forest(ForestError::NoSuchEntry(id)))?;
+        for (attr, values) in entry.attributes() {
+            if let Some(def) = self.registry.get(attr) {
+                if def.is_single_valued() && values.len() > 1 {
+                    return Err(InstanceError::SingleValueViolation {
+                        attribute: attr.to_owned(),
+                        count: values.len(),
+                    });
+                }
+                for value in values {
+                    def.syntax().validate(value).map_err(|e| InstanceError::SyntaxViolation {
+                        attribute: attr.to_owned(),
+                        value: value.clone(),
+                        reason: e.to_string(),
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- preparation for query / legality evaluation -----
+
+    /// Ensures numbering and secondary indexes are fresh. Call once after a
+    /// batch of mutations; read-only evaluation then uses the shared
+    /// accessors below.
+    pub fn prepare(&mut self) {
+        self.forest.ensure_numbered();
+        if self.index.is_none() {
+            self.index = Some(InstanceIndex::build(&self.forest, &self.entries));
+        }
+    }
+
+    /// Whether [`prepare`](Self::prepare) has run since the last mutation.
+    pub fn is_prepared(&self) -> bool {
+        self.index.is_some() && self.forest.is_numbered()
+    }
+
+    /// The secondary index.
+    ///
+    /// # Panics
+    /// If the instance is not [`prepare`](Self::prepare)d.
+    pub fn index(&self) -> &InstanceIndex {
+        self.index
+            .as_ref()
+            .expect("instance not prepared; call prepare() after mutations")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Entry;
+
+    fn person(uid: &str) -> Entry {
+        Entry::builder().class("person").class("top").attr("uid", uid).build()
+    }
+
+    #[test]
+    fn build_and_lookup_by_dn() {
+        let mut d = DirectoryInstance::white_pages();
+        let org = d
+            .add_named_root(Rdn::single("o", "att"), Entry::builder().class("organization").class("top").attr("o", "att").build())
+            .unwrap();
+        let labs = d
+            .add_named_child(org, Rdn::single("ou", "attLabs"), Entry::builder().class("orgUnit").class("top").attr("ou", "attLabs").build())
+            .unwrap();
+        let laks = d.add_named_child(labs, Rdn::single("uid", "laks"), person("laks")).unwrap();
+
+        let dn = d.dn(laks).unwrap();
+        assert_eq!(dn.to_string(), "uid=laks,ou=attLabs,o=att");
+        assert_eq!(d.lookup_dn(&dn), Some(laks));
+        assert_eq!(d.lookup_dn(&Dn::parse("uid=LAKS,ou=ATTLABS,o=ATT").unwrap()), Some(laks));
+        assert_eq!(d.lookup_dn(&Dn::parse("uid=nope,ou=attLabs,o=att").unwrap()), None);
+    }
+
+    #[test]
+    fn duplicate_rdn_rejected() {
+        let mut d = DirectoryInstance::default();
+        let org = d.add_named_root(Rdn::single("o", "att"), person("x")).unwrap();
+        d.add_named_child(org, Rdn::single("uid", "a"), person("a")).unwrap();
+        let err = d
+            .add_named_child(org, Rdn::single("uid", "A"), person("a2"))
+            .unwrap_err();
+        assert!(matches!(err, InstanceError::DuplicateRdn(_)));
+        // Same RDN under a *different* parent is fine.
+        let org2 = d.add_named_root(Rdn::single("o", "ibm"), person("y")).unwrap();
+        d.add_named_child(org2, Rdn::single("uid", "a"), person("a")).unwrap();
+    }
+
+    #[test]
+    fn remove_leaf_returns_entry() {
+        let mut d = DirectoryInstance::default();
+        let r = d.add_root_entry(person("a"));
+        let c = d.add_child_entry(r, person("b")).unwrap();
+        let e = d.remove_leaf(c).unwrap();
+        assert_eq!(e.first_value("uid"), Some("b"));
+        assert!(d.entry(c).is_none());
+        assert!(d.remove_leaf(r).is_ok());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn remove_subtree_returns_postorder() {
+        let mut d = DirectoryInstance::default();
+        let r = d.add_root_entry(person("r"));
+        let m = d.add_child_entry(r, person("m")).unwrap();
+        let l = d.add_child_entry(m, person("l")).unwrap();
+        let removed = d.remove_subtree(m).unwrap();
+        assert_eq!(removed.len(), 2);
+        assert_eq!(removed[0].0, l);
+        assert_eq!(removed[1].0, m);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn move_subtree_checks_rdn_uniqueness() {
+        let mut d = DirectoryInstance::default();
+        let r1 = d.add_named_root(Rdn::single("o", "a"), person("a")).unwrap();
+        let r2 = d.add_named_root(Rdn::single("o", "b"), person("b")).unwrap();
+        let kid = d.add_named_child(r1, Rdn::single("uid", "k"), person("k")).unwrap();
+        d.add_named_child(r2, Rdn::single("uid", "k"), person("k2")).unwrap();
+        // Moving kid under r2 would clash with the existing uid=k child.
+        assert!(matches!(
+            d.move_subtree(kid, r2),
+            Err(InstanceError::DuplicateRdn(_))
+        ));
+        // Moving under a fresh parent works and updates the DN.
+        let r3 = d.add_named_root(Rdn::single("o", "c"), person("c")).unwrap();
+        d.move_subtree(kid, r3).unwrap();
+        assert_eq!(d.dn(kid).unwrap().to_string(), "uid=k,o=c");
+    }
+
+    #[test]
+    fn prepare_and_index() {
+        let mut d = DirectoryInstance::default();
+        let r = d.add_root_entry(person("a"));
+        d.add_child_entry(r, person("b")).unwrap();
+        assert!(!d.is_prepared());
+        d.prepare();
+        assert!(d.is_prepared());
+        assert_eq!(d.index().entries_with_class("person").len(), 2);
+        // Mutation invalidates.
+        d.entry_mut(r).unwrap().add_class("online");
+        assert!(!d.is_prepared());
+        d.prepare();
+        assert_eq!(d.index().entries_with_class("online").len(), 1);
+    }
+
+    #[test]
+    fn validate_entry_values_checks_syntax() {
+        let mut d = DirectoryInstance::white_pages();
+        let ok = d.add_root_entry(
+            Entry::builder().class("person").attr("employeeNumber", "42").build(),
+        );
+        d.prepare();
+        assert!(d.validate_entry_values(ok).is_ok());
+
+        let bad = d.add_root_entry(
+            Entry::builder().class("person").attr("employeeNumber", "forty-two").build(),
+        );
+        assert!(matches!(
+            d.validate_entry_values(bad),
+            Err(InstanceError::SyntaxViolation { .. })
+        ));
+
+        let mut e = Entry::builder().class("person").build();
+        e.add_value("uid", "a");
+        e.add_value("uid", "b");
+        let multi = d.add_root_entry(e);
+        assert!(matches!(
+            d.validate_entry_values(multi),
+            Err(InstanceError::SingleValueViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn dn_of_unnamed_entry_errors() {
+        let mut d = DirectoryInstance::default();
+        let r = d.add_root_entry(person("a"));
+        assert!(matches!(d.dn(r), Err(InstanceError::Unnamed(_))));
+        d.set_rdn(r, Rdn::single("uid", "a")).unwrap();
+        assert_eq!(d.dn(r).unwrap().to_string(), "uid=a");
+    }
+
+    #[test]
+    fn iter_is_preorder() {
+        let mut d = DirectoryInstance::default();
+        let r = d.add_root_entry(person("r"));
+        let a = d.add_child_entry(r, person("a")).unwrap();
+        let b = d.add_child_entry(r, person("b")).unwrap();
+        let ids: Vec<_> = d.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, [r, a, b]);
+        let uids: Vec<_> = d.iter().map(|(_, e)| e.first_value("uid").unwrap().to_owned()).collect();
+        assert_eq!(uids, ["r", "a", "b"]);
+    }
+}

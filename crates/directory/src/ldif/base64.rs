@@ -1,0 +1,137 @@
+//! Minimal RFC 4648 base64 codec for LDIF `attr:: value` lines.
+//!
+//! Hand-rolled to keep the dependency surface at zero; LDIF needs only
+//! standard-alphabet encode/decode with `=` padding.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes to standard base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Base64Error {
+    /// Input length is not a multiple of 4.
+    BadLength(usize),
+    /// A character outside the base64 alphabet appeared.
+    BadCharacter(char),
+    /// Padding appeared anywhere but the final one or two positions.
+    BadPadding,
+}
+
+impl std::fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base64Error::BadLength(n) => write!(f, "base64 length {n} is not a multiple of 4"),
+            Base64Error::BadCharacter(c) => write!(f, "invalid base64 character {c:?}"),
+            Base64Error::BadPadding => write!(f, "misplaced base64 padding"),
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+fn value_of(b: u8) -> Option<u32> {
+    match b {
+        b'A'..=b'Z' => Some((b - b'A') as u32),
+        b'a'..=b'z' => Some((b - b'a' + 26) as u32),
+        b'0'..=b'9' => Some((b - b'0' + 52) as u32),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard base64 with padding.
+pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(Base64Error::BadLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (chunk_idx, chunk) in bytes.chunks(4).enumerate() {
+        let is_last = (chunk_idx + 1) * 4 == bytes.len();
+        let pads = chunk.iter().rev().take_while(|&&b| b == b'=').count();
+        if pads > 2 || (pads > 0 && !is_last) {
+            return Err(Base64Error::BadPadding);
+        }
+        // Padding must be a suffix of the chunk.
+        if chunk[..4 - pads].contains(&b'=') {
+            return Err(Base64Error::BadPadding);
+        }
+        let mut triple = 0u32;
+        for &b in &chunk[..4 - pads] {
+            let v = value_of(b).ok_or(Base64Error::BadCharacter(b as char))?;
+            triple = (triple << 6) | v;
+        }
+        triple <<= 6 * pads as u32;
+        out.push((triple >> 16) as u8);
+        if pads < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pads == 0 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("").unwrap(), b"");
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+        assert_eq!(decode("Zm8=").unwrap(), b"fo");
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode("abc"), Err(Base64Error::BadLength(3)));
+        assert_eq!(decode("ab!c"), Err(Base64Error::BadCharacter('!')));
+        assert_eq!(decode("a==="), Err(Base64Error::BadPadding));
+        assert_eq!(decode("ab=c"), Err(Base64Error::BadPadding));
+        assert_eq!(decode("ab==Zm9v"), Err(Base64Error::BadPadding));
+    }
+}

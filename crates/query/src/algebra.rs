@@ -1,0 +1,280 @@
+//! The hierarchical selection query algebra (after reference \[9\],
+//! "Querying network directories", SIGMOD '99).
+//!
+//! A query denotes a set of directory entries. The paper's §3.2 uses five
+//! operators, rendered there as `σ_c`, `σ_p`, `σ_d`, `σ_a` and `σ_?`:
+//!
+//! * **child selection** `(σc q1 q2)` — entries in `q1` having at least one
+//!   child in `q2`;
+//! * **parent selection** `(σp q1 q2)` — entries in `q1` whose parent is in
+//!   `q2`;
+//! * **descendant selection** `(σd q1 q2)` — entries in `q1` having at least
+//!   one proper descendant in `q2`;
+//! * **ancestor selection** `(σa q1 q2)` — entries in `q1` having at least
+//!   one proper ancestor in `q2`;
+//! * **minus** `(σ? q1 q2)` — entries in `q1` not in `q2`.
+//!
+//! Atomic selections are LDAP [`Filter`]s; union and intersection round out
+//! the algebra. Each atomic selection additionally carries a [`Binding`] —
+//! the Figure 5 device that lets the §4 incremental checker evaluate a
+//! sub-expression against `∅`, the update delta `∆D`, or the whole updated
+//! instance.
+
+use std::fmt;
+
+use crate::filter::Filter;
+
+/// Which dataset an atomic selection ranges over (paper Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Binding {
+    /// The whole (current) instance — `[D]` in §3, `[D ⊕ ∆D]` in Figure 5.
+    #[default]
+    Whole,
+    /// Only entries inside the update delta subtree — `[∆D]`.
+    Delta,
+    /// The empty set — `[∅]`; the selection yields nothing.
+    Empty,
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Binding::Whole => Ok(()),
+            Binding::Delta => write!(f, "[ΔD]"),
+            Binding::Empty => write!(f, "[∅]"),
+        }
+    }
+}
+
+/// A hierarchical selection query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Atomic selection: all entries (in the bound dataset) matching the
+    /// filter.
+    Select {
+        /// The entry-level condition.
+        filter: Filter,
+        /// The dataset this selection ranges over.
+        binding: Binding,
+    },
+    /// `(σc q1 q2)` — child selection.
+    Child(Box<Query>, Box<Query>),
+    /// `(σp q1 q2)` — parent selection.
+    Parent(Box<Query>, Box<Query>),
+    /// `(σd q1 q2)` — descendant selection.
+    Descendant(Box<Query>, Box<Query>),
+    /// `(σa q1 q2)` — ancestor selection.
+    Ancestor(Box<Query>, Box<Query>),
+    /// `(σ? q1 q2)` — set difference.
+    Minus(Box<Query>, Box<Query>),
+    /// Set union.
+    Union(Box<Query>, Box<Query>),
+    /// Set intersection.
+    Intersect(Box<Query>, Box<Query>),
+}
+
+impl Query {
+    /// Atomic selection over the whole instance.
+    pub fn select(filter: Filter) -> Query {
+        Query::Select { filter, binding: Binding::Whole }
+    }
+
+    /// Atomic selection with an explicit Figure 5 binding.
+    pub fn select_bound(filter: Filter, binding: Binding) -> Query {
+        Query::Select { filter, binding }
+    }
+
+    /// `(objectClass=c)` — the paper's workhorse atomic selection.
+    pub fn object_class(class: impl Into<String>) -> Query {
+        Query::select(Filter::object_class(class))
+    }
+
+    /// `(σc self q2)`.
+    pub fn with_child(self, q2: Query) -> Query {
+        Query::Child(Box::new(self), Box::new(q2))
+    }
+
+    /// `(σp self q2)`.
+    pub fn with_parent(self, q2: Query) -> Query {
+        Query::Parent(Box::new(self), Box::new(q2))
+    }
+
+    /// `(σd self q2)`.
+    pub fn with_descendant(self, q2: Query) -> Query {
+        Query::Descendant(Box::new(self), Box::new(q2))
+    }
+
+    /// `(σa self q2)`.
+    pub fn with_ancestor(self, q2: Query) -> Query {
+        Query::Ancestor(Box::new(self), Box::new(q2))
+    }
+
+    /// `(σ? self q2)`.
+    pub fn minus(self, q2: Query) -> Query {
+        Query::Minus(Box::new(self), Box::new(q2))
+    }
+
+    /// Union.
+    pub fn union(self, q2: Query) -> Query {
+        Query::Union(Box::new(self), Box::new(q2))
+    }
+
+    /// Intersection.
+    pub fn intersect(self, q2: Query) -> Query {
+        Query::Intersect(Box::new(self), Box::new(q2))
+    }
+
+    /// The paper's `|Q|`: number of operators plus atomic condition sizes.
+    pub fn size(&self) -> usize {
+        match self {
+            Query::Select { filter, .. } => filter.size(),
+            Query::Child(a, b)
+            | Query::Parent(a, b)
+            | Query::Descendant(a, b)
+            | Query::Ancestor(a, b)
+            | Query::Minus(a, b)
+            | Query::Union(a, b)
+            | Query::Intersect(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Applies `f` to every atomic selection's binding (used by the
+    /// incremental checker to stamp Figure 5 bindings onto a translated
+    /// query).
+    pub fn map_bindings(self, f: &impl Fn(Binding) -> Binding) -> Query {
+        match self {
+            Query::Select { filter, binding } => Query::Select { filter, binding: f(binding) },
+            Query::Child(a, b) => Query::Child(
+                Box::new(a.map_bindings(f)),
+                Box::new(b.map_bindings(f)),
+            ),
+            Query::Parent(a, b) => Query::Parent(
+                Box::new(a.map_bindings(f)),
+                Box::new(b.map_bindings(f)),
+            ),
+            Query::Descendant(a, b) => Query::Descendant(
+                Box::new(a.map_bindings(f)),
+                Box::new(b.map_bindings(f)),
+            ),
+            Query::Ancestor(a, b) => Query::Ancestor(
+                Box::new(a.map_bindings(f)),
+                Box::new(b.map_bindings(f)),
+            ),
+            Query::Minus(a, b) => Query::Minus(
+                Box::new(a.map_bindings(f)),
+                Box::new(b.map_bindings(f)),
+            ),
+            Query::Union(a, b) => Query::Union(
+                Box::new(a.map_bindings(f)),
+                Box::new(b.map_bindings(f)),
+            ),
+            Query::Intersect(a, b) => Query::Intersect(
+                Box::new(a.map_bindings(f)),
+                Box::new(b.map_bindings(f)),
+            ),
+        }
+    }
+
+    /// True iff every atomic selection is bound to `∅` — the query is
+    /// trivially empty without touching the instance (the Figure 5 "nothing
+    /// to check" rows).
+    pub fn is_trivially_empty(&self) -> bool {
+        match self {
+            Query::Select { binding, .. } => *binding == Binding::Empty,
+            // A hierarchical/our set operator yields a subset of its first
+            // argument, so an empty first argument empties the whole query.
+            Query::Child(a, _)
+            | Query::Parent(a, _)
+            | Query::Descendant(a, _)
+            | Query::Ancestor(a, _)
+            | Query::Minus(a, _)
+            | Query::Intersect(a, _) => a.is_trivially_empty(),
+            Query::Union(a, b) => a.is_trivially_empty() && b.is_trivially_empty(),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    /// Paper-style rendering, e.g.
+    /// `(σ? (objectClass=orgGroup) (σd (objectClass=orgGroup) (objectClass=person)))`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Select { filter, binding } => write!(f, "{filter}{binding}"),
+            Query::Child(a, b) => write!(f, "(σc {a} {b})"),
+            Query::Parent(a, b) => write!(f, "(σp {a} {b})"),
+            Query::Descendant(a, b) => write!(f, "(σd {a} {b})"),
+            Query::Ancestor(a, b) => write!(f, "(σa {a} {b})"),
+            Query::Minus(a, b) => write!(f, "(σ? {a} {b})"),
+            Query::Union(a, b) => write!(f, "(σ∪ {a} {b})"),
+            Query::Intersect(a, b) => write!(f, "(σ∩ {a} {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Q1 (§3.2):
+    /// `(σ? (objectClass=orgGroup) (σd (objectClass=orgGroup) (objectClass=person)))`
+    fn q1() -> Query {
+        Query::object_class("orgGroup").minus(
+            Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
+        )
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(
+            q1().to_string(),
+            "(σ? (objectClass=orgGroup) (σd (objectClass=orgGroup) (objectClass=person)))"
+        );
+    }
+
+    #[test]
+    fn size_counts_operators_and_atoms() {
+        // Minus(1) + atom(1) + Descendant(1) + atom(1) + atom(1) = 5
+        assert_eq!(q1().size(), 5);
+        assert_eq!(Query::object_class("c").size(), 1);
+    }
+
+    #[test]
+    fn bindings_display() {
+        let q = Query::select_bound(Filter::object_class("person"), Binding::Delta)
+            .with_ancestor(Query::select_bound(Filter::object_class("top"), Binding::Empty));
+        assert_eq!(q.to_string(), "(σa (objectClass=person)[ΔD] (objectClass=top)[∅])");
+    }
+
+    #[test]
+    fn map_bindings_stamps_all_leaves() {
+        let q = q1().map_bindings(&|_| Binding::Delta);
+        fn all_delta(q: &Query) -> bool {
+            match q {
+                Query::Select { binding, .. } => *binding == Binding::Delta,
+                Query::Child(a, b)
+                | Query::Parent(a, b)
+                | Query::Descendant(a, b)
+                | Query::Ancestor(a, b)
+                | Query::Minus(a, b)
+                | Query::Union(a, b)
+                | Query::Intersect(a, b) => all_delta(a) && all_delta(b),
+            }
+        }
+        assert!(all_delta(&q));
+    }
+
+    #[test]
+    fn trivially_empty_detection() {
+        let empty = q1().map_bindings(&|_| Binding::Empty);
+        assert!(empty.is_trivially_empty());
+        assert!(!q1().is_trivially_empty());
+        // First-argument emptiness propagates through σd.
+        let q = Query::select_bound(Filter::object_class("a"), Binding::Empty)
+            .with_descendant(Query::object_class("b"));
+        assert!(q.is_trivially_empty());
+        // ... but not through union.
+        let u = Query::select_bound(Filter::object_class("a"), Binding::Empty)
+            .union(Query::object_class("b"));
+        assert!(!u.is_trivially_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Naive nested-loop evaluator.
+//!
+//! Implements the operator semantics directly by walking the forest —
+//! O(|D|²) for descendant/ancestor selection. It exists for two reasons:
+//! as the differential-testing oracle for the interval evaluator, and as
+//! the quadratic baseline the §3.2 discussion contrasts the efficient
+//! strategy against (see the `query_eval` benchmark).
+
+use std::collections::HashSet;
+
+use bschema_directory::EntryId;
+
+use super::EvalContext;
+use crate::algebra::{Binding, Query};
+use crate::filter::Filter;
+
+/// Evaluates `query` by direct semantics, returning entries sorted by
+/// preorder rank (so results are comparable with [`super::evaluate`]).
+pub fn evaluate_naive(ctx: &EvalContext<'_>, query: &Query) -> Vec<EntryId> {
+    let mut out: Vec<EntryId> = eval_set(ctx, query).into_iter().collect();
+    let forest = ctx.instance().forest();
+    out.sort_unstable_by_key(|&id| forest.pre(id));
+    out
+}
+
+fn eval_set(ctx: &EvalContext<'_>, query: &Query) -> HashSet<EntryId> {
+    let dir = ctx.instance();
+    let forest = dir.forest();
+    match query {
+        Query::Select { filter, binding } => select(ctx, filter, *binding),
+        Query::Child(a, b) => {
+            let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
+            r1.into_iter()
+                .filter(|&e1| forest.children(e1).any(|c| r2.contains(&c)))
+                .collect()
+        }
+        Query::Parent(a, b) => {
+            let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
+            r1.into_iter()
+                .filter(|&e1| forest.parent(e1).is_some_and(|p| r2.contains(&p)))
+                .collect()
+        }
+        Query::Descendant(a, b) => {
+            let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
+            r1.into_iter()
+                .filter(|&e1| forest.descendants(e1).any(|d| r2.contains(&d)))
+                .collect()
+        }
+        Query::Ancestor(a, b) => {
+            let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
+            r1.into_iter()
+                .filter(|&e1| forest.ancestors(e1).any(|anc| r2.contains(&anc)))
+                .collect()
+        }
+        Query::Minus(a, b) => {
+            let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
+            r1.difference(&r2).copied().collect()
+        }
+        Query::Union(a, b) => {
+            let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
+            r1.union(&r2).copied().collect()
+        }
+        Query::Intersect(a, b) => {
+            let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
+            r1.intersection(&r2).copied().collect()
+        }
+    }
+}
+
+fn select(ctx: &EvalContext<'_>, filter: &Filter, binding: Binding) -> HashSet<EntryId> {
+    let dir = ctx.instance();
+    match binding {
+        Binding::Empty => HashSet::new(),
+        Binding::Whole => dir
+            .iter()
+            .filter(|(_, e)| filter.matches(e, dir.registry()))
+            .map(|(id, _)| id)
+            .collect(),
+        Binding::Delta => {
+            let root = ctx
+                .delta()
+                .expect("Binding::Delta requires an EvalContext with a delta subtree");
+            let forest = dir.forest();
+            std::iter::once(root)
+                .chain(forest.descendants(root))
+                .filter(|&id| {
+                    dir.entry(id)
+                        .is_some_and(|e| filter.matches(e, dir.registry()))
+                })
+                .collect()
+        }
+    }
+}

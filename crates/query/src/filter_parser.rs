@@ -1,0 +1,329 @@
+//! RFC 2254 filter string parser: `(&(objectClass=person)(mail=*))` → [`Filter`].
+
+use std::fmt;
+
+use crate::filter::Filter;
+
+/// Errors from [`parse_filter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterParseError {
+    /// Input ended unexpectedly.
+    UnexpectedEnd,
+    /// Expected `(` at the given byte offset.
+    ExpectedOpen(usize),
+    /// Expected `)` at the given byte offset.
+    ExpectedClose(usize),
+    /// An attribute name was empty.
+    EmptyAttribute(usize),
+    /// A hex escape was malformed.
+    BadEscape(usize),
+    /// Trailing characters after the filter.
+    TrailingInput(usize),
+    /// An empty `(!)`, or `!` with several sub-filters.
+    BadNot(usize),
+}
+
+impl fmt::Display for FilterParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterParseError::UnexpectedEnd => write!(f, "unexpected end of filter"),
+            FilterParseError::ExpectedOpen(p) => write!(f, "expected '(' at byte {p}"),
+            FilterParseError::ExpectedClose(p) => write!(f, "expected ')' at byte {p}"),
+            FilterParseError::EmptyAttribute(p) => write!(f, "empty attribute name at byte {p}"),
+            FilterParseError::BadEscape(p) => write!(f, "bad \\xx escape at byte {p}"),
+            FilterParseError::TrailingInput(p) => write!(f, "trailing input at byte {p}"),
+            FilterParseError::BadNot(p) => write!(f, "'!' takes exactly one sub-filter (byte {p})"),
+        }
+    }
+}
+
+impl std::error::Error for FilterParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), FilterParseError> {
+        match self.peek() {
+            Some(x) if x == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(if b == b'(' {
+                FilterParseError::ExpectedOpen(self.pos)
+            } else {
+                FilterParseError::ExpectedClose(self.pos)
+            }),
+            None => Err(FilterParseError::UnexpectedEnd),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Filter, FilterParseError> {
+        self.expect(b'(')?;
+        let filter = match self.peek() {
+            Some(b'&') => {
+                self.bump();
+                Filter::And(self.parse_list()?)
+            }
+            Some(b'|') => {
+                self.bump();
+                Filter::Or(self.parse_list()?)
+            }
+            Some(b'!') => {
+                let at = self.pos;
+                self.bump();
+                let subs = self.parse_list()?;
+                if subs.len() != 1 {
+                    return Err(FilterParseError::BadNot(at));
+                }
+                Filter::Not(Box::new(subs.into_iter().next().expect("len checked")))
+            }
+            Some(_) => self.parse_item()?,
+            None => return Err(FilterParseError::UnexpectedEnd),
+        };
+        self.expect(b')')?;
+        Ok(filter)
+    }
+
+    fn parse_list(&mut self) -> Result<Vec<Filter>, FilterParseError> {
+        let mut out = Vec::new();
+        while self.peek() == Some(b'(') {
+            out.push(self.parse()?);
+        }
+        Ok(out)
+    }
+
+    /// Parses `attr OP value` where OP ∈ {`=`, `>=`, `<=`} and value may be
+    /// `*`, a plain value, or a substring pattern with `*`s.
+    fn parse_item(&mut self) -> Result<Filter, FilterParseError> {
+        let attr_start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| !matches!(b, b'=' | b'<' | b'>' | b'(' | b')'))
+        {
+            self.pos += 1;
+        }
+        let attr = std::str::from_utf8(&self.input[attr_start..self.pos])
+            .map_err(|_| FilterParseError::BadEscape(attr_start))?
+            .trim()
+            .to_owned();
+        if attr.is_empty() {
+            return Err(FilterParseError::EmptyAttribute(attr_start));
+        }
+        let op = self.bump().ok_or(FilterParseError::UnexpectedEnd)?;
+        let (ge, le) = match op {
+            b'>' => {
+                self.expect(b'=').map_err(|_| FilterParseError::BadEscape(self.pos))?;
+                (true, false)
+            }
+            b'<' => {
+                self.expect(b'=').map_err(|_| FilterParseError::BadEscape(self.pos))?;
+                (false, true)
+            }
+            b'=' => (false, false),
+            _ => return Err(FilterParseError::ExpectedClose(self.pos - 1)),
+        };
+
+        // Collect value fragments split on unescaped '*'.
+        let mut fragments: Vec<String> = vec![String::new()];
+        let mut stars = 0usize;
+        while let Some(b) = self.peek() {
+            match b {
+                b')' => break,
+                b'*' => {
+                    stars += 1;
+                    fragments.push(String::new());
+                    self.pos += 1;
+                }
+                b'\\' => {
+                    let at = self.pos;
+                    self.pos += 1;
+                    let hex = self
+                        .input
+                        .get(self.pos..self.pos + 2)
+                        .ok_or(FilterParseError::BadEscape(at))?;
+                    let s = std::str::from_utf8(hex).map_err(|_| FilterParseError::BadEscape(at))?;
+                    let byte =
+                        u8::from_str_radix(s, 16).map_err(|_| FilterParseError::BadEscape(at))?;
+                    fragments
+                        .last_mut()
+                        .expect("fragments never empty")
+                        .push(byte as char);
+                    self.pos += 2;
+                }
+                _ => {
+                    let ch_start = self.pos;
+                    // Advance over one UTF-8 character.
+                    let s = std::str::from_utf8(&self.input[ch_start..])
+                        .map_err(|_| FilterParseError::BadEscape(ch_start))?;
+                    let ch = s.chars().next().ok_or(FilterParseError::UnexpectedEnd)?;
+                    fragments.last_mut().expect("fragments never empty").push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+
+        if ge || le {
+            // Ordering filters take a plain value; '*' is literal there per
+            // RFC 2254 grammar, but we reject it for clarity.
+            let value = fragments.join("*");
+            return Ok(if ge {
+                Filter::GreaterOrEqual(attr, value)
+            } else {
+                Filter::LessOrEqual(attr, value)
+            });
+        }
+
+        match stars {
+            0 => Ok(Filter::Equality(attr, fragments.pop().expect("one fragment"))),
+            _ => {
+                let all_empty = fragments.iter().all(String::is_empty);
+                if stars == 1 && all_empty {
+                    return Ok(Filter::Present(attr));
+                }
+                let finally = {
+                    let last = fragments.pop().expect("fragments never empty");
+                    if last.is_empty() { None } else { Some(last) }
+                };
+                let initial = {
+                    let first = fragments.remove(0);
+                    if first.is_empty() { None } else { Some(first) }
+                };
+                let any = fragments.into_iter().filter(|f| !f.is_empty()).collect();
+                Ok(Filter::Substring { attr, initial, any, finally })
+            }
+        }
+    }
+}
+
+/// Parses an RFC 2254 filter string.
+pub fn parse_filter(input: &str) -> Result<Filter, FilterParseError> {
+    let mut p = Parser { input: input.trim().as_bytes(), pos: 0 };
+    let filter = p.parse()?;
+    if p.pos != p.input.len() {
+        return Err(FilterParseError::TrailingInput(p.pos));
+    }
+    Ok(filter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_equality() {
+        assert_eq!(
+            parse_filter("(objectClass=person)").unwrap(),
+            Filter::object_class("person")
+        );
+    }
+
+    #[test]
+    fn parse_presence() {
+        assert_eq!(parse_filter("(mail=*)").unwrap(), Filter::Present("mail".into()));
+    }
+
+    #[test]
+    fn parse_substring() {
+        let f = parse_filter("(mail=laks*att*com)").unwrap();
+        assert_eq!(
+            f,
+            Filter::Substring {
+                attr: "mail".into(),
+                initial: Some("laks".into()),
+                any: vec!["att".into()],
+                finally: Some("com".into()),
+            }
+        );
+        let g = parse_filter("(cn=*smith)").unwrap();
+        assert_eq!(
+            g,
+            Filter::Substring {
+                attr: "cn".into(),
+                initial: None,
+                any: vec![],
+                finally: Some("smith".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_ordering() {
+        assert_eq!(
+            parse_filter("(employeeNumber>=10)").unwrap(),
+            Filter::GreaterOrEqual("employeeNumber".into(), "10".into())
+        );
+        assert_eq!(
+            parse_filter("(employeeNumber<=99)").unwrap(),
+            Filter::LessOrEqual("employeeNumber".into(), "99".into())
+        );
+    }
+
+    #[test]
+    fn parse_boolean() {
+        let f = parse_filter("(&(objectClass=person)(|(uid=laks)(uid=suciu))(!(mail=*)))").unwrap();
+        match f {
+            Filter::And(subs) => {
+                assert_eq!(subs.len(), 3);
+                assert!(matches!(&subs[1], Filter::Or(v) if v.len() == 2));
+                assert!(matches!(&subs[2], Filter::Not(_)));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let f = parse_filter(r"(cn=a\2ab)").unwrap();
+        assert_eq!(f, Filter::Equality("cn".into(), "a*b".into()));
+        let g = parse_filter(r"(cn=\28paren\29)").unwrap();
+        assert_eq!(g, Filter::Equality("cn".into(), "(paren)".into()));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let cases = [
+            "(objectClass=person)",
+            "(mail=*)",
+            "(&(objectClass=person)(mail=*))",
+            "(!(objectClass=orgUnit))",
+            "(|(uid=a)(uid=b))",
+            "(employeeNumber>=10)",
+        ];
+        for case in cases {
+            let f = parse_filter(case).unwrap();
+            assert_eq!(parse_filter(&f.to_string()).unwrap(), f, "roundtrip {case}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(parse_filter(""), Err(FilterParseError::UnexpectedEnd)));
+        assert!(matches!(parse_filter("objectClass=x"), Err(FilterParseError::ExpectedOpen(0))));
+        assert!(matches!(parse_filter("(=x)"), Err(FilterParseError::EmptyAttribute(_))));
+        assert!(matches!(parse_filter("(a=b))"), Err(FilterParseError::TrailingInput(_))));
+        assert!(matches!(parse_filter("(a=b"), Err(FilterParseError::UnexpectedEnd)));
+        assert!(matches!(
+            parse_filter("(!(a=b)(c=d))"),
+            Err(FilterParseError::BadNot(_))
+        ));
+        assert!(matches!(parse_filter(r"(a=\zz)"), Err(FilterParseError::BadEscape(_))));
+    }
+
+    #[test]
+    fn empty_not_rejected() {
+        assert!(matches!(parse_filter("(!)"), Err(FilterParseError::BadNot(_))));
+    }
+}

@@ -1,0 +1,235 @@
+//! Algebraic simplification of filters and queries.
+//!
+//! The paper's conclusion notes that "query optimization is facilitated
+//! using schema"; this module provides the schema-independent part — a
+//! bottom-up rewrite that normalises boolean filters and collapses query
+//! sub-trees that are statically empty (including Figure 5 `[∅]`-bound
+//! selections, which makes the incremental checker's "nothing to check"
+//! rows literally free). All rewrites preserve semantics; a differential
+//! property test enforces this.
+
+use crate::algebra::{Binding, Query};
+use crate::filter::Filter;
+
+/// Simplifies a filter: flattens nested `&`/`|`, applies identity and
+/// annihilator laws, removes double negation. The result matches exactly
+/// the same entries.
+pub fn simplify_filter(filter: Filter) -> Filter {
+    match filter {
+        Filter::And(subs) => {
+            let mut out = Vec::with_capacity(subs.len());
+            for sub in subs {
+                match simplify_filter(sub) {
+                    Filter::True => {}
+                    Filter::False => return Filter::False,
+                    Filter::And(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Filter::True,
+                1 => out.pop().expect("len checked"),
+                _ => Filter::And(out),
+            }
+        }
+        Filter::Or(subs) => {
+            let mut out = Vec::with_capacity(subs.len());
+            for sub in subs {
+                match simplify_filter(sub) {
+                    Filter::False => {}
+                    Filter::True => return Filter::True,
+                    Filter::Or(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Filter::False,
+                1 => out.pop().expect("len checked"),
+                _ => Filter::Or(out),
+            }
+        }
+        Filter::Not(sub) => match simplify_filter(*sub) {
+            Filter::True => Filter::False,
+            Filter::False => Filter::True,
+            Filter::Not(inner) => *inner,
+            other => Filter::Not(Box::new(other)),
+        },
+        leaf => leaf,
+    }
+}
+
+/// True when the (simplified) query can be decided empty without touching
+/// any instance.
+fn is_statically_empty(query: &Query) -> bool {
+    match query {
+        Query::Select { filter, binding } => {
+            *binding == Binding::Empty || matches!(filter, Filter::False)
+        }
+        _ => false,
+    }
+}
+
+/// The canonical statically-empty query.
+fn empty() -> Query {
+    Query::Select { filter: Filter::False, binding: Binding::Empty }
+}
+
+/// Simplifies a query bottom-up. The result evaluates to the same entry set
+/// on every instance.
+pub fn simplify(query: Query) -> Query {
+    match query {
+        Query::Select { filter, binding } => {
+            let filter = simplify_filter(filter);
+            if binding == Binding::Empty || matches!(filter, Filter::False) {
+                empty()
+            } else {
+                Query::Select { filter, binding }
+            }
+        }
+        Query::Child(a, b) => hierarchical(Query::Child, *a, *b),
+        Query::Parent(a, b) => hierarchical(Query::Parent, *a, *b),
+        Query::Descendant(a, b) => hierarchical(Query::Descendant, *a, *b),
+        Query::Ancestor(a, b) => hierarchical(Query::Ancestor, *a, *b),
+        Query::Minus(a, b) => {
+            let a = simplify(*a);
+            let b = simplify(*b);
+            if is_statically_empty(&a) {
+                empty()
+            } else if is_statically_empty(&b) {
+                a
+            } else {
+                Query::Minus(Box::new(a), Box::new(b))
+            }
+        }
+        Query::Union(a, b) => {
+            let a = simplify(*a);
+            let b = simplify(*b);
+            if is_statically_empty(&a) {
+                b
+            } else if is_statically_empty(&b) {
+                a
+            } else {
+                Query::Union(Box::new(a), Box::new(b))
+            }
+        }
+        Query::Intersect(a, b) => {
+            let a = simplify(*a);
+            let b = simplify(*b);
+            if is_statically_empty(&a) || is_statically_empty(&b) {
+                return empty();
+            }
+            // Two same-binding atomic selections intersect into one scan.
+            if let (
+                Query::Select { filter: fa, binding: ba },
+                Query::Select { filter: fb, binding: bb },
+            ) = (&a, &b)
+            {
+                if ba == bb {
+                    return simplify(Query::Select {
+                        filter: fa.clone().and(fb.clone()),
+                        binding: *ba,
+                    });
+                }
+            }
+            Query::Intersect(Box::new(a), Box::new(b))
+        }
+    }
+}
+
+/// Shared handling for the four hierarchical operators: both arguments
+/// simplify, and an empty argument on either side empties the whole
+/// selection (their results are subsets of the first argument, filtered by
+/// existence in the second).
+fn hierarchical(
+    build: fn(Box<Query>, Box<Query>) -> Query,
+    a: Query,
+    b: Query,
+) -> Query {
+    let a = simplify(a);
+    let b = simplify(b);
+    if is_statically_empty(&a) || is_statically_empty(&b) {
+        empty()
+    } else {
+        build(Box::new(a), Box::new(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_laws() {
+        // Identity / annihilator.
+        let f = Filter::present("a").and(Filter::True);
+        assert_eq!(simplify_filter(f), Filter::Present("a".into()));
+        let f = Filter::present("a").and(Filter::False);
+        assert_eq!(simplify_filter(f), Filter::False);
+        let f = Filter::present("a").or(Filter::True);
+        assert_eq!(simplify_filter(f), Filter::True);
+        let f = Filter::present("a").or(Filter::False);
+        assert_eq!(simplify_filter(f), Filter::Present("a".into()));
+        // Double negation.
+        let f = Filter::present("a").not().not();
+        assert_eq!(simplify_filter(f), Filter::Present("a".into()));
+        // Constant negation.
+        assert_eq!(simplify_filter(Filter::True.not()), Filter::False);
+        // Empty connectives.
+        assert_eq!(simplify_filter(Filter::And(vec![])), Filter::True);
+        assert_eq!(simplify_filter(Filter::Or(vec![])), Filter::False);
+    }
+
+    #[test]
+    fn nested_flattening() {
+        let f = Filter::And(vec![
+            Filter::And(vec![Filter::present("a"), Filter::present("b")]),
+            Filter::present("c"),
+            Filter::True,
+        ]);
+        match simplify_filter(f) {
+            Filter::And(subs) => assert_eq!(subs.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_propagation_through_operators() {
+        let e = Query::select_bound(Filter::object_class("x"), Binding::Empty);
+        let q = Query::object_class("a").with_descendant(e.clone());
+        assert!(is_statically_empty(&simplify(q)));
+        let q = e.clone().with_child(Query::object_class("a"));
+        assert!(is_statically_empty(&simplify(q)));
+        let q = Query::object_class("a").minus(e.clone());
+        assert_eq!(simplify(q), Query::object_class("a"));
+        let q = e.clone().union(Query::object_class("a"));
+        assert_eq!(simplify(q), Query::object_class("a"));
+        let q = e.intersect(Query::object_class("a"));
+        assert!(is_statically_empty(&simplify(q)));
+    }
+
+    #[test]
+    fn false_filter_empties_select() {
+        let q = Query::select(Filter::present("a").and(Filter::False));
+        assert!(is_statically_empty(&simplify(q)));
+    }
+
+    #[test]
+    fn intersect_of_selects_merges() {
+        let q = Query::select(Filter::object_class("person"))
+            .intersect(Query::select(Filter::present("mail")));
+        let s = simplify(q);
+        match s {
+            Query::Select { filter: Filter::And(subs), .. } => assert_eq!(subs.len(), 2),
+            other => panic!("expected merged And select, got {other}"),
+        }
+    }
+
+    #[test]
+    fn figure5_safe_rows_become_free() {
+        // An all-[∅] Δ-query simplifies to the canonical empty query.
+        let q = Query::object_class("a")
+            .minus(Query::object_class("a").with_parent(Query::object_class("b")))
+            .map_bindings(&|_| Binding::Empty);
+        assert!(is_statically_empty(&simplify(q)));
+    }
+}

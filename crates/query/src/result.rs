@@ -1,0 +1,142 @@
+//! Result sets: preorder-sorted entry lists and their merge-based set
+//! operations.
+//!
+//! Every evaluator in this crate produces entry lists sorted by preorder
+//! rank. Keeping that invariant lets union / intersection / difference run
+//! as linear merges and lets the hierarchical operators run as interval
+//! merge joins — the "entries are sorted" precondition of §3.2's
+//! O(|Q|·|D|) bound.
+
+use bschema_directory::{EntryId, Forest};
+
+/// Merges two preorder-sorted lists, keeping entries present in either.
+pub fn union(forest: &Forest, a: &[EntryId], b: &[EntryId]) -> Vec<EntryId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (pa, pb) = (forest.pre(a[i]), forest.pre(b[j]));
+        match pa.cmp(&pb) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Merges two preorder-sorted lists, keeping entries present in both.
+pub fn intersect(forest: &Forest, a: &[EntryId], b: &[EntryId]) -> Vec<EntryId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (pa, pb) = (forest.pre(a[i]), forest.pre(b[j]));
+        match pa.cmp(&pb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Merges two preorder-sorted lists, keeping entries of `a` not in `b` —
+/// the `σ?` operator's set semantics.
+pub fn minus(forest: &Forest, a: &[EntryId], b: &[EntryId]) -> Vec<EntryId> {
+    let mut out = Vec::with_capacity(a.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (pa, pb) = (forest.pre(a[i]), forest.pre(b[j]));
+        match pa.cmp(&pb) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out
+}
+
+/// Restricts a preorder-sorted list to the subtree rooted at `root`
+/// (inclusive). Because a subtree is a contiguous preorder range
+/// `[pre(root), end(root)]`, this is two binary searches.
+pub fn restrict_to_subtree(forest: &Forest, list: &[EntryId], root: EntryId) -> Vec<EntryId> {
+    let lo = forest.pre(root);
+    let hi = forest.end(root);
+    let start = list.partition_point(|&e| forest.pre(e) < lo);
+    let stop = list.partition_point(|&e| forest.pre(e) <= hi);
+    list[start..stop].to_vec()
+}
+
+/// Debug-checks that `list` is strictly preorder-sorted.
+pub fn is_preorder_sorted(forest: &Forest, list: &[EntryId]) -> bool {
+    list.windows(2).all(|w| forest.pre(w[0]) < forest.pre(w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> (Forest, Vec<EntryId>) {
+        let mut f = Forest::new();
+        let mut ids = Vec::new();
+        let mut cur = f.add_root();
+        ids.push(cur);
+        for _ in 1..n {
+            cur = f.add_child(cur).unwrap();
+            ids.push(cur);
+        }
+        f.ensure_numbered();
+        (f, ids)
+    }
+
+    #[test]
+    fn set_ops_on_chain() {
+        let (f, ids) = chain(6);
+        let evens: Vec<EntryId> = ids.iter().step_by(2).copied().collect();
+        let first_four = &ids[..4];
+        assert_eq!(union(&f, &evens, first_four), &ids[..5]);
+        assert_eq!(intersect(&f, &evens, first_four), [ids[0], ids[2]]);
+        assert_eq!(minus(&f, first_four, &evens), [ids[1], ids[3]]);
+        assert_eq!(minus(&f, &evens, &[]), evens);
+        assert_eq!(intersect(&f, &evens, &[]), []);
+        assert_eq!(union(&f, &[], &evens), evens);
+    }
+
+    #[test]
+    fn subtree_restriction_is_a_range() {
+        let mut f = Forest::new();
+        let r1 = f.add_root();
+        let a = f.add_child(r1).unwrap();
+        let b = f.add_child(a).unwrap();
+        let c = f.add_child(r1).unwrap();
+        let r2 = f.add_root();
+        f.ensure_numbered();
+        let all: Vec<EntryId> = f.iter().collect();
+        assert_eq!(restrict_to_subtree(&f, &all, a), [a, b]);
+        assert_eq!(restrict_to_subtree(&f, &all, r1), [r1, a, b, c]);
+        assert_eq!(restrict_to_subtree(&f, &all, r2), [r2]);
+        assert!(is_preorder_sorted(&f, &all));
+    }
+}

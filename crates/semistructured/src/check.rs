@@ -1,0 +1,189 @@
+//! Constraint checking and consistency for semi-structured data — by
+//! reduction to the LDAP bounding-schema machinery.
+//!
+//! A [`ConstraintSet`] is compiled to a [`DirectorySchema`] whose core
+//! classes are the labels (all direct children of `top`, so no inheritance
+//! interactions), and a [`DataGraph`] is already encoded as a directory
+//! instance. §3's legality testing and §5's consistency testing then apply
+//! verbatim — which is precisely the paper's §6 claim of wider
+//! applicability.
+
+use bschema_core::consistency::ConsistencyChecker;
+use bschema_core::legality::{LegalityChecker, Violation};
+use bschema_core::schema::DirectorySchema;
+
+use crate::constraint::{ConstraintSet, PathConstraint};
+use crate::model::{DataGraph, NodeId};
+
+/// A constraint violation located at a node (or global for missing labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintViolation {
+    /// The node at fault, when node-specific.
+    pub node: Option<NodeId>,
+    /// The violated constraint, rendered.
+    pub constraint: String,
+    /// Full description.
+    pub message: String,
+}
+
+/// Compiles a constraint set to a directory bounding-schema over the label
+/// vocabulary of `extra_labels ∪ constraint labels`.
+pub fn compile(constraints: &ConstraintSet, extra_labels: &[String]) -> DirectorySchema {
+    let mut builder = DirectorySchema::builder().named("semistructured constraints");
+    let mut labels = constraints.labels();
+    for l in extra_labels {
+        let l = l.to_ascii_lowercase();
+        if !labels.contains(&l) {
+            labels.push(l);
+        }
+    }
+    labels.sort_unstable();
+    labels.dedup();
+    for label in &labels {
+        if !label.eq_ignore_ascii_case("top") {
+            builder = builder.core_class(label, "top").expect("labels are deduplicated");
+        }
+        // Value leaves carry a `value` attribute.
+        builder = builder.allow_attrs(label, ["value"]).expect("label just declared");
+    }
+    builder = builder.allow_attrs("top", ["value"]).expect("top exists");
+    for c in constraints.constraints() {
+        builder = match c {
+            PathConstraint::RequireLabel(l) => builder.require_class(l),
+            PathConstraint::Require { source, kind, target } => {
+                builder.require_rel(source, *kind, target)
+            }
+            PathConstraint::Forbid { upper, kind, lower } => {
+                builder.forbid_rel(upper, *kind, lower)
+            }
+        }
+        .expect("constraint labels were declared");
+    }
+    builder.build()
+}
+
+/// Checks `graph` against `constraints`, returning all violations.
+pub fn check(graph: &mut DataGraph, constraints: &ConstraintSet) -> Vec<ConstraintViolation> {
+    let labels = graph.labels();
+    let schema = compile(constraints, &labels);
+    let dir = graph.as_directory();
+    LegalityChecker::new(&schema)
+        .check(dir)
+        .into_iter()
+        .map(|v| {
+            let node = v.entry().map(NodeId);
+            let constraint = match &v {
+                Violation::MissingRequiredClass { class } => format!("◇{class}"),
+                Violation::RequiredRelViolation { source, kind, target, .. } => {
+                    format!("{source} →{kind} {target}")
+                }
+                Violation::ForbiddenRelViolation { upper, kind, lower, .. } => {
+                    format!("{upper} ↛{kind} {lower}")
+                }
+                other => format!("{other}"),
+            };
+            ConstraintViolation { node, constraint, message: v.to_string() }
+        })
+        .collect()
+}
+
+/// Whether `graph` satisfies `constraints`.
+pub fn satisfies(graph: &mut DataGraph, constraints: &ConstraintSet) -> bool {
+    check(graph, constraints).is_empty()
+}
+
+/// Whether the constraint set admits any finite tree at all (§5 applied to
+/// §6 constraints).
+pub fn is_satisfiable(constraints: &ConstraintSet) -> bool {
+    let schema = compile(constraints, &[]);
+    ConsistencyChecker::new(&schema).check().is_consistent()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §6.3 person/name example.
+    #[test]
+    fn person_needs_name_descendant() {
+        let constraints = ConstraintSet::new().with(PathConstraint::descendant("person", "name"));
+
+        let mut good = DataGraph::new();
+        let db = good.add_root("db");
+        let p = good.add_child(db, "person");
+        let info = good.add_child(p, "info"); // unbounded path length
+        good.add_value_child(info, "name", "laks");
+        assert!(satisfies(&mut good, &constraints));
+
+        let mut bad = DataGraph::new();
+        let db = bad.add_root("db");
+        let p = bad.add_child(db, "person");
+        bad.add_value_child(p, "age", "42");
+        let violations = check(&mut bad, &constraints);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].constraint, "person →de name");
+        assert_eq!(violations[0].node, Some(NodeId(p.0)));
+    }
+
+    /// The paper's §6.3 country/corporation example: countries may contain
+    /// corporations, corporations may contain countries and corporations,
+    /// but no country may sit below another country.
+    #[test]
+    fn country_corporation_nesting() {
+        let constraints =
+            ConstraintSet::new().with(PathConstraint::no_descendant("country", "country"));
+
+        let mut good = DataGraph::new();
+        let world = good.add_root("db");
+        let us = good.add_child(world, "country");
+        let conglomerate = good.add_child(us, "corporation"); // national corp
+        let subsidiary = good.add_child(conglomerate, "corporation"); // conglomerate
+        let _ = subsidiary;
+        assert!(satisfies(&mut good, &constraints));
+
+        // An international corporation under a country would nest countries.
+        let mut bad = good.clone();
+        let intl = bad.add_child(conglomerate, "country");
+        let _ = intl;
+        let violations = check(&mut bad, &constraints);
+        assert!(!violations.is_empty());
+        assert!(violations.iter().all(|v| v.constraint == "country ↛de country"));
+
+        // But an international corporation at the top level is fine.
+        let mut ok = DataGraph::new();
+        let root = ok.add_root("corporation");
+        ok.add_child(root, "country");
+        ok.add_child(root, "country");
+        assert!(satisfies(&mut ok, &constraints));
+    }
+
+    #[test]
+    fn required_label() {
+        let constraints = ConstraintSet::new().with(PathConstraint::RequireLabel("db".into()));
+        let mut g = DataGraph::new();
+        g.add_root("person");
+        assert!(!satisfies(&mut g, &constraints));
+        g.add_root("db");
+        assert!(satisfies(&mut g, &constraints));
+    }
+
+    #[test]
+    fn satisfiability_transfer() {
+        // person needs a name descendant and forbids name descendants: only
+        // satisfiable by trees with no person nodes; requiring a person node
+        // tips it over.
+        let base = ConstraintSet::new()
+            .with(PathConstraint::descendant("person", "name"))
+            .with(PathConstraint::no_descendant("person", "name"));
+        assert!(is_satisfiable(&base));
+        let with_req = base.with(PathConstraint::RequireLabel("person".into()));
+        assert!(!is_satisfiable(&with_req));
+    }
+
+    #[test]
+    fn unconstrained_graph_is_fine() {
+        let mut g = DataGraph::new();
+        g.add_root("anything");
+        assert!(satisfies(&mut g, &ConstraintSet::new()));
+    }
+}

@@ -1,0 +1,176 @@
+//! Path constraints over labelled trees, per §6.3.
+//!
+//! These are exactly the bounding-schema structural relationships with node
+//! labels in place of object classes. The paper positions them against the
+//! fixed-length path constraints of Buneman et al. and the regular-path
+//! constraints of Abiteboul & Vianu: required/forbidden ancestor-descendant
+//! relationships of *unbounded* path length are expressible here and not
+//! there.
+
+use std::fmt;
+
+use bschema_core::schema::{ForbidKind, RelKind};
+
+/// One path constraint over node labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathConstraint {
+    /// At least one node with this label must exist.
+    RequireLabel(String),
+    /// Every `source`-labelled node must have a `kind`-related
+    /// `target`-labelled node (e.g. "each person node must have a
+    /// (descendant) name node", §6.3).
+    Require {
+        /// Label of the obligated nodes.
+        source: String,
+        /// Relationship direction.
+        kind: RelKind,
+        /// Label of the required relative.
+        target: String,
+    },
+    /// No `upper`-labelled node may have a `kind`-related `lower` node
+    /// (e.g. "forbid a country node to be a descendant of another country
+    /// node", §6.3).
+    Forbid {
+        /// Label of the upper node.
+        upper: String,
+        /// Child or descendant.
+        kind: ForbidKind,
+        /// Label of the forbidden relative.
+        lower: String,
+    },
+}
+
+impl PathConstraint {
+    /// `source` must have a `target` descendant (any path length).
+    pub fn descendant(source: impl Into<String>, target: impl Into<String>) -> Self {
+        PathConstraint::Require {
+            source: source.into(),
+            kind: RelKind::Descendant,
+            target: target.into(),
+        }
+    }
+
+    /// `source` must have a `target` child.
+    pub fn child(source: impl Into<String>, target: impl Into<String>) -> Self {
+        PathConstraint::Require {
+            source: source.into(),
+            kind: RelKind::Child,
+            target: target.into(),
+        }
+    }
+
+    /// No `upper` node may have a `lower` descendant.
+    pub fn no_descendant(upper: impl Into<String>, lower: impl Into<String>) -> Self {
+        PathConstraint::Forbid {
+            upper: upper.into(),
+            kind: ForbidKind::Descendant,
+            lower: lower.into(),
+        }
+    }
+
+    /// No `upper` node may have a `lower` child.
+    pub fn no_child(upper: impl Into<String>, lower: impl Into<String>) -> Self {
+        PathConstraint::Forbid {
+            upper: upper.into(),
+            kind: ForbidKind::Child,
+            lower: lower.into(),
+        }
+    }
+}
+
+impl fmt::Display for PathConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathConstraint::RequireLabel(l) => write!(f, "◇{l}"),
+            PathConstraint::Require { source, kind, target } => {
+                write!(f, "{source} →{kind} {target}")
+            }
+            PathConstraint::Forbid { upper, kind, lower } => {
+                write!(f, "{upper} ↛{kind} {lower}")
+            }
+        }
+    }
+}
+
+/// A set of path constraints — the semi-structured bounding-schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    constraints: Vec<PathConstraint>,
+}
+
+impl ConstraintSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constraint (builder style).
+    pub fn with(mut self, c: PathConstraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Adds a constraint.
+    pub fn push(&mut self, c: PathConstraint) {
+        self.constraints.push(c);
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[PathConstraint] {
+        &self.constraints
+    }
+
+    /// Every label mentioned, lowercased and deduplicated.
+    pub fn labels(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .constraints
+            .iter()
+            .flat_map(|c| match c {
+                PathConstraint::RequireLabel(l) => vec![l.clone()],
+                PathConstraint::Require { source, target, .. } => {
+                    vec![source.clone(), target.clone()]
+                }
+                PathConstraint::Forbid { upper, lower, .. } => vec![upper.clone(), lower.clone()],
+            })
+            .map(|l| l.to_ascii_lowercase())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when no constraints are present.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        let c = PathConstraint::descendant("person", "name");
+        assert_eq!(c.to_string(), "person →de name");
+        assert_eq!(PathConstraint::no_descendant("country", "country").to_string(), "country ↛de country");
+        assert_eq!(PathConstraint::RequireLabel("db".into()).to_string(), "◇db");
+        assert_eq!(PathConstraint::child("a", "b").to_string(), "a →ch b");
+        assert_eq!(PathConstraint::no_child("a", "b").to_string(), "a ↛ch b");
+    }
+
+    #[test]
+    fn label_collection() {
+        let set = ConstraintSet::new()
+            .with(PathConstraint::descendant("Person", "name"))
+            .with(PathConstraint::no_descendant("country", "country"))
+            .with(PathConstraint::RequireLabel("db".into()));
+        assert_eq!(set.labels(), ["country", "db", "name", "person"]);
+        assert_eq!(set.len(), 3);
+    }
+}

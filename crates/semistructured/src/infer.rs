@@ -1,0 +1,200 @@
+//! Constraint inference: discovering a bounding-schema from data.
+//!
+//! §6.2 contrasts the directory world's *prescriptive* schemas with the
+//! semi-structured world's *descriptive* ones, where "the challenge is to
+//! discover the schema from observed instances" (citing Nestorov–Abiteboul–
+//! Motwani's lower/upper-bound schemas). This module bridges the two: it
+//! observes a [`DataGraph`] and emits the tightest [`ConstraintSet`] of
+//! bounding-schema elements the instance satisfies — required relationships
+//! every node obeys (lower bounds) and forbidden relationships no node
+//! violates (upper bounds). Feeding the result to [`crate::check()`](fn@crate::check::check) against
+//! the source instance always succeeds; against *future* instances it acts
+//! as the prescriptive schema the data suggested.
+
+use bschema_query::{evaluate, EvalContext, Query};
+
+use crate::constraint::{ConstraintSet, PathConstraint};
+use crate::model::DataGraph;
+
+/// What to infer.
+#[derive(Debug, Clone)]
+pub struct InferenceOptions {
+    /// Emit `a →ch b` / `a →de b` when every `a` node has the relative.
+    pub required: bool,
+    /// Emit `a ↛ch b` / `a ↛de b` when no `a` node has the relative.
+    /// Over-fits small instances (everything unobserved becomes forbidden),
+    /// so it can be switched off.
+    pub forbidden: bool,
+    /// Emit `◇label` for every observed label.
+    pub required_labels: bool,
+}
+
+impl Default for InferenceOptions {
+    fn default() -> Self {
+        InferenceOptions { required: true, forbidden: true, required_labels: false }
+    }
+}
+
+/// Infers the tightest constraint set the instance satisfies, minimised:
+/// `a →ch b` subsumes `a →de b`; `a ↛de b` subsumes `a ↛ch b`.
+pub fn infer(graph: &mut DataGraph, options: &InferenceOptions) -> ConstraintSet {
+    let labels = graph.labels();
+    let dir = graph.as_directory();
+    let ctx = EvalContext::new(dir);
+    let mut out = ConstraintSet::new();
+
+    if options.required_labels {
+        for label in &labels {
+            out.push(PathConstraint::RequireLabel(label.clone()));
+        }
+    }
+
+    for a in &labels {
+        for b in &labels {
+            // Skip self-pairs for required forms (a →de a holds only in
+            // infinite chains; a →ch a likewise) but keep them for
+            // forbidden forms (country ↛de country is the paper's example).
+            let all_have = |q: Query| evaluate(&ctx, &q).is_empty();
+            let none_have = |q: Query| evaluate(&ctx, &q).is_empty();
+
+            if options.required && a != b {
+                let every_child = all_have(
+                    Query::object_class(a.clone())
+                        .minus(Query::object_class(a.clone()).with_child(Query::object_class(b.clone()))),
+                );
+                if every_child {
+                    out.push(PathConstraint::child(a.clone(), b.clone()));
+                } else {
+                    let every_desc = all_have(
+                        Query::object_class(a.clone()).minus(
+                            Query::object_class(a.clone())
+                                .with_descendant(Query::object_class(b.clone())),
+                        ),
+                    );
+                    if every_desc {
+                        out.push(PathConstraint::descendant(a.clone(), b.clone()));
+                    }
+                }
+            }
+
+            if options.forbidden {
+                let no_desc = none_have(
+                    Query::object_class(a.clone()).with_descendant(Query::object_class(b.clone())),
+                );
+                if no_desc {
+                    out.push(PathConstraint::no_descendant(a.clone(), b.clone()));
+                } else {
+                    let no_child = none_have(
+                        Query::object_class(a.clone()).with_child(Query::object_class(b.clone())),
+                    );
+                    if no_child {
+                        out.push(PathConstraint::no_child(a.clone(), b.clone()));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::satisfies;
+
+    /// The §6.3 world: countries holding national corporations with
+    /// subsidiaries; a top-level multinational holding countries.
+    fn world() -> DataGraph {
+        let mut g = DataGraph::new();
+        let db = g.add_root("db");
+        let us = g.add_child(db, "country");
+        let natl = g.add_child(us, "corporation");
+        let _sub = g.add_child(natl, "corporation");
+        let multi = g.add_child(db, "corporation");
+        let de = g.add_child(multi, "country");
+        g.add_child(de, "corporation"); // German subsidiary
+        g
+    }
+
+    #[test]
+    fn inferred_constraints_hold_on_the_source() {
+        let mut g = world();
+        let inferred = infer(&mut g, &InferenceOptions::default());
+        assert!(!inferred.is_empty());
+        assert!(
+            satisfies(&mut g, &inferred),
+            "inference must be sound by construction: {inferred:?}"
+        );
+    }
+
+    #[test]
+    fn paper_example_constraints_are_discovered() {
+        let mut g = world();
+        let inferred = infer(&mut g, &InferenceOptions::default());
+        // The §6.3 prohibition is observed: no country nests inside another.
+        assert!(
+            inferred
+                .constraints()
+                .contains(&PathConstraint::no_descendant("country", "country")),
+            "{inferred:?}"
+        );
+        // Countries are never below corporations... false here (multi holds
+        // a country), so that must NOT be inferred.
+        assert!(!inferred
+            .constraints()
+            .contains(&PathConstraint::no_descendant("corporation", "country")));
+        // Every country in this instance holds a corporation.
+        assert!(inferred
+            .constraints()
+            .contains(&PathConstraint::child("country", "corporation")));
+    }
+
+    #[test]
+    fn child_subsumes_descendant_and_de_subsumes_ch() {
+        let mut g = DataGraph::new();
+        let r = g.add_root("person");
+        g.add_value_child(r, "name", "x");
+        let inferred = infer(&mut g, &InferenceOptions::default());
+        let c = inferred.constraints();
+        // person →ch name inferred; person →de name suppressed as implied.
+        assert!(c.contains(&PathConstraint::child("person", "name")));
+        assert!(!c.contains(&PathConstraint::descendant("person", "name")));
+        // name ↛de person inferred; name ↛ch person suppressed.
+        assert!(c.contains(&PathConstraint::no_descendant("name", "person")));
+        assert!(!c.contains(&PathConstraint::no_child("name", "person")));
+    }
+
+    #[test]
+    fn forbidden_inference_can_be_disabled() {
+        let mut g = world();
+        let opts = InferenceOptions { forbidden: false, ..Default::default() };
+        let inferred = infer(&mut g, &opts);
+        assert!(inferred
+            .constraints()
+            .iter()
+            .all(|c| !matches!(c, PathConstraint::Forbid { .. })));
+    }
+
+    #[test]
+    fn required_labels_option() {
+        let mut g = world();
+        let opts = InferenceOptions { required_labels: true, required: false, forbidden: false };
+        let inferred = infer(&mut g, &opts);
+        assert!(inferred
+            .constraints()
+            .contains(&PathConstraint::RequireLabel("country".into())));
+        assert!(satisfies(&mut g, &inferred));
+    }
+
+    #[test]
+    fn inferred_schema_rejects_deviant_future_instances() {
+        let mut g = world();
+        let inferred = infer(&mut g, &InferenceOptions::default());
+        // A future instance nesting countries violates the inferred bounds.
+        let mut future = world();
+        let root = future.add_root("country");
+        let inner = future.add_child(root, "corporation");
+        future.add_child(inner, "country");
+        assert!(!satisfies(&mut future, &inferred));
+    }
+}

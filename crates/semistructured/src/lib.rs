@@ -1,0 +1,44 @@
+//! # bschema-semistructured
+//!
+//! §6 of the paper: bounding-schema structural constraints applied beyond
+//! LDAP, to semi-structured (edge-labelled tree) data.
+//!
+//! The fixed-length path constraints of Buneman–Fan–Weinstein and the
+//! regular-path constraints of Abiteboul–Vianu cannot express required or
+//! forbidden ancestor–descendant relationships of *unbounded* path length;
+//! bounding-schema relationships can ("each person node must have a
+//! (descendant) name node", "forbid a country node to be a descendant of
+//! another country node"). This crate provides:
+//!
+//! * [`model`] — a labelled-tree data model ([`DataGraph`]);
+//! * [`constraint`] — label-based path constraints ([`PathConstraint`],
+//!   [`ConstraintSet`]);
+//! * [`check`](mod@check) — constraint checking and satisfiability by reduction to the
+//!   LDAP machinery of `bschema-core` (labels become core classes).
+//!
+//! ```
+//! use bschema_semistructured::{DataGraph, ConstraintSet, PathConstraint, satisfies};
+//!
+//! let constraints = ConstraintSet::new()
+//!     .with(PathConstraint::descendant("person", "name"))
+//!     .with(PathConstraint::no_descendant("country", "country"));
+//!
+//! let mut g = DataGraph::new();
+//! let db = g.add_root("db");
+//! let person = g.add_child(db, "person");
+//! g.add_value_child(person, "name", "laks");
+//! assert!(satisfies(&mut g, &constraints));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod constraint;
+pub mod infer;
+pub mod model;
+
+pub use check::{check, compile, is_satisfiable, satisfies, ConstraintViolation};
+pub use constraint::{ConstraintSet, PathConstraint};
+pub use infer::{infer, InferenceOptions};
+pub use model::{DataGraph, NodeId};

@@ -1,0 +1,137 @@
+//! A minimal semi-structured data model: an unordered labelled tree with
+//! optional atomic values at the nodes (OEM-flavoured).
+//!
+//! The §6.3 observation is that bounding-schema structural relationships
+//! transfer directly to this model: node labels play the role of object
+//! classes. Internally each node is encoded as a directory entry whose
+//! classes are `{label, top}`, so the hierarchical query engine and the
+//! legality machinery apply unchanged.
+
+use bschema_directory::{DirectoryInstance, Entry, EntryId};
+
+/// Handle to a node in a [`DataGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) EntryId);
+
+/// A labelled tree of semi-structured data.
+#[derive(Debug, Clone, Default)]
+pub struct DataGraph {
+    dir: DirectoryInstance,
+}
+
+impl DataGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DataGraph::default()
+    }
+
+    fn entry(label: &str, value: Option<&str>) -> Entry {
+        let mut builder = Entry::builder().class(label).class("top");
+        if let Some(v) = value {
+            builder = builder.attr("value", v);
+        }
+        builder.build()
+    }
+
+    /// Adds a root node.
+    pub fn add_root(&mut self, label: &str) -> NodeId {
+        NodeId(self.dir.add_root_entry(Self::entry(label, None)))
+    }
+
+    /// Adds a child node.
+    pub fn add_child(&mut self, parent: NodeId, label: &str) -> NodeId {
+        NodeId(
+            self.dir
+                .add_child_entry(parent.0, Self::entry(label, None))
+                .expect("parent node exists"),
+        )
+    }
+
+    /// Adds a leaf child carrying an atomic value.
+    pub fn add_value_child(&mut self, parent: NodeId, label: &str, value: &str) -> NodeId {
+        NodeId(
+            self.dir
+                .add_child_entry(parent.0, Self::entry(label, Some(value)))
+                .expect("parent node exists"),
+        )
+    }
+
+    /// The node's label.
+    pub fn label(&self, node: NodeId) -> &str {
+        self.dir
+            .entry(node.0)
+            .expect("node exists")
+            .classes()
+            .iter()
+            .find(|c| !c.eq_ignore_ascii_case("top"))
+            .map(String::as_str)
+            .unwrap_or("top")
+    }
+
+    /// The node's atomic value, if any.
+    pub fn value(&self, node: NodeId) -> Option<&str> {
+        self.dir.entry(node.0)?.first_value("value")
+    }
+
+    /// Parent of a node.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.dir.forest().parent(node.0).map(NodeId)
+    }
+
+    /// Children of a node.
+    pub fn children(&self, node: NodeId) -> Vec<NodeId> {
+        self.dir.forest().children(node.0).map(NodeId).collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.dir.is_empty()
+    }
+
+    /// The underlying directory encoding (prepared); constraint checking
+    /// runs against this.
+    pub fn as_directory(&mut self) -> &DirectoryInstance {
+        self.dir.prepare();
+        &self.dir
+    }
+
+    /// Labels present in the graph, lowercased, sorted.
+    pub fn labels(&mut self) -> Vec<String> {
+        self.dir.prepare();
+        let mut labels: Vec<String> = self
+            .dir
+            .index()
+            .classes()
+            .filter(|c| *c != "top")
+            .map(str::to_owned)
+            .collect();
+        labels.sort_unstable();
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_navigate() {
+        let mut g = DataGraph::new();
+        let db = g.add_root("db");
+        let person = g.add_child(db, "person");
+        let name = g.add_value_child(person, "name", "laks");
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.label(person), "person");
+        assert_eq!(g.label(name), "name");
+        assert_eq!(g.value(name), Some("laks"));
+        assert_eq!(g.value(person), None);
+        assert_eq!(g.parent(name), Some(person));
+        assert_eq!(g.children(db), [person]);
+        assert_eq!(g.labels(), ["db", "name", "person"]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # bschema-workload
+//!
+//! Synthetic workload generators for the bounding-schemas reproduction.
+//! The paper (EDBT 2000) reports no datasets, so the benchmarks use
+//! organisation-shaped directories, randomized schemas, and randomized
+//! update transactions generated here — all seeded for reproducibility.
+//!
+//! * [`org`] — corporate white-pages directories of any size, conforming to
+//!   the paper's Figures 2–3 schema, with optional injected violations;
+//! * [`schema_gen`] — random bounding-schemas: a consistent family, an
+//!   inconsistent family (planted cycles/contradictions), and an
+//!   unconstrained family for consistency-checker benchmarking;
+//! * [`tx_gen`] — random legality-preserving and violating update
+//!   transactions over generated directories.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod org;
+pub mod schema_gen;
+pub mod tx_gen;
+
+pub use org::{OrgGenerator, OrgParams};
+pub use schema_gen::{SchemaGenerator, SchemaParams};
+pub use tx_gen::{TxGenerator, TxParams};

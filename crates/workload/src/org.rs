@@ -1,0 +1,263 @@
+//! Organisation-shaped directory generator.
+//!
+//! Produces corporate white-pages instances of any size that are legal
+//! w.r.t. the paper's Figures 2–3 schema
+//! ([`bschema_core::paper::white_pages_schema`]): one organization root, a
+//! tree of orgUnits, and person entries (staff members / researchers, with
+//! heterogeneous optional attributes — the §1 motivation: "person john may
+//! have no e-mail address, jack a single one, mary multiple"). Violations
+//! can be injected at a configurable rate for checker benchmarks.
+
+use bschema_directory::{DirectoryInstance, Entry, EntryId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters for [`OrgGenerator`].
+#[derive(Debug, Clone)]
+pub struct OrgParams {
+    /// Approximate number of entries to generate (exact count may exceed by
+    /// the final unit's fill).
+    pub target_entries: usize,
+    /// Children per orgUnit that are themselves orgUnits, on average.
+    pub unit_fanout: usize,
+    /// Person entries per leaf orgUnit, on average.
+    pub persons_per_unit: usize,
+    /// Probability a person is a researcher (vs staffMember).
+    pub researcher_ratio: f64,
+    /// Probability a person carries the `online` auxiliary with mail
+    /// values.
+    pub online_ratio: f64,
+    /// Number of entries to corrupt (removing a required attribute or
+    /// planting a forbidden child) — 0 for legal instances.
+    pub violations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OrgParams {
+    fn default() -> Self {
+        OrgParams {
+            target_entries: 1000,
+            unit_fanout: 4,
+            persons_per_unit: 8,
+            researcher_ratio: 0.3,
+            online_ratio: 0.5,
+            violations: 0,
+            seed: 42,
+        }
+    }
+}
+
+impl OrgParams {
+    /// Convenience: default parameters scaled to `n` entries.
+    pub fn sized(n: usize) -> Self {
+        OrgParams { target_entries: n, ..OrgParams::default() }
+    }
+}
+
+/// The generator.
+#[derive(Debug)]
+pub struct OrgGenerator {
+    params: OrgParams,
+    rng: StdRng,
+    counter: usize,
+}
+
+impl OrgGenerator {
+    /// A generator with the given parameters.
+    pub fn new(params: OrgParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed);
+        OrgGenerator { params, rng, counter: 0 }
+    }
+
+    fn next_id(&mut self) -> usize {
+        self.counter += 1;
+        self.counter
+    }
+
+    fn person(&mut self) -> Entry {
+        let uid = format!("u{}", self.next_id());
+        let researcher = self.rng.random_bool(self.params.researcher_ratio);
+        let online = self.rng.random_bool(self.params.online_ratio);
+        let mut builder = Entry::builder()
+            .class(if researcher { "researcher" } else { "staffMember" })
+            .class("person")
+            .class("top")
+            .attr("uid", uid.clone())
+            .attr("name", format!("name of {uid}"));
+        if online {
+            builder = builder.class("online").attr("mail", format!("{uid}@example.com"));
+            // Heterogeneity: some people have several addresses.
+            if self.rng.random_bool(0.3) {
+                builder = builder.attr("mail", format!("{uid}@research.example.com"));
+            }
+        }
+        if self.rng.random_bool(0.4) {
+            builder = builder.attr("telephoneNumber", format!("+1 973 360 {:04}", self.counter % 10_000));
+        }
+        builder.build()
+    }
+
+    fn org_unit(&mut self) -> Entry {
+        let ou = format!("unit{}", self.next_id());
+        Entry::builder()
+            .classes(["orgUnit", "orgGroup", "top"])
+            .attr("ou", ou)
+            .build()
+    }
+
+    /// Generates the instance (prepared) and the ids of all person entries.
+    pub fn generate(mut self) -> GeneratedOrg {
+        let mut dir = DirectoryInstance::white_pages();
+        let org = dir.add_root_entry(
+            Entry::builder()
+                .classes(["organization", "orgGroup", "online", "top"])
+                .attr("o", "acme")
+                .attr("uri", "http://www.example.com/")
+                .build(),
+        );
+        let mut units: Vec<EntryId> = Vec::new();
+        let mut persons: Vec<EntryId> = Vec::new();
+
+        // First unit directly under the organization.
+        let first_unit = dir
+            .add_child_entry(org, self.org_unit())
+            .expect("org exists");
+        units.push(first_unit);
+
+        // Grow breadth-first until the target size is reached: every unit
+        // gets persons (satisfying orgGroup ⇒⇒ person) and possibly child
+        // units.
+        let mut frontier = vec![first_unit];
+        while dir.len() < self.params.target_entries {
+            let unit = match frontier.pop() {
+                Some(u) => u,
+                None => {
+                    // All leaves filled; widen the last unit.
+                    *units.last().expect("at least one unit")
+                }
+            };
+            let persons_here = 1 + self.rng.random_range(0..self.params.persons_per_unit.max(1) * 2);
+            for _ in 0..persons_here {
+                let p = self.person();
+                let id = dir.add_child_entry(unit, p).expect("unit exists");
+                persons.push(id);
+                if dir.len() >= self.params.target_entries {
+                    break;
+                }
+            }
+            if dir.len() >= self.params.target_entries {
+                break;
+            }
+            let subunits = self.rng.random_range(0..self.params.unit_fanout.max(1) + 1);
+            for _ in 0..subunits {
+                let u = self.org_unit();
+                let id = dir.add_child_entry(unit, u).expect("unit exists");
+                units.push(id);
+                frontier.push(id);
+                // Every orgUnit needs a person descendant: give it one now
+                // so the instance stays legal even if the loop stops here.
+                let p = self.person();
+                let pid = dir.add_child_entry(id, p).expect("unit exists");
+                persons.push(pid);
+                if dir.len() >= self.params.target_entries {
+                    break;
+                }
+            }
+        }
+
+        // Inject violations if requested.
+        let mut injected = 0;
+        while injected < self.params.violations && !persons.is_empty() {
+            let victim = persons[self.rng.random_range(0..persons.len())];
+            if self.rng.random_bool(0.5) {
+                // Content violation: drop a required attribute.
+                if let Some(e) = dir.entry_mut(victim) {
+                    if e.remove_attribute("name") {
+                        injected += 1;
+                        continue;
+                    }
+                }
+            }
+            // Structure violation: give a person a child (person ↛ch top).
+            let extra = self.person();
+            if dir.add_child_entry(victim, extra).is_ok() {
+                injected += 1;
+            }
+        }
+
+        dir.prepare();
+        GeneratedOrg { dir, org, units, persons }
+    }
+}
+
+/// A generated organisation directory with handles for workloads.
+#[derive(Debug)]
+pub struct GeneratedOrg {
+    /// The prepared instance.
+    pub dir: DirectoryInstance,
+    /// The organization root.
+    pub org: EntryId,
+    /// All orgUnit entries.
+    pub units: Vec<EntryId>,
+    /// All person entries.
+    pub persons: Vec<EntryId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bschema_core::legality::LegalityChecker;
+    use bschema_core::paper::white_pages_schema;
+
+    #[test]
+    fn generated_instances_are_legal() {
+        let schema = white_pages_schema();
+        for (seed, size) in [(1u64, 50usize), (2, 500), (3, 2000)] {
+            let gen = OrgGenerator::new(OrgParams { seed, target_entries: size, ..OrgParams::default() });
+            let out = gen.generate();
+            assert!(out.dir.len() >= size, "size {} < target {size}", out.dir.len());
+            let report = LegalityChecker::new(&schema).check(&out.dir);
+            assert!(report.is_legal(), "seed {seed} size {size}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = OrgGenerator::new(OrgParams::sized(300)).generate();
+        let b = OrgGenerator::new(OrgParams::sized(300)).generate();
+        assert_eq!(a.dir.len(), b.dir.len());
+        assert_eq!(a.persons.len(), b.persons.len());
+        let uids = |d: &DirectoryInstance| -> Vec<String> {
+            d.iter().filter_map(|(_, e)| e.first_value("uid").map(str::to_owned)).collect()
+        };
+        assert_eq!(uids(&a.dir), uids(&b.dir));
+    }
+
+    #[test]
+    fn violations_are_injected() {
+        let schema = white_pages_schema();
+        let gen = OrgGenerator::new(OrgParams {
+            target_entries: 200,
+            violations: 5,
+            ..OrgParams::default()
+        });
+        let out = gen.generate();
+        let report = LegalityChecker::new(&schema).check(&out.dir);
+        assert!(!report.is_legal());
+        assert!(report.len() >= 5, "expected ≥5 violations, got {}", report.len());
+    }
+
+    #[test]
+    fn heterogeneity_is_present() {
+        let out = OrgGenerator::new(OrgParams::sized(1000)).generate();
+        let mail_counts: Vec<usize> = out
+            .persons
+            .iter()
+            .map(|&p| out.dir.entry(p).unwrap().values("mail").len())
+            .collect();
+        assert!(mail_counts.contains(&0), "some person without mail");
+        assert!(mail_counts.contains(&1), "some person with one mail");
+        assert!(mail_counts.iter().any(|&c| c >= 2), "some person with several mails");
+    }
+}

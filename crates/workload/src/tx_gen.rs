@@ -1,0 +1,166 @@
+//! Random update-transaction generator over generated org directories.
+
+use bschema_core::updates::Transaction;
+use bschema_directory::{DirectoryInstance, Entry, EntryId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::org::GeneratedOrg;
+
+/// Parameters for [`TxGenerator`].
+#[derive(Debug, Clone)]
+pub struct TxParams {
+    /// Entries per inserted subtree.
+    pub subtree_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TxParams {
+    fn default() -> Self {
+        TxParams { subtree_size: 5, seed: 99 }
+    }
+}
+
+/// The generator.
+#[derive(Debug)]
+pub struct TxGenerator {
+    params: TxParams,
+    rng: StdRng,
+    counter: usize,
+}
+
+impl TxGenerator {
+    /// A generator with the given parameters.
+    pub fn new(params: TxParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed);
+        TxGenerator { params, rng, counter: 0 }
+    }
+
+    fn next_uid(&mut self) -> String {
+        self.counter += 1;
+        format!("tx{}", self.counter)
+    }
+
+    fn person(&mut self) -> Entry {
+        let uid = self.next_uid();
+        Entry::builder()
+            .classes(["researcher", "person", "top"])
+            .attr("uid", uid.clone())
+            .attr("name", format!("name of {uid}"))
+            .build()
+    }
+
+    fn org_unit(&mut self) -> Entry {
+        let ou = self.next_uid();
+        Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", ou).build()
+    }
+
+    /// A legality-preserving insertion: a new orgUnit subtree (with persons
+    /// inside) under a random existing unit.
+    pub fn legal_insertion(&mut self, org: &GeneratedOrg) -> Transaction {
+        let mut tx = Transaction::new();
+        let parent = org.units[self.rng.random_range(0..org.units.len())];
+        let unit_entry = self.org_unit();
+        let unit_op = tx.insert_under(parent, unit_entry);
+        for _ in 0..self.params.subtree_size.saturating_sub(1).max(1) {
+            let p = self.person();
+            tx.insert_under_new(unit_op, p);
+        }
+        tx
+    }
+
+    /// A legality-preserving deletion: one person whose parent unit keeps at
+    /// least one other person child. Returns `None` when no such person
+    /// exists.
+    pub fn legal_deletion(&mut self, org: &GeneratedOrg, dir: &DirectoryInstance) -> Option<Transaction> {
+        let start = self.rng.random_range(0..org.persons.len().max(1));
+        let is_person = |id: EntryId| dir.entry(id).is_some_and(|e| e.has_class("person"));
+        for offset in 0..org.persons.len() {
+            let candidate = org.persons[(start + offset) % org.persons.len()];
+            if !dir.contains(candidate) || !dir.forest().is_leaf(candidate) {
+                continue;
+            }
+            let Some(parent) = dir.forest().parent(candidate) else {
+                continue;
+            };
+            let sibling_persons = dir
+                .forest()
+                .children(parent)
+                .filter(|&c| c != candidate && is_person(c))
+                .count();
+            if sibling_persons >= 1 {
+                let mut tx = Transaction::new();
+                tx.delete(candidate);
+                return Some(tx);
+            }
+        }
+        None
+    }
+
+    /// A legality-violating insertion: an orgUnit under a random person
+    /// (violates `person ↛ch top` and `orgUnit →pa orgGroup`).
+    pub fn violating_insertion(&mut self, org: &GeneratedOrg, dir: &DirectoryInstance) -> Option<Transaction> {
+        let start = self.rng.random_range(0..org.persons.len().max(1));
+        for offset in 0..org.persons.len() {
+            let victim = org.persons[(start + offset) % org.persons.len()];
+            if dir.contains(victim) {
+                let mut tx = Transaction::new();
+                let unit = self.org_unit();
+                tx.insert_under(victim, unit);
+                return Some(tx);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::org::{OrgGenerator, OrgParams};
+    use bschema_core::legality::LegalityChecker;
+    use bschema_core::paper::white_pages_schema;
+    use bschema_core::updates::apply_and_check;
+
+    #[test]
+    fn legal_workloads_stay_legal() {
+        let schema = white_pages_schema();
+        let mut org = OrgGenerator::new(OrgParams::sized(300)).generate();
+        let mut gen = TxGenerator::new(TxParams::default());
+        let checker = LegalityChecker::new(&schema);
+        for round in 0..10 {
+            let tx = if round % 2 == 0 {
+                gen.legal_insertion(&org)
+            } else {
+                match gen.legal_deletion(&org, &org.dir) {
+                    Some(tx) => tx,
+                    None => continue,
+                }
+            };
+            let applied = apply_and_check(&schema, &mut org.dir, &tx).unwrap();
+            assert!(applied.report.is_legal(), "round {round}: {}", applied.report);
+            assert!(checker.check(&org.dir).is_legal(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn violating_insertions_violate() {
+        let schema = white_pages_schema();
+        let mut org = OrgGenerator::new(OrgParams::sized(200)).generate();
+        let mut gen = TxGenerator::new(TxParams::default());
+        let tx = gen.violating_insertion(&org, &org.dir).unwrap();
+        let applied = apply_and_check(&schema, &mut org.dir, &tx).unwrap();
+        assert!(!applied.report.is_legal());
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let org = OrgGenerator::new(OrgParams::sized(200)).generate();
+        let mut a = TxGenerator::new(TxParams::default());
+        let mut b = TxGenerator::new(TxParams::default());
+        let ta = a.legal_insertion(&org);
+        let tb = b.legal_insertion(&org);
+        assert_eq!(ta.len(), tb.len());
+    }
+}

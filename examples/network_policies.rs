@@ -1,0 +1,157 @@
+//! A directory-enabled networks (DEN) scenario — the paper's §1 motivation
+//! beyond white pages: "network resources and policies".
+//!
+//! The bounding-schema below models sites containing network devices, with
+//! policies attached under the devices they govern:
+//!
+//! * every site must contain at least one router (required descendant);
+//! * every policy must hang directly under a device (required parent);
+//! * interfaces live under devices, never under policies;
+//! * a person must never appear inside the network tree (the §1 example of
+//!   prohibiting inappropriate combinations, inverted).
+//!
+//! Run with: `cargo run --example network_policies`
+
+use bschema_core::managed::{ManagedDirectory, ManagedError};
+use bschema_core::schema::{DirectorySchema, ForbidKind, RelKind};
+use bschema_core::updates::Transaction;
+use bschema_directory::{AttributeDef, AttributeRegistry, Entry, Syntax};
+use bschema_query::Query;
+
+fn den_schema() -> DirectorySchema {
+    DirectorySchema::builder()
+        .named("directory-enabled networks")
+        .core_class("site", "top")
+        .and_then(|b| b.core_class("device", "top"))
+        .and_then(|b| b.core_class("router", "device"))
+        .and_then(|b| b.core_class("switch", "device"))
+        .and_then(|b| b.core_class("interface", "top"))
+        .and_then(|b| b.core_class("policy", "top"))
+        .and_then(|b| b.core_class("qosPolicy", "policy"))
+        .and_then(|b| b.core_class("aclPolicy", "policy"))
+        .and_then(|b| b.core_class("person", "top"))
+        .and_then(|b| b.auxiliary("managed"))
+        .and_then(|b| b.allow_aux("device", "managed"))
+        .and_then(|b| b.require_attrs("site", ["siteName"]))
+        .and_then(|b| b.require_attrs("device", ["deviceId"]))
+        .and_then(|b| b.allow_attrs("device", ["vendor"]))
+        .and_then(|b| b.require_attrs("interface", ["ifName"]))
+        .and_then(|b| b.require_attrs("policy", ["policyName"]))
+        .and_then(|b| b.allow_attrs("policy", ["priority"]))
+        .and_then(|b| b.allow_attrs("managed", ["mgmtUri"]))
+        // Structure bounds.
+        .and_then(|b| b.require_class("site"))
+        .and_then(|b| b.require_rel("site", RelKind::Descendant, "router"))
+        .and_then(|b| b.require_rel("policy", RelKind::Parent, "device"))
+        .and_then(|b| b.require_rel("interface", RelKind::Parent, "device"))
+        .and_then(|b| b.require_rel("device", RelKind::Ancestor, "site"))
+        .and_then(|b| b.forbid_rel("policy", ForbidKind::Descendant, "device"))
+        .and_then(|b| b.forbid_rel("site", ForbidKind::Descendant, "person"))
+        .map(|b| b.build())
+        .expect("DEN schema is well-formed")
+}
+
+fn registry() -> AttributeRegistry {
+    let mut reg = AttributeRegistry::new();
+    for def in [
+        AttributeDef::new("siteName", Syntax::DirectoryString).single_valued(),
+        AttributeDef::new("deviceId", Syntax::DirectoryString).single_valued(),
+        AttributeDef::new("vendor", Syntax::DirectoryString),
+        AttributeDef::new("ifName", Syntax::DirectoryString),
+        AttributeDef::new("policyName", Syntax::DirectoryString),
+        AttributeDef::new("priority", Syntax::Integer).single_valued(),
+        AttributeDef::new("mgmtUri", Syntax::Uri),
+    ] {
+        reg.register(def).expect("fresh names");
+    }
+    reg
+}
+
+fn main() {
+    let schema = den_schema();
+    let mut net = ManagedDirectory::new(schema, registry()).expect("schema is consistent");
+    println!("DEN directory opened; legal yet: {} (◇site unmet)\n", net.is_legal());
+
+    // Bootstrap transaction: a site with a managed router, an interface,
+    // and a QoS policy — all in one atomic unit (Theorem 4.1 granularity).
+    let mut tx = Transaction::new();
+    let site = tx.insert_root(
+        Entry::builder().classes(["site", "top"]).attr("siteName", "florham-park").build(),
+    );
+    let router = tx.insert_under_new(
+        site,
+        Entry::builder()
+            .classes(["router", "device", "top", "managed"])
+            .attr("deviceId", "fp-core-1")
+            .attr("vendor", "Acme Networks")
+            .attr("mgmtUri", "https://mgmt.example/fp-core-1")
+            .build(),
+    );
+    tx.insert_under_new(
+        router,
+        Entry::builder().classes(["interface", "top"]).attr("ifName", "ge-0/0/0").build(),
+    );
+    tx.insert_under_new(
+        router,
+        Entry::builder()
+            .classes(["qosPolicy", "policy", "top"])
+            .attr("policyName", "gold-voice")
+            .attr("priority", "1")
+            .build(),
+    );
+    net.apply(&tx).expect("bootstrap satisfies every bound");
+    println!("bootstrapped: {} entries, legal = {}\n", net.len(), net.is_legal());
+
+    // Query: all policies governed by devices in the site.
+    let q = Query::object_class("policy").with_ancestor(Query::object_class("site"));
+    println!("policies in effect:");
+    for id in net.query(&q) {
+        let e = net.instance().entry(id).unwrap();
+        println!(
+            "  {} (priority {})",
+            e.first_value("policyName").unwrap_or("?"),
+            e.first_value("priority").unwrap_or("-")
+        );
+    }
+    println!();
+
+    // Policy under a policy: forbidden (policies don't govern devices, and
+    // `policy →pa device` demands a device parent).
+    let policies = net.query(&Query::object_class("qosPolicy"));
+    let mut bad = Transaction::new();
+    bad.insert_under(
+        policies[0],
+        Entry::builder().classes(["aclPolicy", "policy", "top"]).attr("policyName", "oops").build(),
+    );
+    match net.apply(&bad) {
+        Err(ManagedError::RolledBack(report)) => {
+            println!("nested policy rejected:\n{report}");
+        }
+        other => panic!("expected rollback, got {other:?}"),
+    }
+
+    // A person in the network tree: forbidden outright.
+    let sites = net.query(&Query::object_class("site"));
+    let mut bad = Transaction::new();
+    bad.insert_under(
+        sites[0],
+        Entry::builder().classes(["person", "top"]).build(),
+    );
+    match net.apply(&bad) {
+        Err(ManagedError::RolledBack(report)) => {
+            println!("person inside site rejected:\n{report}");
+        }
+        other => panic!("expected rollback, got {other:?}"),
+    }
+
+    // Deleting the only router would break `site →de router`: rolled back.
+    let routers = net.query(&Query::object_class("router"));
+    match net.delete_subtree(routers[0]) {
+        Err(ManagedError::RolledBack(report)) => {
+            println!("router deletion rejected:\n{report}");
+        }
+        other => panic!("expected rollback, got {other:?}"),
+    }
+
+    println!("final state: {} entries, still legal = {}", net.len(), net.is_legal());
+}

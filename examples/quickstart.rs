@@ -1,0 +1,77 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the Figure 2–3 bounding-schema and the Figure 1 white-pages
+//! instance, then exercises all three algorithm families: consistency (§5),
+//! legality (§3), and incremental update checking (§4).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bschema_core::consistency::ConsistencyChecker;
+use bschema_core::legality::LegalityChecker;
+use bschema_core::paper::{white_pages_instance, white_pages_schema};
+use bschema_core::updates::{apply_and_check, Transaction};
+use bschema_directory::Entry;
+use bschema_query::{evaluate, EvalContext, Query};
+
+fn main() {
+    // ----- the schema (Figures 2 + 3) -----
+    let schema = white_pages_schema();
+    println!("schema: {:?}, {} elements", schema.name().unwrap(), schema.size());
+
+    // §5: is it consistent (satisfiable by some finite directory)?
+    let consistency = ConsistencyChecker::new(&schema).check();
+    println!("consistent: {}\n", consistency.is_consistent());
+
+    // ----- the instance (Figure 1) -----
+    let (mut dir, ids) = white_pages_instance();
+    println!("instance: {} entries, e.g. laks =", dir.len());
+    println!("{}\n", dir.entry(ids.laks).unwrap());
+
+    // §3: legality.
+    let checker = LegalityChecker::new(&schema).with_value_validation(true);
+    let report = checker.check(&dir);
+    println!("Figure 1 legal w.r.t. Figures 2-3: {}\n", report.is_legal());
+
+    // A hierarchical query (the algebra of reference [9]): all persons under
+    // the organization.
+    let q = Query::object_class("person").with_ancestor(Query::object_class("organization"));
+    let hits = evaluate(&EvalContext::new(&dir), &q);
+    println!("query {q}");
+    for id in hits {
+        println!("  -> {}", dir.entry(id).unwrap().first_value("uid").unwrap_or("?"));
+    }
+    println!();
+
+    // §4: a legal transaction — a new voice research unit with two people —
+    // checked incrementally (Theorem 4.1 subtree granularity + Figure 5
+    // Δ-queries).
+    let mut tx = Transaction::new();
+    let unit = tx.insert_under(
+        ids.att_labs,
+        Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", "voice").build(),
+    );
+    for uid in ["alice", "bob"] {
+        tx.insert_under_new(
+            unit,
+            Entry::builder()
+                .classes(["researcher", "person", "top"])
+                .attr("uid", uid)
+                .attr("name", format!("{uid} example"))
+                .build(),
+        );
+    }
+    let applied = apply_and_check(&schema, &mut dir, &tx).expect("structurally valid tx");
+    println!("insert voice unit + 2 researchers: legal = {}", applied.report.is_legal());
+    println!("directory now has {} entries\n", dir.len());
+
+    // An illegal transaction — an orgUnit under a person — is caught by the
+    // Figure 5 Δ-queries (person ↛ch top, orgUnit →pa orgGroup).
+    let mut bad = Transaction::new();
+    bad.insert_under(
+        ids.suciu,
+        Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", "oops").build(),
+    );
+    let applied = apply_and_check(&schema, &mut dir, &bad).expect("structurally valid tx");
+    println!("insert orgUnit under suciu: legal = {}", applied.report.is_legal());
+    print!("{}", applied.report);
+}

@@ -1,0 +1,60 @@
+//! Schema discovery: from a descriptive to a prescriptive schema (§6.2).
+//!
+//! Mines the regularities of an existing directory into a suggested
+//! bounding-schema, shows that the suggestion accepts its source, then uses
+//! it prescriptively: a deviant future update is rejected.
+//!
+//! Run with: `cargo run --example schema_discovery`
+
+use bschema_core::discover::{suggest_schema, DiscoveryOptions};
+use bschema_core::legality::LegalityChecker;
+use bschema_core::managed::ManagedDirectory;
+use bschema_core::paper::white_pages_instance;
+use bschema_core::schema::dsl::print_schema;
+use bschema_directory::Entry;
+
+fn main() {
+    // An existing, unmanaged directory (the paper's Figure 1).
+    let (dir, ids) = white_pages_instance();
+    println!("observing {} entries...\n", dir.len());
+
+    // Mine the tightest bounds the data satisfies.
+    let options = DiscoveryOptions { forbidden: true, ..Default::default() };
+    let suggested = suggest_schema(&dir, &options);
+    println!(
+        "suggested schema: {} classes, {} structure elements, {} total elements",
+        suggested.classes().len(),
+        suggested.structure().len(),
+        suggested.size()
+    );
+    println!("\n--- suggested schema (DSL) ---\n{}", print_schema(&suggested, None));
+
+    // Soundness: the suggestion accepts the data it was mined from.
+    let report = LegalityChecker::new(&suggested).check(&dir);
+    println!("source instance legal under suggestion: {}\n", report.is_legal());
+
+    // Used prescriptively, it rejects structure the data never exhibited.
+    let mut managed = ManagedDirectory::with_instance(suggested, dir)
+        .expect("mined schemas are consistent and accept their source");
+    match managed.insert_under(
+        ids.laks,
+        Entry::builder().classes(["orgunit", "orggroup", "top"]).attr("ou", "odd").build(),
+    ) {
+        Err(e) => println!("deviant update rejected, as the mined bounds prescribe:\n{e}"),
+        Ok(_) => println!("update accepted"),
+    }
+
+    // Conforming growth still works: a researcher in an existing unit.
+    managed
+        .insert_under(
+            ids.databases,
+            Entry::builder()
+                .classes(["researcher", "person", "top", "online"])
+                .attr("uid", "milo")
+                .attr("name", "t milo")
+                .attr("mail", "milo@example.com")
+                .build(),
+        )
+        .expect("conforming entries are accepted");
+    println!("\nconforming insert accepted; directory now has {} entries", managed.len());
+}

@@ -1,0 +1,65 @@
+//! §6.3: bounding-schema constraints on semi-structured data.
+//!
+//! Reproduces both of the paper's §6.3 examples — "each person node must
+//! have a (descendant) name node, without having to fix the length of the
+//! path", and the country/corporation nesting rules — over a small
+//! OEM-style labelled tree.
+//!
+//! Run with: `cargo run --example semistructured_demo`
+
+use bschema_semistructured::{check, is_satisfiable, ConstraintSet, DataGraph, PathConstraint};
+
+fn main() {
+    let constraints = ConstraintSet::new()
+        .with(PathConstraint::descendant("person", "name"))
+        .with(PathConstraint::no_descendant("country", "country"));
+    println!("constraints:");
+    for c in constraints.constraints() {
+        println!("  {c}");
+    }
+    println!("satisfiable at all: {}\n", is_satisfiable(&constraints));
+
+    // A world database: countries hold national corporations; corporations
+    // hold subsidiaries (conglomerates) and, for multinationals at the top
+    // level, countries.
+    let mut world = DataGraph::new();
+    let db = world.add_root("db");
+
+    let us = world.add_child(db, "country");
+    world.add_value_child(us, "name", "United States");
+    let national = world.add_child(us, "corporation");
+    world.add_value_child(national, "name", "AT&T");
+    let subsidiary = world.add_child(national, "corporation");
+    world.add_value_child(subsidiary, "name", "AT&T Labs");
+
+    let multinational = world.add_child(db, "corporation");
+    world.add_value_child(multinational, "name", "MegaCorp");
+    let de = world.add_child(multinational, "country");
+    world.add_value_child(de, "name", "Germany");
+
+    let person = world.add_child(subsidiary, "person");
+    let contact = world.add_child(person, "contact");
+    world.add_value_child(contact, "name", "divesh"); // name two levels down
+
+    let violations = check(&mut world, &constraints);
+    println!("world database ({} nodes): {} violations", world.len(), violations.len());
+
+    // Now break both constraints.
+    let anon = world.add_child(db, "person");
+    world.add_value_child(anon, "age", "42"); // person with no name anywhere
+    world.add_child(de, "country"); // country nested under a country
+
+    let violations = check(&mut world, &constraints);
+    println!("\nafter two bad edits: {} violations", violations.len());
+    for v in &violations {
+        println!("  [{}] {}", v.constraint, v.message);
+    }
+
+    // Satisfiability interplay: requiring a person while forbidding its only
+    // way to satisfy the name requirement is unsatisfiable.
+    let impossible = ConstraintSet::new()
+        .with(PathConstraint::descendant("person", "name"))
+        .with(PathConstraint::no_descendant("person", "name"))
+        .with(PathConstraint::RequireLabel("person".into()));
+    println!("\nperson-must-and-must-not-have-name + ◇person satisfiable: {}", is_satisfiable(&impossible));
+}

@@ -1,0 +1,174 @@
+//! A fuller corporate white-pages workflow driven by the text formats:
+//! the bounding-schema is written in the schema DSL, the directory content
+//! arrives as LDIF, violations are reported with entry DNs, and the fixed
+//! content is served through a `ManagedDirectory`.
+//!
+//! Run with: `cargo run --example white_pages`
+
+use bschema_core::legality::LegalityChecker;
+use bschema_core::managed::ManagedDirectory;
+use bschema_core::schema::dsl::parse_schema;
+use bschema_directory::ldif;
+use bschema_query::{parse_filter, Query};
+
+const SCHEMA_TEXT: &str = r#"
+schema "acme white pages"
+
+attribute o : directoryString
+attribute ou : directoryString
+attribute uid : directoryString single
+attribute name : directoryString
+attribute mail : ia5String
+attribute telephoneNumber : telephoneNumber
+attribute uri : uri
+attribute location : directoryString
+
+class orgGroup extends top
+  aux online
+class organization extends orgGroup
+  require o
+class orgUnit extends orgGroup
+  require ou
+  allow location
+class person extends top
+  aux online
+  require name uid
+  allow telephoneNumber
+class staffMember extends person
+class researcher extends person
+
+auxiliary online
+  allow mail uri
+
+require-class organization
+require-class person
+require orgGroup descendant person
+require orgUnit parent orgGroup
+forbid person child top
+"#;
+
+const LDIF_TEXT: &str = r#"
+version: 1
+
+dn: o=acme
+objectClass: organization
+objectClass: orgGroup
+objectClass: online
+objectClass: top
+o: acme
+uri: http://www.acme.example/
+
+dn: ou=engineering,o=acme
+objectClass: orgUnit
+objectClass: orgGroup
+objectClass: top
+ou: engineering
+location: building 7
+
+dn: uid=ada,ou=engineering,o=acme
+objectClass: researcher
+objectClass: person
+objectClass: online
+objectClass: top
+uid: ada
+name: Ada Lovelace
+mail: ada@acme.example
+
+dn: uid=grace,ou=engineering,o=acme
+objectClass: staffMember
+objectClass: person
+objectClass: top
+uid: grace
+name: Grace Hopper
+telephoneNumber: +1 212 555 0100
+
+dn: ou=sales,o=acme
+objectClass: orgUnit
+objectClass: orgGroup
+objectClass: top
+ou: sales
+
+dn: uid=nameless,ou=sales,o=acme
+objectClass: person
+objectClass: top
+uid: nameless
+"#;
+
+fn main() {
+    // Parse the schema DSL (yields both the bounding-schema and the
+    // attribute type registry).
+    let parsed = parse_schema(SCHEMA_TEXT).expect("schema text is well-formed");
+    println!(
+        "loaded schema {:?}: {} classes, {} structure elements",
+        parsed.schema.name().unwrap(),
+        parsed.schema.classes().len(),
+        parsed.schema.structure().len()
+    );
+
+    // Load the LDIF into an instance over that attribute registry.
+    let mut dir = bschema_directory::DirectoryInstance::new(parsed.registry.clone());
+    let loaded = ldif::load_into(&mut dir, LDIF_TEXT).expect("LDIF is well-formed");
+    dir.prepare();
+    println!("loaded {loaded} entries from LDIF\n");
+
+    // Validate; the `nameless` person is missing its required name.
+    let checker = LegalityChecker::new(&parsed.schema).with_value_validation(true);
+    let report = checker.check(&dir);
+    println!("initial content: {report}");
+    for violation in report.violations() {
+        if let Some(entry) = violation.entry() {
+            if let Ok(dn) = dir.dn(entry) {
+                println!("  at dn: {dn}");
+            }
+        }
+    }
+    println!();
+
+    // Fix the violation and wrap the instance in a ManagedDirectory, which
+    // enforces the schema from here on.
+    let nameless = dir
+        .lookup_dn(&"uid=nameless,ou=sales,o=acme".parse().unwrap())
+        .expect("entry exists");
+    dir.entry_mut(nameless).unwrap().add_value("name", "Anon Y. Mouse");
+    dir.prepare();
+    let mut managed =
+        ManagedDirectory::with_instance(parsed.schema.clone(), dir).expect("now legal");
+    println!("after fix: managed directory with {} entries, legal = {}\n", managed.len(), managed.is_legal());
+
+    // Search with an RFC 2254 filter inside a hierarchical query: online
+    // researchers somewhere below the organization.
+    let filter = parse_filter("(&(objectClass=researcher)(mail=*))").unwrap();
+    let q = Query::select(filter).with_ancestor(Query::object_class("organization"));
+    for id in managed.query(&q) {
+        let entry = managed.instance().entry(id).unwrap();
+        println!(
+            "online researcher: {} <{}>",
+            entry.first_value("name").unwrap_or("?"),
+            entry.first_value("mail").unwrap_or("?")
+        );
+    }
+    println!();
+
+    // Attempts to break the schema bounce off with a rolled-back error.
+    let err = managed
+        .delete_subtree(
+            managed
+                .instance()
+                .lookup_dn(&"uid=ada,ou=engineering,o=acme".parse().unwrap())
+                .unwrap(),
+        )
+        .and(managed.delete_subtree(
+            managed
+                .instance()
+                .lookup_dn(&"uid=grace,ou=engineering,o=acme".parse().unwrap())
+                .unwrap(),
+        ));
+    match err {
+        Ok(()) => println!("deletions accepted (engineering still has people elsewhere)"),
+        Err(e) => println!("deletion rejected:\n{e}"),
+    }
+
+    // Round-trip the final content back to LDIF.
+    let out = ldif::dump(managed.instance()).expect("all entries are named");
+    println!("\nfinal directory as LDIF ({} bytes):\n{}", out.len(), out);
+}

@@ -1,0 +1,158 @@
+//! §5 property tests: soundness of the inference system (Theorem 5.1) and
+//! empirical completeness for consistency (Theorem 5.2) via the witness
+//! constructor, over randomized schema families.
+
+use bschema_core::consistency::{build_witness, ConsistencyChecker, Element};
+use bschema_core::legality::LegalityChecker;
+use bschema_core::schema::{DirectorySchema, ForbidKind, RelKind};
+use bschema_workload::{SchemaGenerator, SchemaParams};
+use proptest::prelude::*;
+
+/// Soundness (Theorem 5.1) in its operational form: if the engine derives
+/// ◇∅ then NO legal instance exists — so whenever the witness builder
+/// produces a verified-legal instance, the engine must have said consistent.
+#[test]
+fn soundness_against_witnesses_on_random_schemas() {
+    for seed in 0..80u64 {
+        let mut g = SchemaGenerator::new(SchemaParams { seed, ..SchemaParams::default() });
+        let schema = g.unconstrained();
+        let verdict = ConsistencyChecker::new(&schema).check();
+        if let Ok(witness) = build_witness(&schema) {
+            // build_witness verifies legality internally; double-check.
+            assert!(
+                LegalityChecker::new(&schema).check(&witness).is_legal(),
+                "builder invariant broken at seed {seed}"
+            );
+            assert!(
+                verdict.is_consistent(),
+                "seed {seed}: engine derived ◇∅ but a legal instance exists — soundness violation.\n{}",
+                verdict.explain_inconsistency().unwrap_or_default()
+            );
+        }
+    }
+}
+
+/// Empirical completeness: on the consistent-by-construction family the
+/// engine must agree, and a witness must be constructible.
+#[test]
+fn completeness_on_consistent_family() {
+    for seed in 0..50u64 {
+        let mut g = SchemaGenerator::new(SchemaParams { seed, ..SchemaParams::default() });
+        let schema = g.consistent();
+        let verdict = ConsistencyChecker::new(&schema).check();
+        assert!(
+            verdict.is_consistent(),
+            "seed {seed}: consistent family flagged inconsistent:\n{}",
+            verdict.explain_inconsistency().unwrap_or_default()
+        );
+        let witness = build_witness(&schema)
+            .unwrap_or_else(|e| panic!("seed {seed}: witness construction failed: {e}"));
+        assert!(LegalityChecker::new(&schema).check(&witness).is_legal());
+    }
+}
+
+/// The planted-defect family must always be caught, with a printable proof.
+#[test]
+fn planted_defects_always_caught() {
+    for seed in 0..50u64 {
+        let mut g = SchemaGenerator::new(SchemaParams { seed, ..SchemaParams::default() });
+        let schema = g.inconsistent();
+        let verdict = ConsistencyChecker::new(&schema).check();
+        assert!(!verdict.is_consistent(), "seed {seed}: planted defect missed");
+        let proof = verdict.explain_inconsistency().expect("proof exists");
+        assert!(proof.starts_with("◇∅"), "proof must be rooted at ◇∅:\n{proof}");
+    }
+}
+
+/// Every derivation in the closure is well-founded: premises are themselves
+/// derived, and base facts have no premises.
+#[test]
+fn derivations_are_well_founded() {
+    let mut g = SchemaGenerator::new(SchemaParams::default());
+    let schema = g.unconstrained();
+    let verdict = ConsistencyChecker::new(&schema).check();
+    for (element, derivation) in verdict.elements() {
+        for premise in &derivation.premises {
+            assert!(
+                verdict.derives(premise),
+                "premise {premise} of {element} is not in the closure"
+            );
+        }
+        if derivation.rule == bschema_core::consistency::rules::SCHEMA {
+            assert!(derivation.premises.is_empty());
+        }
+    }
+}
+
+// Monotonicity: adding elements to a schema never turns an inconsistent
+// schema consistent.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn inconsistency_is_monotone(seed in 0u64..500, extra_kind in 0u8..4) {
+        let mut g = SchemaGenerator::new(SchemaParams { seed, ..SchemaParams::default() });
+        let schema = g.inconsistent();
+        prop_assume!(!ConsistencyChecker::new(&schema).check().is_consistent());
+
+        // Rebuild the schema with one extra harmless-looking element.
+        let classes: Vec<String> = schema
+            .classes()
+            .core_classes()
+            .map(|c| schema.classes().name(c).to_owned())
+            .collect();
+        let mut builder = DirectorySchema::builder();
+        for name in &classes {
+            if name.eq_ignore_ascii_case("top") {
+                continue;
+            }
+            let parent = schema
+                .classes()
+                .parent(schema.classes().resolve(name).unwrap())
+                .map(|p| schema.classes().name(p).to_owned())
+                .unwrap_or_else(|| "top".to_owned());
+            builder = builder.core_class(name, &parent).unwrap();
+        }
+        for class in schema.structure().required_classes() {
+            builder = builder.require_class(schema.classes().name(class)).unwrap();
+        }
+        for rel in schema.structure().required_rels() {
+            builder = builder
+                .require_rel(schema.classes().name(rel.source), rel.kind, schema.classes().name(rel.target))
+                .unwrap();
+        }
+        for rel in schema.structure().forbidden_rels() {
+            builder = builder
+                .forbid_rel(schema.classes().name(rel.upper), rel.kind, schema.classes().name(rel.lower))
+                .unwrap();
+        }
+        let a = &classes[0];
+        let b = classes.last().unwrap();
+        builder = match extra_kind {
+            0 => builder.require_class(b).unwrap(),
+            1 => builder.require_rel(a, RelKind::Descendant, b).unwrap(),
+            2 => builder.forbid_rel(a, ForbidKind::Child, b).unwrap(),
+            _ => builder.require_rel(b, RelKind::Ancestor, a).unwrap(),
+        };
+        let bigger = builder.build();
+        prop_assert!(
+            !ConsistencyChecker::new(&bigger).check().is_consistent(),
+            "adding elements made an inconsistent schema consistent (seed {seed})"
+        );
+    }
+}
+
+/// The derived closure only grows relative to the base elements, and base
+/// elements are always present.
+#[test]
+fn closure_contains_all_base_elements() {
+    let schema = bschema_core::paper::white_pages_schema();
+    let verdict = ConsistencyChecker::new(&schema).check();
+    for class in schema.structure().required_classes() {
+        assert!(verdict.derives(&Element::Req(class.into())));
+    }
+    for rel in schema.structure().required_rels() {
+        assert!(verdict.derives(&Element::ReqRel(rel.source.into(), rel.kind, rel.target.into())));
+    }
+    assert!(verdict.closure_size() >= schema.structure().len());
+}

@@ -1,0 +1,101 @@
+//! Integration: schema discovery and schema evolution against generated
+//! directories — the §6.2 lifecycle (observe → prescribe → evolve).
+
+use bschema_core::discover::{suggest_schema, DiscoveryOptions};
+use bschema_core::evolution::{evolve, Evolution};
+use bschema_core::legality::LegalityChecker;
+use bschema_core::managed::ManagedDirectory;
+use bschema_core::consistency::ConsistencyChecker;
+use bschema_workload::{OrgGenerator, OrgParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Discovery soundness across random org shapes: the mined schema is
+    /// consistent and accepts the instance it was mined from.
+    #[test]
+    fn discovery_is_sound_on_random_orgs(seed in 0u64..2000, size in 30usize..200) {
+        let org = OrgGenerator::new(OrgParams { seed, target_entries: size, ..OrgParams::default() })
+            .generate();
+        for options in [
+            DiscoveryOptions::default(),
+            DiscoveryOptions { forbidden: true, ..Default::default() },
+        ] {
+            let suggested = suggest_schema(&org.dir, &options);
+            prop_assert!(
+                ConsistencyChecker::new(&suggested).check().is_consistent(),
+                "mined schema must be consistent (a witness exists: the source)"
+            );
+            let report = LegalityChecker::new(&suggested).check(&org.dir);
+            prop_assert!(report.is_legal(), "seed {}: {}", seed, report);
+        }
+    }
+
+    /// Relaxing evolution chains never invalidate a legal instance.
+    #[test]
+    fn relaxing_chains_preserve_legality(seed in 0u64..2000, steps in 1usize..6) {
+        let org = OrgGenerator::new(OrgParams { seed, target_entries: 60, ..OrgParams::default() })
+            .generate();
+        let mut schema = bschema_core::paper::white_pages_schema();
+        prop_assume!(LegalityChecker::new(&schema).check(&org.dir).is_legal());
+        for i in 0..steps {
+            let step = match i % 3 {
+                0 => Evolution::AllowAttribute {
+                    class: "person".into(),
+                    attribute: format!("custom{i}"),
+                },
+                1 => Evolution::AddAuxiliaryClass { name: format!("aux{i}") },
+                _ => Evolution::AddCoreClass {
+                    name: format!("core{i}"),
+                    parent: "person".into(),
+                },
+            };
+            schema = evolve(&schema, &step, &org.dir)
+                .unwrap_or_else(|e| panic!("relaxing step refused: {e}"));
+            prop_assert!(
+                LegalityChecker::new(&schema).check(&org.dir).is_legal(),
+                "relaxing step {} broke legality", step
+            );
+        }
+    }
+}
+
+/// Observe → prescribe → operate: a discovered schema drives a managed
+/// directory that keeps accepting conforming growth.
+#[test]
+fn discovered_schema_manages_future_growth() {
+    let org = OrgGenerator::new(OrgParams { seed: 7, target_entries: 120, ..OrgParams::default() })
+        .generate();
+    // Without forbidden mining the suggestion generalises better.
+    let suggested = suggest_schema(&org.dir, &DiscoveryOptions::default());
+    let mut managed = ManagedDirectory::with_instance(suggested, org.dir.clone())
+        .expect("mined schema accepts its source");
+
+    // Conforming growth: a researcher in an existing unit, matching the
+    // generator's own shape (uid+name, person chain).
+    let unit = org.units[0];
+    managed
+        .insert_under(
+            unit,
+            bschema_directory::Entry::builder()
+                .classes(["researcher", "person", "top"])
+                .attr("uid", "fresh1")
+                .attr("name", "fresh one")
+                .build(),
+        )
+        .expect("conforming entries are accepted");
+    assert!(managed.is_legal());
+
+    // A person with a child stays forbidden — the generator's data never
+    // exhibits person-with-children, so discovery mined the prohibition.
+    let person = org.persons[0];
+    let err = managed.insert_under(
+        person,
+        bschema_directory::Entry::builder()
+            .classes(["orgunit", "orggroup", "top"])
+            .attr("ou", "under-person")
+            .build(),
+    );
+    assert!(err.is_err(), "deviant structure must be rejected");
+}

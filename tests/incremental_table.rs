@@ -1,0 +1,201 @@
+//! Figure 5 / Theorem 4.2 property test: after any single-subtree update to
+//! a legal instance, the incremental Δ-check's verdict equals a full
+//! from-scratch legality check of the updated instance.
+
+use bschema_core::legality::LegalityChecker;
+use bschema_core::paper::white_pages_schema_builder;
+use bschema_core::schema::{DirectorySchema, ForbidKind, RelKind};
+use bschema_core::updates::IncrementalChecker;
+use bschema_directory::{DirectoryInstance, Entry, EntryId};
+use proptest::prelude::*;
+
+/// The white-pages schema extended with a required-child and a
+/// forbidden-descendant row so all six Figure 5 relationship forms are live.
+fn full_schema() -> DirectorySchema {
+    white_pages_schema_builder()
+        .require_rel("orgUnit", RelKind::Child, "person")
+        .and_then(|b| b.forbid_rel("organization", ForbidKind::Descendant, "organization"))
+        .map(|b| b.build())
+        .unwrap()
+}
+
+/// A small *legal* base instance: org → unit → persons, several units.
+fn base_instance(units: usize, persons_per_unit: usize) -> (DirectoryInstance, Vec<EntryId>, Vec<EntryId>) {
+    let mut dir = DirectoryInstance::white_pages();
+    let org = dir.add_root_entry(
+        Entry::builder().classes(["organization", "orgGroup", "top"]).attr("o", "x").build(),
+    );
+    let mut unit_ids = Vec::new();
+    let mut person_ids = Vec::new();
+    let mut n = 0;
+    for u in 0..units {
+        let unit = dir
+            .add_child_entry(
+                org,
+                Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", format!("u{u}")).build(),
+            )
+            .unwrap();
+        unit_ids.push(unit);
+        for _ in 0..persons_per_unit {
+            n += 1;
+            let p = dir
+                .add_child_entry(
+                    unit,
+                    Entry::builder()
+                        .classes(["researcher", "person", "top"])
+                        .attr("uid", format!("p{n}"))
+                        .attr("name", format!("p{n}"))
+                        .build(),
+                )
+                .unwrap();
+            person_ids.push(p);
+        }
+    }
+    dir.prepare();
+    (dir, unit_ids, person_ids)
+}
+
+/// Entry templates an insertion subtree can be built from — a mix of legal
+/// and violating shapes.
+fn entry_template(kind: u8, n: usize) -> Entry {
+    match kind % 5 {
+        0 => Entry::builder()
+            .classes(["researcher", "person", "top"])
+            .attr("uid", format!("new{n}"))
+            .attr("name", format!("new{n}"))
+            .build(),
+        1 => Entry::builder()
+            .classes(["orgUnit", "orgGroup", "top"])
+            .attr("ou", format!("new{n}"))
+            .build(),
+        // Missing required name → content violation.
+        2 => Entry::builder()
+            .classes(["person", "top"])
+            .attr("uid", format!("new{n}"))
+            .build(),
+        // A second organization → organization ↛de organization risk.
+        3 => Entry::builder()
+            .classes(["organization", "orgGroup", "top"])
+            .attr("o", format!("new{n}"))
+            .build(),
+        _ => Entry::builder()
+            .classes(["staffMember", "person", "top"])
+            .attr("uid", format!("new{n}"))
+            .attr("name", format!("new{n}"))
+            .build(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random subtree insertions — legal or not — judged identically by the
+    /// Δ-checker and the full checker.
+    #[test]
+    fn insertion_delta_check_matches_full_check(
+        units in 1usize..4,
+        persons in 1usize..3,
+        anchor in any::<prop::sample::Index>(),
+        shape in proptest::collection::vec((any::<u8>(), any::<Option<u8>>()), 1..6),
+    ) {
+        let schema = full_schema();
+        let (mut dir, unit_ids, person_ids) = base_instance(units, persons);
+        prop_assume!(LegalityChecker::new(&schema).check(&dir).is_legal());
+
+        // Anchor the subtree at a random existing entry (unit or person —
+        // person anchors produce person ↛ch top violations).
+        let all: Vec<EntryId> = unit_ids.iter().chain(&person_ids).copied().collect();
+        let parent = all[anchor.index(all.len())];
+
+        // Build the subtree: node 0 under `parent`, others under a random
+        // earlier subtree node.
+        let mut created: Vec<EntryId> = Vec::new();
+        for (i, (kind, attach)) in shape.iter().enumerate() {
+            let entry = entry_template(*kind, i);
+            let under = match attach {
+                Some(k) if !created.is_empty() => created[*k as usize % created.len()],
+                _ => parent,
+            };
+            // To keep it one subtree, the first node always goes under
+            // `parent`; later "None" attaches also go under node 0.
+            let under = if created.is_empty() { parent } else if under == parent { created[0] } else { under };
+            created.push(dir.add_child_entry(under, entry).unwrap());
+        }
+        dir.prepare();
+
+        let delta_root = created[0];
+        let incremental = IncrementalChecker::new(&schema).check_insertion(&dir, delta_root);
+        let full = LegalityChecker::new(&schema).check(&dir);
+        prop_assert_eq!(
+            incremental.is_legal(),
+            full.is_legal(),
+            "Δ-insert verdict diverged.\nincremental: {}\nfull: {}",
+            incremental,
+            full
+        );
+    }
+
+    /// Random subtree deletions judged identically.
+    #[test]
+    fn deletion_delta_check_matches_full_check(
+        units in 1usize..4,
+        persons in 1usize..4,
+        victim in any::<prop::sample::Index>(),
+    ) {
+        let schema = full_schema();
+        let (mut dir, unit_ids, person_ids) = base_instance(units, persons);
+        prop_assume!(LegalityChecker::new(&schema).check(&dir).is_legal());
+
+        // Delete either a person or a whole unit subtree.
+        let all: Vec<EntryId> = unit_ids.iter().chain(&person_ids).copied().collect();
+        let target = all[victim.index(all.len())];
+        let removed: Vec<Entry> = dir
+            .remove_subtree(target)
+            .unwrap()
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
+        dir.prepare();
+
+        let incremental = IncrementalChecker::new(&schema).check_deletion(&dir, &removed);
+        let full = LegalityChecker::new(&schema).check(&dir);
+        prop_assert_eq!(
+            incremental.is_legal(),
+            full.is_legal(),
+            "Δ-delete verdict diverged.\nincremental: {}\nfull: {}",
+            incremental,
+            full
+        );
+    }
+}
+
+/// The Figure 5 deletion column: every row marked "nothing to check" truly
+/// cannot be violated by deletion — exhaustively over small instances.
+#[test]
+fn deletion_safe_rows_never_break() {
+    let schema = full_schema();
+    let checker = LegalityChecker::new(&schema);
+    let (dir, unit_ids, person_ids) = base_instance(2, 2);
+    assert!(checker.check(&dir).is_legal());
+
+    for &target in unit_ids.iter().chain(&person_ids) {
+        let mut copy = dir.clone();
+        copy.remove_subtree(target).unwrap();
+        copy.prepare();
+        let report = checker.check(&copy);
+        for v in report.violations() {
+            use bschema_core::legality::Violation;
+            match v {
+                // Only the Figure 5 "no" rows and ◇c may appear.
+                Violation::RequiredRelViolation { kind, .. } => {
+                    assert!(
+                        matches!(kind, RelKind::Child | RelKind::Descendant),
+                        "deletion violated a Figure 5 'safe' row: {v}"
+                    );
+                }
+                Violation::MissingRequiredClass { .. } => {}
+                other => panic!("deletion produced unexpected violation kind: {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end workout of the `ManagedDirectory` API against randomized
+//! workloads: after any sequence of accepted and rejected transactions, the
+//! directory is exactly as legal as it claims to be.
+
+use bschema_core::legality::LegalityChecker;
+use bschema_core::managed::{ManagedDirectory, ManagedError};
+use bschema_core::paper::{white_pages_instance, white_pages_schema};
+use bschema_query::Query;
+use bschema_workload::{OrgGenerator, OrgParams, TxGenerator, TxParams};
+use proptest::prelude::*;
+
+#[test]
+fn managed_directory_over_generated_workload() {
+    let schema = white_pages_schema();
+    let org = OrgGenerator::new(OrgParams::sized(300)).generate();
+    let mut managed = ManagedDirectory::with_instance(schema.clone(), org.dir.clone())
+        .expect("generated org is legal");
+    let mut txgen = TxGenerator::new(TxParams::default());
+    let checker = LegalityChecker::new(&schema);
+
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for round in 0..30 {
+        let result = match round % 3 {
+            0 => managed.apply(&txgen.legal_insertion(&org)),
+            1 => match txgen.legal_deletion(&org, managed.instance()) {
+                Some(tx) => managed.apply(&tx),
+                None => continue,
+            },
+            _ => match txgen.violating_insertion(&org, managed.instance()) {
+                Some(tx) => managed.apply(&tx),
+                None => continue,
+            },
+        };
+        match result {
+            Ok(()) => accepted += 1,
+            Err(ManagedError::RolledBack(_)) => rejected += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        // Invariant: the managed directory is always legal.
+        assert!(
+            checker.check(managed.instance()).is_legal(),
+            "managed directory became illegal at round {round}"
+        );
+    }
+    assert!(accepted > 0, "some transactions must be accepted");
+    assert!(rejected > 0, "violating transactions must be rejected");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Rollback restores byte-identical content: a rejected transaction
+    /// leaves entry count, class index, and query answers unchanged.
+    #[test]
+    fn rollback_is_exact(seed in 0u64..5000) {
+        let schema = white_pages_schema();
+        let (dir, _) = white_pages_instance();
+        let mut managed = ManagedDirectory::with_instance(schema, dir).unwrap();
+        let org = OrgGenerator::new(OrgParams { seed, target_entries: 40, ..OrgParams::default() }).generate();
+        let _ = org;
+
+        let before_len = managed.len();
+        let q = Query::object_class("person");
+        let before_persons = managed.query(&q).len();
+
+        // Violating transaction: orgUnit under a person.
+        let persons = managed.query(&Query::object_class("person"));
+        let victim = persons[(seed as usize) % persons.len()];
+        let mut tx = bschema_core::updates::Transaction::new();
+        tx.insert_under(
+            victim,
+            bschema_directory::Entry::builder()
+                .classes(["orgUnit", "orgGroup", "top"])
+                .attr("ou", "bad")
+                .build(),
+        );
+        let err = managed.apply(&tx).unwrap_err();
+        prop_assert!(matches!(err, ManagedError::RolledBack(_)));
+        prop_assert_eq!(managed.len(), before_len);
+        prop_assert_eq!(managed.query(&q).len(), before_persons);
+        prop_assert!(managed.is_legal());
+    }
+}
+
+#[test]
+fn managed_directory_is_cloneable_and_independent() {
+    let schema = white_pages_schema();
+    let (dir, ids) = white_pages_instance();
+    let managed = ManagedDirectory::with_instance(schema, dir).unwrap();
+    let mut fork = managed.clone();
+    fork.delete_subtree(ids.databases).unwrap();
+    assert_eq!(fork.len(), 3);
+    assert_eq!(managed.len(), 6, "clone mutation must not affect the original");
+}

@@ -1,0 +1,86 @@
+//! Soundness of schema-aware query optimization: on instances legal w.r.t.
+//! the schema, the optimized query returns exactly the same entries — over
+//! random legal directories and random queries.
+
+use bschema_core::paper::white_pages_schema;
+use bschema_core::qopt::SchemaAwareOptimizer;
+use bschema_query::{evaluate, EvalContext, Query};
+use bschema_workload::{OrgGenerator, OrgParams};
+use proptest::prelude::*;
+
+const CLASSES: [&str; 8] = [
+    "top",
+    "orgGroup",
+    "organization",
+    "orgUnit",
+    "person",
+    "staffMember",
+    "researcher",
+    "online",
+];
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    let leaf = proptest::sample::select(&CLASSES[..]).prop_map(Query::object_class);
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), inner).prop_flat_map(|(a, b)| {
+            prop_oneof![
+                Just(a.clone().with_child(b.clone())),
+                Just(a.clone().with_parent(b.clone())),
+                Just(a.clone().with_descendant(b.clone())),
+                Just(a.clone().with_ancestor(b.clone())),
+                Just(a.clone().minus(b.clone())),
+                Just(a.clone().union(b.clone())),
+                Just(a.intersect(b)),
+            ]
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn optimized_queries_agree_on_legal_instances(
+        seed in 0u64..32,
+        query in query_strategy(),
+    ) {
+        let schema = white_pages_schema();
+        let optimizer = SchemaAwareOptimizer::new(&schema);
+        let org = OrgGenerator::new(OrgParams { seed, target_entries: 120, ..OrgParams::default() })
+            .generate();
+        let ctx = EvalContext::new(&org.dir);
+        let optimized = optimizer.optimize(query.clone());
+        prop_assert_eq!(
+            evaluate(&ctx, &query),
+            evaluate(&ctx, &optimized),
+            "schema-aware rewrite changed semantics on a legal instance:\n  original:  {}\n  optimized: {}",
+            query,
+            optimized
+        );
+        prop_assert!(optimized.size() <= query.size());
+    }
+}
+
+/// The rewrites genuinely fire: across the random query space a
+/// non-trivial fraction shrinks.
+#[test]
+fn rewrites_reduce_query_size_in_aggregate() {
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+    let schema = white_pages_schema();
+    let optimizer = SchemaAwareOptimizer::new(&schema);
+    let mut runner = TestRunner::deterministic();
+    let strategy = query_strategy();
+    let mut shrunk = 0;
+    let total = 300;
+    for _ in 0..total {
+        let q = strategy.new_tree(&mut runner).unwrap().current();
+        if optimizer.optimize(q.clone()).size() < q.size() {
+            shrunk += 1;
+        }
+    }
+    assert!(
+        shrunk >= total / 10,
+        "expected ≥10% of random queries to shrink, got {shrunk}/{total}"
+    );
+}

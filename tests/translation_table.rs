@@ -1,0 +1,166 @@
+//! Figure 4 property test: for every structure-schema element form, the
+//! generated hierarchical selection query is empty **iff** the instance
+//! directly satisfies the element — on arbitrary random instances.
+
+use bschema_core::legality::translate;
+use bschema_core::schema::{DirectorySchema, ForbidKind, RelKind};
+use bschema_directory::{DirectoryInstance, Entry, EntryId};
+use bschema_query::{evaluate, EvalContext};
+use proptest::prelude::*;
+
+const CLASSES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+fn schema() -> DirectorySchema {
+    let mut b = DirectorySchema::builder();
+    for c in CLASSES {
+        b = b.core_class(c, "top").expect("fresh class");
+    }
+    b.build()
+}
+
+/// Random forest over the three classes (plus top).
+fn instance_strategy() -> impl Strategy<Value = DirectoryInstance> {
+    let node = (any::<Option<u8>>(), 0u8..8);
+    proptest::collection::vec(node, 1..30).prop_map(|recipe| {
+        let mut dir = DirectoryInstance::default();
+        let mut ids: Vec<EntryId> = Vec::new();
+        for (parent_choice, class_bits) in recipe {
+            let mut builder = Entry::builder().class("top");
+            for (i, c) in CLASSES.iter().enumerate() {
+                if class_bits & (1 << i) != 0 {
+                    builder = builder.class(*c);
+                }
+            }
+            let id = match parent_choice {
+                Some(k) if !ids.is_empty() => dir
+                    .add_child_entry(ids[k as usize % ids.len()], builder.build())
+                    .expect("live parent"),
+                _ => dir.add_root_entry(builder.build()),
+            };
+            ids.push(id);
+        }
+        dir.prepare();
+        dir
+    })
+}
+
+/// Direct (definitional) satisfaction of a required element, Definition 2.6.
+fn directly_satisfies_required(
+    dir: &DirectoryInstance,
+    source: &str,
+    kind: RelKind,
+    target: &str,
+) -> bool {
+    let forest = dir.forest();
+    dir.iter().all(|(id, e)| {
+        if !e.has_class(source) {
+            return true;
+        }
+        let has = |other: EntryId| dir.entry(other).is_some_and(|x| x.has_class(target));
+        match kind {
+            RelKind::Child => forest.children(id).any(has),
+            RelKind::Parent => forest.parent(id).is_some_and(has),
+            RelKind::Descendant => forest.descendants(id).any(has),
+            RelKind::Ancestor => forest.ancestors(id).any(has),
+        }
+    })
+}
+
+/// Direct satisfaction of a forbidden element.
+fn directly_satisfies_forbidden(
+    dir: &DirectoryInstance,
+    upper: &str,
+    kind: ForbidKind,
+    lower: &str,
+) -> bool {
+    let forest = dir.forest();
+    dir.iter().all(|(id, e)| {
+        if !e.has_class(upper) {
+            return true;
+        }
+        let has = |other: EntryId| dir.entry(other).is_some_and(|x| x.has_class(lower));
+        match kind {
+            ForbidKind::Child => !forest.children(id).any(has),
+            ForbidKind::Descendant => !forest.descendants(id).any(has),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn required_rows_of_figure4(dir in instance_strategy(), si in 0usize..3, ti in 0usize..3) {
+        let schema = schema();
+        let source = schema.classes().resolve(CLASSES[si]).unwrap();
+        let target = schema.classes().resolve(CLASSES[ti]).unwrap();
+        let ctx = EvalContext::new(&dir);
+        for kind in RelKind::ALL {
+            let rel = bschema_core::schema::RequiredRel { source, kind, target };
+            let query = translate::required_rel_query(&schema, &rel);
+            let query_empty = evaluate(&ctx, &query).is_empty();
+            let direct = directly_satisfies_required(&dir, CLASSES[si], kind, CLASSES[ti]);
+            prop_assert_eq!(
+                query_empty, direct,
+                "Figure 4 equivalence failed for kind {:?}: query {}", kind, query
+            );
+        }
+    }
+
+    #[test]
+    fn forbidden_rows_of_figure4(dir in instance_strategy(), ui in 0usize..3, li in 0usize..3) {
+        let schema = schema();
+        let upper = schema.classes().resolve(CLASSES[ui]).unwrap();
+        let lower = schema.classes().resolve(CLASSES[li]).unwrap();
+        let ctx = EvalContext::new(&dir);
+        for kind in ForbidKind::ALL {
+            let rel = bschema_core::schema::ForbiddenRel { upper, kind, lower };
+            let query = translate::forbidden_rel_query(&schema, &rel);
+            let query_empty = evaluate(&ctx, &query).is_empty();
+            let direct = directly_satisfies_forbidden(&dir, CLASSES[ui], kind, CLASSES[li]);
+            prop_assert_eq!(
+                query_empty, direct,
+                "Figure 4 equivalence failed for kind {:?}: query {}", kind, query
+            );
+        }
+    }
+
+    #[test]
+    fn required_class_row_of_figure4(dir in instance_strategy(), ci in 0usize..3) {
+        let schema = schema();
+        let class = schema.classes().resolve(CLASSES[ci]).unwrap();
+        let ctx = EvalContext::new(&dir);
+        let query = translate::required_class_query(&schema, class);
+        let query_nonempty = !evaluate(&ctx, &query).is_empty();
+        let direct = dir.iter().any(|(_, e)| e.has_class(CLASSES[ci]));
+        prop_assert_eq!(query_nonempty, direct);
+    }
+
+    #[test]
+    fn query_witnesses_are_exactly_the_violators(dir in instance_strategy()) {
+        // The required-descendant query's result is precisely the set of
+        // source entries with no qualifying descendant.
+        let schema = schema();
+        let source = schema.classes().resolve("alpha").unwrap();
+        let target = schema.classes().resolve("beta").unwrap();
+        let rel = bschema_core::schema::RequiredRel {
+            source,
+            kind: RelKind::Descendant,
+            target,
+        };
+        let query = translate::required_rel_query(&schema, &rel);
+        let witnesses = evaluate(&EvalContext::new(&dir), &query);
+        let forest = dir.forest();
+        let expected: Vec<EntryId> = dir
+            .iter()
+            .filter(|(id, e)| {
+                e.has_class("alpha")
+                    && !forest
+                        .descendants(*id)
+                        .any(|d| dir.entry(d).is_some_and(|x| x.has_class("beta")))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert_eq!(witnesses, expected);
+    }
+}

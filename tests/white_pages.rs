@@ -1,0 +1,97 @@
+//! End-to-end integration over the paper's worked example: Figures 1–3
+//! together, through every crate layer (model, LDIF, query, schema,
+//! legality, consistency).
+
+use bschema_core::consistency::{build_witness, ConsistencyChecker};
+use bschema_core::legality::LegalityChecker;
+use bschema_core::paper::{white_pages_instance, white_pages_schema};
+use bschema_core::schema::dsl::{parse_schema, print_schema};
+use bschema_directory::ldif;
+use bschema_query::{evaluate, EvalContext, Query};
+
+#[test]
+fn figure1_is_legal_and_schema_is_consistent() {
+    let schema = white_pages_schema();
+    let (dir, _) = white_pages_instance();
+    assert!(ConsistencyChecker::new(&schema).check().is_consistent());
+    let report = LegalityChecker::new(&schema).with_value_validation(true).check(&dir);
+    assert!(report.is_legal(), "{report}");
+}
+
+#[test]
+fn figure1_survives_an_ldif_roundtrip() {
+    let schema = white_pages_schema();
+    let (dir, _) = white_pages_instance();
+    let text = ldif::dump(&dir).expect("figure 1 entries are all named");
+    let mut reloaded = bschema_directory::DirectoryInstance::white_pages();
+    let n = ldif::load_into(&mut reloaded, &text).expect("dump output reparses");
+    assert_eq!(n, 6);
+    reloaded.prepare();
+    let report = LegalityChecker::new(&schema).check(&reloaded);
+    assert!(report.is_legal(), "{report}");
+    // Structure preserved: laks is still three levels below the org.
+    let laks = reloaded
+        .lookup_dn(&"uid=laks,ou=databases,ou=attLabs,o=att".parse().unwrap())
+        .expect("laks survived");
+    assert_eq!(reloaded.forest().depth(laks), 3);
+    assert_eq!(reloaded.entry(laks).unwrap().values("mail").len(), 2);
+}
+
+#[test]
+fn paper_queries_give_expected_answers() {
+    let (dir, ids) = white_pages_instance();
+    let ctx = EvalContext::new(&dir);
+    // §3.2 Q1 (violating orgGroups): empty on the legal instance.
+    let q1 = Query::object_class("orgGroup").minus(
+        Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
+    );
+    assert!(evaluate(&ctx, &q1).is_empty());
+    // §3.2 Q2 (persons with children): empty.
+    let q2 = Query::object_class("person").with_child(Query::object_class("top"));
+    assert!(evaluate(&ctx, &q2).is_empty());
+    // §3.2 Q3 (◇orgUnit): non-empty, exactly attLabs and databases.
+    let q3 = Query::object_class("orgUnit");
+    assert_eq!(evaluate(&ctx, &q3), vec![ids.att_labs, ids.databases]);
+}
+
+#[test]
+fn schema_round_trips_through_the_dsl() {
+    let schema = white_pages_schema();
+    let text = print_schema(&schema, None);
+    let reparsed = parse_schema(&text).expect("printed schema reparses");
+    assert_eq!(reparsed.schema.size(), schema.size());
+    assert_eq!(
+        reparsed.schema.structure().required_rels().len(),
+        schema.structure().required_rels().len()
+    );
+    // The reparsed schema judges Figure 1 the same way.
+    let (dir, _) = white_pages_instance();
+    assert!(LegalityChecker::new(&reparsed.schema).check(&dir).is_legal());
+    // And is still consistent with a working witness.
+    assert!(ConsistencyChecker::new(&reparsed.schema).check().is_consistent());
+    let witness = build_witness(&reparsed.schema).expect("consistent schema has a witness");
+    assert!(LegalityChecker::new(&reparsed.schema).check(&witness).is_legal());
+}
+
+#[test]
+fn every_figure1_entry_fails_if_tampered() {
+    // Deleting any single required attribute from any person breaks
+    // legality; adding a child under any person breaks legality.
+    let schema = white_pages_schema();
+    let (dir, ids) = white_pages_instance();
+    let checker = LegalityChecker::new(&schema);
+    for person in [ids.armstrong, ids.laks, ids.suciu] {
+        for attr in ["name", "uid"] {
+            let mut tampered = dir.clone();
+            tampered.entry_mut(person).unwrap().remove_attribute(attr);
+            tampered.prepare();
+            assert!(!checker.check(&tampered).is_legal(), "removing {attr} must be caught");
+        }
+        let mut tampered = dir.clone();
+        tampered
+            .add_child_entry(person, bschema_directory::Entry::builder().classes(["person", "top"]).attr("uid", "x").attr("name", "x").build())
+            .unwrap();
+        tampered.prepare();
+        assert!(!checker.check(&tampered).is_legal(), "person child must be caught");
+    }
+}
