@@ -4,18 +4,22 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use bschema_bench::org_of_size;
-use bschema_core::legality::LegalityChecker;
+use bschema_core::legality::{LegalityChecker, LegalityOptions};
 use bschema_core::paper::white_pages_schema;
 
 fn bench_legality(c: &mut Criterion) {
     let schema = white_pages_schema();
     let checker = LegalityChecker::new(&schema);
+    let par_checker = LegalityChecker::new(&schema).with_options(LegalityOptions::parallel(0));
     let mut group = c.benchmark_group("legality/t31");
     for n in [100usize, 1_000, 10_000] {
         let org = org_of_size(n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("fast", n), &org, |b, org| {
             b.iter(|| checker.check(&org.dir))
+        });
+        group.bench_with_input(BenchmarkId::new("fast_par", n), &org, |b, org| {
+            b.iter(|| par_checker.check(&org.dir))
         });
         // The quadratic baseline is capped to keep bench runs bounded.
         if n <= 3_000 {

@@ -24,10 +24,7 @@ fn cases() -> Vec<(&'static str, Query)> {
             "subclass_intersection",
             Query::object_class("researcher").intersect(Query::object_class("person")),
         ),
-        (
-            "forbidden_sigma_c",
-            Query::object_class("person").with_child(Query::object_class("top")),
-        ),
+        ("forbidden_sigma_c", Query::object_class("person").with_child(Query::object_class("top"))),
     ]
 }
 
@@ -55,9 +52,7 @@ fn bench_rewrite_cost(c: &mut Criterion) {
     let schema = white_pages_schema();
     let optimizer = SchemaAwareOptimizer::new(&schema);
     let (_, raw) = cases().remove(1);
-    c.bench_function("qopt/rewrite_cost", |b| {
-        b.iter(|| optimizer.optimize(raw.clone()))
-    });
+    c.bench_function("qopt/rewrite_cost", |b| b.iter(|| optimizer.optimize(raw.clone())));
     c.bench_function("qopt/optimizer_construction", |b| {
         b.iter(|| SchemaAwareOptimizer::new(&schema))
     });

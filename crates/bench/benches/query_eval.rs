@@ -8,14 +8,8 @@ use bschema_query::{evaluate, evaluate_naive, EvalContext, Query};
 
 fn queries() -> Vec<(&'static str, Query)> {
     vec![
-        (
-            "child",
-            Query::object_class("orgUnit").with_child(Query::object_class("person")),
-        ),
-        (
-            "parent",
-            Query::object_class("person").with_parent(Query::object_class("orgUnit")),
-        ),
+        ("child", Query::object_class("orgUnit").with_child(Query::object_class("person"))),
+        ("parent", Query::object_class("person").with_parent(Query::object_class("orgUnit"))),
         (
             "descendant",
             Query::object_class("orgGroup").with_descendant(Query::object_class("person")),

@@ -12,7 +12,7 @@
 
 use bschema_bench::{fmt_us, org_of_size, time_median_us, Table, SIZES};
 use bschema_core::consistency::ConsistencyChecker;
-use bschema_core::legality::{translate, LegalityChecker};
+use bschema_core::legality::{translate, LegalityChecker, LegalityOptions};
 use bschema_core::paper::{white_pages_instance, white_pages_schema};
 use bschema_core::schema::{DirectorySchema, ForbidKind, RelKind};
 use bschema_core::updates::{
@@ -25,11 +25,8 @@ use bschema_workload::{SchemaGenerator, SchemaParams, TxGenerator, TxParams};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let exp = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_owned());
+    let exp =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_owned());
 
     let runs = if quick { 3 } else { 9 };
     let sizes: Vec<usize> = if quick { vec![100, 1_000] } else { SIZES.to_vec() };
@@ -114,7 +111,8 @@ fn figure5_schema() -> DirectorySchema {
 fn exp_f5() {
     println!("== F5: incremental testability of structural relationships (Figure 5) ==");
     let schema = figure5_schema();
-    let mut table = Table::new(["element", "insert?", "insertion Δ-query", "delete?", "deletion strategy"]);
+    let mut table =
+        Table::new(["element", "insert?", "insertion Δ-query", "delete?", "deletion strategy"]);
     for rel in schema.structure().required_rels() {
         let q = insertion_delta_query(&schema, rel);
         let (del_ok, del_strategy) = if deletion_needs_recheck(rel.kind) {
@@ -156,9 +154,12 @@ fn exp_t31(sizes: &[usize], runs: usize) {
     println!("== T3.1: legality testing — query reduction (linear) vs traversal vs pairwise strawman (quadratic) ==");
     let schema = white_pages_schema();
     let checker = LegalityChecker::new(&schema);
+    let par_checker = LegalityChecker::new(&schema).with_options(LegalityOptions::parallel(0));
     let mut table = Table::new([
         "|D|",
         "fast (queries)",
+        "fast parallel",
+        "fast/par",
         "traversal",
         "pairwise (strawman)",
         "pairwise/fast",
@@ -167,6 +168,7 @@ fn exp_t31(sizes: &[usize], runs: usize) {
     for &n in sizes {
         let org = org_of_size(n);
         let fast = time_median_us(runs, || checker.check(&org.dir));
+        let par = time_median_us(runs, || par_checker.check(&org.dir));
         let traversal = time_median_us(runs.min(3), || checker.check_naive(&org.dir));
         // The quadratic strawman becomes painful quickly; cap its input.
         let pairwise = if n <= 10_000 {
@@ -178,6 +180,8 @@ fn exp_t31(sizes: &[usize], runs: usize) {
         table.row([
             n.to_string(),
             fmt_us(fast),
+            fmt_us(par),
+            format!("{:.1}x", fast / par),
             fmt_us(traversal),
             pairwise.map_or("-".to_owned(), fmt_us),
             pairwise.map_or("-".to_owned(), |p| format!("{:.1}x", p / fast)),
@@ -193,8 +197,12 @@ fn exp_q9(sizes: &[usize], runs: usize) {
     println!("== Q9: hierarchical query evaluation, interval-merge vs naive (per operator) ==");
     type QueryMaker = fn() -> Query;
     let ops: [(&str, QueryMaker); 5] = [
-        ("σc (child)", || Query::object_class("orgUnit").with_child(Query::object_class("person"))),
-        ("σp (parent)", || Query::object_class("person").with_parent(Query::object_class("orgUnit"))),
+        ("σc (child)", || {
+            Query::object_class("orgUnit").with_child(Query::object_class("person"))
+        }),
+        ("σp (parent)", || {
+            Query::object_class("person").with_parent(Query::object_class("orgUnit"))
+        }),
         ("σd (descendant)", || {
             Query::object_class("orgGroup").with_descendant(Query::object_class("person"))
         }),
@@ -207,7 +215,8 @@ fn exp_q9(sizes: &[usize], runs: usize) {
             )
         }),
     ];
-    let mut table = Table::new(["operator", "|D|", "interval", "naive", "naive/interval", "|result|"]);
+    let mut table =
+        Table::new(["operator", "|D|", "interval", "naive", "naive/interval", "|result|"]);
     for (name, make) in ops {
         for &n in sizes {
             let org = org_of_size(n);
@@ -261,9 +270,8 @@ fn exp_t42(sizes: &[usize], runs: usize) {
         // Deletion: remove one safely-deletable person, then time both
         // checks on the post-delete instance.
         let mut org = org_of_size(n);
-        let tx = txgen
-            .legal_deletion(&org, &org.dir)
-            .expect("generated orgs have deletable persons");
+        let tx =
+            txgen.legal_deletion(&org, &org.dir).expect("generated orgs have deletable persons");
         let normalized = tx.normalize(&org.dir).expect("valid");
         let removed: Vec<_> = normalized
             .deletion_roots
@@ -296,13 +304,8 @@ fn exp_t42(sizes: &[usize], runs: usize) {
 fn exp_t52(runs: usize, quick: bool) {
     println!("== T5.2: schema consistency checking, closure time vs schema size ==");
     let sizes: Vec<usize> = if quick { vec![10, 40] } else { vec![10, 20, 40, 80, 160, 320] };
-    let mut table = Table::new([
-        "schema size",
-        "family",
-        "closure time",
-        "closure |elements|",
-        "consistent",
-    ]);
+    let mut table =
+        Table::new(["schema size", "family", "closure time", "closure |elements|", "consistent"]);
     for &n in &sizes {
         for family in ["consistent", "inconsistent", "unconstrained"] {
             let make = |seed: u64| {
@@ -337,7 +340,10 @@ fn exp_t52(runs: usize, quick: bool) {
         .map(|b| b.build())
         .expect("well-formed");
     let result = ConsistencyChecker::new(&schema).check();
-    println!("section 5.1 example (◇c1, c1 →ch c2, c2 →de c1): consistent = {}", result.is_consistent());
+    println!(
+        "section 5.1 example (◇c1, c1 →ch c2, c2 →de c1): consistent = {}",
+        result.is_consistent()
+    );
     println!("derivation of ◇∅:\n{}", result.explain_inconsistency().unwrap_or_default());
 }
 
@@ -365,7 +371,8 @@ fn exp_qopt(sizes: &[usize], runs: usize) {
             Query::object_class("person").with_child(Query::object_class("top"))
         }),
     ];
-    let mut table = Table::new(["query", "|D|", "raw eval", "optimized eval", "speedup", "|Q| raw→opt"]);
+    let mut table =
+        Table::new(["query", "|D|", "raw eval", "optimized eval", "speedup", "|Q| raw→opt"]);
     for (name, make) in cases {
         for &n in sizes {
             let org = org_of_size(n);

@@ -91,13 +91,11 @@ usage:
 ";
 
 fn read_file(path: &str) -> Result<String, CliError> {
-    std::fs::read_to_string(path)
-        .map_err(|e| usage_error(format!("cannot read {path:?}: {e}")))
+    std::fs::read_to_string(path).map_err(|e| usage_error(format!("cannot read {path:?}: {e}")))
 }
 
 fn load_schema(path: &str) -> Result<ParsedSchema, CliError> {
-    parse_schema(&read_file(path)?)
-        .map_err(|e| usage_error(format!("{path}: {e}")))
+    parse_schema(&read_file(path)?).map_err(|e| usage_error(format!("{path}: {e}")))
 }
 
 fn load_ldif(path: &str, parsed: Option<&ParsedSchema>) -> Result<DirectoryInstance, CliError> {
@@ -141,10 +139,13 @@ fn validate(args: &[String], out: &mut String) -> Result<i32, CliError> {
     };
     let parsed = load_schema(schema_path)?;
     let dir = load_ldif(ldif_path, Some(&parsed))?;
-    let report = LegalityChecker::new(&parsed.schema)
-        .with_value_validation(true)
-        .check(&dir);
-    let _ = writeln!(out, "{} entries checked against {:?}", dir.len(), parsed.schema.name().unwrap_or("unnamed"));
+    let report = LegalityChecker::new(&parsed.schema).with_value_validation(true).check(&dir);
+    let _ = writeln!(
+        out,
+        "{} entries checked against {:?}",
+        dir.len(),
+        parsed.schema.name().unwrap_or("unnamed")
+    );
     if report.is_legal() {
         let _ = writeln!(out, "LEGAL");
         Ok(0)
@@ -219,9 +220,7 @@ fn cmd_search(args: &[String], out: &mut String) -> Result<i32, CliError> {
 
     let base = match base_dn {
         Some(text) => {
-            let dn = text
-                .parse()
-                .map_err(|e| usage_error(format!("bad base DN: {e}")))?;
+            let dn = text.parse().map_err(|e| usage_error(format!("bad base DN: {e}")))?;
             Some(
                 dir.lookup_dn(&dn)
                     .ok_or_else(|| usage_error(format!("base DN {text:?} not found")))?,
@@ -245,13 +244,8 @@ fn cmd_search(args: &[String], out: &mut String) -> Result<i32, CliError> {
     Ok(0)
 }
 
-fn next_value<'a>(
-    it: &mut std::slice::Iter<'a, String>,
-    flag: &str,
-) -> Result<&'a str, CliError> {
-    it.next()
-        .map(String::as_str)
-        .ok_or_else(|| usage_error(format!("{flag} needs a value")))
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, CliError> {
+    it.next().map(String::as_str).ok_or_else(|| usage_error(format!("{flag} needs a value")))
 }
 
 fn cmd_print_schema(args: &[String], out: &mut String) -> Result<i32, CliError> {
@@ -273,12 +267,23 @@ fn cmd_evolve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     // The instance must be legal for the targeted recheck to be meaningful.
     let before = LegalityChecker::new(&parsed.schema).check(&dir);
     if !before.is_legal() {
-        let _ = writeln!(out, "directory is not legal under the current schema; fix it first:\n{before}");
+        let _ = writeln!(
+            out,
+            "directory is not legal under the current schema; fix it first:\n{before}"
+        );
         return Ok(1);
     }
     match evolution::evolve(&parsed.schema, &step, &dir) {
         Ok(evolved) => {
-            let _ = writeln!(out, "OK: {step} is safe ({} kind)", if step.is_relaxing() { "relaxing — no recheck needed" } else { "restricting — new element verified" });
+            let _ = writeln!(
+                out,
+                "OK: {step} is safe ({} kind)",
+                if step.is_relaxing() {
+                    "relaxing — no recheck needed"
+                } else {
+                    "restricting — new element verified"
+                }
+            );
             let _ = writeln!(out, "evolved schema:\n");
             out.push_str(&print_schema(&evolved, None));
             Ok(0)
@@ -345,7 +350,9 @@ fn parse_step(words: &[String]) -> Result<Evolution, CliError> {
             kind: match *kind {
                 "ch" | "child" => ForbidKind::Child,
                 "de" | "descendant" => ForbidKind::Descendant,
-                other => return Err(usage_error(format!("forbidden kind must be ch|de, got {other:?}"))),
+                other => {
+                    return Err(usage_error(format!("forbidden kind must be ch|de, got {other:?}")))
+                }
             },
             lower: (*lower).to_owned(),
         }),
@@ -383,7 +390,8 @@ name: a
 ";
 
     fn write_tmp(name: &str, content: &str) -> String {
-        let path = std::env::temp_dir().join(format!("bschema-cli-test-{}-{name}", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("bschema-cli-test-{}-{name}", std::process::id()));
         std::fs::write(&path, content).unwrap();
         path.to_string_lossy().into_owned()
     }
@@ -444,15 +452,21 @@ name: a
     fn search_with_filter_and_scope() {
         let schema = write_tmp("s5.bs", SCHEMA);
         let data = write_tmp("d5.ldif", LDIF);
-        let (code, out) = run_ok(&[
-            "search", &data, "--schema", &schema, "--filter", "(objectClass=person)",
-        ]);
+        let (code, out) =
+            run_ok(&["search", &data, "--schema", &schema, "--filter", "(objectClass=person)"]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("1 entries match"));
         assert!(out.contains("dn: uid=a,o=acme"));
 
         let (code, out) = run_ok(&[
-            "search", &data, "--filter", "(objectClass=person)", "--base", "o=acme", "--scope", "one",
+            "search",
+            &data,
+            "--filter",
+            "(objectClass=person)",
+            "--base",
+            "o=acme",
+            "--scope",
+            "one",
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("dn: uid=a,o=acme"));
@@ -486,7 +500,8 @@ name: a
         let data = write_tmp("d8.ldif", LDIF);
         let (code, out) = run_ok(&["suggest-schema", &data, "--forbidden"]);
         assert_eq!(code, 0, "{out}");
-        let body: String = out.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+        let body: String =
+            out.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
         let parsed = parse_schema(&body).expect("suggested schema reparses");
         assert!(parsed.schema.classes().len() > 1);
         // Mined regularity: the person under the org needs its org ancestor.

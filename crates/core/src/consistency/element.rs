@@ -112,14 +112,8 @@ mod tests {
         let person = ClassTerm::Class(s.classes().resolve("person").unwrap());
         let top = ClassTerm::Class(s.classes().top());
         assert_eq!(Element::Req(person).display(&s), "◇person");
-        assert_eq!(
-            Element::ReqRel(person, RelKind::Parent, top).display(&s),
-            "person →pa top"
-        );
-        assert_eq!(
-            Element::Forb(person, ForbidKind::Child, top).display(&s),
-            "person ↛ch top"
-        );
+        assert_eq!(Element::ReqRel(person, RelKind::Parent, top).display(&s), "person →pa top");
+        assert_eq!(Element::Forb(person, ForbidKind::Child, top).display(&s), "person ↛ch top");
         assert_eq!(Element::bottom().display(&s), "◇∅");
         assert_eq!(
             Element::ReqRel(person, RelKind::Descendant, ClassTerm::Empty).display(&s),
@@ -130,9 +124,6 @@ mod tests {
     #[test]
     fn bottom_is_req_empty() {
         assert_eq!(Element::bottom(), Element::Req(ClassTerm::Empty));
-        assert_ne!(
-            Element::bottom(),
-            Element::Req(ClassTerm::Class(crate::schema::ClassId(0)))
-        );
+        assert_ne!(Element::bottom(), Element::Req(ClassTerm::Class(crate::schema::ClassId(0))));
     }
 }

@@ -140,17 +140,20 @@ impl<'s> ConsistencyResult<'s> {
         self.explain(&Element::bottom())
     }
 
-    fn render(&self, element: &Element, depth: usize, shown: &mut HashSet<Element>, out: &mut String) {
+    fn render(
+        &self,
+        element: &Element,
+        depth: usize,
+        shown: &mut HashSet<Element>,
+        out: &mut String,
+    ) {
         let indent = "  ".repeat(depth);
         let Some(derivation) = self.derived.get(element) else {
             out.push_str(&format!("{indent}{} [missing]\n", element.display(self.schema)));
             return;
         };
         if !shown.insert(*element) {
-            out.push_str(&format!(
-                "{indent}{} (derived above)\n",
-                element.display(self.schema)
-            ));
+            out.push_str(&format!("{indent}{} (derived above)\n", element.display(self.schema)));
             return;
         }
         out.push_str(&format!(
@@ -182,11 +185,7 @@ impl<'s> ConsistencyChecker<'s> {
         engine.seed();
         engine.run();
         let consistent = !engine.derived.contains_key(&Element::bottom());
-        ConsistencyResult {
-            schema: self.schema,
-            derived: engine.derived,
-            consistent,
-        }
+        ConsistencyResult { schema: self.schema, derived: engine.derived, consistent }
     }
 }
 
@@ -243,9 +242,12 @@ impl<'s> Engine<'s> {
         let base: Vec<Element> = structure
             .required_classes()
             .map(|c| Element::Req(c.into()))
-            .chain(structure.required_rels().iter().map(|r| {
-                Element::ReqRel(r.source.into(), r.kind, r.target.into())
-            }))
+            .chain(
+                structure
+                    .required_rels()
+                    .iter()
+                    .map(|r| Element::ReqRel(r.source.into(), r.kind, r.target.into())),
+            )
             .chain(structure.forbidden_rels().iter().map(|r| {
                 let kind = match r.kind {
                     crate::schema::ForbidKind::Child => ForbidKind::Child,
@@ -304,9 +306,7 @@ impl<'s> Engine<'s> {
     }
 
     fn has_forb(&self, a: ClassTerm, k: ForbidKind, b: ClassTerm) -> bool {
-        self.forb_by_upper
-            .get(&a)
-            .is_some_and(|v| v.contains(&(k, b)))
+        self.forb_by_upper.get(&a).is_some_and(|v| v.contains(&(k, b)))
     }
 
     fn has_reqrel(&self, a: ClassTerm, k: RelKind, b: ClassTerm) -> bool {
@@ -335,11 +335,7 @@ impl<'s> Engine<'s> {
         if let Some(c) = t.class() {
             for sup in self.schema.classes().superclass_chain(c).into_iter().skip(1) {
                 let sub_fact = self.leaf(Element::Sub(c.into(), sup.into()));
-                self.add(
-                    Element::Req(sup.into()),
-                    rules::REQ_SUB,
-                    vec![Element::Req(t), sub_fact],
-                );
+                self.add(Element::Req(sup.into()), rules::REQ_SUB, vec![Element::Req(t), sub_fact]);
             }
         }
     }
@@ -405,11 +401,7 @@ impl<'s> Engine<'s> {
             let subs = self.subclasses.get(&ca).cloned().unwrap_or_default();
             for sub in subs {
                 let fact = self.leaf(Element::Sub(sub.into(), a));
-                self.add(
-                    Element::ReqRel(sub.into(), k, b),
-                    rules::SOURCE_SUB,
-                    vec![this, fact],
-                );
+                self.add(Element::ReqRel(sub.into(), k, b), rules::SOURCE_SUB, vec![this, fact]);
             }
         }
 
@@ -417,11 +409,7 @@ impl<'s> Engine<'s> {
         if let Some(cb) = b.class() {
             for sup in self.schema.classes().superclass_chain(cb).into_iter().skip(1) {
                 let fact = self.leaf(Element::Sub(b, sup.into()));
-                self.add(
-                    Element::ReqRel(a, k, sup.into()),
-                    rules::TARGET_SUB,
-                    vec![this, fact],
-                );
+                self.add(Element::ReqRel(a, k, sup.into()), rules::TARGET_SUB, vec![this, fact]);
             }
         }
 
@@ -440,15 +428,19 @@ impl<'s> Engine<'s> {
 
         // DIRECT_CONFLICT (required side arriving).
         let conflict = match k {
-            RelKind::Child => self
-                .has_forb(a, ForbidKind::Child, b)
-                .then_some(Element::Forb(a, ForbidKind::Child, b)),
+            RelKind::Child => self.has_forb(a, ForbidKind::Child, b).then_some(Element::Forb(
+                a,
+                ForbidKind::Child,
+                b,
+            )),
             RelKind::Descendant => self
                 .has_forb(a, ForbidKind::Descendant, b)
                 .then_some(Element::Forb(a, ForbidKind::Descendant, b)),
-            RelKind::Parent => self
-                .has_forb(b, ForbidKind::Child, a)
-                .then_some(Element::Forb(b, ForbidKind::Child, a)),
+            RelKind::Parent => self.has_forb(b, ForbidKind::Child, a).then_some(Element::Forb(
+                b,
+                ForbidKind::Child,
+                a,
+            )),
             RelKind::Ancestor => self
                 .has_forb(b, ForbidKind::Descendant, a)
                 .then_some(Element::Forb(b, ForbidKind::Descendant, a)),
@@ -466,15 +458,14 @@ impl<'s> Engine<'s> {
             let siblings: Vec<(RelKind, ClassTerm)> =
                 self.by_source.get(&a).cloned().unwrap_or_default();
             for (k2, c2) in siblings {
-                if k2 == RelKind::Parent && c2 != b
-                    && self.excl(b, c2).is_some() {
-                        let fact = self.leaf(Element::Excl(b, c2));
-                        self.add(
-                            Element::ReqRel(a, RelKind::Parent, ClassTerm::Empty),
-                            rules::PARENTHOOD,
-                            vec![this, Element::ReqRel(a, RelKind::Parent, c2), fact],
-                        );
-                    }
+                if k2 == RelKind::Parent && c2 != b && self.excl(b, c2).is_some() {
+                    let fact = self.leaf(Element::Excl(b, c2));
+                    self.add(
+                        Element::ReqRel(a, RelKind::Parent, ClassTerm::Empty),
+                        rules::PARENTHOOD,
+                        vec![this, Element::ReqRel(a, RelKind::Parent, c2), fact],
+                    );
+                }
             }
         }
 

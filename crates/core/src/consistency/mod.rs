@@ -29,7 +29,11 @@ mod tests {
     use crate::paper::white_pages_schema;
     use crate::schema::{DirectorySchema, ForbidKind, RelKind};
 
-    fn chain_schema(build: impl FnOnce(crate::schema::SchemaBuilder) -> Result<crate::schema::SchemaBuilder, crate::schema::SchemaError>) -> DirectorySchema {
+    fn chain_schema(
+        build: impl FnOnce(
+            crate::schema::SchemaBuilder,
+        ) -> Result<crate::schema::SchemaBuilder, crate::schema::SchemaError>,
+    ) -> DirectorySchema {
         build(DirectorySchema::builder()).map(|b| b.build()).unwrap()
     }
 
@@ -231,7 +235,10 @@ mod tests {
         let result = ConsistencyChecker::new(&schema).check();
         assert!(!result.is_consistent());
         let proof = result.explain_inconsistency().unwrap();
-        assert!(proof.contains("top-path-forbidden") || proof.contains("forbid-subclass"), "{proof}");
+        assert!(
+            proof.contains("top-path-forbidden") || proof.contains("forbid-subclass"),
+            "{proof}"
+        );
     }
 
     #[test]
@@ -252,9 +259,7 @@ mod tests {
             let result = ConsistencyChecker::new(&schema).check();
             assert!(result.is_consistent());
             let witness = build_witness(&schema).unwrap();
-            assert!(crate::legality::LegalityChecker::new(&schema)
-                .check(&witness)
-                .is_legal());
+            assert!(crate::legality::LegalityChecker::new(&schema).check(&witness).is_legal());
         }
     }
 }

@@ -88,12 +88,7 @@ impl<'s> WitnessBuilder<'s> {
     /// size (quadratic headroom over the obligation count).
     pub fn new(schema: &'s DirectorySchema) -> Self {
         let base = schema.classes().len() + schema.structure().len() + 4;
-        WitnessBuilder {
-            schema,
-            nodes: Vec::new(),
-            roots: Vec::new(),
-            budget: base * base + 64,
-        }
+        WitnessBuilder { schema, nodes: Vec::new(), roots: Vec::new(), budget: base * base + 64 }
     }
 
     /// Overrides the node budget.
@@ -225,16 +220,16 @@ impl<'s> WitnessBuilder<'s> {
     }
 
     /// Creates a fresh parent above `node` (which must currently be a root).
-    fn add_parent_above_root(&mut self, node: usize, class: ClassId) -> Result<usize, WitnessError> {
+    fn add_parent_above_root(
+        &mut self,
+        node: usize,
+        class: ClassId,
+    ) -> Result<usize, WitnessError> {
         debug_assert!(self.nodes[node].parent.is_none());
         let parent = self.new_node(class)?;
         self.nodes[node].parent = Some(parent);
         self.nodes[parent].children.push(node);
-        let pos = self
-            .roots
-            .iter()
-            .position(|&r| r == node)
-            .expect("node was a root");
+        let pos = self.roots.iter().position(|&r| r == node).expect("node was a root");
         self.roots[pos] = parent;
         Ok(parent)
     }
@@ -250,10 +245,8 @@ impl<'s> WitnessBuilder<'s> {
             }
             match rel.kind {
                 RelKind::Child => {
-                    let ok = self.nodes[node]
-                        .children
-                        .iter()
-                        .any(|&c| self.has_class(c, rel.target));
+                    let ok =
+                        self.nodes[node].children.iter().any(|&c| self.has_class(c, rel.target));
                     if !ok {
                         if self.child_blocked(node, rel.target) {
                             return Err(WitnessError::Blocked {
@@ -265,10 +258,7 @@ impl<'s> WitnessBuilder<'s> {
                     }
                 }
                 RelKind::Descendant => {
-                    let ok = self
-                        .descendants(node)
-                        .iter()
-                        .any(|&d| self.has_class(d, rel.target));
+                    let ok = self.descendants(node).iter().any(|&d| self.has_class(d, rel.target));
                     if !ok {
                         if !self.child_blocked(node, rel.target) {
                             self.add_child(node, rel.target)?;
@@ -305,10 +295,7 @@ impl<'s> WitnessBuilder<'s> {
                     }
                 },
                 RelKind::Ancestor => {
-                    let ok = self
-                        .ancestors(node)
-                        .iter()
-                        .any(|&a| self.has_class(a, rel.target));
+                    let ok = self.ancestors(node).iter().any(|&a| self.has_class(a, rel.target));
                     if ok {
                         continue;
                     }

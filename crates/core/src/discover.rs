@@ -69,12 +69,8 @@ fn observe_classes(dir: &DirectoryInstance) -> ObservedClasses {
     let mut members: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
     let mut cooccur: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for (id, entry) in dir.iter() {
-        let classes: Vec<String> = entry
-            .classes()
-            .iter()
-            .map(|c| c.to_ascii_lowercase())
-            .filter(|c| c != "top")
-            .collect();
+        let classes: Vec<String> =
+            entry.classes().iter().map(|c| c.to_ascii_lowercase()).filter(|c| c != "top").collect();
         for c in &classes {
             members.entry(c.clone()).or_default().insert(id.index());
             for other in &classes {
@@ -88,8 +84,7 @@ fn observe_classes(dir: &DirectoryInstance) -> ObservedClasses {
         let (a, b) = (&members[sub], &members[sup]);
         a.is_subset(b)
     };
-    let comparable =
-        |a: &str, b: &str| -> bool { contains(a, b) || contains(b, a) };
+    let comparable = |a: &str, b: &str| -> bool { contains(a, b) || contains(b, a) };
 
     // Core candidates: start from everything, then greedily demote the
     // class with the most incomparable co-occurrences to auxiliary until
@@ -140,9 +135,7 @@ fn observe_classes(dir: &DirectoryInstance) -> ObservedClasses {
     }
     // Parents must be declared first: order by member-set size descending
     // (supersets are at least as large), then name.
-    core.sort_by(|(a, _), (b, _)| {
-        members[b].len().cmp(&members[a].len()).then_with(|| a.cmp(b))
-    });
+    core.sort_by(|(a, _), (b, _)| members[b].len().cmp(&members[a].len()).then_with(|| a.cmp(b)));
 
     let auxiliary = aux_names
         .into_iter()
@@ -177,8 +170,7 @@ pub fn suggest_schema(dir: &DirectoryInstance, options: &DiscoveryOptions) -> Di
     }
     // Structure elements range over core classes only (Definition 2.4), with
     // `top` included as a relationship endpoint.
-    let mut classes: Vec<String> =
-        observed.core.iter().map(|(c, _)| c.clone()).collect();
+    let mut classes: Vec<String> = observed.core.iter().map(|(c, _)| c.clone()).collect();
     classes.push("top".to_owned());
     // Attribute mining covers aux classes too.
     let attr_classes: Vec<String> = classes
@@ -217,13 +209,11 @@ pub fn suggest_schema(dir: &DirectoryInstance, options: &DiscoveryOptions) -> Di
             }
             if options.forbidden {
                 if never_holds(&ctx, a, ForbidKind::Descendant, b) {
-                    builder = builder
-                        .forbid_rel(a, ForbidKind::Descendant, b)
-                        .expect("classes declared");
+                    builder =
+                        builder.forbid_rel(a, ForbidKind::Descendant, b).expect("classes declared");
                 } else if never_holds(&ctx, a, ForbidKind::Child, b) {
-                    builder = builder
-                        .forbid_rel(a, ForbidKind::Child, b)
-                        .expect("classes declared");
+                    builder =
+                        builder.forbid_rel(a, ForbidKind::Child, b).expect("classes declared");
                 }
             }
         }
@@ -289,9 +279,7 @@ fn holds_for_all(ctx: &EvalContext<'_>, a: &str, kind: RelKind, b: &str) -> bool
 fn never_holds(ctx: &EvalContext<'_>, a: &str, kind: ForbidKind, b: &str) -> bool {
     let q = match kind {
         ForbidKind::Child => Query::object_class(a).with_child(Query::object_class(b)),
-        ForbidKind::Descendant => {
-            Query::object_class(a).with_descendant(Query::object_class(b))
-        }
+        ForbidKind::Descendant => Query::object_class(a).with_descendant(Query::object_class(b)),
     };
     evaluate(ctx, &q).is_empty()
 }
@@ -319,7 +307,8 @@ mod tests {
     #[test]
     fn figure1_regularities_are_discovered() {
         let (dir, _) = white_pages_instance();
-        let schema = suggest_schema(&dir, &DiscoveryOptions { forbidden: true, ..Default::default() });
+        let schema =
+            suggest_schema(&dir, &DiscoveryOptions { forbidden: true, ..Default::default() });
         let s = schema.structure();
         let classes = schema.classes();
         let has_req = |src: &str, kind: RelKind, tgt: &str| {
@@ -358,11 +347,13 @@ mod tests {
         // person →pa orgUnit holds, so person →an orgUnit must be
         // suppressed as implied.
         let pa = s.required_rels().iter().any(|r| {
-            classes.name(r.source) == "person" && r.kind == RelKind::Parent
+            classes.name(r.source) == "person"
+                && r.kind == RelKind::Parent
                 && classes.name(r.target) == "orgunit"
         });
         let an = s.required_rels().iter().any(|r| {
-            classes.name(r.source) == "person" && r.kind == RelKind::Ancestor
+            classes.name(r.source) == "person"
+                && r.kind == RelKind::Ancestor
                 && classes.name(r.target) == "orgunit"
         });
         assert!(pa);

@@ -166,7 +166,10 @@ impl From<SchemaError> for EvolutionError {
 
 /// Applies `step` to `schema`, returning the evolved schema. No instance
 /// involved — see [`evolve`] for the checked variant.
-pub fn apply(schema: &DirectorySchema, step: &Evolution) -> Result<DirectorySchema, EvolutionError> {
+pub fn apply(
+    schema: &DirectorySchema,
+    step: &Evolution,
+) -> Result<DirectorySchema, EvolutionError> {
     let builder = schema.to_builder();
     let builder = match step {
         Evolution::AllowAttribute { class, attribute } => {
@@ -314,7 +317,8 @@ mod tests {
             );
         }
         // The new auxiliary can then be admitted for a class.
-        let step = Evolution::AllowAuxiliaryFor { core: "person".into(), auxiliary: "pgpUser".into() };
+        let step =
+            Evolution::AllowAuxiliaryFor { core: "person".into(), auxiliary: "pgpUser".into() };
         current = evolve(&current, &step, &dir).unwrap();
         assert!(LegalityChecker::new(&current).check(&dir).is_legal());
     }
@@ -324,7 +328,8 @@ mod tests {
         let schema = white_pages_schema();
         let (dir, _) = white_pages_instance();
         // Every researcher in Figure 1 already has a name.
-        let step = Evolution::RequireAttribute { class: "researcher".into(), attribute: "name".into() };
+        let step =
+            Evolution::RequireAttribute { class: "researcher".into(), attribute: "name".into() };
         let evolved = evolve(&schema, &step, &dir).unwrap();
         assert!(LegalityChecker::new(&evolved).check(&dir).is_legal());
         // And a structure element that already holds.
@@ -343,13 +348,11 @@ mod tests {
         let (dir, ids) = white_pages_instance();
         // suciu has no mail: requiring mail on researchers must fail and
         // name the violators.
-        let step = Evolution::RequireAttribute { class: "researcher".into(), attribute: "mail".into() };
+        let step =
+            Evolution::RequireAttribute { class: "researcher".into(), attribute: "mail".into() };
         match evolve(&schema, &step, &dir) {
             Err(EvolutionError::InstanceViolates(report)) => {
-                assert!(report
-                    .violations()
-                    .iter()
-                    .any(|v| v.entry() == Some(ids.suciu)));
+                assert!(report.violations().iter().any(|v| v.entry() == Some(ids.suciu)));
             }
             other => panic!("expected InstanceViolates, got {other:?}"),
         }
@@ -361,10 +364,7 @@ mod tests {
             kind: ForbidKind::Descendant,
             lower: "researcher".into(),
         };
-        assert!(matches!(
-            evolve(&schema, &step, &dir),
-            Err(EvolutionError::InstanceViolates(_))
-        ));
+        assert!(matches!(evolve(&schema, &step, &dir), Err(EvolutionError::InstanceViolates(_))));
         // Forbidding organization ↛de person, by contrast, is refused one
         // level earlier: it contradicts the (inherited) orgGroup →de person
         // requirement, making the schema itself inconsistent.

@@ -5,6 +5,8 @@
 //! incremental checking ("legality w.r.t. the content schema can be tested
 //! by independently checking each entry in the instance").
 
+use std::collections::{HashMap, HashSet};
+
 use bschema_directory::{DirectoryInstance, Entry, EntryId, OBJECT_CLASS};
 
 use super::report::Violation;
@@ -28,10 +30,7 @@ pub fn check_entry(
     for name in entry.classes() {
         match classes.lookup(name) {
             Some(id) => known.push(id),
-            None => out.push(Violation::UnknownClass {
-                entry: entry_id,
-                class: name.clone(),
-            }),
+            None => out.push(Violation::UnknownClass { entry: entry_id, class: name.clone() }),
         }
     }
 
@@ -44,10 +43,7 @@ pub fn check_entry(
         // Single inheritance (the ⇒ / ⇏ elements): the core classes must be
         // exactly a chain. Take the deepest; everything else must lie on its
         // superclass chain, and the whole chain must be present.
-        let deepest = *cores
-            .iter()
-            .max_by_key(|&&c| classes.depth(c))
-            .expect("cores is non-empty");
+        let deepest = *cores.iter().max_by_key(|&&c| classes.depth(c)).expect("cores is non-empty");
         for &c in &cores {
             if !classes.is_subclass(deepest, c) {
                 out.push(Violation::ExclusiveClasses {
@@ -128,6 +124,146 @@ pub fn check_instance(
             }
         }
     }
+}
+
+/// Which attributes a class-set signature admits.
+#[derive(Debug)]
+enum AllowedAttrs {
+    /// Some class of the signature is extensible: everything is allowed.
+    All,
+    /// The union `⋃ α(c)` over the signature's known classes (lowercase
+    /// keys, as entries store them).
+    Union(HashSet<String>),
+}
+
+/// What the content check derives from an entry's (ordered) class list
+/// alone. Entries in a real directory fall into a handful of distinct
+/// class-set signatures, so caching this per signature turns the
+/// per-entry work into attribute-presence probes.
+#[derive(Debug)]
+struct SignatureChecks {
+    /// Class-level violations with a placeholder entry id, in
+    /// [`check_entry`]'s emission order (unknown classes, core-chain
+    /// checks, auxiliary admissibility).
+    template: Vec<Violation>,
+    /// `(class name, required attribute)` pairs, in emission order.
+    required: Vec<(String, String)>,
+    allowed: AllowedAttrs,
+}
+
+impl SignatureChecks {
+    fn build(schema: &DirectorySchema, entry: &Entry) -> SignatureChecks {
+        // Run the class-dependent half of `check_entry` once against a
+        // classes-only probe entry; its violations are the template.
+        let probe = Entry::builder().classes(entry.classes().iter().map(String::as_str)).build();
+        let mut template = Vec::new();
+        check_entry(schema, EntryId::from_index(0), &probe, &mut template);
+
+        let classes = schema.classes();
+        let attrs = schema.attributes();
+        let known: Vec<ClassId> =
+            entry.classes().iter().filter_map(|name| classes.lookup(name)).collect();
+
+        let mut required = Vec::new();
+        for &c in &known {
+            // The probe entry has no attributes, so the template ends with
+            // exactly these MissingRequiredAttribute violations; drop them
+            // from the template and keep them as presence probes instead.
+            for attr in attrs.required(c) {
+                required.push((classes.name(c).to_owned(), attr.to_owned()));
+            }
+        }
+        template.truncate(template.len() - required.len());
+
+        let allowed = if known.iter().any(|&c| attrs.is_extensible(c)) {
+            AllowedAttrs::All
+        } else {
+            AllowedAttrs::Union(
+                known.iter().flat_map(|&c| attrs.allowed(c)).map(str::to_owned).collect(),
+            )
+        };
+        SignatureChecks { template, required, allowed }
+    }
+
+    /// Emits the violations `check_entry` would produce for `entry`, in
+    /// the same order.
+    fn check(&self, entry_id: EntryId, entry: &Entry, out: &mut Vec<Violation>) {
+        for v in &self.template {
+            out.push(reanchor(v, entry_id));
+        }
+        for (class, attribute) in &self.required {
+            if !entry.has_attribute(attribute) {
+                out.push(Violation::MissingRequiredAttribute {
+                    entry: entry_id,
+                    class: class.clone(),
+                    attribute: attribute.clone(),
+                });
+            }
+        }
+        if let AllowedAttrs::Union(allowed) = &self.allowed {
+            for (attr, _) in entry.attributes() {
+                if attr == OBJECT_CLASS {
+                    continue;
+                }
+                if !allowed.contains(attr) {
+                    out.push(Violation::AttributeNotAllowed {
+                        entry: entry_id,
+                        attribute: attr.to_owned(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rebinds a template violation to a concrete entry.
+fn reanchor(v: &Violation, entry: EntryId) -> Violation {
+    match v.clone() {
+        Violation::UnknownClass { class, .. } => Violation::UnknownClass { entry, class },
+        Violation::NoCoreClass { .. } => Violation::NoCoreClass { entry },
+        Violation::MissingSuperclass { class, superclass, .. } => {
+            Violation::MissingSuperclass { entry, class, superclass }
+        }
+        Violation::ExclusiveClasses { first, second, .. } => {
+            Violation::ExclusiveClasses { entry, first, second }
+        }
+        Violation::AuxiliaryNotAllowed { auxiliary, .. } => {
+            Violation::AuxiliaryNotAllowed { entry, auxiliary }
+        }
+        other => unreachable!("non-template violation cached: {other:?}"),
+    }
+}
+
+/// Like [`check_instance`] but fanned out over `threads` workers, with a
+/// per-class-set signature cache so shared class lists are analysed once.
+/// Produces a violation list **identical** to [`check_instance`]'s: the
+/// entries are chunked contiguously in document order and per-chunk
+/// results are concatenated in chunk order.
+pub fn check_instance_parallel(
+    schema: &DirectorySchema,
+    dir: &DirectoryInstance,
+    validate_values: bool,
+    threads: usize,
+    out: &mut Vec<Violation>,
+) {
+    let entries: Vec<(EntryId, &Entry)> = dir.iter().collect();
+    let found = bschema_parallel::par_flat_map_chunks(&entries, threads, |chunk| {
+        let mut cache: HashMap<&[String], SignatureChecks> = HashMap::new();
+        let mut local = Vec::new();
+        for &(id, entry) in chunk {
+            let sig = cache
+                .entry(entry.classes())
+                .or_insert_with(|| SignatureChecks::build(schema, entry));
+            sig.check(id, entry, &mut local);
+            if validate_values {
+                if let Err(e) = dir.validate_entry_values(id) {
+                    local.push(Violation::ValueViolation { entry: id, message: e.to_string() });
+                }
+            }
+        }
+        local
+    });
+    out.extend(found);
 }
 
 #[cfg(test)]
@@ -229,11 +365,7 @@ mod tests {
     #[test]
     fn missing_superclass() {
         // researcher without person/top.
-        let e = Entry::builder()
-            .classes(["researcher"])
-            .attr("uid", "x")
-            .attr("name", "x")
-            .build();
+        let e = Entry::builder().classes(["researcher"]).attr("uid", "x").attr("name", "x").build();
         let v = violations_for(e);
         let missing: Vec<&str> = v
             .iter()

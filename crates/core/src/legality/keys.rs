@@ -16,11 +16,7 @@ use crate::schema::DirectorySchema;
 
 /// Checks every declared key attribute, appending one violation per entry
 /// that shares a value with an earlier (document-order) entry.
-pub fn check_instance(
-    schema: &DirectorySchema,
-    dir: &DirectoryInstance,
-    out: &mut Vec<Violation>,
-) {
+pub fn check_instance(schema: &DirectorySchema, dir: &DirectoryInstance, out: &mut Vec<Violation>) {
     for attr in schema.attributes().unique_attributes() {
         let syntax = dir.registry().syntax_of(attr);
         let holders = dir.index().entries_with_attribute(attr);

@@ -20,18 +20,49 @@ use bschema_directory::DirectoryInstance;
 
 use crate::schema::DirectorySchema;
 
+/// Execution options for legality checking.
+///
+/// The parallel engine produces reports **identical** to the sequential
+/// one (same violations, same order): per-entry content checks and the
+/// independent Figure 4 structure queries are data-parallel, and every
+/// worker reads the one sorted-entry index the instance built in
+/// [`prepare`](DirectoryInstance::prepare). The parallel content path
+/// additionally caches per-class-set signature analyses, so it wins even
+/// on a single worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LegalityOptions {
+    /// Use the data-parallel engine.
+    pub parallel: bool,
+    /// Worker threads for the parallel engine: `0` = all available,
+    /// `1` = run inline on the caller's thread.
+    pub threads: usize,
+}
+
+impl LegalityOptions {
+    /// The sequential engine (the default).
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// The parallel engine with `threads` workers (`0` = all available).
+    pub fn parallel(threads: usize) -> Self {
+        LegalityOptions { parallel: true, threads }
+    }
+}
+
 /// The legality checker: schema + configuration.
 #[derive(Debug, Clone)]
 pub struct LegalityChecker<'s> {
     schema: &'s DirectorySchema,
     validate_values: bool,
+    options: LegalityOptions,
 }
 
 impl<'s> LegalityChecker<'s> {
     /// A checker for `schema` with value validation off (the paper's
     /// Definition 2.7 checks only).
     pub fn new(schema: &'s DirectorySchema) -> Self {
-        LegalityChecker { schema, validate_values: false }
+        LegalityChecker { schema, validate_values: false, options: LegalityOptions::default() }
     }
 
     /// Also validate value syntaxes and single-value restrictions
@@ -41,21 +72,47 @@ impl<'s> LegalityChecker<'s> {
         self
     }
 
+    /// Selects the execution engine (sequential or data-parallel).
+    pub fn with_options(mut self, options: LegalityOptions) -> Self {
+        self.options = options;
+        self
+    }
+
     /// The schema being checked against.
     pub fn schema(&self) -> &'s DirectorySchema {
         self.schema
+    }
+
+    /// The configured execution options.
+    pub fn options(&self) -> LegalityOptions {
+        self.options
     }
 
     /// Full legality check (Definition 2.7). The instance must be
     /// [`prepare`](DirectoryInstance::prepare)d.
     ///
     /// Runs in the Theorem 3.1 bound: O(|D| · (per-entry content cost +
-    /// |S|)) — linear in the instance size.
+    /// |S|)) — linear in the instance size. With
+    /// [`LegalityOptions::parallel`] the same work is fanned out over
+    /// worker threads; the report is identical either way.
     pub fn check(&self, dir: &DirectoryInstance) -> LegalityReport {
         let mut out = Vec::new();
-        content::check_instance(self.schema, dir, self.validate_values, &mut out);
-        keys::check_instance(self.schema, dir, &mut out);
-        structure::check_instance(self.schema, dir, &mut out);
+        if self.options.parallel {
+            let threads = self.options.threads;
+            content::check_instance_parallel(
+                self.schema,
+                dir,
+                self.validate_values,
+                threads,
+                &mut out,
+            );
+            keys::check_instance(self.schema, dir, &mut out);
+            structure::check_instance_parallel(self.schema, dir, threads, &mut out);
+        } else {
+            content::check_instance(self.schema, dir, self.validate_values, &mut out);
+            keys::check_instance(self.schema, dir, &mut out);
+            structure::check_instance(self.schema, dir, &mut out);
+        }
         LegalityReport::from_violations(out)
     }
 

@@ -13,26 +13,18 @@ use crate::schema::{DirectorySchema, ForbidKind, RelKind};
 
 /// Checks the structure schema by explicit traversal, no indexes or queries.
 /// Output matches [`super::structure::check_instance`] up to ordering.
-pub fn check_instance(
-    schema: &DirectorySchema,
-    dir: &DirectoryInstance,
-    out: &mut Vec<Violation>,
-) {
+pub fn check_instance(schema: &DirectorySchema, dir: &DirectoryInstance, out: &mut Vec<Violation>) {
     let classes = schema.classes();
     let structure = schema.structure();
     let forest = dir.forest();
 
-    let has_class = |id, class_id| {
-        dir.entry(id)
-            .is_some_and(|e| e.has_class(classes.name(class_id)))
-    };
+    let has_class =
+        |id, class_id| dir.entry(id).is_some_and(|e| e.has_class(classes.name(class_id)));
 
     for class in structure.required_classes() {
         let found = dir.iter().any(|(_, e)| e.has_class(classes.name(class)));
         if !found {
-            out.push(Violation::MissingRequiredClass {
-                class: classes.name(class).to_owned(),
-            });
+            out.push(Violation::MissingRequiredClass { class: classes.name(class).to_owned() });
         }
     }
 
@@ -65,9 +57,7 @@ pub fn check_instance(
             }
             let violated = match rel.kind {
                 ForbidKind::Child => forest.children(id).any(|c| has_class(c, rel.lower)),
-                ForbidKind::Descendant => {
-                    forest.descendants(id).any(|d| has_class(d, rel.lower))
-                }
+                ForbidKind::Descendant => forest.descendants(id).any(|d| has_class(d, rel.lower)),
             };
             if violated {
                 out.push(Violation::ForbiddenRelViolation {
@@ -99,9 +89,7 @@ pub fn check_instance_pairwise(
     for class in structure.required_classes() {
         let found = entries.iter().any(|(_, e)| e.has_class(classes.name(class)));
         if !found {
-            out.push(Violation::MissingRequiredClass {
-                class: classes.name(class).to_owned(),
-            });
+            out.push(Violation::MissingRequiredClass { class: classes.name(class).to_owned() });
         }
     }
 
@@ -134,10 +122,7 @@ pub fn check_instance_pairwise(
                 // requirements, ei may satisfy ej's parent/ancestor ones.
                 match rel.kind {
                     RelKind::Child => {
-                        if is_parent
-                            && !satisfied[i][r]
-                            && ej.has_class(classes.name(rel.target))
-                        {
+                        if is_parent && !satisfied[i][r] && ej.has_class(classes.name(rel.target)) {
                             satisfied[i][r] = true;
                         }
                     }
@@ -147,10 +132,7 @@ pub fn check_instance_pairwise(
                         }
                     }
                     RelKind::Parent => {
-                        if is_parent
-                            && !satisfied[j][r]
-                            && ei.has_class(classes.name(rel.target))
-                        {
+                        if is_parent && !satisfied[j][r] && ei.has_class(classes.name(rel.target)) {
                             satisfied[j][r] = true;
                         }
                     }

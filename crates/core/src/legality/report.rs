@@ -312,10 +312,8 @@ mod tests {
 
     #[test]
     fn content_vs_structure_classification() {
-        let content = Violation::AttributeNotAllowed {
-            entry: EntryId::from_index(0),
-            attribute: "x".into(),
-        };
+        let content =
+            Violation::AttributeNotAllowed { entry: EntryId::from_index(0), attribute: "x".into() };
         let structure = Violation::MissingRequiredClass { class: "person".into() };
         assert!(content.is_content());
         assert!(!structure.is_content());

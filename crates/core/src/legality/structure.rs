@@ -8,7 +8,7 @@
 //! of Theorem 3.1.
 
 use bschema_directory::DirectoryInstance;
-use bschema_query::{evaluate, EvalContext};
+use bschema_query::{evaluate, evaluate_batch, EvalContext, Query};
 
 use super::report::Violation;
 use super::translate;
@@ -16,11 +16,7 @@ use crate::schema::DirectorySchema;
 
 /// Checks the instance against the structure schema, appending violations
 /// (with one witness violation per offending entry).
-pub fn check_instance(
-    schema: &DirectorySchema,
-    dir: &DirectoryInstance,
-    out: &mut Vec<Violation>,
-) {
+pub fn check_instance(schema: &DirectorySchema, dir: &DirectoryInstance, out: &mut Vec<Violation>) {
     let ctx = EvalContext::new(dir);
     let classes = schema.classes();
     let structure = schema.structure();
@@ -28,9 +24,7 @@ pub fn check_instance(
     for class in structure.required_classes() {
         let q = translate::required_class_query(schema, class);
         if evaluate(&ctx, &q).is_empty() {
-            out.push(Violation::MissingRequiredClass {
-                class: classes.name(class).to_owned(),
-            });
+            out.push(Violation::MissingRequiredClass { class: classes.name(class).to_owned() });
         }
     }
 
@@ -55,6 +49,77 @@ pub fn check_instance(
                 kind: rel.kind,
                 lower: classes.name(rel.lower).to_owned(),
             });
+        }
+    }
+}
+
+/// How a structure-schema element turns its query's witnesses into
+/// violations.
+enum StructureJob<'s> {
+    RequiredClass(crate::schema::ClassId),
+    RequiredRel(&'s crate::schema::RequiredRel),
+    ForbiddenRel(&'s crate::schema::ForbiddenRel),
+}
+
+/// Like [`check_instance`] but evaluating the independent Figure 4
+/// queries on `threads` workers over one shared evaluation context (and
+/// the one shared sorted-entry index behind it). Violations come out in
+/// the same order as [`check_instance`]: witnesses are collected per
+/// query and concatenated in schema-element order.
+pub fn check_instance_parallel(
+    schema: &DirectorySchema,
+    dir: &DirectoryInstance,
+    threads: usize,
+    out: &mut Vec<Violation>,
+) {
+    let ctx = EvalContext::new(dir);
+    let classes = schema.classes();
+    let structure = schema.structure();
+
+    let mut jobs: Vec<StructureJob<'_>> = Vec::with_capacity(structure.len());
+    let mut queries: Vec<Query> = Vec::with_capacity(structure.len());
+    for class in structure.required_classes() {
+        jobs.push(StructureJob::RequiredClass(class));
+        queries.push(translate::required_class_query(schema, class));
+    }
+    for rel in structure.required_rels() {
+        jobs.push(StructureJob::RequiredRel(rel));
+        queries.push(translate::required_rel_query(schema, rel));
+    }
+    for rel in structure.forbidden_rels() {
+        jobs.push(StructureJob::ForbiddenRel(rel));
+        queries.push(translate::forbidden_rel_query(schema, rel));
+    }
+
+    for (job, witnesses) in jobs.iter().zip(evaluate_batch(&ctx, &queries, threads)) {
+        match *job {
+            StructureJob::RequiredClass(class) => {
+                if witnesses.is_empty() {
+                    out.push(Violation::MissingRequiredClass {
+                        class: classes.name(class).to_owned(),
+                    });
+                }
+            }
+            StructureJob::RequiredRel(rel) => {
+                for witness in witnesses {
+                    out.push(Violation::RequiredRelViolation {
+                        entry: witness,
+                        source: classes.name(rel.source).to_owned(),
+                        kind: rel.kind,
+                        target: classes.name(rel.target).to_owned(),
+                    });
+                }
+            }
+            StructureJob::ForbiddenRel(rel) => {
+                for witness in witnesses {
+                    out.push(Violation::ForbiddenRelViolation {
+                        entry: witness,
+                        upper: classes.name(rel.upper).to_owned(),
+                        kind: rel.kind,
+                        lower: classes.name(rel.lower).to_owned(),
+                    });
+                }
+            }
         }
     }
 }
@@ -115,10 +180,7 @@ mod tests {
         // An instance with only the organization: ◇person and ◇orgUnit fail.
         let mut dir = DirectoryInstance::white_pages();
         dir.add_root_entry(
-            Entry::builder()
-                .classes(["organization", "orgGroup", "top"])
-                .attr("o", "att")
-                .build(),
+            Entry::builder().classes(["organization", "orgGroup", "top"]).attr("o", "att").build(),
         );
         dir.prepare();
         let mut out = Vec::new();

@@ -57,7 +57,7 @@ pub mod updates;
 pub use consistency::ConsistencyChecker;
 pub use discover::{suggest_schema, DiscoveryOptions};
 pub use evolution::{evolve, Evolution, EvolutionError};
-pub use legality::{LegalityChecker, LegalityReport, Violation};
+pub use legality::{LegalityChecker, LegalityOptions, LegalityReport, Violation};
 pub use managed::ManagedDirectory;
 pub use qopt::SchemaAwareOptimizer;
 pub use schema::{DirectorySchema, ForbidKind, RelKind, SchemaBuilder, SchemaError};

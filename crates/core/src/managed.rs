@@ -13,9 +13,9 @@ use bschema_directory::{AttributeRegistry, DirectoryInstance, Entry, EntryId};
 use bschema_query::{evaluate, EvalContext, Query};
 
 use crate::consistency::ConsistencyChecker;
-use crate::legality::{LegalityChecker, LegalityReport};
+use crate::legality::{LegalityChecker, LegalityOptions, LegalityReport};
 use crate::schema::DirectorySchema;
-use crate::updates::{apply_and_check, Transaction, TxError};
+use crate::updates::{apply_and_check_with, Transaction, TxError};
 
 /// Errors from managed-directory operations.
 #[derive(Debug)]
@@ -66,6 +66,8 @@ pub struct ManagedDirectory {
     /// Whether the current instance is known legal (enables the incremental
     /// §4 checks; until then transactions are fully rechecked).
     known_legal: bool,
+    /// Execution engine for every legality / incremental check.
+    options: LegalityOptions,
 }
 
 impl ManagedDirectory {
@@ -83,7 +85,7 @@ impl ManagedDirectory {
         let mut dir = DirectoryInstance::new(registry);
         dir.prepare();
         let known_legal = LegalityChecker::new(&schema).check(&dir).is_legal();
-        Ok(ManagedDirectory { schema, dir, known_legal })
+        Ok(ManagedDirectory { schema, dir, known_legal, options: LegalityOptions::default() })
     }
 
     /// Wraps an existing instance, verifying schema consistency and
@@ -103,7 +105,25 @@ impl ManagedDirectory {
         if !report.is_legal() {
             return Err(ManagedError::IllegalInstance(report));
         }
-        Ok(ManagedDirectory { schema, dir, known_legal: true })
+        Ok(ManagedDirectory { schema, dir, known_legal: true, options: LegalityOptions::default() })
+    }
+
+    /// Selects the execution engine (sequential or data-parallel) used by
+    /// every subsequent legality and incremental check. Verdicts and
+    /// reports are identical across engines; only the wall-clock differs.
+    pub fn with_options(mut self, options: LegalityOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The configured execution options.
+    pub fn options(&self) -> LegalityOptions {
+        self.options
+    }
+
+    /// The full legality checker configured with this directory's options.
+    fn checker(&self) -> LegalityChecker<'_> {
+        LegalityChecker::new(&self.schema).with_options(self.options)
     }
 
     /// The schema being enforced.
@@ -139,7 +159,7 @@ impl ManagedDirectory {
         let snapshot = self.dir.clone();
         let report = if self.known_legal {
             // D is legal: the Theorem 4.1 + Figure 5 incremental path.
-            apply_and_check(&self.schema, &mut self.dir, tx)?.report
+            apply_and_check_with(&self.schema, &mut self.dir, tx, self.options)?.report
         } else {
             // No legality baseline: apply, then full check.
             let normalized = tx.normalize(&self.dir)?;
@@ -147,12 +167,10 @@ impl ManagedDirectory {
                 subtree.apply(&mut self.dir);
             }
             for &root in &normalized.deletion_roots {
-                self.dir
-                    .remove_subtree(root)
-                    .expect("normalisation validated deletion roots");
+                self.dir.remove_subtree(root).expect("normalisation validated deletion roots");
             }
             self.dir.prepare();
-            LegalityChecker::new(&self.schema).check(&self.dir)
+            self.checker().check(&self.dir)
         };
         if report.is_legal() {
             self.known_legal = true;
@@ -182,7 +200,7 @@ impl ManagedDirectory {
     fn apply_returning_root(&mut self, tx: &Transaction) -> Result<EntryId, ManagedError> {
         let snapshot = self.dir.clone();
         let applied = if self.known_legal {
-            apply_and_check(&self.schema, &mut self.dir, tx)?
+            apply_and_check_with(&self.schema, &mut self.dir, tx, self.options)?
         } else {
             let mut dir = self.dir.clone();
             let normalized = tx.normalize(&dir)?;
@@ -191,7 +209,7 @@ impl ManagedDirectory {
                 roots.push(subtree.apply(&mut dir)[0]);
             }
             dir.prepare();
-            let report = LegalityChecker::new(&self.schema).check(&dir);
+            let report = self.checker().check(&dir);
             self.dir = dir;
             crate::updates::AppliedTx { inserted_roots: roots, removed: Vec::new(), report }
         };
@@ -227,18 +245,20 @@ impl ManagedDirectory {
         let snapshot = self.dir.clone();
         let Some(changed) = crate::updates::apply_mods(&mut self.dir, target, mods) else {
             self.dir = snapshot;
-            return Err(ManagedError::RolledBack(crate::legality::LegalityReport::from_violations(
-                vec![crate::legality::Violation::ValueViolation {
-                    entry: target,
-                    message: "no such entry".to_owned(),
-                }],
-            )));
+            return Err(ManagedError::RolledBack(
+                crate::legality::LegalityReport::from_violations(vec![
+                    crate::legality::Violation::ValueViolation {
+                        entry: target,
+                        message: "no such entry".to_owned(),
+                    },
+                ]),
+            ));
         };
         self.dir.prepare();
         let report = if self.known_legal {
             crate::updates::check_modification(&self.schema, &self.dir, target, &changed)
         } else {
-            LegalityChecker::new(&self.schema).check(&self.dir)
+            self.checker().check(&self.dir)
         };
         if report.is_legal() {
             self.known_legal = true;
@@ -251,22 +271,30 @@ impl ManagedDirectory {
 
     /// Moves the subtree rooted at `target` under `new_parent` (LDAP
     /// ModifyDN), atomically: rolled back if the result would be illegal.
-    pub fn move_subtree(&mut self, target: EntryId, new_parent: EntryId) -> Result<(), ManagedError> {
+    pub fn move_subtree(
+        &mut self,
+        target: EntryId,
+        new_parent: EntryId,
+    ) -> Result<(), ManagedError> {
         let snapshot = self.dir.clone();
         if let Err(e) = self.dir.move_subtree(target, new_parent) {
             self.dir = snapshot;
-            return Err(ManagedError::RolledBack(crate::legality::LegalityReport::from_violations(
-                vec![crate::legality::Violation::ValueViolation {
-                    entry: target,
-                    message: e.to_string(),
-                }],
-            )));
+            return Err(ManagedError::RolledBack(
+                crate::legality::LegalityReport::from_violations(vec![
+                    crate::legality::Violation::ValueViolation {
+                        entry: target,
+                        message: e.to_string(),
+                    },
+                ]),
+            ));
         }
         self.dir.prepare();
         let report = if self.known_legal {
-            crate::updates::IncrementalChecker::new(&self.schema).check_move(&self.dir, target)
+            crate::updates::IncrementalChecker::new(&self.schema)
+                .with_options(self.options)
+                .check_move(&self.dir, target)
         } else {
-            LegalityChecker::new(&self.schema).check(&self.dir)
+            self.checker().check(&self.dir)
         };
         if report.is_legal() {
             self.known_legal = true;
@@ -375,14 +403,10 @@ mod tests {
         let mut managed = ManagedDirectory::new(schema, AttributeRegistry::new()).unwrap();
         assert!(!managed.is_legal());
         // An unrelated insert that leaves ◇a unmet is rejected.
-        let err = managed
-            .insert_root(Entry::builder().class("top").build())
-            .unwrap_err();
+        let err = managed.insert_root(Entry::builder().class("top").build()).unwrap_err();
         assert!(matches!(err, ManagedError::RolledBack(_)));
         // Adding the required entry succeeds.
-        managed
-            .insert_root(Entry::builder().classes(["a", "top"]).build())
-            .unwrap();
+        managed.insert_root(Entry::builder().classes(["a", "top"]).build()).unwrap();
         assert!(managed.is_legal());
     }
 

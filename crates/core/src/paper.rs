@@ -155,10 +155,7 @@ pub fn white_pages_instance() -> (DirectoryInstance, Figure1) {
         )
         .expect("databases exists");
     d.prepare();
-    (
-        d,
-        Figure1 { att, att_labs, armstrong, databases, laks, suciu },
-    )
+    (d, Figure1 { att, att_labs, armstrong, databases, laks, suciu })
 }
 
 #[cfg(test)]
@@ -170,14 +167,10 @@ mod tests {
         let s = white_pages_schema();
         let c = s.classes();
         assert!(c.is_subclass(c.resolve("researcher").unwrap(), c.resolve("person").unwrap()));
-        assert!(c.are_exclusive(
-            c.resolve("orgUnit").unwrap(),
-            c.resolve("person").unwrap()
-        ));
-        assert!(c.aux_allowed(
-            c.resolve("researcher").unwrap(),
-            c.resolve("facultyMember").unwrap()
-        ));
+        assert!(c.are_exclusive(c.resolve("orgUnit").unwrap(), c.resolve("person").unwrap()));
+        assert!(
+            c.aux_allowed(c.resolve("researcher").unwrap(), c.resolve("facultyMember").unwrap())
+        );
     }
 
     #[test]

@@ -60,13 +60,11 @@ impl<'s> SchemaAwareOptimizer<'s> {
     }
 
     fn derives_required(&self, source: ClassId, kind: RelKind, target: ClassId) -> bool {
-        self.closure
-            .derives(&Element::ReqRel(source.into(), kind, target.into()))
+        self.closure.derives(&Element::ReqRel(source.into(), kind, target.into()))
     }
 
     fn derives_forbidden(&self, upper: ClassId, kind: ForbidKind, lower: ClassId) -> bool {
-        self.closure
-            .derives(&Element::Forb(upper.into(), kind, lower.into()))
+        self.closure.derives(&Element::Forb(upper.into(), kind, lower.into()))
     }
 
     fn empty() -> Query {
@@ -198,9 +196,8 @@ mod tests {
         assert_eq!(opt(&schema, q), Query::object_class("organization"));
         // Hence the Figure 4 legality query for the element is statically
         // empty: σ?(x, x) → ∅.
-        let q = Query::object_class("orgGroup").minus(
-            Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
-        );
+        let q = Query::object_class("orgGroup")
+            .minus(Query::object_class("orgGroup").with_descendant(Query::object_class("person")));
         assert!(matches!(opt(&schema, q), Query::Select { binding: Binding::Empty, .. }));
     }
 

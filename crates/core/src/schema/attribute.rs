@@ -46,29 +46,18 @@ impl AttributeSchema {
 
     /// Adds `attr` to `α(class)` only.
     pub fn allow(&mut self, class: ClassId, attr: &str) {
-        self.allowed
-            .entry(class)
-            .or_default()
-            .insert(attr.to_ascii_lowercase());
+        self.allowed.entry(class).or_default().insert(attr.to_ascii_lowercase());
     }
 
     /// `ρ(class)` — required attribute keys, sorted.
     pub fn required(&self, class: ClassId) -> impl Iterator<Item = &str> {
-        self.required
-            .get(&class)
-            .into_iter()
-            .flatten()
-            .map(String::as_str)
+        self.required.get(&class).into_iter().flatten().map(String::as_str)
     }
 
     /// `α(class)` — allowed attribute keys, sorted (includes required ones;
     /// excludes the implicit `objectClass`).
     pub fn allowed(&self, class: ClassId) -> impl Iterator<Item = &str> {
-        self.allowed
-            .get(&class)
-            .into_iter()
-            .flatten()
-            .map(String::as_str)
+        self.allowed.get(&class).into_iter().flatten().map(String::as_str)
     }
 
     /// Whether `attr` is required for `class`.
@@ -112,11 +101,7 @@ impl AttributeSchema {
     /// Every attribute key mentioned anywhere in the schema (the schema's
     /// finite `A ⊆ 𝒜`).
     pub fn mentioned_attributes(&self) -> BTreeSet<&str> {
-        self.allowed
-            .values()
-            .flatten()
-            .map(String::as_str)
-            .collect()
+        self.allowed.values().flatten().map(String::as_str).collect()
     }
 
     /// Classes that have at least one required or allowed attribute.

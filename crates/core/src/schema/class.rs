@@ -102,9 +102,7 @@ impl ClassSchema {
             aux: Vec::new(),
             top: ClassId(0),
         };
-        let top = s
-            .insert("top", ClassKind::Core, None, 0)
-            .expect("fresh schema accepts top");
+        let top = s.insert("top", ClassKind::Core, None, 0).expect("fresh schema accepts top");
         s.top = top;
         s
     }
@@ -180,8 +178,7 @@ impl ClassSchema {
 
     /// Resolves a name, erroring when absent.
     pub fn resolve(&self, name: &str) -> Result<ClassId, ClassSchemaError> {
-        self.lookup(name)
-            .ok_or_else(|| ClassSchemaError::UnknownClass(name.to_owned()))
+        self.lookup(name).ok_or_else(|| ClassSchemaError::UnknownClass(name.to_owned()))
     }
 
     /// Display name of `id`.
@@ -270,10 +267,7 @@ impl ClassSchema {
 
     /// `a ⇏ b`: incomparable core classes, forbidden from co-occurring.
     pub fn are_exclusive(&self, a: ClassId, b: ClassId) -> bool {
-        self.is_core(a)
-            && self.is_core(b)
-            && !self.is_subclass(a, b)
-            && !self.is_subclass(b, a)
+        self.is_core(a) && self.is_core(b) && !self.is_subclass(a, b) && !self.is_subclass(b, a)
     }
 
     /// `c` and its proper superclasses, nearest first, ending at `top`.
@@ -355,7 +349,7 @@ mod tests {
         assert!(s.are_exclusive(n["staffMember"], n["researcher"]));
         assert!(!s.are_exclusive(n["person"], n["researcher"]));
         assert!(!s.are_exclusive(n["top"], n["person"])); // comparable
-        // Auxiliaries are never exclusive.
+                                                          // Auxiliaries are never exclusive.
         assert!(!s.are_exclusive(n["online"], n["person"]));
     }
 

@@ -139,8 +139,7 @@ pub fn parse_schema(text: &str) -> Result<ParsedSchema, DslError> {
             }
             "attribute" => {
                 // attribute <name> : <syntax> [single]
-                let rest: Vec<&str> =
-                    l.words[1..].iter().copied().filter(|w| *w != ":").collect();
+                let rest: Vec<&str> = l.words[1..].iter().copied().filter(|w| *w != ":").collect();
                 let (name, syntax_word) = match rest.as_slice() {
                     [name, syntax, ..] => (*name, *syntax),
                     _ => {
@@ -170,16 +169,13 @@ pub fn parse_schema(text: &str) -> Result<ParsedSchema, DslError> {
                     }
                 };
                 if !name.eq_ignore_ascii_case("top") {
-                    builder = builder
-                        .core_class(name, parent)
-                        .map_err(|e| schema_err(line_no, e))?;
+                    builder =
+                        builder.core_class(name, parent).map_err(|e| schema_err(line_no, e))?;
                 }
             }
             "auxiliary" => {
-                let name = l
-                    .words
-                    .get(1)
-                    .ok_or_else(|| err(line_no, "auxiliary line needs a name"))?;
+                let name =
+                    l.words.get(1).ok_or_else(|| err(line_no, "auxiliary line needs a name"))?;
                 builder = builder.auxiliary(name).map_err(|e| schema_err(line_no, e))?;
             }
             "require-class" | "require" | "forbid" => {}
@@ -206,9 +202,8 @@ pub fn parse_schema(text: &str) -> Result<ParsedSchema, DslError> {
             match words[0] {
                 "aux" => {
                     for aux in &words[1..] {
-                        builder = builder
-                            .allow_aux(class, aux)
-                            .map_err(|e| schema_err(line_no, e))?;
+                        builder =
+                            builder.allow_aux(class, aux).map_err(|e| schema_err(line_no, e))?;
                     }
                 }
                 "require" => {
@@ -238,36 +233,45 @@ pub fn parse_schema(text: &str) -> Result<ParsedSchema, DslError> {
                 context = Context::Class(words[1].to_owned());
             }
             "require-class" => {
-                let name = words
-                    .get(1)
-                    .ok_or_else(|| err(line_no, "require-class needs a class name"))?;
-                builder = builder
-                    .require_class(name)
-                    .map_err(|e| schema_err(line_no, e))?;
+                let name =
+                    words.get(1).ok_or_else(|| err(line_no, "require-class needs a class name"))?;
+                builder = builder.require_class(name).map_err(|e| schema_err(line_no, e))?;
                 context = Context::None;
             }
             "require" => {
                 let (src, kind, tgt) = match words.as_slice() {
                     ["require", src, kind, tgt] => (*src, *kind, *tgt),
-                    _ => return Err(err(line_no, "require line needs `require <src> <kind> <target>`")),
+                    _ => {
+                        return Err(err(
+                            line_no,
+                            "require line needs `require <src> <kind> <target>`",
+                        ))
+                    }
                 };
                 let kind = rel_kind(kind)
                     .ok_or_else(|| err(line_no, format!("unknown relationship kind {kind:?}")))?;
-                builder = builder
-                    .require_rel(src, kind, tgt)
-                    .map_err(|e| schema_err(line_no, e))?;
+                builder =
+                    builder.require_rel(src, kind, tgt).map_err(|e| schema_err(line_no, e))?;
                 context = Context::None;
             }
             "forbid" => {
                 let (upper, kind, lower) = match words.as_slice() {
                     ["forbid", upper, kind, lower] => (*upper, *kind, *lower),
-                    _ => return Err(err(line_no, "forbid line needs `forbid <upper> <kind> <lower>`")),
+                    _ => {
+                        return Err(err(
+                            line_no,
+                            "forbid line needs `forbid <upper> <kind> <lower>`",
+                        ))
+                    }
                 };
-                let kind = forbid_kind(kind)
-                    .ok_or_else(|| err(line_no, format!("forbidden kind must be child or descendant, got {kind:?}")))?;
-                builder = builder
-                    .forbid_rel(upper, kind, lower)
-                    .map_err(|e| schema_err(line_no, e))?;
+                let kind = forbid_kind(kind).ok_or_else(|| {
+                    err(
+                        line_no,
+                        format!("forbidden kind must be child or descendant, got {kind:?}"),
+                    )
+                })?;
+                builder =
+                    builder.forbid_rel(upper, kind, lower).map_err(|e| schema_err(line_no, e))?;
                 context = Context::None;
             }
             other => return Err(err(line_no, format!("unknown directive {other:?}"))),
@@ -444,7 +448,8 @@ forbid person child top
     fn roundtrip_print_parse() {
         let parsed = parse_schema(WHITE_PAGES).unwrap();
         let printed = print_schema(&parsed.schema, Some(&parsed.registry));
-        let reparsed = parse_schema(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reparsed =
+            parse_schema(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         // Structural equality via a second print.
         let printed2 = print_schema(&reparsed.schema, Some(&reparsed.registry));
         assert_eq!(printed, printed2);

@@ -101,23 +101,14 @@ impl DirectorySchema {
     /// size used in complexity accounting.
     pub fn size(&self) -> usize {
         self.classes.len()
-            + self
-                .classes
-                .classes()
-                .map(|c| self.attributes.allowed_count(c))
-                .sum::<usize>()
+            + self.classes.classes().map(|c| self.attributes.allowed_count(c)).sum::<usize>()
             + self.structure.len()
     }
 
     /// Renders a required relationship in paper-style notation, e.g.
     /// `orgGroup →de person`.
     pub fn display_required(&self, rel: &RequiredRel) -> String {
-        format!(
-            "{} →{} {}",
-            self.classes.name(rel.source),
-            rel.kind,
-            self.classes.name(rel.target)
-        )
+        format!("{} →{} {}", self.classes.name(rel.source), rel.kind, self.classes.name(rel.target))
     }
 
     /// Reconstructs a builder holding a copy of this schema, so elements can
@@ -153,9 +144,8 @@ impl DirectorySchema {
                 .expect("source schema is well-formed");
         }
         for class in self.structure.required_classes() {
-            builder = builder
-                .require_class(classes.name(class))
-                .expect("source schema is well-formed");
+            builder =
+                builder.require_class(classes.name(class)).expect("source schema is well-formed");
         }
         for rel in self.structure.required_rels() {
             builder = builder
@@ -169,21 +159,15 @@ impl DirectorySchema {
         }
         builder = builder.unique_attrs(self.attributes.unique_attributes());
         for class in self.attributes.extensible_classes() {
-            builder = builder
-                .extensible(classes.name(class))
-                .expect("source schema is well-formed");
+            builder =
+                builder.extensible(classes.name(class)).expect("source schema is well-formed");
         }
         builder
     }
 
     /// Renders a forbidden relationship, e.g. `person ↛ch top`.
     pub fn display_forbidden(&self, rel: &ForbiddenRel) -> String {
-        format!(
-            "{} ↛{} {}",
-            self.classes.name(rel.upper),
-            rel.kind,
-            self.classes.name(rel.lower)
-        )
+        format!("{} ↛{} {}", self.classes.name(rel.upper), rel.kind, self.classes.name(rel.lower))
     }
 }
 
@@ -275,10 +259,7 @@ impl SchemaBuilder {
 
     /// Declares directory-wide key attributes (§6.1): values must be unique
     /// across all entries.
-    pub fn unique_attrs<'a>(
-        mut self,
-        attrs: impl IntoIterator<Item = &'a str>,
-    ) -> Self {
+    pub fn unique_attrs<'a>(mut self, attrs: impl IntoIterator<Item = &'a str>) -> Self {
         for attr in attrs {
             self.schema.attributes.declare_unique(attr);
         }
@@ -301,7 +282,12 @@ impl SchemaBuilder {
     }
 
     /// Adds `(source, kind, target)` to `Er`.
-    pub fn require_rel(mut self, source: &str, kind: RelKind, target: &str) -> Result<Self, SchemaError> {
+    pub fn require_rel(
+        mut self,
+        source: &str,
+        kind: RelKind,
+        target: &str,
+    ) -> Result<Self, SchemaError> {
         let source = self.resolve_core(source)?;
         let target = self.resolve_core(target)?;
         self.schema.structure.require_rel(source, kind, target);
@@ -309,7 +295,12 @@ impl SchemaBuilder {
     }
 
     /// Adds `(upper, kind, lower)` to `Ef`.
-    pub fn forbid_rel(mut self, upper: &str, kind: ForbidKind, lower: &str) -> Result<Self, SchemaError> {
+    pub fn forbid_rel(
+        mut self,
+        upper: &str,
+        kind: ForbidKind,
+        lower: &str,
+    ) -> Result<Self, SchemaError> {
         let upper = self.resolve_core(upper)?;
         let lower = self.resolve_core(lower)?;
         self.schema.structure.forbid_rel(upper, kind, lower);

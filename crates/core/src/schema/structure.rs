@@ -34,7 +34,8 @@ pub enum RelKind {
 
 impl RelKind {
     /// All four kinds, for table-driven tests and benches.
-    pub const ALL: [RelKind; 4] = [RelKind::Child, RelKind::Descendant, RelKind::Parent, RelKind::Ancestor];
+    pub const ALL: [RelKind; 4] =
+        [RelKind::Child, RelKind::Descendant, RelKind::Parent, RelKind::Ancestor];
 
     /// Short mnemonic matching the paper's `{ch, de, pa, an}`.
     pub fn mnemonic(self) -> &'static str {

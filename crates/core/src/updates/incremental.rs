@@ -20,10 +20,10 @@
 //! the new entries; deletion checks nothing (§4.2).
 
 use bschema_directory::{DirectoryInstance, Entry, EntryId};
-use bschema_query::{evaluate, Binding, EvalContext, Filter, Query};
+use bschema_query::{evaluate, evaluate_batch, Binding, EvalContext, Filter, Query};
 
 use crate::legality::report::{LegalityReport, Violation};
-use crate::legality::{content, translate};
+use crate::legality::{content, translate, LegalityOptions};
 use crate::schema::{DirectorySchema, ForbiddenRel, RelKind, RequiredRel};
 
 /// Figure 5, required-relationship insertion rows: the Δ-query whose
@@ -34,7 +34,9 @@ pub fn insertion_delta_query(schema: &DirectorySchema, rel: &RequiredRel) -> Que
     let tgt = |b: Binding| Query::select_bound(Filter::object_class(classes.name(rel.target)), b);
     match rel.kind {
         // New entries' children/descendants all lie inside ∆D.
-        RelKind::Child => src(Binding::Delta).minus(src(Binding::Delta).with_child(tgt(Binding::Delta))),
+        RelKind::Child => {
+            src(Binding::Delta).minus(src(Binding::Delta).with_child(tgt(Binding::Delta)))
+        }
         RelKind::Descendant => {
             src(Binding::Delta).minus(src(Binding::Delta).with_descendant(tgt(Binding::Delta)))
         }
@@ -52,14 +54,8 @@ pub fn insertion_delta_query(schema: &DirectorySchema, rel: &RequiredRel) -> Que
 /// (upper, lower) pair has its lower end inside `∆D`.
 pub fn insertion_delta_query_forbidden(schema: &DirectorySchema, rel: &ForbiddenRel) -> Query {
     let classes = schema.classes();
-    let upper = Query::select_bound(
-        Filter::object_class(classes.name(rel.upper)),
-        Binding::Whole,
-    );
-    let lower = Query::select_bound(
-        Filter::object_class(classes.name(rel.lower)),
-        Binding::Delta,
-    );
+    let upper = Query::select_bound(Filter::object_class(classes.name(rel.upper)), Binding::Whole);
+    let lower = Query::select_bound(Filter::object_class(classes.name(rel.lower)), Binding::Delta);
     match rel.kind {
         crate::schema::ForbidKind::Child => upper.with_child(lower),
         crate::schema::ForbidKind::Descendant => upper.with_descendant(lower),
@@ -73,23 +69,136 @@ pub fn deletion_needs_recheck(kind: RelKind) -> bool {
     matches!(kind, RelKind::Child | RelKind::Descendant)
 }
 
-/// The incremental checker for single-subtree updates.
+/// The incremental checker for subtree updates — single-subtree
+/// ([`check_insertion`](Self::check_insertion)) or batched multi-subtree
+/// ([`check_insertions`](Self::check_insertions)).
 #[derive(Debug, Clone)]
 pub struct IncrementalChecker<'s> {
     schema: &'s DirectorySchema,
     validate_values: bool,
+    options: LegalityOptions,
+}
+
+/// One Δ-query evaluation unit of a batched insertion check: a delta root
+/// paired with a structure-schema element. Units are independent, so a
+/// multi-subtree transaction fans them all out at once.
+enum DeltaJob<'s> {
+    Required(EntryId, &'s RequiredRel),
+    Forbidden(EntryId, &'s ForbiddenRel),
 }
 
 impl<'s> IncrementalChecker<'s> {
     /// A checker for `schema`.
     pub fn new(schema: &'s DirectorySchema) -> Self {
-        IncrementalChecker { schema, validate_values: false }
+        IncrementalChecker { schema, validate_values: false, options: LegalityOptions::default() }
     }
 
     /// Also validate value syntaxes of inserted entries.
     pub fn with_value_validation(mut self, on: bool) -> Self {
         self.validate_values = on;
         self
+    }
+
+    /// Selects the execution engine (sequential or data-parallel). The
+    /// reports are identical either way; only the wall-clock differs.
+    pub fn with_options(mut self, options: LegalityOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Worker-thread count for the parallel helpers: `1` (inline) unless
+    /// the parallel engine was selected.
+    fn threads(&self) -> usize {
+        if self.options.parallel {
+            self.options.threads
+        } else {
+            1
+        }
+    }
+
+    /// Evaluates the Figure 5 insertion Δ-queries for every (delta root,
+    /// structure element) pair, appending witnesses as violations in
+    /// root-major, required-before-forbidden order — the order the
+    /// sequential per-root loops produce.
+    fn structure_delta_violations(
+        &self,
+        dir: &DirectoryInstance,
+        roots: &[EntryId],
+        out: &mut Vec<Violation>,
+    ) {
+        let structure = self.schema.structure();
+        let mut jobs: Vec<DeltaJob<'s>> = Vec::with_capacity(
+            roots.len() * (structure.required_rels().len() + structure.forbidden_rels().len()),
+        );
+        for &root in roots {
+            for rel in structure.required_rels() {
+                jobs.push(DeltaJob::Required(root, rel));
+            }
+            for rel in structure.forbidden_rels() {
+                jobs.push(DeltaJob::Forbidden(root, rel));
+            }
+        }
+        let classes = self.schema.classes();
+        let found = bschema_parallel::par_flat_map_chunks(&jobs, self.threads(), |chunk| {
+            let mut local = Vec::new();
+            for job in chunk {
+                match *job {
+                    DeltaJob::Required(root, rel) => {
+                        let ctx = EvalContext::with_delta(dir, root);
+                        let q = insertion_delta_query(self.schema, rel);
+                        for witness in evaluate(&ctx, &q) {
+                            local.push(Violation::RequiredRelViolation {
+                                entry: witness,
+                                source: classes.name(rel.source).to_owned(),
+                                kind: rel.kind,
+                                target: classes.name(rel.target).to_owned(),
+                            });
+                        }
+                    }
+                    DeltaJob::Forbidden(root, rel) => {
+                        let ctx = EvalContext::with_delta(dir, root);
+                        let q = insertion_delta_query_forbidden(self.schema, rel);
+                        for witness in evaluate(&ctx, &q) {
+                            local.push(Violation::ForbiddenRelViolation {
+                                entry: witness,
+                                upper: classes.name(rel.upper).to_owned(),
+                                kind: rel.kind,
+                                lower: classes.name(rel.lower).to_owned(),
+                            });
+                        }
+                    }
+                }
+            }
+            local
+        });
+        out.extend(found);
+    }
+
+    /// Content-schema check of every entry in the given delta subtrees,
+    /// fanned out over the configured workers.
+    fn content_delta_violations(
+        &self,
+        dir: &DirectoryInstance,
+        roots: &[EntryId],
+        out: &mut Vec<Violation>,
+    ) {
+        let forest = dir.forest();
+        let entries: Vec<EntryId> =
+            roots.iter().flat_map(|&r| std::iter::once(r).chain(forest.descendants(r))).collect();
+        let found = bschema_parallel::par_flat_map_chunks(&entries, self.threads(), |chunk| {
+            let mut local = Vec::new();
+            for &id in chunk {
+                let entry = dir.entry(id).expect("delta entries are live");
+                content::check_entry(self.schema, id, entry, &mut local);
+                if self.validate_values {
+                    if let Err(e) = dir.validate_entry_values(id) {
+                        local.push(Violation::ValueViolation { entry: id, message: e.to_string() });
+                    }
+                }
+            }
+            local
+        });
+        out.extend(found);
     }
 
     /// Checks that inserting the subtree rooted at `delta_root` preserved
@@ -99,49 +208,40 @@ impl<'s> IncrementalChecker<'s> {
     /// Cost: O(per-entry content cost · |∆D| + Σ_rel |Δ-query inputs|) —
     /// for the all-`[∆D]` rows this is independent of |D|.
     pub fn check_insertion(&self, dir: &DirectoryInstance, delta_root: EntryId) -> LegalityReport {
+        self.check_insertions(dir, &[delta_root])
+    }
+
+    /// Batched variant of [`check_insertion`](Self::check_insertion) for
+    /// multi-subtree transactions: checks that inserting **all** of the
+    /// subtrees rooted at `delta_roots` preserved legality. `dir` is the
+    /// instance **after** every insertion, prepared; the instance before is
+    /// assumed legal.
+    ///
+    /// Inserted subtrees are pairwise disjoint and non-nested (they hang
+    /// off pre-existing entries), so no subtree can satisfy another's
+    /// required relationships or create a forbidden pair spanning two
+    /// deltas — each root's Figure 5 Δ-queries are independent, and the
+    /// whole batch fans out over the configured workers in one wave. The
+    /// report equals the union of per-root [`check_insertion`] reports
+    /// against the final instance.
+    pub fn check_insertions(
+        &self,
+        dir: &DirectoryInstance,
+        delta_roots: &[EntryId],
+    ) -> LegalityReport {
         let mut out = Vec::new();
 
         // Content schema: only the new entries need checking (§4.2).
-        let forest = dir.forest();
-        for id in std::iter::once(delta_root).chain(forest.descendants(delta_root)) {
-            let entry = dir.entry(id).expect("delta entries are live");
-            content::check_entry(self.schema, id, entry, &mut out);
-            if self.validate_values {
-                if let Err(e) = dir.validate_entry_values(id) {
-                    out.push(Violation::ValueViolation { entry: id, message: e.to_string() });
-                }
-            }
-        }
+        self.content_delta_violations(dir, delta_roots, &mut out);
 
         // Keys (§6.1): only the new entries' values can clash.
-        crate::legality::keys::check_insertion(self.schema, dir, delta_root, &mut out);
+        for &root in delta_roots {
+            crate::legality::keys::check_insertion(self.schema, dir, root, &mut out);
+        }
 
-        // Structure schema: Figure 5 insertion Δ-queries. Required classes
-        // `◇c` cannot be violated by an insertion.
-        let ctx = EvalContext::with_delta(dir, delta_root);
-        let classes = self.schema.classes();
-        for rel in self.schema.structure().required_rels() {
-            let q = insertion_delta_query(self.schema, rel);
-            for witness in evaluate(&ctx, &q) {
-                out.push(Violation::RequiredRelViolation {
-                    entry: witness,
-                    source: classes.name(rel.source).to_owned(),
-                    kind: rel.kind,
-                    target: classes.name(rel.target).to_owned(),
-                });
-            }
-        }
-        for rel in self.schema.structure().forbidden_rels() {
-            let q = insertion_delta_query_forbidden(self.schema, rel);
-            for witness in evaluate(&ctx, &q) {
-                out.push(Violation::ForbiddenRelViolation {
-                    entry: witness,
-                    upper: classes.name(rel.upper).to_owned(),
-                    kind: rel.kind,
-                    lower: classes.name(rel.lower).to_owned(),
-                });
-            }
-        }
+        // Structure schema: Figure 5 insertion Δ-queries per delta root.
+        // Required classes `◇c` cannot be violated by an insertion.
+        self.structure_delta_violations(dir, delta_roots, &mut out);
 
         LegalityReport::from_violations(out)
     }
@@ -160,29 +260,7 @@ impl<'s> IncrementalChecker<'s> {
         let classes = self.schema.classes();
 
         // Insertion half: the Figure 5 Δ-queries at the new location.
-        let ctx = EvalContext::with_delta(dir, moved_root);
-        for rel in self.schema.structure().required_rels() {
-            let q = insertion_delta_query(self.schema, rel);
-            for witness in evaluate(&ctx, &q) {
-                out.push(Violation::RequiredRelViolation {
-                    entry: witness,
-                    source: classes.name(rel.source).to_owned(),
-                    kind: rel.kind,
-                    target: classes.name(rel.target).to_owned(),
-                });
-            }
-        }
-        for rel in self.schema.structure().forbidden_rels() {
-            let q = insertion_delta_query_forbidden(self.schema, rel);
-            for witness in evaluate(&ctx, &q) {
-                out.push(Violation::ForbiddenRelViolation {
-                    entry: witness,
-                    upper: classes.name(rel.upper).to_owned(),
-                    kind: rel.kind,
-                    lower: classes.name(rel.lower).to_owned(),
-                });
-            }
-        }
+        self.structure_delta_violations(dir, &[moved_root], &mut out);
 
         // Deletion half: the "no" rows re-checked on the whole instance —
         // entries outside the subtree may have lost a required child /
@@ -190,14 +268,20 @@ impl<'s> IncrementalChecker<'s> {
         // ∆D (inside ones were covered above) to avoid duplicates.
         let whole = EvalContext::new(dir);
         let forest = dir.forest();
-        for rel in self.schema.structure().required_rels() {
-            if !deletion_needs_recheck(rel.kind) {
-                continue;
-            }
-            let q = translate::required_rel_query(self.schema, rel);
-            for witness in evaluate(&whole, &q) {
-                let inside = witness == moved_root
-                    || forest.interval_is_ancestor(moved_root, witness);
+        let recheck: Vec<&RequiredRel> = self
+            .schema
+            .structure()
+            .required_rels()
+            .iter()
+            .filter(|rel| deletion_needs_recheck(rel.kind))
+            .collect();
+        let queries: Vec<Query> =
+            recheck.iter().map(|rel| translate::required_rel_query(self.schema, rel)).collect();
+        for (rel, witnesses) in recheck.iter().zip(evaluate_batch(&whole, &queries, self.threads()))
+        {
+            for witness in witnesses {
+                let inside =
+                    witness == moved_root || forest.interval_is_ancestor(moved_root, witness);
                 if !inside {
                     out.push(Violation::RequiredRelViolation {
                         entry: witness,
@@ -235,13 +319,20 @@ impl<'s> IncrementalChecker<'s> {
             }
         }
 
-        // The non-incrementally-testable rows: full recheck on D − ∆D.
-        for rel in self.schema.structure().required_rels() {
-            if !deletion_needs_recheck(rel.kind) {
-                continue;
-            }
-            let q = translate::required_rel_query(self.schema, rel);
-            for witness in evaluate(&ctx, &q) {
+        // The non-incrementally-testable rows: full recheck on D − ∆D. The
+        // rows are independent queries, so they batch over the configured
+        // workers (sharing the instance's one sorted-entry index).
+        let recheck: Vec<&RequiredRel> = self
+            .schema
+            .structure()
+            .required_rels()
+            .iter()
+            .filter(|rel| deletion_needs_recheck(rel.kind))
+            .collect();
+        let queries: Vec<Query> =
+            recheck.iter().map(|rel| translate::required_rel_query(self.schema, rel)).collect();
+        for (rel, witnesses) in recheck.iter().zip(evaluate_batch(&ctx, &queries, self.threads())) {
+            for witness in witnesses {
                 out.push(Violation::RequiredRelViolation {
                     entry: witness,
                     source: classes.name(rel.source).to_owned(),
@@ -313,10 +404,7 @@ mod tests {
                 if *entry == ids.suciu && upper == "person"
         )));
         // Incremental verdict matches the full recheck.
-        assert_eq!(
-            report.is_legal(),
-            LegalityChecker::new(&schema).check(&dir).is_legal()
-        );
+        assert_eq!(report.is_legal(), LegalityChecker::new(&schema).check(&dir).is_legal());
     }
 
     #[test]
@@ -342,12 +430,8 @@ mod tests {
     fn legal_deletion_passes() {
         let schema = white_pages_schema();
         let (mut dir, ids) = white_pages_instance();
-        let removed: Vec<Entry> = dir
-            .remove_subtree(ids.armstrong)
-            .unwrap()
-            .into_iter()
-            .map(|(_, e)| e)
-            .collect();
+        let removed: Vec<Entry> =
+            dir.remove_subtree(ids.armstrong).unwrap().into_iter().map(|(_, e)| e).collect();
         dir.prepare();
         let report = IncrementalChecker::new(&schema).check_deletion(&dir, &removed);
         assert!(report.is_legal(), "{report}");
@@ -372,10 +456,7 @@ mod tests {
             Violation::RequiredRelViolation { entry, source, kind: RelKind::Descendant, .. }
                 if *entry == ids.databases && source == "orgGroup"
         )));
-        assert_eq!(
-            report.is_legal(),
-            LegalityChecker::new(&schema).check(&dir).is_legal()
-        );
+        assert_eq!(report.is_legal(), LegalityChecker::new(&schema).check(&dir).is_legal());
     }
 
     #[test]

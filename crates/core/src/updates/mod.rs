@@ -14,7 +14,7 @@ pub use transaction::{NodeRef, NormalizedTx, SubtreeInsertion, Transaction, TxEr
 
 use bschema_directory::{DirectoryInstance, Entry, EntryId};
 
-use crate::legality::LegalityReport;
+use crate::legality::{LegalityOptions, LegalityReport};
 use crate::schema::DirectorySchema;
 
 /// Outcome of applying a transaction with incremental checking.
@@ -67,6 +67,58 @@ pub fn apply_and_check(
 
     // A transaction with no mutations still needs a prepared instance for
     // callers that immediately query.
+    dir.prepare();
+
+    Ok(AppliedTx { inserted_roots, removed, report })
+}
+
+/// Like [`apply_and_check`] but **batched**: all insertions are applied
+/// first and their Figure 5 Δ-queries checked in one wave
+/// ([`IncrementalChecker::check_insertions`]), then all deletions are
+/// applied and the union of removed entries checked once. With
+/// [`LegalityOptions::parallel`] the Δ-query wave and the per-entry content
+/// checks fan out over worker threads.
+///
+/// Because inserted subtrees are pairwise disjoint, the batched insertion
+/// verdict equals the sequential per-subtree one. Batching the deletions
+/// additionally checks them against the **final** instance, so a
+/// transaction whose later deletion removes the witness of an earlier
+/// one is judged by the end state — exactly the atomicity contract
+/// [`ManagedDirectory`](crate::managed::ManagedDirectory) exposes, and
+/// always in agreement with a full recheck of the final instance.
+pub fn apply_and_check_with(
+    schema: &DirectorySchema,
+    dir: &mut DirectoryInstance,
+    tx: &Transaction,
+    options: LegalityOptions,
+) -> Result<AppliedTx, TxError> {
+    let normalized = tx.normalize(dir)?;
+    let checker = IncrementalChecker::new(schema).with_options(options);
+    let mut report = LegalityReport::legal();
+
+    let mut inserted_roots = Vec::with_capacity(normalized.insertions.len());
+    for subtree in &normalized.insertions {
+        inserted_roots.push(subtree.apply(dir)[0]);
+    }
+    if !inserted_roots.is_empty() {
+        dir.prepare();
+        report.extend(checker.check_insertions(dir, &inserted_roots));
+    }
+
+    let mut removed = Vec::new();
+    for &root in &normalized.deletion_roots {
+        removed.extend(
+            dir.remove_subtree(root)
+                .expect("normalisation validated deletion roots")
+                .into_iter()
+                .map(|(_, e)| e),
+        );
+    }
+    if !removed.is_empty() {
+        dir.prepare();
+        report.extend(checker.check_deletion(dir, &removed));
+    }
+
     dir.prepare();
 
     Ok(AppliedTx { inserted_roots, removed, report })

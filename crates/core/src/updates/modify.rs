@@ -95,12 +95,8 @@ pub fn apply_mods(
     target: EntryId,
     mods: &[Mod],
 ) -> Option<BTreeSet<String>> {
-    let before: BTreeSet<String> = dir
-        .entry(target)?
-        .classes()
-        .iter()
-        .map(|c| c.to_ascii_lowercase())
-        .collect();
+    let before: BTreeSet<String> =
+        dir.entry(target)?.classes().iter().map(|c| c.to_ascii_lowercase()).collect();
     {
         let entry = dir.entry_mut(target)?;
         for m in mods {
@@ -120,12 +116,8 @@ pub fn apply_mods(
             }
         }
     }
-    let after: BTreeSet<String> = dir
-        .entry(target)?
-        .classes()
-        .iter()
-        .map(|c| c.to_ascii_lowercase())
-        .collect();
+    let after: BTreeSet<String> =
+        dir.entry(target)?.classes().iter().map(|c| c.to_ascii_lowercase()).collect();
     Some(before.symmetric_difference(&after).cloned().collect())
 }
 
@@ -159,9 +151,7 @@ pub fn check_modification(
             if touched(class)
                 && evaluate(&ctx, &translate::required_class_query(schema, class)).is_empty()
             {
-                out.push(Violation::MissingRequiredClass {
-                    class: classes.name(class).to_owned(),
-                });
+                out.push(Violation::MissingRequiredClass { class: classes.name(class).to_owned() });
             }
         }
         for rel in schema.structure().required_rels() {
@@ -221,19 +211,13 @@ mod tests {
         assert!(LegalityChecker::new(&schema).check(&dir).is_legal());
 
         // Illegal: remove a required attribute.
-        let changed = apply_mods(
-            &mut dir,
-            ids.suciu,
-            &[Mod::DeleteAttribute { attribute: "name".into() }],
-        )
-        .unwrap();
+        let changed =
+            apply_mods(&mut dir, ids.suciu, &[Mod::DeleteAttribute { attribute: "name".into() }])
+                .unwrap();
         dir.prepare();
         let report = check_modification(&schema, &dir, ids.suciu, &changed);
         assert!(!report.is_legal());
-        assert_eq!(
-            report.is_legal(),
-            LegalityChecker::new(&schema).check(&dir).is_legal()
-        );
+        assert_eq!(report.is_legal(), LegalityChecker::new(&schema).check(&dir).is_legal());
     }
 
     #[test]
@@ -270,10 +254,7 @@ mod tests {
         dir.prepare();
         let report = check_modification(&schema, &dir, ids.laks, &changed);
         assert!(!report.is_legal());
-        assert_eq!(
-            report.is_legal(),
-            LegalityChecker::new(&schema).check(&dir).is_legal()
-        );
+        assert_eq!(report.is_legal(), LegalityChecker::new(&schema).check(&dir).is_legal());
     }
 
     #[test]
@@ -288,7 +269,10 @@ mod tests {
                 id,
                 &[
                     Mod::DeleteValue { attribute: "objectClass".into(), value: "person".into() },
-                    Mod::DeleteValue { attribute: "objectClass".into(), value: "researcher".into() },
+                    Mod::DeleteValue {
+                        attribute: "objectClass".into(),
+                        value: "researcher".into(),
+                    },
                 ],
             )
             .unwrap();
@@ -312,10 +296,7 @@ mod tests {
         apply_mods(
             &mut dir,
             ids.laks,
-            &[Mod::Replace {
-                attribute: "mail".into(),
-                values: vec!["laks@new.example".into()],
-            }],
+            &[Mod::Replace { attribute: "mail".into(), values: vec!["laks@new.example".into()] }],
         )
         .unwrap();
         assert_eq!(dir.entry(ids.laks).unwrap().values("mail"), ["laks@new.example"]);

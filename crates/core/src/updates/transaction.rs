@@ -238,11 +238,7 @@ impl Transaction {
         let mut deletion_roots: Vec<EntryId> = deleted
             .iter()
             .copied()
-            .filter(|&d| {
-                dir.forest()
-                    .parent(d)
-                    .is_none_or(|p| !deleted.contains(&p))
-            })
+            .filter(|&d| dir.forest().parent(d).is_none_or(|p| !deleted.contains(&p)))
             .collect();
         deletion_roots.sort_unstable();
 
@@ -352,10 +348,7 @@ mod tests {
         let mut tx = Transaction::new();
         tx.delete(leaf);
         let op = tx.insert_under(leaf, person("x"));
-        assert_eq!(
-            tx.normalize(&d),
-            Err(TxError::InsertUnderDeleted { op, parent: leaf })
-        );
+        assert_eq!(tx.normalize(&d), Err(TxError::InsertUnderDeleted { op, parent: leaf }));
     }
 
     #[test]
@@ -363,7 +356,7 @@ mod tests {
         let (d, root, _, _) = base();
         let mut tx = Transaction::new();
         tx.delete(root); // root has child mid → orphan error comes first? No:
-        // use a fresh tx to test each error precisely.
+                         // use a fresh tx to test each error precisely.
         let mut tx = Transaction::new();
         tx.insert_under_new(5, person("x"));
         assert_eq!(tx.normalize(&d), Err(TxError::BadNewRef { op: 0, referenced: 5 }));

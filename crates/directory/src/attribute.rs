@@ -247,9 +247,7 @@ mod tests {
     fn duplicate_conflicting_is_rejected() {
         let mut reg = AttributeRegistry::new();
         reg.register(AttributeDef::new("mail", Syntax::Ia5String)).unwrap();
-        let err = reg
-            .register(AttributeDef::new("Mail", Syntax::DirectoryString))
-            .unwrap_err();
+        let err = reg.register(AttributeDef::new("Mail", Syntax::DirectoryString)).unwrap_err();
         assert_eq!(err.name, "mail");
     }
 

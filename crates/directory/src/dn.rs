@@ -27,10 +27,7 @@ impl Ava {
     /// Builds an attribute-value assertion; the attribute name is folded to
     /// lowercase.
     pub fn new(attr: impl Into<String>, value: impl Into<String>) -> Self {
-        Ava {
-            attr: attr.into().to_ascii_lowercase(),
-            value: value.into(),
-        }
+        Ava { attr: attr.into().to_ascii_lowercase(), value: value.into() }
     }
 
     /// Lowercased attribute name.
@@ -68,9 +65,7 @@ impl Rdn {
             return Err(DnParseError::EmptyRdn);
         }
         avas.sort_by(|a, b| {
-            a.attr
-                .cmp(&b.attr)
-                .then_with(|| a.normalized_value().cmp(&b.normalized_value()))
+            a.attr.cmp(&b.attr).then_with(|| a.normalized_value().cmp(&b.normalized_value()))
         });
         Ok(Rdn { avas })
     }
@@ -84,9 +79,11 @@ impl Rdn {
     /// `uid=Laks` and `uid=laks` name the same child.
     pub fn matches(&self, other: &Rdn) -> bool {
         self.avas.len() == other.avas.len()
-            && self.avas.iter().zip(&other.avas).all(|(a, b)| {
-                a.attr == b.attr && a.normalized_value() == b.normalized_value()
-            })
+            && self
+                .avas
+                .iter()
+                .zip(&other.avas)
+                .all(|(a, b)| a.attr == b.attr && a.normalized_value() == b.normalized_value())
     }
 
     fn normalized_string(&self) -> String {
@@ -249,10 +246,7 @@ impl Dn {
             return false;
         }
         // self's RDNs must equal the last n RDNs of other.
-        self.rdns
-            .iter()
-            .zip(&other.rdns[m - n..])
-            .all(|(a, b)| a.matches(b))
+        self.rdns.iter().zip(&other.rdns[m - n..]).all(|(a, b)| a.matches(b))
     }
 
     /// Case-insensitive DN equivalence (RFC 4517 `distinguishedNameMatch`).

@@ -158,10 +158,7 @@ impl Forest {
     }
 
     fn node(&self, id: EntryId) -> Result<&Node, ForestError> {
-        self.nodes
-            .get(id.index())
-            .filter(|n| n.alive)
-            .ok_or(ForestError::NoSuchEntry(id))
+        self.nodes.get(id.index()).filter(|n| n.alive).ok_or(ForestError::NoSuchEntry(id))
     }
 
     fn alloc(&mut self) -> EntryId {

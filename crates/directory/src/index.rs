@@ -38,11 +38,7 @@ impl InstanceIndex {
                 continue;
             };
             for class in entry.classes() {
-                index
-                    .by_class
-                    .entry(class.to_ascii_lowercase())
-                    .or_default()
-                    .push(id);
+                index.by_class.entry(class.to_ascii_lowercase()).or_default().push(id);
             }
             for (attr, _) in entry.attributes() {
                 index.by_attribute.entry(attr.to_owned()).or_default().push(id);
@@ -55,10 +51,7 @@ impl InstanceIndex {
     pub fn entries_with_class(&self, class: &str) -> &[EntryId] {
         match self.by_class.get(class) {
             Some(v) => v,
-            None => self
-                .by_class
-                .get(&class.to_ascii_lowercase())
-                .map_or(&[], Vec::as_slice),
+            None => self.by_class.get(&class.to_ascii_lowercase()).map_or(&[], Vec::as_slice),
         }
     }
 
@@ -66,10 +59,7 @@ impl InstanceIndex {
     pub fn entries_with_attribute(&self, attr: &str) -> &[EntryId] {
         match self.by_attribute.get(attr) {
             Some(v) => v,
-            None => self
-                .by_attribute
-                .get(&attr.to_ascii_lowercase())
-                .map_or(&[], Vec::as_slice),
+            None => self.by_attribute.get(&attr.to_ascii_lowercase()).map_or(&[], Vec::as_slice),
         }
     }
 
@@ -111,7 +101,12 @@ mod tests {
         entries[p1.index()] =
             Some(Entry::builder().class("person").class("top").attr("uid", "a").build());
         entries[p2.index()] = Some(
-            Entry::builder().class("person").class("top").attr("uid", "b").attr("mail", "b@x").build(),
+            Entry::builder()
+                .class("person")
+                .class("top")
+                .attr("uid", "b")
+                .attr("mail", "b@x")
+                .build(),
         );
         (f, entries)
     }

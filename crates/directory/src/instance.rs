@@ -157,7 +157,11 @@ impl DirectoryInstance {
 
     /// Adds `entry` as a new child of `parent` (which must exist — LDAP
     /// requires new entries be roots or children of existing entries, §4.1).
-    pub fn add_child_entry(&mut self, parent: EntryId, entry: Entry) -> Result<EntryId, InstanceError> {
+    pub fn add_child_entry(
+        &mut self,
+        parent: EntryId,
+        entry: Entry,
+    ) -> Result<EntryId, InstanceError> {
         self.invalidate();
         let id = self.forest.add_child(parent)?;
         self.grow_slots(id);
@@ -219,10 +223,7 @@ impl DirectoryInstance {
     /// children.
     pub fn move_subtree(&mut self, id: EntryId, new_parent: EntryId) -> Result<(), InstanceError> {
         if let Some(rdn) = self.rdn(id).cloned() {
-            if self
-                .find_child(new_parent, &rdn)
-                .is_some_and(|existing| existing != id)
-            {
+            if self.find_child(new_parent, &rdn).is_some_and(|existing| existing != id) {
                 return Err(InstanceError::DuplicateRdn(rdn.to_string()));
             }
         }
@@ -302,15 +303,11 @@ impl DirectoryInstance {
     }
 
     fn find_root(&self, rdn: &Rdn) -> Option<EntryId> {
-        self.forest
-            .roots()
-            .find(|&r| self.rdn(r).is_some_and(|x| x.matches(rdn)))
+        self.forest.roots().find(|&r| self.rdn(r).is_some_and(|x| x.matches(rdn)))
     }
 
     fn find_child(&self, parent: EntryId, rdn: &Rdn) -> Option<EntryId> {
-        self.forest
-            .children(parent)
-            .find(|&c| self.rdn(c).is_some_and(|x| x.matches(rdn)))
+        self.forest.children(parent).find(|&c| self.rdn(c).is_some_and(|x| x.matches(rdn)))
     }
 
     /// Resolves a DN to an entry by walking RDN components from the root.
@@ -325,9 +322,9 @@ impl DirectoryInstance {
 
     /// Iterates `(id, entry)` in preorder.
     pub fn iter(&self) -> impl Iterator<Item = (EntryId, &Entry)> {
-        self.forest.iter().map(move |id| {
-            (id, self.entries[id.index()].as_ref().expect("live node has an entry"))
-        })
+        self.forest
+            .iter()
+            .map(move |id| (id, self.entries[id.index()].as_ref().expect("live node has an entry")))
     }
 
     // ----- validation against the attribute namespace -----
@@ -337,9 +334,7 @@ impl DirectoryInstance {
     /// single-value restrictions. Unregistered attributes pass (the
     /// bounding-schema's *content* check is what constrains the vocabulary).
     pub fn validate_entry_values(&self, id: EntryId) -> Result<(), InstanceError> {
-        let entry = self
-            .entry(id)
-            .ok_or(InstanceError::Forest(ForestError::NoSuchEntry(id)))?;
+        let entry = self.entry(id).ok_or(InstanceError::Forest(ForestError::NoSuchEntry(id)))?;
         for (attr, values) in entry.attributes() {
             if let Some(def) = self.registry.get(attr) {
                 if def.is_single_valued() && values.len() > 1 {
@@ -382,9 +377,7 @@ impl DirectoryInstance {
     /// # Panics
     /// If the instance is not [`prepare`](Self::prepare)d.
     pub fn index(&self) -> &InstanceIndex {
-        self.index
-            .as_ref()
-            .expect("instance not prepared; call prepare() after mutations")
+        self.index.as_ref().expect("instance not prepared; call prepare() after mutations")
     }
 }
 
@@ -401,10 +394,17 @@ mod tests {
     fn build_and_lookup_by_dn() {
         let mut d = DirectoryInstance::white_pages();
         let org = d
-            .add_named_root(Rdn::single("o", "att"), Entry::builder().class("organization").class("top").attr("o", "att").build())
+            .add_named_root(
+                Rdn::single("o", "att"),
+                Entry::builder().class("organization").class("top").attr("o", "att").build(),
+            )
             .unwrap();
         let labs = d
-            .add_named_child(org, Rdn::single("ou", "attLabs"), Entry::builder().class("orgUnit").class("top").attr("ou", "attLabs").build())
+            .add_named_child(
+                org,
+                Rdn::single("ou", "attLabs"),
+                Entry::builder().class("orgUnit").class("top").attr("ou", "attLabs").build(),
+            )
             .unwrap();
         let laks = d.add_named_child(labs, Rdn::single("uid", "laks"), person("laks")).unwrap();
 
@@ -420,9 +420,7 @@ mod tests {
         let mut d = DirectoryInstance::default();
         let org = d.add_named_root(Rdn::single("o", "att"), person("x")).unwrap();
         d.add_named_child(org, Rdn::single("uid", "a"), person("a")).unwrap();
-        let err = d
-            .add_named_child(org, Rdn::single("uid", "A"), person("a2"))
-            .unwrap_err();
+        let err = d.add_named_child(org, Rdn::single("uid", "A"), person("a2")).unwrap_err();
         assert!(matches!(err, InstanceError::DuplicateRdn(_)));
         // Same RDN under a *different* parent is fine.
         let org2 = d.add_named_root(Rdn::single("o", "ibm"), person("y")).unwrap();
@@ -462,10 +460,7 @@ mod tests {
         let kid = d.add_named_child(r1, Rdn::single("uid", "k"), person("k")).unwrap();
         d.add_named_child(r2, Rdn::single("uid", "k"), person("k2")).unwrap();
         // Moving kid under r2 would clash with the existing uid=k child.
-        assert!(matches!(
-            d.move_subtree(kid, r2),
-            Err(InstanceError::DuplicateRdn(_))
-        ));
+        assert!(matches!(d.move_subtree(kid, r2), Err(InstanceError::DuplicateRdn(_))));
         // Moving under a fresh parent works and updates the DN.
         let r3 = d.add_named_root(Rdn::single("o", "c"), person("c")).unwrap();
         d.move_subtree(kid, r3).unwrap();
@@ -491,19 +486,15 @@ mod tests {
     #[test]
     fn validate_entry_values_checks_syntax() {
         let mut d = DirectoryInstance::white_pages();
-        let ok = d.add_root_entry(
-            Entry::builder().class("person").attr("employeeNumber", "42").build(),
-        );
+        let ok =
+            d.add_root_entry(Entry::builder().class("person").attr("employeeNumber", "42").build());
         d.prepare();
         assert!(d.validate_entry_values(ok).is_ok());
 
         let bad = d.add_root_entry(
             Entry::builder().class("person").attr("employeeNumber", "forty-two").build(),
         );
-        assert!(matches!(
-            d.validate_entry_values(bad),
-            Err(InstanceError::SyntaxViolation { .. })
-        ));
+        assert!(matches!(d.validate_entry_values(bad), Err(InstanceError::SyntaxViolation { .. })));
 
         let mut e = Entry::builder().class("person").build();
         e.add_value("uid", "a");
@@ -532,7 +523,8 @@ mod tests {
         let b = d.add_child_entry(r, person("b")).unwrap();
         let ids: Vec<_> = d.iter().map(|(id, _)| id).collect();
         assert_eq!(ids, [r, a, b]);
-        let uids: Vec<_> = d.iter().map(|(_, e)| e.first_value("uid").unwrap().to_owned()).collect();
+        let uids: Vec<_> =
+            d.iter().map(|(_, e)| e.first_value("uid").unwrap().to_owned()).collect();
         assert_eq!(uids, ["r", "a", "b"]);
     }
 }

@@ -20,11 +20,7 @@ pub fn encode(data: &[u8]) -> String {
         } else {
             '='
         });
-        out.push(if chunk.len() > 2 {
-            ALPHABET[triple as usize & 0x3f] as char
-        } else {
-            '='
-        });
+        out.push(if chunk.len() > 2 { ALPHABET[triple as usize & 0x3f] as char } else { '=' });
     }
     out
 }

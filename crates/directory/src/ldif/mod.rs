@@ -27,17 +27,12 @@ pub fn load_into(instance: &mut DirectoryInstance, text: &str) -> Result<usize, 
     let mut added = 0;
     for record in records {
         let dn = &record.dn;
-        let rdn = dn
-            .rdn()
-            .ok_or(LdifError::EmptyDn { line: record.line })?
-            .clone();
+        let rdn = dn.rdn().ok_or(LdifError::EmptyDn { line: record.line })?.clone();
         let result = match dn.parent() {
-            Some(parent_dn) if !parent_dn.is_root() => {
-                match instance.lookup_dn(&parent_dn) {
-                    Some(parent) => instance.add_named_child(parent, rdn, record.entry),
-                    None => instance.add_named_root(rdn, record.entry),
-                }
-            }
+            Some(parent_dn) if !parent_dn.is_root() => match instance.lookup_dn(&parent_dn) {
+                Some(parent) => instance.add_named_child(parent, rdn, record.entry),
+                None => instance.add_named_root(rdn, record.entry),
+            },
             _ => instance.add_named_root(rdn, record.entry),
         };
         result.map_err(|e| LdifError::Instance { line: record.line, source: e.to_string() })?;
@@ -60,6 +55,9 @@ pub fn dump(instance: &DirectoryInstance) -> Result<String, InstanceError> {
 }
 
 /// Re-exported for convenience in round-trip tests.
-pub fn entry_dn(instance: &DirectoryInstance, id: crate::forest::EntryId) -> Result<Dn, InstanceError> {
+pub fn entry_dn(
+    instance: &DirectoryInstance,
+    id: crate::forest::EntryId,
+) -> Result<Dn, InstanceError> {
     instance.dn(id)
 }

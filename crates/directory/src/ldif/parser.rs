@@ -123,17 +123,15 @@ fn logical_lines(text: &str) -> Result<Vec<Logical>, LdifError> {
 /// Splits `attr: value` / `attr:: base64`, returning the attribute name and
 /// decoded value.
 fn split_line(l: &Logical) -> Result<(String, String), LdifError> {
-    let colon = l.text.find(':').ok_or_else(|| LdifError::MissingColon {
-        line: l.line,
-        content: l.text.clone(),
-    })?;
+    let colon = l
+        .text
+        .find(':')
+        .ok_or_else(|| LdifError::MissingColon { line: l.line, content: l.text.clone() })?;
     let attr = l.text[..colon].trim().to_owned();
     let rest = &l.text[colon + 1..];
     if let Some(b64) = rest.strip_prefix(':') {
-        let bytes = base64::decode(b64.trim()).map_err(|e| LdifError::BadBase64 {
-            line: l.line,
-            reason: e.to_string(),
-        })?;
+        let bytes = base64::decode(b64.trim())
+            .map_err(|e| LdifError::BadBase64 { line: l.line, reason: e.to_string() })?;
         let value = String::from_utf8(bytes).map_err(|_| LdifError::BadBase64 {
             line: l.line,
             reason: "base64 value is not valid UTF-8".to_owned(),
@@ -168,8 +166,8 @@ pub fn parse_ldif(text: &str) -> Result<Vec<LdifRecord>, LdifError> {
         seen_any = true;
         match (&mut current, key.as_str()) {
             (None, "dn") => {
-                let dn = Dn::parse(&value)
-                    .map_err(|e| LdifError::BadDn { line: l.line, source: e })?;
+                let dn =
+                    Dn::parse(&value).map_err(|e| LdifError::BadDn { line: l.line, source: e })?;
                 current = Some(LdifRecord { dn, entry: Entry::new(), line: l.line });
             }
             (None, _) => return Err(LdifError::MissingDn { line: l.line }),
@@ -229,7 +227,10 @@ location: FP
 
     #[test]
     fn base64_values_decode() {
-        let text = format!("dn: o=att\nobjectClass: top\ndescription:: {}\n", super::base64::encode("hello world".as_bytes()));
+        let text = format!(
+            "dn: o=att\nobjectClass: top\ndescription:: {}\n",
+            super::base64::encode("hello world".as_bytes())
+        );
         let recs = parse_ldif(&text).unwrap();
         assert_eq!(recs[0].entry.first_value("description"), Some("hello world"));
     }

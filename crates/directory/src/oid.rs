@@ -175,10 +175,7 @@ mod tests {
 
     #[test]
     fn parse_rejects_overflow() {
-        assert_eq!(
-            "1.99999999999999999999999".parse::<Oid>(),
-            Err(OidParseError::ArcOverflow)
-        );
+        assert_eq!("1.99999999999999999999999".parse::<Oid>(), Err(OidParseError::ArcOverflow));
     }
 
     #[test]

@@ -190,16 +190,16 @@ impl Syntax {
     pub fn normalize(self, raw: &str) -> String {
         match self {
             Syntax::DirectoryString | Syntax::Ia5String => normalize_case_ignore(raw),
-            Syntax::CaseExactString | Syntax::Boolean | Syntax::GeneralizedTime
+            Syntax::CaseExactString
+            | Syntax::Boolean
+            | Syntax::GeneralizedTime
             | Syntax::OctetString => raw.to_owned(),
-            Syntax::Integer => raw
-                .parse::<i64>()
-                .map(|v| v.to_string())
-                .unwrap_or_else(|_| raw.to_owned()),
-            Syntax::TelephoneNumber => raw
-                .chars()
-                .filter(|c| c.is_ascii_digit() || *c == '+')
-                .collect(),
+            Syntax::Integer => {
+                raw.parse::<i64>().map(|v| v.to_string()).unwrap_or_else(|_| raw.to_owned())
+            }
+            Syntax::TelephoneNumber => {
+                raw.chars().filter(|c| c.is_ascii_digit() || *c == '+').collect()
+            }
             Syntax::DnSyntax => crate::dn::Dn::parse(raw)
                 .map(|dn| dn.to_normalized_string())
                 .unwrap_or_else(|_| normalize_case_ignore(raw)),
@@ -262,9 +262,7 @@ pub(crate) fn normalize_case_ignore(raw: &str) -> String {
 fn validate_generalized_time(raw: &str) -> Result<(), SyntaxViolation> {
     let bytes = raw.as_bytes();
     if bytes.len() != 15 || bytes[14] != b'Z' {
-        return Err(SyntaxViolation::Malformed(
-            "generalized time must be YYYYMMDDHHMMSSZ".into(),
-        ));
+        return Err(SyntaxViolation::Malformed("generalized time must be YYYYMMDDHHMMSSZ".into()));
     }
     if let Some(pos) = bytes[..14].iter().position(|b| !b.is_ascii_digit()) {
         return Err(SyntaxViolation::BadCharacter {
@@ -320,10 +318,7 @@ mod tests {
         assert!(Syntax::Integer.validate("4.2").is_err());
         assert!(Syntax::Integer.validate("").is_err());
         assert!(Syntax::Integer.values_match("007", "7"));
-        assert_eq!(
-            Syntax::Integer.compare("9", "10"),
-            Some(std::cmp::Ordering::Less)
-        );
+        assert_eq!(Syntax::Integer.compare("9", "10"), Some(std::cmp::Ordering::Less));
     }
 
     #[test]
@@ -348,10 +343,7 @@ mod tests {
         assert!(g.validate("20001315120000Z").is_err()); // month 13
         assert!(g.validate("20000315120000").is_err()); // missing Z
         assert!(g.validate("2000031512000Z").is_err()); // short
-        assert_eq!(
-            g.compare("19990101000000Z", "20000101000000Z"),
-            Some(std::cmp::Ordering::Less)
-        );
+        assert_eq!(g.compare("19990101000000Z", "20000101000000Z"), Some(std::cmp::Ordering::Less));
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Order-preserving data-parallel helpers for the legality engine.
+//!
+//! The legality checks parallelised in `bschema-core` must produce
+//! reports *identical* to their sequential counterparts, so every helper
+//! here preserves input order: items are split into contiguous chunks,
+//! chunks are processed on scoped worker threads, and the per-chunk
+//! results are concatenated back in chunk order. With `threads <= 1`
+//! the closure runs inline on the caller's thread — no spawn, no
+//! synchronisation — so the sequential path pays nothing for the shared
+//! code structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// The number of worker threads the host offers, per
+/// [`std::thread::available_parallelism`] (1 if unknown).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Resolves a requested thread count: `0` means "use
+/// [`available_threads`]", anything else is taken as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Splits `items` into at most `threads` contiguous chunks, applies `f`
+/// to each chunk concurrently, and concatenates the outputs in chunk
+/// order. The result is exactly `f` applied chunk-by-chunk
+/// sequentially — only the wall-clock differs.
+pub fn par_flat_map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return f(items);
+    }
+    // Ceiling division so every chunk is non-empty and order is total.
+    let chunk_len = items.len().div_ceil(threads);
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks.into_iter().map(|chunk| scope.spawn(|| f(chunk))).collect();
+        for handle in handles {
+            results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Applies `f` to each item concurrently (chunked as in
+/// [`par_flat_map_chunks`]) and returns the outputs in item order.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_flat_map_chunks(items, threads, |chunk| chunk.iter().map(&f).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_map_preserves_order_at_any_thread_count() {
+        let items: Vec<u32> = (0..103).collect();
+        let expect: Vec<u32> = items.iter().flat_map(|&x| [x * 2, x * 2 + 1]).collect();
+        for threads in [1, 2, 3, 7, 64, 0] {
+            let got = par_flat_map_chunks(&items, threads, |chunk| {
+                chunk.iter().flat_map(|&x| [x * 2, x * 2 + 1]).collect()
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<i64> = (-50..50).collect();
+        let expect: Vec<i64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(par_map(&items, 4, |x| x * x), expect);
+        assert_eq!(par_map(&items, 1, |x| x * x), expect);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, 8, |x| *x).is_empty());
+        assert_eq!(par_map(&[9u8], 8, |x| *x), vec![9]);
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert!(available_threads() >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(0), available_threads());
+    }
+}

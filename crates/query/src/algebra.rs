@@ -144,34 +144,27 @@ impl Query {
     pub fn map_bindings(self, f: &impl Fn(Binding) -> Binding) -> Query {
         match self {
             Query::Select { filter, binding } => Query::Select { filter, binding: f(binding) },
-            Query::Child(a, b) => Query::Child(
-                Box::new(a.map_bindings(f)),
-                Box::new(b.map_bindings(f)),
-            ),
-            Query::Parent(a, b) => Query::Parent(
-                Box::new(a.map_bindings(f)),
-                Box::new(b.map_bindings(f)),
-            ),
-            Query::Descendant(a, b) => Query::Descendant(
-                Box::new(a.map_bindings(f)),
-                Box::new(b.map_bindings(f)),
-            ),
-            Query::Ancestor(a, b) => Query::Ancestor(
-                Box::new(a.map_bindings(f)),
-                Box::new(b.map_bindings(f)),
-            ),
-            Query::Minus(a, b) => Query::Minus(
-                Box::new(a.map_bindings(f)),
-                Box::new(b.map_bindings(f)),
-            ),
-            Query::Union(a, b) => Query::Union(
-                Box::new(a.map_bindings(f)),
-                Box::new(b.map_bindings(f)),
-            ),
-            Query::Intersect(a, b) => Query::Intersect(
-                Box::new(a.map_bindings(f)),
-                Box::new(b.map_bindings(f)),
-            ),
+            Query::Child(a, b) => {
+                Query::Child(Box::new(a.map_bindings(f)), Box::new(b.map_bindings(f)))
+            }
+            Query::Parent(a, b) => {
+                Query::Parent(Box::new(a.map_bindings(f)), Box::new(b.map_bindings(f)))
+            }
+            Query::Descendant(a, b) => {
+                Query::Descendant(Box::new(a.map_bindings(f)), Box::new(b.map_bindings(f)))
+            }
+            Query::Ancestor(a, b) => {
+                Query::Ancestor(Box::new(a.map_bindings(f)), Box::new(b.map_bindings(f)))
+            }
+            Query::Minus(a, b) => {
+                Query::Minus(Box::new(a.map_bindings(f)), Box::new(b.map_bindings(f)))
+            }
+            Query::Union(a, b) => {
+                Query::Union(Box::new(a.map_bindings(f)), Box::new(b.map_bindings(f)))
+            }
+            Query::Intersect(a, b) => {
+                Query::Intersect(Box::new(a.map_bindings(f)), Box::new(b.map_bindings(f)))
+            }
         }
     }
 
@@ -218,9 +211,8 @@ mod tests {
     /// Builds the paper's Q1 (§3.2):
     /// `(σ? (objectClass=orgGroup) (σd (objectClass=orgGroup) (objectClass=person)))`
     fn q1() -> Query {
-        Query::object_class("orgGroup").minus(
-            Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
-        )
+        Query::object_class("orgGroup")
+            .minus(Query::object_class("orgGroup").with_descendant(Query::object_class("person")))
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! evaluates in O(|Q|·|D|) — the bound §3.2 inherits from reference [9] and
 //! that Theorem 3.1's legality test builds on.
 
+use std::borrow::Cow;
+
 use bschema_directory::{EntryId, Forest};
 
 use super::EvalContext;
@@ -14,69 +16,78 @@ use crate::result;
 
 /// Evaluates `query`, returning matching entries sorted by preorder rank.
 pub fn evaluate(ctx: &EvalContext<'_>, query: &Query) -> Vec<EntryId> {
+    eval_cow(ctx, query).into_owned()
+}
+
+/// Core evaluator. Atomic indexable selections borrow the instance's
+/// sorted-entry index slices directly (`Cow::Borrowed`) instead of
+/// re-deriving an owned copy per query, so the index built once by
+/// [`prepare`](bschema_directory::DirectoryInstance::prepare) is shared
+/// across every query evaluated against the instance — the operators
+/// only ever read `&[EntryId]`.
+pub(crate) fn eval_cow<'a>(ctx: &EvalContext<'a>, query: &Query) -> Cow<'a, [EntryId]> {
     let forest = ctx.instance().forest();
     match query {
         Query::Select { filter, binding } => eval_select(ctx, filter, *binding),
         Query::Child(a, b) => {
-            let (r1, r2) = (evaluate(ctx, a), evaluate(ctx, b));
-            child_select(forest, &r1, &r2)
+            let (r1, r2) = (eval_cow(ctx, a), eval_cow(ctx, b));
+            Cow::Owned(child_select(forest, &r1, &r2))
         }
         Query::Parent(a, b) => {
-            let (r1, r2) = (evaluate(ctx, a), evaluate(ctx, b));
-            parent_select(forest, &r1, &r2)
+            let (r1, r2) = (eval_cow(ctx, a), eval_cow(ctx, b));
+            Cow::Owned(parent_select(forest, &r1, &r2))
         }
         Query::Descendant(a, b) => {
-            let (r1, r2) = (evaluate(ctx, a), evaluate(ctx, b));
-            descendant_select(forest, &r1, &r2)
+            let (r1, r2) = (eval_cow(ctx, a), eval_cow(ctx, b));
+            Cow::Owned(descendant_select(forest, &r1, &r2))
         }
         Query::Ancestor(a, b) => {
-            let (r1, r2) = (evaluate(ctx, a), evaluate(ctx, b));
-            ancestor_select(forest, &r1, &r2)
+            let (r1, r2) = (eval_cow(ctx, a), eval_cow(ctx, b));
+            Cow::Owned(ancestor_select(forest, &r1, &r2))
         }
         Query::Minus(a, b) => {
-            let (r1, r2) = (evaluate(ctx, a), evaluate(ctx, b));
-            result::minus(forest, &r1, &r2)
+            let (r1, r2) = (eval_cow(ctx, a), eval_cow(ctx, b));
+            Cow::Owned(result::minus(forest, &r1, &r2))
         }
         Query::Union(a, b) => {
-            let (r1, r2) = (evaluate(ctx, a), evaluate(ctx, b));
-            result::union(forest, &r1, &r2)
+            let (r1, r2) = (eval_cow(ctx, a), eval_cow(ctx, b));
+            Cow::Owned(result::union(forest, &r1, &r2))
         }
         Query::Intersect(a, b) => {
-            let (r1, r2) = (evaluate(ctx, a), evaluate(ctx, b));
-            result::intersect(forest, &r1, &r2)
+            let (r1, r2) = (eval_cow(ctx, a), eval_cow(ctx, b));
+            Cow::Owned(result::intersect(forest, &r1, &r2))
         }
     }
 }
 
 /// Atomic selection: route through the class / presence indexes when the
 /// filter shape allows, otherwise scan; then apply the Figure 5 binding.
-fn eval_select(ctx: &EvalContext<'_>, filter: &Filter, binding: Binding) -> Vec<EntryId> {
+fn eval_select<'a>(ctx: &EvalContext<'a>, filter: &Filter, binding: Binding) -> Cow<'a, [EntryId]> {
     if binding == Binding::Empty {
-        return Vec::new();
+        return Cow::Owned(Vec::new());
     }
     let base = eval_filter_whole(ctx, filter);
     match binding {
         Binding::Whole => base,
         Binding::Delta => {
-            let root = ctx
-                .delta()
-                .expect("Binding::Delta requires an EvalContext with a delta subtree");
-            result::restrict_to_subtree(ctx.instance().forest(), &base, root)
+            let root =
+                ctx.delta().expect("Binding::Delta requires an EvalContext with a delta subtree");
+            Cow::Owned(result::restrict_to_subtree(ctx.instance().forest(), &base, root))
         }
         Binding::Empty => unreachable!("handled above"),
     }
 }
 
-fn eval_filter_whole(ctx: &EvalContext<'_>, filter: &Filter) -> Vec<EntryId> {
+fn eval_filter_whole<'a>(ctx: &EvalContext<'a>, filter: &Filter) -> Cow<'a, [EntryId]> {
     let dir = ctx.instance();
     let index = dir.index();
     match filter {
-        Filter::True => index.all_entries().to_vec(),
-        Filter::False => Vec::new(),
-        Filter::Present(attr) => index.entries_with_attribute(attr).to_vec(),
+        Filter::True => Cow::Borrowed(index.all_entries()),
+        Filter::False => Cow::Owned(Vec::new()),
+        Filter::Present(attr) => Cow::Borrowed(index.entries_with_attribute(attr)),
         Filter::Equality(..) if filter.as_object_class().is_some() => {
             let class = filter.as_object_class().expect("just checked");
-            index.entries_with_class(class).to_vec()
+            Cow::Borrowed(index.entries_with_class(class))
         }
         Filter::And(subs) => {
             // Seed from the most selective indexable conjunct, then
@@ -84,27 +95,26 @@ fn eval_filter_whole(ctx: &EvalContext<'_>, filter: &Filter) -> Vec<EntryId> {
             let seed = subs
                 .iter()
                 .filter_map(|f| {
-                    f.as_object_class()
-                        .map(|c| index.entries_with_class(c))
-                        .or_else(|| match f {
-                            Filter::Present(a) => Some(index.entries_with_attribute(a)),
-                            _ => None,
-                        })
+                    f.as_object_class().map(|c| index.entries_with_class(c)).or_else(|| match f {
+                        Filter::Present(a) => Some(index.entries_with_attribute(a)),
+                        _ => None,
+                    })
                 })
                 .min_by_key(|list| list.len());
             match seed {
-                Some(list) => list
-                    .iter()
-                    .copied()
-                    .filter(|&id| {
-                        let entry = dir.entry(id).expect("indexed entries are live");
-                        subs.iter().all(|f| f.matches(entry, dir.registry()))
-                    })
-                    .collect(),
-                None => scan(ctx, filter),
+                Some(list) => Cow::Owned(
+                    list.iter()
+                        .copied()
+                        .filter(|&id| {
+                            let entry = dir.entry(id).expect("indexed entries are live");
+                            subs.iter().all(|f| f.matches(entry, dir.registry()))
+                        })
+                        .collect(),
+                ),
+                None => Cow::Owned(scan(ctx, filter)),
             }
         }
-        _ => scan(ctx, filter),
+        _ => Cow::Owned(scan(ctx, filter)),
     }
 }
 
@@ -139,10 +149,7 @@ pub(crate) fn parent_select(forest: &Forest, r1: &[EntryId], r2: &[EntryId]) -> 
     for &e2 in r2 {
         in_r2[e2.index()] = true;
     }
-    r1.iter()
-        .copied()
-        .filter(|&e1| forest.parent(e1).is_some_and(|p| in_r2[p.index()]))
-        .collect()
+    r1.iter().copied().filter(|&e1| forest.parent(e1).is_some_and(|p| in_r2[p.index()])).collect()
 }
 
 /// `(σd r1 r2)`: members of `r1` with at least one **proper** descendant in

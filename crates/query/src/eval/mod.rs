@@ -8,7 +8,23 @@ mod naive;
 pub use interval::evaluate;
 pub use naive::evaluate_naive;
 
+use crate::algebra::Query;
 use bschema_directory::{DirectoryInstance, EntryId};
+
+/// Evaluates independent queries over one shared context, returning the
+/// result lists in query order (each exactly what [`evaluate`] returns).
+///
+/// The queries share the instance's sorted-entry index — built once by
+/// [`prepare`](DirectoryInstance::prepare) — rather than re-deriving
+/// per-query entry lists, and are fanned out over `threads` worker
+/// threads (`0` = all available, `1` = inline on the caller's thread).
+pub fn evaluate_batch(
+    ctx: &EvalContext<'_>,
+    queries: &[Query],
+    threads: usize,
+) -> Vec<Vec<EntryId>> {
+    bschema_parallel::par_map(queries, threads, |q| evaluate(ctx, q))
+}
 
 /// Evaluation context: a prepared instance plus the optional update-delta
 /// subtree that `Binding::Delta` selections range over.
@@ -132,8 +148,9 @@ mod tests {
             Query::object_class("orgGroup"),
             Query::object_class("nonexistent"),
             Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
-            Query::object_class("orgGroup")
-                .minus(Query::object_class("orgGroup").with_descendant(Query::object_class("person"))),
+            Query::object_class("orgGroup").minus(
+                Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
+            ),
             Query::object_class("person").with_ancestor(Query::object_class("organization")),
             Query::object_class("person").with_parent(Query::object_class("orgUnit")),
             Query::object_class("orgUnit").with_child(Query::object_class("person")),
@@ -153,9 +170,8 @@ mod tests {
     fn paper_q1_is_empty_on_figure1() {
         let (d, _) = figure1();
         let ctx = EvalContext::new(&d);
-        let q1 = Query::object_class("orgGroup").minus(
-            Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
-        );
+        let q1 = Query::object_class("orgGroup")
+            .minus(Query::object_class("orgGroup").with_descendant(Query::object_class("person")));
         assert!(evaluate(&ctx, &q1).is_empty());
     }
 

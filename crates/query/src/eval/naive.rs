@@ -30,9 +30,7 @@ fn eval_set(ctx: &EvalContext<'_>, query: &Query) -> HashSet<EntryId> {
         Query::Select { filter, binding } => select(ctx, filter, *binding),
         Query::Child(a, b) => {
             let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
-            r1.into_iter()
-                .filter(|&e1| forest.children(e1).any(|c| r2.contains(&c)))
-                .collect()
+            r1.into_iter().filter(|&e1| forest.children(e1).any(|c| r2.contains(&c))).collect()
         }
         Query::Parent(a, b) => {
             let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
@@ -42,15 +40,11 @@ fn eval_set(ctx: &EvalContext<'_>, query: &Query) -> HashSet<EntryId> {
         }
         Query::Descendant(a, b) => {
             let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
-            r1.into_iter()
-                .filter(|&e1| forest.descendants(e1).any(|d| r2.contains(&d)))
-                .collect()
+            r1.into_iter().filter(|&e1| forest.descendants(e1).any(|d| r2.contains(&d))).collect()
         }
         Query::Ancestor(a, b) => {
             let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
-            r1.into_iter()
-                .filter(|&e1| forest.ancestors(e1).any(|anc| r2.contains(&anc)))
-                .collect()
+            r1.into_iter().filter(|&e1| forest.ancestors(e1).any(|anc| r2.contains(&anc))).collect()
         }
         Query::Minus(a, b) => {
             let (r1, r2) = (eval_set(ctx, a), eval_set(ctx, b));
@@ -77,16 +71,12 @@ fn select(ctx: &EvalContext<'_>, filter: &Filter, binding: Binding) -> HashSet<E
             .map(|(id, _)| id)
             .collect(),
         Binding::Delta => {
-            let root = ctx
-                .delta()
-                .expect("Binding::Delta requires an EvalContext with a delta subtree");
+            let root =
+                ctx.delta().expect("Binding::Delta requires an EvalContext with a delta subtree");
             let forest = dir.forest();
             std::iter::once(root)
                 .chain(forest.descendants(root))
-                .filter(|&id| {
-                    dir.entry(id)
-                        .is_some_and(|e| filter.matches(e, dir.registry()))
-                })
+                .filter(|&id| dir.entry(id).is_some_and(|e| filter.matches(e, dir.registry())))
                 .collect()
         }
     }

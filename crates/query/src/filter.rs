@@ -124,8 +124,13 @@ impl Filter {
     /// Number of atomic conditions — contributes to the paper's `|Q|`.
     pub fn size(&self) -> usize {
         match self {
-            Filter::True | Filter::False | Filter::Present(_) | Filter::Equality(..)
-            | Filter::Substring { .. } | Filter::GreaterOrEqual(..) | Filter::LessOrEqual(..) => 1,
+            Filter::True
+            | Filter::False
+            | Filter::Present(_)
+            | Filter::Equality(..)
+            | Filter::Substring { .. }
+            | Filter::GreaterOrEqual(..)
+            | Filter::LessOrEqual(..) => 1,
             Filter::And(fs) | Filter::Or(fs) => 1 + fs.iter().map(Filter::size).sum::<usize>(),
             Filter::Not(f) => 1 + f.size(),
         }
@@ -144,25 +149,20 @@ impl Filter {
             }
             Filter::Substring { attr, initial, any, finally } => {
                 let syntax = registry.syntax_of(attr);
-                entry
-                    .values(attr)
-                    .iter()
-                    .any(|v| substring_match(syntax, v, initial.as_deref(), any, finally.as_deref()))
+                entry.values(attr).iter().any(|v| {
+                    substring_match(syntax, v, initial.as_deref(), any, finally.as_deref())
+                })
             }
             Filter::GreaterOrEqual(attr, value) => {
                 let syntax = registry.syntax_of(attr);
                 entry.values(attr).iter().any(|v| {
-                    syntax
-                        .compare(v, value)
-                        .is_some_and(|o| o != std::cmp::Ordering::Less)
+                    syntax.compare(v, value).is_some_and(|o| o != std::cmp::Ordering::Less)
                 })
             }
             Filter::LessOrEqual(attr, value) => {
                 let syntax = registry.syntax_of(attr);
                 entry.values(attr).iter().any(|v| {
-                    syntax
-                        .compare(v, value)
-                        .is_some_and(|o| o != std::cmp::Ordering::Greater)
+                    syntax.compare(v, value).is_some_and(|o| o != std::cmp::Ordering::Greater)
                 })
             }
             Filter::And(fs) => fs.iter().all(|f| f.matches(entry, registry)),

@@ -109,10 +109,7 @@ impl<'a> Parser<'a> {
     /// `*`, a plain value, or a substring pattern with `*`s.
     fn parse_item(&mut self) -> Result<Filter, FilterParseError> {
         let attr_start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| !matches!(b, b'=' | b'<' | b'>' | b'(' | b')'))
-        {
+        while self.peek().is_some_and(|b| !matches!(b, b'=' | b'<' | b'>' | b'(' | b')')) {
             self.pos += 1;
         }
         let attr = std::str::from_utf8(&self.input[attr_start..self.pos])
@@ -154,13 +151,11 @@ impl<'a> Parser<'a> {
                         .input
                         .get(self.pos..self.pos + 2)
                         .ok_or(FilterParseError::BadEscape(at))?;
-                    let s = std::str::from_utf8(hex).map_err(|_| FilterParseError::BadEscape(at))?;
+                    let s =
+                        std::str::from_utf8(hex).map_err(|_| FilterParseError::BadEscape(at))?;
                     let byte =
                         u8::from_str_radix(s, 16).map_err(|_| FilterParseError::BadEscape(at))?;
-                    fragments
-                        .last_mut()
-                        .expect("fragments never empty")
-                        .push(byte as char);
+                    fragments.last_mut().expect("fragments never empty").push(byte as char);
                     self.pos += 2;
                 }
                 _ => {
@@ -195,11 +190,19 @@ impl<'a> Parser<'a> {
                 }
                 let finally = {
                     let last = fragments.pop().expect("fragments never empty");
-                    if last.is_empty() { None } else { Some(last) }
+                    if last.is_empty() {
+                        None
+                    } else {
+                        Some(last)
+                    }
                 };
                 let initial = {
                     let first = fragments.remove(0);
-                    if first.is_empty() { None } else { Some(first) }
+                    if first.is_empty() {
+                        None
+                    } else {
+                        Some(first)
+                    }
                 };
                 let any = fragments.into_iter().filter(|f| !f.is_empty()).collect();
                 Ok(Filter::Substring { attr, initial, any, finally })
@@ -224,10 +227,7 @@ mod tests {
 
     #[test]
     fn parse_equality() {
-        assert_eq!(
-            parse_filter("(objectClass=person)").unwrap(),
-            Filter::object_class("person")
-        );
+        assert_eq!(parse_filter("(objectClass=person)").unwrap(), Filter::object_class("person"));
     }
 
     #[test]
@@ -315,10 +315,7 @@ mod tests {
         assert!(matches!(parse_filter("(=x)"), Err(FilterParseError::EmptyAttribute(_))));
         assert!(matches!(parse_filter("(a=b))"), Err(FilterParseError::TrailingInput(_))));
         assert!(matches!(parse_filter("(a=b"), Err(FilterParseError::UnexpectedEnd)));
-        assert!(matches!(
-            parse_filter("(!(a=b)(c=d))"),
-            Err(FilterParseError::BadNot(_))
-        ));
+        assert!(matches!(parse_filter("(!(a=b)(c=d))"), Err(FilterParseError::BadNot(_))));
         assert!(matches!(parse_filter(r"(a=\zz)"), Err(FilterParseError::BadEscape(_))));
     }
 

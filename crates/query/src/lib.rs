@@ -48,7 +48,7 @@ pub mod result;
 pub mod search;
 
 pub use algebra::{Binding, Query};
-pub use eval::{evaluate, evaluate_naive, EvalContext};
+pub use eval::{evaluate, evaluate_batch, evaluate_naive, EvalContext};
 pub use filter::Filter;
 pub use filter_parser::{parse_filter, FilterParseError};
 pub use optimize::{simplify, simplify_filter};

@@ -140,11 +140,7 @@ pub fn simplify(query: Query) -> Query {
 /// simplify, and an empty argument on either side empties the whole
 /// selection (their results are subsets of the first argument, filtered by
 /// existence in the second).
-fn hierarchical(
-    build: fn(Box<Query>, Box<Query>) -> Query,
-    a: Query,
-    b: Query,
-) -> Query {
+fn hierarchical(build: fn(Box<Query>, Box<Query>) -> Query, a: Query, b: Query) -> Query {
     let a = simplify(a);
     let b = simplify(b);
     if is_statically_empty(&a) || is_statically_empty(&b) {

@@ -81,7 +81,8 @@ pub fn search(dir: &DirectoryInstance, request: &SearchRequest) -> Vec<EntryId> 
             // Evaluate the filter globally through the indexes, then cut the
             // contiguous preorder range of the subtree — cheaper than
             // per-entry testing when the filter is selective.
-            let all = crate::eval::evaluate(&ctx, &crate::algebra::Query::select(request.filter.clone()));
+            let all =
+                crate::eval::evaluate(&ctx, &crate::algebra::Query::select(request.filter.clone()));
             result::restrict_to_subtree(forest, &all, base)
         }
         (None, SearchScope::Subtree) => {
@@ -133,7 +134,11 @@ mod tests {
             .add_named_child(
                 labs,
                 Rdn::single("uid", "alice"),
-                Entry::builder().classes(["person", "top"]).attr("uid", "alice").attr("mail", "a@x").build(),
+                Entry::builder()
+                    .classes(["person", "top"])
+                    .attr("uid", "alice")
+                    .attr("mail", "a@x")
+                    .build(),
             )
             .unwrap();
         let db = d
@@ -154,7 +159,11 @@ mod tests {
             .add_named_child(
                 db,
                 Rdn::single("uid", "carol"),
-                Entry::builder().classes(["person", "top"]).attr("uid", "carol").attr("mail", "c@x").build(),
+                Entry::builder()
+                    .classes(["person", "top"])
+                    .attr("uid", "carol")
+                    .attr("mail", "c@x")
+                    .build(),
             )
             .unwrap();
         d.prepare();
@@ -164,7 +173,8 @@ mod tests {
     #[test]
     fn base_scope() {
         let (d, [org, ..]) = fixture();
-        let req = SearchRequest::under(org, SearchScope::Base, Filter::object_class("organization"));
+        let req =
+            SearchRequest::under(org, SearchScope::Base, Filter::object_class("organization"));
         assert_eq!(search(&d, &req), [org]);
         let req = SearchRequest::under(org, SearchScope::Base, Filter::object_class("person"));
         assert_eq!(search(&d, &req), []);
@@ -215,13 +225,20 @@ mod tests {
         )
         .expect("base DN resolves");
         assert_eq!(hits, [bob, carol]);
-        assert!(search_dn(&d, &"o=nope".parse().unwrap(), SearchScope::Base, Filter::True).is_none());
+        assert!(
+            search_dn(&d, &"o=nope".parse().unwrap(), SearchScope::Base, Filter::True).is_none()
+        );
     }
 
     #[test]
     fn root_scopes_without_base() {
         let (d, [org, ..]) = fixture();
-        let req = SearchRequest { base: None, scope: SearchScope::Base, filter: Filter::True, size_limit: None };
+        let req = SearchRequest {
+            base: None,
+            scope: SearchScope::Base,
+            filter: Filter::True,
+            size_limit: None,
+        };
         assert_eq!(search(&d, &req), [org]);
     }
 }

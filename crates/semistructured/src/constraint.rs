@@ -70,11 +70,7 @@ impl PathConstraint {
 
     /// No `upper` node may have a `lower` child.
     pub fn no_child(upper: impl Into<String>, lower: impl Into<String>) -> Self {
-        PathConstraint::Forbid {
-            upper: upper.into(),
-            kind: ForbidKind::Child,
-            lower: lower.into(),
-        }
+        PathConstraint::Forbid { upper: upper.into(), kind: ForbidKind::Child, lower: lower.into() }
     }
 }
 
@@ -158,7 +154,10 @@ mod tests {
     fn constructors_and_display() {
         let c = PathConstraint::descendant("person", "name");
         assert_eq!(c.to_string(), "person →de name");
-        assert_eq!(PathConstraint::no_descendant("country", "country").to_string(), "country ↛de country");
+        assert_eq!(
+            PathConstraint::no_descendant("country", "country").to_string(),
+            "country ↛de country"
+        );
         assert_eq!(PathConstraint::RequireLabel("db".into()).to_string(), "◇db");
         assert_eq!(PathConstraint::child("a", "b").to_string(), "a →ch b");
         assert_eq!(PathConstraint::no_child("a", "b").to_string(), "a ↛ch b");

@@ -58,10 +58,9 @@ pub fn infer(graph: &mut DataGraph, options: &InferenceOptions) -> ConstraintSet
             let none_have = |q: Query| evaluate(&ctx, &q).is_empty();
 
             if options.required && a != b {
-                let every_child = all_have(
-                    Query::object_class(a.clone())
-                        .minus(Query::object_class(a.clone()).with_child(Query::object_class(b.clone()))),
-                );
+                let every_child = all_have(Query::object_class(a.clone()).minus(
+                    Query::object_class(a.clone()).with_child(Query::object_class(b.clone())),
+                ));
                 if every_child {
                     out.push(PathConstraint::child(a.clone(), b.clone()));
                 } else {
@@ -133,9 +132,7 @@ mod tests {
         let inferred = infer(&mut g, &InferenceOptions::default());
         // The §6.3 prohibition is observed: no country nests inside another.
         assert!(
-            inferred
-                .constraints()
-                .contains(&PathConstraint::no_descendant("country", "country")),
+            inferred.constraints().contains(&PathConstraint::no_descendant("country", "country")),
             "{inferred:?}"
         );
         // Countries are never below corporations... false here (multi holds
@@ -144,9 +141,7 @@ mod tests {
             .constraints()
             .contains(&PathConstraint::no_descendant("corporation", "country")));
         // Every country in this instance holds a corporation.
-        assert!(inferred
-            .constraints()
-            .contains(&PathConstraint::child("country", "corporation")));
+        assert!(inferred.constraints().contains(&PathConstraint::child("country", "corporation")));
     }
 
     #[test]
@@ -169,10 +164,7 @@ mod tests {
         let mut g = world();
         let opts = InferenceOptions { forbidden: false, ..Default::default() };
         let inferred = infer(&mut g, &opts);
-        assert!(inferred
-            .constraints()
-            .iter()
-            .all(|c| !matches!(c, PathConstraint::Forbid { .. })));
+        assert!(inferred.constraints().iter().all(|c| !matches!(c, PathConstraint::Forbid { .. })));
     }
 
     #[test]
@@ -180,9 +172,7 @@ mod tests {
         let mut g = world();
         let opts = InferenceOptions { required_labels: true, required: false, forbidden: false };
         let inferred = infer(&mut g, &opts);
-        assert!(inferred
-            .constraints()
-            .contains(&PathConstraint::RequireLabel("country".into())));
+        assert!(inferred.constraints().contains(&PathConstraint::RequireLabel("country".into())));
         assert!(satisfies(&mut g, &inferred));
     }
 

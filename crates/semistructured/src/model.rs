@@ -103,13 +103,8 @@ impl DataGraph {
     /// Labels present in the graph, lowercased, sorted.
     pub fn labels(&mut self) -> Vec<String> {
         self.dir.prepare();
-        let mut labels: Vec<String> = self
-            .dir
-            .index()
-            .classes()
-            .filter(|c| *c != "top")
-            .map(str::to_owned)
-            .collect();
+        let mut labels: Vec<String> =
+            self.dir.index().classes().filter(|c| *c != "top").map(str::to_owned).collect();
         labels.sort_unstable();
         labels
     }

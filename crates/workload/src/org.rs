@@ -93,17 +93,15 @@ impl OrgGenerator {
             }
         }
         if self.rng.random_bool(0.4) {
-            builder = builder.attr("telephoneNumber", format!("+1 973 360 {:04}", self.counter % 10_000));
+            builder =
+                builder.attr("telephoneNumber", format!("+1 973 360 {:04}", self.counter % 10_000));
         }
         builder.build()
     }
 
     fn org_unit(&mut self) -> Entry {
         let ou = format!("unit{}", self.next_id());
-        Entry::builder()
-            .classes(["orgUnit", "orgGroup", "top"])
-            .attr("ou", ou)
-            .build()
+        Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", ou).build()
     }
 
     /// Generates the instance (prepared) and the ids of all person entries.
@@ -120,9 +118,7 @@ impl OrgGenerator {
         let mut persons: Vec<EntryId> = Vec::new();
 
         // First unit directly under the organization.
-        let first_unit = dir
-            .add_child_entry(org, self.org_unit())
-            .expect("org exists");
+        let first_unit = dir.add_child_entry(org, self.org_unit()).expect("org exists");
         units.push(first_unit);
 
         // Grow breadth-first until the target size is reached: every unit
@@ -137,7 +133,8 @@ impl OrgGenerator {
                     *units.last().expect("at least one unit")
                 }
             };
-            let persons_here = 1 + self.rng.random_range(0..self.params.persons_per_unit.max(1) * 2);
+            let persons_here =
+                1 + self.rng.random_range(0..self.params.persons_per_unit.max(1) * 2);
             for _ in 0..persons_here {
                 let p = self.person();
                 let id = dir.add_child_entry(unit, p).expect("unit exists");
@@ -214,7 +211,8 @@ mod tests {
     fn generated_instances_are_legal() {
         let schema = white_pages_schema();
         for (seed, size) in [(1u64, 50usize), (2, 500), (3, 2000)] {
-            let gen = OrgGenerator::new(OrgParams { seed, target_entries: size, ..OrgParams::default() });
+            let gen =
+                OrgGenerator::new(OrgParams { seed, target_entries: size, ..OrgParams::default() });
             let out = gen.generate();
             assert!(out.dir.len() >= size, "size {} < target {size}", out.dir.len());
             let report = LegalityChecker::new(&schema).check(&out.dir);
@@ -251,11 +249,8 @@ mod tests {
     #[test]
     fn heterogeneity_is_present() {
         let out = OrgGenerator::new(OrgParams::sized(1000)).generate();
-        let mail_counts: Vec<usize> = out
-            .persons
-            .iter()
-            .map(|&p| out.dir.entry(p).unwrap().values("mail").len())
-            .collect();
+        let mail_counts: Vec<usize> =
+            out.persons.iter().map(|&p| out.dir.entry(p).unwrap().values("mail").len()).collect();
         assert!(mail_counts.contains(&0), "some person without mail");
         assert!(mail_counts.contains(&1), "some person with one mail");
         assert!(mail_counts.iter().any(|&c| c >= 2), "some person with several mails");

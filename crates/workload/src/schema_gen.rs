@@ -84,16 +84,18 @@ impl SchemaGenerator {
             } else {
                 names[self.rng.random_range(0..i)].clone()
             };
-            builder = builder
-                .core_class(name, &parent)
-                .expect("generated names are fresh");
+            builder = builder.core_class(name, &parent).expect("generated names are fresh");
         }
         builder.build()
     }
 
     fn rebuild_with<F>(&mut self, mut f: F) -> DirectorySchema
     where
-        F: FnMut(&mut StdRng, &[String], bschema_core::schema::SchemaBuilder) -> bschema_core::schema::SchemaBuilder,
+        F: FnMut(
+            &mut StdRng,
+            &[String],
+            bschema_core::schema::SchemaBuilder,
+        ) -> bschema_core::schema::SchemaBuilder,
     {
         let names = self.class_names();
         // Recreate the class tree deterministically from a fork of the seed.
@@ -106,9 +108,8 @@ impl SchemaGenerator {
                 continue;
             }
             let parent = classes.parent(c).expect("non-top class has parent");
-            builder = builder
-                .core_class(classes.name(c), classes.name(parent))
-                .expect("fresh rebuild");
+            builder =
+                builder.core_class(classes.name(c), classes.name(parent)).expect("fresh rebuild");
         }
         builder = f(&mut self.rng, &names, builder);
         builder.build()
@@ -131,15 +132,12 @@ impl SchemaGenerator {
                     2 => RelKind::Parent,
                     _ => RelKind::Ancestor,
                 };
-                builder = builder
-                    .require_rel(&pick(rng), kind, &pick(rng))
-                    .expect("known classes");
+                builder = builder.require_rel(&pick(rng), kind, &pick(rng)).expect("known classes");
             }
             for _ in 0..forbidden_rels {
-                let kind = if rng.random_bool(0.5) { ForbidKind::Child } else { ForbidKind::Descendant };
-                builder = builder
-                    .forbid_rel(&pick(rng), kind, &pick(rng))
-                    .expect("known classes");
+                let kind =
+                    if rng.random_bool(0.5) { ForbidKind::Child } else { ForbidKind::Descendant };
+                builder = builder.forbid_rel(&pick(rng), kind, &pick(rng)).expect("known classes");
             }
             builder
         })
@@ -188,10 +186,10 @@ impl SchemaGenerator {
                 for _ in 0..required_rels {
                     let i = rng.random_range(lo..n - 1);
                     let j = rng.random_range(i + 1..n);
-                    let kind = if rng.random_bool(0.5) { RelKind::Child } else { RelKind::Descendant };
-                    builder = builder
-                        .require_rel(&names[i], kind, &names[j])
-                        .expect("known classes");
+                    let kind =
+                        if rng.random_bool(0.5) { RelKind::Child } else { RelKind::Descendant };
+                    builder =
+                        builder.require_rel(&names[i], kind, &names[j]).expect("known classes");
                 }
                 for _ in 0..forbidden_rels {
                     let i = rng.random_range(lo..n - 1);
@@ -253,7 +251,10 @@ mod tests {
             let mut g = SchemaGenerator::new(SchemaParams { seed, ..SchemaParams::default() });
             let schema = g.consistent();
             let result = ConsistencyChecker::new(&schema).check();
-            assert!(result.is_consistent(), "seed {seed} generated an inconsistent 'consistent' schema");
+            assert!(
+                result.is_consistent(),
+                "seed {seed} generated an inconsistent 'consistent' schema"
+            );
             let witness = build_witness(&schema)
                 .unwrap_or_else(|e| panic!("seed {seed}: witness failed: {e}"));
             assert!(
@@ -269,10 +270,7 @@ mod tests {
             let mut g = SchemaGenerator::new(SchemaParams { seed, ..SchemaParams::default() });
             let schema = g.inconsistent();
             let result = ConsistencyChecker::new(&schema).check();
-            assert!(
-                !result.is_consistent(),
-                "seed {seed}: planted defect not detected"
-            );
+            assert!(!result.is_consistent(), "seed {seed}: planted defect not detected");
             assert!(result.explain_inconsistency().is_some());
         }
     }

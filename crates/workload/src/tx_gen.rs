@@ -73,7 +73,11 @@ impl TxGenerator {
     /// A legality-preserving deletion: one person whose parent unit keeps at
     /// least one other person child. Returns `None` when no such person
     /// exists.
-    pub fn legal_deletion(&mut self, org: &GeneratedOrg, dir: &DirectoryInstance) -> Option<Transaction> {
+    pub fn legal_deletion(
+        &mut self,
+        org: &GeneratedOrg,
+        dir: &DirectoryInstance,
+    ) -> Option<Transaction> {
         let start = self.rng.random_range(0..org.persons.len().max(1));
         let is_person = |id: EntryId| dir.entry(id).is_some_and(|e| e.has_class("person"));
         for offset in 0..org.persons.len() {
@@ -84,11 +88,8 @@ impl TxGenerator {
             let Some(parent) = dir.forest().parent(candidate) else {
                 continue;
             };
-            let sibling_persons = dir
-                .forest()
-                .children(parent)
-                .filter(|&c| c != candidate && is_person(c))
-                .count();
+            let sibling_persons =
+                dir.forest().children(parent).filter(|&c| c != candidate && is_person(c)).count();
             if sibling_persons >= 1 {
                 let mut tx = Transaction::new();
                 tx.delete(candidate);
@@ -100,7 +101,11 @@ impl TxGenerator {
 
     /// A legality-violating insertion: an orgUnit under a random person
     /// (violates `person ↛ch top` and `orgUnit →pa orgGroup`).
-    pub fn violating_insertion(&mut self, org: &GeneratedOrg, dir: &DirectoryInstance) -> Option<Transaction> {
+    pub fn violating_insertion(
+        &mut self,
+        org: &GeneratedOrg,
+        dir: &DirectoryInstance,
+    ) -> Option<Transaction> {
         let start = self.rng.random_range(0..org.persons.len().max(1));
         for offset in 0..org.persons.len() {
             let victim = org.persons[(start + offset) % org.persons.len()];

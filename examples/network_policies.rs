@@ -133,10 +133,7 @@ fn main() {
     // A person in the network tree: forbidden outright.
     let sites = net.query(&Query::object_class("site"));
     let mut bad = Transaction::new();
-    bad.insert_under(
-        sites[0],
-        Entry::builder().classes(["person", "top"]).build(),
-    );
+    bad.insert_under(sites[0], Entry::builder().classes(["person", "top"]).build());
     match net.apply(&bad) {
         Err(ManagedError::RolledBack(report)) => {
             println!("person inside site rejected:\n{report}");

@@ -78,11 +78,7 @@ fn main() {
                     );
                     for (id, entry) in witness.iter() {
                         let depth = witness.forest().depth(id);
-                        println!(
-                            "  {}{}",
-                            "    ".repeat(depth),
-                            entry.classes().join(",")
-                        );
+                        println!("  {}{}", "    ".repeat(depth), entry.classes().join(","));
                     }
                 }
                 Err(e) => println!("witness construction failed: {e}"),

@@ -61,5 +61,8 @@ fn main() {
         .with(PathConstraint::descendant("person", "name"))
         .with(PathConstraint::no_descendant("person", "name"))
         .with(PathConstraint::RequireLabel("person".into()));
-    println!("\nperson-must-and-must-not-have-name + ◇person satisfiable: {}", is_satisfiable(&impossible));
+    println!(
+        "\nperson-must-and-must-not-have-name + ◇person satisfiable: {}",
+        is_satisfiable(&impossible)
+    );
 }

@@ -126,14 +126,17 @@ fn main() {
 
     // Fix the violation and wrap the instance in a ManagedDirectory, which
     // enforces the schema from here on.
-    let nameless = dir
-        .lookup_dn(&"uid=nameless,ou=sales,o=acme".parse().unwrap())
-        .expect("entry exists");
+    let nameless =
+        dir.lookup_dn(&"uid=nameless,ou=sales,o=acme".parse().unwrap()).expect("entry exists");
     dir.entry_mut(nameless).unwrap().add_value("name", "Anon Y. Mouse");
     dir.prepare();
     let mut managed =
         ManagedDirectory::with_instance(parsed.schema.clone(), dir).expect("now legal");
-    println!("after fix: managed directory with {} entries, legal = {}\n", managed.len(), managed.is_legal());
+    println!(
+        "after fix: managed directory with {} entries, legal = {}\n",
+        managed.len(),
+        managed.is_legal()
+    );
 
     // Search with an RFC 2254 filter inside a hierarchical query: online
     // researchers somewhere below the organization.
@@ -157,12 +160,14 @@ fn main() {
                 .lookup_dn(&"uid=ada,ou=engineering,o=acme".parse().unwrap())
                 .unwrap(),
         )
-        .and(managed.delete_subtree(
-            managed
-                .instance()
-                .lookup_dn(&"uid=grace,ou=engineering,o=acme".parse().unwrap())
-                .unwrap(),
-        ));
+        .and(
+            managed.delete_subtree(
+                managed
+                    .instance()
+                    .lookup_dn(&"uid=grace,ou=engineering,o=acme".parse().unwrap())
+                    .unwrap(),
+            ),
+        );
     match err {
         Ok(()) => println!("deletions accepted (engineering still has people elsewhere)"),
         Err(e) => println!("deletion rejected:\n{e}"),

@@ -1,0 +1,232 @@
+//! Differential test oracle for the parallel legality engine (PR 1).
+//!
+//! Three independent checkers must agree on every randomized input:
+//!
+//! * the **sequential** Theorem 3.1 checker (query reduction),
+//! * the **parallel** engine ([`LegalityOptions::parallel`]) at several
+//!   thread counts — required to be *byte-identical* to the sequential
+//!   report (same violations, same order), and
+//! * the **naive** traversal baseline (`legality/naive.rs`) — required to
+//!   agree up to ordering ([`LegalityReport::normalized`]).
+//!
+//! Inputs come from the `bschema-workload` generators with fixed RNG
+//! seeds, so every case is reproducible: organisation-shaped directories
+//! (legal and with injected violations), randomly generated schemas
+//! (checked both against their consistency witnesses and against
+//! mismatched org directories), and random update transactions whose
+//! batched Δ-checks are compared across engines and against full
+//! rechecks. Together the suite runs well over 256 cases.
+
+use bschema_core::consistency::build_witness;
+use bschema_core::legality::{LegalityChecker, LegalityOptions};
+use bschema_core::paper::white_pages_schema;
+use bschema_core::schema::DirectorySchema;
+use bschema_core::updates::{apply_and_check, apply_and_check_with, Transaction};
+use bschema_directory::DirectoryInstance;
+use bschema_workload::{
+    OrgGenerator, OrgParams, SchemaGenerator, SchemaParams, TxGenerator, TxParams,
+};
+
+/// Thread counts exercised for the parallel engine: all cores, a couple,
+/// an odd count larger than most inputs' chunk counts.
+const THREAD_COUNTS: [usize; 3] = [0, 2, 5];
+
+/// Asserts all three checkers produce the same report for (schema, dir).
+/// Returns the agreed verdict.
+fn engines_agree(schema: &DirectorySchema, dir: &DirectoryInstance, label: &str) -> bool {
+    let sequential = LegalityChecker::new(schema).check(dir);
+    for threads in THREAD_COUNTS {
+        let parallel = LegalityChecker::new(schema)
+            .with_options(LegalityOptions::parallel(threads))
+            .check(dir);
+        assert_eq!(
+            sequential, parallel,
+            "{label}: parallel (threads={threads}) report differs from sequential.\n\
+             sequential: {sequential}\nparallel: {parallel}"
+        );
+    }
+    let naive = LegalityChecker::new(schema).check_naive(dir).normalized();
+    let normalized = sequential.clone().normalized();
+    assert_eq!(
+        normalized, naive,
+        "{label}: naive baseline disagrees.\nfast: {normalized}\nnaive: {naive}"
+    );
+    sequential.is_legal()
+}
+
+/// 168 cases: org directories across sizes, seeds, and injected-violation
+/// counts. Covers the legal fast path and mixed content + structure
+/// violation reports.
+#[test]
+fn org_directories_all_engines_agree() {
+    let schema = white_pages_schema();
+    let mut legal_cases = 0;
+    let mut illegal_cases = 0;
+    for case in 0..168u64 {
+        let size = 40 + (case as usize % 7) * 60;
+        let violations = match case % 4 {
+            0 => 0,
+            1 => 1,
+            2 => 4,
+            _ => 9,
+        };
+        let params = OrgParams {
+            target_entries: size,
+            violations,
+            seed: 1000 + case,
+            ..OrgParams::default()
+        };
+        let org = OrgGenerator::new(params).generate();
+        let legal = engines_agree(&schema, &org.dir, &format!("org case {case}"));
+        if legal {
+            legal_cases += 1;
+        } else {
+            illegal_cases += 1;
+        }
+        // Injected violations must actually be detected (oracle sanity:
+        // agreeing on "everything is legal" would be vacuous).
+        if violations > 0 {
+            assert!(!legal, "case {case}: {violations} injected violations went undetected");
+        }
+    }
+    assert!(legal_cases >= 40, "suite must exercise the legal path (got {legal_cases})");
+    assert!(illegal_cases >= 40, "suite must exercise violation reporting (got {illegal_cases})");
+}
+
+/// 60 cases: randomly generated schemas checked against their own
+/// consistency witnesses (legal) and against a mismatched org directory
+/// (dense unknown-class / structure violations).
+#[test]
+fn generated_schemas_all_engines_agree() {
+    let org =
+        OrgGenerator::new(OrgParams { target_entries: 120, seed: 77, ..OrgParams::default() })
+            .generate();
+    let mut cases = 0;
+    for seed in 0..30u64 {
+        let mut generator = SchemaGenerator::new(SchemaParams { seed, ..SchemaParams::default() });
+        let schema = if seed % 2 == 0 { generator.consistent() } else { generator.unconstrained() };
+
+        // Against the schema's own witness, when one exists.
+        if let Ok(witness) = build_witness(&schema) {
+            engines_agree(&schema, &witness, &format!("schema {seed} vs witness"));
+            cases += 1;
+        }
+
+        // Against the (mismatched) org directory: every entry violates the
+        // generated content schema somehow; all engines must report the
+        // same flood of violations.
+        engines_agree(&schema, &org.dir, &format!("schema {seed} vs org"));
+        cases += 1;
+    }
+    assert!(cases >= 45, "expected ≥45 generated-schema cases, ran {cases}");
+}
+
+/// Builds one transaction inserting `k` independent orgUnit subtrees under
+/// distinct existing units — the multi-subtree shape the batched Δ-check
+/// fans out over.
+fn multi_subtree_insertion(
+    gen: &mut TxGenerator,
+    org: &bschema_workload::org::GeneratedOrg,
+    k: usize,
+) -> Transaction {
+    let mut tx = Transaction::new();
+    for _ in 0..k {
+        // Merge each generated single-subtree tx into ours by replaying its
+        // ops with shifted op indices. (TxGenerator only produces
+        // insert_under + insert_under_new chains.)
+        let single = gen.legal_insertion(org);
+        merge_insertion(&mut tx, &single);
+    }
+    tx
+}
+
+/// Replays the insertion ops of `src` into `dst` (op indices shift).
+fn merge_insertion(dst: &mut Transaction, src: &Transaction) {
+    use bschema_core::updates::{NodeRef, TxOp};
+    let offset = dst.len();
+    for op in src.ops() {
+        match op {
+            TxOp::Insert { parent: Some(NodeRef::Existing(id)), entry } => {
+                dst.insert_under(*id, entry.clone());
+            }
+            TxOp::Insert { parent: Some(NodeRef::New(op_idx)), entry } => {
+                dst.insert_under_new(op_idx + offset, entry.clone());
+            }
+            TxOp::Insert { parent: None, entry } => {
+                dst.insert_root(entry.clone());
+            }
+            TxOp::Delete { target } => dst.delete(*target),
+        }
+    }
+}
+
+/// 64 cases: random transactions (single- and multi-subtree insertions,
+/// deletions, violating insertions) applied with the sequential per-step
+/// checker, the batched sequential checker, and the batched parallel
+/// checker. The two batched engines must produce identical reports, all
+/// verdicts must agree with a full recheck of the resulting instance, and
+/// legal workloads must keep the running directory legal.
+#[test]
+fn transactions_all_engines_agree() {
+    let schema = white_pages_schema();
+    let full = LegalityChecker::new(&schema);
+    let mut org =
+        OrgGenerator::new(OrgParams { target_entries: 260, seed: 5, ..OrgParams::default() })
+            .generate();
+    let mut gen = TxGenerator::new(TxParams { seed: 31, ..TxParams::default() });
+
+    let mut cases = 0;
+    for round in 0..64u32 {
+        let (tx, violating) = match round % 4 {
+            0 => (gen.legal_insertion(&org), false),
+            1 => (multi_subtree_insertion(&mut gen, &org, 2 + (round as usize % 3)), false),
+            2 => match gen.legal_deletion(&org, &org.dir) {
+                Some(tx) => (tx, false),
+                None => continue,
+            },
+            _ => match gen.violating_insertion(&org, &org.dir) {
+                Some(tx) => (tx, true),
+                None => continue,
+            },
+        };
+
+        // Apply to three clones, one per engine.
+        let mut d_seq_steps = org.dir.clone();
+        let mut d_seq_batch = org.dir.clone();
+        let mut d_par_batch = org.dir.clone();
+        let a_steps = apply_and_check(&schema, &mut d_seq_steps, &tx).expect("valid tx");
+        let a_seq =
+            apply_and_check_with(&schema, &mut d_seq_batch, &tx, LegalityOptions::sequential())
+                .expect("valid tx");
+        let a_par =
+            apply_and_check_with(&schema, &mut d_par_batch, &tx, LegalityOptions::parallel(0))
+                .expect("valid tx");
+
+        // The batched engines are deterministic twins.
+        assert_eq!(a_seq.report, a_par.report, "round {round}: batched reports diverged");
+        assert_eq!(a_seq.inserted_roots, a_par.inserted_roots, "round {round}");
+        assert_eq!(a_seq.removed.len(), a_par.removed.len(), "round {round}");
+        assert_eq!(a_steps.inserted_roots, a_seq.inserted_roots, "round {round}");
+
+        // Every engine's verdict equals a from-scratch recheck.
+        let ground_truth = full.check(&d_seq_batch).is_legal();
+        assert_eq!(a_seq.report.is_legal(), ground_truth, "round {round}: batched verdict");
+        assert_eq!(
+            a_steps.report.is_legal(),
+            ground_truth,
+            "round {round}: per-step verdict (single-root txs match the final instance)"
+        );
+        assert_eq!(violating, !ground_truth, "round {round}: generator contract");
+
+        // All three clones hold the same final instance.
+        assert_eq!(d_seq_steps.len(), d_par_batch.len(), "round {round}");
+        engines_agree(&schema, &d_par_batch, &format!("tx round {round} post-state"));
+
+        // Keep the running directory legal by committing only legal txs.
+        if !violating {
+            org.dir = d_seq_batch;
+        }
+        cases += 1;
+    }
+    assert!(cases >= 56, "expected ≥56 transaction cases, ran {cases}");
+}

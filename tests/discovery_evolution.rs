@@ -1,11 +1,11 @@
 //! Integration: schema discovery and schema evolution against generated
 //! directories — the §6.2 lifecycle (observe → prescribe → evolve).
 
+use bschema_core::consistency::ConsistencyChecker;
 use bschema_core::discover::{suggest_schema, DiscoveryOptions};
 use bschema_core::evolution::{evolve, Evolution};
 use bschema_core::legality::LegalityChecker;
 use bschema_core::managed::ManagedDirectory;
-use bschema_core::consistency::ConsistencyChecker;
 use bschema_workload::{OrgGenerator, OrgParams};
 use proptest::prelude::*;
 

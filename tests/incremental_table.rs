@@ -2,10 +2,10 @@
 //! a legal instance, the incremental Δ-check's verdict equals a full
 //! from-scratch legality check of the updated instance.
 
-use bschema_core::legality::LegalityChecker;
+use bschema_core::legality::{LegalityChecker, LegalityOptions, Violation};
 use bschema_core::paper::white_pages_schema_builder;
 use bschema_core::schema::{DirectorySchema, ForbidKind, RelKind};
-use bschema_core::updates::IncrementalChecker;
+use bschema_core::updates::{apply_and_check_with, IncrementalChecker, Transaction};
 use bschema_directory::{DirectoryInstance, Entry, EntryId};
 use proptest::prelude::*;
 
@@ -20,7 +20,10 @@ fn full_schema() -> DirectorySchema {
 }
 
 /// A small *legal* base instance: org → unit → persons, several units.
-fn base_instance(units: usize, persons_per_unit: usize) -> (DirectoryInstance, Vec<EntryId>, Vec<EntryId>) {
+fn base_instance(
+    units: usize,
+    persons_per_unit: usize,
+) -> (DirectoryInstance, Vec<EntryId>, Vec<EntryId>) {
     let mut dir = DirectoryInstance::white_pages();
     let org = dir.add_root_entry(
         Entry::builder().classes(["organization", "orgGroup", "top"]).attr("o", "x").build(),
@@ -32,7 +35,10 @@ fn base_instance(units: usize, persons_per_unit: usize) -> (DirectoryInstance, V
         let unit = dir
             .add_child_entry(
                 org,
-                Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", format!("u{u}")).build(),
+                Entry::builder()
+                    .classes(["orgUnit", "orgGroup", "top"])
+                    .attr("ou", format!("u{u}"))
+                    .build(),
             )
             .unwrap();
         unit_ids.push(unit);
@@ -69,10 +75,7 @@ fn entry_template(kind: u8, n: usize) -> Entry {
             .attr("ou", format!("new{n}"))
             .build(),
         // Missing required name → content violation.
-        2 => Entry::builder()
-            .classes(["person", "top"])
-            .attr("uid", format!("new{n}"))
-            .build(),
+        2 => Entry::builder().classes(["person", "top"]).attr("uid", format!("new{n}")).build(),
         // A second organization → organization ↛de organization risk.
         3 => Entry::builder()
             .classes(["organization", "orgGroup", "top"])
@@ -164,6 +167,265 @@ proptest! {
             full.is_legal(),
             "Δ-delete verdict diverged.\nincremental: {}\nfull: {}",
             incremental,
+            full
+        );
+    }
+}
+
+/// Applies `tx` with the batched checker under both engines, asserting the
+/// two reports are identical and the verdict matches a full recheck of the
+/// final instance. Returns (final instance, batched report).
+fn apply_batched_both_engines(
+    schema: &DirectorySchema,
+    base: &DirectoryInstance,
+    tx: &Transaction,
+) -> (DirectoryInstance, bschema_core::legality::LegalityReport) {
+    let mut d_seq = base.clone();
+    let mut d_par = base.clone();
+    let a_seq = apply_and_check_with(schema, &mut d_seq, tx, LegalityOptions::sequential())
+        .expect("valid transaction");
+    let a_par = apply_and_check_with(schema, &mut d_par, tx, LegalityOptions::parallel(0))
+        .expect("valid transaction");
+    assert_eq!(
+        a_seq.report, a_par.report,
+        "sequential and parallel batched engines must produce identical reports"
+    );
+    assert_eq!(a_seq.inserted_roots, a_par.inserted_roots);
+    let full = LegalityChecker::new(schema).check(&d_seq);
+    assert_eq!(
+        a_seq.report.is_legal(),
+        full.is_legal(),
+        "batched Δ verdict diverged from full recheck.\nbatched: {}\nfull: {}",
+        a_seq.report,
+        full
+    );
+    (d_seq, a_seq.report)
+}
+
+/// Figure 5, insertion column, row by row: one batched multi-subtree
+/// transaction per structural-relationship form, each violating exactly
+/// that row alongside an independent *legal* subtree (so the batch mixes
+/// verdicts). The batched Δ-check must flag the row and agree with a full
+/// recheck.
+#[test]
+fn figure5_insertion_rows_batched_match_full_recheck() {
+    let schema = full_schema();
+    let (dir, unit_ids, person_ids) = base_instance(3, 2);
+    assert!(LegalityChecker::new(&schema).check(&dir).is_legal());
+
+    let legal_person = |n: usize| entry_template(0, n);
+    let unit = |n: usize| entry_template(1, n);
+
+    // Required child (orgUnit →ch person): a new unit whose only person is
+    // a grandchild — →de satisfied, →ch violated.
+    let mut tx = Transaction::new();
+    let outer = tx.insert_under(unit_ids[0], unit(0));
+    let inner = tx.insert_under_new(outer, unit(1));
+    tx.insert_under_new(inner, legal_person(2));
+    tx.insert_under(unit_ids[1], legal_person(3)); // independent legal subtree
+    let (_, report) = apply_batched_both_engines(&schema, &dir, &tx);
+    assert!(
+        report.violations().iter().any(|v| matches!(
+            v,
+            Violation::RequiredRelViolation { kind: RelKind::Child, source, .. } if source == "orgUnit"
+        )),
+        "orgUnit →ch person row not flagged: {report}"
+    );
+
+    // Required descendant (orgGroup →de person): a new unit with no person
+    // at all (also breaks →ch; the →de row must be among the findings).
+    let mut tx = Transaction::new();
+    tx.insert_under(unit_ids[0], unit(0));
+    tx.insert_under(unit_ids[2], legal_person(1));
+    let (_, report) = apply_batched_both_engines(&schema, &dir, &tx);
+    assert!(
+        report.violations().iter().any(|v| matches!(
+            v,
+            Violation::RequiredRelViolation { kind: RelKind::Descendant, .. }
+        )),
+        "orgGroup →de person row not flagged: {report}"
+    );
+
+    // Required parent + ancestor (orgUnit →pa orgGroup, orgUnit →an
+    // organization): a unit inserted as a forest root has neither.
+    let mut tx = Transaction::new();
+    let root_unit = tx.insert_root(unit(0));
+    tx.insert_under_new(root_unit, legal_person(1));
+    tx.insert_under(unit_ids[0], legal_person(2));
+    let (_, report) = apply_batched_both_engines(&schema, &dir, &tx);
+    for kind in [RelKind::Parent, RelKind::Ancestor] {
+        assert!(
+            report.violations().iter().any(|v| matches!(
+                v,
+                Violation::RequiredRelViolation { kind: k, source, .. } if *k == kind && source == "orgUnit"
+            )),
+            "orgUnit {kind:?} row not flagged: {report}"
+        );
+    }
+
+    // Forbidden child (person ↛ch top): any entry under a person.
+    let mut tx = Transaction::new();
+    tx.insert_under(person_ids[0], legal_person(0));
+    tx.insert_under(unit_ids[0], legal_person(1));
+    let (_, report) = apply_batched_both_engines(&schema, &dir, &tx);
+    assert!(
+        report.violations().iter().any(|v| matches!(
+            v,
+            Violation::ForbiddenRelViolation { kind: ForbidKind::Child, upper, .. } if upper == "person"
+        )),
+        "person ↛ch top row not flagged: {report}"
+    );
+
+    // Forbidden descendant (organization ↛de organization): a second
+    // organization nested below the first — not a direct child, so only
+    // the descendant row fires.
+    let mut tx = Transaction::new();
+    let nested_org = tx.insert_under(
+        unit_ids[0],
+        Entry::builder().classes(["organization", "orgGroup", "top"]).attr("o", "nested").build(),
+    );
+    tx.insert_under_new(nested_org, legal_person(1));
+    let (_, report) = apply_batched_both_engines(&schema, &dir, &tx);
+    assert!(
+        report.violations().iter().any(|v| matches!(
+            v,
+            Violation::ForbiddenRelViolation { kind: ForbidKind::Descendant, upper, lower, .. }
+                if upper == "organization" && lower == "organization"
+        )),
+        "organization ↛de organization row not flagged: {report}"
+    );
+
+    // A batch of only-legal subtrees under distinct units stays legal.
+    let mut tx = Transaction::new();
+    for (i, &u) in unit_ids.iter().enumerate() {
+        let nu = tx.insert_under(u, unit(10 + i));
+        tx.insert_under_new(nu, legal_person(20 + i));
+    }
+    let (_, report) = apply_batched_both_engines(&schema, &dir, &tx);
+    assert!(report.is_legal(), "all-legal batch must pass: {report}");
+}
+
+/// Figure 5, deletion column, row by row, batched: the "no" rows (required
+/// child/descendant) and the count-based `◇c` row are re-checked after a
+/// multi-root deletion and must match a full recheck.
+#[test]
+fn figure5_deletion_rows_batched_match_full_recheck() {
+    let schema = full_schema();
+
+    // Deleting one person from each of two units (each keeping a sibling
+    // person) stays legal.
+    let (dir, _, person_ids) = base_instance(2, 2);
+    let mut tx = Transaction::new();
+    tx.delete(person_ids[0]); // unit 0 keeps person_ids[1]
+    tx.delete(person_ids[2]); // unit 1 keeps person_ids[3]
+    let (_, report) = apply_batched_both_engines(&schema, &dir, &tx);
+    assert!(report.is_legal(), "sibling-preserving deletions are legal: {report}");
+
+    // Deleting *both* persons of one unit breaks →ch and →de for it.
+    let mut tx = Transaction::new();
+    tx.delete(person_ids[0]);
+    tx.delete(person_ids[1]);
+    let (_, report) = apply_batched_both_engines(&schema, &dir, &tx);
+    for kind in [RelKind::Child, RelKind::Descendant] {
+        assert!(
+            report.violations().iter().any(|v| matches!(
+                v,
+                Violation::RequiredRelViolation { kind: k, .. } if *k == kind
+            )),
+            "required {kind:?} deletion row not flagged: {report}"
+        );
+    }
+
+    // Deleting every person breaks ◇person via the count-based test.
+    let mut tx = Transaction::new();
+    for &p in &person_ids {
+        tx.delete(p);
+    }
+    let (_, report) = apply_batched_both_engines(&schema, &dir, &tx);
+    assert!(
+        report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::MissingRequiredClass { class } if class == "person")),
+        "◇person deletion row not flagged: {report}"
+    );
+
+    // Mixed batch: an insertion repairing one unit while another unit's
+    // persons are deleted — verdicts must still track the full recheck.
+    let (dir2, _, persons2) = base_instance(2, 1);
+    let mut tx = Transaction::new();
+    tx.delete(persons2[0]); // unit 0 loses its only person...
+    let (_, report) = apply_batched_both_engines(&schema, &dir2, &tx);
+    assert!(!report.is_legal());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random batched multi-subtree transactions: under both engines the
+    /// batched Δ-check report is identical and its verdict equals a full
+    /// recheck of the final instance.
+    #[test]
+    fn batched_transactions_match_full_recheck(
+        units in 2usize..5,
+        persons in 1usize..3,
+        subtrees in proptest::collection::vec(
+            (any::<prop::sample::Index>(), proptest::collection::vec(any::<u8>(), 1..4)),
+            1..4
+        ),
+        deletions in proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
+    ) {
+        let schema = full_schema();
+        let (dir, unit_ids, person_ids) = base_instance(units, persons);
+        prop_assume!(LegalityChecker::new(&schema).check(&dir).is_legal());
+
+        // Multi-subtree insertion: each subtree is a chain of template
+        // entries anchored at a random unit or person.
+        let all: Vec<EntryId> = unit_ids.iter().chain(&person_ids).copied().collect();
+        let mut tx = Transaction::new();
+        let mut n = 0;
+        for (anchor, kinds) in &subtrees {
+            let parent = all[anchor.index(all.len())];
+            let mut prev = None;
+            for kind in kinds {
+                n += 1;
+                let entry = entry_template(*kind, n);
+                prev = Some(match prev {
+                    None => tx.insert_under(parent, entry),
+                    Some(op) => tx.insert_under_new(op, entry),
+                });
+            }
+        }
+        // Random leaf-person deletions (skipping insertion anchors, which
+        // normalisation rejects as insert-under-deleted).
+        let mut doomed: Vec<EntryId> = Vec::new();
+        for victim in &deletions {
+            let p = person_ids[victim.index(person_ids.len())];
+            if !doomed.contains(&p) {
+                doomed.push(p);
+            }
+        }
+        for &p in &doomed {
+            tx.delete(p);
+        }
+
+        let mut d_seq = dir.clone();
+        let mut d_par = dir.clone();
+        let seq = apply_and_check_with(&schema, &mut d_seq, &tx, LegalityOptions::sequential());
+        let par = apply_and_check_with(&schema, &mut d_par, &tx, LegalityOptions::parallel(0));
+        // Anchoring an insertion under a deleted person is a TxError for
+        // both engines equally; discard those draws.
+        prop_assume!(seq.is_ok());
+        let (seq, par) = (seq.unwrap(), par.expect("engines must agree on validity"));
+
+        prop_assert_eq!(&seq.report, &par.report, "engine reports diverged");
+        prop_assert_eq!(&seq.inserted_roots, &par.inserted_roots);
+        let full = LegalityChecker::new(&schema).check(&d_seq);
+        prop_assert_eq!(
+            seq.report.is_legal(),
+            full.is_legal(),
+            "batched Δ verdict diverged from full recheck.\nbatched: {}\nfull: {}",
+            seq.report,
             full
         );
     }

@@ -8,16 +8,8 @@ use bschema_query::{evaluate, EvalContext, Query};
 use bschema_workload::{OrgGenerator, OrgParams};
 use proptest::prelude::*;
 
-const CLASSES: [&str; 8] = [
-    "top",
-    "orgGroup",
-    "organization",
-    "orgUnit",
-    "person",
-    "staffMember",
-    "researcher",
-    "online",
-];
+const CLASSES: [&str; 8] =
+    ["top", "orgGroup", "organization", "orgUnit", "person", "staffMember", "researcher", "online"];
 
 fn query_strategy() -> impl Strategy<Value = Query> {
     let leaf = proptest::sample::select(&CLASSES[..]).prop_map(Query::object_class);

@@ -20,7 +20,10 @@ fn base() -> (DirectoryInstance, Vec<EntryId>, Vec<EntryId>) {
         let unit = dir
             .add_child_entry(
                 org,
-                Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", format!("u{u}")).build(),
+                Entry::builder()
+                    .classes(["orgUnit", "orgGroup", "top"])
+                    .attr("ou", format!("u{u}"))
+                    .build(),
             )
             .unwrap();
         units.push(unit);
@@ -168,11 +171,7 @@ fn op_granularity_is_not_robust_but_subtree_granularity_is() {
     // Complete the subtree: legality restored.
     dir.add_child_entry(
         unit,
-        Entry::builder()
-            .classes(["person", "top"])
-            .attr("uid", "k")
-            .attr("name", "k")
-            .build(),
+        Entry::builder().classes(["person", "top"]).attr("uid", "k").attr("name", "k").build(),
     )
     .unwrap();
     dir.prepare();

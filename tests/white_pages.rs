@@ -42,9 +42,8 @@ fn paper_queries_give_expected_answers() {
     let (dir, ids) = white_pages_instance();
     let ctx = EvalContext::new(&dir);
     // §3.2 Q1 (violating orgGroups): empty on the legal instance.
-    let q1 = Query::object_class("orgGroup").minus(
-        Query::object_class("orgGroup").with_descendant(Query::object_class("person")),
-    );
+    let q1 = Query::object_class("orgGroup")
+        .minus(Query::object_class("orgGroup").with_descendant(Query::object_class("person")));
     assert!(evaluate(&ctx, &q1).is_empty());
     // §3.2 Q2 (persons with children): empty.
     let q2 = Query::object_class("person").with_child(Query::object_class("top"));
@@ -89,7 +88,14 @@ fn every_figure1_entry_fails_if_tampered() {
         }
         let mut tampered = dir.clone();
         tampered
-            .add_child_entry(person, bschema_directory::Entry::builder().classes(["person", "top"]).attr("uid", "x").attr("name", "x").build())
+            .add_child_entry(
+                person,
+                bschema_directory::Entry::builder()
+                    .classes(["person", "top"])
+                    .attr("uid", "x")
+                    .attr("name", "x")
+                    .build(),
+            )
             .unwrap();
         tampered.prepare();
         assert!(!checker.check(&tampered).is_legal(), "person child must be caught");

@@ -1,0 +1,243 @@
+//! Vendored stand-in for the `criterion` crate (see
+//! `vendor/README.md`).
+//!
+//! Implements the harness subset the `bschema-bench` targets use:
+//! [`Criterion`], [`BenchmarkGroup`] with throughput annotations,
+//! [`BenchmarkId`], `bench_function` / `bench_with_input`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! plain median-of-samples wall-clock timer printing one line per
+//! benchmark — no statistics engine, plots, or baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Samples measured per benchmark (each sample auto-scales its
+/// iteration count to last roughly [`TARGET_SAMPLE_NANOS`]).
+const SAMPLES: usize = 11;
+/// Target wall-clock duration of one sample, in nanoseconds.
+const TARGET_SAMPLE_NANOS: u128 = 20_000_000;
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), None, f);
+        self
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label()), self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label()), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark name, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { label: name.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Times closures inside a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Measures `f`, retaining its return value to keep the work alive.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(f());
+        }
+        self.sample_nanos.push(start.elapsed().as_nanos());
+    }
+}
+
+/// An opaque wrapper preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibration pass: one iteration, to size the per-sample batch.
+    let mut calib = Bencher { iters_per_sample: 1, sample_nanos: Vec::new() };
+    f(&mut calib);
+    let per_iter = calib.sample_nanos.first().copied().unwrap_or(1).max(1);
+    let iters = ((TARGET_SAMPLE_NANOS / per_iter).clamp(1, 1_000_000)) as u64;
+
+    let mut bencher =
+        Bencher { iters_per_sample: iters, sample_nanos: Vec::with_capacity(SAMPLES) };
+    for _ in 0..SAMPLES {
+        f(&mut bencher);
+    }
+    bencher.sample_nanos.sort_unstable();
+    let median = bencher.sample_nanos[bencher.sample_nanos.len() / 2] / u128::from(iters);
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0 => {
+            format!("  ({:.0} elem/s)", n as f64 / (median as f64 / 1e9))
+        }
+        Some(Throughput::Bytes(n)) if median > 0 => {
+            format!("  ({:.0} B/s)", n as f64 / (median as f64 / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!("{label:<50} {}{rate}", fmt_nanos(median));
+}
+
+fn fmt_nanos(nanos: u128) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:>10.3} s ", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:>10.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:>10.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos:>10} ns")
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(b))
+    }
+
+    #[test]
+    fn harness_api_works_end_to_end() {
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| sum_to(black_box(100))));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("with_input", 100), &100u64, |b, &n| {
+            b.iter(|| sum_to(n))
+        });
+        group.bench_function("plain", |b| b.iter(|| sum_to(50)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fast", 1000).label(), "fast/1000");
+        assert_eq!(BenchmarkId::from_parameter(7).label(), "7");
+    }
+}

@@ -1,0 +1,906 @@
+//! Vendored stand-in for the `proptest` crate (see
+//! `vendor/README.md`).
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] macro with per-block [`ProptestConfig`], the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `prop_recursive`, [`prop_oneof!`],
+//! `Just`, `any`, and the collection / char / bits / sample strategy
+//! modules. Generation is deterministic (fixed seed per test). There is
+//! no shrinking: a failing case panics immediately with the assertion
+//! message — acceptable for CI, where the fixed seed makes every failure
+//! reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic RNG, runner, and case-level error plumbing.
+
+    /// Per-block configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: the case is skipped, not failed.
+        Reject(String),
+        /// `prop_assert!`-style failure: the test fails.
+        Fail(String),
+    }
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed generator every test block starts from.
+        pub fn deterministic() -> Self {
+            TestRng { state: 0x9D67_36A1_C432_81A7 }
+        }
+
+        /// A generator seeded with `seed`.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below() requires a non-zero bound");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Minimal runner: owns the RNG that [`new_tree`] draws from.
+    ///
+    /// [`new_tree`]: crate::strategy::Strategy::new_tree
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner with the fixed deterministic seed.
+        pub fn deterministic() -> Self {
+            TestRunner { rng: TestRng::deterministic() }
+        }
+
+        /// The underlying generator.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use std::sync::Arc;
+
+    use crate::test_runner::{TestRng, TestRunner};
+
+    /// A generated value frozen for inspection. Unlike real proptest
+    /// there is no simplify/complicate: the tree is a snapshot.
+    pub trait ValueTree {
+        /// The value type.
+        type Value;
+        /// The current (only) value of this tree.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The snapshot returned by [`Strategy::new_tree`].
+    #[derive(Debug, Clone)]
+    pub struct Snapshot<T>(pub T);
+
+    impl<T: Clone> ValueTree for Snapshot<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Draws one value wrapped in a [`ValueTree`] snapshot.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Snapshot<Self::Value>, String> {
+            Ok(Snapshot(self.generate(runner.rng())))
+        }
+
+        /// Applies `f` to every generated value.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates with `self`, then generates from the strategy `f`
+        /// returns.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Retains only values satisfying `pred`, retrying internally.
+        fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, whence: whence.into(), pred }
+        }
+
+        /// Builds recursive values: `recurse` receives a strategy for the
+        /// previous level and returns the next level; nesting is bounded
+        /// by `depth` levels above the leaf (`self`). The `_desired_size`
+        /// and `_expected_branch_size` hints are accepted for API
+        /// compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf: BoxedStrategy<Self::Value> = self.boxed();
+            let mut level = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(level.clone()).boxed();
+                // At each level, lean toward recursion so trees of the
+                // full permitted depth actually occur.
+                level = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+            }
+            level
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// A reference-counted, type-erased strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {}", self.whence);
+        }
+    }
+
+    /// Weighted choice between strategies of one value type — the
+    /// engine behind [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// A union of `(weight, strategy)` alternatives.
+        pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            let total = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_u64() % self.total;
+            for (weight, strat) in &self.options {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strat.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick within total")
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `&'static str` strategies: a simplified regex of the form
+    /// `[class]{m,n}` (character class with ranges and literals, bounded
+    /// repetition). This covers every pattern used in this workspace.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_simple_regex(self);
+            let len = lo + rng.below(hi - lo + 1);
+            (0..len).map(|_| alphabet[rng.below(alphabet.len())]).collect()
+        }
+    }
+
+    fn unsupported(pattern: &str) -> ! {
+        panic!("unsupported regex strategy {pattern:?}: only `[class]{{m,n}}` is implemented");
+    }
+
+    fn parse_simple_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+        let rest = pattern.strip_prefix('[').unwrap_or_else(|| unsupported(pattern));
+        let (class, rest) = rest.split_once(']').unwrap_or_else(|| unsupported(pattern));
+        let counts = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| unsupported(pattern));
+        let parse_count =
+            |s: &str| -> usize { s.trim().parse().unwrap_or_else(|_| unsupported(pattern)) };
+        let (lo, hi) = match counts.split_once(',') {
+            Some((a, b)) => (parse_count(a), parse_count(b)),
+            None => {
+                let n = parse_count(counts);
+                (n, n)
+            }
+        };
+        assert!(lo <= hi, "bad repetition in regex strategy {pattern:?}");
+        let chars: Vec<char> = class.chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (a, b) = (chars[i], chars[i + 2]);
+                assert!(a <= b, "bad class range in regex strategy {pattern:?}");
+                for c in a..=b {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty class in regex strategy {pattern:?}");
+        (alphabet, lo, hi)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn regex_strategies_cover_class_and_counts() {
+            let mut rng = TestRng::deterministic();
+            for _ in 0..200 {
+                let s = "[a-z0-9 .@-]{1,30}".generate(&mut rng);
+                assert!((1..=30).contains(&s.chars().count()), "{s:?}");
+                assert!(s
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || " .@-".contains(c)));
+                let t = "[a-z]{0,10}".generate(&mut rng);
+                assert!(t.chars().count() <= 10);
+            }
+        }
+
+        #[test]
+        fn union_respects_weights() {
+            let u = Union::new(vec![(1, Just(0u8).boxed()), (9, Just(1u8).boxed())]);
+            let mut rng = TestRng::deterministic();
+            let ones = (0..1000).filter(|_| u.generate(&mut rng) == 1).count();
+            assert!(ones > 700, "weight-9 arm drawn only {ones}/1000 times");
+        }
+
+        #[test]
+        fn recursive_strategies_terminate() {
+            #[derive(Clone, Debug)]
+            enum Tree {
+                Leaf,
+                Node(Box<Tree>, Box<Tree>),
+            }
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf => 0,
+                    Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+                }
+            }
+            let strat = Just(Tree::Leaf).prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+            let mut rng = TestRng::deterministic();
+            let max = (0..500).map(|_| depth(&strat.generate(&mut rng))).max().unwrap();
+            assert!(max <= 3, "depth bound violated: {max}");
+            assert!(max >= 2, "recursion never fired");
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// That strategy's type.
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Strategy backing [`any`] for primitives.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyPrimitive<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive(std::marker::PhantomData)
+        }
+    }
+
+    /// Strategy for `Option<T>`: `None` one time in four.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyOption<S>(S);
+
+    impl<S: Strategy> Strategy for AnyOption<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        type Strategy = AnyOption<T::Strategy>;
+        fn arbitrary() -> Self::Strategy {
+            AnyOption(T::arbitrary())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Vec` of values from `element`, with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below(self.len.end - self.len.start);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod char {
+    //! Character strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from the inclusive `[lo, hi]` scalar-value range.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange { lo, hi }
+    }
+
+    /// See [`range`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: char,
+        hi: char,
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            let (lo, hi) = (self.lo as u32, self.hi as u32);
+            // Rejection-sample past the surrogate gap.
+            loop {
+                let v = lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod bits {
+    //! Bit-oriented strategies.
+
+    /// `u8` bit patterns.
+    pub mod u8 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy type of [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyU8;
+
+        /// All 8-bit patterns, uniformly.
+        pub const ANY: AnyU8 = AnyU8;
+
+        impl Strategy for AnyU8 {
+            type Value = u8;
+            fn generate(&self, rng: &mut TestRng) -> u8 {
+                rng.next_u64() as u8
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies: `select` and `Index`.
+
+    use crate::arbitrary::Arbitrary;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed option list (cloned out of `options`).
+    pub fn select<T: Clone>(options: &[T]) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options: options.to_vec() }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+
+    /// A positional pick applicable to any non-empty collection length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// This pick reduced modulo `len`.
+        ///
+        /// # Panics
+        /// If `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index() requires a non-empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Strategy backing `any::<Index>()`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyIndex;
+
+    impl Strategy for AnyIndex {
+        type Value = Index;
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyIndex;
+        fn arbitrary() -> Self::Strategy {
+            AnyIndex
+        }
+    }
+}
+
+/// The `prop::` alias used inside `proptest!` bodies
+/// (`any::<prop::sample::Index>()`).
+pub mod prop {
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! The standard glob import.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            let strategies = ($($strat,)+);
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                if attempts > config.cases.saturating_mul(20).saturating_add(1_000) {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                        stringify!($name), accepted, config.cases,
+                    );
+                }
+                let generated = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    let ($($pat,)+) = generated;
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                };
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} failed (case {}):\n{}", stringify!($name), accepted, msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left, right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+            left, right, format!($($fmt)*),
+        );
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left,
+        );
+    }};
+}
+
+/// Skips (does not fail) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_owned(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_values_respect_strategies(
+            n in 3usize..17,
+            v in crate::collection::vec(0u8..4, 1..5),
+            pick in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 4));
+            prop_assert!(pick.index(n) < n);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u8..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_cases_panic_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[allow(unused)]
+                fn inner(x in 0u8..4) {
+                    prop_assert!(x > 100, "x was only {}", x);
+                }
+            }
+            inner();
+        });
+        let err = result.expect_err("expected a panic");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("x was only"), "{msg}");
+    }
+
+    #[test]
+    fn new_tree_snapshots_values() {
+        use crate::strategy::{Just, Strategy, ValueTree};
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        let tree = Just(41u8).prop_map(|x| x + 1).new_tree(&mut runner).unwrap();
+        assert_eq!(tree.current(), 42);
+    }
+}

@@ -1,0 +1,132 @@
+//! Vendored stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: a seeded [`rngs::StdRng`]
+//! built on SplitMix64, [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt`] extension trait with `random_bool` / `random_range`.
+//! Deterministic by construction — exactly what seeded workload
+//! generators want.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// A generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types uniformly sampleable from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Maps one random word into `[range.start, range.end)`.
+    fn sample_from(range: core::ops::Range<Self>, raw: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(range: core::ops::Range<Self>, raw: u64) -> Self {
+                assert!(
+                    range.start < range.end,
+                    "random_range requires a non-empty range"
+                );
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let off = (raw as u128) % span;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The convenience sampling methods the workload generators use.
+pub trait RngExt: RngCore {
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniform draw from the half-open `range`.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_from(range, self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seeded generator: SplitMix64. Not cryptographic —
+    /// statistical quality only, which is all the benchmarks need.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<usize> = (0..16).map(|_| a.random_range(0..1000)).collect();
+        let ys: Vec<usize> = (0..16).map(|_| b.random_range(0..1000)).collect();
+        let zs: Vec<usize> = (0..16).map(|_| c.random_range(0..1000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+}
