@@ -19,8 +19,22 @@ use bschema_core::updates::{
     deletion_needs_recheck, insertion_delta_query, insertion_delta_query_forbidden,
     IncrementalChecker,
 };
+use bschema_obs::Recorder;
 use bschema_query::{evaluate, evaluate_naive, EvalContext, Query};
 use bschema_workload::{SchemaGenerator, SchemaParams, TxGenerator, TxParams};
+
+/// Emits one machine-readable `BENCH_JSON {...}` line carrying the
+/// engine counters collected by an (untimed) instrumented pass, so the
+/// measured timings above it can be correlated with operation counts —
+/// entries content-checked, Figure 4 queries evaluated, Δ-queries per
+/// Figure 5 row — without re-deriving them from the instance.
+fn emit_bench_json(experiment: &str, n: usize, recorder: &Recorder) {
+    println!(
+        "BENCH_JSON {{\"experiment\":{},\"n\":{n},\"metrics\":{}}}",
+        bschema_obs::json::escape(experiment),
+        recorder.to_json()
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -187,6 +201,13 @@ fn exp_t31(sizes: &[usize], runs: usize) {
             pairwise.map_or("-".to_owned(), |p| format!("{:.1}x", p / fast)),
             legal.to_string(),
         ]);
+
+        let recorder = Recorder::new();
+        LegalityChecker::new(&schema)
+            .with_options(LegalityOptions::parallel(0))
+            .with_probe(&recorder)
+            .check(&org.dir);
+        emit_bench_json("t31", n, &recorder);
     }
     println!("{}", table.render());
 }
@@ -266,6 +287,9 @@ fn exp_t42(sizes: &[usize], runs: usize) {
         assert!(full.check(&org.dir).is_legal(), "insertion fixture must stay legal");
         let ins_delta = time_median_us(runs, || incremental.check_insertion(&org.dir, root));
         let ins_full = time_median_us(runs, || full.check(&org.dir));
+        let recorder = Recorder::new();
+        IncrementalChecker::new(&schema).with_probe(&recorder).check_insertion(&org.dir, root);
+        emit_bench_json("t42.insert", n, &recorder);
 
         // Deletion: remove one safely-deletable person, then time both
         // checks on the post-delete instance.
@@ -283,6 +307,9 @@ fn exp_t42(sizes: &[usize], runs: usize) {
         assert!(full.check(&org.dir).is_legal(), "deletion fixture must stay legal");
         let del_delta = time_median_us(runs, || incremental.check_deletion(&org.dir, &removed));
         let del_full = time_median_us(runs, || full.check(&org.dir));
+        let recorder = Recorder::new();
+        IncrementalChecker::new(&schema).with_probe(&recorder).check_deletion(&org.dir, &removed);
+        emit_bench_json("t42.delete", n, &recorder);
 
         table.row([
             n.to_string(),

@@ -77,16 +77,7 @@ impl Table {
     }
 }
 
-/// Formats microseconds human-readably.
-pub fn fmt_us(us: f64) -> String {
-    if us >= 1e6 {
-        format!("{:.2}s", us / 1e6)
-    } else if us >= 1e3 {
-        format!("{:.2}ms", us / 1e3)
-    } else {
-        format!("{us:.1}µs")
-    }
-}
+pub use bschema_obs::fmt_us;
 
 /// Standard instance sizes used across experiments.
 pub const SIZES: [usize; 5] = [100, 300, 1_000, 3_000, 10_000];

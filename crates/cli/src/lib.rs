@@ -7,6 +7,9 @@
 //! ```text
 //! bschema check-schema <schema.bs>                  consistency + ◇∅ proof
 //! bschema validate <schema.bs> <data.ldif>          legality report with DNs
+//! bschema check <data.ldif> <schema.bs>             legality with --trace/--metrics
+//! bschema apply <schema.bs> <data.ldif> <tx.ldif>   managed transaction, rollback on illegal
+//! bschema consistency <schema.bs>                   consistency with --trace/--metrics
 //! bschema witness <schema.bs>                       construct a legal example instance
 //! bschema search <data.ldif> --filter F [--base DN] [--scope base|one|sub] [--schema S]
 //! bschema print-schema <schema.bs>                  parse + normalise the DSL
@@ -14,20 +17,30 @@
 //! bschema suggest-schema <data.ldif>                mine a schema from data (§6.2)
 //! ```
 //!
+//! The instrumented commands (`check`, `apply`, `consistency`) accept
+//! `--trace` (hierarchical span tree of the check) and `--metrics` /
+//! `--metrics=json` (engine counters and timing histograms; the JSON form
+//! is emitted as the **last** output line so scripts can `tail -n 1`).
+//!
 //! Exit codes: 0 success / legal / consistent; 1 illegal or inconsistent;
 //! 2 usage or input error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use bschema_core::consistency::{build_witness, ConsistencyChecker};
 use bschema_core::evolution::{self, Evolution};
-use bschema_core::legality::LegalityChecker;
+use bschema_core::legality::{LegalityChecker, LegalityOptions};
+use bschema_core::managed::{ManagedDirectory, ManagedError};
 use bschema_core::schema::dsl::{parse_schema, print_schema, ParsedSchema};
 use bschema_core::schema::{ForbidKind, RelKind};
+use bschema_core::updates::Transaction;
 use bschema_directory::{ldif, DirectoryInstance};
+use bschema_obs::Recorder;
 use bschema_query::{parse_filter, search, SearchRequest, SearchScope};
 
 /// A CLI failure: message plus process exit code.
@@ -60,6 +73,9 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
     match command.as_str() {
         "check-schema" => check_schema(&args[1..], out),
         "validate" => validate(&args[1..], out),
+        "check" => cmd_check(&args[1..], out),
+        "apply" => cmd_apply(&args[1..], out),
+        "consistency" => cmd_consistency(&args[1..], out),
         "witness" => witness(&args[1..], out),
         "search" => cmd_search(&args[1..], out),
         "print-schema" => cmd_print_schema(&args[1..], out),
@@ -80,6 +96,9 @@ bschema — bounding-schemas for LDAP directories (EDBT 2000)
 usage:
   bschema check-schema <schema.bs>
   bschema validate <schema.bs> <data.ldif>
+  bschema check <data.ldif> <schema.bs> [--sequential] [--trace] [--metrics[=json]]
+  bschema apply <schema.bs> <data.ldif> <tx.ldif> [--sequential] [--trace] [--metrics[=json]]
+  bschema consistency <schema.bs> [--trace] [--metrics[=json]]
   bschema witness <schema.bs>
   bschema search <data.ldif> --filter <rfc2254> [--base <dn>] [--scope base|one|sub] [--schema <schema.bs>]
   bschema print-schema <schema.bs>
@@ -161,6 +180,233 @@ fn validate(args: &[String], out: &mut String) -> Result<i32, CliError> {
         }
         Ok(1)
     }
+}
+
+/// How `--metrics` output should be rendered.
+#[derive(Clone, Copy)]
+enum MetricsFormat {
+    Text,
+    Json,
+}
+
+/// Observability flags shared by `check`, `apply`, and `consistency`.
+#[derive(Default)]
+struct ObsOpts {
+    trace: bool,
+    metrics: Option<MetricsFormat>,
+}
+
+impl ObsOpts {
+    /// Consumes `arg` if it is an observability flag.
+    fn accept(&mut self, arg: &str) -> bool {
+        match arg {
+            "--trace" => self.trace = true,
+            "--metrics" => self.metrics = Some(MetricsFormat::Text),
+            "--metrics=json" => self.metrics = Some(MetricsFormat::Json),
+            _ => return false,
+        }
+        true
+    }
+
+    fn wanted(&self) -> bool {
+        self.trace || self.metrics.is_some()
+    }
+
+    /// Emits the collected trace and metrics. The JSON form goes last so
+    /// the final output line is always the one machine-readable object.
+    fn emit(&self, recorder: &Recorder, out: &mut String) {
+        if self.trace {
+            out.push_str(&recorder.trace_text());
+        }
+        match self.metrics {
+            Some(MetricsFormat::Text) => out.push_str(&recorder.metrics_text()),
+            Some(MetricsFormat::Json) => {
+                let _ = writeln!(out, "{}", recorder.to_json());
+            }
+            None => {}
+        }
+    }
+}
+
+fn cmd_check(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut obs = ObsOpts::default();
+    let mut sequential = false;
+    let mut positional: Vec<&str> = Vec::new();
+    for arg in args {
+        if obs.accept(arg) {
+            continue;
+        }
+        match arg.as_str() {
+            "--sequential" => sequential = true,
+            path if !path.starts_with("--") => positional.push(path),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let [ldif_path, schema_path] = positional[..] else {
+        return Err(usage_error("check takes <data.ldif> <schema.bs>"));
+    };
+    let parsed = load_schema(schema_path)?;
+    let dir = load_ldif(ldif_path, Some(&parsed))?;
+    let options =
+        if sequential { LegalityOptions::sequential() } else { LegalityOptions::parallel(0) };
+    let recorder = Recorder::new();
+    let report = LegalityChecker::new(&parsed.schema)
+        .with_options(options)
+        .with_probe(&recorder)
+        .check(&dir);
+    let _ = writeln!(
+        out,
+        "{} entries checked against {:?}",
+        dir.len(),
+        parsed.schema.name().unwrap_or("unnamed")
+    );
+    let code = if report.is_legal() {
+        let _ = writeln!(out, "LEGAL");
+        0
+    } else {
+        let _ = writeln!(out, "ILLEGAL: {} violation(s)", report.len());
+        for v in report.violations() {
+            let location = v
+                .entry()
+                .and_then(|id| dir.dn(id).ok())
+                .map(|dn| format!(" [dn: {dn}]"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "  - {v}{location}");
+        }
+        1
+    };
+    obs.emit(&recorder, out);
+    Ok(code)
+}
+
+/// Builds an insertion/deletion transaction from LDIF records. A record
+/// with `changetype: delete` deletes the named subtree; any other record
+/// is an insertion, attached to its parent DN — which may be an existing
+/// entry or an earlier insertion in the same transaction.
+fn build_transaction(dir: &DirectoryInstance, text: &str) -> Result<Transaction, CliError> {
+    let records = ldif::parse_ldif(text).map_err(|e| usage_error(format!("transaction: {e}")))?;
+    let mut tx = Transaction::new();
+    let mut pending: HashMap<String, usize> = HashMap::new();
+    for mut rec in records {
+        if rec.entry.first_value("changetype").is_some_and(|c| c.eq_ignore_ascii_case("delete")) {
+            let id = dir.lookup_dn(&rec.dn).ok_or_else(|| {
+                usage_error(format!(
+                    "line {}: cannot delete {:?}: no such entry",
+                    rec.line,
+                    rec.dn.to_normalized_string()
+                ))
+            })?;
+            tx.delete(id);
+            continue;
+        }
+        rec.entry.remove_attribute("changetype");
+        let op = match rec.dn.parent() {
+            Some(parent) if !parent.is_root() => {
+                if let Some(id) = dir.lookup_dn(&parent) {
+                    tx.insert_under(id, rec.entry)
+                } else if let Some(&parent_op) = pending.get(&parent.to_normalized_string()) {
+                    tx.insert_under_new(parent_op, rec.entry)
+                } else {
+                    return Err(usage_error(format!(
+                        "line {}: parent of {:?} is neither in the directory nor earlier in the transaction",
+                        rec.line,
+                        rec.dn.to_normalized_string()
+                    )));
+                }
+            }
+            _ => tx.insert_root(rec.entry),
+        };
+        pending.insert(rec.dn.to_normalized_string(), op);
+    }
+    Ok(tx)
+}
+
+fn cmd_apply(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut obs = ObsOpts::default();
+    let mut sequential = false;
+    let mut positional: Vec<&str> = Vec::new();
+    for arg in args {
+        if obs.accept(arg) {
+            continue;
+        }
+        match arg.as_str() {
+            "--sequential" => sequential = true,
+            path if !path.starts_with("--") => positional.push(path),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let [schema_path, ldif_path, tx_path] = positional[..] else {
+        return Err(usage_error("apply takes <schema.bs> <data.ldif> <tx.ldif>"));
+    };
+    let parsed = load_schema(schema_path)?;
+    let dir = load_ldif(ldif_path, Some(&parsed))?;
+    let options =
+        if sequential { LegalityOptions::sequential() } else { LegalityOptions::parallel(0) };
+    let recorder = Arc::new(Recorder::new());
+    let mut managed = ManagedDirectory::with_instance(parsed.schema.clone(), dir)
+        .map_err(|e| CliError { message: e.to_string(), code: 1 })?
+        .with_options(options);
+    if obs.wanted() {
+        managed = managed.with_probe(recorder.clone());
+    }
+    let tx = build_transaction(managed.instance(), &read_file(tx_path)?)?;
+    let code = match managed.apply(&tx) {
+        Ok(()) => {
+            let _ = writeln!(
+                out,
+                "APPLIED: {} op(s); directory now has {} entries (legal)",
+                tx.len(),
+                managed.len()
+            );
+            0
+        }
+        Err(ManagedError::RolledBack(report)) => {
+            let _ = writeln!(out, "ROLLED BACK: {} violation(s)", report.len());
+            for v in report.violations() {
+                let _ = writeln!(out, "  - {v}");
+            }
+            1
+        }
+        Err(e) => return Err(CliError { message: e.to_string(), code: 2 }),
+    };
+    obs.emit(&recorder, out);
+    Ok(code)
+}
+
+fn cmd_consistency(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut obs = ObsOpts::default();
+    let mut positional: Vec<&str> = Vec::new();
+    for arg in args {
+        if obs.accept(arg) {
+            continue;
+        }
+        match arg.as_str() {
+            path if !path.starts_with("--") => positional.push(path),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let [path] = positional[..] else {
+        return Err(usage_error("consistency takes exactly one schema file"));
+    };
+    let parsed = load_schema(path)?;
+    let recorder = Recorder::new();
+    let verdict = ConsistencyChecker::new(&parsed.schema).with_probe(&recorder).check();
+    let _ = writeln!(
+        out,
+        "schema {:?}: closure {} elements",
+        parsed.schema.name().unwrap_or("unnamed"),
+        verdict.closure_size()
+    );
+    let code = if verdict.is_consistent() {
+        let _ = writeln!(out, "CONSISTENT");
+        0
+    } else {
+        let _ = writeln!(out, "INCONSISTENT");
+        let _ = writeln!(out, "{}", verdict.explain_inconsistency().unwrap_or_default());
+        1
+    };
+    obs.emit(&recorder, out);
+    Ok(code)
 }
 
 fn witness(args: &[String], out: &mut String) -> Result<i32, CliError> {
@@ -506,6 +752,84 @@ name: a
         assert!(parsed.schema.classes().len() > 1);
         // Mined regularity: the person under the org needs its org ancestor.
         assert!(body.contains("require person"), "{body}");
+    }
+
+    #[test]
+    fn check_emits_trace_and_json_metrics() {
+        let schema = write_tmp("s9.bs", SCHEMA);
+        let data = write_tmp("d9.ldif", LDIF);
+        let (code, out) = run_ok(&["check", &data, &schema, "--trace", "--metrics=json"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("LEGAL"));
+        assert!(out.contains("legality.check"), "span tree missing: {out}");
+        let last = out.lines().last().unwrap();
+        assert!(bschema_obs::json::is_valid(last), "last line is not JSON: {last}");
+        assert!(last.contains("\"legality.entries_content_checked\":2"), "{last}");
+        assert!(last.contains("\"legality.structure_queries\""), "{last}");
+        assert!(last.contains("\"spans\""), "{last}");
+    }
+
+    #[test]
+    fn check_metrics_text_and_sequential() {
+        let schema = write_tmp("s10.bs", SCHEMA);
+        let data = write_tmp("d10.ldif", LDIF);
+        let (code, out) = run_ok(&["check", &data, &schema, "--sequential", "--metrics"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("legality.entries_content_checked"), "{out}");
+    }
+
+    #[test]
+    fn apply_reports_delta_queries_and_rollback() {
+        let schema = write_tmp("s11.bs", SCHEMA);
+        let data = write_tmp("d11.ldif", LDIF);
+        // Legal insertion: a second person under the org.
+        let tx = write_tmp(
+            "t11.ldif",
+            "dn: uid=b,o=acme\nobjectClass: person\nobjectClass: top\nuid: b\nname: b\n",
+        );
+        let (code, out) = run_ok(&["apply", &schema, &data, &tx, "--metrics=json"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("APPLIED"), "{out}");
+        let last = out.lines().last().unwrap();
+        assert!(bschema_obs::json::is_valid(last), "{last}");
+        assert!(last.contains("incremental.delta_query."), "{last}");
+        assert!(last.contains("\"managed.tx_applied\":1"), "{last}");
+
+        // Illegal insertion (person under person) rolls back with diagnostics.
+        let bad = write_tmp(
+            "t11b.ldif",
+            "dn: uid=c,uid=a,o=acme\nobjectClass: person\nobjectClass: top\nuid: c\nname: c\n",
+        );
+        let (code, out) = run_ok(&["apply", &schema, &data, &bad, "--metrics=json"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("ROLLED BACK"), "{out}");
+        assert!(out.contains("forbidden"), "diagnostics survived rollback: {out}");
+        let last = out.lines().last().unwrap();
+        assert!(last.contains("\"managed.tx_rolled_back\":1"), "{last}");
+    }
+
+    #[test]
+    fn apply_supports_changetype_delete() {
+        let schema = write_tmp("s12.bs", SCHEMA);
+        let data = write_tmp("d12.ldif", LDIF);
+        // Deleting the only person violates require-class person → rollback.
+        let tx = write_tmp("t12.ldif", "dn: uid=a,o=acme\nchangetype: delete\n");
+        let (code, out) = run_ok(&["apply", &schema, &data, &tx]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("ROLLED BACK"), "{out}");
+    }
+
+    #[test]
+    fn consistency_emits_rule_counters() {
+        let schema = write_tmp("s13.bs", SCHEMA);
+        let (code, out) = run_ok(&["consistency", &schema, "--trace", "--metrics=json"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("CONSISTENT"));
+        assert!(out.contains("consistency.check"), "{out}");
+        let last = out.lines().last().unwrap();
+        assert!(bschema_obs::json::is_valid(last), "{last}");
+        assert!(last.contains("\"consistency.rule.schema\":3"), "{last}");
+        assert!(last.contains("\"consistency.closure_size\""), "{last}");
     }
 
     #[test]

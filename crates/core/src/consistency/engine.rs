@@ -171,26 +171,41 @@ impl<'s> ConsistencyResult<'s> {
 #[derive(Debug, Clone, Copy)]
 pub struct ConsistencyChecker<'s> {
     schema: &'s DirectorySchema,
+    probe: &'s dyn bschema_obs::Probe,
 }
 
 impl<'s> ConsistencyChecker<'s> {
     /// A checker for `schema`.
     pub fn new(schema: &'s DirectorySchema) -> Self {
-        ConsistencyChecker { schema }
+        ConsistencyChecker { schema, probe: bschema_obs::noop() }
+    }
+
+    /// Attaches an instrumentation probe counting inference-rule firings
+    /// (`consistency.rule.<name>`). The closure and verdict are unchanged.
+    pub fn with_probe(mut self, probe: &'s dyn bschema_obs::Probe) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Computes the closure and the consistency verdict.
     pub fn check(&self) -> ConsistencyResult<'s> {
-        let mut engine = Engine::new(self.schema);
+        let probe = self.probe;
+        let span = probe.span_start(bschema_obs::NO_SPAN, "consistency.check", 0);
+        let mut engine = Engine::new(self.schema).with_probe(probe);
         engine.seed();
         engine.run();
         let consistent = !engine.derived.contains_key(&Element::bottom());
+        if probe.enabled() {
+            probe.observe("consistency.closure_size", engine.derived.len() as u64);
+        }
+        probe.span_end(span);
         ConsistencyResult { schema: self.schema, derived: engine.derived, consistent }
     }
 }
 
 struct Engine<'s> {
     schema: &'s DirectorySchema,
+    probe: &'s dyn bschema_obs::Probe,
     derived: HashMap<Element, Derivation>,
     work: VecDeque<Element>,
     /// `◇` facts present.
@@ -219,6 +234,7 @@ impl<'s> Engine<'s> {
         }
         Engine {
             schema,
+            probe: bschema_obs::noop(),
             derived: HashMap::new(),
             work: VecDeque::new(),
             req: HashSet::new(),
@@ -234,6 +250,11 @@ impl<'s> Engine<'s> {
 
     fn with_subclasses(mut self, subclasses: HashMap<ClassId, Vec<ClassId>>) -> Self {
         self.subclasses = subclasses;
+        self
+    }
+
+    fn with_probe(mut self, probe: &'s dyn bschema_obs::Probe) -> Self {
+        self.probe = probe;
         self
     }
 
@@ -263,15 +284,22 @@ impl<'s> Engine<'s> {
 
     /// Records a class-tree leaf fact so proof trees can resolve it.
     fn leaf(&mut self, element: Element) -> Element {
-        self.derived
-            .entry(element)
-            .or_insert_with(|| Derivation { rule: rules::CLASS_SCHEMA, premises: Vec::new() });
+        if !self.derived.contains_key(&element) {
+            if self.probe.enabled() {
+                self.probe.add_labeled("consistency.rule", rules::CLASS_SCHEMA, 1);
+            }
+            self.derived
+                .insert(element, Derivation { rule: rules::CLASS_SCHEMA, premises: Vec::new() });
+        }
         element
     }
 
     fn add(&mut self, element: Element, rule: &'static str, premises: Vec<Element>) {
         if self.derived.contains_key(&element) {
             return;
+        }
+        if self.probe.enabled() {
+            self.probe.add_labeled("consistency.rule", rule, 1);
         }
         self.derived.insert(element, Derivation { rule, premises });
         match element {

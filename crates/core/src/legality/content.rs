@@ -114,15 +114,21 @@ pub fn check_instance(
     schema: &DirectorySchema,
     dir: &DirectoryInstance,
     validate_values: bool,
+    probe: &dyn bschema_obs::Probe,
     out: &mut Vec<Violation>,
 ) {
+    let mut checked: u64 = 0;
     for (id, entry) in dir.iter() {
         check_entry(schema, id, entry, out);
+        checked += 1;
         if validate_values {
             if let Err(e) = dir.validate_entry_values(id) {
                 out.push(Violation::ValueViolation { entry: id, message: e.to_string() });
             }
         }
+    }
+    if probe.enabled() {
+        probe.add("legality.entries_content_checked", checked);
     }
 }
 
@@ -244,10 +250,14 @@ pub fn check_instance_parallel(
     dir: &DirectoryInstance,
     validate_values: bool,
     threads: usize,
+    probe: &dyn bschema_obs::Probe,
+    parent: bschema_obs::SpanId,
     out: &mut Vec<Violation>,
 ) {
     let entries: Vec<(EntryId, &Entry)> = dir.iter().collect();
-    let found = bschema_parallel::par_flat_map_chunks(&entries, threads, |chunk| {
+    let found = bschema_parallel::par_flat_map_chunks_indexed(&entries, threads, |i, chunk| {
+        let span = probe.span_start(parent, "chunk", i as u64);
+        let started = probe.enabled().then(std::time::Instant::now);
         let mut cache: HashMap<&[String], SignatureChecks> = HashMap::new();
         let mut local = Vec::new();
         for &(id, entry) in chunk {
@@ -261,6 +271,12 @@ pub fn check_instance_parallel(
                 }
             }
         }
+        if let Some(start) = started {
+            probe.add("legality.entries_content_checked", chunk.len() as u64);
+            probe.add("parallel.chunks", 1);
+            probe.observe("parallel.chunk_us", start.elapsed().as_micros() as u64);
+        }
+        probe.span_end(span);
         local
     });
     out.extend(found);
@@ -427,7 +443,7 @@ mod tests {
         let schema = white_pages_schema();
         let (dir, _) = crate::paper::white_pages_instance();
         let mut out = Vec::new();
-        check_instance(&schema, &dir, true, &mut out);
+        check_instance(&schema, &dir, true, bschema_obs::noop(), &mut out);
         assert_eq!(out, [], "Figure 1 must satisfy the Figures 2-3 content schema");
     }
 }

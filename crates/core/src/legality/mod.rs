@@ -56,13 +56,19 @@ pub struct LegalityChecker<'s> {
     schema: &'s DirectorySchema,
     validate_values: bool,
     options: LegalityOptions,
+    probe: &'s dyn bschema_obs::Probe,
 }
 
 impl<'s> LegalityChecker<'s> {
     /// A checker for `schema` with value validation off (the paper's
     /// Definition 2.7 checks only).
     pub fn new(schema: &'s DirectorySchema) -> Self {
-        LegalityChecker { schema, validate_values: false, options: LegalityOptions::default() }
+        LegalityChecker {
+            schema,
+            validate_values: false,
+            options: LegalityOptions::default(),
+            probe: bschema_obs::noop(),
+        }
     }
 
     /// Also validate value syntaxes and single-value restrictions
@@ -75,6 +81,14 @@ impl<'s> LegalityChecker<'s> {
     /// Selects the execution engine (sequential or data-parallel).
     pub fn with_options(mut self, options: LegalityOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Attaches an instrumentation probe (spans + counters). Checking
+    /// behaviour and reports are unchanged; the default probe is a
+    /// no-op.
+    pub fn with_probe(mut self, probe: &'s dyn bschema_obs::Probe) -> Self {
+        self.probe = probe;
         self
     }
 
@@ -96,23 +110,40 @@ impl<'s> LegalityChecker<'s> {
     /// [`LegalityOptions::parallel`] the same work is fanned out over
     /// worker threads; the report is identical either way.
     pub fn check(&self, dir: &DirectoryInstance) -> LegalityReport {
+        let probe = self.probe;
+        let root = probe.span_start(bschema_obs::NO_SPAN, "legality.check", 0);
         let mut out = Vec::new();
         if self.options.parallel {
             let threads = self.options.threads;
+            let span = probe.span_start(root, "content", 0);
             content::check_instance_parallel(
                 self.schema,
                 dir,
                 self.validate_values,
                 threads,
+                probe,
+                span,
                 &mut out,
             );
+            probe.span_end(span);
+            let span = probe.span_start(root, "keys", 1);
             keys::check_instance(self.schema, dir, &mut out);
-            structure::check_instance_parallel(self.schema, dir, threads, &mut out);
+            probe.span_end(span);
+            let span = probe.span_start(root, "structure", 2);
+            structure::check_instance_parallel(self.schema, dir, threads, probe, &mut out);
+            probe.span_end(span);
         } else {
-            content::check_instance(self.schema, dir, self.validate_values, &mut out);
+            let span = probe.span_start(root, "content", 0);
+            content::check_instance(self.schema, dir, self.validate_values, probe, &mut out);
+            probe.span_end(span);
+            let span = probe.span_start(root, "keys", 1);
             keys::check_instance(self.schema, dir, &mut out);
-            structure::check_instance(self.schema, dir, &mut out);
+            probe.span_end(span);
+            let span = probe.span_start(root, "structure", 2);
+            structure::check_instance(self.schema, dir, probe, &mut out);
+            probe.span_end(span);
         }
+        probe.span_end(root);
         LegalityReport::from_violations(out)
     }
 
@@ -121,7 +152,7 @@ impl<'s> LegalityChecker<'s> {
     /// and a differential oracle.
     pub fn check_naive(&self, dir: &DirectoryInstance) -> LegalityReport {
         let mut out = Vec::new();
-        content::check_instance(self.schema, dir, self.validate_values, &mut out);
+        content::check_instance(self.schema, dir, self.validate_values, self.probe, &mut out);
         keys::check_instance(self.schema, dir, &mut out);
         naive::check_instance(self.schema, dir, &mut out);
         LegalityReport::from_violations(out)
@@ -132,7 +163,7 @@ impl<'s> LegalityChecker<'s> {
     /// O((|Er|+|Ef|)·|D|²).
     pub fn check_pairwise(&self, dir: &DirectoryInstance) -> LegalityReport {
         let mut out = Vec::new();
-        content::check_instance(self.schema, dir, self.validate_values, &mut out);
+        content::check_instance(self.schema, dir, self.validate_values, self.probe, &mut out);
         keys::check_instance(self.schema, dir, &mut out);
         naive::check_instance_pairwise(self.schema, dir, &mut out);
         LegalityReport::from_violations(out)

@@ -155,6 +155,25 @@ impl Violation {
                 | Violation::ForbiddenRelViolation { .. }
         )
     }
+
+    /// A stable kebab-case label for the violation kind, used as the
+    /// metrics label in `managed.rollback_violation.<kind>` counters.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Violation::MissingRequiredAttribute { .. } => "missing-required-attribute",
+            Violation::AttributeNotAllowed { .. } => "attribute-not-allowed",
+            Violation::UnknownClass { .. } => "unknown-class",
+            Violation::NoCoreClass { .. } => "no-core-class",
+            Violation::MissingSuperclass { .. } => "missing-superclass",
+            Violation::ExclusiveClasses { .. } => "exclusive-classes",
+            Violation::AuxiliaryNotAllowed { .. } => "auxiliary-not-allowed",
+            Violation::MissingRequiredClass { .. } => "missing-required-class",
+            Violation::RequiredRelViolation { .. } => "required-relationship",
+            Violation::ForbiddenRelViolation { .. } => "forbidden-relationship",
+            Violation::DuplicateKey { .. } => "duplicate-key",
+            Violation::ValueViolation { .. } => "value",
+        }
+    }
 }
 
 impl fmt::Display for Violation {

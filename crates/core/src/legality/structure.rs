@@ -16,10 +16,18 @@ use crate::schema::DirectorySchema;
 
 /// Checks the instance against the structure schema, appending violations
 /// (with one witness violation per offending entry).
-pub fn check_instance(schema: &DirectorySchema, dir: &DirectoryInstance, out: &mut Vec<Violation>) {
-    let ctx = EvalContext::new(dir);
+pub fn check_instance(
+    schema: &DirectorySchema,
+    dir: &DirectoryInstance,
+    probe: &dyn bschema_obs::Probe,
+    out: &mut Vec<Violation>,
+) {
+    let ctx = EvalContext::new(dir).with_probe(probe);
     let classes = schema.classes();
     let structure = schema.structure();
+    if probe.enabled() {
+        probe.add("legality.structure_queries", structure.len() as u64);
+    }
 
     for class in structure.required_classes() {
         let q = translate::required_class_query(schema, class);
@@ -70,11 +78,15 @@ pub fn check_instance_parallel(
     schema: &DirectorySchema,
     dir: &DirectoryInstance,
     threads: usize,
+    probe: &dyn bschema_obs::Probe,
     out: &mut Vec<Violation>,
 ) {
-    let ctx = EvalContext::new(dir);
+    let ctx = EvalContext::new(dir).with_probe(probe);
     let classes = schema.classes();
     let structure = schema.structure();
+    if probe.enabled() {
+        probe.add("legality.structure_queries", structure.len() as u64);
+    }
 
     let mut jobs: Vec<StructureJob<'_>> = Vec::with_capacity(structure.len());
     let mut queries: Vec<Query> = Vec::with_capacity(structure.len());
@@ -135,7 +147,7 @@ mod tests {
         let schema = white_pages_schema();
         let (dir, _) = white_pages_instance();
         let mut out = Vec::new();
-        check_instance(&schema, &dir, &mut out);
+        check_instance(&schema, &dir, bschema_obs::noop(), &mut out);
         assert_eq!(out, [], "Figure 1 must satisfy the Figure 3 structure schema");
     }
 
@@ -152,7 +164,7 @@ mod tests {
             .unwrap();
         dir.prepare();
         let mut out = Vec::new();
-        check_instance(&schema, &dir, &mut out);
+        check_instance(&schema, &dir, bschema_obs::noop(), &mut out);
         // person ↛ch top violated at suciu; orgUnit →pa orgGroup violated at
         // the new entry; orgGroup ⇒⇒de person violated at the new entry (it
         // has no person descendant); orgUnit →an organization is satisfied
@@ -184,7 +196,7 @@ mod tests {
         );
         dir.prepare();
         let mut out = Vec::new();
-        check_instance(&schema, &dir, &mut out);
+        check_instance(&schema, &dir, bschema_obs::noop(), &mut out);
         let missing: Vec<&str> = out
             .iter()
             .filter_map(|v| match v {
@@ -203,7 +215,7 @@ mod tests {
         let mut dir = DirectoryInstance::white_pages();
         dir.prepare();
         let mut out = Vec::new();
-        check_instance(&schema, &dir, &mut out);
+        check_instance(&schema, &dir, bschema_obs::noop(), &mut out);
         assert_eq!(out.len(), 3); // ◇organization, ◇orgUnit, ◇person
         assert!(out.iter().all(|v| matches!(v, Violation::MissingRequiredClass { .. })));
     }

@@ -8,14 +8,16 @@
 //! illegal.
 
 use std::fmt;
+use std::sync::Arc;
 
 use bschema_directory::{AttributeRegistry, DirectoryInstance, Entry, EntryId};
+use bschema_obs::{Probe, NO_SPAN};
 use bschema_query::{evaluate, EvalContext, Query};
 
 use crate::consistency::ConsistencyChecker;
 use crate::legality::{LegalityChecker, LegalityOptions, LegalityReport};
 use crate::schema::DirectorySchema;
-use crate::updates::{apply_and_check_with, Transaction, TxError};
+use crate::updates::{apply_and_check_probed, Transaction, TxError};
 
 /// Errors from managed-directory operations.
 #[derive(Debug)]
@@ -58,6 +60,41 @@ impl From<TxError> for ManagedError {
     }
 }
 
+/// Shared, clonable probe slot: `None` stands for the no-op probe, so
+/// uninstrumented directories carry no allocation at all.
+#[derive(Clone, Default)]
+struct ProbeHandle(Option<Arc<dyn Probe + Send + Sync>>);
+
+impl ProbeHandle {
+    fn get(&self) -> &dyn Probe {
+        match &self.0 {
+            Some(p) => p.as_ref(),
+            None => bschema_obs::noop(),
+        }
+    }
+}
+
+impl fmt::Debug for ProbeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() { "ProbeHandle(set)" } else { "ProbeHandle(noop)" })
+    }
+}
+
+/// Records the diagnostics of a rolled-back transaction. Called with the
+/// offending report **before** the snapshot is restored, so a failed
+/// transaction still surfaces the violation set that caused the rollback
+/// instead of silently dropping it with the rejected state.
+fn record_rollback(probe: &dyn Probe, report: &LegalityReport) {
+    if !probe.enabled() {
+        return;
+    }
+    probe.add("managed.tx_rolled_back", 1);
+    probe.observe("managed.rollback_violations", report.violations().len() as u64);
+    for v in report.violations() {
+        probe.add_labeled("managed.rollback_violation", v.kind_name(), 1);
+    }
+}
+
 /// A bounding-schema-enforcing directory.
 #[derive(Debug, Clone)]
 pub struct ManagedDirectory {
@@ -68,6 +105,8 @@ pub struct ManagedDirectory {
     known_legal: bool,
     /// Execution engine for every legality / incremental check.
     options: LegalityOptions,
+    /// Instrumentation probe threaded into every check (no-op by default).
+    probe: ProbeHandle,
 }
 
 impl ManagedDirectory {
@@ -85,7 +124,13 @@ impl ManagedDirectory {
         let mut dir = DirectoryInstance::new(registry);
         dir.prepare();
         let known_legal = LegalityChecker::new(&schema).check(&dir).is_legal();
-        Ok(ManagedDirectory { schema, dir, known_legal, options: LegalityOptions::default() })
+        Ok(ManagedDirectory {
+            schema,
+            dir,
+            known_legal,
+            options: LegalityOptions::default(),
+            probe: ProbeHandle::default(),
+        })
     }
 
     /// Wraps an existing instance, verifying schema consistency and
@@ -105,7 +150,13 @@ impl ManagedDirectory {
         if !report.is_legal() {
             return Err(ManagedError::IllegalInstance(report));
         }
-        Ok(ManagedDirectory { schema, dir, known_legal: true, options: LegalityOptions::default() })
+        Ok(ManagedDirectory {
+            schema,
+            dir,
+            known_legal: true,
+            options: LegalityOptions::default(),
+            probe: ProbeHandle::default(),
+        })
     }
 
     /// Selects the execution engine (sequential or data-parallel) used by
@@ -121,9 +172,17 @@ impl ManagedDirectory {
         self.options
     }
 
+    /// Attaches an instrumentation probe recording spans, transaction
+    /// outcome counters, and — crucially — the violation set of every
+    /// rolled-back transaction. Enforcement behaviour is unchanged.
+    pub fn with_probe(mut self, probe: Arc<dyn Probe + Send + Sync>) -> Self {
+        self.probe = ProbeHandle(Some(probe));
+        self
+    }
+
     /// The full legality checker configured with this directory's options.
     fn checker(&self) -> LegalityChecker<'_> {
-        LegalityChecker::new(&self.schema).with_options(self.options)
+        LegalityChecker::new(&self.schema).with_options(self.options).with_probe(self.probe.get())
     }
 
     /// The schema being enforced.
@@ -156,29 +215,57 @@ impl ManagedDirectory {
     /// Applies `tx` atomically: if the resulting directory would be
     /// illegal, no change is made and the violations are returned.
     pub fn apply(&mut self, tx: &Transaction) -> Result<(), ManagedError> {
+        let handle = self.probe.clone();
+        let probe = handle.get();
+        let span = probe.span_start(NO_SPAN, "managed.apply", 0);
         let snapshot = self.dir.clone();
-        let report = if self.known_legal {
+        let checked: Result<LegalityReport, ManagedError> = if self.known_legal {
             // D is legal: the Theorem 4.1 + Figure 5 incremental path.
-            apply_and_check_with(&self.schema, &mut self.dir, tx, self.options)?.report
+            apply_and_check_probed(&self.schema, &mut self.dir, tx, self.options, probe)
+                .map(|applied| applied.report)
+                .map_err(ManagedError::Transaction)
         } else {
             // No legality baseline: apply, then full check.
-            let normalized = tx.normalize(&self.dir)?;
-            for subtree in &normalized.insertions {
-                subtree.apply(&mut self.dir);
+            match tx.normalize(&self.dir) {
+                Ok(normalized) => {
+                    for subtree in &normalized.insertions {
+                        subtree.apply(&mut self.dir);
+                    }
+                    for &root in &normalized.deletion_roots {
+                        self.dir
+                            .remove_subtree(root)
+                            .expect("normalisation validated deletion roots");
+                    }
+                    self.dir.prepare();
+                    Ok(self.checker().check(&self.dir))
+                }
+                Err(e) => Err(ManagedError::Transaction(e)),
             }
-            for &root in &normalized.deletion_roots {
-                self.dir.remove_subtree(root).expect("normalisation validated deletion roots");
-            }
-            self.dir.prepare();
-            self.checker().check(&self.dir)
         };
-        if report.is_legal() {
-            self.known_legal = true;
-            Ok(())
-        } else {
-            self.dir = snapshot;
-            Err(ManagedError::RolledBack(report))
-        }
+        let out = match checked {
+            Ok(report) if report.is_legal() => {
+                if probe.enabled() {
+                    probe.add("managed.tx_applied", 1);
+                }
+                self.known_legal = true;
+                Ok(())
+            }
+            Ok(report) => {
+                record_rollback(probe, &report);
+                self.dir = snapshot;
+                Err(ManagedError::RolledBack(report))
+            }
+            Err(e) => {
+                // Normalisation is read-only, so the instance is untouched
+                // on a structurally invalid transaction.
+                if probe.enabled() {
+                    probe.add("managed.tx_invalid", 1);
+                }
+                Err(e)
+            }
+        };
+        probe.span_end(span);
+        out
     }
 
     /// Single-insert convenience (one-op transaction).
@@ -198,28 +285,55 @@ impl ManagedDirectory {
     }
 
     fn apply_returning_root(&mut self, tx: &Transaction) -> Result<EntryId, ManagedError> {
+        let handle = self.probe.clone();
+        let probe = handle.get();
+        let span = probe.span_start(NO_SPAN, "managed.apply", 0);
         let snapshot = self.dir.clone();
-        let applied = if self.known_legal {
-            apply_and_check_with(&self.schema, &mut self.dir, tx, self.options)?
+        let applied: Result<crate::updates::AppliedTx, ManagedError> = if self.known_legal {
+            apply_and_check_probed(&self.schema, &mut self.dir, tx, self.options, probe)
+                .map_err(ManagedError::Transaction)
         } else {
-            let mut dir = self.dir.clone();
-            let normalized = tx.normalize(&dir)?;
-            let mut roots = Vec::new();
-            for subtree in &normalized.insertions {
-                roots.push(subtree.apply(&mut dir)[0]);
+            match tx.normalize(&self.dir) {
+                Ok(normalized) => {
+                    let mut dir = self.dir.clone();
+                    let mut roots = Vec::new();
+                    for subtree in &normalized.insertions {
+                        roots.push(subtree.apply(&mut dir)[0]);
+                    }
+                    dir.prepare();
+                    let report = self.checker().check(&dir);
+                    self.dir = dir;
+                    Ok(crate::updates::AppliedTx {
+                        inserted_roots: roots,
+                        removed: Vec::new(),
+                        report,
+                    })
+                }
+                Err(e) => Err(ManagedError::Transaction(e)),
             }
-            dir.prepare();
-            let report = self.checker().check(&dir);
-            self.dir = dir;
-            crate::updates::AppliedTx { inserted_roots: roots, removed: Vec::new(), report }
         };
-        if applied.report.is_legal() {
-            self.known_legal = true;
-            Ok(applied.inserted_roots[0])
-        } else {
-            self.dir = snapshot;
-            Err(ManagedError::RolledBack(applied.report))
-        }
+        let out = match applied {
+            Ok(applied) if applied.report.is_legal() => {
+                if probe.enabled() {
+                    probe.add("managed.tx_applied", 1);
+                }
+                self.known_legal = true;
+                Ok(applied.inserted_roots[0])
+            }
+            Ok(applied) => {
+                record_rollback(probe, &applied.report);
+                self.dir = snapshot;
+                Err(ManagedError::RolledBack(applied.report))
+            }
+            Err(e) => {
+                if probe.enabled() {
+                    probe.add("managed.tx_invalid", 1);
+                }
+                Err(e)
+            }
+        };
+        probe.span_end(span);
+        out
     }
 
     /// Single subtree-delete convenience: deletes `target` and its whole
@@ -242,17 +356,21 @@ impl ManagedDirectory {
         target: EntryId,
         mods: &[crate::updates::Mod],
     ) -> Result<(), ManagedError> {
+        let handle = self.probe.clone();
+        let probe = handle.get();
+        let span = probe.span_start(NO_SPAN, "managed.apply", 0);
         let snapshot = self.dir.clone();
         let Some(changed) = crate::updates::apply_mods(&mut self.dir, target, mods) else {
+            let report = crate::legality::LegalityReport::from_violations(vec![
+                crate::legality::Violation::ValueViolation {
+                    entry: target,
+                    message: "no such entry".to_owned(),
+                },
+            ]);
+            record_rollback(probe, &report);
             self.dir = snapshot;
-            return Err(ManagedError::RolledBack(
-                crate::legality::LegalityReport::from_violations(vec![
-                    crate::legality::Violation::ValueViolation {
-                        entry: target,
-                        message: "no such entry".to_owned(),
-                    },
-                ]),
-            ));
+            probe.span_end(span);
+            return Err(ManagedError::RolledBack(report));
         };
         self.dir.prepare();
         let report = if self.known_legal {
@@ -260,13 +378,19 @@ impl ManagedDirectory {
         } else {
             self.checker().check(&self.dir)
         };
-        if report.is_legal() {
+        let out = if report.is_legal() {
+            if probe.enabled() {
+                probe.add("managed.tx_applied", 1);
+            }
             self.known_legal = true;
             Ok(())
         } else {
+            record_rollback(probe, &report);
             self.dir = snapshot;
             Err(ManagedError::RolledBack(report))
-        }
+        };
+        probe.span_end(span);
+        out
     }
 
     /// Moves the subtree rooted at `target` under `new_parent` (LDAP
@@ -276,33 +400,44 @@ impl ManagedDirectory {
         target: EntryId,
         new_parent: EntryId,
     ) -> Result<(), ManagedError> {
+        let handle = self.probe.clone();
+        let probe = handle.get();
+        let span = probe.span_start(NO_SPAN, "managed.apply", 0);
         let snapshot = self.dir.clone();
         if let Err(e) = self.dir.move_subtree(target, new_parent) {
+            let report = crate::legality::LegalityReport::from_violations(vec![
+                crate::legality::Violation::ValueViolation {
+                    entry: target,
+                    message: e.to_string(),
+                },
+            ]);
+            record_rollback(probe, &report);
             self.dir = snapshot;
-            return Err(ManagedError::RolledBack(
-                crate::legality::LegalityReport::from_violations(vec![
-                    crate::legality::Violation::ValueViolation {
-                        entry: target,
-                        message: e.to_string(),
-                    },
-                ]),
-            ));
+            probe.span_end(span);
+            return Err(ManagedError::RolledBack(report));
         }
         self.dir.prepare();
         let report = if self.known_legal {
             crate::updates::IncrementalChecker::new(&self.schema)
                 .with_options(self.options)
+                .with_probe(probe)
                 .check_move(&self.dir, target)
         } else {
             self.checker().check(&self.dir)
         };
-        if report.is_legal() {
+        let out = if report.is_legal() {
+            if probe.enabled() {
+                probe.add("managed.tx_applied", 1);
+            }
             self.known_legal = true;
             Ok(())
         } else {
+            record_rollback(probe, &report);
             self.dir = snapshot;
             Err(ManagedError::RolledBack(report))
-        }
+        };
+        probe.span_end(span);
+        out
     }
 
     /// Evaluates a hierarchical selection query against the directory.

@@ -20,11 +20,31 @@
 //! the new entries; deletion checks nothing (§4.2).
 
 use bschema_directory::{DirectoryInstance, Entry, EntryId};
+use bschema_obs::{Probe, SpanId, NO_SPAN};
 use bschema_query::{evaluate, evaluate_batch, Binding, EvalContext, Filter, Query};
 
 use crate::legality::report::{LegalityReport, Violation};
 use crate::legality::{content, translate, LegalityOptions};
-use crate::schema::{DirectorySchema, ForbiddenRel, RelKind, RequiredRel};
+use crate::schema::{DirectorySchema, ForbidKind, ForbiddenRel, RelKind, RequiredRel};
+
+/// Figure 5 row label for a required relationship, as used in the
+/// `incremental.delta_query.*` / `incremental.recheck.*` counters.
+fn required_row(kind: RelKind) -> &'static str {
+    match kind {
+        RelKind::Child => "require_child",
+        RelKind::Parent => "require_parent",
+        RelKind::Descendant => "require_descendant",
+        RelKind::Ancestor => "require_ancestor",
+    }
+}
+
+/// Figure 5 row label for a forbidden relationship.
+fn forbidden_row(kind: ForbidKind) -> &'static str {
+    match kind {
+        ForbidKind::Child => "forbid_child",
+        ForbidKind::Descendant => "forbid_descendant",
+    }
+}
 
 /// Figure 5, required-relationship insertion rows: the Δ-query whose
 /// emptiness certifies that inserting the `∆D` subtree preserved `rel`.
@@ -77,6 +97,7 @@ pub struct IncrementalChecker<'s> {
     schema: &'s DirectorySchema,
     validate_values: bool,
     options: LegalityOptions,
+    probe: &'s dyn Probe,
 }
 
 /// One Δ-query evaluation unit of a batched insertion check: a delta root
@@ -90,7 +111,19 @@ enum DeltaJob<'s> {
 impl<'s> IncrementalChecker<'s> {
     /// A checker for `schema`.
     pub fn new(schema: &'s DirectorySchema) -> Self {
-        IncrementalChecker { schema, validate_values: false, options: LegalityOptions::default() }
+        IncrementalChecker {
+            schema,
+            validate_values: false,
+            options: LegalityOptions::default(),
+            probe: bschema_obs::noop(),
+        }
+    }
+
+    /// Attaches an instrumentation probe (spans + Figure 5 row counters).
+    /// Checking behaviour and reports are unchanged.
+    pub fn with_probe(mut self, probe: &'s dyn Probe) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Also validate value syntaxes of inserted entries.
@@ -124,53 +157,72 @@ impl<'s> IncrementalChecker<'s> {
         &self,
         dir: &DirectoryInstance,
         roots: &[EntryId],
+        parent: SpanId,
         out: &mut Vec<Violation>,
     ) {
+        let probe = self.probe;
         let structure = self.schema.structure();
         let mut jobs: Vec<DeltaJob<'s>> = Vec::with_capacity(
             roots.len() * (structure.required_rels().len() + structure.forbidden_rels().len()),
         );
+        // Count Δ-queries per Figure 5 row here, at job construction on
+        // the caller's thread, so the counters are deterministic no
+        // matter how the jobs are chunked over workers.
         for &root in roots {
             for rel in structure.required_rels() {
+                if probe.enabled() {
+                    probe.add_labeled("incremental.delta_query", required_row(rel.kind), 1);
+                }
                 jobs.push(DeltaJob::Required(root, rel));
             }
             for rel in structure.forbidden_rels() {
+                if probe.enabled() {
+                    probe.add_labeled("incremental.delta_query", forbidden_row(rel.kind), 1);
+                }
                 jobs.push(DeltaJob::Forbidden(root, rel));
             }
         }
         let classes = self.schema.classes();
-        let found = bschema_parallel::par_flat_map_chunks(&jobs, self.threads(), |chunk| {
-            let mut local = Vec::new();
-            for job in chunk {
-                match *job {
-                    DeltaJob::Required(root, rel) => {
-                        let ctx = EvalContext::with_delta(dir, root);
-                        let q = insertion_delta_query(self.schema, rel);
-                        for witness in evaluate(&ctx, &q) {
-                            local.push(Violation::RequiredRelViolation {
-                                entry: witness,
-                                source: classes.name(rel.source).to_owned(),
-                                kind: rel.kind,
-                                target: classes.name(rel.target).to_owned(),
-                            });
+        let found =
+            bschema_parallel::par_flat_map_chunks_indexed(&jobs, self.threads(), |i, chunk| {
+                let span = probe.span_start(parent, "chunk", i as u64);
+                let started = probe.enabled().then(std::time::Instant::now);
+                let mut local = Vec::new();
+                for job in chunk {
+                    match *job {
+                        DeltaJob::Required(root, rel) => {
+                            let ctx = EvalContext::with_delta(dir, root).with_probe(probe);
+                            let q = insertion_delta_query(self.schema, rel);
+                            for witness in evaluate(&ctx, &q) {
+                                local.push(Violation::RequiredRelViolation {
+                                    entry: witness,
+                                    source: classes.name(rel.source).to_owned(),
+                                    kind: rel.kind,
+                                    target: classes.name(rel.target).to_owned(),
+                                });
+                            }
                         }
-                    }
-                    DeltaJob::Forbidden(root, rel) => {
-                        let ctx = EvalContext::with_delta(dir, root);
-                        let q = insertion_delta_query_forbidden(self.schema, rel);
-                        for witness in evaluate(&ctx, &q) {
-                            local.push(Violation::ForbiddenRelViolation {
-                                entry: witness,
-                                upper: classes.name(rel.upper).to_owned(),
-                                kind: rel.kind,
-                                lower: classes.name(rel.lower).to_owned(),
-                            });
+                        DeltaJob::Forbidden(root, rel) => {
+                            let ctx = EvalContext::with_delta(dir, root).with_probe(probe);
+                            let q = insertion_delta_query_forbidden(self.schema, rel);
+                            for witness in evaluate(&ctx, &q) {
+                                local.push(Violation::ForbiddenRelViolation {
+                                    entry: witness,
+                                    upper: classes.name(rel.upper).to_owned(),
+                                    kind: rel.kind,
+                                    lower: classes.name(rel.lower).to_owned(),
+                                });
+                            }
                         }
                     }
                 }
-            }
-            local
-        });
+                if let Some(start) = started {
+                    probe.add("parallel.chunks", 1);
+                    probe.observe("parallel.chunk_us", start.elapsed().as_micros() as u64);
+                }
+                probe.span_end(span);
+                local
+            });
         out.extend(found);
     }
 
@@ -180,24 +232,38 @@ impl<'s> IncrementalChecker<'s> {
         &self,
         dir: &DirectoryInstance,
         roots: &[EntryId],
+        parent: SpanId,
         out: &mut Vec<Violation>,
     ) {
+        let probe = self.probe;
         let forest = dir.forest();
         let entries: Vec<EntryId> =
             roots.iter().flat_map(|&r| std::iter::once(r).chain(forest.descendants(r))).collect();
-        let found = bschema_parallel::par_flat_map_chunks(&entries, self.threads(), |chunk| {
-            let mut local = Vec::new();
-            for &id in chunk {
-                let entry = dir.entry(id).expect("delta entries are live");
-                content::check_entry(self.schema, id, entry, &mut local);
-                if self.validate_values {
-                    if let Err(e) = dir.validate_entry_values(id) {
-                        local.push(Violation::ValueViolation { entry: id, message: e.to_string() });
+        let found =
+            bschema_parallel::par_flat_map_chunks_indexed(&entries, self.threads(), |i, chunk| {
+                let span = probe.span_start(parent, "chunk", i as u64);
+                let started = probe.enabled().then(std::time::Instant::now);
+                let mut local = Vec::new();
+                for &id in chunk {
+                    let entry = dir.entry(id).expect("delta entries are live");
+                    content::check_entry(self.schema, id, entry, &mut local);
+                    if self.validate_values {
+                        if let Err(e) = dir.validate_entry_values(id) {
+                            local.push(Violation::ValueViolation {
+                                entry: id,
+                                message: e.to_string(),
+                            });
+                        }
                     }
                 }
-            }
-            local
-        });
+                if let Some(start) = started {
+                    probe.add("legality.entries_content_checked", chunk.len() as u64);
+                    probe.add("parallel.chunks", 1);
+                    probe.observe("parallel.chunk_us", start.elapsed().as_micros() as u64);
+                }
+                probe.span_end(span);
+                local
+            });
         out.extend(found);
     }
 
@@ -229,20 +295,29 @@ impl<'s> IncrementalChecker<'s> {
         dir: &DirectoryInstance,
         delta_roots: &[EntryId],
     ) -> LegalityReport {
+        let probe = self.probe;
+        let root_span = probe.span_start(NO_SPAN, "incremental.check_insertions", 0);
         let mut out = Vec::new();
 
         // Content schema: only the new entries need checking (§4.2).
-        self.content_delta_violations(dir, delta_roots, &mut out);
+        let span = probe.span_start(root_span, "content_delta", 0);
+        self.content_delta_violations(dir, delta_roots, span, &mut out);
+        probe.span_end(span);
 
         // Keys (§6.1): only the new entries' values can clash.
+        let span = probe.span_start(root_span, "keys", 1);
         for &root in delta_roots {
             crate::legality::keys::check_insertion(self.schema, dir, root, &mut out);
         }
+        probe.span_end(span);
 
         // Structure schema: Figure 5 insertion Δ-queries per delta root.
         // Required classes `◇c` cannot be violated by an insertion.
-        self.structure_delta_violations(dir, delta_roots, &mut out);
+        let span = probe.span_start(root_span, "structure_delta", 2);
+        self.structure_delta_violations(dir, delta_roots, span, &mut out);
+        probe.span_end(span);
 
+        probe.span_end(root_span);
         LegalityReport::from_violations(out)
     }
 
@@ -256,17 +331,22 @@ impl<'s> IncrementalChecker<'s> {
     /// is untouched, and per-class counts are preserved so `◇c` cannot
     /// break.
     pub fn check_move(&self, dir: &DirectoryInstance, moved_root: EntryId) -> LegalityReport {
+        let probe = self.probe;
+        let root_span = probe.span_start(NO_SPAN, "incremental.check_move", 0);
         let mut out = Vec::new();
         let classes = self.schema.classes();
 
         // Insertion half: the Figure 5 Δ-queries at the new location.
-        self.structure_delta_violations(dir, &[moved_root], &mut out);
+        let span = probe.span_start(root_span, "structure_delta", 0);
+        self.structure_delta_violations(dir, &[moved_root], span, &mut out);
+        probe.span_end(span);
 
         // Deletion half: the "no" rows re-checked on the whole instance —
         // entries outside the subtree may have lost a required child /
         // descendant that moved away. Restrict witnesses to entries outside
         // ∆D (inside ones were covered above) to avoid duplicates.
-        let whole = EvalContext::new(dir);
+        let span = probe.span_start(root_span, "recheck", 1);
+        let whole = EvalContext::new(dir).with_probe(probe);
         let forest = dir.forest();
         let recheck: Vec<&RequiredRel> = self
             .schema
@@ -275,6 +355,11 @@ impl<'s> IncrementalChecker<'s> {
             .iter()
             .filter(|rel| deletion_needs_recheck(rel.kind))
             .collect();
+        if probe.enabled() {
+            for rel in &recheck {
+                probe.add_labeled("incremental.recheck", required_row(rel.kind), 1);
+            }
+        }
         let queries: Vec<Query> =
             recheck.iter().map(|rel| translate::required_rel_query(self.schema, rel)).collect();
         for (rel, witnesses) in recheck.iter().zip(evaluate_batch(&whole, &queries, self.threads()))
@@ -292,7 +377,9 @@ impl<'s> IncrementalChecker<'s> {
                 }
             }
         }
+        probe.span_end(span);
 
+        probe.span_end(root_span);
         LegalityReport::from_violations(out).normalized()
     }
 
@@ -305,8 +392,10 @@ impl<'s> IncrementalChecker<'s> {
     /// break, so content, parent/ancestor required, and all forbidden
     /// elements are skipped outright.
     pub fn check_deletion(&self, dir: &DirectoryInstance, removed: &[Entry]) -> LegalityReport {
+        let probe = self.probe;
+        let root_span = probe.span_start(NO_SPAN, "incremental.check_deletion", 0);
         let mut out = Vec::new();
-        let ctx = EvalContext::new(dir);
+        let ctx = EvalContext::new(dir).with_probe(probe);
         let classes = self.schema.classes();
 
         // `◇c` with counts (§4.2): only classes that lost members can have
@@ -329,6 +418,11 @@ impl<'s> IncrementalChecker<'s> {
             .iter()
             .filter(|rel| deletion_needs_recheck(rel.kind))
             .collect();
+        if probe.enabled() {
+            for rel in &recheck {
+                probe.add_labeled("incremental.recheck", required_row(rel.kind), 1);
+            }
+        }
         let queries: Vec<Query> =
             recheck.iter().map(|rel| translate::required_rel_query(self.schema, rel)).collect();
         for (rel, witnesses) in recheck.iter().zip(evaluate_batch(&ctx, &queries, self.threads())) {
@@ -342,6 +436,7 @@ impl<'s> IncrementalChecker<'s> {
             }
         }
 
+        probe.span_end(root_span);
         LegalityReport::from_violations(out)
     }
 }

@@ -92,8 +92,21 @@ pub fn apply_and_check_with(
     tx: &Transaction,
     options: LegalityOptions,
 ) -> Result<AppliedTx, TxError> {
+    apply_and_check_probed(schema, dir, tx, options, bschema_obs::noop())
+}
+
+/// Like [`apply_and_check_with`] with an instrumentation probe attached
+/// to the incremental checker. Behaviour and reports are unchanged; the
+/// probe records the Figure 5 Δ-query counters and check spans.
+pub fn apply_and_check_probed(
+    schema: &DirectorySchema,
+    dir: &mut DirectoryInstance,
+    tx: &Transaction,
+    options: LegalityOptions,
+    probe: &dyn bschema_obs::Probe,
+) -> Result<AppliedTx, TxError> {
     let normalized = tx.normalize(dir)?;
-    let checker = IncrementalChecker::new(schema).with_options(options);
+    let checker = IncrementalChecker::new(schema).with_options(options).with_probe(probe);
     let mut report = LegalityReport::legal();
 
     let mut inserted_roots = Vec::with_capacity(normalized.insertions.len());

@@ -1,0 +1,28 @@
+//! Duration formatting shared by the CLI, the trace renderer, and the
+//! bench harness (formerly private to `run_experiments`).
+
+/// Formats a microsecond count human-readably, auto-scaling the unit:
+/// `12.3µs`, `12.34ms`, `2.50s`.
+pub fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{us:.1}µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_us;
+
+    #[test]
+    fn scales_units() {
+        assert_eq!(fmt_us(0.0), "0.0µs");
+        assert_eq!(fmt_us(12.34), "12.3µs");
+        assert_eq!(fmt_us(999.9), "999.9µs");
+        assert_eq!(fmt_us(12_340.0), "12.34ms");
+        assert_eq!(fmt_us(2_500_000.0), "2.50s");
+    }
+}

@@ -1,0 +1,250 @@
+//! Minimal JSON helpers: string escaping for the exporters and a
+//! dependency-free validity checker used by tests and the CLI test
+//! suite to guarantee the machine-readable output actually parses.
+
+/// Renders `s` as a JSON string literal (with surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Whether `text` is one complete, well-formed JSON value.
+pub fn is_valid(text: &str) -> bool {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    if !p.value() {
+        return false;
+    }
+    p.skip_ws();
+    p.pos == p.bytes.len()
+}
+
+/// Recursive-descent JSON reader over raw bytes (strings are validated
+/// escape-wise; non-ASCII passes through untouched).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> bool {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => false,
+        }
+    }
+
+    fn object(&mut self) -> bool {
+        self.pos += 1; // '{'
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return true;
+        }
+        loop {
+            self.skip_ws();
+            if !self.string() {
+                return false;
+            }
+            self.skip_ws();
+            if self.bump() != Some(b':') {
+                return false;
+            }
+            self.skip_ws();
+            if !self.value() {
+                return false;
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return true,
+                _ => return false,
+            }
+        }
+    }
+
+    fn array(&mut self) -> bool {
+        self.pos += 1; // '['
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return true;
+        }
+        loop {
+            self.skip_ws();
+            if !self.value() {
+                return false;
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return true,
+                _ => return false,
+            }
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if self.bump() != Some(b'"') {
+            return false;
+        }
+        while let Some(b) = self.bump() {
+            match b {
+                b'"' => return true,
+                b'\\' => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            if !self.bump().is_some_and(|h| h.is_ascii_hexdigit()) {
+                                return false;
+                            }
+                        }
+                    }
+                    _ => return false,
+                },
+                0x00..=0x1f => return false, // raw control character
+                _ => {}
+            }
+        }
+        false // unterminated
+    }
+
+    fn digits(&mut self) -> bool {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos > start
+    }
+
+    fn number(&mut self) -> bool {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0, or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                self.digits();
+            }
+            _ => return false,
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !self.digits() {
+                return false;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !self.digits() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_through_validation() {
+        for s in ["plain", "with \"quotes\"", "line\nbreak\ttab", "back\\slash", "\u{1}ctl", "µs"]
+        {
+            let lit = escape(s);
+            assert!(is_valid(&lit), "escape({s:?}) = {lit} must be valid");
+        }
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn accepts_well_formed_json() {
+        for text in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e+3",
+            "0",
+            "\"hi\"",
+            r#"{"a":[1,2,{"b":null}],"c":"x\ny","d":1.5e-2}"#,
+            " { \"k\" : [ 1 , 2 ] } ",
+        ] {
+            assert!(is_valid(text), "{text} should be valid");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for text in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{'a':1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "{} extra",
+            "\"raw\ncontrol\"",
+        ] {
+            assert!(!is_valid(text), "{text:?} should be invalid");
+        }
+    }
+}

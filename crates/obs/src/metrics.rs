@@ -1,0 +1,248 @@
+//! The metrics registry: named counters and min/mean/max histograms.
+//!
+//! Both maps are `BTreeMap`s so every rendering (text or JSON) comes out
+//! in one deterministic key order regardless of which worker thread
+//! recorded what first.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json;
+
+/// Summary statistics of one observed series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Thread-safe counters + histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments the counter `key` by `by` (creating it at 0).
+    pub fn add(&self, key: &str, by: u64) {
+        let mut counters = self.counters.lock().expect("metrics mutex poisoned");
+        match counters.get_mut(key) {
+            Some(v) => *v += by,
+            None => {
+                counters.insert(key.to_owned(), by);
+            }
+        }
+    }
+
+    /// Increments the counter `key.label` by `by`.
+    pub fn add_labeled(&self, key: &str, label: &str, by: u64) {
+        self.add(&format!("{key}.{label}"), by);
+    }
+
+    /// Records `value` into the histogram `key`.
+    pub fn observe(&self, key: &str, value: u64) {
+        let mut histograms = self.histograms.lock().expect("metrics mutex poisoned");
+        histograms.entry(key.to_owned()).or_default().record(value);
+    }
+
+    /// The current value of counter `key` (0 if never incremented).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.lock().expect("metrics mutex poisoned").get(key).copied().unwrap_or(0)
+    }
+
+    /// A snapshot of every counter.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().expect("metrics mutex poisoned").clone()
+    }
+
+    /// The histogram `key`, if anything was observed under it.
+    pub fn histogram(&self, key: &str) -> Option<Histogram> {
+        self.histograms.lock().expect("metrics mutex poisoned").get(key).copied()
+    }
+
+    /// A snapshot of every histogram.
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        self.histograms.lock().expect("metrics mutex poisoned").clone()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.lock().expect("metrics mutex poisoned").is_empty()
+            && self.histograms.lock().expect("metrics mutex poisoned").is_empty()
+    }
+
+    /// Renders the counters as an aligned table followed by one summary
+    /// line per histogram.
+    pub fn render_text(&self) -> String {
+        let counters = self.counters();
+        let histograms = self.histograms();
+        let width = counters.keys().chain(histograms.keys()).map(String::len).max().unwrap_or(0);
+        let mut out = String::new();
+        for (key, value) in &counters {
+            out.push_str(&format!("{key:<width$}  {value}\n"));
+        }
+        for (key, h) in &histograms {
+            out.push_str(&format!(
+                "{key:<width$}  count={} sum={} min={} mean={:.1} max={}\n",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.mean(),
+                h.max()
+            ));
+        }
+        out
+    }
+
+    /// Renders everything as one JSON object:
+    /// `{"counters":{...},"histograms":{"k":{"count":..,"sum":..,...}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (key, value)) in self.counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{value}", json::escape(key)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (key, h)) in self.histograms().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                json::escape(key),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.add("a", 1);
+        m.add("a", 2);
+        m.add_labeled("rule", "path", 4);
+        assert_eq!(m.counter("a"), 3);
+        assert_eq!(m.counter("rule.path"), 4);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_math() {
+        let m = MetricsRegistry::new();
+        for v in [5u64, 1, 9] {
+            m.observe("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (3, 15, 1, 9));
+        assert!((h.mean() - 5.0).abs() < 1e-9);
+        assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_updates_sum_correctly() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let m = &m;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        m.add("hits", 1);
+                        m.observe("vals", 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("hits"), 800);
+        assert_eq!(m.histogram("vals").unwrap().count(), 800);
+        assert_eq!(m.histogram("vals").unwrap().sum(), 1600);
+    }
+
+    #[test]
+    fn text_rendering_is_sorted_and_aligned() {
+        let m = MetricsRegistry::new();
+        m.add("zebra", 1);
+        m.add("apple", 2);
+        m.observe("mid", 7);
+        let text = m.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("apple"));
+        assert!(lines[1].starts_with("zebra"));
+        assert!(lines[2].contains("count=1 sum=7 min=7 mean=7.0 max=7"));
+    }
+
+    #[test]
+    fn json_is_valid_and_deterministic() {
+        let m = MetricsRegistry::new();
+        m.add("b", 2);
+        m.add("a", 1);
+        m.observe("h", 3);
+        let text = m.to_json();
+        assert!(json::is_valid(&text), "{text}");
+        assert_eq!(text, m.to_json());
+        assert!(text.find("\"a\":1").unwrap() < text.find("\"b\":2").unwrap());
+        assert!(MetricsRegistry::new().to_json().contains("{\"counters\":{}"));
+    }
+}

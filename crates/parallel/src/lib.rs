@@ -40,16 +40,34 @@ where
     R: Send,
     F: Fn(&[T]) -> Vec<R> + Sync,
 {
+    par_flat_map_chunks_indexed(items, threads, |_, chunk| f(chunk))
+}
+
+/// Like [`par_flat_map_chunks`], but `f` also receives the chunk's index
+/// (its position in the chunk order). The inline `threads <= 1` path
+/// passes index 0. Lets instrumentation attribute per-chunk work to a
+/// stable ordinal independent of worker scheduling.
+pub fn par_flat_map_chunks_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
     let threads = resolve_threads(threads).min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
-        return f(items);
+        return f(0, items);
     }
     // Ceiling division so every chunk is non-empty and order is total.
     let chunk_len = items.len().div_ceil(threads);
     let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
     let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    let f = &f;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks.into_iter().map(|chunk| scope.spawn(|| f(chunk))).collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, chunk)| scope.spawn(move || f(i, chunk)))
+            .collect();
         for handle in handles {
             results.push(handle.join().expect("parallel worker panicked"));
         }
@@ -97,6 +115,30 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(par_map(&empty, 8, |x| *x).is_empty());
         assert_eq!(par_map(&[9u8], 8, |x| *x), vec![9]);
+    }
+
+    #[test]
+    fn indexed_chunks_see_their_position() {
+        use std::sync::Mutex;
+        let items: Vec<u32> = (0..10).collect();
+        let seen = Mutex::new(Vec::new());
+        let got = par_flat_map_chunks_indexed(&items, 4, |i, chunk| {
+            seen.lock().unwrap().push((i, chunk.to_vec()));
+            chunk.to_vec()
+        });
+        assert_eq!(got, items);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        // 10 items over 4 threads -> chunks of 3: [0..3, 3..6, 6..9, 9..10].
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0], (0, vec![0, 1, 2]));
+        assert_eq!(seen[3], (3, vec![9]));
+        // Inline path reports index 0.
+        let inline = par_flat_map_chunks_indexed(&items, 1, |i, chunk| {
+            assert_eq!(i, 0);
+            chunk.to_vec()
+        });
+        assert_eq!(inline, items);
     }
 
     #[test]

@@ -16,7 +16,13 @@ use crate::result;
 
 /// Evaluates `query`, returning matching entries sorted by preorder rank.
 pub fn evaluate(ctx: &EvalContext<'_>, query: &Query) -> Vec<EntryId> {
-    eval_cow(ctx, query).into_owned()
+    let result = eval_cow(ctx, query).into_owned();
+    let probe = ctx.probe();
+    if probe.enabled() {
+        probe.add("query.evaluated", 1);
+        probe.observe("query.result_size", result.len() as u64);
+    }
+    result
 }
 
 /// Core evaluator. Atomic indexable selections borrow the instance's
@@ -82,11 +88,18 @@ fn eval_filter_whole<'a>(ctx: &EvalContext<'a>, filter: &Filter) -> Cow<'a, [Ent
     let dir = ctx.instance();
     let index = dir.index();
     match filter {
-        Filter::True => Cow::Borrowed(index.all_entries()),
+        Filter::True => {
+            index_reused(ctx);
+            Cow::Borrowed(index.all_entries())
+        }
         Filter::False => Cow::Owned(Vec::new()),
-        Filter::Present(attr) => Cow::Borrowed(index.entries_with_attribute(attr)),
+        Filter::Present(attr) => {
+            index_reused(ctx);
+            Cow::Borrowed(index.entries_with_attribute(attr))
+        }
         Filter::Equality(..) if filter.as_object_class().is_some() => {
             let class = filter.as_object_class().expect("just checked");
+            index_reused(ctx);
             Cow::Borrowed(index.entries_with_class(class))
         }
         Filter::And(subs) => {
@@ -102,15 +115,18 @@ fn eval_filter_whole<'a>(ctx: &EvalContext<'a>, filter: &Filter) -> Cow<'a, [Ent
                 })
                 .min_by_key(|list| list.len());
             match seed {
-                Some(list) => Cow::Owned(
-                    list.iter()
-                        .copied()
-                        .filter(|&id| {
-                            let entry = dir.entry(id).expect("indexed entries are live");
-                            subs.iter().all(|f| f.matches(entry, dir.registry()))
-                        })
-                        .collect(),
-                ),
+                Some(list) => {
+                    index_reused(ctx);
+                    Cow::Owned(
+                        list.iter()
+                            .copied()
+                            .filter(|&id| {
+                                let entry = dir.entry(id).expect("indexed entries are live");
+                                subs.iter().all(|f| f.matches(entry, dir.registry()))
+                            })
+                            .collect(),
+                    )
+                }
                 None => Cow::Owned(scan(ctx, filter)),
             }
         }
@@ -118,8 +134,21 @@ fn eval_filter_whole<'a>(ctx: &EvalContext<'a>, filter: &Filter) -> Cow<'a, [Ent
     }
 }
 
+/// Counts a selection answered from the prepared preorder index (built
+/// once, shared `Cow::Borrowed`-style across queries).
+fn index_reused(ctx: &EvalContext<'_>) {
+    let probe = ctx.probe();
+    if probe.enabled() {
+        probe.add("query.index_reused", 1);
+    }
+}
+
 fn scan(ctx: &EvalContext<'_>, filter: &Filter) -> Vec<EntryId> {
     let dir = ctx.instance();
+    let probe = ctx.probe();
+    if probe.enabled() {
+        probe.add("query.index_scan", 1);
+    }
     dir.index()
         .all_entries()
         .iter()

@@ -23,15 +23,27 @@ pub fn evaluate_batch(
     queries: &[Query],
     threads: usize,
 ) -> Vec<Vec<EntryId>> {
-    bschema_parallel::par_map(queries, threads, |q| evaluate(ctx, q))
+    let probe = ctx.probe();
+    if !probe.enabled() {
+        return bschema_parallel::par_map(queries, threads, |q| evaluate(ctx, q));
+    }
+    bschema_parallel::par_flat_map_chunks_indexed(queries, threads, |_, chunk| {
+        let chunk_start = std::time::Instant::now();
+        let out: Vec<Vec<EntryId>> = chunk.iter().map(|q| evaluate(ctx, q)).collect();
+        probe.add("parallel.chunks", 1);
+        probe.observe("parallel.chunk_us", chunk_start.elapsed().as_micros() as u64);
+        out
+    })
 }
 
 /// Evaluation context: a prepared instance plus the optional update-delta
-/// subtree that `Binding::Delta` selections range over.
+/// subtree that `Binding::Delta` selections range over, and a probe that
+/// the evaluator reports per-query counters to (a no-op by default).
 #[derive(Debug, Clone, Copy)]
 pub struct EvalContext<'a> {
     dir: &'a DirectoryInstance,
     delta: Option<EntryId>,
+    probe: &'a dyn bschema_obs::Probe,
 }
 
 impl<'a> EvalContext<'a> {
@@ -44,7 +56,7 @@ impl<'a> EvalContext<'a> {
             dir.is_prepared(),
             "evaluation requires a prepared instance; call DirectoryInstance::prepare()"
         );
-        EvalContext { dir, delta: None }
+        EvalContext { dir, delta: None, probe: bschema_obs::noop() }
     }
 
     /// Context with an update delta: `Binding::Delta` selections range over
@@ -55,6 +67,12 @@ impl<'a> EvalContext<'a> {
         EvalContext { delta: Some(delta_root), ..ctx }
     }
 
+    /// Attaches an instrumentation probe; evaluation behaviour is
+    /// unchanged, only counters/histograms are recorded through it.
+    pub fn with_probe(self, probe: &'a dyn bschema_obs::Probe) -> Self {
+        EvalContext { probe, ..self }
+    }
+
     /// The instance under evaluation.
     pub fn instance(&self) -> &'a DirectoryInstance {
         self.dir
@@ -63,6 +81,11 @@ impl<'a> EvalContext<'a> {
     /// The delta subtree root, if any.
     pub fn delta(&self) -> Option<EntryId> {
         self.delta
+    }
+
+    /// The attached instrumentation probe.
+    pub fn probe(&self) -> &'a dyn bschema_obs::Probe {
+        self.probe
     }
 }
 

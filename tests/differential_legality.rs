@@ -31,10 +31,28 @@ use bschema_workload::{
 /// an odd count larger than most inputs' chunk counts.
 const THREAD_COUNTS: [usize; 3] = [0, 2, 5];
 
-/// Asserts all three checkers produce the same report for (schema, dir).
-/// Returns the agreed verdict.
+/// Asserts all three checkers produce the same report for (schema, dir) —
+/// with and without an instrumentation probe attached. Returns the agreed
+/// verdict.
 fn engines_agree(schema: &DirectorySchema, dir: &DirectoryInstance, label: &str) -> bool {
     let sequential = LegalityChecker::new(schema).check(dir);
+    // Attaching a recording probe must not perturb the report: the
+    // instrumented sequential and parallel runs are byte-identical to the
+    // uninstrumented sequential baseline.
+    let recorder = bschema_obs::Recorder::new();
+    let probed = LegalityChecker::new(schema).with_probe(&recorder).check(dir);
+    assert_eq!(
+        sequential, probed,
+        "{label}: instrumented sequential report differs from no-op-probe report"
+    );
+    let probed_parallel = LegalityChecker::new(schema)
+        .with_options(LegalityOptions::parallel(2))
+        .with_probe(&recorder)
+        .check(dir);
+    assert_eq!(
+        sequential, probed_parallel,
+        "{label}: instrumented parallel report differs from no-op-probe report"
+    );
     for threads in THREAD_COUNTS {
         let parallel = LegalityChecker::new(schema)
             .with_options(LegalityOptions::parallel(threads))
