@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Grep-gate: no `.unwrap()` in non-test library code of bschema-core and
+# bschema-directory.
+#
+# A panic on malformed input is a crash-consistency bug: it tears down a
+# ManagedDirectory mid-operation and turns a recoverable error into a
+# poisoned state (see DESIGN.md §10). Library code must return a typed
+# error instead. Exempt: comment/doc lines, and test modules — this repo
+# keeps exactly one `#[cfg(test)]` marker per file, at the start of the
+# trailing tests module, so everything from that line onward is test code.
+#
+# `.unwrap_or_else(...)` / `.unwrap_or_default()` are fine (non-panicking)
+# and do not match the `.unwrap()` pattern below.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for f in $(find crates/core/src crates/directory/src -name '*.rs' | sort); do
+    hits=$(awk '
+        /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+        /\.unwrap\(\)/ && $0 !~ /^[[:space:]]*\/\// { print FILENAME ":" FNR ": " $0 }
+    ' "$f")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "error: .unwrap() in non-test code of crates/core or crates/directory;" >&2
+    echo "       return a typed error instead (DESIGN.md §10)" >&2
+fi
+exit "$status"

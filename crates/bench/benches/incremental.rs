@@ -19,7 +19,7 @@ fn bench_insertion(c: &mut Criterion) {
         let mut txgen = TxGenerator::new(TxParams::default());
         let tx = txgen.legal_insertion(&org);
         let normalized = tx.normalize(&org.dir).expect("valid tx");
-        let root = normalized.insertions[0].apply(&mut org.dir)[0];
+        let root = normalized.insertions[0].apply(&mut org.dir).expect("valid tx applies")[0];
         org.dir.prepare();
         group.bench_with_input(BenchmarkId::new("delta", n), &org, |b, org| {
             b.iter(|| incremental.check_insertion(&org.dir, root))

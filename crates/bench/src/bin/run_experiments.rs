@@ -282,7 +282,7 @@ fn exp_t42(sizes: &[usize], runs: usize) {
         let mut txgen = TxGenerator::new(TxParams::default());
         let tx = txgen.legal_insertion(&org);
         let normalized = tx.normalize(&org.dir).expect("generated tx is valid");
-        let root = normalized.insertions[0].apply(&mut org.dir)[0];
+        let root = normalized.insertions[0].apply(&mut org.dir).expect("valid tx applies")[0];
         org.dir.prepare();
         assert!(full.check(&org.dir).is_legal(), "insertion fixture must stay legal");
         let ins_delta = time_median_us(runs, || incremental.check_insertion(&org.dir, root));

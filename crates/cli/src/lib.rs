@@ -9,6 +9,7 @@
 //! bschema validate <schema.bs> <data.ldif>          legality report with DNs
 //! bschema check <data.ldif> <schema.bs>             legality with --trace/--metrics
 //! bschema apply <schema.bs> <data.ldif> <tx.ldif>   managed transaction, rollback on illegal
+//! bschema recover <schema.bs> <base.ldif> <journal> replay a write-ahead journal
 //! bschema consistency <schema.bs>                   consistency with --trace/--metrics
 //! bschema witness <schema.bs>                       construct a legal example instance
 //! bschema search <data.ldif> --filter F [--base DN] [--scope base|one|sub] [--schema S]
@@ -17,10 +18,17 @@
 //! bschema suggest-schema <data.ldif>                mine a schema from data (§6.2)
 //! ```
 //!
-//! The instrumented commands (`check`, `apply`, `consistency`) accept
-//! `--trace` (hierarchical span tree of the check) and `--metrics` /
+//! The instrumented commands (`check`, `apply`, `consistency`, `recover`)
+//! accept `--trace` (hierarchical span tree of the check) and `--metrics` /
 //! `--metrics=json` (engine counters and timing histograms; the JSON form
 //! is emitted as the **last** output line so scripts can `tail -n 1`).
+//!
+//! `apply` additionally supports `--journal <path>` (write-ahead journal:
+//! the transaction is durably recorded before it mutates anything, and
+//! committed only after it is certified legal — `recover` replays exactly
+//! the committed prefix after a crash) and `--inject-fault <n>`
+//! (deterministic fault injection: the nth probe event panics mid-apply;
+//! the `faults.injected` / `faults.survived` counters land in `--metrics`).
 //!
 //! Exit codes: 0 success / legal / consistent; 1 illegal or inconsistent;
 //! 2 usage or input error.
@@ -34,13 +42,15 @@ use std::sync::Arc;
 
 use bschema_core::consistency::{build_witness, ConsistencyChecker};
 use bschema_core::evolution::{self, Evolution};
+use bschema_core::journal::{Journal, JournalWriter};
 use bschema_core::legality::{LegalityChecker, LegalityOptions};
 use bschema_core::managed::{ManagedDirectory, ManagedError};
 use bschema_core::schema::dsl::{parse_schema, print_schema, ParsedSchema};
 use bschema_core::schema::{ForbidKind, RelKind};
 use bschema_core::updates::Transaction;
 use bschema_directory::{ldif, DirectoryInstance};
-use bschema_obs::Recorder;
+use bschema_faults::{silence_injected_panics, FaultPlan};
+use bschema_obs::{Probe, Recorder};
 use bschema_query::{parse_filter, search, SearchRequest, SearchScope};
 
 /// A CLI failure: message plus process exit code.
@@ -75,6 +85,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
         "validate" => validate(&args[1..], out),
         "check" => cmd_check(&args[1..], out),
         "apply" => cmd_apply(&args[1..], out),
+        "recover" => cmd_recover(&args[1..], out),
         "consistency" => cmd_consistency(&args[1..], out),
         "witness" => witness(&args[1..], out),
         "search" => cmd_search(&args[1..], out),
@@ -97,7 +108,8 @@ usage:
   bschema check-schema <schema.bs>
   bschema validate <schema.bs> <data.ldif>
   bschema check <data.ldif> <schema.bs> [--sequential] [--trace] [--metrics[=json]]
-  bschema apply <schema.bs> <data.ldif> <tx.ldif> [--sequential] [--trace] [--metrics[=json]]
+  bschema apply <schema.bs> <data.ldif> <tx.ldif> [--sequential] [--journal <path>] [--inject-fault <n>] [--trace] [--metrics[=json]]
+  bschema recover <schema.bs> <base.ldif> <journal> [--trace] [--metrics[=json]]
   bschema consistency <schema.bs> [--trace] [--metrics[=json]]
   bschema witness <schema.bs>
   bschema search <data.ldif> --filter <rfc2254> [--base <dn>] [--scope base|one|sub] [--schema <schema.bs>]
@@ -321,16 +333,42 @@ fn build_transaction(dir: &DirectoryInstance, text: &str) -> Result<Transaction,
     Ok(tx)
 }
 
+/// Appends `text` to the file at `path`, creating it if absent. Used for
+/// the write-ahead journal: records must hit the file *before* the
+/// mutation they describe (begin) and *after* the legality verdict
+/// (commit).
+fn append_file(path: &str, text: &str) -> Result<(), CliError> {
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| usage_error(format!("cannot open journal {path:?}: {e}")))?;
+    file.write_all(text.as_bytes())
+        .map_err(|e| usage_error(format!("cannot write journal {path:?}: {e}")))
+}
+
 fn cmd_apply(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut obs = ObsOpts::default();
     let mut sequential = false;
+    let mut journal_path: Option<&str> = None;
+    let mut inject_fault: Option<u64> = None;
     let mut positional: Vec<&str> = Vec::new();
-    for arg in args {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         if obs.accept(arg) {
             continue;
         }
         match arg.as_str() {
             "--sequential" => sequential = true,
+            "--journal" => journal_path = Some(next_value(&mut it, "--journal")?),
+            "--inject-fault" => {
+                let word = next_value(&mut it, "--inject-fault")?;
+                let n = word.parse().map_err(|_| {
+                    usage_error(format!("--inject-fault needs an event number, got {word:?}"))
+                })?;
+                inject_fault = Some(n);
+            }
             path if !path.starts_with("--") => positional.push(path),
             other => return Err(usage_error(format!("unknown option {other:?}"))),
         }
@@ -343,15 +381,59 @@ fn cmd_apply(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let options =
         if sequential { LegalityOptions::sequential() } else { LegalityOptions::parallel(0) };
     let recorder = Arc::new(Recorder::new());
+    let plan = inject_fault.map(|n| {
+        silence_injected_panics();
+        Arc::new(FaultPlan::fail_nth(n).with_inner(recorder.clone()))
+    });
     let mut managed = ManagedDirectory::with_instance(parsed.schema.clone(), dir)
         .map_err(|e| CliError { message: e.to_string(), code: 1 })?
         .with_options(options);
-    if obs.wanted() {
+    if let Some(plan) = &plan {
+        managed = managed.with_probe(plan.clone());
+    } else if obs.wanted() {
         managed = managed.with_probe(recorder.clone());
     }
+
+    // Resume the write-ahead journal, repairing a torn tail first so the
+    // new records extend an intact prefix.
+    let mut writer = JournalWriter::new();
+    if let Some(path) = journal_path {
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(usage_error(format!("cannot read journal {path:?}: {e}"))),
+        };
+        let journal = Journal::parse(&existing);
+        if journal.truncated {
+            let _ = writeln!(
+                out,
+                "journal: repaired torn tail ({} damaged record(s) dropped)",
+                journal.dropped_records
+            );
+            std::fs::write(path, &existing[..journal.intact_len])
+                .map_err(|e| usage_error(format!("cannot repair journal {path:?}: {e}")))?;
+        }
+        writer = JournalWriter::resume_after(&journal);
+    }
+
     let tx = build_transaction(managed.instance(), &read_file(tx_path)?)?;
+    // WAL discipline: the begin record (with the full transaction payload)
+    // is durable before the instance mutates; the commit record is written
+    // only after the transaction is certified legal. A rolled-back or
+    // crashed transaction leaves an uncommitted record that `recover`
+    // discards.
+    let mut tx_id = None;
+    if let Some(path) = journal_path {
+        let id = writer.begin(&tx);
+        append_file(path, &writer.take_pending())?;
+        tx_id = Some(id);
+    }
     let code = match managed.apply(&tx) {
         Ok(()) => {
+            if let (Some(path), Some(id)) = (journal_path, tx_id) {
+                writer.commit(id);
+                append_file(path, &writer.take_pending())?;
+            }
             let _ = writeln!(
                 out,
                 "APPLIED: {} op(s); directory now has {} entries (legal)",
@@ -367,10 +449,92 @@ fn cmd_apply(args: &[String], out: &mut String) -> Result<i32, CliError> {
             }
             1
         }
+        Err(ManagedError::Panicked { reason }) => {
+            let _ = writeln!(out, "PANICKED (rolled back, instance unchanged): {reason}");
+            1
+        }
         Err(e) => return Err(CliError { message: e.to_string(), code: 2 }),
     };
+    if let Some(plan) = &plan {
+        let outcome = if plan.injected() == 0 {
+            "none fired"
+        } else if code == 0 {
+            "survived"
+        } else {
+            "rolled back"
+        };
+        let _ = writeln!(
+            out,
+            "fault plan: {} probe event(s), {} injected ({outcome})",
+            plan.events(),
+            plan.injected()
+        );
+        if plan.injected() > 0 && code == 0 {
+            recorder.add("faults.survived", 1);
+        }
+    }
     obs.emit(&recorder, out);
     Ok(code)
+}
+
+fn cmd_recover(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut obs = ObsOpts::default();
+    let mut positional: Vec<&str> = Vec::new();
+    for arg in args {
+        if obs.accept(arg) {
+            continue;
+        }
+        match arg.as_str() {
+            path if !path.starts_with("--") => positional.push(path),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let [schema_path, base_path, journal_path] = positional[..] else {
+        return Err(usage_error("recover takes <schema.bs> <base.ldif> <journal>"));
+    };
+    let parsed = load_schema(schema_path)?;
+    let base = load_ldif(base_path, Some(&parsed))?;
+    let journal = Journal::parse(&read_file(journal_path)?);
+    if journal.truncated {
+        let _ = writeln!(
+            out,
+            "journal: torn tail, {} damaged record(s) dropped",
+            journal.dropped_records
+        );
+    }
+    match ManagedDirectory::recover(parsed.schema.clone(), base, &journal) {
+        Ok((managed, report)) => {
+            let _ = writeln!(
+                out,
+                "RECOVERED: replayed {} committed tx(s), discarded {} uncommitted; directory has {} entries",
+                report.replayed,
+                report.discarded,
+                managed.len()
+            );
+            let recorder = Recorder::new();
+            let legal = if obs.wanted() {
+                LegalityChecker::new(&parsed.schema)
+                    .with_probe(&recorder)
+                    .check(managed.instance())
+                    .is_legal()
+            } else {
+                managed.is_legal()
+            };
+            let code = if legal {
+                let _ = writeln!(out, "LEGAL");
+                0
+            } else {
+                let _ = writeln!(out, "ILLEGAL");
+                1
+            };
+            obs.emit(&recorder, out);
+            Ok(code)
+        }
+        Err(e) => {
+            let _ = writeln!(out, "RECOVERY FAILED: {e}");
+            Ok(1)
+        }
+    }
 }
 
 fn cmd_consistency(args: &[String], out: &mut String) -> Result<i32, CliError> {
@@ -817,6 +981,121 @@ name: a
         let (code, out) = run_ok(&["apply", &schema, &data, &tx]);
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("ROLLED BACK"), "{out}");
+    }
+
+    #[test]
+    fn journaled_apply_then_recover_replays_committed_prefix() {
+        let schema = write_tmp("s14.bs", SCHEMA);
+        let data = write_tmp("d14.ldif", LDIF);
+        let journal = write_tmp("j14.jrn", "");
+
+        // Legal transaction: begin + ops + commit land in the journal.
+        let good = write_tmp(
+            "t14.ldif",
+            "dn: uid=b,o=acme\nobjectClass: person\nobjectClass: top\nuid: b\nname: b\n",
+        );
+        let (code, out) = run_ok(&["apply", &schema, &data, &good, "--journal", &journal]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("APPLIED"), "{out}");
+
+        // Illegal transaction: rolled back, so the journal gains an
+        // uncommitted begin record that recovery must discard.
+        let bad = write_tmp(
+            "t14b.ldif",
+            "dn: uid=c,uid=a,o=acme\nobjectClass: person\nobjectClass: top\nuid: c\nname: c\n",
+        );
+        let (code, out) = run_ok(&["apply", &schema, &data, &bad, "--journal", &journal]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("ROLLED BACK"), "{out}");
+
+        let (code, out) = run_ok(&["recover", &schema, &data, &journal]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("RECOVERED: replayed 1 committed tx(s), discarded 1 uncommitted"),
+            "{out}"
+        );
+        assert!(out.contains("directory has 3 entries"), "{out}");
+        assert!(out.contains("LEGAL"), "{out}");
+    }
+
+    #[test]
+    fn recover_repairs_a_torn_journal_tail() {
+        let schema = write_tmp("s15.bs", SCHEMA);
+        let data = write_tmp("d15.ldif", LDIF);
+        let journal = write_tmp("j15.jrn", "");
+        let good = write_tmp(
+            "t15.ldif",
+            "dn: uid=b,o=acme\nobjectClass: person\nobjectClass: top\nuid: b\nname: b\n",
+        );
+        let (code, out) = run_ok(&["apply", &schema, &data, &good, "--journal", &journal]);
+        assert_eq!(code, 0, "{out}");
+
+        // Simulate a crash mid-write: chop the tail off the commit record.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        std::fs::write(&journal, &text[..text.len() - 3]).unwrap();
+
+        // The commit record is torn, so its transaction is uncommitted.
+        let (code, out) = run_ok(&["recover", &schema, &data, &journal]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("torn tail"), "{out}");
+        assert!(out.contains("replayed 0 committed tx(s), discarded 1 uncommitted"), "{out}");
+
+        // A journaled apply on the torn file repairs it in place, then a
+        // fresh transaction commits and recovery replays exactly it.
+        let (code, out) = run_ok(&["apply", &schema, &data, &good, "--journal", &journal]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("repaired torn tail"), "{out}");
+        let (code, out) = run_ok(&["recover", &schema, &data, &journal]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("replayed 1 committed tx(s)"), "{out}");
+    }
+
+    #[test]
+    fn injected_fault_rolls_back_and_lands_in_metrics() {
+        let schema = write_tmp("s16.bs", SCHEMA);
+        let data = write_tmp("d16.ldif", LDIF);
+        let tx = write_tmp(
+            "t16.ldif",
+            "dn: uid=b,o=acme\nobjectClass: person\nobjectClass: top\nuid: b\nname: b\n",
+        );
+        let (code, out) = run_ok(&[
+            "apply",
+            &schema,
+            &data,
+            &tx,
+            "--sequential",
+            "--inject-fault",
+            "0",
+            "--metrics=json",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("PANICKED (rolled back, instance unchanged)"), "{out}");
+        assert!(out.contains("1 injected (rolled back)"), "{out}");
+        let last = out.lines().last().unwrap();
+        assert!(last.contains("\"faults.injected\":1"), "{last}");
+    }
+
+    #[test]
+    fn far_future_fault_never_fires_and_apply_survives() {
+        let schema = write_tmp("s17.bs", SCHEMA);
+        let data = write_tmp("d17.ldif", LDIF);
+        let tx = write_tmp(
+            "t17.ldif",
+            "dn: uid=b,o=acme\nobjectClass: person\nobjectClass: top\nuid: b\nname: b\n",
+        );
+        let (code, out) = run_ok(&[
+            "apply",
+            &schema,
+            &data,
+            &tx,
+            "--sequential",
+            "--inject-fault",
+            "9999999",
+            "--metrics=json",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("APPLIED"), "{out}");
+        assert!(out.contains("0 injected (none fired)"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,632 @@
+//! Write-ahead transaction journal with LDIF-compatible serialization.
+//!
+//! Theorem 4.1's atomicity contract only survives a *process* crash if
+//! the transaction boundary is durable: a directory that dies between
+//! mutation and verdict must come back on the committed prefix of its
+//! history, not on a half-applied state no checker ever certified. The
+//! journal records every transaction write-ahead — a `begin` record,
+//! one record per operation, then a `commit` record once (and only
+//! once) the incremental check accepted the result — and
+//! [`ManagedDirectory::recover`] replays exactly the committed
+//! transactions, re-validating each through the normal apply path and
+//! discarding uncommitted tails.
+//!
+//! ## Format
+//!
+//! The journal is a valid LDIF document (RFC 2849 subset, same parser
+//! as directory content), so standard tooling can inspect it. Each
+//! record carries a synthetic DN `op=<seq>,cn=journal` (`<seq>` is a
+//! global record sequence number) and describes itself with reserved
+//! `jrn*` attributes:
+//!
+//! ```ldif
+//! dn: op=0,cn=journal
+//! jrntype: begin
+//! jrntx: 0
+//! jrndone: 0
+//!
+//! dn: op=1,cn=journal
+//! objectClass: person
+//! objectClass: top
+//! jrnop: 0
+//! jrnparent: existing:4
+//! jrntx: 0
+//! jrntype: insert
+//! uid: zoe
+//! jrndone: 1
+//!
+//! dn: op=2,cn=journal
+//! jrntx: 0
+//! jrntype: commit
+//! jrndone: 2
+//! ```
+//!
+//! `jrnparent` is `root`, `existing:<slot>` (an [`EntryId`] index), or
+//! `new:<op>` (the entry created by an earlier op of the same
+//! transaction); `jrntarget` names the deleted slot. `jrndone: <seq>`
+//! is always the record's **last** line, so a record cut anywhere by a
+//! crash is detectably incomplete. The `jrn` attribute prefix is
+//! reserved: payload attributes starting with `jrn` are not journalled
+//! faithfully.
+//!
+//! ## Recovery semantics
+//!
+//! [`Journal::parse`] never fails: it reads records up to the first
+//! malformed, incomplete, or out-of-sequence one and treats everything
+//! from there as the torn tail of a crash (`truncated`, with the
+//! dropped record count). A transaction is replayed iff its `commit`
+//! record survived intact; `begin`/op records without a commit are
+//! discarded — exactly the "committed prefix" the chaos suite asserts.
+
+use std::fmt::Write as _;
+
+use bschema_directory::ldif::{parse_ldif, write_record, LdifRecord};
+use bschema_directory::{DirectoryInstance, Entry, EntryId};
+
+use crate::managed::{ManagedDirectory, ManagedError};
+use crate::schema::DirectorySchema;
+use crate::updates::{NodeRef, Transaction, TxOp};
+
+/// DN suffix shared by every journal record.
+pub const JOURNAL_DN_SUFFIX: &str = "cn=journal";
+
+/// One transaction as read back from a journal.
+#[derive(Debug, Clone)]
+pub struct JournalTx {
+    /// The transaction id from its `begin` record.
+    pub id: u64,
+    /// The recorded operations, in op order.
+    pub ops: Vec<TxOp>,
+    /// Whether an intact `commit` record was found.
+    pub committed: bool,
+}
+
+impl JournalTx {
+    /// Rebuilds the replayable [`Transaction`]. Op indices are positions
+    /// in `ops`, so `new:<op>` parent references resolve as in the
+    /// original.
+    pub fn to_transaction(&self) -> Transaction {
+        let mut tx = Transaction::new();
+        for op in &self.ops {
+            match op {
+                TxOp::Insert { parent: None, entry } => {
+                    tx.insert_root(entry.clone());
+                }
+                TxOp::Insert { parent: Some(NodeRef::Existing(id)), entry } => {
+                    tx.insert_under(*id, entry.clone());
+                }
+                TxOp::Insert { parent: Some(NodeRef::New(j)), entry } => {
+                    tx.insert_under_new(*j, entry.clone());
+                }
+                TxOp::Delete { target } => tx.delete(*target),
+            }
+        }
+        tx
+    }
+}
+
+/// A parsed journal: the recoverable transaction history plus crash
+/// diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    /// Transactions in journal order (committed and uncommitted).
+    pub txs: Vec<JournalTx>,
+    /// Records discarded as a torn/corrupt tail.
+    pub dropped_records: usize,
+    /// Byte length of the intact prefix of the parsed text: everything
+    /// beyond this offset is crash damage. A writer resuming on the same
+    /// file should truncate it to this length first.
+    pub intact_len: usize,
+    /// Whether reading stopped at a malformed, incomplete, or
+    /// out-of-sequence record (structural crash damage). An uncommitted
+    /// final transaction alone does not set this — aborted transactions
+    /// are normal journal content.
+    pub truncated: bool,
+    /// One past the highest intact record sequence number (where a
+    /// resumed writer continues).
+    next_seq: u64,
+    /// One past the highest transaction id seen.
+    next_tx: u64,
+}
+
+/// A fully decoded journal record, before transaction grouping.
+struct ParsedRecord {
+    kind: String,
+    tx: u64,
+    op: Option<usize>,
+    parent: Option<String>,
+    target: Option<usize>,
+    payload: Entry,
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    s.trim().parse().ok()
+}
+
+/// Decodes one LDIF record into a journal record; `None` means the
+/// record is not an intact journal record (torn tail, foreign content).
+fn decode_record(rec: &LdifRecord, expected_seq: u64) -> Option<ParsedRecord> {
+    if rec.dn.to_string() != format!("op={expected_seq},{JOURNAL_DN_SUFFIX}") {
+        return None;
+    }
+    // jrndone is written last; its absence (or a mismatched sequence)
+    // marks a record cut short by a crash.
+    if parse_u64(rec.entry.first_value("jrndone")?)? != expected_seq {
+        return None;
+    }
+    let kind = rec.entry.first_value("jrntype")?.to_owned();
+    let tx = parse_u64(rec.entry.first_value("jrntx")?)?;
+    let op = match rec.entry.first_value("jrnop") {
+        Some(v) => Some(parse_u64(v)? as usize),
+        None => None,
+    };
+    let parent = rec.entry.first_value("jrnparent").map(str::to_owned);
+    let target = match rec.entry.first_value("jrntarget") {
+        Some(v) => Some(parse_u64(v)? as usize),
+        None => None,
+    };
+    let mut payload = rec.entry.clone();
+    for attr in ["jrntype", "jrntx", "jrnop", "jrnparent", "jrntarget", "jrndone"] {
+        payload.remove_attribute(attr);
+    }
+    Some(ParsedRecord { kind, tx, op, parent, target, payload })
+}
+
+fn decode_parent(spec: &str) -> Option<Option<NodeRef>> {
+    if spec == "root" {
+        return Some(None);
+    }
+    if let Some(idx) = spec.strip_prefix("existing:") {
+        return Some(Some(NodeRef::Existing(EntryId::from_index(parse_u64(idx)? as usize))));
+    }
+    if let Some(op) = spec.strip_prefix("new:") {
+        return Some(Some(NodeRef::New(parse_u64(op)? as usize)));
+    }
+    None
+}
+
+impl Journal {
+    /// An empty journal (no history).
+    pub fn empty() -> Self {
+        Journal::default()
+    }
+
+    /// Parses journal text, tolerating any crash truncation: reading
+    /// stops at the first record that is malformed, incomplete, or out
+    /// of sequence, and everything from there on counts as dropped.
+    /// Never fails — a hopelessly corrupt file is simply an empty
+    /// journal with `truncated` set.
+    pub fn parse(text: &str) -> Self {
+        // Split into paragraphs ourselves so one torn record does not
+        // poison the parse of everything before it. Each paragraph keeps
+        // the byte offset just past it (separator included) so intact_len
+        // can report how much of the file survived.
+        let mut paragraphs: Vec<(String, usize)> = Vec::new();
+        let mut current = String::new();
+        let mut offset = 0usize;
+        for line in text.split_inclusive('\n') {
+            offset += line.len();
+            let body = line.strip_suffix('\n').unwrap_or(line);
+            let body = body.strip_suffix('\r').unwrap_or(body);
+            if body.trim().is_empty() {
+                if !current.is_empty() {
+                    paragraphs.push((std::mem::take(&mut current), offset));
+                }
+            } else {
+                current.push_str(body);
+                current.push('\n');
+            }
+        }
+        if !current.is_empty() {
+            paragraphs.push((current, offset));
+        }
+
+        let mut journal = Journal::empty();
+        let mut open: Option<JournalTx> = None;
+        let mut intact = 0usize;
+        'records: for (paragraph, end) in &paragraphs {
+            let decoded = match parse_ldif(paragraph) {
+                Ok(records) if records.len() == 1 => decode_record(&records[0], journal.next_seq),
+                _ => None,
+            };
+            let Some(record) = decoded else {
+                journal.truncated = true;
+                break 'records;
+            };
+            match record.kind.as_str() {
+                "begin" => {
+                    if let Some(tx) = open.take() {
+                        // begin without commit: the previous transaction
+                        // aborted (rolled back, or crashed before its
+                        // verdict) — keep it, uncommitted. Not structural
+                        // damage; aborted txs are normal journal content.
+                        journal.txs.push(tx);
+                    }
+                    open = Some(JournalTx { id: record.tx, ops: Vec::new(), committed: false });
+                }
+                "insert" | "delete" => {
+                    let valid = matches!(&open, Some(tx) if tx.id == record.tx)
+                        && record.op == open.as_ref().map(|tx| tx.ops.len());
+                    if !valid {
+                        journal.truncated = true;
+                        break 'records;
+                    }
+                    let op = if record.kind == "insert" {
+                        let Some(parent) = record.parent.as_deref().and_then(decode_parent) else {
+                            journal.truncated = true;
+                            break 'records;
+                        };
+                        TxOp::Insert { parent, entry: record.payload }
+                    } else {
+                        let Some(target) = record.target else {
+                            journal.truncated = true;
+                            break 'records;
+                        };
+                        TxOp::Delete { target: EntryId::from_index(target) }
+                    };
+                    if let Some(tx) = open.as_mut() {
+                        tx.ops.push(op);
+                    }
+                }
+                "commit" => match open.take() {
+                    Some(mut tx) if tx.id == record.tx => {
+                        tx.committed = true;
+                        journal.txs.push(tx);
+                    }
+                    _ => {
+                        journal.truncated = true;
+                        break 'records;
+                    }
+                },
+                _ => {
+                    journal.truncated = true;
+                    break 'records;
+                }
+            }
+            journal.next_tx = journal.next_tx.max(record.tx + 1);
+            journal.next_seq += 1;
+            journal.intact_len = *end;
+            intact += 1;
+        }
+        if let Some(tx) = open.take() {
+            // Journal ends without a commit: an aborted final transaction
+            // or a crash before the verdict — either way, uncommitted.
+            journal.txs.push(tx);
+        }
+        journal.dropped_records = paragraphs.len() - intact;
+        journal
+    }
+
+    /// Transactions with an intact commit record, in order.
+    pub fn committed(&self) -> impl Iterator<Item = &JournalTx> {
+        self.txs.iter().filter(|tx| tx.committed)
+    }
+}
+
+/// Serialises transactions into write-ahead journal records.
+///
+/// The writer only builds text; durability is the caller's job. The
+/// WAL discipline is: call [`begin`](JournalWriter::begin), persist
+/// [`take_pending`](JournalWriter::take_pending) (append to the journal
+/// file), apply the transaction, and on success call
+/// [`commit`](JournalWriter::commit) and persist again. A crash at any
+/// point then leaves either no trace, an uncommitted (discarded) tail,
+/// or a fully committed transaction — never a half-truth.
+/// [`ManagedDirectory::apply_journaled`] bundles the sequence for
+/// in-memory use.
+#[derive(Debug, Default)]
+pub struct JournalWriter {
+    seq: u64,
+    next_tx: u64,
+    pending: String,
+}
+
+impl JournalWriter {
+    /// A writer for a fresh journal.
+    pub fn new() -> Self {
+        JournalWriter::default()
+    }
+
+    /// A writer that appends after an existing journal's intact prefix.
+    pub fn resume_after(journal: &Journal) -> Self {
+        JournalWriter { seq: journal.next_seq, next_tx: journal.next_tx, pending: String::new() }
+    }
+
+    fn emit(&mut self, kind: &str, tx: u64, extra: &[(&str, String)], payload: Option<&Entry>) {
+        let seq = self.seq;
+        self.seq += 1;
+        let mut entry = payload.cloned().unwrap_or_default();
+        entry.add_value("jrntype", kind);
+        entry.add_value("jrntx", tx.to_string());
+        for (attr, value) in extra {
+            entry.add_value(attr, value.clone());
+        }
+        let mut record = String::new();
+        write_record(&mut record, &format!("op={seq},{JOURNAL_DN_SUFFIX}"), &entry);
+        // write_record ends with the blank separator; jrndone must be the
+        // record's final attribute line so truncation is detectable.
+        record.pop();
+        let _ = writeln!(record, "jrndone: {seq}");
+        record.push('\n');
+        self.pending.push_str(&record);
+    }
+
+    /// Records `begin` plus one record per op (the write-ahead half) and
+    /// returns the transaction id for [`commit`](JournalWriter::commit).
+    pub fn begin(&mut self, tx: &Transaction) -> u64 {
+        let id = self.next_tx;
+        self.next_tx += 1;
+        self.emit("begin", id, &[], None);
+        for (i, op) in tx.ops().iter().enumerate() {
+            match op {
+                TxOp::Insert { parent, entry } => {
+                    let spec = match parent {
+                        None => "root".to_owned(),
+                        Some(NodeRef::Existing(p)) => format!("existing:{}", p.index()),
+                        Some(NodeRef::New(j)) => format!("new:{j}"),
+                    };
+                    self.emit(
+                        "insert",
+                        id,
+                        &[("jrnop", i.to_string()), ("jrnparent", spec)],
+                        Some(entry),
+                    );
+                }
+                TxOp::Delete { target } => {
+                    self.emit(
+                        "delete",
+                        id,
+                        &[("jrnop", i.to_string()), ("jrntarget", target.index().to_string())],
+                        None,
+                    );
+                }
+            }
+        }
+        id
+    }
+
+    /// Records the commit of `tx_id`. Only call after the transaction
+    /// was applied and certified legal.
+    pub fn commit(&mut self, tx_id: u64) {
+        self.emit("commit", tx_id, &[], None);
+    }
+
+    /// Drains the text accumulated since the last call — append it to
+    /// the journal file to persist.
+    pub fn take_pending(&mut self) -> String {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Whether there is un-drained record text.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+/// Outcome statistics of [`ManagedDirectory::recover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed transactions replayed successfully.
+    pub replayed: usize,
+    /// Uncommitted transactions discarded (the crash tail).
+    pub discarded: usize,
+    /// Torn/corrupt records dropped during parsing.
+    pub dropped_records: usize,
+    /// Whether the journal showed any sign of truncation.
+    pub truncated: bool,
+}
+
+impl ManagedDirectory {
+    /// Applies `tx` under the write-ahead discipline: `begin` + op
+    /// records are staged in `writer` before the mutation, the `commit`
+    /// record only after the transaction was applied and certified
+    /// legal. Failed or panicked transactions leave an uncommitted tail
+    /// that [`recover`](ManagedDirectory::recover) discards.
+    pub fn apply_journaled(
+        &mut self,
+        tx: &Transaction,
+        writer: &mut JournalWriter,
+    ) -> Result<(), ManagedError> {
+        let tx_id = writer.begin(tx);
+        let outcome = self.apply(tx);
+        if outcome.is_ok() {
+            writer.commit(tx_id);
+        }
+        outcome
+    }
+
+    /// Rebuilds a managed directory from `base` (the last durable
+    /// snapshot; often empty) plus a journal: committed transactions are
+    /// replayed in order through the normal checked apply path,
+    /// uncommitted tails are discarded, and the result is re-validated
+    /// end to end. Errors with [`ManagedError::Recovery`] if a committed
+    /// transaction no longer applies — the journal and base disagree.
+    pub fn recover(
+        schema: DirectorySchema,
+        base: DirectoryInstance,
+        journal: &Journal,
+    ) -> Result<(Self, RecoveryReport), ManagedError> {
+        let mut managed = ManagedDirectory::for_recovery(schema, base)?;
+        let mut replayed = 0;
+        let mut discarded = 0;
+        for jtx in &journal.txs {
+            if jtx.committed {
+                managed.apply(&jtx.to_transaction()).map_err(|e| {
+                    ManagedError::Recovery(format!("replaying committed tx {}: {e}", jtx.id))
+                })?;
+                replayed += 1;
+            } else {
+                discarded += 1;
+            }
+        }
+        Ok((
+            managed,
+            RecoveryReport {
+                replayed,
+                discarded,
+                dropped_records: journal.dropped_records,
+                truncated: journal.truncated,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{white_pages_instance, white_pages_schema};
+
+    fn researcher(uid: &str) -> Entry {
+        Entry::builder()
+            .classes(["researcher", "person", "top"])
+            .attr("uid", uid)
+            .attr("name", uid)
+            .build()
+    }
+
+    #[test]
+    fn journal_roundtrips_a_mixed_transaction() {
+        let (dir, ids) = white_pages_instance();
+        let mut tx = Transaction::new();
+        let unit = tx.insert_under(
+            ids.att_labs,
+            Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", "voice").build(),
+        );
+        tx.insert_under_new(unit, researcher("alice"));
+        tx.delete(ids.suciu);
+        let _ = dir;
+
+        let mut writer = JournalWriter::new();
+        let id = writer.begin(&tx);
+        writer.commit(id);
+        let text = writer.take_pending();
+
+        let journal = Journal::parse(&text);
+        assert!(!journal.truncated, "{journal:?}");
+        assert_eq!(journal.dropped_records, 0);
+        assert_eq!(journal.txs.len(), 1);
+        assert!(journal.txs[0].committed);
+        let replayed = journal.txs[0].to_transaction();
+        assert_eq!(replayed.len(), tx.len());
+        // The journal text is plain LDIF — the stock parser reads it.
+        assert_eq!(parse_ldif(&text).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn recovery_applies_only_committed_transactions() {
+        let schema = white_pages_schema();
+        let (dir, ids) = white_pages_instance();
+        let base = dir.clone();
+
+        let mut managed = ManagedDirectory::with_instance(schema.clone(), dir).unwrap();
+        let mut writer = JournalWriter::new();
+
+        let mut tx1 = Transaction::new();
+        tx1.insert_under(ids.databases, researcher("zoe"));
+        managed.apply_journaled(&tx1, &mut writer).unwrap();
+
+        // An illegal transaction: journalled write-ahead, never committed.
+        let mut tx2 = Transaction::new();
+        tx2.insert_under(
+            ids.suciu,
+            Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", "x").build(),
+        );
+        managed.apply_journaled(&tx2, &mut writer).unwrap_err();
+
+        let mut tx3 = Transaction::new();
+        tx3.insert_under(ids.att_labs, researcher("pat"));
+        managed.apply_journaled(&tx3, &mut writer).unwrap();
+
+        let text = writer.take_pending();
+        let journal = Journal::parse(&text);
+        assert_eq!(journal.committed().count(), 2);
+
+        let (recovered, report) =
+            ManagedDirectory::recover(schema, base, &journal).expect("recovery succeeds");
+        assert_eq!(report.replayed, 2);
+        assert_eq!(report.discarded, 1);
+        assert!(recovered.is_legal());
+        assert_eq!(
+            recovered.instance().canonical_bytes(),
+            managed.instance().canonical_bytes(),
+            "recovered state must equal the live state that applied the committed txs"
+        );
+    }
+
+    #[test]
+    fn truncated_tails_are_discarded_at_every_cut_point() {
+        let schema = white_pages_schema();
+        let (dir, ids) = white_pages_instance();
+        let base = dir.clone();
+
+        let mut managed = ManagedDirectory::with_instance(schema.clone(), dir).unwrap();
+        let mut writer = JournalWriter::new();
+        let mut committed_states = vec![managed.instance().canonical_bytes()];
+        for uid in ["zoe", "pat", "kim"] {
+            let mut tx = Transaction::new();
+            tx.insert_under(ids.databases, researcher(uid));
+            managed.apply_journaled(&tx, &mut writer).unwrap();
+            committed_states.push(managed.instance().canonical_bytes());
+        }
+        let text = writer.take_pending();
+
+        // Cut the journal after every byte prefix boundary that ends a
+        // line, plus a few mid-line cuts.
+        let mut cut_points: Vec<usize> =
+            text.char_indices().filter(|&(_, c)| c == '\n').map(|(i, _)| i + 1).collect();
+        cut_points.extend([3, 17, text.len().saturating_sub(4)]);
+        cut_points.push(text.len());
+        for cut in cut_points {
+            let truncated = &text[..cut];
+            let journal = Journal::parse(truncated);
+            let committed = journal.committed().count();
+            // Repairing to the intact prefix yields a clean journal with
+            // the same committed history.
+            let repaired = Journal::parse(&truncated[..journal.intact_len]);
+            assert!(!repaired.truncated, "cut at byte {cut}: repaired journal still torn");
+            assert_eq!(repaired.committed().count(), committed);
+            let (recovered, report) =
+                ManagedDirectory::recover(schema.clone(), base.clone(), &journal)
+                    .expect("recovery succeeds on every prefix");
+            assert_eq!(report.replayed, committed);
+            assert_eq!(
+                recovered.instance().canonical_bytes(),
+                committed_states[committed],
+                "cut at byte {cut}: recovered state must be the committed prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_writer_continues_the_sequence() {
+        let (_, ids) = white_pages_instance();
+        let mut writer = JournalWriter::new();
+        let mut tx = Transaction::new();
+        tx.insert_under(ids.databases, researcher("zoe"));
+        let id0 = writer.begin(&tx);
+        writer.commit(id0);
+        let first = writer.take_pending();
+
+        let journal = Journal::parse(&first);
+        let mut resumed = JournalWriter::resume_after(&journal);
+        let id1 = resumed.begin(&tx);
+        assert_eq!(id1, id0 + 1);
+        resumed.commit(id1);
+        let mut full = first;
+        full.push_str(&resumed.take_pending());
+        let reparsed = Journal::parse(&full);
+        assert!(!reparsed.truncated);
+        assert_eq!(reparsed.committed().count(), 2);
+    }
+
+    #[test]
+    fn garbage_input_is_an_empty_truncated_journal() {
+        let journal = Journal::parse("this is not even LDIF\nat all");
+        assert!(journal.truncated);
+        assert_eq!(journal.txs.len(), 0);
+        assert_eq!(journal.dropped_records, 1);
+        let journal = Journal::parse("");
+        assert!(!journal.truncated);
+        assert!(journal.txs.is_empty());
+    }
+}

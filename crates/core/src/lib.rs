@@ -47,6 +47,7 @@
 pub mod consistency;
 pub mod discover;
 pub mod evolution;
+pub mod journal;
 pub mod legality;
 pub mod managed;
 pub mod paper;
@@ -57,6 +58,7 @@ pub mod updates;
 pub use consistency::ConsistencyChecker;
 pub use discover::{suggest_schema, DiscoveryOptions};
 pub use evolution::{evolve, Evolution, EvolutionError};
+pub use journal::{Journal, JournalTx, JournalWriter, RecoveryReport};
 pub use legality::{LegalityChecker, LegalityOptions, LegalityReport, Violation};
 pub use managed::ManagedDirectory;
 pub use qopt::SchemaAwareOptimizer;

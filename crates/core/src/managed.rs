@@ -33,6 +33,19 @@ pub enum ManagedError {
     /// Applying the transaction would leave the directory illegal; it was
     /// rolled back.
     RolledBack(LegalityReport),
+    /// The engine panicked mid-transaction (e.g. an injected fault or a
+    /// dying worker); the pre-transaction snapshot was restored, so the
+    /// directory is unchanged and still legal.
+    Panicked {
+        /// The panic payload, when it carried a message.
+        reason: String,
+    },
+    /// An internal invariant failed in a way the engine could report
+    /// without panicking; the transaction was rolled back.
+    Internal(String),
+    /// Journal recovery could not replay a committed transaction — the
+    /// journal disagrees with the base instance it is replayed onto.
+    Recovery(String),
 }
 
 impl fmt::Display for ManagedError {
@@ -48,6 +61,13 @@ impl fmt::Display for ManagedError {
             ManagedError::RolledBack(report) => {
                 write!(f, "transaction rolled back; it would violate the schema:\n{report}")
             }
+            ManagedError::Panicked { reason } => {
+                write!(f, "transaction rolled back after a mid-apply panic: {reason}")
+            }
+            ManagedError::Internal(detail) => {
+                write!(f, "transaction rolled back after an internal error: {detail}")
+            }
+            ManagedError::Recovery(detail) => write!(f, "journal recovery failed: {detail}"),
         }
     }
 }
@@ -95,6 +115,40 @@ fn record_rollback(probe: &dyn Probe, report: &LegalityReport) {
     }
 }
 
+/// Extracts a human-readable reason from a caught panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs probe-recording code that must never compromise a rollback: a
+/// fault injected *inside the probe itself* (or any buggy probe impl) is
+/// caught and surfaced as the panic reason instead of unwinding past the
+/// snapshot restore.
+fn guard_probe(f: impl FnOnce()) -> Option<String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .err()
+        .map(|payload| panic_reason(payload.as_ref()))
+}
+
+/// Maps an inconsistent consistency-check result to a structured error:
+/// a present ◇∅ derivation is the proof, a missing one is an engine bug
+/// and says so instead of degrading to an empty string.
+fn inconsistency_error(result: &crate::consistency::ConsistencyResult) -> ManagedError {
+    match result.explain_inconsistency() {
+        Some(proof) => ManagedError::InconsistentSchema(proof),
+        None => ManagedError::Internal(
+            "consistency checker flagged the schema inconsistent but produced no ◇∅ derivation"
+                .to_owned(),
+        ),
+    }
+}
+
 /// A bounding-schema-enforcing directory.
 #[derive(Debug, Clone)]
 pub struct ManagedDirectory {
@@ -103,6 +157,12 @@ pub struct ManagedDirectory {
     /// Whether the current instance is known legal (enables the incremental
     /// §4 checks; until then transactions are fully rechecked).
     known_legal: bool,
+    /// Set while a transaction is in flight and cleared once the snapshot
+    /// discipline has resolved it (commit or rollback). If a panic ever
+    /// escapes the guarded apply path — a double fault during rollback —
+    /// this stays `true` and [`is_legal`](ManagedDirectory::is_legal)
+    /// reports `false` until a successful transaction re-certifies.
+    poisoned: bool,
     /// Execution engine for every legality / incremental check.
     options: LegalityOptions,
     /// Instrumentation probe threaded into every check (no-op by default).
@@ -117,9 +177,7 @@ impl ManagedDirectory {
     pub fn new(schema: DirectorySchema, registry: AttributeRegistry) -> Result<Self, ManagedError> {
         let result = ConsistencyChecker::new(&schema).check();
         if !result.is_consistent() {
-            return Err(ManagedError::InconsistentSchema(
-                result.explain_inconsistency().unwrap_or_default(),
-            ));
+            return Err(inconsistency_error(&result));
         }
         let mut dir = DirectoryInstance::new(registry);
         dir.prepare();
@@ -128,6 +186,7 @@ impl ManagedDirectory {
             schema,
             dir,
             known_legal,
+            poisoned: false,
             options: LegalityOptions::default(),
             probe: ProbeHandle::default(),
         })
@@ -141,9 +200,7 @@ impl ManagedDirectory {
     ) -> Result<Self, ManagedError> {
         let result = ConsistencyChecker::new(&schema).check();
         if !result.is_consistent() {
-            return Err(ManagedError::InconsistentSchema(
-                result.explain_inconsistency().unwrap_or_default(),
-            ));
+            return Err(inconsistency_error(&result));
         }
         dir.prepare();
         let report = LegalityChecker::new(&schema).check(&dir);
@@ -154,6 +211,32 @@ impl ManagedDirectory {
             schema,
             dir,
             known_legal: true,
+            poisoned: false,
+            options: LegalityOptions::default(),
+            probe: ProbeHandle::default(),
+        })
+    }
+
+    /// Wraps an existing instance for journal recovery: schema consistency
+    /// is still mandatory, but the base may be illegal (e.g. an empty
+    /// directory whose journal bootstraps the required classes) — it is
+    /// checked and tracked via `known_legal` exactly like
+    /// [`new`](ManagedDirectory::new).
+    pub(crate) fn for_recovery(
+        schema: DirectorySchema,
+        mut dir: DirectoryInstance,
+    ) -> Result<Self, ManagedError> {
+        let result = ConsistencyChecker::new(&schema).check();
+        if !result.is_consistent() {
+            return Err(inconsistency_error(&result));
+        }
+        dir.prepare();
+        let known_legal = LegalityChecker::new(&schema).check(&dir).is_legal();
+        Ok(ManagedDirectory {
+            schema,
+            dir,
+            known_legal,
+            poisoned: false,
             options: LegalityOptions::default(),
             probe: ProbeHandle::default(),
         })
@@ -205,67 +288,123 @@ impl ManagedDirectory {
         self.dir.is_empty()
     }
 
-    /// Whether the current contents satisfy the schema. Only `false` before
-    /// the first successful transaction of a directory that starts with
-    /// unmet `◇c` requirements.
+    /// Whether the current contents satisfy the schema. `false` before the
+    /// first successful transaction of a directory that starts with unmet
+    /// `◇c` requirements, and while the poisoned flag of an unresolved
+    /// mid-transaction fault is set.
     pub fn is_legal(&self) -> bool {
-        self.known_legal
+        self.known_legal && !self.poisoned
+    }
+
+    /// The crash-consistency core every mutating operation runs through.
+    ///
+    /// The sequence is: snapshot the instance, set the poisoned flag, run
+    /// `body` (mutation + legality verdict) under `catch_unwind`, then
+    /// resolve — commit on a legal verdict, otherwise restore the
+    /// snapshot. Rollback diagnostics are recorded through the probe
+    /// **before** the restore, and recording itself is panic-guarded so
+    /// not even a fault injected inside the probe can skip the restore.
+    /// Whatever happens inside `body` — a structurally invalid
+    /// transaction, an illegal verdict, a typed internal error, or a
+    /// panic at any instrumented site — the instance afterwards is either
+    /// the committed new state or byte-identical to the snapshot.
+    fn guarded_apply<R>(
+        &mut self,
+        body: impl FnOnce(&mut Self, &dyn Probe) -> Result<(R, LegalityReport), ManagedError>,
+    ) -> Result<R, ManagedError> {
+        let handle = self.probe.clone();
+        let probe = handle.get();
+        let snapshot = self.dir.clone();
+        self.poisoned = true;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let span = probe.span_start(NO_SPAN, "managed.apply", 0);
+            (span, body(self, probe))
+        }));
+        match outcome {
+            Ok((span, Ok((value, report)))) if report.is_legal() => {
+                self.known_legal = true;
+                self.poisoned = false;
+                // A probe fault after the verdict must not undo the
+                // commit: instrumentation never decides transaction
+                // outcomes.
+                let _ = guard_probe(|| {
+                    if probe.enabled() {
+                        probe.add("managed.tx_applied", 1);
+                    }
+                    probe.span_end(span);
+                });
+                Ok(value)
+            }
+            Ok((span, Ok((_, report)))) => {
+                let probe_fault = guard_probe(|| record_rollback(probe, &report));
+                self.dir = snapshot;
+                self.poisoned = false;
+                let _ = guard_probe(|| probe.span_end(span));
+                match probe_fault {
+                    Some(reason) => Err(ManagedError::Panicked { reason }),
+                    None => Err(ManagedError::RolledBack(report)),
+                }
+            }
+            Ok((span, Err(e))) => {
+                let probe_fault = guard_probe(|| match &e {
+                    ManagedError::RolledBack(report) => record_rollback(probe, report),
+                    ManagedError::Transaction(_) if probe.enabled() => {
+                        probe.add("managed.tx_invalid", 1);
+                    }
+                    _ => {}
+                });
+                self.dir = snapshot;
+                self.poisoned = false;
+                let _ = guard_probe(|| probe.span_end(span));
+                match probe_fault {
+                    Some(reason) => Err(ManagedError::Panicked { reason }),
+                    None => Err(e),
+                }
+            }
+            Err(payload) => {
+                // Record the reason before the restore (the span stays
+                // open — the tracer renders unclosed spans explicitly,
+                // mirroring how the trace of a real crash ends).
+                let reason = panic_reason(payload.as_ref());
+                let _ = guard_probe(|| {
+                    if probe.enabled() {
+                        probe.add("managed.tx_panicked", 1);
+                        probe.add_labeled("managed.rollback_reason", "panic", 1);
+                    }
+                });
+                self.dir = snapshot;
+                self.poisoned = false;
+                Err(ManagedError::Panicked { reason })
+            }
+        }
     }
 
     /// Applies `tx` atomically: if the resulting directory would be
     /// illegal, no change is made and the violations are returned.
     pub fn apply(&mut self, tx: &Transaction) -> Result<(), ManagedError> {
-        let handle = self.probe.clone();
-        let probe = handle.get();
-        let span = probe.span_start(NO_SPAN, "managed.apply", 0);
-        let snapshot = self.dir.clone();
-        let checked: Result<LegalityReport, ManagedError> = if self.known_legal {
-            // D is legal: the Theorem 4.1 + Figure 5 incremental path.
-            apply_and_check_probed(&self.schema, &mut self.dir, tx, self.options, probe)
-                .map(|applied| applied.report)
-                .map_err(ManagedError::Transaction)
-        } else {
-            // No legality baseline: apply, then full check.
-            match tx.normalize(&self.dir) {
-                Ok(normalized) => {
-                    for subtree in &normalized.insertions {
-                        subtree.apply(&mut self.dir);
-                    }
-                    for &root in &normalized.deletion_roots {
-                        self.dir
-                            .remove_subtree(root)
-                            .expect("normalisation validated deletion roots");
-                    }
-                    self.dir.prepare();
-                    Ok(self.checker().check(&self.dir))
+        self.guarded_apply(|me, probe| {
+            if me.known_legal {
+                // D is legal: the Theorem 4.1 + Figure 5 incremental path.
+                let applied =
+                    apply_and_check_probed(&me.schema, &mut me.dir, tx, me.options, probe)?;
+                Ok(((), applied.report))
+            } else {
+                // No legality baseline: apply, then full check.
+                let normalized = tx.normalize(&me.dir)?;
+                for subtree in &normalized.insertions {
+                    subtree.apply(&mut me.dir)?;
                 }
-                Err(e) => Err(ManagedError::Transaction(e)),
-            }
-        };
-        let out = match checked {
-            Ok(report) if report.is_legal() => {
-                if probe.enabled() {
-                    probe.add("managed.tx_applied", 1);
+                for &root in &normalized.deletion_roots {
+                    me.dir.remove_subtree(root).map_err(|e| {
+                        ManagedError::Internal(format!(
+                            "removing validated deletion root {root}: {e}"
+                        ))
+                    })?;
                 }
-                self.known_legal = true;
-                Ok(())
+                me.dir.prepare();
+                Ok(((), me.checker().check(&me.dir)))
             }
-            Ok(report) => {
-                record_rollback(probe, &report);
-                self.dir = snapshot;
-                Err(ManagedError::RolledBack(report))
-            }
-            Err(e) => {
-                // Normalisation is read-only, so the instance is untouched
-                // on a structurally invalid transaction.
-                if probe.enabled() {
-                    probe.add("managed.tx_invalid", 1);
-                }
-                Err(e)
-            }
-        };
-        probe.span_end(span);
-        out
+        })
     }
 
     /// Single-insert convenience (one-op transaction).
@@ -285,55 +424,24 @@ impl ManagedDirectory {
     }
 
     fn apply_returning_root(&mut self, tx: &Transaction) -> Result<EntryId, ManagedError> {
-        let handle = self.probe.clone();
-        let probe = handle.get();
-        let span = probe.span_start(NO_SPAN, "managed.apply", 0);
-        let snapshot = self.dir.clone();
-        let applied: Result<crate::updates::AppliedTx, ManagedError> = if self.known_legal {
-            apply_and_check_probed(&self.schema, &mut self.dir, tx, self.options, probe)
-                .map_err(ManagedError::Transaction)
-        } else {
-            match tx.normalize(&self.dir) {
-                Ok(normalized) => {
-                    let mut dir = self.dir.clone();
-                    let mut roots = Vec::new();
-                    for subtree in &normalized.insertions {
-                        roots.push(subtree.apply(&mut dir)[0]);
-                    }
-                    dir.prepare();
-                    let report = self.checker().check(&dir);
-                    self.dir = dir;
-                    Ok(crate::updates::AppliedTx {
-                        inserted_roots: roots,
-                        removed: Vec::new(),
-                        report,
-                    })
+        self.guarded_apply(|me, probe| {
+            let applied = if me.known_legal {
+                apply_and_check_probed(&me.schema, &mut me.dir, tx, me.options, probe)?
+            } else {
+                let normalized = tx.normalize(&me.dir)?;
+                let mut roots = Vec::new();
+                for subtree in &normalized.insertions {
+                    roots.push(subtree.apply(&mut me.dir)?[0]);
                 }
-                Err(e) => Err(ManagedError::Transaction(e)),
-            }
-        };
-        let out = match applied {
-            Ok(applied) if applied.report.is_legal() => {
-                if probe.enabled() {
-                    probe.add("managed.tx_applied", 1);
-                }
-                self.known_legal = true;
-                Ok(applied.inserted_roots[0])
-            }
-            Ok(applied) => {
-                record_rollback(probe, &applied.report);
-                self.dir = snapshot;
-                Err(ManagedError::RolledBack(applied.report))
-            }
-            Err(e) => {
-                if probe.enabled() {
-                    probe.add("managed.tx_invalid", 1);
-                }
-                Err(e)
-            }
-        };
-        probe.span_end(span);
-        out
+                me.dir.prepare();
+                let report = me.checker().check(&me.dir);
+                crate::updates::AppliedTx { inserted_roots: roots, removed: Vec::new(), report }
+            };
+            let root = applied.inserted_roots.first().copied().ok_or_else(|| {
+                ManagedError::Internal("single-insert transaction produced no root".to_owned())
+            })?;
+            Ok((root, applied.report))
+        })
     }
 
     /// Single subtree-delete convenience: deletes `target` and its whole
@@ -356,41 +464,24 @@ impl ManagedDirectory {
         target: EntryId,
         mods: &[crate::updates::Mod],
     ) -> Result<(), ManagedError> {
-        let handle = self.probe.clone();
-        let probe = handle.get();
-        let span = probe.span_start(NO_SPAN, "managed.apply", 0);
-        let snapshot = self.dir.clone();
-        let Some(changed) = crate::updates::apply_mods(&mut self.dir, target, mods) else {
-            let report = crate::legality::LegalityReport::from_violations(vec![
-                crate::legality::Violation::ValueViolation {
-                    entry: target,
-                    message: "no such entry".to_owned(),
-                },
-            ]);
-            record_rollback(probe, &report);
-            self.dir = snapshot;
-            probe.span_end(span);
-            return Err(ManagedError::RolledBack(report));
-        };
-        self.dir.prepare();
-        let report = if self.known_legal {
-            crate::updates::check_modification(&self.schema, &self.dir, target, &changed)
-        } else {
-            self.checker().check(&self.dir)
-        };
-        let out = if report.is_legal() {
-            if probe.enabled() {
-                probe.add("managed.tx_applied", 1);
-            }
-            self.known_legal = true;
-            Ok(())
-        } else {
-            record_rollback(probe, &report);
-            self.dir = snapshot;
-            Err(ManagedError::RolledBack(report))
-        };
-        probe.span_end(span);
-        out
+        self.guarded_apply(|me, _probe| {
+            let Some(changed) = crate::updates::apply_mods(&mut me.dir, target, mods) else {
+                let report = crate::legality::LegalityReport::from_violations(vec![
+                    crate::legality::Violation::ValueViolation {
+                        entry: target,
+                        message: "no such entry".to_owned(),
+                    },
+                ]);
+                return Ok(((), report));
+            };
+            me.dir.prepare();
+            let report = if me.known_legal {
+                crate::updates::check_modification(&me.schema, &me.dir, target, &changed)
+            } else {
+                me.checker().check(&me.dir)
+            };
+            Ok(((), report))
+        })
     }
 
     /// Moves the subtree rooted at `target` under `new_parent` (LDAP
@@ -400,44 +491,27 @@ impl ManagedDirectory {
         target: EntryId,
         new_parent: EntryId,
     ) -> Result<(), ManagedError> {
-        let handle = self.probe.clone();
-        let probe = handle.get();
-        let span = probe.span_start(NO_SPAN, "managed.apply", 0);
-        let snapshot = self.dir.clone();
-        if let Err(e) = self.dir.move_subtree(target, new_parent) {
-            let report = crate::legality::LegalityReport::from_violations(vec![
-                crate::legality::Violation::ValueViolation {
-                    entry: target,
-                    message: e.to_string(),
-                },
-            ]);
-            record_rollback(probe, &report);
-            self.dir = snapshot;
-            probe.span_end(span);
-            return Err(ManagedError::RolledBack(report));
-        }
-        self.dir.prepare();
-        let report = if self.known_legal {
-            crate::updates::IncrementalChecker::new(&self.schema)
-                .with_options(self.options)
-                .with_probe(probe)
-                .check_move(&self.dir, target)
-        } else {
-            self.checker().check(&self.dir)
-        };
-        let out = if report.is_legal() {
-            if probe.enabled() {
-                probe.add("managed.tx_applied", 1);
+        self.guarded_apply(|me, probe| {
+            if let Err(e) = me.dir.move_subtree(target, new_parent) {
+                let report = crate::legality::LegalityReport::from_violations(vec![
+                    crate::legality::Violation::ValueViolation {
+                        entry: target,
+                        message: e.to_string(),
+                    },
+                ]);
+                return Ok(((), report));
             }
-            self.known_legal = true;
-            Ok(())
-        } else {
-            record_rollback(probe, &report);
-            self.dir = snapshot;
-            Err(ManagedError::RolledBack(report))
-        };
-        probe.span_end(span);
-        out
+            me.dir.prepare();
+            let report = if me.known_legal {
+                crate::updates::IncrementalChecker::new(&me.schema)
+                    .with_options(me.options)
+                    .with_probe(probe)
+                    .check_move(&me.dir, target)
+            } else {
+                me.checker().check(&me.dir)
+            };
+            Ok(((), report))
+        })
     }
 
     /// Evaluates a hierarchical selection query against the directory.

@@ -45,7 +45,7 @@ pub fn apply_and_check(
     let mut inserted_roots = Vec::with_capacity(normalized.insertions.len());
 
     for subtree in &normalized.insertions {
-        let ids = subtree.apply(dir);
+        let ids = subtree.apply(dir)?;
         let root = ids[0];
         inserted_roots.push(root);
         dir.prepare();
@@ -56,7 +56,9 @@ pub fn apply_and_check(
     for &root in &normalized.deletion_roots {
         let batch: Vec<Entry> = dir
             .remove_subtree(root)
-            .expect("normalisation validated deletion roots")
+            .map_err(|e| {
+                TxError::Internal(format!("removing validated deletion root {root}: {e}"))
+            })?
             .into_iter()
             .map(|(_, e)| e)
             .collect();
@@ -111,7 +113,10 @@ pub fn apply_and_check_probed(
 
     let mut inserted_roots = Vec::with_capacity(normalized.insertions.len());
     for subtree in &normalized.insertions {
-        inserted_roots.push(subtree.apply(dir)[0]);
+        let ids = subtree.apply(dir)?;
+        inserted_roots.push(*ids.first().ok_or_else(|| {
+            TxError::Internal("normalised subtree insertion has no nodes".to_owned())
+        })?);
     }
     if !inserted_roots.is_empty() {
         dir.prepare();
@@ -122,7 +127,9 @@ pub fn apply_and_check_probed(
     for &root in &normalized.deletion_roots {
         removed.extend(
             dir.remove_subtree(root)
-                .expect("normalisation validated deletion roots")
+                .map_err(|e| {
+                    TxError::Internal(format!("removing validated deletion root {root}: {e}"))
+                })?
                 .into_iter()
                 .map(|(_, e)| e),
         );

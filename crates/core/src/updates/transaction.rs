@@ -86,6 +86,10 @@ pub enum TxError {
         /// Its surviving child.
         survivor: EntryId,
     },
+    /// An invariant the normalisation established failed to hold while
+    /// the transaction was applied — an engine bug surfaced as a typed
+    /// error instead of a panic, so callers can roll back.
+    Internal(String),
 }
 
 impl fmt::Display for TxError {
@@ -106,6 +110,7 @@ impl fmt::Display for TxError {
                 f,
                 "entry {deleted} is deleted but its child {survivor} is not (LDAP permits leaf deletion only)"
             ),
+            TxError::Internal(detail) => write!(f, "internal engine error: {detail}"),
         }
     }
 }
@@ -134,24 +139,37 @@ impl SubtreeInsertion {
     }
 
     /// Applies this insertion to `dir`, returning the created ids (parallel
-    /// to `nodes`; `ids[0]` is the subtree root).
-    pub fn apply(&self, dir: &mut DirectoryInstance) -> Vec<EntryId> {
+    /// to `nodes`; `ids[0]` is the subtree root). Errors only if an
+    /// invariant normalisation established no longer holds (e.g. the
+    /// validated parent vanished between normalise and apply).
+    pub fn apply(&self, dir: &mut DirectoryInstance) -> Result<Vec<EntryId>, TxError> {
         let mut ids: Vec<EntryId> = Vec::with_capacity(self.nodes.len());
-        for (local_parent, entry) in &self.nodes {
+        for (node, (local_parent, entry)) in self.nodes.iter().enumerate() {
             let id = match local_parent {
-                Some(i) => dir
-                    .add_child_entry(ids[*i], entry.clone())
-                    .expect("local parent was just created"),
+                Some(i) => {
+                    let &parent = ids.get(*i).ok_or_else(|| {
+                        TxError::Internal(format!(
+                            "subtree node {node} references local parent {i}, which was not created"
+                        ))
+                    })?;
+                    dir.add_child_entry(parent, entry.clone()).map_err(|e| {
+                        TxError::Internal(format!(
+                            "inserting subtree node {node} under just-created {parent}: {e}"
+                        ))
+                    })?
+                }
                 None => match self.parent {
-                    Some(p) => dir
-                        .add_child_entry(p, entry.clone())
-                        .expect("normalisation validated the parent"),
+                    Some(p) => dir.add_child_entry(p, entry.clone()).map_err(|e| {
+                        TxError::Internal(format!(
+                            "inserting subtree root under validated parent {p}: {e}"
+                        ))
+                    })?,
                     None => dir.add_root_entry(entry.clone()),
                 },
             };
             ids.push(id);
         }
-        ids
+        Ok(ids)
     }
 }
 
@@ -390,7 +408,7 @@ mod tests {
         let a = tx.insert_under(root, person("a"));
         tx.insert_under_new(a, person("b"));
         let n = tx.normalize(&d).unwrap();
-        let ids = n.insertions[0].apply(&mut d);
+        let ids = n.insertions[0].apply(&mut d).unwrap();
         assert_eq!(ids.len(), 2);
         assert_eq!(d.forest().parent(ids[0]), Some(root));
         assert_eq!(d.forest().parent(ids[1]), Some(ids[0]));

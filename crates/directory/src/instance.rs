@@ -327,6 +327,38 @@ impl DirectoryInstance {
             .map(move |id| (id, self.entries[id.index()].as_ref().expect("live node has an entry")))
     }
 
+    /// A canonical byte serialization of the full observable state: every
+    /// live entry in preorder with its slot id, parent id, RDN, object
+    /// classes, and attribute values in storage order. Two instances have
+    /// equal canonical bytes iff they are observably identical — same
+    /// ids, hierarchy, naming, and content — which is what the
+    /// crash-consistency suite means by "byte-identical to the
+    /// pre-transaction snapshot". Unlike the LDIF dump this covers
+    /// unnamed entries, and unlike `PartialEq` on a derived struct it is
+    /// insensitive to caches (the lazy index never participates).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for id in self.forest.iter() {
+            let _ = match self.forest.parent(id) {
+                Some(p) => write!(out, "{}<{}", id.index(), p.index()),
+                None => write!(out, "{}<-", id.index()),
+            };
+            let _ = match &self.rdns[id.index()] {
+                Some(rdn) => write!(out, " rdn={:?}", rdn.to_string()),
+                None => write!(out, " rdn=-"),
+            };
+            if let Some(entry) = &self.entries[id.index()] {
+                let _ = write!(out, " classes={:?}", entry.classes());
+                for (attr, values) in entry.attributes() {
+                    let _ = write!(out, " {attr:?}={values:?}");
+                }
+            }
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+
     // ----- validation against the attribute namespace -----
 
     /// Validates every (attribute, value) pair of `id` against the registry:
@@ -437,6 +469,27 @@ mod tests {
         assert!(d.entry(c).is_none());
         assert!(d.remove_leaf(r).is_ok());
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn canonical_bytes_detect_any_observable_change() {
+        let mut d = DirectoryInstance::default();
+        let r = d.add_root_entry(person("r"));
+        let m = d.add_child_entry(r, person("m")).unwrap();
+        let baseline = d.canonical_bytes();
+        // A clone is byte-identical; preparing the index changes nothing.
+        let mut clone = d.clone();
+        clone.prepare();
+        assert_eq!(clone.canonical_bytes(), baseline);
+        // Content, naming, and structure changes all show up.
+        clone.entry_mut(m).unwrap().add_value("title", "x");
+        assert_ne!(clone.canonical_bytes(), baseline);
+        let mut named = d.clone();
+        named.set_rdn(m, Rdn::single("uid", "m")).unwrap();
+        assert_ne!(named.canonical_bytes(), baseline);
+        let mut moved = d.clone();
+        let _ = moved.add_child_entry(m, person("leaf")).unwrap();
+        assert_ne!(moved.canonical_bytes(), baseline);
     }
 
     #[test]

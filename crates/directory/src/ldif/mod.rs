@@ -10,7 +10,7 @@ pub mod base64;
 mod parser;
 mod writer;
 
-pub use parser::{parse_ldif, LdifError, LdifRecord};
+pub use parser::{parse_ldif, parse_ldif_limited, LdifError, LdifLimits, LdifRecord};
 pub use writer::{write_ldif, write_record};
 
 use crate::dn::Dn;

@@ -68,6 +68,14 @@ pub enum LdifError {
         /// Rendered instance error.
         source: String,
     },
+    /// A resource limit was exceeded (guard against pathological inputs
+    /// such as continuation bombs or absurdly deep DNs).
+    LimitExceeded {
+        /// Line where the limit was crossed (0 for whole-input limits).
+        line: usize,
+        /// Which limit was crossed, with the observed and allowed sizes.
+        what: String,
+    },
 }
 
 impl fmt::Display for LdifError {
@@ -87,11 +95,52 @@ impl fmt::Display for LdifError {
             LdifError::Instance { line, source } => {
                 write!(f, "line {line}: cannot load record: {source}")
             }
+            LdifError::LimitExceeded { line, what } => {
+                write!(f, "line {line}: resource limit exceeded: {what}")
+            }
         }
     }
 }
 
 impl std::error::Error for LdifError {}
+
+/// Resource limits for LDIF parsing. Defaults are generous for real
+/// directories but stop pathological inputs (continuation bombs, giant
+/// single values, absurdly deep DNs) from exhausting memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdifLimits {
+    /// Maximum total input length in bytes.
+    pub max_input_len: usize,
+    /// Maximum length of one logical (unfolded) line in bytes.
+    pub max_line_len: usize,
+    /// Maximum number of records.
+    pub max_records: usize,
+    /// Maximum DN depth (number of RDN components).
+    pub max_dn_depth: usize,
+}
+
+impl Default for LdifLimits {
+    fn default() -> Self {
+        LdifLimits {
+            max_input_len: 256 << 20, // 256 MiB
+            max_line_len: 1 << 20,    // 1 MiB per logical line
+            max_records: 4_000_000,
+            max_dn_depth: 256,
+        }
+    }
+}
+
+impl LdifLimits {
+    /// Limits suitable for untrusted input (a few MiB, shallow trees).
+    pub fn strict() -> Self {
+        LdifLimits {
+            max_input_len: 8 << 20,
+            max_line_len: 64 << 10,
+            max_records: 100_000,
+            max_dn_depth: 64,
+        }
+    }
+}
 
 /// A logical (unfolded) LDIF line with its source position.
 struct Logical {
@@ -100,14 +149,32 @@ struct Logical {
 }
 
 /// Unfolds continuation lines and strips comments / the version header.
-fn logical_lines(text: &str) -> Result<Vec<Logical>, LdifError> {
+fn logical_lines(text: &str, limits: &LdifLimits) -> Result<Vec<Logical>, LdifError> {
     let mut out: Vec<Logical> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line = i + 1;
+        if raw.len() > limits.max_line_len {
+            return Err(LdifError::LimitExceeded {
+                line,
+                what: format!("line is {} bytes (limit {})", raw.len(), limits.max_line_len),
+            });
+        }
         if let Some(rest) = raw.strip_prefix(' ') {
-            // Continuation of the previous logical line.
+            // Continuation of the previous logical line. Cap the unfolded
+            // length so a continuation bomb cannot grow one line unboundedly.
             match out.last_mut() {
-                Some(prev) if !prev.text.is_empty() => prev.text.push_str(rest),
+                Some(prev) if !prev.text.is_empty() => {
+                    if prev.text.len() + rest.len() > limits.max_line_len {
+                        return Err(LdifError::LimitExceeded {
+                            line,
+                            what: format!(
+                                "unfolded logical line exceeds {} bytes",
+                                limits.max_line_len
+                            ),
+                        });
+                    }
+                    prev.text.push_str(rest);
+                }
                 _ => return Err(LdifError::DanglingContinuation { line }),
             }
             continue;
@@ -143,9 +210,22 @@ fn split_line(l: &Logical) -> Result<(String, String), LdifError> {
 }
 
 /// Parses LDIF text into records. Records are separated by blank lines; the
-/// optional `version: 1` header is accepted and ignored.
+/// optional `version: 1` header is accepted and ignored. Uses the default
+/// [`LdifLimits`]; see [`parse_ldif_limited`] for untrusted input.
 pub fn parse_ldif(text: &str) -> Result<Vec<LdifRecord>, LdifError> {
-    let lines = logical_lines(text)?;
+    parse_ldif_limited(text, &LdifLimits::default())
+}
+
+/// Like [`parse_ldif`] but with explicit resource limits, returning
+/// [`LdifError::LimitExceeded`] as soon as one is crossed.
+pub fn parse_ldif_limited(text: &str, limits: &LdifLimits) -> Result<Vec<LdifRecord>, LdifError> {
+    if text.len() > limits.max_input_len {
+        return Err(LdifError::LimitExceeded {
+            line: 0,
+            what: format!("input is {} bytes (limit {})", text.len(), limits.max_input_len),
+        });
+    }
+    let lines = logical_lines(text, limits)?;
     let mut records = Vec::new();
     let mut current: Option<LdifRecord> = None;
     let mut seen_any = false;
@@ -166,8 +246,24 @@ pub fn parse_ldif(text: &str) -> Result<Vec<LdifRecord>, LdifError> {
         seen_any = true;
         match (&mut current, key.as_str()) {
             (None, "dn") => {
+                if records.len() >= limits.max_records {
+                    return Err(LdifError::LimitExceeded {
+                        line: l.line,
+                        what: format!("more than {} records", limits.max_records),
+                    });
+                }
                 let dn =
                     Dn::parse(&value).map_err(|e| LdifError::BadDn { line: l.line, source: e })?;
+                if dn.depth() > limits.max_dn_depth {
+                    return Err(LdifError::LimitExceeded {
+                        line: l.line,
+                        what: format!(
+                            "DN depth {} exceeds limit {}",
+                            dn.depth(),
+                            limits.max_dn_depth
+                        ),
+                    });
+                }
                 current = Some(LdifRecord { dn, entry: Entry::new(), line: l.line });
             }
             (None, _) => return Err(LdifError::MissingDn { line: l.line }),
@@ -270,5 +366,58 @@ location: FP
     fn empty_input_is_empty() {
         assert!(parse_ldif("").unwrap().is_empty());
         assert!(parse_ldif("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn continuation_bomb_is_rejected() {
+        // Many continuation lines folding into one ever-growing logical
+        // line must trip the per-line cap, not exhaust memory.
+        let limits = LdifLimits { max_line_len: 1024, ..LdifLimits::default() };
+        let mut text = String::from("dn: o=att\ndescription: start\n");
+        for _ in 0..64 {
+            text.push(' ');
+            text.push_str(&"x".repeat(100));
+            text.push('\n');
+        }
+        let err = parse_ldif_limited(&text, &limits).unwrap_err();
+        assert!(matches!(err, LdifError::LimitExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_single_line_is_rejected() {
+        let limits = LdifLimits { max_line_len: 64, ..LdifLimits::default() };
+        let text = format!("dn: o=att\ndescription: {}\n", "y".repeat(200));
+        let err = parse_ldif_limited(&text, &limits).unwrap_err();
+        assert!(matches!(err, LdifError::LimitExceeded { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn deep_dn_is_rejected() {
+        let limits = LdifLimits { max_dn_depth: 8, ..LdifLimits::default() };
+        let dn = (0..20).map(|i| format!("ou=d{i}")).collect::<Vec<_>>().join(",");
+        let text = format!("dn: {dn}\nobjectClass: top\n");
+        let err = parse_ldif_limited(&text, &limits).unwrap_err();
+        assert!(matches!(err, LdifError::LimitExceeded { line: 1, .. }), "{err}");
+        // The same DN passes under default limits.
+        assert!(parse_ldif(&text).is_ok());
+    }
+
+    #[test]
+    fn record_count_limit_is_enforced() {
+        let limits = LdifLimits { max_records: 3, ..LdifLimits::default() };
+        let mut text = String::new();
+        for i in 0..5 {
+            text.push_str(&format!("dn: o=org{i}\nobjectClass: top\n\n"));
+        }
+        let err = parse_ldif_limited(&text, &limits).unwrap_err();
+        assert!(matches!(err, LdifError::LimitExceeded { .. }), "{err}");
+        assert_eq!(parse_ldif(&text).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn input_length_limit_is_enforced() {
+        let limits = LdifLimits { max_input_len: 16, ..LdifLimits::default() };
+        let err = parse_ldif_limited("dn: o=att\nobjectClass: top\n", &limits).unwrap_err();
+        assert!(matches!(err, LdifError::LimitExceeded { line: 0, .. }), "{err}");
     }
 }

@@ -47,6 +47,12 @@ where
 /// (its position in the chunk order). The inline `threads <= 1` path
 /// passes index 0. Lets instrumentation attribute per-chunk work to a
 /// stable ordinal independent of worker scheduling.
+///
+/// Worker failure degrades gracefully: a chunk whose worker thread
+/// panics is retried sequentially on the caller's thread after the
+/// scope closes, so one dying worker slows the check down instead of
+/// aborting it. A panic on the sequential retry (a deterministic fault,
+/// not a transient one) propagates to the caller.
 pub fn par_flat_map_chunks_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -60,19 +66,33 @@ where
     // Ceiling division so every chunk is non-empty and order is total.
     let chunk_len = items.len().div_ceil(threads);
     let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
-    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    let mut results: Vec<Option<Vec<R>>> = Vec::with_capacity(chunks.len());
     let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
-            .into_iter()
+            .iter()
             .enumerate()
-            .map(|(i, chunk)| scope.spawn(move || f(i, chunk)))
+            .map(|(i, &chunk)| {
+                scope.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, chunk)))
+                })
+            })
             .collect();
         for handle in handles {
-            results.push(handle.join().expect("parallel worker panicked"));
+            // Outer Err = the thread died outside catch_unwind (cannot
+            // happen for unwinding panics, but treat it as a failed
+            // chunk rather than propagating a resume_unwind here).
+            results.push(match handle.join() {
+                Ok(Ok(chunk_result)) => Some(chunk_result),
+                Ok(Err(_)) | Err(_) => None,
+            });
         }
     });
-    results.into_iter().flatten().collect()
+    results
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, slot)| slot.unwrap_or_else(|| f(i, chunks[i])))
+        .collect()
 }
 
 /// Applies `f` to each item concurrently (chunked as in
@@ -139,6 +159,27 @@ mod tests {
             chunk.to_vec()
         });
         assert_eq!(inline, items);
+    }
+
+    #[test]
+    fn panicking_worker_chunk_is_retried_sequentially() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Quiet the expected worker-panic backtrace spam.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<u32> = (0..20).collect();
+        let attempts = AtomicU64::new(0);
+        let got = par_flat_map_chunks_indexed(&items, 4, |i, chunk| {
+            // Chunk 2 dies on its first attempt only (a transient fault).
+            if i == 2 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("worker down");
+            }
+            chunk.iter().map(|&x| x * 10).collect()
+        });
+        std::panic::set_hook(prev);
+        let expect: Vec<u32> = items.iter().map(|&x| x * 10).collect();
+        assert_eq!(got, expect);
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -21,6 +21,14 @@ pub enum FilterParseError {
     TrailingInput(usize),
     /// An empty `(!)`, or `!` with several sub-filters.
     BadNot(usize),
+    /// Nesting exceeded the depth limit (guard against stack overflow on
+    /// pathological inputs like `(!(!(!(...))))`).
+    TooDeep {
+        /// Byte offset where the limit was crossed.
+        at: usize,
+        /// The depth limit in force.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for FilterParseError {
@@ -33,15 +41,24 @@ impl fmt::Display for FilterParseError {
             FilterParseError::BadEscape(p) => write!(f, "bad \\xx escape at byte {p}"),
             FilterParseError::TrailingInput(p) => write!(f, "trailing input at byte {p}"),
             FilterParseError::BadNot(p) => write!(f, "'!' takes exactly one sub-filter (byte {p})"),
+            FilterParseError::TooDeep { at, limit } => {
+                write!(f, "filter nesting at byte {at} exceeds depth limit {limit}")
+            }
         }
     }
 }
 
 impl std::error::Error for FilterParseError {}
 
+/// Default nesting depth limit for [`parse_filter`]. Far above any real
+/// query, far below where recursion threatens the stack.
+pub const DEFAULT_FILTER_DEPTH: usize = 128;
+
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -71,6 +88,16 @@ impl<'a> Parser<'a> {
     }
 
     fn parse(&mut self) -> Result<Filter, FilterParseError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(FilterParseError::TooDeep { at: self.pos, limit: self.max_depth });
+        }
+        let filter = self.parse_inner();
+        self.depth -= 1;
+        filter
+    }
+
+    fn parse_inner(&mut self) -> Result<Filter, FilterParseError> {
         self.expect(b'(')?;
         let filter = match self.peek() {
             Some(b'&') => {
@@ -211,9 +238,15 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Parses an RFC 2254 filter string.
+/// Parses an RFC 2254 filter string, capping nesting at
+/// [`DEFAULT_FILTER_DEPTH`].
 pub fn parse_filter(input: &str) -> Result<Filter, FilterParseError> {
-    let mut p = Parser { input: input.trim().as_bytes(), pos: 0 };
+    parse_filter_limited(input, DEFAULT_FILTER_DEPTH)
+}
+
+/// Like [`parse_filter`] with an explicit nesting depth limit.
+pub fn parse_filter_limited(input: &str, max_depth: usize) -> Result<Filter, FilterParseError> {
+    let mut p = Parser { input: input.trim().as_bytes(), pos: 0, depth: 0, max_depth };
     let filter = p.parse()?;
     if p.pos != p.input.len() {
         return Err(FilterParseError::TrailingInput(p.pos));
@@ -322,5 +355,43 @@ mod tests {
     #[test]
     fn empty_not_rejected() {
         assert!(matches!(parse_filter("(!)"), Err(FilterParseError::BadNot(_))));
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed() {
+        // 100k nested negations: must fail fast with TooDeep instead of
+        // blowing the stack.
+        let n = 100_000;
+        let mut text = String::with_capacity(n * 4 + 8);
+        for _ in 0..n {
+            text.push_str("(!");
+        }
+        text.push_str("(a=b)");
+        for _ in 0..n {
+            text.push(')');
+        }
+        let err = parse_filter(&text).unwrap_err();
+        assert!(matches!(err, FilterParseError::TooDeep { limit: DEFAULT_FILTER_DEPTH, .. }));
+    }
+
+    #[test]
+    fn depth_limit_is_exact() {
+        // depth d needs d nested parses; (a=b) alone is depth 1.
+        assert!(parse_filter_limited("(a=b)", 1).is_ok());
+        assert!(matches!(
+            parse_filter_limited("(!(a=b))", 1),
+            Err(FilterParseError::TooDeep { limit: 1, .. })
+        ));
+        assert!(parse_filter_limited("(!(a=b))", 2).is_ok());
+        // A deep but within-limit filter still parses under the default.
+        let mut text = String::new();
+        for _ in 0..100 {
+            text.push_str("(!");
+        }
+        text.push_str("(a=b)");
+        for _ in 0..100 {
+            text.push(')');
+        }
+        assert!(parse_filter(&text).is_ok());
     }
 }

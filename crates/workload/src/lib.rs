@@ -11,15 +11,21 @@
 //!   inconsistent family (planted cycles/contradictions), and an
 //!   unconstrained family for consistency-checker benchmarking;
 //! * [`tx_gen`] — random legality-preserving and violating update
-//!   transactions over generated directories.
+//!   transactions over generated directories;
+//! * [`chaos`] — the fault-injection differential driver: replays a
+//!   scripted workload under every injectable fault and asserts the
+//!   crash-consistency invariants of
+//!   [`ManagedDirectory`](bschema_core::managed::ManagedDirectory).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod org;
 pub mod schema_gen;
 pub mod tx_gen;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use org::{OrgGenerator, OrgParams};
 pub use schema_gen::{SchemaGenerator, SchemaParams};
 pub use tx_gen::{TxGenerator, TxParams};

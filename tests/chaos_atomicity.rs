@@ -1,0 +1,252 @@
+//! Chaos differential suite (the robustness capstone): every probe site
+//! that fires during a scripted `ManagedDirectory` workload gets exactly
+//! one injected panic, and every run must uphold the Theorem 4.1
+//! atomicity contract — a failed or panicked transaction leaves the
+//! instance byte-identical to its pre-transaction snapshot with
+//! `is_legal()` intact, and write-ahead journal recovery reproduces
+//! exactly the committed prefix.
+//!
+//! Seed control: set `CHAOS_SEED=<u64>` to run the campaign under a
+//! different seed (CI runs a fixed matrix plus one fresh logged seed).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
+
+use bschema_core::consistency::ConsistencyChecker;
+use bschema_core::legality::LegalityOptions;
+use bschema_core::managed::{ManagedDirectory, ManagedError};
+use bschema_core::paper::{white_pages_instance, white_pages_schema};
+use bschema_core::updates::Transaction;
+use bschema_directory::Entry;
+use bschema_faults::FaultPlan;
+use bschema_obs::{Probe, SpanId, NO_SPAN};
+use bschema_workload::chaos::{run_chaos, run_once, scripted_workload, ChaosConfig};
+
+fn chaos_seed() -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(v) => v.parse().unwrap_or_else(|_| panic!("CHAOS_SEED must be a u64, got {v:?}")),
+        Err(_) => 0xC4A05,
+    }
+}
+
+/// The full sequential campaign: one fail-nth run per injectable event.
+/// Every fault either aborts a transaction (verified atomic by the
+/// driver) or is absorbed; injection count proves full event coverage.
+#[test]
+fn chaos_campaign_sequential_covers_every_event() {
+    let cfg = ChaosConfig { seed: chaos_seed(), ..ChaosConfig::default() };
+    let report = run_chaos(&cfg);
+    eprintln!("chaos(seed={:#x}, sequential): {report:?}", cfg.seed);
+
+    // fail_nth(n) leaves events 0..n untouched, so event n always fires:
+    // exactly one injection per run.
+    assert_eq!(report.injected, report.events, "every event index must inject exactly once");
+    assert!(report.aborted_txs > 0, "some faults must abort transactions");
+    assert!(report.survived > 0, "post-verdict probe faults must be absorbed");
+    assert_eq!(report.crash_cuts, cfg.crash_cuts);
+
+    // The campaign must reach every layer named by the instrumentation:
+    // the managed transaction boundary, the Figure 4/5 checkers, and the
+    // Δ-query evaluator.
+    for site in [
+        "span:managed.apply",
+        "managed.tx_applied",
+        "managed.tx_rolled_back",
+        "legality.entries_content_checked",
+        "query.evaluated",
+    ] {
+        assert!(report.sites.contains_key(site), "census must include {site}: {:?}", report.sites);
+    }
+}
+
+/// The same campaign under the parallel legality engine: worker-thread
+/// faults are additionally exercised (and absorbed by sequential retry).
+#[test]
+fn chaos_campaign_parallel_engine() {
+    let cfg = ChaosConfig {
+        seed: chaos_seed() ^ 0xA11E1,
+        org_size: 40,
+        rounds: 5,
+        options: LegalityOptions::parallel(3),
+        crash_cuts: 8,
+    };
+    let report = run_chaos(&cfg);
+    eprintln!("chaos(seed={:#x}, parallel): {report:?}", cfg.seed);
+    assert!(report.injected > 0, "parallel campaign must inject faults");
+    assert!(
+        report.sites.contains_key("parallel.chunks"),
+        "parallel engine must reach worker-chunk sites: {:?}",
+        report.sites
+    );
+}
+
+/// A fault pinned inside a parallel worker chunk is absorbed: the chunk
+/// is retried sequentially and the transaction still commits.
+#[test]
+fn worker_fault_degrades_to_sequential_retry() {
+    bschema_faults::silence_injected_panics();
+    let cfg = ChaosConfig {
+        seed: chaos_seed(),
+        org_size: 40,
+        rounds: 4,
+        options: LegalityOptions::parallel(3),
+        ..ChaosConfig::default()
+    };
+    let w = scripted_workload(&cfg);
+    let plan = Arc::new(FaultPlan::fail_at_site("parallel.chunks", 0));
+    let stats = run_once(&w, cfg.options, &plan);
+    assert_eq!(plan.injected(), 1, "the worker-chunk fault must fire");
+    assert_eq!(stats.panicked, 0, "a worker fault must be absorbed, not abort the transaction");
+    assert!(stats.applied > 0);
+}
+
+/// Fault-injection sweep over the ◇∅ consistency engine: every injected
+/// panic is contained by `catch_unwind` at the call site and the
+/// fault-free verdict is unchanged (the engine holds no shared state to
+/// poison).
+#[test]
+fn consistency_engine_faults_are_contained() {
+    bschema_faults::silence_injected_panics();
+    let schema = white_pages_schema();
+    let observer = FaultPlan::observer();
+    let baseline = ConsistencyChecker::new(&schema).with_probe(&observer).check().is_consistent();
+    assert!(baseline, "the paper schema is consistent");
+    let events = observer.events();
+    assert!(events > 0, "consistency check must hit probe sites");
+    assert!(
+        observer.sites().keys().any(|s| s.starts_with("consistency.")),
+        "census must include consistency sites: {:?}",
+        observer.sites()
+    );
+
+    for event in 0..events {
+        let plan = FaultPlan::fail_nth(event);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            ConsistencyChecker::new(&schema).with_probe(&plan).check().is_consistent()
+        }));
+        match outcome {
+            Ok(verdict) => assert!(verdict, "event {event}: fault changed the verdict"),
+            Err(payload) => {
+                assert!(
+                    bschema_faults::is_injected_panic(&*payload),
+                    "event {event}: unexpected panic kind"
+                );
+            }
+        }
+    }
+}
+
+/// Probe that records the order of every instrumentation call.
+#[derive(Debug, Default)]
+struct OrderProbe {
+    calls: Mutex<Vec<String>>,
+}
+
+impl OrderProbe {
+    fn push(&self, call: String) {
+        self.calls.lock().expect("order probe lock").push(call);
+    }
+
+    fn calls(&self) -> Vec<String> {
+        self.calls.lock().expect("order probe lock").clone()
+    }
+}
+
+impl Probe for OrderProbe {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, key: &str, by: u64) {
+        self.push(format!("add:{key}={by}"));
+    }
+
+    fn add_labeled(&self, key: &str, label: &str, _by: u64) {
+        self.push(format!("label:{key}.{label}"));
+    }
+
+    fn observe(&self, key: &str, value: u64) {
+        self.push(format!("observe:{key}={value}"));
+    }
+
+    fn span_start(&self, _parent: SpanId, name: &'static str, _ord: u64) -> SpanId {
+        self.push(format!("span_start:{name}"));
+        NO_SPAN
+    }
+
+    fn span_end(&self, _span: SpanId) {
+        self.push("span_end".to_owned());
+    }
+}
+
+fn violating_tx(suciu: bschema_directory::EntryId) -> Transaction {
+    let mut tx = Transaction::new();
+    // An orgUnit under a person violates the Figure 2/3 schema.
+    tx.insert_under(
+        suciu,
+        Entry::builder().classes(["orgUnit", "orgGroup", "top"]).attr("ou", "oops").build(),
+    );
+    tx
+}
+
+/// Satellite: the rollback reason is recorded through the probe before
+/// the `managed.apply` span closes — diagnostics narrate the rollback as
+/// it happens, not after the fact.
+#[test]
+fn rollback_reason_is_recorded_before_span_close() {
+    let schema = white_pages_schema();
+    let (dir, ids) = white_pages_instance();
+    let probe = Arc::new(OrderProbe::default());
+    let mut managed = ManagedDirectory::with_instance(schema, dir)
+        .expect("paper instance is legal")
+        .with_probe(probe.clone());
+
+    let err = managed.apply(&violating_tx(ids.suciu)).unwrap_err();
+    assert!(matches!(err, ManagedError::RolledBack(_)), "expected rollback, got {err}");
+
+    let calls = probe.calls();
+    let rolled_back = calls
+        .iter()
+        .position(|c| c == "add:managed.tx_rolled_back=1")
+        .unwrap_or_else(|| panic!("rollback counter missing from {calls:?}"));
+    let last_span_end = calls
+        .iter()
+        .rposition(|c| c == "span_end")
+        .unwrap_or_else(|| panic!("managed.apply span never closed in {calls:?}"));
+    assert!(
+        rolled_back < last_span_end,
+        "rollback must be recorded before the apply span closes: {calls:?}"
+    );
+    assert!(
+        calls.iter().any(|c| c.starts_with("label:managed.rollback_violation.")),
+        "rollback reason labels missing from {calls:?}"
+    );
+}
+
+/// Satellite: a fault injected *at the rollback-recording site itself*
+/// still cannot skip the snapshot restore — recording happens before the
+/// restore, and the restore is unconditional.
+#[test]
+fn rollback_is_restored_even_when_recording_panics() {
+    bschema_faults::silence_injected_panics();
+    let schema = white_pages_schema();
+    let (dir, ids) = white_pages_instance();
+    let plan = Arc::new(FaultPlan::fail_at_site("managed.tx_rolled_back", 0));
+    let mut managed = ManagedDirectory::with_instance(schema, dir)
+        .expect("paper instance is legal")
+        .with_probe(plan.clone());
+    let before = managed.instance().canonical_bytes();
+
+    let err = managed.apply(&violating_tx(ids.suciu)).unwrap_err();
+    assert_eq!(plan.injected(), 1, "the rollback-site fault must fire");
+    assert!(
+        matches!(&err, ManagedError::Panicked { reason } if reason.contains(bschema_faults::INJECTED_FAULT_MARKER)),
+        "expected injected panic, got {err}"
+    );
+    assert_eq!(
+        managed.instance().canonical_bytes(),
+        before,
+        "snapshot restore must survive a fault in the rollback recording"
+    );
+    assert!(managed.is_legal());
+}

@@ -127,7 +127,7 @@ proptest! {
         let mut dir_b = dir.clone();
         let normalized = tx.normalize(&dir_b).expect("valid");
         for subtree in &normalized.insertions {
-            subtree.apply(&mut dir_b);
+            subtree.apply(&mut dir_b).expect("normalised insertion applies");
         }
         for &root in &normalized.deletion_roots {
             dir_b.remove_subtree(root).expect("validated");
