@@ -1,6 +1,6 @@
 //! Regenerates every table/figure-level result of the paper as text tables.
 //!
-//! Usage: `run_experiments [t31|q9|t42|f4|f5|t52|all] [--quick]`
+//! Usage: `run_experiments [t31|q9|t42|f4|f5|t52|qopt|srv|all] [--quick]`
 //!
 //! The paper (EDBT 2000) reports no absolute measurements — its evaluation
 //! artefacts are the worked example (Figures 1–3), the reduction tables
@@ -54,6 +54,7 @@ fn main() {
         "t42" => exp_t42(&sizes, runs),
         "t52" => exp_t52(runs, quick),
         "qopt" => exp_qopt(&sizes, runs),
+        "srv" => exp_srv(quick),
         "all" => {
             exp_f1();
             exp_f4();
@@ -63,9 +64,10 @@ fn main() {
             exp_t42(&sizes, runs);
             exp_t52(runs, quick);
             exp_qopt(&sizes, runs);
+            exp_srv(quick);
         }
         other => {
-            eprintln!("unknown experiment {other:?}; use t31|q9|t42|f1|f4|f5|t52|qopt|all");
+            eprintln!("unknown experiment {other:?}; use t31|q9|t42|f1|f4|f5|t52|qopt|srv|all");
             std::process::exit(2);
         }
     }
@@ -422,6 +424,74 @@ fn exp_qopt(sizes: &[usize], runs: usize) {
                 format!("{}→{}", raw.size(), optimized.size()),
             ]);
         }
+    }
+    println!("{}", table.render());
+}
+
+/// SRV: wire-frontend throughput at 1, 4 and 8 workers. Not a paper
+/// artefact — the deployment sanity number for `bschema-server`:
+/// snapshot-backed reads should scale with the worker pool while the
+/// serialized write path stays correct. Emits one `BENCH_JSON` line per
+/// worker count with `req_per_s` plus the server's own counters.
+fn exp_srv(quick: bool) {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use bschema_core::ManagedDirectory;
+    use bschema_obs::Probe;
+    use bschema_server::{Client, DirectoryService, Server, ServerConfig};
+
+    println!("== SRV: wire-frontend throughput (loopback TCP) ==");
+    let size = if quick { 300 } else { 2_000 };
+    let clients = 8usize;
+    let per_client = if quick { 100 } else { 400 };
+
+    let mut table = Table::new(["workers", "clients", "requests", "elapsed", "req/s"]);
+    for workers in [1usize, 4, 8] {
+        let org = org_of_size(size);
+        let managed = ManagedDirectory::with_instance(white_pages_schema(), org.dir)
+            .expect("generated org is legal");
+        let recorder = Arc::new(Recorder::new());
+        let service = DirectoryService::new(managed)
+            .with_probe(recorder.clone() as Arc<dyn Probe + Send + Sync>)
+            .with_recorder(recorder.clone());
+        let config = ServerConfig { threads: workers, ..ServerConfig::default() };
+        let handle = Server::spawn(Arc::new(service), config).expect("bind loopback");
+        let addr = handle.addr();
+
+        let started = Instant::now();
+        let mut threads = Vec::new();
+        for _ in 0..clients {
+            threads.push(std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("bench client connects");
+                for _ in 0..per_client {
+                    client.ping().expect("ping");
+                    client.search(None, "sub", "(objectClass=person)", Some(10)).expect("search");
+                }
+                client.unbind().expect("unbind");
+            }));
+        }
+        for t in threads {
+            t.join().expect("bench client thread");
+        }
+        let elapsed = started.elapsed();
+        handle.shutdown();
+        handle.wait();
+
+        // +1 per client for the UNBIND round-trip.
+        let requests = clients * (per_client * 2 + 1);
+        let req_per_s = requests as f64 / elapsed.as_secs_f64();
+        table.row([
+            workers.to_string(),
+            clients.to_string(),
+            requests.to_string(),
+            fmt_us(elapsed.as_micros() as f64),
+            format!("{req_per_s:.0}"),
+        ]);
+        println!(
+            "BENCH_JSON {{\"experiment\":\"srv\",\"n\":{workers},\"req_per_s\":{req_per_s:.1},\"metrics\":{}}}",
+            recorder.to_json()
+        );
     }
     println!("{}", table.render());
 }

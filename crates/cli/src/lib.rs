@@ -36,7 +36,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -47,11 +46,15 @@ use bschema_core::legality::{LegalityChecker, LegalityOptions};
 use bschema_core::managed::{ManagedDirectory, ManagedError};
 use bschema_core::schema::dsl::{parse_schema, print_schema, ParsedSchema};
 use bschema_core::schema::{ForbidKind, RelKind};
-use bschema_core::updates::Transaction;
+use bschema_core::updates::{transaction_from_ldif, Transaction};
+use bschema_directory::ldif::LdifLimits;
 use bschema_directory::{ldif, DirectoryInstance};
 use bschema_faults::{silence_injected_panics, FaultPlan};
 use bschema_obs::{Probe, Recorder};
-use bschema_query::{parse_filter, search, SearchRequest, SearchScope};
+use bschema_query::{
+    parse_filter_limited, search, SearchRequest, SearchScope, DEFAULT_FILTER_DEPTH,
+};
+use bschema_server::{Client, ClientError, DirectoryService, Server, ServerConfig, ServiceLimits};
 
 /// A CLI failure: message plus process exit code.
 #[derive(Debug)]
@@ -92,6 +95,8 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
         "print-schema" => cmd_print_schema(&args[1..], out),
         "evolve" => cmd_evolve(&args[1..], out),
         "suggest-schema" => cmd_suggest(&args[1..], out),
+        "serve" => cmd_serve(&args[1..], out),
+        "client" => cmd_client(&args[1..], out),
         "help" | "--help" | "-h" => {
             out.push_str(USAGE);
             Ok(0)
@@ -119,6 +124,17 @@ usage:
   bschema evolve <schema.bs> <data.ldif> require-rel <src> <ch|de|pa|an> <tgt>
   bschema evolve <schema.bs> <data.ldif> forbid-rel <upper> <ch|de> <lower>
   bschema suggest-schema <data.ldif> [--forbidden] [--required-classes]
+  bschema serve <schema.bs> [data.ldif] [--addr <ip:port>] [--port-file <path>]
+          [--threads <n>] [--queue-depth <n>] [--journal <path>] [--sequential]
+          [--metrics[=json]] [--inject-fault-site <site>[:<occurrence>]]
+  bschema client <addr> ping
+  bschema client <addr> search --filter <rfc2254> [--base <dn>] [--scope base|one|sub] [--limit <n>]
+  bschema client <addr> apply <tx.ldif>
+  bschema client <addr> modify <mods.txt>
+  bschema client <addr> metrics | shutdown
+
+input limits (check, validate, apply, search, serve):
+  --max-line-len <bytes>  --max-records <n>  --max-filter-depth <n>
 ";
 
 fn read_file(path: &str) -> Result<String, CliError> {
@@ -130,12 +146,21 @@ fn load_schema(path: &str) -> Result<ParsedSchema, CliError> {
 }
 
 fn load_ldif(path: &str, parsed: Option<&ParsedSchema>) -> Result<DirectoryInstance, CliError> {
+    load_ldif_limited(path, parsed, &LdifLimits::default())
+}
+
+fn load_ldif_limited(
+    path: &str,
+    parsed: Option<&ParsedSchema>,
+    limits: &LdifLimits,
+) -> Result<DirectoryInstance, CliError> {
     let text = read_file(path)?;
     let mut dir = match parsed {
         Some(p) => DirectoryInstance::new(p.registry.clone()),
         None => DirectoryInstance::white_pages(),
     };
-    ldif::load_into(&mut dir, &text).map_err(|e| usage_error(format!("{path}: {e}")))?;
+    ldif::load_into_limited(&mut dir, &text, limits)
+        .map_err(|e| usage_error(format!("{path}: {e}")))?;
     dir.prepare();
     Ok(dir)
 }
@@ -165,11 +190,24 @@ fn check_schema(args: &[String], out: &mut String) -> Result<i32, CliError> {
 }
 
 fn validate(args: &[String], out: &mut String) -> Result<i32, CliError> {
-    let [schema_path, ldif_path] = args else {
+    let mut limits = LimitOpts::default();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if limits.accept(arg, &mut it)? {
+            continue;
+        }
+        match arg.as_str() {
+            path if !path.starts_with("--") => positional.push(path),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let [schema_path, ldif_path] = positional[..] else {
         return Err(usage_error("validate takes <schema.bs> <data.ldif>"));
     };
     let parsed = load_schema(schema_path)?;
-    let dir = load_ldif(ldif_path, Some(&parsed))?;
+    let dir =
+        load_ldif_limited(ldif_path, Some(&parsed), &limits.ldif_limits(LdifLimits::default()))?;
     let report = LegalityChecker::new(&parsed.schema).with_value_validation(true).check(&dir);
     let _ = writeln!(
         out,
@@ -240,12 +278,60 @@ impl ObsOpts {
     }
 }
 
+/// Input resource-limit flags shared by `check`, `validate`, `apply`,
+/// `search`, and `serve`. Unset fields keep [`LdifLimits::default`] /
+/// [`DEFAULT_FILTER_DEPTH`]; `serve` tightens the unset LDIF fields to
+/// [`LdifLimits::strict`] because socket bytes are untrusted.
+#[derive(Default)]
+struct LimitOpts {
+    max_line_len: Option<usize>,
+    max_records: Option<usize>,
+    max_filter_depth: Option<usize>,
+}
+
+impl LimitOpts {
+    /// Consumes `arg` (pulling its value from `it`) if it is a limit
+    /// flag.
+    fn accept(
+        &mut self,
+        arg: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, CliError> {
+        let parse = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+            let word = next_value(it, flag)?;
+            word.parse::<usize>()
+                .map_err(|_| usage_error(format!("{flag} needs a number, got {word:?}")))
+        };
+        match arg {
+            "--max-line-len" => self.max_line_len = Some(parse("--max-line-len", it)?),
+            "--max-records" => self.max_records = Some(parse("--max-records", it)?),
+            "--max-filter-depth" => self.max_filter_depth = Some(parse("--max-filter-depth", it)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn ldif_limits(&self, base: LdifLimits) -> LdifLimits {
+        LdifLimits {
+            max_line_len: self.max_line_len.unwrap_or(base.max_line_len),
+            max_records: self.max_records.unwrap_or(base.max_records),
+            ..base
+        }
+    }
+
+    fn filter_depth(&self) -> usize {
+        self.max_filter_depth.unwrap_or(DEFAULT_FILTER_DEPTH)
+    }
+}
+
 fn cmd_check(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut obs = ObsOpts::default();
+    let mut limits = LimitOpts::default();
     let mut sequential = false;
     let mut positional: Vec<&str> = Vec::new();
-    for arg in args {
-        if obs.accept(arg) {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if obs.accept(arg) || limits.accept(arg, &mut it)? {
             continue;
         }
         match arg.as_str() {
@@ -258,7 +344,8 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, CliError> {
         return Err(usage_error("check takes <data.ldif> <schema.bs>"));
     };
     let parsed = load_schema(schema_path)?;
-    let dir = load_ldif(ldif_path, Some(&parsed))?;
+    let dir =
+        load_ldif_limited(ldif_path, Some(&parsed), &limits.ldif_limits(LdifLimits::default()))?;
     let options =
         if sequential { LegalityOptions::sequential() } else { LegalityOptions::parallel(0) };
     let recorder = Recorder::new();
@@ -291,46 +378,17 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, CliError> {
     Ok(code)
 }
 
-/// Builds an insertion/deletion transaction from LDIF records. A record
-/// with `changetype: delete` deletes the named subtree; any other record
-/// is an insertion, attached to its parent DN — which may be an existing
-/// entry or an earlier insertion in the same transaction.
-fn build_transaction(dir: &DirectoryInstance, text: &str) -> Result<Transaction, CliError> {
-    let records = ldif::parse_ldif(text).map_err(|e| usage_error(format!("transaction: {e}")))?;
-    let mut tx = Transaction::new();
-    let mut pending: HashMap<String, usize> = HashMap::new();
-    for mut rec in records {
-        if rec.entry.first_value("changetype").is_some_and(|c| c.eq_ignore_ascii_case("delete")) {
-            let id = dir.lookup_dn(&rec.dn).ok_or_else(|| {
-                usage_error(format!(
-                    "line {}: cannot delete {:?}: no such entry",
-                    rec.line,
-                    rec.dn.to_normalized_string()
-                ))
-            })?;
-            tx.delete(id);
-            continue;
-        }
-        rec.entry.remove_attribute("changetype");
-        let op = match rec.dn.parent() {
-            Some(parent) if !parent.is_root() => {
-                if let Some(id) = dir.lookup_dn(&parent) {
-                    tx.insert_under(id, rec.entry)
-                } else if let Some(&parent_op) = pending.get(&parent.to_normalized_string()) {
-                    tx.insert_under_new(parent_op, rec.entry)
-                } else {
-                    return Err(usage_error(format!(
-                        "line {}: parent of {:?} is neither in the directory nor earlier in the transaction",
-                        rec.line,
-                        rec.dn.to_normalized_string()
-                    )));
-                }
-            }
-            _ => tx.insert_root(rec.entry),
-        };
-        pending.insert(rec.dn.to_normalized_string(), op);
-    }
-    Ok(tx)
+/// Builds an insertion/deletion transaction from LDIF text — the shared
+/// [`transaction_from_ldif`] decoder, so the CLI and the wire server
+/// accept exactly the same change format.
+fn build_transaction(
+    dir: &DirectoryInstance,
+    text: &str,
+    limits: &LdifLimits,
+) -> Result<Transaction, CliError> {
+    let records = ldif::parse_ldif_limited(text, limits)
+        .map_err(|e| usage_error(format!("transaction: {e}")))?;
+    transaction_from_ldif(dir, records).map_err(|e| usage_error(format!("transaction: {e}")))
 }
 
 /// Appends `text` to the file at `path`, creating it if absent. Used for
@@ -350,13 +408,14 @@ fn append_file(path: &str, text: &str) -> Result<(), CliError> {
 
 fn cmd_apply(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut obs = ObsOpts::default();
+    let mut limits = LimitOpts::default();
     let mut sequential = false;
     let mut journal_path: Option<&str> = None;
     let mut inject_fault: Option<u64> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if obs.accept(arg) {
+        if obs.accept(arg) || limits.accept(arg, &mut it)? {
             continue;
         }
         match arg.as_str() {
@@ -377,7 +436,8 @@ fn cmd_apply(args: &[String], out: &mut String) -> Result<i32, CliError> {
         return Err(usage_error("apply takes <schema.bs> <data.ldif> <tx.ldif>"));
     };
     let parsed = load_schema(schema_path)?;
-    let dir = load_ldif(ldif_path, Some(&parsed))?;
+    let ldif_limits = limits.ldif_limits(LdifLimits::default());
+    let dir = load_ldif_limited(ldif_path, Some(&parsed), &ldif_limits)?;
     let options =
         if sequential { LegalityOptions::sequential() } else { LegalityOptions::parallel(0) };
     let recorder = Arc::new(Recorder::new());
@@ -416,7 +476,7 @@ fn cmd_apply(args: &[String], out: &mut String) -> Result<i32, CliError> {
         writer = JournalWriter::resume_after(&journal);
     }
 
-    let tx = build_transaction(managed.instance(), &read_file(tx_path)?)?;
+    let tx = build_transaction(managed.instance(), &read_file(tx_path)?, &ldif_limits)?;
     // WAL discipline: the begin record (with the full transaction payload)
     // is durable before the instance mutates; the commit record is written
     // only after the transaction is certified legal. A rolled-back or
@@ -598,6 +658,7 @@ fn witness(args: &[String], out: &mut String) -> Result<i32, CliError> {
 }
 
 fn cmd_search(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut limits = LimitOpts::default();
     let mut ldif_path: Option<&str> = None;
     let mut filter_text: Option<&str> = None;
     let mut base_dn: Option<&str> = None;
@@ -605,6 +666,9 @@ fn cmd_search(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut schema_path: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if limits.accept(arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
             "--filter" => filter_text = Some(next_value(&mut it, "--filter")?),
             "--base" => base_dn = Some(next_value(&mut it, "--base")?),
@@ -623,10 +687,12 @@ fn cmd_search(args: &[String], out: &mut String) -> Result<i32, CliError> {
     }
     let ldif_path = ldif_path.ok_or_else(|| usage_error("search needs a data.ldif argument"))?;
     let filter_text = filter_text.ok_or_else(|| usage_error("search needs --filter"))?;
-    let filter = parse_filter(filter_text).map_err(|e| usage_error(format!("bad filter: {e}")))?;
+    let filter = parse_filter_limited(filter_text, limits.filter_depth())
+        .map_err(|e| usage_error(format!("bad filter: {e}")))?;
 
     let parsed = schema_path.map(load_schema).transpose()?;
-    let dir = load_ldif(ldif_path, parsed.as_ref())?;
+    let dir =
+        load_ldif_limited(ldif_path, parsed.as_ref(), &limits.ldif_limits(LdifLimits::default()))?;
 
     let base = match base_dn {
         Some(text) => {
@@ -767,6 +833,228 @@ fn parse_step(words: &[String]) -> Result<Evolution, CliError> {
             lower: (*lower).to_owned(),
         }),
         _ => Err(usage_error("unknown evolution step; see `bschema help`")),
+    }
+}
+
+/// `bschema serve <schema.bs> [data.ldif] [flags]` — runs the wire
+/// server until a client sends `SHUTDOWN`. The listening address is
+/// announced on **stderr** immediately (stdout is buffered until exit)
+/// and optionally written to `--port-file` for scripts; request metrics
+/// land in the buffered output after the drain when `--metrics[=json]`
+/// is given.
+fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut obs = ObsOpts::default();
+    let mut limits = LimitOpts::default();
+    let mut sequential = false;
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut port_file: Option<&str> = None;
+    let mut threads = 4usize;
+    let mut queue_depth = 64usize;
+    let mut journal_path: Option<&str> = None;
+    let mut inject_site: Option<(String, u64)> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    let parse_num = |flag: &str, word: &str| {
+        word.parse::<usize>()
+            .map_err(|_| usage_error(format!("{flag} needs a number, got {word:?}")))
+    };
+    while let Some(arg) = it.next() {
+        if obs.accept(arg) || limits.accept(arg, &mut it)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--sequential" => sequential = true,
+            "--addr" => addr = next_value(&mut it, "--addr")?.to_owned(),
+            "--port-file" => port_file = Some(next_value(&mut it, "--port-file")?),
+            "--threads" => threads = parse_num("--threads", next_value(&mut it, "--threads")?)?,
+            "--queue-depth" => {
+                queue_depth = parse_num("--queue-depth", next_value(&mut it, "--queue-depth")?)?
+            }
+            "--journal" => journal_path = Some(next_value(&mut it, "--journal")?),
+            "--inject-fault-site" => {
+                let word = next_value(&mut it, "--inject-fault-site")?;
+                let (site, occurrence) = match word.rsplit_once(':') {
+                    Some((site, occ)) if occ.chars().all(|c| c.is_ascii_digit()) => (
+                        site.to_owned(),
+                        occ.parse()
+                            .map_err(|_| usage_error(format!("bad occurrence in {word:?}")))?,
+                    ),
+                    _ => (word.to_owned(), 0),
+                };
+                inject_site = Some((site, occurrence));
+            }
+            path if !path.starts_with("--") => positional.push(path),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let (schema_path, data_path) = match positional[..] {
+        [schema] => (schema, None),
+        [schema, data] => (schema, Some(data)),
+        _ => return Err(usage_error("serve takes <schema.bs> [data.ldif]")),
+    };
+    let parsed = load_schema(schema_path)?;
+    // Socket bytes are untrusted: unset limit flags tighten to strict.
+    let ldif_limits = limits.ldif_limits(LdifLimits::strict());
+    let dir = match data_path {
+        Some(path) => load_ldif_limited(path, Some(&parsed), &ldif_limits)?,
+        None => DirectoryInstance::new(parsed.registry.clone()),
+    };
+    let options =
+        if sequential { LegalityOptions::sequential() } else { LegalityOptions::parallel(0) };
+    let managed = ManagedDirectory::with_instance(parsed.schema.clone(), dir)
+        .map_err(|e| CliError { message: e.to_string(), code: 1 })?
+        .with_options(options);
+
+    let recorder = Arc::new(Recorder::new());
+    let plan = inject_site.map(|(site, occurrence)| {
+        silence_injected_panics();
+        Arc::new(FaultPlan::fail_at_site(site, occurrence).with_inner(recorder.clone()))
+    });
+    let probe: Arc<dyn Probe + Send + Sync> = match &plan {
+        Some(plan) => plan.clone(),
+        None => recorder.clone(),
+    };
+    let mut service = DirectoryService::new(managed)
+        .with_limits(ServiceLimits {
+            ldif: ldif_limits,
+            filter_depth: limits.filter_depth(),
+            wire: bschema_server::WireLimits::default(),
+        })
+        .with_probe(probe)
+        .with_recorder(recorder.clone());
+    if let Some(path) = journal_path {
+        let (recovered, replayed) = service
+            .with_journal(path)
+            .map_err(|e| usage_error(format!("journal {path:?}: {e}")))?;
+        service = recovered;
+        if replayed > 0 {
+            let _ = writeln!(out, "journal: replayed {replayed} committed tx(s)");
+        }
+    }
+
+    let config =
+        ServerConfig { addr: addr.clone(), threads, queue_depth, ..ServerConfig::default() };
+    let handle = Server::spawn(Arc::new(service), config)
+        .map_err(|e| usage_error(format!("cannot serve on {addr:?}: {e}")))?;
+    let bound = handle.addr();
+    eprintln!("SERVING {bound} ({threads} worker(s), queue depth {queue_depth})");
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{bound}\n"))
+            .map_err(|e| usage_error(format!("cannot write port file {path:?}: {e}")))?;
+    }
+    handle.wait();
+    let _ = writeln!(out, "STOPPED {bound}");
+    if let Some(plan) = &plan {
+        let _ = writeln!(
+            out,
+            "fault plan: {} probe event(s), {} injected",
+            plan.events(),
+            plan.injected()
+        );
+    }
+    obs.emit(&recorder, out);
+    Ok(0)
+}
+
+/// `bschema client <addr> <action> ...` — one wire request against a
+/// running server. Server refusals exit 1 with the stable code; local
+/// usage problems exit 2.
+fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let [addr, action, rest @ ..] = args else {
+        return Err(usage_error(
+            "client takes <addr> ping|search|apply|modify|metrics|shutdown [args]",
+        ));
+    };
+    let connect_error =
+        |e: ClientError| usage_error(format!("cannot talk to server at {addr}: {e}"));
+    let mut client = Client::connect(addr.as_str()).map_err(connect_error)?;
+    match action.as_str() {
+        "ping" => {
+            let len = client.ping().map_err(connect_error)?;
+            let _ = writeln!(out, "PONG: {len} entries");
+            Ok(0)
+        }
+        "search" => {
+            let mut filter: Option<&str> = None;
+            let mut base: Option<&str> = None;
+            let mut scope = "sub";
+            let mut limit: Option<usize> = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--filter" => filter = Some(next_value(&mut it, "--filter")?),
+                    "--base" => base = Some(next_value(&mut it, "--base")?),
+                    "--scope" => scope = next_value(&mut it, "--scope")?,
+                    "--limit" => {
+                        let word = next_value(&mut it, "--limit")?;
+                        limit = Some(word.parse().map_err(|_| {
+                            usage_error(format!("--limit needs a number, got {word:?}"))
+                        })?);
+                    }
+                    other => return Err(usage_error(format!("unknown option {other:?}"))),
+                }
+            }
+            let filter = filter.ok_or_else(|| usage_error("client search needs --filter"))?;
+            match client.search(base, scope, filter, limit) {
+                Ok(ldif) => {
+                    let _ = writeln!(out, "{} entries match", ldif.matches("dn: ").count());
+                    out.push_str(&ldif);
+                    Ok(0)
+                }
+                Err(ClientError::Server { code, detail }) => {
+                    let _ = writeln!(out, "REFUSED ({code}): {detail}");
+                    Ok(1)
+                }
+                Err(e) => Err(connect_error(e)),
+            }
+        }
+        "apply" => {
+            let [tx_path] = rest else {
+                return Err(usage_error("client apply takes <tx.ldif>"));
+            };
+            match client.apply_ldif(&read_file(tx_path)?) {
+                Ok(receipt) => {
+                    let _ = writeln!(
+                        out,
+                        "APPLIED: {} op(s); directory now has {} entries (legal)",
+                        receipt.ops, receipt.len
+                    );
+                    Ok(0)
+                }
+                Err(ClientError::Server { code, detail }) => {
+                    let _ = writeln!(out, "REJECTED ({code}): {detail}");
+                    Ok(1)
+                }
+                Err(e) => Err(connect_error(e)),
+            }
+        }
+        "modify" => {
+            let [mods_path] = rest else {
+                return Err(usage_error("client modify takes <mods.txt>"));
+            };
+            match client.modify_lines(&read_file(mods_path)?) {
+                Ok(len) => {
+                    let _ = writeln!(out, "MODIFIED: directory has {len} entries (legal)");
+                    Ok(0)
+                }
+                Err(ClientError::Server { code, detail }) => {
+                    let _ = writeln!(out, "REJECTED ({code}): {detail}");
+                    Ok(1)
+                }
+                Err(e) => Err(connect_error(e)),
+            }
+        }
+        "metrics" => {
+            let json = client.metrics_json().map_err(connect_error)?;
+            let _ = writeln!(out, "{json}");
+            Ok(0)
+        }
+        "shutdown" => {
+            client.shutdown_server().map_err(connect_error)?;
+            let _ = writeln!(out, "server draining");
+            Ok(0)
+        }
+        other => Err(usage_error(format!("unknown client action {other:?}"))),
     }
 }
 
@@ -1109,6 +1397,109 @@ name: a
         assert!(bschema_obs::json::is_valid(last), "{last}");
         assert!(last.contains("\"consistency.rule.schema\":3"), "{last}");
         assert!(last.contains("\"consistency.closure_size\""), "{last}");
+    }
+
+    #[test]
+    fn serve_and_client_roundtrip() {
+        let schema = write_tmp("s18.bs", SCHEMA);
+        let data = write_tmp("d18.ldif", LDIF);
+        let port_file = write_tmp("p18.port", "");
+        std::fs::remove_file(&port_file).unwrap();
+
+        let server = {
+            let schema = schema.clone();
+            let data = data.clone();
+            let port_file = port_file.clone();
+            std::thread::spawn(move || {
+                run_ok(&[
+                    "serve",
+                    &schema,
+                    &data,
+                    "--threads",
+                    "2",
+                    "--port-file",
+                    &port_file,
+                    "--metrics=json",
+                ])
+            })
+        };
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let (code, out) = run_ok(&["client", &addr, "ping"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("PONG: 2 entries"), "{out}");
+
+        let tx = write_tmp(
+            "t18.ldif",
+            "dn: uid=b,o=acme\nobjectClass: person\nobjectClass: top\nuid: b\nname: b\n",
+        );
+        let (code, out) = run_ok(&["client", &addr, "apply", &tx]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("directory now has 3 entries"), "{out}");
+
+        // An illegal transaction is refused with the stable code.
+        let bad = write_tmp(
+            "t18b.ldif",
+            "dn: uid=c,uid=a,o=acme\nobjectClass: person\nobjectClass: top\nuid: c\nname: c\n",
+        );
+        let (code, out) = run_ok(&["client", &addr, "apply", &bad]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("REJECTED (rolled-back)"), "{out}");
+
+        let (code, out) = run_ok(&["client", &addr, "search", "--filter", "(objectClass=person)"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 entries match"), "{out}");
+        assert!(out.contains("dn: uid=b,o=acme"), "{out}");
+
+        let (code, out) = run_ok(&["client", &addr, "metrics"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(bschema_obs::json::is_valid(out.trim()), "{out}");
+        assert!(out.contains("\"server.tx_committed\":1"), "{out}");
+
+        let (code, _) = run_ok(&["client", &addr, "shutdown"]);
+        assert_eq!(code, 0);
+        let (code, out) = server.join().unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("STOPPED"), "{out}");
+        let last = out.lines().last().unwrap();
+        assert!(bschema_obs::json::is_valid(last), "{last}");
+    }
+
+    #[test]
+    fn limit_flags_gate_inputs() {
+        let schema = write_tmp("s19.bs", SCHEMA);
+        let data = write_tmp("d19.ldif", LDIF);
+        // Two records but --max-records 1.
+        let args: Vec<String> = ["validate", &schema, &data, "--max-records", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args, &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("records"), "{}", err.message);
+
+        // A filter two levels deep but --max-filter-depth 1.
+        let args: Vec<String> = [
+            "search",
+            &data,
+            "--filter",
+            "(&(uid=a)(objectClass=person))",
+            "--max-filter-depth",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = run(&args, &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("filter"), "{}", err.message);
     }
 
     #[test]

@@ -61,7 +61,7 @@
 use std::fmt::Write as _;
 
 use bschema_directory::ldif::{parse_ldif, write_record, LdifRecord};
-use bschema_directory::{DirectoryInstance, Entry, EntryId};
+use bschema_directory::{DirectoryInstance, Dn, Entry, EntryId};
 
 use crate::managed::{ManagedDirectory, ManagedError};
 use crate::schema::DirectorySchema;
@@ -89,14 +89,23 @@ impl JournalTx {
         let mut tx = Transaction::new();
         for op in &self.ops {
             match op {
-                TxOp::Insert { parent: None, entry } => {
+                TxOp::Insert { parent: None, rdn: None, entry } => {
                     tx.insert_root(entry.clone());
                 }
-                TxOp::Insert { parent: Some(NodeRef::Existing(id)), entry } => {
+                TxOp::Insert { parent: None, rdn: Some(rdn), entry } => {
+                    tx.insert_root_named(rdn.clone(), entry.clone());
+                }
+                TxOp::Insert { parent: Some(NodeRef::Existing(id)), rdn: None, entry } => {
                     tx.insert_under(*id, entry.clone());
                 }
-                TxOp::Insert { parent: Some(NodeRef::New(j)), entry } => {
+                TxOp::Insert { parent: Some(NodeRef::Existing(id)), rdn: Some(rdn), entry } => {
+                    tx.insert_under_named(*id, rdn.clone(), entry.clone());
+                }
+                TxOp::Insert { parent: Some(NodeRef::New(j)), rdn: None, entry } => {
                     tx.insert_under_new(*j, entry.clone());
+                }
+                TxOp::Insert { parent: Some(NodeRef::New(j)), rdn: Some(rdn), entry } => {
+                    tx.insert_under_new_named(*j, rdn.clone(), entry.clone());
                 }
                 TxOp::Delete { target } => tx.delete(*target),
             }
@@ -135,6 +144,7 @@ struct ParsedRecord {
     tx: u64,
     op: Option<usize>,
     parent: Option<String>,
+    rdn: Option<String>,
     target: Option<usize>,
     payload: Entry,
 }
@@ -161,15 +171,16 @@ fn decode_record(rec: &LdifRecord, expected_seq: u64) -> Option<ParsedRecord> {
         None => None,
     };
     let parent = rec.entry.first_value("jrnparent").map(str::to_owned);
+    let rdn = rec.entry.first_value("jrnrdn").map(str::to_owned);
     let target = match rec.entry.first_value("jrntarget") {
         Some(v) => Some(parse_u64(v)? as usize),
         None => None,
     };
     let mut payload = rec.entry.clone();
-    for attr in ["jrntype", "jrntx", "jrnop", "jrnparent", "jrntarget", "jrndone"] {
+    for attr in ["jrntype", "jrntx", "jrnop", "jrnparent", "jrnrdn", "jrntarget", "jrndone"] {
         payload.remove_attribute(attr);
     }
-    Some(ParsedRecord { kind, tx, op, parent, target, payload })
+    Some(ParsedRecord { kind, tx, op, parent, rdn, target, payload })
 }
 
 fn decode_parent(spec: &str) -> Option<Option<NodeRef>> {
@@ -256,7 +267,18 @@ impl Journal {
                             journal.truncated = true;
                             break 'records;
                         };
-                        TxOp::Insert { parent, entry: record.payload }
+                        let rdn = match record.rdn.as_deref() {
+                            None => None,
+                            // An RDN is serialised as a one-component DN.
+                            Some(s) => match Dn::parse(s).ok().and_then(|dn| dn.rdn().cloned()) {
+                                Some(rdn) => Some(rdn),
+                                None => {
+                                    journal.truncated = true;
+                                    break 'records;
+                                }
+                            },
+                        };
+                        TxOp::Insert { parent, rdn, entry: record.payload }
                     } else {
                         let Some(target) = record.target else {
                             journal.truncated = true;
@@ -359,18 +381,17 @@ impl JournalWriter {
         self.emit("begin", id, &[], None);
         for (i, op) in tx.ops().iter().enumerate() {
             match op {
-                TxOp::Insert { parent, entry } => {
+                TxOp::Insert { parent, rdn, entry } => {
                     let spec = match parent {
                         None => "root".to_owned(),
                         Some(NodeRef::Existing(p)) => format!("existing:{}", p.index()),
                         Some(NodeRef::New(j)) => format!("new:{j}"),
                     };
-                    self.emit(
-                        "insert",
-                        id,
-                        &[("jrnop", i.to_string()), ("jrnparent", spec)],
-                        Some(entry),
-                    );
+                    let mut extra = vec![("jrnop", i.to_string()), ("jrnparent", spec)];
+                    if let Some(rdn) = rdn {
+                        extra.push(("jrnrdn", rdn.to_string()));
+                    }
+                    self.emit("insert", id, &extra, Some(entry));
                 }
                 TxOp::Delete { target } => {
                     self.emit(

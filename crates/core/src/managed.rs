@@ -72,6 +72,23 @@ impl fmt::Display for ManagedError {
     }
 }
 
+impl ManagedError {
+    /// A stable machine-readable code naming the error variant. The wire
+    /// server sends this as the first token of an `ERR` response so
+    /// clients can dispatch without parsing prose.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ManagedError::InconsistentSchema(_) => "inconsistent-schema",
+            ManagedError::IllegalInstance(_) => "illegal-instance",
+            ManagedError::Transaction(_) => "invalid-tx",
+            ManagedError::RolledBack(_) => "rolled-back",
+            ManagedError::Panicked { .. } => "panicked",
+            ManagedError::Internal(_) => "internal",
+            ManagedError::Recovery(_) => "recovery",
+        }
+    }
+}
+
 impl std::error::Error for ManagedError {}
 
 impl From<TxError> for ManagedError {

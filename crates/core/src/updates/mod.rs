@@ -2,6 +2,7 @@
 //! normalisation, and the Figure 5 incremental checker.
 
 pub mod incremental;
+pub mod ldif_tx;
 pub mod modify;
 pub mod transaction;
 
@@ -9,6 +10,7 @@ pub use incremental::{
     deletion_needs_recheck, insertion_delta_query, insertion_delta_query_forbidden,
     IncrementalChecker,
 };
+pub use ldif_tx::{transaction_from_ldif, LdifTxError};
 pub use modify::{apply_mods, check_modification, Mod};
 pub use transaction::{NodeRef, NormalizedTx, SubtreeInsertion, Transaction, TxError, TxOp};
 

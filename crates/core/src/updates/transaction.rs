@@ -15,7 +15,7 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use bschema_directory::{DirectoryInstance, Entry, EntryId};
+use bschema_directory::{DirectoryInstance, Entry, EntryId, InstanceError, Rdn};
 
 /// Reference to a parent: an entry that already exists, or one created by an
 /// earlier insert op of the same transaction.
@@ -34,6 +34,10 @@ pub enum TxOp {
     Insert {
         /// Where the new entry goes.
         parent: Option<NodeRef>,
+        /// The new entry's name among its siblings. `None` inserts an
+        /// anonymous entry (library-internal use); named inserts are
+        /// required for the entry to be addressable by DN afterwards.
+        rdn: Option<Rdn>,
         /// The new entry's content.
         entry: Entry,
     },
@@ -86,6 +90,15 @@ pub enum TxError {
         /// Its surviving child.
         survivor: EntryId,
     },
+    /// A named insert's RDN collides with a sibling under the same
+    /// parent — either a pre-existing entry or one created earlier in
+    /// the same transaction.
+    DuplicateRdn {
+        /// The subtree-local node index of the colliding insert.
+        node: usize,
+        /// The colliding RDN, rendered for display.
+        rdn: String,
+    },
     /// An invariant the normalisation established failed to hold while
     /// the transaction was applied — an engine bug surfaced as a typed
     /// error instead of a panic, so callers can roll back.
@@ -110,6 +123,9 @@ impl fmt::Display for TxError {
                 f,
                 "entry {deleted} is deleted but its child {survivor} is not (LDAP permits leaf deletion only)"
             ),
+            TxError::DuplicateRdn { node, rdn } => {
+                write!(f, "insert node {node}: an entry named {rdn} already exists under that parent")
+            }
             TxError::Internal(detail) => write!(f, "internal engine error: {detail}"),
         }
     }
@@ -123,8 +139,8 @@ impl std::error::Error for TxError {}
 pub struct SubtreeInsertion {
     /// The existing entry the subtree hangs under (`None` = forest root).
     pub parent: Option<EntryId>,
-    /// Preorder node list: `(local_parent_index, entry)`.
-    pub nodes: Vec<(Option<usize>, Entry)>,
+    /// Preorder node list: `(local_parent_index, rdn, entry)`.
+    pub nodes: Vec<(Option<usize>, Option<Rdn>, Entry)>,
 }
 
 impl SubtreeInsertion {
@@ -139,33 +155,43 @@ impl SubtreeInsertion {
     }
 
     /// Applies this insertion to `dir`, returning the created ids (parallel
-    /// to `nodes`; `ids[0]` is the subtree root). Errors only if an
-    /// invariant normalisation established no longer holds (e.g. the
-    /// validated parent vanished between normalise and apply).
+    /// to `nodes`; `ids[0]` is the subtree root). Fails with
+    /// [`TxError::DuplicateRdn`] when a named node collides with an
+    /// existing sibling — the one apply-time conflict two independently
+    /// normalised transactions can have — and with
+    /// [`TxError::Internal`] only if an invariant normalisation
+    /// established no longer holds (e.g. the validated parent vanished
+    /// between normalise and apply).
     pub fn apply(&self, dir: &mut DirectoryInstance) -> Result<Vec<EntryId>, TxError> {
         let mut ids: Vec<EntryId> = Vec::with_capacity(self.nodes.len());
-        for (node, (local_parent, entry)) in self.nodes.iter().enumerate() {
-            let id = match local_parent {
-                Some(i) => {
-                    let &parent = ids.get(*i).ok_or_else(|| {
-                        TxError::Internal(format!(
-                            "subtree node {node} references local parent {i}, which was not created"
-                        ))
-                    })?;
-                    dir.add_child_entry(parent, entry.clone()).map_err(|e| {
-                        TxError::Internal(format!(
-                            "inserting subtree node {node} under just-created {parent}: {e}"
-                        ))
-                    })?
+        for (node, (local_parent, rdn, entry)) in self.nodes.iter().enumerate() {
+            let parent = match local_parent {
+                Some(i) => Some(*ids.get(*i).ok_or_else(|| {
+                    TxError::Internal(format!(
+                        "subtree node {node} references local parent {i}, which was not created"
+                    ))
+                })?),
+                None => self.parent,
+            };
+            let named = |e: InstanceError, rdn: &Rdn| match e {
+                InstanceError::DuplicateRdn(_) => {
+                    TxError::DuplicateRdn { node, rdn: rdn.to_string() }
                 }
-                None => match self.parent {
-                    Some(p) => dir.add_child_entry(p, entry.clone()).map_err(|e| {
-                        TxError::Internal(format!(
-                            "inserting subtree root under validated parent {p}: {e}"
-                        ))
-                    })?,
-                    None => dir.add_root_entry(entry.clone()),
-                },
+                other => TxError::Internal(format!("inserting subtree node {node}: {other}")),
+            };
+            let id = match (parent, rdn) {
+                (Some(p), Some(rdn)) => {
+                    dir.add_named_child(p, rdn.clone(), entry.clone()).map_err(|e| named(e, rdn))?
+                }
+                (Some(p), None) => dir.add_child_entry(p, entry.clone()).map_err(|e| {
+                    TxError::Internal(format!(
+                        "inserting subtree node {node} under validated parent {p}: {e}"
+                    ))
+                })?,
+                (None, Some(rdn)) => {
+                    dir.add_named_root(rdn.clone(), entry.clone()).map_err(|e| named(e, rdn))?
+                }
+                (None, None) => dir.add_root_entry(entry.clone()),
             };
             ids.push(id);
         }
@@ -193,19 +219,48 @@ impl Transaction {
     /// Appends an insert under an existing entry; returns the op index for
     /// use with [`insert_under_new`](Self::insert_under_new).
     pub fn insert_under(&mut self, parent: EntryId, entry: Entry) -> usize {
-        self.ops.push(TxOp::Insert { parent: Some(NodeRef::Existing(parent)), entry });
+        self.ops.push(TxOp::Insert { parent: Some(NodeRef::Existing(parent)), rdn: None, entry });
         self.ops.len() - 1
     }
 
     /// Appends an insert as a new forest root; returns the op index.
     pub fn insert_root(&mut self, entry: Entry) -> usize {
-        self.ops.push(TxOp::Insert { parent: None, entry });
+        self.ops.push(TxOp::Insert { parent: None, rdn: None, entry });
         self.ops.len() - 1
     }
 
     /// Appends an insert under the entry created by a previous insert op.
     pub fn insert_under_new(&mut self, parent_op: usize, entry: Entry) -> usize {
-        self.ops.push(TxOp::Insert { parent: Some(NodeRef::New(parent_op)), entry });
+        self.ops.push(TxOp::Insert { parent: Some(NodeRef::New(parent_op)), rdn: None, entry });
+        self.ops.len() - 1
+    }
+
+    /// Like [`insert_under`](Self::insert_under), naming the new entry so
+    /// it is addressable by DN; colliding with an existing sibling RDN
+    /// fails the transaction at apply time.
+    pub fn insert_under_named(&mut self, parent: EntryId, rdn: Rdn, entry: Entry) -> usize {
+        self.ops.push(TxOp::Insert {
+            parent: Some(NodeRef::Existing(parent)),
+            rdn: Some(rdn),
+            entry,
+        });
+        self.ops.len() - 1
+    }
+
+    /// Like [`insert_root`](Self::insert_root), naming the new root.
+    pub fn insert_root_named(&mut self, rdn: Rdn, entry: Entry) -> usize {
+        self.ops.push(TxOp::Insert { parent: None, rdn: Some(rdn), entry });
+        self.ops.len() - 1
+    }
+
+    /// Like [`insert_under_new`](Self::insert_under_new), naming the new
+    /// entry.
+    pub fn insert_under_new_named(&mut self, parent_op: usize, rdn: Rdn, entry: Entry) -> usize {
+        self.ops.push(TxOp::Insert {
+            parent: Some(NodeRef::New(parent_op)),
+            rdn: Some(rdn),
+            entry,
+        });
         self.ops.len() - 1
     }
 
@@ -265,14 +320,14 @@ impl Transaction {
         // op index → (subtree index, local node index)
         let mut op_place: Vec<Option<(usize, usize)>> = vec![None; self.ops.len()];
         for (i, op) in self.ops.iter().enumerate() {
-            let TxOp::Insert { parent, entry } = op else {
+            let TxOp::Insert { parent, rdn, entry } = op else {
                 continue;
             };
             match parent {
                 None => {
                     insertions.push(SubtreeInsertion {
                         parent: None,
-                        nodes: vec![(None, entry.clone())],
+                        nodes: vec![(None, rdn.clone(), entry.clone())],
                     });
                     op_place[i] = Some((insertions.len() - 1, 0));
                 }
@@ -285,7 +340,7 @@ impl Transaction {
                     }
                     insertions.push(SubtreeInsertion {
                         parent: Some(*p),
-                        nodes: vec![(None, entry.clone())],
+                        nodes: vec![(None, rdn.clone(), entry.clone())],
                     });
                     op_place[i] = Some((insertions.len() - 1, 0));
                 }
@@ -293,7 +348,7 @@ impl Transaction {
                     let Some((subtree, local)) = (*j < i).then(|| op_place[*j]).flatten() else {
                         return Err(TxError::BadNewRef { op: i, referenced: *j });
                     };
-                    insertions[subtree].nodes.push((Some(local), entry.clone()));
+                    insertions[subtree].nodes.push((Some(local), rdn.clone(), entry.clone()));
                     op_place[i] = Some((subtree, insertions[subtree].nodes.len() - 1));
                 }
             }
@@ -413,6 +468,27 @@ mod tests {
         assert_eq!(d.forest().parent(ids[0]), Some(root));
         assert_eq!(d.forest().parent(ids[1]), Some(ids[0]));
         assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn named_inserts_are_addressable_and_conflict_on_duplicate_rdn() {
+        let mut d = DirectoryInstance::default();
+        let root = d.add_named_root(Rdn::single("o", "acme"), person("acme")).unwrap();
+
+        let mut tx = Transaction::new();
+        let a = tx.insert_under_named(root, Rdn::single("uid", "a"), person("a"));
+        tx.insert_under_new_named(a, Rdn::single("uid", "kid"), person("kid"));
+        let n = tx.normalize(&d).unwrap();
+        let ids = n.insertions[0].apply(&mut d).unwrap();
+        assert_eq!(d.dn(ids[1]).unwrap().to_string(), "uid=kid,uid=a,o=acme");
+
+        // A second transaction inserting the same name under the same
+        // parent conflicts at apply time.
+        let mut tx = Transaction::new();
+        tx.insert_under_named(root, Rdn::single("uid", "A"), person("a2"));
+        let n = tx.normalize(&d).unwrap();
+        let err = n.insertions[0].apply(&mut d).unwrap_err();
+        assert!(matches!(err, TxError::DuplicateRdn { node: 0, .. }), "{err}");
     }
 
     #[test]

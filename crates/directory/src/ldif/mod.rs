@@ -23,7 +23,18 @@ use crate::instance::{DirectoryInstance, InstanceError};
 ///
 /// Returns the number of entries added.
 pub fn load_into(instance: &mut DirectoryInstance, text: &str) -> Result<usize, LdifError> {
-    let records = parse_ldif(text)?;
+    load_into_limited(instance, text, &LdifLimits::default())
+}
+
+/// Like [`load_into`] but with explicit resource limits — the variant
+/// every untrusted-bytes surface (server socket, CLI with `--max-*`
+/// flags) must use.
+pub fn load_into_limited(
+    instance: &mut DirectoryInstance,
+    text: &str,
+    limits: &LdifLimits,
+) -> Result<usize, LdifError> {
+    let records = parse_ldif_limited(text, limits)?;
     let mut added = 0;
     for record in records {
         let dn = &record.dn;

@@ -241,6 +241,27 @@ pub fn nth_from_seed(seed: u64, horizon: u64) -> u64 {
     }
 }
 
+/// Picks one `(site, occurrence)` injection point from an
+/// [`FaultPlan::observer`] census, deterministically from `seed`,
+/// restricted to sites whose name starts with `prefix` (`""` for all).
+/// Both the site and the visit index are seed-derived, so a CI job that
+/// logs its seed can replay the exact injection. Returns `None` when no
+/// site matches the prefix.
+pub fn site_from_seed(
+    sites: &BTreeMap<String, u64>,
+    prefix: &str,
+    seed: u64,
+) -> Option<(String, u64)> {
+    let matching: Vec<(&String, &u64)> =
+        sites.iter().filter(|(name, _)| name.starts_with(prefix)).collect();
+    if matching.is_empty() {
+        return None;
+    }
+    let (site, &visits) = matching[nth_from_seed(seed, matching.len() as u64) as usize];
+    let occurrence = nth_from_seed(seed.wrapping_add(1), visits.max(1));
+    Some((site.clone(), occurrence))
+}
+
 static SILENCE: Once = Once::new();
 
 /// Installs (once per process) a panic hook that suppresses the default
@@ -321,6 +342,22 @@ mod tests {
         // The faulted event itself is recorded only after the fault
         // check — the panic preempts the forward, like a real crash.
         assert_eq!(recorder.metrics().counter("boom"), 0);
+    }
+
+    #[test]
+    fn site_from_seed_is_deterministic_and_prefix_scoped() {
+        let mut sites = BTreeMap::new();
+        sites.insert("server.request".to_owned(), 10);
+        sites.insert("server.tx_admitted".to_owned(), 4);
+        sites.insert("legality.entries_content_checked".to_owned(), 7);
+        for seed in [0u64, 1, 42, 803845] {
+            let (site, occ) = site_from_seed(&sites, "server.", seed).expect("prefix matches");
+            assert!(site.starts_with("server."), "{site}");
+            assert!(occ < sites[&site]);
+            assert_eq!(site_from_seed(&sites, "server.", seed), Some((site, occ)));
+        }
+        assert!(site_from_seed(&sites, "nothing.", 7).is_none());
+        assert!(site_from_seed(&BTreeMap::new(), "", 7).is_none());
     }
 
     #[test]

@@ -50,6 +50,8 @@ pub mod search;
 pub use algebra::{Binding, Query};
 pub use eval::{evaluate, evaluate_batch, evaluate_naive, EvalContext};
 pub use filter::Filter;
-pub use filter_parser::{parse_filter, parse_filter_limited, FilterParseError};
+pub use filter_parser::{
+    parse_filter, parse_filter_limited, FilterParseError, DEFAULT_FILTER_DEPTH,
+};
 pub use optimize::{simplify, simplify_filter};
 pub use search::{search, search_dn, SearchRequest, SearchScope};

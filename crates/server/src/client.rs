@@ -1,0 +1,185 @@
+//! A small synchronous client for the wire protocol — the counterpart
+//! of [`crate::server`], used by the loopback test-suite, the
+//! `bschema client` CLI subcommand, and the throughput benchmark.
+//!
+//! Every method is one request/response exchange on the connection;
+//! server-side refusals come back as [`ClientError::Server`] with the
+//! stable wire code, so callers can distinguish "the transaction was
+//! rejected as illegal" from "the socket broke".
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::codec::{read_frame, write_frame, Frame, WireError, WireLimits};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// A frame could not be read or written.
+    Wire(WireError),
+    /// The server answered `ERR <code>`.
+    Server {
+        /// The stable wire code (`busy`, `illegal-instance`, …).
+        code: String,
+        /// The human-readable detail payload.
+        detail: String,
+    },
+    /// The server answered something the client cannot interpret.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, detail } if detail.is_empty() => {
+                write!(f, "server refused: {code}")
+            }
+            ClientError::Server { code, detail } => write!(f, "server refused: {code}: {detail}"),
+            ClientError::Protocol(why) => write!(f, "protocol confusion: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl ClientError {
+    /// The server's refusal code, when this is a refusal.
+    pub fn server_code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+/// What a committed `TXN` reported back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxReceipt {
+    /// Operations applied.
+    pub ops: usize,
+    /// Directory size after the commit.
+    pub len: usize,
+}
+
+/// One connection to a bschema server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    limits: WireLimits,
+}
+
+impl Client {
+    /// Connects, with sensible read/write timeouts (5s each).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: stream, limits: WireLimits::default() })
+    }
+
+    /// One request/response round trip. Returns the whole `OK` frame;
+    /// `ERR` frames become [`ClientError::Server`].
+    fn exchange(&mut self, tokens: &[&str], payload: &[u8]) -> Result<Frame, ClientError> {
+        write_frame(&mut self.writer, tokens, payload)?;
+        let frame = read_frame(&mut self.reader, &self.limits)?
+            .ok_or_else(|| ClientError::Protocol("server closed without responding".to_owned()))?;
+        match frame.verb() {
+            "OK" => Ok(frame),
+            "ERR" => Err(ClientError::Server {
+                code: frame.arg(1).unwrap_or("unknown").to_owned(),
+                detail: frame.payload_str().unwrap_or("").to_owned(),
+            }),
+            other => Err(ClientError::Protocol(format!("unexpected status {other:?}"))),
+        }
+    }
+
+    /// `BIND <name>`.
+    pub fn bind(&mut self, name: &str) -> Result<(), ClientError> {
+        self.exchange(&["BIND", name], b"").map(|_| ())
+    }
+
+    /// `PING` — returns the directory size.
+    pub fn ping(&mut self) -> Result<usize, ClientError> {
+        let frame = self.exchange(&["PING"], b"")?;
+        parse_count(&frame, 2, "pong")
+    }
+
+    /// `SEARCH` — returns the matching entries as LDIF text.
+    pub fn search(
+        &mut self,
+        base: Option<&str>,
+        scope: &str,
+        filter: &str,
+        limit: Option<usize>,
+    ) -> Result<String, ClientError> {
+        let mut body = String::new();
+        if let Some(base) = base {
+            body.push_str(&format!("base: {base}\n"));
+        }
+        body.push_str(&format!("filter: {filter}\n"));
+        if let Some(limit) = limit {
+            body.push_str(&format!("limit: {limit}\n"));
+        }
+        let frame = self.exchange(&["SEARCH", scope], body.as_bytes())?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
+    /// `TXN` — submits an LDIF change body as one atomic transaction.
+    pub fn apply_ldif(&mut self, ldif: &str) -> Result<TxReceipt, ClientError> {
+        let frame = self.exchange(&["TXN"], ldif.as_bytes())?;
+        Ok(TxReceipt {
+            ops: parse_count(&frame, 2, "committed")?,
+            len: parse_count(&frame, 3, "committed")?,
+        })
+    }
+
+    /// `MODIFY` — submits a pre-formatted modification body (`dn:` plus
+    /// `add:`/`deletevalue:`/`deleteattr:`/`replace:` lines). Returns
+    /// the directory size.
+    pub fn modify_lines(&mut self, body: &str) -> Result<usize, ClientError> {
+        let frame = self.exchange(&["MODIFY"], body.as_bytes())?;
+        parse_count(&frame, 2, "modified")
+    }
+
+    /// `METRICS` — the server's recorder state as one JSON line.
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        let frame = self.exchange(&["METRICS"], b"")?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
+    /// `SHUTDOWN` — asks the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.exchange(&["SHUTDOWN"], b"").map(|_| ())
+    }
+
+    /// `UNBIND` — closes the session politely.
+    pub fn unbind(mut self) -> Result<(), ClientError> {
+        self.exchange(&["UNBIND"], b"").map(|_| ())
+    }
+}
+
+fn parse_count(frame: &Frame, arg: usize, what: &str) -> Result<usize, ClientError> {
+    frame.arg(arg).and_then(|s| s.parse::<usize>().ok()).ok_or_else(|| {
+        ClientError::Protocol(format!("malformed {what} response: {:?}", frame.tokens))
+    })
+}

@@ -1,0 +1,292 @@
+//! The wire framing: a line-oriented, length-prefixed-payload protocol.
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! TOKEN TOKEN ... [#<payload-len>]\n
+//! <payload-len bytes of payload>
+//! ```
+//!
+//! The header is a single `\n`-terminated line of space-separated ASCII
+//! tokens. If the last token is `#<n>` (a `#` followed by a decimal byte
+//! count), exactly `n` bytes of opaque payload follow the newline. This
+//! keeps anything that could contain spaces, newlines, or arbitrary bytes
+//! — DNs, filters, LDIF — out of the header, so the header needs no
+//! escaping at all, the same reasoning that leads LDAP proper to BER
+//! length-prefixed values. Headers and payloads are bounded by
+//! [`WireLimits`]; a peer that exceeds them is cut off mid-read rather
+//! than buffered.
+//!
+//! Requests put a verb in token 0 (`SEARCH`, `TXN`, …); responses put
+//! `OK` or `ERR` there (see [`crate::server`] for the verb table).
+
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// Resource bounds applied to every frame read from a socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLimits {
+    /// Maximum header line length in bytes, newline included.
+    pub max_header_len: usize,
+    /// Maximum payload length in bytes.
+    pub max_payload_len: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        // The payload bound matches `LdifLimits::strict().max_input_len`:
+        // the largest LDIF body the parser behind the socket will accept
+        // anyway.
+        WireLimits { max_header_len: 4 << 10, max_payload_len: 8 << 20 }
+    }
+}
+
+/// A decoded frame: header tokens plus (possibly empty) payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The header tokens, `#<n>` length marker stripped.
+    pub tokens: Vec<String>,
+    /// The payload bytes (empty when the header had no length marker).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Token 0 — the request verb or response status.
+    pub fn verb(&self) -> &str {
+        self.tokens.first().map(String::as_str).unwrap_or("")
+    }
+
+    /// Token `i`, if present.
+    pub fn arg(&self, i: usize) -> Option<&str> {
+        self.tokens.get(i).map(String::as_str)
+    }
+
+    /// The payload decoded as UTF-8.
+    pub fn payload_str(&self) -> Result<&str, WireError> {
+        std::str::from_utf8(&self.payload)
+            .map_err(|_| WireError::Malformed("payload is not UTF-8".to_owned()))
+    }
+}
+
+/// A frame that could not be read or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer closed the connection mid-frame.
+    Truncated,
+    /// The header line exceeded [`WireLimits::max_header_len`].
+    HeaderTooLong {
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The declared payload length exceeded
+    /// [`WireLimits::max_payload_len`].
+    PayloadTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The header was not a well-formed token line.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Truncated => write!(f, "connection closed mid-frame"),
+            WireError::HeaderTooLong { limit } => {
+                write!(f, "header line exceeds {limit} bytes")
+            }
+            WireError::PayloadTooLarge { declared, limit } => {
+                write!(f, "declared payload of {declared} bytes exceeds limit {limit}")
+            }
+            WireError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether this error is a read timeout (the peer went quiet, not
+    /// away) — surfaced by the per-connection `SO_RCVTIMEO`.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up between requests); everything else that
+/// falls short of a full frame is an error.
+pub fn read_frame<R: BufRead>(r: &mut R, limits: &WireLimits) -> Result<Option<Frame>, WireError> {
+    let mut header = Vec::new();
+    // `take` caps how much one header read may buffer; an overlong line
+    // shows up as a full buffer with no newline.
+    let n = r.by_ref().take(limits.max_header_len as u64 + 1).read_until(b'\n', &mut header)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if header.last() != Some(&b'\n') {
+        return if header.len() > limits.max_header_len {
+            Err(WireError::HeaderTooLong { limit: limits.max_header_len })
+        } else {
+            Err(WireError::Truncated)
+        };
+    }
+    header.pop();
+    if header.last() == Some(&b'\r') {
+        header.pop();
+    }
+    let line = std::str::from_utf8(&header)
+        .map_err(|_| WireError::Malformed("header is not UTF-8".to_owned()))?;
+    let mut tokens: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+    if tokens.is_empty() {
+        return Err(WireError::Malformed("empty header line".to_owned()));
+    }
+
+    let mut payload = Vec::new();
+    let declared = match tokens.last().and_then(|t| t.strip_prefix('#')) {
+        Some(digits) => Some(
+            digits
+                .parse::<usize>()
+                .map_err(|_| WireError::Malformed(format!("bad length marker #{digits}")))?,
+        ),
+        None => None,
+    };
+    if let Some(len) = declared {
+        tokens.pop();
+        if len > limits.max_payload_len {
+            return Err(WireError::PayloadTooLarge {
+                declared: len,
+                limit: limits.max_payload_len,
+            });
+        }
+        payload.resize(len, 0);
+        r.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                WireError::Truncated
+            } else {
+                WireError::Io(e)
+            }
+        })?;
+    }
+    Ok(Some(Frame { tokens, payload }))
+}
+
+/// Writes one frame and flushes. Tokens must be non-empty and free of
+/// whitespace — the caller builds them, so a violation is a programming
+/// error reported as [`WireError::Malformed`] rather than silently
+/// producing an unparseable header.
+pub fn write_frame<W: Write>(w: &mut W, tokens: &[&str], payload: &[u8]) -> Result<(), WireError> {
+    if tokens.is_empty() {
+        return Err(WireError::Malformed("frame needs at least one token".to_owned()));
+    }
+    let mut header = String::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if token.is_empty() || token.chars().any(char::is_whitespace) {
+            return Err(WireError::Malformed(format!("token {token:?} contains whitespace")));
+        }
+        if i > 0 {
+            header.push(' ');
+        }
+        header.push_str(token);
+    }
+    if !payload.is_empty() {
+        header.push_str(&format!(" #{}", payload.len()));
+    }
+    header.push('\n');
+    w.write_all(header.as_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(tokens: &[&str], payload: &[u8]) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tokens, payload).unwrap();
+        read_frame(&mut Cursor::new(buf), &WireLimits::default()).unwrap().unwrap()
+    }
+
+    #[test]
+    fn roundtrips_header_only_and_payload_frames() {
+        let f = roundtrip(&["PING"], b"");
+        assert_eq!(f.verb(), "PING");
+        assert!(f.payload.is_empty());
+
+        let f = roundtrip(&["TXN"], b"dn: uid=x,o=acme\nobjectClass: person\n");
+        assert_eq!(f.verb(), "TXN");
+        assert!(f.payload_str().unwrap().starts_with("dn: uid=x"));
+
+        // Payload may contain newlines and `#` freely.
+        let f = roundtrip(&["OK", "entries", "3"], b"a\n#5 not a marker\n");
+        assert_eq!(f.tokens, ["OK", "entries", "3"]);
+        assert_eq!(f.payload, b"a\n#5 not a marker\n");
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_is_error() {
+        let limits = WireLimits::default();
+        assert!(read_frame(&mut Cursor::new(b"".to_vec()), &limits).unwrap().is_none());
+        // Header without newline.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(b"PING".to_vec()), &limits),
+            Err(WireError::Truncated)
+        ));
+        // Declared payload longer than what follows.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(b"TXN #10\nshort".to_vec()), &limits),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let limits = WireLimits { max_header_len: 16, max_payload_len: 8 };
+        let long = format!("SEARCH {}\n", "x".repeat(64));
+        assert!(matches!(
+            read_frame(&mut Cursor::new(long.into_bytes()), &limits),
+            Err(WireError::HeaderTooLong { limit: 16 })
+        ));
+        assert!(matches!(
+            read_frame(&mut Cursor::new(b"TXN #9\n123456789".to_vec()), &limits),
+            Err(WireError::PayloadTooLarge { declared: 9, limit: 8 })
+        ));
+        // At the bound is fine.
+        let f =
+            read_frame(&mut Cursor::new(b"TXN #8\n12345678".to_vec()), &limits).unwrap().unwrap();
+        assert_eq!(f.payload, b"12345678");
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        let limits = WireLimits::default();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(b"\n".to_vec()), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_frame(&mut Cursor::new(b"TXN #12x\n".to_vec()), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(write_frame(&mut Vec::new(), &["two words"], b"").is_err());
+        assert!(write_frame(&mut Vec::new(), &[], b"").is_err());
+    }
+}

@@ -1,0 +1,559 @@
+//! The session/worker subsystem: TCP acceptor, bounded connection
+//! queue, worker pool, and the per-session request loop.
+//!
+//! ## Verb table
+//!
+//! | request                              | response                          |
+//! |--------------------------------------|-----------------------------------|
+//! | `BIND <name>`                        | `OK bound <name>`                 |
+//! | `PING`                               | `OK pong <len>`                   |
+//! | `SEARCH [base\|one\|sub] #n` + body  | `OK entries <n> #m` + LDIF        |
+//! | `TXN #n` + LDIF changes              | `OK committed <ops> <len>`        |
+//! | `MODIFY #n` + mod lines              | `OK modified <len>`               |
+//! | `METRICS`                            | `OK metrics #n` + JSON            |
+//! | `SHUTDOWN`                           | `OK bye` (then server drains)     |
+//! | `UNBIND`                             | `OK bye` (closes the session)     |
+//!
+//! `SEARCH` bodies are `key: value` lines — `filter:` (required),
+//! `base:` and `limit:` (optional). `MODIFY` bodies are a `dn:` line
+//! followed by `add:`/`deletevalue:`/`deleteattr:`/`replace:` lines.
+//! Failures are `ERR <code> [#n]` with the detail as payload; codes are
+//! stable (see [`crate::service::ServiceError`]).
+//!
+//! ## Backpressure and shutdown
+//!
+//! The acceptor never blocks on workers: accepted sockets go into a
+//! bounded queue, and when it is full the connection is answered
+//! `ERR busy` and closed immediately — overload is visible to clients,
+//! not an unbounded backlog. On shutdown the flag flips, in-flight
+//! requests run to completion (a committing transaction is never
+//! interrupted), queued-but-unserved connections are answered
+//! `ERR shutting-down`, and the workers drain and exit.
+//!
+//! A worker panic inside a request (including an injected fault) is
+//! caught per-request: the session answers `ERR panicked` and carries
+//! on. The directory itself is protected a layer below — see
+//! [`crate::service`].
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use bschema_core::updates::Mod;
+use bschema_query::SearchScope;
+
+use crate::codec::{read_frame, write_frame, Frame, WireError};
+use crate::service::{DirectoryService, ServiceError};
+
+/// Tuning knobs for [`Server::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving sessions.
+    pub threads: usize,
+    /// Bounded depth of the accepted-connection queue; beyond it new
+    /// connections are answered `ERR busy`.
+    pub queue_depth: usize,
+    /// Per-connection read timeout (a quiet client is disconnected).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A bounded MPMC queue: non-blocking reject-on-full push (the
+/// backpressure edge), blocking pop, and a close signal that wakes all
+/// poppers once the remaining items drain.
+#[derive(Debug)]
+struct BoundedQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues, or returns the item when the queue is full or closed.
+    fn push(&self, item: T) -> Result<usize, T> {
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained.
+    fn pop(&self) -> Option<T> {
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// A running server. Obtained from [`Server::spawn`]; shut down via
+/// [`ServerHandle::shutdown`] + [`ServerHandle::wait`] or remotely with
+/// the `SHUTDOWN` verb.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    service: Arc<DirectoryService>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service behind the server.
+    pub fn service(&self) -> &Arc<DirectoryService> {
+        &self.service
+    }
+
+    /// Signals shutdown: the acceptor stops, workers drain. Does not
+    /// block; follow with [`wait`](ServerHandle::wait).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been signalled (locally or via the
+    /// `SHUTDOWN` verb).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Joins the acceptor and every worker, consuming the handle. The
+    /// acceptor notices the shutdown flag within its poll interval and
+    /// closes the queue, which releases the workers.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The server entry point.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and spawns the acceptor plus
+    /// `config.threads` workers over `service`. Returns immediately.
+    pub fn spawn(service: Arc<DirectoryService>, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth));
+
+        let mut workers = Vec::with_capacity(config.threads.max(1));
+        for i in 0..config.threads.max(1) {
+            let queue = queue.clone();
+            let service = service.clone();
+            let shutdown = shutdown.clone();
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("bschema-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &service, &shutdown))?,
+            );
+        }
+
+        let acceptor = {
+            let queue = queue.clone();
+            let service = service.clone();
+            let shutdown = shutdown.clone();
+            let config = config.clone();
+            thread::Builder::new().name("bschema-acceptor".to_owned()).spawn(move || {
+                accept_loop(&listener, &queue, &service, &shutdown, &config);
+                queue.close();
+            })?
+        };
+
+        Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), workers, service })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &BoundedQueue<TcpStream>,
+    service: &DirectoryService,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(config.read_timeout));
+                let _ = stream.set_write_timeout(Some(config.write_timeout));
+                let _ = stream.set_nodelay(true);
+                // Instrumentation faults must not kill the acceptor:
+                // a dead acceptor turns a probe panic into a silent
+                // refusal of all future connections.
+                match queue.push(stream) {
+                    Ok(depth) => {
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            service.probe().observe("server.queue_depth", depth as u64);
+                        }));
+                    }
+                    Err(mut stream) => {
+                        // Backpressure edge: refuse loudly, don't buffer.
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            service.probe().add("server.rejected_busy", 1);
+                        }));
+                        let _ = write_frame(&mut stream, &["ERR", "busy"], b"");
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn worker_loop(queue: &BoundedQueue<TcpStream>, service: &DirectoryService, shutdown: &AtomicBool) {
+    while let Some(stream) = queue.pop() {
+        if shutdown.load(Ordering::SeqCst) {
+            // Queued but never served: tell the client why.
+            let mut stream = stream;
+            let _ = write_frame(&mut stream, &["ERR", "shutting-down"], b"");
+            continue;
+        }
+        serve_session(stream, service, shutdown);
+    }
+}
+
+/// What a handled frame asks the session loop to do next.
+enum Control {
+    Continue,
+    CloseSession,
+    ShutdownServer,
+}
+
+fn serve_session(stream: TcpStream, service: &DirectoryService, shutdown: &AtomicBool) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let wire = service.limits().wire;
+
+    loop {
+        // Drain in-flight work, then refuse new frames during shutdown.
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = write_frame(&mut writer, &["ERR", "shutting-down"], b"");
+            return;
+        }
+        let frame = match read_frame(&mut reader, &wire) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(e) if e.is_timeout() => {
+                let _ = write_frame(&mut writer, &["ERR", "timeout"], b"");
+                return;
+            }
+            Err(WireError::Io(_)) | Err(WireError::Truncated) => return,
+            Err(e @ WireError::HeaderTooLong { .. })
+            | Err(e @ WireError::PayloadTooLarge { .. }) => {
+                // The oversize bytes are still in flight; reply and cut
+                // the connection rather than resynchronise.
+                let _ = write_frame(&mut writer, &["ERR", "limit"], e.to_string().as_bytes());
+                return;
+            }
+            Err(e @ WireError::Malformed(_)) => {
+                let _ = write_frame(&mut writer, &["ERR", "proto"], e.to_string().as_bytes());
+                return;
+            }
+        };
+
+        let started = Instant::now();
+        let verb = frame.verb().to_owned();
+        service.probe().add_labeled("server.request", &verb, 1);
+
+        // Per-request blast-radius: a panic (real bug or injected
+        // fault) poisons nothing — the service's guarded paths have
+        // already restored their state — so the session apologises and
+        // keeps going.
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_frame(service, &frame)));
+        let control = match outcome {
+            Ok((response, control)) => {
+                let tokens: Vec<&str> = response.tokens.iter().map(String::as_str).collect();
+                if write_frame(&mut writer, &tokens, &response.payload).is_err() {
+                    return;
+                }
+                control
+            }
+            Err(payload) => {
+                service.probe().add("server.request_panicked", 1);
+                let detail = bschema_faults::panic_message(&payload).unwrap_or("worker panicked");
+                if write_frame(&mut writer, &["ERR", "panicked"], detail.as_bytes()).is_err() {
+                    return;
+                }
+                Control::Continue
+            }
+        };
+        service.probe().observe("server.request_micros", started.elapsed().as_micros() as u64);
+
+        match control {
+            Control::Continue => {}
+            Control::CloseSession => return,
+            Control::ShutdownServer => {
+                shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+}
+
+struct Response {
+    tokens: Vec<String>,
+    payload: Vec<u8>,
+}
+
+impl Response {
+    fn ok(tokens: &[&str]) -> Self {
+        let mut all = vec!["OK".to_owned()];
+        all.extend(tokens.iter().map(|s| (*s).to_owned()));
+        Response { tokens: all, payload: Vec::new() }
+    }
+
+    fn ok_payload(tokens: &[&str], payload: impl Into<Vec<u8>>) -> Self {
+        let mut r = Response::ok(tokens);
+        r.payload = payload.into();
+        r
+    }
+
+    fn err(code: &str, detail: &str) -> Self {
+        Response {
+            tokens: vec!["ERR".to_owned(), code.to_owned()],
+            payload: detail.as_bytes().to_vec(),
+        }
+    }
+}
+
+impl From<ServiceError> for Response {
+    fn from(e: ServiceError) -> Self {
+        Response::err(e.code, &e.detail)
+    }
+}
+
+fn handle_frame(service: &DirectoryService, frame: &Frame) -> (Response, Control) {
+    match frame.verb() {
+        "BIND" => {
+            let who = frame.arg(1).unwrap_or("anonymous");
+            (Response::ok(&["bound", who]), Control::Continue)
+        }
+        "PING" => {
+            let len = service.len().to_string();
+            (Response::ok(&["pong", &len]), Control::Continue)
+        }
+        "SEARCH" => (handle_search(service, frame), Control::Continue),
+        "TXN" => {
+            let response = match frame.payload_str() {
+                Ok(ldif) => match service.apply_ldif_tx(ldif) {
+                    Ok(outcome) => Response::ok(&[
+                        "committed",
+                        &outcome.ops.to_string(),
+                        &outcome.len.to_string(),
+                    ]),
+                    Err(e) => e.into(),
+                },
+                Err(e) => Response::err("proto", &e.to_string()),
+            };
+            (response, Control::Continue)
+        }
+        "MODIFY" => (handle_modify(service, frame), Control::Continue),
+        "METRICS" => (handle_metrics(service), Control::Continue),
+        "SHUTDOWN" => (Response::ok(&["bye"]), Control::ShutdownServer),
+        "UNBIND" => (Response::ok(&["bye"]), Control::CloseSession),
+        other => {
+            (Response::err("proto", &format!("unknown verb {other:?}")), Control::CloseSession)
+        }
+    }
+}
+
+fn handle_search(service: &DirectoryService, frame: &Frame) -> Response {
+    let scope = match frame.arg(1).unwrap_or("sub") {
+        "base" => SearchScope::Base,
+        "one" => SearchScope::OneLevel,
+        "sub" => SearchScope::Subtree,
+        other => return Response::err("usage", &format!("unknown scope {other:?}")),
+    };
+    let body = match frame.payload_str() {
+        Ok(body) => body,
+        Err(e) => return Response::err("proto", &e.to_string()),
+    };
+    let mut base = None;
+    let mut filter = None;
+    let mut limit = None;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            return Response::err("usage", &format!("expected `key: value`, got {line:?}"));
+        };
+        let value = value.trim();
+        match key.trim() {
+            "base" => base = Some(value.to_owned()),
+            "filter" => filter = Some(value.to_owned()),
+            "limit" => match value.parse::<usize>() {
+                Ok(n) => limit = Some(n),
+                Err(_) => return Response::err("usage", &format!("bad limit {value:?}")),
+            },
+            other => return Response::err("usage", &format!("unknown search key {other:?}")),
+        }
+    }
+    let Some(filter) = filter else {
+        return Response::err("usage", "search body needs a `filter:` line");
+    };
+    match service.search(base.as_deref(), scope, &filter, limit) {
+        Ok((n, ldif)) => Response::ok_payload(&["entries", &n.to_string()], ldif.into_bytes()),
+        Err(e) => e.into(),
+    }
+}
+
+fn handle_modify(service: &DirectoryService, frame: &Frame) -> Response {
+    let body = match frame.payload_str() {
+        Ok(body) => body,
+        Err(e) => return Response::err("proto", &e.to_string()),
+    };
+    let mut dn = None;
+    let mut mods: Vec<Mod> = Vec::new();
+    // `replace:` lines for the same attribute accumulate into one
+    // multi-valued Replace.
+    let mut replacing: Option<(String, Vec<String>)> = None;
+    let flush_replace = |replacing: &mut Option<(String, Vec<String>)>, mods: &mut Vec<Mod>| {
+        if let Some((attribute, values)) = replacing.take() {
+            mods.push(Mod::Replace { attribute, values });
+        }
+    };
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((op, rest)) = line.split_once(':') else {
+            return Response::err("usage", &format!("expected `op: ...`, got {line:?}"));
+        };
+        let rest = rest.trim();
+        let attr_value = || -> Option<(String, String)> {
+            rest.split_once(':').map(|(a, v)| (a.trim().to_owned(), v.trim().to_owned()))
+        };
+        match op.trim() {
+            "dn" => dn = Some(rest.to_owned()),
+            "add" => {
+                flush_replace(&mut replacing, &mut mods);
+                let Some((attribute, value)) = attr_value() else {
+                    return Response::err("usage", &format!("add needs `attr: value`: {line:?}"));
+                };
+                mods.push(Mod::Add { attribute, value });
+            }
+            "deletevalue" => {
+                flush_replace(&mut replacing, &mut mods);
+                let Some((attribute, value)) = attr_value() else {
+                    return Response::err(
+                        "usage",
+                        &format!("deletevalue needs `attr: value`: {line:?}"),
+                    );
+                };
+                mods.push(Mod::DeleteValue { attribute, value });
+            }
+            "deleteattr" => {
+                flush_replace(&mut replacing, &mut mods);
+                mods.push(Mod::DeleteAttribute { attribute: rest.to_owned() });
+            }
+            "replace" => {
+                let Some((attribute, value)) = attr_value() else {
+                    return Response::err(
+                        "usage",
+                        &format!("replace needs `attr: value`: {line:?}"),
+                    );
+                };
+                match &mut replacing {
+                    Some((current, values)) if *current == attribute => {
+                        values.push(value);
+                    }
+                    _ => {
+                        flush_replace(&mut replacing, &mut mods);
+                        replacing = Some((attribute, vec![value]));
+                    }
+                }
+            }
+            other => return Response::err("usage", &format!("unknown modify op {other:?}")),
+        }
+    }
+    flush_replace(&mut replacing, &mut mods);
+    let Some(dn) = dn else {
+        return Response::err("usage", "modify body needs a `dn:` line");
+    };
+    if mods.is_empty() {
+        return Response::err("usage", "modify body has no modification lines");
+    }
+    match service.modify(&dn, &mods) {
+        Ok(outcome) => Response::ok(&["modified", &outcome.len.to_string()]),
+        Err(e) => e.into(),
+    }
+}
+
+fn handle_metrics(service: &DirectoryService) -> Response {
+    match service.metrics_json() {
+        Some(json) => Response::ok_payload(&["metrics"], json.into_bytes()),
+        None => Response::err("unsupported", "server started without --metrics"),
+    }
+}

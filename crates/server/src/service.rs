@@ -1,0 +1,494 @@
+//! The shared directory service behind every connection.
+//!
+//! [`DirectoryService`] is the concurrency layer of the server: it wraps
+//! one [`ManagedDirectory`] so that
+//!
+//! * **reads** (`SEARCH`) are served from an immutable snapshot — an
+//!   `Arc<DirectoryInstance>` cloned out of an `RwLock` in O(1), after
+//!   which the search runs with **no lock held**, and
+//! * **writes** (`TXN`, `MODIFY`) are serialized through a single mutex
+//!   around the journaled [`ManagedDirectory::apply`] path, with the
+//!   snapshot swapped only after the transaction has been certified
+//!   legal and committed.
+//!
+//! Readers therefore observe a sequence of complete, legal instances —
+//! either the pre-transaction or the post-transaction state, never a
+//! partially applied one. That holds even when a write worker panics
+//! mid-transaction: `ManagedDirectory`'s guarded apply restores its own
+//! state, the snapshot is only swapped after success, and both locks are
+//! recovered from poisoning (`into_inner`), so the next writer proceeds
+//! against an intact instance. This is the paper's §4 atomicity contract
+//! lifted to a shared, concurrent frontend.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, RwLock};
+
+use bschema_core::journal::{Journal, JournalWriter};
+use bschema_core::managed::ManagedError;
+use bschema_core::updates::{transaction_from_ldif, Mod};
+use bschema_core::ManagedDirectory;
+use bschema_directory::ldif::{parse_ldif_limited, write_record, LdifLimits};
+use bschema_directory::{DirectoryInstance, Dn};
+use bschema_obs::Probe;
+use bschema_query::{
+    parse_filter_limited, search, SearchRequest, SearchScope, DEFAULT_FILTER_DEPTH,
+};
+
+use crate::codec::WireLimits;
+
+/// Resource bounds for everything that arrives over the socket.
+#[derive(Debug, Clone)]
+pub struct ServiceLimits {
+    /// Bounds on LDIF payloads (`TXN` bodies). Defaults to
+    /// [`LdifLimits::strict`] — the untrusted-input profile.
+    pub ldif: LdifLimits,
+    /// Maximum filter nesting depth accepted from `SEARCH`.
+    pub filter_depth: usize,
+    /// Frame-level bounds (header and payload size).
+    pub wire: WireLimits,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> Self {
+        ServiceLimits {
+            ldif: LdifLimits::strict(),
+            filter_depth: DEFAULT_FILTER_DEPTH,
+            wire: WireLimits::default(),
+        }
+    }
+}
+
+/// A request the service refused. `code` is the stable wire code echoed
+/// in `ERR <code>` responses; `detail` is the human-readable payload.
+///
+/// For every code except `io`, a rejected write leaves the directory
+/// byte-identical to its pre-request state (see
+/// `DirectoryInstance::canonical_bytes`) — the loopback suite asserts
+/// exactly this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Stable machine-readable code (`bad-ldif`, `illegal-instance`, …).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl ServiceError {
+    fn new(code: &'static str, detail: impl Into<String>) -> Self {
+        ServiceError { code, detail: detail.into() }
+    }
+
+    fn from_managed(e: &ManagedError) -> Self {
+        ServiceError { code: e.code(), detail: e.to_string() }
+    }
+}
+
+/// What a committed write changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxOutcome {
+    /// Operations in the transaction (insertions + deletions; 1 for a
+    /// `MODIFY`).
+    pub ops: usize,
+    /// Directory size after the commit.
+    pub len: usize,
+}
+
+/// An open journal file: the parsed history has been replayed/repaired
+/// at attach time, and `writer` continues its id sequence.
+#[derive(Debug)]
+struct JournalFile {
+    path: PathBuf,
+    writer: JournalWriter,
+}
+
+/// The write half: everything a committing transaction touches, behind
+/// one mutex so writes are strictly serialized.
+#[derive(Debug)]
+struct WriteHalf {
+    managed: ManagedDirectory,
+    journal: Option<JournalFile>,
+}
+
+/// The shared, thread-safe directory service. See the module docs for
+/// the snapshot/write-lock protocol.
+#[derive(Debug)]
+pub struct DirectoryService {
+    write: Mutex<WriteHalf>,
+    snapshot: RwLock<Arc<DirectoryInstance>>,
+    probe: Arc<dyn Probe + Send + Sync>,
+    recorder: Option<Arc<bschema_obs::Recorder>>,
+    limits: ServiceLimits,
+}
+
+/// Locks here never stay poisoned: a panicking writer's state was
+/// already restored by the guarded apply, so the lock contents are
+/// intact and the next holder may proceed.
+fn lock_unpoisoned<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl DirectoryService {
+    /// Wraps a managed directory. The initial snapshot is the current
+    /// instance.
+    pub fn new(managed: ManagedDirectory) -> Self {
+        let snapshot = Arc::new(managed.instance().clone());
+        DirectoryService {
+            write: Mutex::new(WriteHalf { managed, journal: None }),
+            snapshot: RwLock::new(snapshot),
+            probe: Arc::new(bschema_obs::NoopProbe),
+            recorder: None,
+            limits: ServiceLimits::default(),
+        }
+    }
+
+    /// Replaces the resource limits.
+    pub fn with_limits(mut self, limits: ServiceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Attaches `probe` to the request path **and** to the inner managed
+    /// directory, so one probe sees both the `server.*` sites and the
+    /// legality engine's counters/spans.
+    pub fn with_probe(self, probe: Arc<dyn Probe + Send + Sync>) -> Self {
+        let half = self.write.into_inner().unwrap_or_else(|e| e.into_inner());
+        DirectoryService {
+            write: Mutex::new(WriteHalf {
+                managed: half.managed.with_probe(probe.clone()),
+                journal: half.journal,
+            }),
+            snapshot: self.snapshot,
+            probe,
+            recorder: self.recorder,
+            limits: self.limits,
+        }
+    }
+
+    /// Attaches the recorder the `METRICS` verb reads from. This only
+    /// wires up the export side — to actually collect, pass the same
+    /// recorder (or a fault plan forwarding to it) to
+    /// [`with_probe`](DirectoryService::with_probe).
+    pub fn with_recorder(mut self, recorder: Arc<bschema_obs::Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The recorder's combined trace + metrics state as one JSON line,
+    /// or `None` when no recorder is attached.
+    pub fn metrics_json(&self) -> Option<String> {
+        self.recorder.as_ref().map(|r| r.to_json())
+    }
+
+    /// Attaches a write-ahead journal at `path`, replaying any existing
+    /// history first: a torn tail (crash during a write) is repaired in
+    /// place by truncating the file to its intact prefix, committed
+    /// transactions are replayed through the checked apply path, and the
+    /// writer resumes after the highest recorded id. Returns the number
+    /// of transactions replayed.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Result<(Self, usize), ServiceError> {
+        let path = path.into();
+        let mut replayed = 0;
+        let journal = match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let journal = Journal::parse(&text);
+                if journal.truncated || journal.dropped_records > 0 {
+                    // Crash-repair: drop the torn tail on disk so the
+                    // next parse is clean.
+                    std::fs::write(&path, &text[..journal.intact_len])
+                        .map_err(|e| ServiceError::new("io", format!("repairing journal: {e}")))?;
+                }
+                journal
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Journal::empty(),
+            Err(e) => return Err(ServiceError::new("io", format!("reading journal: {e}"))),
+        };
+        {
+            let half = self.write.get_mut().unwrap_or_else(|e| e.into_inner());
+            for jtx in journal.committed() {
+                half.managed.apply(&jtx.to_transaction()).map_err(|e| {
+                    ServiceError::new(
+                        "recovery",
+                        format!("replaying committed journal tx {}: {e}", jtx.id),
+                    )
+                })?;
+                replayed += 1;
+            }
+            half.journal =
+                Some(JournalFile { path, writer: JournalWriter::resume_after(&journal) });
+            let refreshed = Arc::new(half.managed.instance().clone());
+            *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = refreshed;
+        }
+        Ok((self, replayed))
+    }
+
+    /// The configured limits.
+    pub fn limits(&self) -> &ServiceLimits {
+        &self.limits
+    }
+
+    /// The current read snapshot — a complete, legal instance. Cheap
+    /// (one `Arc` clone under a read lock); holders never block writers
+    /// from committing, they just keep the old instance alive.
+    pub fn snapshot(&self) -> Arc<DirectoryInstance> {
+        self.snapshot.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Directory size, from the read snapshot.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serves a search: parses `filter_src` (depth-capped), resolves the
+    /// optional base DN against the snapshot, and returns the matching
+    /// entries as LDIF text. Runs entirely on the snapshot — no lock
+    /// held during evaluation.
+    pub fn search(
+        &self,
+        base: Option<&str>,
+        scope: SearchScope,
+        filter_src: &str,
+        limit: Option<usize>,
+    ) -> Result<(usize, String), ServiceError> {
+        let filter = parse_filter_limited(filter_src, self.limits.filter_depth)
+            .map_err(|e| ServiceError::new("bad-filter", e.to_string()))?;
+        let snapshot = self.snapshot();
+        let mut request = match base {
+            Some(dn_src) => {
+                let dn =
+                    Dn::parse(dn_src).map_err(|e| ServiceError::new("bad-dn", e.to_string()))?;
+                let id = snapshot.lookup_dn(&dn).ok_or_else(|| {
+                    ServiceError::new("no-such-base", format!("no entry named {dn_src}"))
+                })?;
+                SearchRequest::under(id, scope, filter)
+            }
+            None => {
+                let mut r = SearchRequest::whole_directory(filter);
+                r.scope = scope;
+                r
+            }
+        };
+        if let Some(limit) = limit {
+            request = request.with_size_limit(limit);
+        }
+        let ids = search(&snapshot, &request);
+        let mut out = String::new();
+        for &id in &ids {
+            let dn = snapshot.dn(id).map_err(|e| ServiceError::new("internal", e.to_string()))?;
+            let entry = snapshot
+                .entry(id)
+                .ok_or_else(|| ServiceError::new("internal", format!("dangling id {id}")))?;
+            write_record(&mut out, &dn.to_string(), entry);
+        }
+        self.probe.add("server.search_entries", ids.len() as u64);
+        Ok((ids.len(), out))
+    }
+
+    /// Applies an LDIF transaction body atomically: parse (bounded),
+    /// build the transaction against the current instance, write-ahead
+    /// `begin`, checked apply, `commit`, snapshot swap. On any rejection
+    /// the instance — and the snapshot — are exactly what they were.
+    pub fn apply_ldif_tx(&self, ldif: &str) -> Result<TxOutcome, ServiceError> {
+        let records = parse_ldif_limited(ldif, &self.limits.ldif)
+            .map_err(|e| ServiceError::new("bad-ldif", e.to_string()))?;
+        let mut half = lock_unpoisoned(&self.write);
+        // Fault site: a worker dying here has changed nothing.
+        self.probe.add("server.tx_admitted", 1);
+        let tx = transaction_from_ldif(half.managed.instance(), records)
+            .map_err(|e| ServiceError::new("invalid-tx", e.to_string()))?;
+        let ops = tx.len();
+
+        // Write-ahead: the begin + op records must be durable before the
+        // mutation, so a crash mid-apply leaves an uncommitted tail that
+        // recovery discards.
+        let tx_id = match &mut half.journal {
+            Some(journal) => {
+                let id = journal.writer.begin(&tx);
+                let pending = journal.writer.take_pending();
+                append_file(&journal.path, &pending)
+                    .map_err(|e| ServiceError::new("io", format!("journal begin: {e}")))?;
+                Some(id)
+            }
+            None => None,
+        };
+
+        match half.managed.apply(&tx) {
+            Ok(()) => {
+                if let (Some(id), Some(journal)) = (tx_id, &mut half.journal) {
+                    journal.writer.commit(id);
+                    let pending = journal.writer.take_pending();
+                    if append_file(&journal.path, &pending).is_err() {
+                        // The in-memory instance is committed and legal;
+                        // only durability degraded. Surface via probe,
+                        // not by failing the already-applied request.
+                        self.probe.add("server.journal_commit_io_error", 1);
+                    }
+                }
+                let outcome = TxOutcome { ops, len: half.managed.len() };
+                self.publish(&half);
+                // Fault site: a worker dying here has already committed;
+                // the client sees "panicked" (outcome unknown), readers
+                // see the new legal instance.
+                self.probe.add("server.tx_committed", 1);
+                Ok(outcome)
+            }
+            Err(e) => {
+                // Guarded apply restored the instance; the uncommitted
+                // journal tail is discarded on next recovery.
+                self.probe.add_labeled("server.tx_rejected", e.code(), 1);
+                Err(ServiceError::from_managed(&e))
+            }
+        }
+    }
+
+    /// Applies an attribute-level modification to the entry named `dn`,
+    /// atomically through the same guarded path. Rejected with code
+    /// `unsupported` when a journal is attached: the journal format
+    /// records subtree insertions/deletions only, and silently applying
+    /// an unjournaled write would make recovery diverge from the live
+    /// instance.
+    pub fn modify(&self, dn_src: &str, mods: &[Mod]) -> Result<TxOutcome, ServiceError> {
+        let dn = Dn::parse(dn_src).map_err(|e| ServiceError::new("bad-dn", e.to_string()))?;
+        let mut half = lock_unpoisoned(&self.write);
+        if half.journal.is_some() {
+            return Err(ServiceError::new(
+                "unsupported",
+                "MODIFY is not journaled; use a TXN (delete + re-insert) on a journaled server",
+            ));
+        }
+        self.probe.add("server.tx_admitted", 1);
+        let id = half.managed.instance().lookup_dn(&dn).ok_or_else(|| {
+            ServiceError::new("no-such-entry", format!("no entry named {dn_src}"))
+        })?;
+        match half.managed.modify_entry(id, mods) {
+            Ok(()) => {
+                let outcome = TxOutcome { ops: 1, len: half.managed.len() };
+                self.publish(&half);
+                self.probe.add("server.tx_committed", 1);
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.probe.add_labeled("server.tx_rejected", e.code(), 1);
+                Err(ServiceError::from_managed(&e))
+            }
+        }
+    }
+
+    /// Swaps the read snapshot to the current (post-commit) instance.
+    fn publish(&self, half: &WriteHalf) {
+        let next = Arc::new(half.managed.instance().clone());
+        *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = next;
+        self.probe.add("server.snapshot_swap", 1);
+    }
+
+    /// The probe attached to this service.
+    pub fn probe(&self) -> &(dyn Probe + Send + Sync) {
+        &*self.probe
+    }
+}
+
+fn append_file(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    if text.is_empty() {
+        return Ok(());
+    }
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(text.as_bytes())?;
+    f.sync_data()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bschema_core::paper::{white_pages_instance, white_pages_schema};
+
+    fn service() -> DirectoryService {
+        let (dir, _) = white_pages_instance();
+        let managed = ManagedDirectory::with_instance(white_pages_schema(), dir).unwrap();
+        DirectoryService::new(managed)
+    }
+
+    #[test]
+    fn search_runs_on_snapshot() {
+        let svc = service();
+        let (n, ldif) =
+            svc.search(None, SearchScope::Subtree, "(objectClass=person)", None).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(ldif.matches("dn: ").count(), 3);
+        // Base-scoped search.
+        let (n, _) = svc
+            .search(Some("ou=attLabs,o=att"), SearchScope::OneLevel, "(objectClass=*)", None)
+            .unwrap();
+        assert_eq!(n, 2, "armstrong + databases");
+    }
+
+    #[test]
+    fn legal_tx_commits_and_swaps_snapshot() {
+        let svc = service();
+        let before = svc.snapshot();
+        let outcome = svc
+            .apply_ldif_tx(
+                "dn: uid=pat,ou=attLabs,o=att\nobjectClass: staffMember\nobjectClass: person\nobjectClass: top\nuid: pat\nname: pat\n",
+            )
+            .unwrap();
+        assert_eq!(outcome.len, 7);
+        assert_eq!(before.len(), 6, "old snapshot still intact for holders");
+        assert_eq!(svc.snapshot().len(), 7);
+    }
+
+    #[test]
+    fn illegal_tx_is_rejected_byte_identically() {
+        let svc = service();
+        let before = svc.snapshot().canonical_bytes();
+        // A person under a person violates the white-pages schema.
+        let err = svc
+            .apply_ldif_tx(
+                "dn: uid=x,uid=suciu,ou=databases,ou=attLabs,o=att\nobjectClass: staffMember\nobjectClass: person\nobjectClass: top\nuid: x\nname: x\n",
+            )
+            .unwrap_err();
+        assert_eq!(err.code, "rolled-back");
+        assert_eq!(svc.snapshot().canonical_bytes(), before);
+    }
+
+    #[test]
+    fn limits_gate_untrusted_bytes() {
+        let svc = service().with_limits(ServiceLimits {
+            ldif: LdifLimits { max_records: 1, ..LdifLimits::strict() },
+            filter_depth: 2,
+            wire: WireLimits::default(),
+        });
+        let two = "dn: o=a\nobjectClass: top\n\ndn: o=b\nobjectClass: top\n";
+        assert_eq!(svc.apply_ldif_tx(two).unwrap_err().code, "bad-ldif");
+        let deep = "(&(a=1)(|(b=2)(c=3)))";
+        assert_eq!(
+            svc.search(None, SearchScope::Subtree, deep, None).unwrap_err().code,
+            "bad-filter"
+        );
+    }
+
+    #[test]
+    fn modify_roundtrip_without_journal() {
+        let svc = service();
+        let dn = "uid=suciu,ou=databases,ou=attLabs,o=att";
+        svc.modify(dn, &[Mod::Add { attribute: "telephoneNumber".into(), value: "+1 973".into() }])
+            .unwrap();
+        let (n, ldif) =
+            svc.search(Some(dn), SearchScope::Base, "(telephoneNumber=*)", None).unwrap();
+        assert_eq!(n, 1);
+        // Attribute names are stored lowercased.
+        assert!(ldif.contains("telephonenumber: +1 973"), "{ldif}");
+    }
+}

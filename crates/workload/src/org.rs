@@ -8,9 +8,22 @@
 //! have no e-mail address, jack a single one, mary multiple"). Violations
 //! can be injected at a configurable rate for checker benchmarks.
 
-use bschema_directory::{DirectoryInstance, Entry, EntryId};
+use bschema_directory::{DirectoryInstance, Entry, EntryId, Rdn};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// The RDN a generated entry goes by: its naming attribute is unique by
+/// construction (`o=acme`, `ou=unit<N>`, `uid=u<N>`), so generated
+/// instances are fully DN-addressable — a requirement for serving them
+/// through `bschema-server`.
+fn rdn_of(entry: &Entry) -> Rdn {
+    for attr in ["o", "ou", "uid"] {
+        if let Some(value) = entry.first_value(attr) {
+            return Rdn::single(attr, value);
+        }
+    }
+    unreachable!("every generated entry has a naming attribute")
+}
 
 /// Parameters for [`OrgGenerator`].
 #[derive(Debug, Clone)]
@@ -107,18 +120,22 @@ impl OrgGenerator {
     /// Generates the instance (prepared) and the ids of all person entries.
     pub fn generate(mut self) -> GeneratedOrg {
         let mut dir = DirectoryInstance::white_pages();
-        let org = dir.add_root_entry(
-            Entry::builder()
-                .classes(["organization", "orgGroup", "online", "top"])
-                .attr("o", "acme")
-                .attr("uri", "http://www.example.com/")
-                .build(),
-        );
+        let root_entry = Entry::builder()
+            .classes(["organization", "orgGroup", "online", "top"])
+            .attr("o", "acme")
+            .attr("uri", "http://www.example.com/")
+            .build();
+        let org = dir
+            .add_named_root(rdn_of(&root_entry), root_entry)
+            .expect("fresh instance has no roots");
         let mut units: Vec<EntryId> = Vec::new();
         let mut persons: Vec<EntryId> = Vec::new();
 
         // First unit directly under the organization.
-        let first_unit = dir.add_child_entry(org, self.org_unit()).expect("org exists");
+        let first_unit = {
+            let u = self.org_unit();
+            dir.add_named_child(org, rdn_of(&u), u).expect("org exists")
+        };
         units.push(first_unit);
 
         // Grow breadth-first until the target size is reached: every unit
@@ -137,7 +154,7 @@ impl OrgGenerator {
                 1 + self.rng.random_range(0..self.params.persons_per_unit.max(1) * 2);
             for _ in 0..persons_here {
                 let p = self.person();
-                let id = dir.add_child_entry(unit, p).expect("unit exists");
+                let id = dir.add_named_child(unit, rdn_of(&p), p).expect("unit exists");
                 persons.push(id);
                 if dir.len() >= self.params.target_entries {
                     break;
@@ -149,13 +166,13 @@ impl OrgGenerator {
             let subunits = self.rng.random_range(0..self.params.unit_fanout.max(1) + 1);
             for _ in 0..subunits {
                 let u = self.org_unit();
-                let id = dir.add_child_entry(unit, u).expect("unit exists");
+                let id = dir.add_named_child(unit, rdn_of(&u), u).expect("unit exists");
                 units.push(id);
                 frontier.push(id);
                 // Every orgUnit needs a person descendant: give it one now
                 // so the instance stays legal even if the loop stops here.
                 let p = self.person();
-                let pid = dir.add_child_entry(id, p).expect("unit exists");
+                let pid = dir.add_named_child(id, rdn_of(&p), p).expect("unit exists");
                 persons.push(pid);
                 if dir.len() >= self.params.target_entries {
                     break;
@@ -178,7 +195,7 @@ impl OrgGenerator {
             }
             // Structure violation: give a person a child (person ↛ch top).
             let extra = self.person();
-            if dir.add_child_entry(victim, extra).is_ok() {
+            if dir.add_named_child(victim, rdn_of(&extra), extra).is_ok() {
                 injected += 1;
             }
         }

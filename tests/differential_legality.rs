@@ -164,14 +164,25 @@ fn merge_insertion(dst: &mut Transaction, src: &Transaction) {
     let offset = dst.len();
     for op in src.ops() {
         match op {
-            TxOp::Insert { parent: Some(NodeRef::Existing(id)), entry } => {
-                dst.insert_under(*id, entry.clone());
+            TxOp::Insert { parent: Some(NodeRef::Existing(id)), rdn, entry } => {
+                match rdn {
+                    Some(r) => dst.insert_under_named(*id, r.clone(), entry.clone()),
+                    None => dst.insert_under(*id, entry.clone()),
+                };
             }
-            TxOp::Insert { parent: Some(NodeRef::New(op_idx)), entry } => {
-                dst.insert_under_new(op_idx + offset, entry.clone());
+            TxOp::Insert { parent: Some(NodeRef::New(op_idx)), rdn, entry } => {
+                match rdn {
+                    Some(r) => {
+                        dst.insert_under_new_named(op_idx + offset, r.clone(), entry.clone())
+                    }
+                    None => dst.insert_under_new(op_idx + offset, entry.clone()),
+                };
             }
-            TxOp::Insert { parent: None, entry } => {
-                dst.insert_root(entry.clone());
+            TxOp::Insert { parent: None, rdn, entry } => {
+                match rdn {
+                    Some(r) => dst.insert_root_named(r.clone(), entry.clone()),
+                    None => dst.insert_root(entry.clone()),
+                };
             }
             TxOp::Delete { target } => dst.delete(*target),
         }

@@ -1,0 +1,388 @@
+//! Loopback integration suite for `bschema-server`: the schema-on-the-wire
+//! guarantees, exercised over real TCP connections.
+//!
+//! The invariants under test are the server's whole reason to exist:
+//!
+//! 1. **Every committed transaction leaves a legal instance** (§3 checked
+//!    via the §4 incremental engine inside the guarded path).
+//! 2. **Every rejected transaction leaves the instance byte-identical**
+//!    (`DirectoryInstance::canonical_bytes`) and reports a stable,
+//!    machine-readable code.
+//! 3. **Concurrent clients never observe a torn instance** — searches run
+//!    on immutable snapshots, so a reader sees the old or the new legal
+//!    directory, never a half-applied transaction. This holds even when a
+//!    fault plan panics a worker mid-request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use bschema_core::legality::LegalityChecker;
+use bschema_core::paper::{white_pages_instance, white_pages_schema};
+use bschema_core::ManagedDirectory;
+use bschema_directory::ldif;
+use bschema_faults::{silence_injected_panics, site_from_seed, FaultPlan};
+use bschema_server::{Client, DirectoryService, Server, ServerConfig, ServiceLimits};
+
+fn white_pages_service() -> DirectoryService {
+    let (dir, _) = white_pages_instance();
+    let managed =
+        ManagedDirectory::with_instance(white_pages_schema(), dir).expect("figure 1 is legal");
+    DirectoryService::new(managed)
+}
+
+fn spawn_white_pages(threads: usize) -> bschema_server::ServerHandle {
+    let config = ServerConfig { threads, ..ServerConfig::default() };
+    Server::spawn(Arc::new(white_pages_service()), config).expect("bind loopback")
+}
+
+/// A legal person insertion under `ou=databases,ou=attLabs,o=att`.
+fn person_ldif(uid: &str) -> String {
+    format!(
+        "dn: uid={uid},ou=databases,ou=attLabs,o=att\n\
+         objectClass: person\nobjectClass: top\nuid: {uid}\nname: {uid} tester\n"
+    )
+}
+
+/// An insertion that violates the structure schema: a person may not have
+/// children (`forbid_rel(person, Child, top)`).
+fn illegal_ldif() -> &'static str {
+    "dn: uid=intruder,uid=suciu,ou=databases,ou=attLabs,o=att\n\
+     objectClass: person\nobjectClass: top\nuid: intruder\nname: intruder\n"
+}
+
+/// Dumps the whole directory over the wire and checks §3 legality
+/// client-side — the server's word is not taken for it.
+fn assert_wire_instance_legal(addr: std::net::SocketAddr) -> usize {
+    let mut client = Client::connect(addr).expect("connect for legality dump");
+    let text = client.search(None, "sub", "(objectClass=top)", None).expect("dump search");
+    let mut dir = ldif::load(&text).expect("server emitted loadable LDIF");
+    dir.prepare();
+    let schema = white_pages_schema();
+    let report = LegalityChecker::new(&schema).check(&dir);
+    assert!(report.is_legal(), "wire-visible instance is illegal:\n{report}");
+    dir.len()
+}
+
+/// The headline test: ≥8 concurrent clients mixing searches with
+/// transactions that race pairwise for the same RDN. Exactly one of each
+/// racing pair may commit; the loser must see a structured `invalid-tx`
+/// rejection; illegal insertions must see `rolled-back`; and the final
+/// instance must be legal with exactly the winners present.
+#[test]
+fn concurrent_clients_mix_searches_and_conflicting_transactions() {
+    let handle = spawn_white_pages(4);
+    let addr = handle.addr();
+    let initial_len = handle.service().len();
+
+    let mut threads = Vec::new();
+
+    // 4 searcher clients: alternate subtree and one-level searches and
+    // require every result to be parseable, legal LDIF.
+    for s in 0..4 {
+        threads.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("searcher connects");
+            for i in 0..25 {
+                let (scope, base, filter) = if (s + i) % 2 == 0 {
+                    ("sub", None, "(objectClass=person)")
+                } else {
+                    ("one", Some("ou=attLabs,o=att"), "(objectClass=top)")
+                };
+                let text = client.search(base, scope, filter, None).expect("search succeeds");
+                let dir = ldif::load(&text).expect("search results are loadable LDIF");
+                assert!(dir.len() >= 2, "scope {scope} returned only {} entries", dir.len());
+            }
+            client.unbind().expect("clean unbind");
+        }));
+    }
+
+    // 8 writer clients in 4 racing pairs: both members of pair `p` insert
+    // `uid=conc<p>` under the same parent. The apply-time duplicate-RDN
+    // check makes the race outcome exact: one commit, one `invalid-tx`.
+    // Each writer also fires one illegal insertion, which must always be
+    // `rolled-back`.
+    let mut writer_handles = Vec::new();
+    for w in 0..8 {
+        writer_handles.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            let won = match client.apply_ldif(&person_ldif(&format!("conc{}", w / 2))) {
+                Ok(receipt) => {
+                    assert_eq!(receipt.ops, 1);
+                    true
+                }
+                Err(e) => {
+                    assert_eq!(
+                        e.server_code(),
+                        Some("invalid-tx"),
+                        "RDN-race loser got unexpected rejection: {e}"
+                    );
+                    false
+                }
+            };
+            let err = client.apply_ldif(illegal_ldif()).expect_err("illegal tx must be refused");
+            assert_eq!(err.server_code(), Some("rolled-back"), "{err}");
+            // The session survives its rejections.
+            assert!(client.ping().expect("ping after rejection") >= initial_len);
+            client.unbind().expect("clean unbind");
+            won
+        }));
+    }
+
+    let mut wins = [0usize; 4];
+    for (w, t) in writer_handles.into_iter().enumerate() {
+        if t.join().expect("writer thread") {
+            wins[w / 2] += 1;
+        }
+    }
+    for t in threads {
+        t.join().expect("searcher thread");
+    }
+    assert_eq!(wins, [1, 1, 1, 1], "each RDN race must have exactly one winner");
+
+    let final_len = assert_wire_instance_legal(addr);
+    assert_eq!(final_len, initial_len + 4, "winners and only winners are present");
+    let mut client = Client::connect(addr).expect("final check client");
+    for p in 0..4 {
+        let text =
+            client.search(None, "sub", &format!("(uid=conc{p})"), None).expect("winner lookup");
+        assert_eq!(
+            ldif::load(&text).expect("loadable").len(),
+            1,
+            "uid=conc{p} must exist exactly once"
+        );
+    }
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+}
+
+/// Invariant 2, measured at the byte level: every rejection code leaves
+/// `canonical_bytes` untouched.
+#[test]
+fn rejected_transactions_leave_the_instance_byte_identical() {
+    let handle = spawn_white_pages(2);
+    let addr = handle.addr();
+    let before = handle.service().snapshot().canonical_bytes();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let cases: &[(&str, &str)] = &[
+        (illegal_ldif(), "rolled-back"),
+        ("dn: uid=ghost,o=att\nchangetype: delete\n", "invalid-tx"),
+        ("dn: uid=orphan,ou=nowhere,o=att\nobjectClass: person\n", "invalid-tx"),
+        ("this is not ldif at all\n", "bad-ldif"),
+    ];
+    for (ldif_body, want_code) in cases {
+        let err = client.apply_ldif(ldif_body).expect_err("must be refused");
+        assert_eq!(err.server_code(), Some(*want_code), "{err}");
+        assert_eq!(
+            handle.service().snapshot().canonical_bytes(),
+            before,
+            "rejection {want_code} disturbed the instance"
+        );
+    }
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+}
+
+/// Wire limits hold on the server socket: an oversized `TXN` payload is
+/// answered `ERR limit` and the connection is cut, while a fresh,
+/// well-behaved client is unaffected.
+#[test]
+fn oversized_frames_are_refused_at_the_wire() {
+    let service = white_pages_service().with_limits(ServiceLimits {
+        wire: bschema_server::WireLimits { max_payload_len: 256, ..Default::default() },
+        ..Default::default()
+    });
+    let handle =
+        Server::spawn(Arc::new(service), ServerConfig { threads: 2, ..Default::default() })
+            .expect("bind");
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let huge = person_ldif(&"x".repeat(600));
+    let err = client.apply_ldif(&huge).expect_err("oversized payload refused");
+    assert_eq!(err.server_code(), Some("limit"), "{err}");
+
+    let mut fresh = Client::connect(addr).expect("fresh client");
+    assert_eq!(fresh.ping().expect("server still serves"), 6);
+    fresh.shutdown_server().expect("shutdown");
+    handle.wait();
+}
+
+/// Backpressure edge: with one worker and a depth-1 queue, holding the
+/// worker with an open session makes further connections bounce with a
+/// structured `busy` — the server refuses loudly instead of buffering
+/// without bound.
+#[test]
+fn overloaded_server_answers_busy() {
+    let config = ServerConfig { threads: 1, queue_depth: 1, ..ServerConfig::default() };
+    let handle = Server::spawn(Arc::new(white_pages_service()), config).expect("bind");
+    let addr = handle.addr();
+
+    // Occupy the only worker, then park one connection in the queue.
+    let mut holder = Client::connect(addr).expect("holder connects");
+    holder.ping().expect("holder owns the worker");
+    let _queued = Client::connect(addr).expect("queued connection");
+
+    let mut saw_busy = false;
+    for _ in 0..20 {
+        thread::sleep(Duration::from_millis(25));
+        let Ok(mut probe_client) = Client::connect(addr) else { continue };
+        match probe_client.ping() {
+            Err(ref e) if e.server_code() == Some("busy") => {
+                saw_busy = true;
+                break;
+            }
+            // The acceptor may not have processed earlier sockets yet, or
+            // the refused connection died before the reply: retry.
+            _ => continue,
+        }
+    }
+    assert!(saw_busy, "full queue never produced ERR busy");
+
+    holder.shutdown_server().expect("shutdown");
+    handle.wait();
+}
+
+/// Runs a fixed client workload against `addr`, tolerating per-request
+/// failures (a chaos run may panic any single request), and returns the
+/// uids whose insertion the server *positively confirmed* committed.
+fn tolerant_workload(addr: std::net::SocketAddr, tag: &str) -> Vec<String> {
+    let mut committed = Vec::new();
+    for step in 0..6 {
+        let Ok(mut client) = Client::connect(addr) else { continue };
+        let _ = client.ping();
+        let _ = client.search(None, "sub", "(objectClass=person)", None);
+        let uid = format!("{tag}{step}");
+        if client.apply_ldif(&person_ldif(&uid)).is_ok() {
+            committed.push(uid);
+        }
+        let _ = client.apply_ldif(illegal_ldif());
+        let _ = client.search(Some("ou=attLabs,o=att"), "one", "(objectClass=top)", Some(10));
+    }
+    committed
+}
+
+/// Chaos: enumerate the `server.*` probe sites with an observer plan,
+/// then — per seed — panic a worker at one seed-chosen site while a
+/// concurrent reader hammers searches. Whatever the fault hits, readers
+/// must only ever see loadable, *legal* instances (old or new, never
+/// torn), every positively-confirmed commit must survive, and the final
+/// instance must be legal.
+#[test]
+fn injected_worker_panics_never_tear_the_instance() {
+    silence_injected_panics();
+
+    // Census pass: which server-path sites does this workload visit?
+    let census_plan = Arc::new(FaultPlan::observer());
+    let service = white_pages_service().with_probe(census_plan.clone());
+    let handle =
+        Server::spawn(Arc::new(service), ServerConfig { threads: 3, ..Default::default() })
+            .expect("bind census server");
+    tolerant_workload(handle.addr(), "census");
+    handle.shutdown();
+    handle.wait();
+    let census = census_plan.sites();
+    assert!(
+        census.keys().any(|site| site.starts_with("server.")),
+        "census found no server-path sites: {census:?}"
+    );
+
+    let mut fired = 0u64;
+    for seed in 0..6u64 {
+        let (site, occurrence) =
+            site_from_seed(&census, "server.", seed).expect("census has server sites");
+        let plan = Arc::new(FaultPlan::fail_at_site(&site, occurrence));
+        let service = white_pages_service().with_probe(plan.clone());
+        let handle =
+            Server::spawn(Arc::new(service), ServerConfig { threads: 3, ..Default::default() })
+                .expect("bind chaos server");
+        let addr = handle.addr();
+
+        // Concurrent reader: every search that succeeds must return a
+        // loadable, legal instance — the torn-state detector.
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader_stop = stop.clone();
+        let reader = thread::spawn(move || {
+            let schema = white_pages_schema();
+            let checker = LegalityChecker::new(&schema);
+            while !reader_stop.load(Ordering::SeqCst) {
+                let Ok(mut client) = Client::connect(addr) else { continue };
+                if let Ok(text) = client.search(None, "sub", "(objectClass=top)", None) {
+                    let mut dir = ldif::load(&text).expect("reader got unloadable LDIF");
+                    dir.prepare();
+                    let report = checker.check(&dir);
+                    assert!(report.is_legal(), "reader saw an illegal instance:\n{report}");
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        let committed = tolerant_workload(addr, &format!("chaos{seed}x"));
+        stop.store(true, Ordering::SeqCst);
+        reader.join().expect("reader saw only legal instances");
+
+        // Consistency after the storm: the service's own instance is
+        // legal and every confirmed commit is present.
+        let snapshot = handle.service().snapshot();
+        let schema = white_pages_schema();
+        let report = LegalityChecker::new(&schema).check(&snapshot);
+        assert!(
+            report.is_legal(),
+            "seed {seed} fault at {site}:{occurrence} left an illegal instance:\n{report}"
+        );
+        for uid in &committed {
+            assert!(
+                snapshot.iter().any(|(_, e)| e.first_value("uid") == Some(uid)),
+                "seed {seed} fault at {site}:{occurrence}: confirmed commit uid={uid} vanished"
+            );
+        }
+        assert!(plan.injected() <= 1, "a plan injects at most one fault");
+        fired += plan.injected();
+        handle.shutdown();
+        handle.wait();
+    }
+    assert!(fired >= 1, "no seed ever reached its injection point");
+}
+
+/// Crash-recovery over the wire: commits journaled by one server
+/// generation are replayed into the next; rejected transactions are not.
+#[test]
+fn journal_restart_recovers_wire_commits() {
+    let path = std::env::temp_dir()
+        .join(format!("bschema-server-loopback-{}-journal.ldif", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let (service, replayed) =
+        white_pages_service().with_journal(&path).expect("attach fresh journal");
+    assert_eq!(replayed, 0);
+    let handle =
+        Server::spawn(Arc::new(service), ServerConfig { threads: 2, ..Default::default() })
+            .expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.apply_ldif(&person_ldif("jrn1")).expect("first commit");
+    client.apply_ldif(&person_ldif("jrn2")).expect("second commit");
+    let err = client.apply_ldif(illegal_ldif()).expect_err("refused");
+    assert_eq!(err.server_code(), Some("rolled-back"));
+    let len_before = client.ping().expect("size");
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+
+    // Next generation: a fresh figure-1 instance plus the journal.
+    let (service, replayed) = white_pages_service().with_journal(&path).expect("reattach journal");
+    assert_eq!(replayed, 2, "exactly the committed transactions replay");
+    assert_eq!(service.len(), len_before);
+    let handle =
+        Server::spawn(Arc::new(service), ServerConfig { threads: 2, ..Default::default() })
+            .expect("bind recovered");
+    let final_len = assert_wire_instance_legal(handle.addr());
+    assert_eq!(final_len, len_before);
+    let mut client = Client::connect(handle.addr()).expect("connect recovered");
+    for uid in ["jrn1", "jrn2"] {
+        let text = client.search(None, "sub", &format!("(uid={uid})"), None).expect("lookup");
+        assert_eq!(ldif::load(&text).expect("loadable").len(), 1, "uid={uid} recovered");
+    }
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_file(&path);
+}
