@@ -446,7 +446,8 @@ fn exp_srv(quick: bool) {
     let clients = 8usize;
     let per_client = if quick { 100 } else { 400 };
 
-    let mut table = Table::new(["workers", "clients", "requests", "elapsed", "req/s"]);
+    let mut table =
+        Table::new(["workers", "clients", "requests", "elapsed", "req/s", "p50", "p99"]);
     for workers in [1usize, 4, 8] {
         let org = org_of_size(size);
         let managed = ManagedDirectory::with_instance(white_pages_schema(), org.dir)
@@ -481,15 +482,26 @@ fn exp_srv(quick: bool) {
         // +1 per client for the UNBIND round-trip.
         let requests = clients * (per_client * 2 + 1);
         let req_per_s = requests as f64 / elapsed.as_secs_f64();
+        // Per-request latency quantiles from the server's own
+        // log-bucketed histogram — the tail, not just the mean.
+        let latency = recorder
+            .metrics()
+            .histogram("server.request_micros")
+            .expect("server recorded request latencies");
         table.row([
             workers.to_string(),
             clients.to_string(),
             requests.to_string(),
             fmt_us(elapsed.as_micros() as f64),
             format!("{req_per_s:.0}"),
+            fmt_us(latency.p50() as f64),
+            fmt_us(latency.p99() as f64),
         ]);
         println!(
-            "BENCH_JSON {{\"experiment\":\"srv\",\"n\":{workers},\"req_per_s\":{req_per_s:.1},\"metrics\":{}}}",
+            "BENCH_JSON {{\"experiment\":\"srv\",\"n\":{workers},\"req_per_s\":{req_per_s:.1},\
+             \"p50_us\":{},\"p99_us\":{},\"metrics\":{}}}",
+            latency.p50(),
+            latency.p99(),
             recorder.to_json()
         );
     }

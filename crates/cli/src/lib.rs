@@ -42,7 +42,7 @@ use std::sync::Arc;
 use bschema_core::consistency::{build_witness, ConsistencyChecker};
 use bschema_core::evolution::{self, Evolution};
 use bschema_core::journal::{Journal, JournalWriter};
-use bschema_core::legality::{LegalityChecker, LegalityOptions};
+use bschema_core::legality::{translate, LegalityChecker, LegalityOptions};
 use bschema_core::managed::{ManagedDirectory, ManagedError};
 use bschema_core::schema::dsl::{parse_schema, print_schema, ParsedSchema};
 use bschema_core::schema::{ForbidKind, RelKind};
@@ -50,9 +50,10 @@ use bschema_core::updates::{transaction_from_ldif, Transaction};
 use bschema_directory::ldif::LdifLimits;
 use bschema_directory::{ldif, DirectoryInstance};
 use bschema_faults::{silence_injected_panics, FaultPlan};
-use bschema_obs::{Probe, Recorder};
+use bschema_obs::{FlightRecorder, Probe, Recorder};
 use bschema_query::{
-    parse_filter_limited, search, SearchRequest, SearchScope, DEFAULT_FILTER_DEPTH,
+    explain, parse_filter_limited, search, EvalContext, SearchRequest, SearchScope,
+    DEFAULT_FILTER_DEPTH,
 };
 use bschema_server::{Client, ClientError, DirectoryService, Server, ServerConfig, ServiceLimits};
 
@@ -112,7 +113,7 @@ bschema — bounding-schemas for LDAP directories (EDBT 2000)
 usage:
   bschema check-schema <schema.bs>
   bschema validate <schema.bs> <data.ldif>
-  bschema check <data.ldif> <schema.bs> [--sequential] [--trace] [--metrics[=json]]
+  bschema check <data.ldif> <schema.bs> [--sequential] [--explain] [--trace] [--metrics[=json]]
   bschema apply <schema.bs> <data.ldif> <tx.ldif> [--sequential] [--journal <path>] [--inject-fault <n>] [--trace] [--metrics[=json]]
   bschema recover <schema.bs> <base.ldif> <journal> [--trace] [--metrics[=json]]
   bschema consistency <schema.bs> [--trace] [--metrics[=json]]
@@ -126,12 +127,12 @@ usage:
   bschema suggest-schema <data.ldif> [--forbidden] [--required-classes]
   bschema serve <schema.bs> [data.ldif] [--addr <ip:port>] [--port-file <path>]
           [--threads <n>] [--queue-depth <n>] [--journal <path>] [--sequential]
-          [--metrics[=json]] [--inject-fault-site <site>[:<occurrence>]]
+          [--trace] [--metrics[=json]] [--inject-fault-site <site>[:<occurrence>]]
   bschema client <addr> ping
-  bschema client <addr> search --filter <rfc2254> [--base <dn>] [--scope base|one|sub] [--limit <n>]
+  bschema client <addr> search --filter <rfc2254> [--base <dn>] [--scope base|one|sub] [--limit <n>] [--explain]
   bschema client <addr> apply <tx.ldif>
   bschema client <addr> modify <mods.txt>
-  bschema client <addr> metrics | shutdown
+  bschema client <addr> metrics | stats | trace | shutdown
 
 input limits (check, validate, apply, search, serve):
   --max-line-len <bytes>  --max-records <n>  --max-filter-depth <n>
@@ -328,6 +329,7 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut obs = ObsOpts::default();
     let mut limits = LimitOpts::default();
     let mut sequential = false;
+    let mut explain_plan = false;
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -336,6 +338,7 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, CliError> {
         }
         match arg.as_str() {
             "--sequential" => sequential = true,
+            "--explain" => explain_plan = true,
             path if !path.starts_with("--") => positional.push(path),
             other => return Err(usage_error(format!("unknown option {other:?}"))),
         }
@@ -374,8 +377,48 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, CliError> {
         }
         1
     };
+    if explain_plan {
+        explain_structure_queries(&parsed.schema, &dir, out);
+    }
     obs.emit(&recorder, out);
     Ok(code)
+}
+
+/// `check --explain`: renders the evaluation plan of every structure
+/// query (the Figure 4 translation, in engine order) against the loaded
+/// instance — which index each step reused or seeded, candidate-set
+/// sizes, and entries scanned vs. matched — then a totals line.
+fn explain_structure_queries(
+    schema: &bschema_core::schema::DirectorySchema,
+    dir: &DirectoryInstance,
+    out: &mut String,
+) {
+    let structure = schema.structure();
+    let mut queries = Vec::new();
+    for class in structure.required_classes() {
+        queries.push(translate::required_class_query(schema, class));
+    }
+    for rel in structure.required_rels() {
+        queries.push(translate::required_rel_query(schema, rel));
+    }
+    for rel in structure.forbidden_rels() {
+        queries.push(translate::forbidden_rel_query(schema, rel));
+    }
+    let _ =
+        writeln!(out, "EXPLAIN: {} structure queries (the Figure 4 translation)", queries.len());
+    let ctx = EvalContext::new(dir);
+    let (mut scanned, mut matched) = (0usize, 0usize);
+    for query in &queries {
+        let report = explain(&ctx, query);
+        scanned += report.scanned();
+        matched += report.matched();
+        out.push_str(&report.render_text());
+    }
+    let _ = writeln!(
+        out,
+        "EXPLAIN totals: {} queries, scanned={scanned}, matched={matched}",
+        queries.len()
+    );
 }
 
 /// Builds an insertion/deletion transaction from LDIF text — the shared
@@ -914,6 +957,10 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
         Some(plan) => plan.clone(),
         None => recorder.clone(),
     };
+    // `--trace` turns on the flight recorder: the server retains the 16
+    // most recent and 16 slowest completed request span trees, queryable
+    // over the wire with `bschema client <addr> trace`.
+    let flight = obs.trace.then(|| Arc::new(FlightRecorder::new(16)));
     let mut service = DirectoryService::new(managed)
         .with_limits(ServiceLimits {
             ldif: ldif_limits,
@@ -922,6 +969,9 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
         })
         .with_probe(probe)
         .with_recorder(recorder.clone());
+    if let Some(flight) = &flight {
+        service = service.with_flight_recorder(flight.clone());
+    }
     if let Some(path) = journal_path {
         let (recovered, replayed) = service
             .with_journal(path)
@@ -962,12 +1012,15 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
 fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let [addr, action, rest @ ..] = args else {
         return Err(usage_error(
-            "client takes <addr> ping|search|apply|modify|metrics|shutdown [args]",
+            "client takes <addr> ping|search|apply|modify|metrics|stats|trace|shutdown [args]",
         ));
     };
     let connect_error =
         |e: ClientError| usage_error(format!("cannot talk to server at {addr}: {e}"));
-    let mut client = Client::connect(addr.as_str()).map_err(connect_error)?;
+    // Every CLI request is trace-stamped `cli-<seq>`; a traced server
+    // reports the id back through `bschema client <addr> trace`, an
+    // untraced (or older) one strips and ignores the token.
+    let mut client = Client::connect(addr.as_str()).map_err(connect_error)?.with_trace_label("cli");
     match action.as_str() {
         "ping" => {
             let len = client.ping().map_err(connect_error)?;
@@ -979,12 +1032,14 @@ fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
             let mut base: Option<&str> = None;
             let mut scope = "sub";
             let mut limit: Option<usize> = None;
+            let mut explain_plan = false;
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--filter" => filter = Some(next_value(&mut it, "--filter")?),
                     "--base" => base = Some(next_value(&mut it, "--base")?),
                     "--scope" => scope = next_value(&mut it, "--scope")?,
+                    "--explain" => explain_plan = true,
                     "--limit" => {
                         let word = next_value(&mut it, "--limit")?;
                         limit = Some(word.parse().map_err(|_| {
@@ -995,6 +1050,20 @@ fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
                 }
             }
             let filter = filter.ok_or_else(|| usage_error("client search needs --filter"))?;
+            if explain_plan {
+                return match client.search_explain(base, scope, filter, limit) {
+                    Ok((count, json)) => {
+                        let _ = writeln!(out, "EXPLAIN: {count} entries match");
+                        let _ = writeln!(out, "{json}");
+                        Ok(0)
+                    }
+                    Err(ClientError::Server { code, detail }) => {
+                        let _ = writeln!(out, "REFUSED ({code}): {detail}");
+                        Ok(1)
+                    }
+                    Err(e) => Err(connect_error(e)),
+                };
+            }
             match client.search(base, scope, filter, limit) {
                 Ok(ldif) => {
                     let _ = writeln!(out, "{} entries match", ldif.matches("dn: ").count());
@@ -1049,6 +1118,28 @@ fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
             let _ = writeln!(out, "{json}");
             Ok(0)
         }
+        "stats" => match client.stats_json() {
+            Ok(json) => {
+                let _ = writeln!(out, "{json}");
+                Ok(0)
+            }
+            Err(ClientError::Server { code, detail }) => {
+                let _ = writeln!(out, "REFUSED ({code}): {detail}");
+                Ok(1)
+            }
+            Err(e) => Err(connect_error(e)),
+        },
+        "trace" => match client.trace_json() {
+            Ok(json) => {
+                let _ = writeln!(out, "{json}");
+                Ok(0)
+            }
+            Err(ClientError::Server { code, detail }) => {
+                let _ = writeln!(out, "REFUSED ({code}): {detail}");
+                Ok(1)
+            }
+            Err(e) => Err(connect_error(e)),
+        },
         "shutdown" => {
             client.shutdown_server().map_err(connect_error)?;
             let _ = writeln!(out, "server draining");
@@ -1219,6 +1310,26 @@ name: a
         assert!(last.contains("\"legality.entries_content_checked\":2"), "{last}");
         assert!(last.contains("\"legality.structure_queries\""), "{last}");
         assert!(last.contains("\"spans\""), "{last}");
+    }
+
+    #[test]
+    fn check_explain_census_on_the_quickstart_example() {
+        // The shipped quickstart pair IS Figures 1–3, so the EXPLAIN
+        // census is the paper's: 9 Figure 4 queries, the three ◇-class
+        // queries matching 1 + 2 + 3 = 6 entries, every violation query
+        // empty (the same totals tests/observability.rs pins).
+        let schema = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/quickstart.bs");
+        let data = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/quickstart.ldif");
+        let (code, out) = run_ok(&["check", data, schema, "--explain"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("LEGAL"), "{out}");
+        assert!(out.contains("EXPLAIN: 9 structure queries"), "{out}");
+        // Per-query plan lines show the access path and the counts.
+        assert!(out.contains("index-reused"), "{out}");
+        assert!(out.contains("scanned="), "{out}");
+        let totals = out.lines().find(|l| l.starts_with("EXPLAIN totals:")).expect("totals line");
+        assert!(totals.contains("9 queries"), "{totals}");
+        assert!(totals.ends_with("matched=6"), "{totals}");
     }
 
     #[test]
@@ -1470,6 +1581,71 @@ name: a
         assert!(out.contains("STOPPED"), "{out}");
         let last = out.lines().last().unwrap();
         assert!(bschema_obs::json::is_valid(last), "{last}");
+    }
+
+    #[test]
+    fn traced_serve_answers_stats_trace_and_search_explain() {
+        let schema = write_tmp("s20.bs", SCHEMA);
+        let data = write_tmp("d20.ldif", LDIF);
+        let port_file = write_tmp("p20.port", "");
+        std::fs::remove_file(&port_file).unwrap();
+
+        let server = {
+            let schema = schema.clone();
+            let data = data.clone();
+            let port_file = port_file.clone();
+            std::thread::spawn(move || {
+                run_ok(&["serve", &schema, &data, "--port-file", &port_file, "--trace"])
+            })
+        };
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        // A committed transaction, stamped `cli-0` by the client CLI…
+        let tx = write_tmp(
+            "t20.ldif",
+            "dn: uid=b,o=acme\nobjectClass: person\nobjectClass: top\nuid: b\nname: b\n",
+        );
+        let (code, out) = run_ok(&["client", &addr, "apply", &tx]);
+        assert_eq!(code, 0, "{out}");
+
+        // …shows up in the flight recorder with its span tree.
+        let (code, out) = run_ok(&["client", &addr, "trace"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(bschema_obs::json::is_valid(out.trim()), "{out}");
+        assert!(out.contains("\"trace_id\":\"cli-0\""), "{out}");
+        assert!(out.contains("\"verb\":\"TXN\""), "{out}");
+        assert!(out.contains("service.journal_commit"), "{out}");
+
+        // STATS returns deltas: a second scrape with no traffic in
+        // between (beyond the scrape itself) must not repeat the TXN.
+        let (code, out) = run_ok(&["client", &addr, "stats"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(bschema_obs::json::is_valid(out.trim()), "{out}");
+        assert!(out.contains("\"server.tx_committed\":1"), "{out}");
+        let (code, out) = run_ok(&["client", &addr, "stats"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("server.tx_committed"), "delta repeated: {out}");
+
+        // SEARCH --explain returns the count plus the plan JSON.
+        let (code, out) =
+            run_ok(&["client", &addr, "search", "--filter", "(objectClass=person)", "--explain"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("EXPLAIN: 2 entries match"), "{out}");
+        let json = out.lines().nth(1).expect("plan line");
+        assert!(bschema_obs::json::is_valid(json), "{json}");
+        assert!(json.contains("\"access\":\"index-reused\""), "{json}");
+
+        let (code, _) = run_ok(&["client", &addr, "shutdown"]);
+        assert_eq!(code, 0);
+        let (code, out) = server.join().unwrap();
+        assert_eq!(code, 0, "{out}");
     }
 
     #[test]

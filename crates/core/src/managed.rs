@@ -280,6 +280,17 @@ impl ManagedDirectory {
         self
     }
 
+    /// Swaps the instrumentation probe in place, returning the previous
+    /// one (`None` stood for the no-op probe). The wire server uses this
+    /// to thread a per-request trace through exactly one `apply` under
+    /// the write lock, then restore the per-process probe.
+    pub fn swap_probe(
+        &mut self,
+        probe: Option<Arc<dyn Probe + Send + Sync>>,
+    ) -> Option<Arc<dyn Probe + Send + Sync>> {
+        std::mem::replace(&mut self.probe, ProbeHandle(probe)).0
+    }
+
     /// The full legality checker configured with this directory's options.
     fn checker(&self) -> LegalityChecker<'_> {
         LegalityChecker::new(&self.schema).with_options(self.options).with_probe(self.probe.get())

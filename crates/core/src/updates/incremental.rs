@@ -188,9 +188,13 @@ impl<'s> IncrementalChecker<'s> {
                 let span = probe.span_start(parent, "chunk", i as u64);
                 let started = probe.enabled().then(std::time::Instant::now);
                 let mut local = Vec::new();
-                for job in chunk {
+                // One child span per Δ-query, named by its Figure 5 row
+                // and ordered by in-chunk position, so a request trace
+                // attributes time to individual rows deterministically.
+                for (j, job) in chunk.iter().enumerate() {
                     match *job {
                         DeltaJob::Required(root, rel) => {
+                            let row = probe.span_start(span, required_row(rel.kind), j as u64);
                             let ctx = EvalContext::with_delta(dir, root).with_probe(probe);
                             let q = insertion_delta_query(self.schema, rel);
                             for witness in evaluate(&ctx, &q) {
@@ -201,8 +205,10 @@ impl<'s> IncrementalChecker<'s> {
                                     target: classes.name(rel.target).to_owned(),
                                 });
                             }
+                            probe.span_end(row);
                         }
                         DeltaJob::Forbidden(root, rel) => {
+                            let row = probe.span_start(span, forbidden_row(rel.kind), j as u64);
                             let ctx = EvalContext::with_delta(dir, root).with_probe(probe);
                             let q = insertion_delta_query_forbidden(self.schema, rel);
                             for witness in evaluate(&ctx, &q) {
@@ -213,6 +219,7 @@ impl<'s> IncrementalChecker<'s> {
                                     lower: classes.name(rel.lower).to_owned(),
                                 });
                             }
+                            probe.span_end(row);
                         }
                     }
                 }

@@ -26,25 +26,37 @@
 //!   reconstructed tree is deterministic regardless of thread count
 //!   because siblings are ordered by a caller-supplied ordinal, not by
 //!   completion time.
-//! * [`MetricsRegistry`] — named counters and min/mean/max histograms
+//! * [`MetricsRegistry`] — named counters and log-bucketed quantile
+//!   histograms (p50/p90/p99, mergeable, delta-able for scrape loops)
 //!   behind `BTreeMap`s, so every rendering is deterministically
 //!   ordered.
 //!
 //! [`Recorder`] bundles a tracer and a registry into a ready-made
 //! `Probe` implementation with text and JSON exporters.
+//!
+//! On top of these sit the request-telemetry pieces the wire server
+//! uses: [`TraceContext`] (a deterministic, wire-propagated trace
+//! identity), [`RequestTrace`] (a per-request probe that re-parents
+//! engine span trees under one request root while forwarding metrics
+//! to the shared registry), and [`FlightRecorder`] (a bounded buffer
+//! of the most recent + slowest completed request span trees).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
 
+mod flight;
 mod fmt;
 mod metrics;
 mod span;
+mod trace;
 
+pub use flight::{FlightRecord, FlightRecorder};
 pub use fmt::fmt_us;
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use span::{SpanId, SpanNode, Tracer, NO_SPAN};
+pub use trace::{RequestTrace, TraceContext};
 
 /// The instrumentation interface threaded through the engines.
 ///

@@ -59,6 +59,29 @@ impl Tracer {
         SpanId(spans.len() - 1)
     }
 
+    /// Records an already-elapsed interval as a closed span: the span is
+    /// backdated so it *ends* now and lasted `dur_us`. Used for waits
+    /// measured outside the tracer's scope — e.g. the server backdates a
+    /// connection's queue wait once a worker picks it up.
+    pub fn record_with_duration(
+        &self,
+        parent: SpanId,
+        name: &'static str,
+        ord: u64,
+        dur_us: u64,
+    ) -> SpanId {
+        let now = self.origin.elapsed().as_micros() as u64;
+        let mut spans = self.spans.lock().expect("tracer mutex poisoned");
+        spans.push(SpanRec {
+            name,
+            parent: parent.0,
+            ord,
+            start_us: now.saturating_sub(dur_us),
+            dur_us: Some(dur_us),
+        });
+        SpanId(spans.len() - 1)
+    }
+
     /// Closes `span`, recording its duration. Closing [`NO_SPAN`] (or an
     /// already-closed span) is a no-op.
     pub fn end(&self, span: SpanId) {
@@ -116,45 +139,21 @@ impl Tracer {
 
     /// Renders the forest as an indented text tree with durations.
     pub fn render_text(&self) -> String {
-        fn render(node: &SpanNode, depth: usize, out: &mut String) {
-            let dur = node.dur_us.map_or("(open)".to_owned(), |d| fmt_us(d as f64));
-            out.push_str(&"  ".repeat(depth));
-            out.push_str(&format!("{} {dur}\n", node.name));
-            for child in &node.children {
-                render(child, depth + 1, out);
-            }
-        }
         let mut out = String::new();
         for root in self.tree() {
-            render(&root, 0, &mut out);
+            out.push_str(&root.render_text());
         }
         out
     }
 
     /// Renders the forest as a JSON array of nested span objects.
     pub fn to_json(&self) -> String {
-        fn render(node: &SpanNode, out: &mut String) {
-            out.push_str(&format!(
-                "{{\"name\":{},\"ord\":{},\"start_us\":{},\"dur_us\":{},\"children\":[",
-                json::escape(node.name),
-                node.ord,
-                node.start_us,
-                node.dur_us.map_or("null".to_owned(), |d| d.to_string()),
-            ));
-            for (i, child) in node.children.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                render(child, out);
-            }
-            out.push_str("]}");
-        }
         let mut out = String::from("[");
         for (i, root) in self.tree().iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            render(root, &mut out);
+            out.push_str(&root.to_json());
         }
         out.push(']');
         out
@@ -185,6 +184,42 @@ impl SpanNode {
         }
         let inner: Vec<String> = self.children.iter().map(SpanNode::shape).collect();
         format!("{}({})", self.name, inner.join(","))
+    }
+
+    /// Renders this subtree as one nested JSON object — the same shape
+    /// [`Tracer::to_json`] emits per root, reusable for detached trees
+    /// (the flight recorder stores `SpanNode`s, not tracers).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"name\":{},\"ord\":{},\"start_us\":{},\"dur_us\":{},\"children\":[",
+            json::escape(self.name),
+            self.ord,
+            self.start_us,
+            self.dur_us.map_or("null".to_owned(), |d| d.to_string()),
+        );
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&child.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders this subtree as an indented text tree with durations.
+    pub fn render_text(&self) -> String {
+        fn render(node: &SpanNode, depth: usize, out: &mut String) {
+            let dur = node.dur_us.map_or("(open)".to_owned(), |d| fmt_us(d as f64));
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("{} {dur}\n", node.name));
+            for child in &node.children {
+                render(child, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        render(self, 0, &mut out);
+        out
     }
 }
 
@@ -264,6 +299,20 @@ mod tests {
         t.end(s);
         t.end(s); // double close keeps the first duration
         assert!(t.tree()[0].dur_us.is_some());
+    }
+
+    #[test]
+    fn backdated_spans_are_closed_and_ordered() {
+        let t = Tracer::new();
+        let root = t.start(NO_SPAN, "request", 0);
+        // The wait ended "now" but started before the root opened.
+        let wait = t.record_with_duration(root, "queue_wait", 0, 1_000_000);
+        t.end(t.start(root, "work", 0));
+        t.end(root);
+        t.end(wait); // double close keeps the synthesized duration
+        let tree = t.tree();
+        assert_eq!(tree[0].shape(), "request(queue_wait,work)");
+        assert_eq!(tree[0].children[0].dur_us, Some(1_000_000));
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! strategy) and a naive nested-loop evaluator used as a differential
 //! oracle and benchmark baseline.
 
+pub mod explain;
 mod interval;
 mod naive;
 
+pub use explain::{explain, Explain, ExplainNode};
 pub use interval::evaluate;
 pub use naive::evaluate_naive;
 

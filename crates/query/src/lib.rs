@@ -11,8 +11,10 @@
 //! * [`algebra`] — hierarchical selection queries: `σc`, `σp`, `σd`, `σa`,
 //!   `σ?`, plus union/intersection, with the Figure 5 per-leaf dataset
 //!   [`Binding`]s used by incremental legality checking.
-//! * [`eval`] — the interval-merge evaluator ([`evaluate`], O(|Q|·|D|)) and
-//!   the naive nested-loop oracle ([`evaluate_naive`], O(|Q|·|D|²)).
+//! * [`eval`] — the interval-merge evaluator ([`evaluate`], O(|Q|·|D|)),
+//!   the naive nested-loop oracle ([`evaluate_naive`], O(|Q|·|D|²)), and
+//!   the plan-recording [`explain`] evaluator (EXPLAIN for Figure 4
+//!   queries: access paths, candidate sizes, scanned vs. matched).
 //! * [`result`] — preorder-sorted result lists and their merge ops.
 //!
 //! ## Example: the paper's Q1
@@ -48,7 +50,9 @@ pub mod result;
 pub mod search;
 
 pub use algebra::{Binding, Query};
-pub use eval::{evaluate, evaluate_batch, evaluate_naive, EvalContext};
+pub use eval::{
+    evaluate, evaluate_batch, evaluate_naive, explain, EvalContext, Explain, ExplainNode,
+};
 pub use filter::Filter;
 pub use filter_parser::{
     parse_filter, parse_filter_limited, FilterParseError, DEFAULT_FILTER_DEPTH,

@@ -84,6 +84,8 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     limits: WireLimits,
+    trace_label: Option<String>,
+    trace_seq: u64,
 }
 
 impl Client {
@@ -94,13 +96,40 @@ impl Client {
         stream.set_write_timeout(Some(Duration::from_secs(5)))?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { reader, writer: stream, limits: WireLimits::default() })
+        Ok(Client {
+            reader,
+            writer: stream,
+            limits: WireLimits::default(),
+            trace_label: None,
+            trace_seq: 0,
+        })
+    }
+
+    /// Enables trace-context stamping: every subsequent request carries
+    /// a `tc=<label>-<seq>.0` header token, with `seq` a per-connection
+    /// counter — deterministic, so tests can pin the exact ids a traced
+    /// server will report back through its `TRACE` verb.
+    pub fn with_trace_label(mut self, label: impl Into<String>) -> Self {
+        self.trace_label = Some(label.into());
+        self
+    }
+
+    /// The trace id the **next** stamped request will carry, or `None`
+    /// when stamping is off.
+    pub fn next_trace_id(&self) -> Option<String> {
+        self.trace_label.as_ref().map(|label| format!("{label}-{}", self.trace_seq))
     }
 
     /// One request/response round trip. Returns the whole `OK` frame;
     /// `ERR` frames become [`ClientError::Server`].
     fn exchange(&mut self, tokens: &[&str], payload: &[u8]) -> Result<Frame, ClientError> {
-        write_frame(&mut self.writer, tokens, payload)?;
+        let stamp = self.next_trace_id().map(|id| bschema_obs::TraceContext::new(id).wire_token());
+        let mut stamped: Vec<&str> = tokens.to_vec();
+        if let Some(token) = &stamp {
+            self.trace_seq += 1;
+            stamped.push(token.as_str());
+        }
+        write_frame(&mut self.writer, &stamped, payload)?;
         let frame = read_frame(&mut self.reader, &self.limits)?
             .ok_or_else(|| ClientError::Protocol("server closed without responding".to_owned()))?;
         match frame.verb() {
@@ -161,9 +190,44 @@ impl Client {
         parse_count(&frame, 2, "modified")
     }
 
+    /// `SEARCH ... explain` — EXPLAIN for a search: returns the result
+    /// count and the evaluation-plan JSON instead of the entries.
+    pub fn search_explain(
+        &mut self,
+        base: Option<&str>,
+        scope: &str,
+        filter: &str,
+        limit: Option<usize>,
+    ) -> Result<(usize, String), ClientError> {
+        let mut body = String::new();
+        if let Some(base) = base {
+            body.push_str(&format!("base: {base}\n"));
+        }
+        body.push_str(&format!("filter: {filter}\n"));
+        if let Some(limit) = limit {
+            body.push_str(&format!("limit: {limit}\n"));
+        }
+        let frame = self.exchange(&["SEARCH", scope, "explain"], body.as_bytes())?;
+        Ok((parse_count(&frame, 2, "explain")?, frame.payload_str()?.to_owned()))
+    }
+
     /// `METRICS` — the server's recorder state as one JSON line.
     pub fn metrics_json(&mut self) -> Result<String, ClientError> {
         let frame = self.exchange(&["METRICS"], b"")?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
+    /// `STATS` — counter/histogram deltas since the previous `STATS`
+    /// scrape, as one JSON line.
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        let frame = self.exchange(&["STATS"], b"")?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
+    /// `TRACE` — the server's flight-recorder buffer (most recent +
+    /// slowest completed request span trees) as one JSON line.
+    pub fn trace_json(&mut self) -> Result<String, ClientError> {
+        let frame = self.exchange(&["TRACE"], b"")?;
         Ok(frame.payload_str()?.to_owned())
     }
 

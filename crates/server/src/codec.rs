@@ -66,6 +66,18 @@ impl Frame {
         std::str::from_utf8(&self.payload)
             .map_err(|_| WireError::Malformed("payload is not UTF-8".to_owned()))
     }
+
+    /// Extracts and removes the request's trace-context token
+    /// (`tc=<trace-id>.<parent-span>`), if the header carries one. The
+    /// token rides as an ordinary header token on any verb; removing it
+    /// keeps positional [`arg`](Frame::arg) indices stable, and servers
+    /// that predate it simply never match a positional argument against
+    /// it. Tokens that merely look similar are left in place.
+    pub fn take_trace_context(&mut self) -> Option<bschema_obs::TraceContext> {
+        let at =
+            self.tokens.iter().position(|t| bschema_obs::TraceContext::parse_token(t).is_some())?;
+        bschema_obs::TraceContext::parse_token(&self.tokens.remove(at))
+    }
 }
 
 /// A frame that could not be read or decoded.
@@ -273,6 +285,19 @@ mod tests {
         let f =
             read_frame(&mut Cursor::new(b"TXN #8\n12345678".to_vec()), &limits).unwrap().unwrap();
         assert_eq!(f.payload, b"12345678");
+    }
+
+    #[test]
+    fn trace_context_token_is_stripped_wherever_it_rides() {
+        let mut f = roundtrip(&["SEARCH", "sub", "tc=cli-2.0"], b"filter: (objectClass=*)\n");
+        let ctx = f.take_trace_context().expect("token present");
+        assert_eq!((ctx.trace_id.as_str(), ctx.parent_span), ("cli-2", 0));
+        assert_eq!(f.tokens, ["SEARCH", "sub"]);
+        assert!(f.take_trace_context().is_none(), "token removed on first take");
+        // Foreign tokens stay put.
+        let mut f = roundtrip(&["BIND", "tc=x"], b"");
+        assert!(f.take_trace_context().is_none());
+        assert_eq!(f.tokens, ["BIND", "tc=x"]);
     }
 
     #[test]

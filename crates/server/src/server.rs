@@ -3,22 +3,33 @@
 //!
 //! ## Verb table
 //!
-//! | request                              | response                          |
-//! |--------------------------------------|-----------------------------------|
-//! | `BIND <name>`                        | `OK bound <name>`                 |
-//! | `PING`                               | `OK pong <len>`                   |
-//! | `SEARCH [base\|one\|sub] #n` + body  | `OK entries <n> #m` + LDIF        |
-//! | `TXN #n` + LDIF changes              | `OK committed <ops> <len>`        |
-//! | `MODIFY #n` + mod lines              | `OK modified <len>`               |
-//! | `METRICS`                            | `OK metrics #n` + JSON            |
-//! | `SHUTDOWN`                           | `OK bye` (then server drains)     |
-//! | `UNBIND`                             | `OK bye` (closes the session)     |
+//! | request                                   | response                          |
+//! |-------------------------------------------|-----------------------------------|
+//! | `BIND <name>`                             | `OK bound <name>`                 |
+//! | `PING`                                    | `OK pong <len>`                   |
+//! | `SEARCH [base\|one\|sub] #n` + body       | `OK entries <n> #m` + LDIF        |
+//! | `SEARCH [base\|one\|sub] explain #n` + body | `OK explain <n> #m` + plan JSON |
+//! | `TXN #n` + LDIF changes                   | `OK committed <ops> <len>`        |
+//! | `MODIFY #n` + mod lines                   | `OK modified <len>`               |
+//! | `METRICS`                                 | `OK metrics #n` + JSON            |
+//! | `STATS`                                   | `OK stats #n` + delta JSON        |
+//! | `TRACE`                                   | `OK trace #n` + flight JSON       |
+//! | `SHUTDOWN`                                | `OK bye` (then server drains)     |
+//! | `UNBIND`                                  | `OK bye` (closes the session)     |
 //!
 //! `SEARCH` bodies are `key: value` lines — `filter:` (required),
 //! `base:` and `limit:` (optional). `MODIFY` bodies are a `dn:` line
 //! followed by `add:`/`deletevalue:`/`deleteattr:`/`replace:` lines.
 //! Failures are `ERR <code> [#n]` with the detail as payload; codes are
 //! stable (see [`crate::service::ServiceError`]).
+//!
+//! Any request may additionally carry a `tc=<trace-id>.<parent-span>`
+//! header token (see [`bschema_obs::TraceContext`]): on a server started
+//! with a flight recorder, the whole request — queue wait, journal
+//! write, legality check, per-Δ-query spans — is collected as one span
+//! tree under that id, retrievable via `TRACE`. `METRICS` dumps the
+//! cumulative registry (counters **and** quantile histograms); `STATS`
+//! returns only the deltas since the previous `STATS` scrape.
 //!
 //! ## Backpressure and shutdown
 //!
@@ -197,7 +208,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth));
+        let queue = Arc::new(BoundedQueue::<(TcpStream, Instant)>::new(config.queue_depth));
 
         let mut workers = Vec::with_capacity(config.threads.max(1));
         for i in 0..config.threads.max(1) {
@@ -228,7 +239,7 @@ impl Server {
 
 fn accept_loop(
     listener: &TcpListener,
-    queue: &BoundedQueue<TcpStream>,
+    queue: &BoundedQueue<(TcpStream, Instant)>,
     service: &DirectoryService,
     shutdown: &AtomicBool,
     config: &ServerConfig,
@@ -243,13 +254,13 @@ fn accept_loop(
                 // Instrumentation faults must not kill the acceptor:
                 // a dead acceptor turns a probe panic into a silent
                 // refusal of all future connections.
-                match queue.push(stream) {
+                match queue.push((stream, Instant::now())) {
                     Ok(depth) => {
                         let _ = catch_unwind(AssertUnwindSafe(|| {
                             service.probe().observe("server.queue_depth", depth as u64);
                         }));
                     }
-                    Err(mut stream) => {
+                    Err((mut stream, _)) => {
                         // Backpressure edge: refuse loudly, don't buffer.
                         let _ = catch_unwind(AssertUnwindSafe(|| {
                             service.probe().add("server.rejected_busy", 1);
@@ -266,15 +277,22 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(queue: &BoundedQueue<TcpStream>, service: &DirectoryService, shutdown: &AtomicBool) {
-    while let Some(stream) = queue.pop() {
+fn worker_loop(
+    queue: &BoundedQueue<(TcpStream, Instant)>,
+    service: &DirectoryService,
+    shutdown: &AtomicBool,
+) {
+    while let Some((stream, queued_at)) = queue.pop() {
         if shutdown.load(Ordering::SeqCst) {
             // Queued but never served: tell the client why.
             let mut stream = stream;
             let _ = write_frame(&mut stream, &["ERR", "shutting-down"], b"");
             continue;
         }
-        serve_session(stream, service, shutdown);
+        // How long the connection sat in the accept queue before a
+        // worker picked it up — attributed to the first request's trace.
+        let queue_wait_us = queued_at.elapsed().as_micros() as u64;
+        serve_session(stream, service, shutdown, queue_wait_us);
     }
 }
 
@@ -285,13 +303,19 @@ enum Control {
     ShutdownServer,
 }
 
-fn serve_session(stream: TcpStream, service: &DirectoryService, shutdown: &AtomicBool) {
+fn serve_session(
+    stream: TcpStream,
+    service: &DirectoryService,
+    shutdown: &AtomicBool,
+    queue_wait_us: u64,
+) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let wire = service.limits().wire;
+    let mut queue_wait = Some(queue_wait_us);
 
     loop {
         // Drain in-flight work, then refuse new frames during shutdown.
@@ -299,7 +323,7 @@ fn serve_session(stream: TcpStream, service: &DirectoryService, shutdown: &Atomi
             let _ = write_frame(&mut writer, &["ERR", "shutting-down"], b"");
             return;
         }
-        let frame = match read_frame(&mut reader, &wire) {
+        let mut frame = match read_frame(&mut reader, &wire) {
             Ok(Some(frame)) => frame,
             Ok(None) => return,
             Err(e) if e.is_timeout() => {
@@ -310,11 +334,15 @@ fn serve_session(stream: TcpStream, service: &DirectoryService, shutdown: &Atomi
             Err(e @ WireError::HeaderTooLong { .. })
             | Err(e @ WireError::PayloadTooLarge { .. }) => {
                 // The oversize bytes are still in flight; reply and cut
-                // the connection rather than resynchronise.
+                // the connection rather than resynchronise. The refusal
+                // still shows up in the flight recorder: a terminated
+                // request span carrying the rejection code.
+                record_rejected_frame(service, "limit");
                 let _ = write_frame(&mut writer, &["ERR", "limit"], e.to_string().as_bytes());
                 return;
             }
             Err(e @ WireError::Malformed(_)) => {
+                record_rejected_frame(service, "proto");
                 let _ = write_frame(&mut writer, &["ERR", "proto"], e.to_string().as_bytes());
                 return;
             }
@@ -324,29 +352,53 @@ fn serve_session(stream: TcpStream, service: &DirectoryService, shutdown: &Atomi
         let verb = frame.verb().to_owned();
         service.probe().add_labeled("server.request", &verb, 1);
 
+        // Traced mode (flight recorder attached): open the request's
+        // span root and attribute the connection's accept-queue wait to
+        // its first request.
+        let ctx = frame.take_trace_context();
+        let trace = service.begin_trace("server.request");
+        if let (Some(trace), Some(wait)) = (&trace, queue_wait.take()) {
+            trace.note_wait("server.queue_wait", wait);
+        }
+
         // Per-request blast-radius: a panic (real bug or injected
         // fault) poisons nothing — the service's guarded paths have
         // already restored their state — so the session apologises and
         // keeps going.
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle_frame(service, &frame)));
-        let control = match outcome {
-            Ok((response, control)) => {
-                let tokens: Vec<&str> = response.tokens.iter().map(String::as_str).collect();
-                if write_frame(&mut writer, &tokens, &response.payload).is_err() {
-                    return;
-                }
-                control
-            }
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| handle_frame(service, &frame, trace.as_ref())));
+        let (response, control) = match outcome {
+            Ok((response, control)) => (response, control),
             Err(payload) => {
                 service.probe().add("server.request_panicked", 1);
                 let detail = bschema_faults::panic_message(&payload).unwrap_or("worker panicked");
-                if write_frame(&mut writer, &["ERR", "panicked"], detail.as_bytes()).is_err() {
-                    return;
-                }
-                Control::Continue
+                (Response::err("panicked", detail), Control::Continue)
             }
         };
-        service.probe().observe("server.request_micros", started.elapsed().as_micros() as u64);
+
+        // Request telemetry: the all-verbs histogram (scrape loops and
+        // the bench harness key off it), a per-verb latency series, and
+        // a per-rejection-code series for everything that wasn't OK.
+        let status = match response.tokens.first().map(String::as_str) {
+            Some("ERR") => response.tokens.get(1).map_or("error", String::as_str).to_owned(),
+            _ => "ok".to_owned(),
+        };
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        service.probe().observe("server.request_micros", elapsed_us);
+        service.probe().observe(&format!("server.request_us.{verb}"), elapsed_us);
+        if status != "ok" {
+            service.probe().observe(&format!("server.rejected_us.{status}"), elapsed_us);
+        }
+        if let (Some(trace), Some(flight)) = (&trace, service.flight()) {
+            let (root, dur_us) = trace.finish();
+            let trace_id = ctx.as_ref().map_or("unstamped", |c| c.trace_id.as_str());
+            flight.record(trace_id, &verb, &status, dur_us, root);
+        }
+
+        let tokens: Vec<&str> = response.tokens.iter().map(String::as_str).collect();
+        if write_frame(&mut writer, &tokens, &response.payload).is_err() {
+            return;
+        }
 
         match control {
             Control::Continue => {}
@@ -357,6 +409,19 @@ fn serve_session(stream: TcpStream, service: &DirectoryService, shutdown: &Atomi
             }
         }
     }
+}
+
+/// Flight-records a frame the codec refused before it ever became a
+/// request: a terminated `server.request` span with the rejection code
+/// as its status, so wire-limit violations are visible in `TRACE`
+/// output and not just as a closed socket.
+fn record_rejected_frame(service: &DirectoryService, code: &str) {
+    let (Some(trace), Some(flight)) = (service.begin_trace("server.request"), service.flight())
+    else {
+        return;
+    };
+    let (root, dur_us) = trace.finish();
+    flight.record("unstamped", "-", code, dur_us, root);
 }
 
 struct Response {
@@ -391,7 +456,11 @@ impl From<ServiceError> for Response {
     }
 }
 
-fn handle_frame(service: &DirectoryService, frame: &Frame) -> (Response, Control) {
+fn handle_frame(
+    service: &DirectoryService,
+    frame: &Frame,
+    trace: Option<&Arc<bschema_obs::RequestTrace>>,
+) -> (Response, Control) {
     match frame.verb() {
         "BIND" => {
             let who = frame.arg(1).unwrap_or("anonymous");
@@ -401,10 +470,10 @@ fn handle_frame(service: &DirectoryService, frame: &Frame) -> (Response, Control
             let len = service.len().to_string();
             (Response::ok(&["pong", &len]), Control::Continue)
         }
-        "SEARCH" => (handle_search(service, frame), Control::Continue),
+        "SEARCH" => (handle_search(service, frame, trace), Control::Continue),
         "TXN" => {
             let response = match frame.payload_str() {
-                Ok(ldif) => match service.apply_ldif_tx(ldif) {
+                Ok(ldif) => match service.apply_ldif_tx_traced(ldif, trace) {
                     Ok(outcome) => Response::ok(&[
                         "committed",
                         &outcome.ops.to_string(),
@@ -418,6 +487,8 @@ fn handle_frame(service: &DirectoryService, frame: &Frame) -> (Response, Control
         }
         "MODIFY" => (handle_modify(service, frame), Control::Continue),
         "METRICS" => (handle_metrics(service), Control::Continue),
+        "STATS" => (handle_stats(service), Control::Continue),
+        "TRACE" => (handle_trace(service), Control::Continue),
         "SHUTDOWN" => (Response::ok(&["bye"]), Control::ShutdownServer),
         "UNBIND" => (Response::ok(&["bye"]), Control::CloseSession),
         other => {
@@ -426,12 +497,21 @@ fn handle_frame(service: &DirectoryService, frame: &Frame) -> (Response, Control
     }
 }
 
-fn handle_search(service: &DirectoryService, frame: &Frame) -> Response {
+fn handle_search(
+    service: &DirectoryService,
+    frame: &Frame,
+    trace: Option<&Arc<bschema_obs::RequestTrace>>,
+) -> Response {
     let scope = match frame.arg(1).unwrap_or("sub") {
         "base" => SearchScope::Base,
         "one" => SearchScope::OneLevel,
         "sub" => SearchScope::Subtree,
         other => return Response::err("usage", &format!("unknown scope {other:?}")),
+    };
+    let explain = match frame.arg(2) {
+        None => false,
+        Some("explain") => true,
+        Some(other) => return Response::err("usage", &format!("unknown search flag {other:?}")),
     };
     let body = match frame.payload_str() {
         Ok(body) => body,
@@ -462,7 +542,13 @@ fn handle_search(service: &DirectoryService, frame: &Frame) -> Response {
     let Some(filter) = filter else {
         return Response::err("usage", "search body needs a `filter:` line");
     };
-    match service.search(base.as_deref(), scope, &filter, limit) {
+    if explain {
+        return match service.search_explain(base.as_deref(), scope, &filter, limit) {
+            Ok((n, json)) => Response::ok_payload(&["explain", &n.to_string()], json.into_bytes()),
+            Err(e) => e.into(),
+        };
+    }
+    match service.search_traced(base.as_deref(), scope, &filter, limit, trace) {
         Ok((n, ldif)) => Response::ok_payload(&["entries", &n.to_string()], ldif.into_bytes()),
         Err(e) => e.into(),
     }
@@ -555,5 +641,19 @@ fn handle_metrics(service: &DirectoryService) -> Response {
     match service.metrics_json() {
         Some(json) => Response::ok_payload(&["metrics"], json.into_bytes()),
         None => Response::err("unsupported", "server started without --metrics"),
+    }
+}
+
+fn handle_stats(service: &DirectoryService) -> Response {
+    match service.stats_json() {
+        Some(json) => Response::ok_payload(&["stats"], json.into_bytes()),
+        None => Response::err("unsupported", "server started without --metrics"),
+    }
+}
+
+fn handle_trace(service: &DirectoryService) -> Response {
+    match service.trace_json() {
+        Some(json) => Response::ok_payload(&["trace"], json.into_bytes()),
+        None => Response::err("unsupported", "server started without --trace"),
     }
 }

@@ -31,9 +31,10 @@ use bschema_core::updates::{transaction_from_ldif, Mod};
 use bschema_core::ManagedDirectory;
 use bschema_directory::ldif::{parse_ldif_limited, write_record, LdifLimits};
 use bschema_directory::{DirectoryInstance, Dn};
-use bschema_obs::Probe;
+use bschema_obs::{FlightRecorder, MetricsSnapshot, Probe, RequestTrace, NO_SPAN};
 use bschema_query::{
-    parse_filter_limited, search, SearchRequest, SearchScope, DEFAULT_FILTER_DEPTH,
+    explain, parse_filter_limited, search, EvalContext, Query, SearchRequest, SearchScope,
+    DEFAULT_FILTER_DEPTH,
 };
 
 use crate::codec::WireLimits;
@@ -127,6 +128,8 @@ pub struct DirectoryService {
     snapshot: RwLock<Arc<DirectoryInstance>>,
     probe: Arc<dyn Probe + Send + Sync>,
     recorder: Option<Arc<bschema_obs::Recorder>>,
+    flight: Option<Arc<FlightRecorder>>,
+    stats_baseline: Mutex<MetricsSnapshot>,
     limits: ServiceLimits,
 }
 
@@ -147,6 +150,8 @@ impl DirectoryService {
             snapshot: RwLock::new(snapshot),
             probe: Arc::new(bschema_obs::NoopProbe),
             recorder: None,
+            flight: None,
+            stats_baseline: Mutex::new(MetricsSnapshot::default()),
             limits: ServiceLimits::default(),
         }
     }
@@ -170,6 +175,8 @@ impl DirectoryService {
             snapshot: self.snapshot,
             probe,
             recorder: self.recorder,
+            flight: self.flight,
+            stats_baseline: self.stats_baseline,
             limits: self.limits,
         }
     }
@@ -187,6 +194,47 @@ impl DirectoryService {
     /// or `None` when no recorder is attached.
     pub fn metrics_json(&self) -> Option<String> {
         self.recorder.as_ref().map(|r| r.to_json())
+    }
+
+    /// Attaches the flight recorder the `TRACE` verb reads from. This
+    /// also switches request handling into traced mode: every frame gets
+    /// a [`RequestTrace`] whose completed span tree is admitted here.
+    pub fn with_flight_recorder(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// The flight recorder's buffer as one JSON line, or `None` when the
+    /// server runs without `--trace`.
+    pub fn trace_json(&self) -> Option<String> {
+        self.flight.as_ref().map(|f| f.to_json())
+    }
+
+    /// One scrape of the `STATS` verb: the counter/histogram **deltas**
+    /// since the previous call (the first call deltas against zero), as
+    /// stable-ordered JSON. Series idle over the interval are omitted.
+    /// `None` when no recorder is attached.
+    pub fn stats_json(&self) -> Option<String> {
+        let recorder = self.recorder.as_ref()?;
+        let current = recorder.metrics().snapshot();
+        let mut baseline = lock_unpoisoned(&self.stats_baseline);
+        let delta = current.delta_since(&baseline);
+        *baseline = current;
+        Some(delta.to_json())
+    }
+
+    /// Opens a per-request trace rooted at `root_name`, or `None` when
+    /// the service runs untraced (no flight recorder attached). The
+    /// trace forwards counters to the service probe while collecting the
+    /// request's span tree privately.
+    pub fn begin_trace(&self, root_name: &'static str) -> Option<Arc<RequestTrace>> {
+        self.flight.as_ref()?;
+        Some(Arc::new(RequestTrace::new(self.probe.clone(), root_name)))
     }
 
     /// Attaches a write-ahead journal at `path`, replaying any existing
@@ -264,6 +312,90 @@ impl DirectoryService {
         filter_src: &str,
         limit: Option<usize>,
     ) -> Result<(usize, String), ServiceError> {
+        self.search_traced(base, scope, filter_src, limit, None)
+    }
+
+    /// [`search`](DirectoryService::search) with an optional per-request
+    /// trace: the whole evaluation runs inside one `service.search` span
+    /// hung under the request root.
+    pub fn search_traced(
+        &self,
+        base: Option<&str>,
+        scope: SearchScope,
+        filter_src: &str,
+        limit: Option<usize>,
+        trace: Option<&Arc<RequestTrace>>,
+    ) -> Result<(usize, String), ServiceError> {
+        let probe = self.request_probe(trace);
+        let span = probe.span_start(NO_SPAN, "service.search", 0);
+        let result = self.search_inner(base, scope, filter_src, limit, probe);
+        probe.span_end(span);
+        result
+    }
+
+    fn search_inner(
+        &self,
+        base: Option<&str>,
+        scope: SearchScope,
+        filter_src: &str,
+        limit: Option<usize>,
+        probe: &dyn Probe,
+    ) -> Result<(usize, String), ServiceError> {
+        let (snapshot, request) = self.build_search(base, scope, filter_src, limit)?;
+        let ids = search(&snapshot, &request);
+        let mut out = String::new();
+        for &id in &ids {
+            let dn = snapshot.dn(id).map_err(|e| ServiceError::new("internal", e.to_string()))?;
+            let entry = snapshot
+                .entry(id)
+                .ok_or_else(|| ServiceError::new("internal", format!("dangling id {id}")))?;
+            write_record(&mut out, &dn.to_string(), entry);
+        }
+        probe.add("server.search_entries", ids.len() as u64);
+        Ok((ids.len(), out))
+    }
+
+    /// EXPLAIN for a search: runs the filter through the plan-recording
+    /// evaluator and returns `(returned, json)` where `json` describes
+    /// the evaluation plan — access path per step (index reused, seeded
+    /// scan, or full scan), candidate-set sizes, entries scanned vs.
+    /// matched — plus the scope restriction and final result count.
+    /// The snapshot is not mutated and no counters are emitted.
+    pub fn search_explain(
+        &self,
+        base: Option<&str>,
+        scope: SearchScope,
+        filter_src: &str,
+        limit: Option<usize>,
+    ) -> Result<(usize, String), ServiceError> {
+        let (snapshot, request) = self.build_search(base, scope, filter_src, limit)?;
+        let report = explain(&EvalContext::new(&snapshot), &Query::select(request.filter.clone()));
+        let ids = search(&snapshot, &request);
+        let scope_name = match scope {
+            SearchScope::Base => "base",
+            SearchScope::OneLevel => "one",
+            SearchScope::Subtree => "sub",
+        };
+        let json = format!(
+            "{{\"scope\":{},\"base\":{},\"returned\":{},\"explain\":{}}}",
+            bschema_obs::json::escape(scope_name),
+            base.map_or_else(|| "null".to_owned(), bschema_obs::json::escape),
+            ids.len(),
+            report.to_json()
+        );
+        Ok((ids.len(), json))
+    }
+
+    /// Shared front half of the search paths: parse the filter
+    /// (depth-capped), resolve the optional base DN against the current
+    /// snapshot, and assemble the request.
+    fn build_search(
+        &self,
+        base: Option<&str>,
+        scope: SearchScope,
+        filter_src: &str,
+        limit: Option<usize>,
+    ) -> Result<(Arc<DirectoryInstance>, SearchRequest), ServiceError> {
         let filter = parse_filter_limited(filter_src, self.limits.filter_depth)
             .map_err(|e| ServiceError::new("bad-filter", e.to_string()))?;
         let snapshot = self.snapshot();
@@ -285,17 +417,17 @@ impl DirectoryService {
         if let Some(limit) = limit {
             request = request.with_size_limit(limit);
         }
-        let ids = search(&snapshot, &request);
-        let mut out = String::new();
-        for &id in &ids {
-            let dn = snapshot.dn(id).map_err(|e| ServiceError::new("internal", e.to_string()))?;
-            let entry = snapshot
-                .entry(id)
-                .ok_or_else(|| ServiceError::new("internal", format!("dangling id {id}")))?;
-            write_record(&mut out, &dn.to_string(), entry);
+        Ok((snapshot, request))
+    }
+
+    /// The probe a request's service-level spans and counters go
+    /// through: the per-request trace when one is open, otherwise the
+    /// shared service probe.
+    fn request_probe<'a>(&'a self, trace: Option<&'a Arc<RequestTrace>>) -> &'a dyn Probe {
+        match trace {
+            Some(t) => t.as_ref(),
+            None => &*self.probe,
         }
-        self.probe.add("server.search_entries", ids.len() as u64);
-        Ok((ids.len(), out))
     }
 
     /// Applies an LDIF transaction body atomically: parse (bounded),
@@ -303,53 +435,94 @@ impl DirectoryService {
     /// `begin`, checked apply, `commit`, snapshot swap. On any rejection
     /// the instance — and the snapshot — are exactly what they were.
     pub fn apply_ldif_tx(&self, ldif: &str) -> Result<TxOutcome, ServiceError> {
-        let records = parse_ldif_limited(ldif, &self.limits.ldif)
-            .map_err(|e| ServiceError::new("bad-ldif", e.to_string()))?;
+        self.apply_ldif_tx_traced(ldif, None)
+    }
+
+    /// [`apply_ldif_tx`](DirectoryService::apply_ldif_tx) with an
+    /// optional per-request trace. Each stage of the write path opens a
+    /// `service.*` span, and the managed directory's probe is swapped to
+    /// the trace for the duration of the apply, so the legality engine's
+    /// span tree (down to each Figure 5 Δ-query) lands under this
+    /// request's root instead of the shared tracer.
+    pub fn apply_ldif_tx_traced(
+        &self,
+        ldif: &str,
+        trace: Option<&Arc<RequestTrace>>,
+    ) -> Result<TxOutcome, ServiceError> {
+        let probe = self.request_probe(trace);
+        let records = scoped(probe, "service.parse_ldif", || {
+            parse_ldif_limited(ldif, &self.limits.ldif)
+                .map_err(|e| ServiceError::new("bad-ldif", e.to_string()))
+        })?;
         let mut half = lock_unpoisoned(&self.write);
         // Fault site: a worker dying here has changed nothing.
-        self.probe.add("server.tx_admitted", 1);
-        let tx = transaction_from_ldif(half.managed.instance(), records)
-            .map_err(|e| ServiceError::new("invalid-tx", e.to_string()))?;
+        probe.add("server.tx_admitted", 1);
+        let tx = scoped(probe, "service.tx_build", || {
+            transaction_from_ldif(half.managed.instance(), records)
+                .map_err(|e| ServiceError::new("invalid-tx", e.to_string()))
+        })?;
         let ops = tx.len();
 
         // Write-ahead: the begin + op records must be durable before the
         // mutation, so a crash mid-apply leaves an uncommitted tail that
         // recovery discards.
-        let tx_id = match &mut half.journal {
+        let tx_id = scoped(probe, "service.journal_begin", || match &mut half.journal {
             Some(journal) => {
                 let id = journal.writer.begin(&tx);
                 let pending = journal.writer.take_pending();
                 append_file(&journal.path, &pending)
                     .map_err(|e| ServiceError::new("io", format!("journal begin: {e}")))?;
-                Some(id)
+                Ok(Some(id))
             }
-            None => None,
+            None => Ok(None),
+        })?;
+
+        let applied = match trace {
+            Some(t) => {
+                // Route the legality engine's spans into this request's
+                // tree. The swap is panic-safe: an injected fault inside
+                // the guarded apply must not leave a dead trace wired
+                // into the shared managed directory.
+                let prev = half.managed.swap_probe(Some(t.clone() as Arc<dyn Probe + Send + Sync>));
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    half.managed.apply(&tx)
+                }));
+                half.managed.swap_probe(prev);
+                match caught {
+                    Ok(result) => result,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            None => half.managed.apply(&tx),
         };
 
-        match half.managed.apply(&tx) {
+        match applied {
             Ok(()) => {
-                if let (Some(id), Some(journal)) = (tx_id, &mut half.journal) {
-                    journal.writer.commit(id);
-                    let pending = journal.writer.take_pending();
-                    if append_file(&journal.path, &pending).is_err() {
-                        // The in-memory instance is committed and legal;
-                        // only durability degraded. Surface via probe,
-                        // not by failing the already-applied request.
-                        self.probe.add("server.journal_commit_io_error", 1);
+                scoped(probe, "service.journal_commit", || {
+                    if let (Some(id), Some(journal)) = (tx_id, &mut half.journal) {
+                        journal.writer.commit(id);
+                        let pending = journal.writer.take_pending();
+                        if append_file(&journal.path, &pending).is_err() {
+                            // The in-memory instance is committed and
+                            // legal; only durability degraded. Surface
+                            // via probe, not by failing the
+                            // already-applied request.
+                            probe.add("server.journal_commit_io_error", 1);
+                        }
                     }
-                }
+                });
                 let outcome = TxOutcome { ops, len: half.managed.len() };
-                self.publish(&half);
+                scoped(probe, "service.publish", || self.publish_through(&half, probe));
                 // Fault site: a worker dying here has already committed;
                 // the client sees "panicked" (outcome unknown), readers
                 // see the new legal instance.
-                self.probe.add("server.tx_committed", 1);
+                probe.add("server.tx_committed", 1);
                 Ok(outcome)
             }
             Err(e) => {
                 // Guarded apply restored the instance; the uncommitted
                 // journal tail is discarded on next recovery.
-                self.probe.add_labeled("server.tx_rejected", e.code(), 1);
+                probe.add_labeled("server.tx_rejected", e.code(), 1);
                 Err(ServiceError::from_managed(&e))
             }
         }
@@ -390,15 +563,32 @@ impl DirectoryService {
 
     /// Swaps the read snapshot to the current (post-commit) instance.
     fn publish(&self, half: &WriteHalf) {
+        self.publish_through(half, &*self.probe);
+    }
+
+    /// [`publish`](DirectoryService::publish), counting the swap through
+    /// the given (possibly per-request) probe.
+    fn publish_through(&self, half: &WriteHalf, probe: &dyn Probe) {
         let next = Arc::new(half.managed.instance().clone());
         *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = next;
-        self.probe.add("server.snapshot_swap", 1);
+        probe.add("server.snapshot_swap", 1);
     }
 
     /// The probe attached to this service.
     pub fn probe(&self) -> &(dyn Probe + Send + Sync) {
         &*self.probe
     }
+}
+
+/// Runs `f` inside a span named `name`, opened at the probe's root
+/// level (a [`RequestTrace`] re-parents it under the request root; the
+/// shared recorder keeps it as a top-level span). Service stages report
+/// failure through return values, not panics, so the span always closes.
+fn scoped<T>(probe: &dyn Probe, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let span = probe.span_start(NO_SPAN, name, 0);
+    let out = f();
+    probe.span_end(span);
+    out
 }
 
 fn append_file(path: &std::path::Path, text: &str) -> std::io::Result<()> {

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use bschema_core::consistency::ConsistencyChecker;
-use bschema_core::legality::{LegalityChecker, LegalityOptions};
+use bschema_core::legality::{translate, LegalityChecker, LegalityOptions};
 use bschema_core::managed::{ManagedDirectory, ManagedError};
 use bschema_core::paper::{white_pages_instance, white_pages_schema};
 use bschema_core::updates::Transaction;
@@ -87,6 +87,49 @@ fn parallel_chunk_metrics_and_deterministic_span_tree() {
 }
 
 #[test]
+fn explain_census_of_the_nine_figure4_queries() {
+    let schema = white_pages_schema();
+    let (dir, _) = white_pages_instance();
+    let structure = schema.structure();
+
+    // The Figure 4 translation of the Figure 3 structure schema, in the
+    // order the legality engine evaluates it.
+    let mut queries = Vec::new();
+    for class in structure.required_classes() {
+        queries.push(translate::required_class_query(&schema, class));
+    }
+    for rel in structure.required_rels() {
+        queries.push(translate::required_rel_query(&schema, rel));
+    }
+    for rel in structure.forbidden_rels() {
+        queries.push(translate::forbidden_rel_query(&schema, rel));
+    }
+    assert_eq!(queries.len(), 9);
+
+    let ctx = bschema_query::EvalContext::new(&dir);
+    let reports: Vec<_> = queries.iter().map(|q| bschema_query::explain(&ctx, q)).collect();
+
+    // EXPLAIN's matched counts are the same census the legality
+    // counters pin: the three ◇-class queries hit 1 + 2 + 3 = 6
+    // entries, every violation query is empty.
+    let matched: usize = reports.iter().map(|r| r.matched()).sum();
+    assert_eq!(matched, 6, "Figure 4 matched totals");
+    for (query, report) in queries.iter().zip(&reports) {
+        assert_eq!(
+            report.result,
+            bschema_query::evaluate(&ctx, query),
+            "EXPLAIN must return what evaluate returns: {query}"
+        );
+        assert!(
+            report.scanned() >= report.matched(),
+            "cannot match more than was scanned: {}",
+            report.render_text()
+        );
+        assert!(bschema_obs::json::is_valid(&report.to_json()), "EXPLAIN JSON parses");
+    }
+}
+
+#[test]
 fn insertion_counts_figure5_delta_queries_per_row() {
     let schema = white_pages_schema();
     let (mut dir, ids) = white_pages_instance();
@@ -125,9 +168,14 @@ fn insertion_counts_figure5_delta_queries_per_row() {
 
     let tree = recorder.tracer().tree();
     let shapes: Vec<String> = tree.iter().map(|n| n.shape()).collect();
+    // Each Δ-query evaluated inside the structure chunk gets its own row
+    // span, named for its Figure 5 row, in structure-schema order — the
+    // same per-row census the counters above pin.
     assert!(
         shapes.contains(
-            &"incremental.check_insertions(content_delta(chunk),keys,structure_delta(chunk))"
+            &"incremental.check_insertions(content_delta(chunk),keys,structure_delta(chunk(\
+              require_descendant,require_parent,require_ancestor,require_parent,forbid_child,\
+              forbid_child)))"
                 .to_owned()
         ),
         "{shapes:?}"
