@@ -506,4 +506,76 @@ fn exp_srv(quick: bool) {
         );
     }
     println!("{}", table.render());
+
+    // Sharded TXN throughput: 8 clients, each writing persons into its
+    // own top-level organization — a shard-partitioned workload, the
+    // case Theorem 4.1 says needs no coordination. On one shard every
+    // commit serializes behind a single write lock and a whole-forest
+    // snapshot clone; on N shards the same transactions route to
+    // disjoint shards and commit in parallel, with per-shard snapshot
+    // republication at 1/N the size.
+    println!("== SRV: sharded TXN throughput (loopback TCP, 8 workers) ==");
+    let orgs = 8usize;
+    let entries_per_org = if quick { 60 } else { 150 };
+    let per_client_tx = if quick { 40 } else { 150 };
+    let mut table = Table::new(["shards", "clients", "txns", "elapsed", "txn/s", "p50", "p99"]);
+    for shards in [1usize, 4, 8] {
+        let base = bschema_workload::multi_org_base(orgs, entries_per_org, 0xBE2C4);
+        let recorder = Arc::new(Recorder::new());
+        let service = DirectoryService::new_sharded(white_pages_schema(), base, shards)
+            .expect("multi-org base is legal")
+            .with_probe(recorder.clone() as Arc<dyn Probe + Send + Sync>)
+            .with_recorder(recorder.clone());
+        let config = ServerConfig { threads: 8, ..ServerConfig::default() };
+        let handle = Server::spawn(Arc::new(service), config).expect("bind loopback");
+        let addr = handle.addr();
+
+        let started = Instant::now();
+        let mut threads = Vec::new();
+        for c in 0..clients {
+            threads.push(std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("bench client connects");
+                for i in 0..per_client_tx {
+                    let body = format!(
+                        "dn: uid=s{shards}c{c}n{i},o=org{c}\n\
+                         objectClass: person\nobjectClass: top\n\
+                         uid: s{shards}c{c}n{i}\nname: bench person\n"
+                    );
+                    let receipt = client.apply_ldif(&body).expect("bench txn commits");
+                    assert_eq!(receipt.shards, 1, "partitioned workload stays single-shard");
+                }
+                client.unbind().expect("unbind");
+            }));
+        }
+        for t in threads {
+            t.join().expect("bench client thread");
+        }
+        let elapsed = started.elapsed();
+        handle.shutdown();
+        handle.wait();
+
+        let txns = clients * per_client_tx;
+        let req_per_s = txns as f64 / elapsed.as_secs_f64();
+        let latency = recorder
+            .metrics()
+            .histogram("server.request_micros")
+            .expect("server recorded request latencies");
+        table.row([
+            shards.to_string(),
+            clients.to_string(),
+            txns.to_string(),
+            fmt_us(elapsed.as_micros() as f64),
+            format!("{req_per_s:.0}"),
+            fmt_us(latency.p50() as f64),
+            fmt_us(latency.p99() as f64),
+        ]);
+        println!(
+            "BENCH_JSON {{\"experiment\":\"srv-sharded\",\"n\":{shards},\
+             \"req_per_s\":{req_per_s:.1},\"p50_us\":{},\"p99_us\":{},\"metrics\":{}}}",
+            latency.p50(),
+            latency.p99(),
+            recorder.to_json()
+        );
+    }
+    println!("{}", table.render());
 }

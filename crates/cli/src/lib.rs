@@ -126,8 +126,9 @@ usage:
   bschema evolve <schema.bs> <data.ldif> forbid-rel <upper> <ch|de> <lower>
   bschema suggest-schema <data.ldif> [--forbidden] [--required-classes]
   bschema serve <schema.bs> [data.ldif] [--addr <ip:port>] [--port-file <path>]
-          [--threads <n>] [--queue-depth <n>] [--journal <path>] [--sequential]
-          [--trace] [--metrics[=json]] [--inject-fault-site <site>[:<occurrence>]]
+          [--threads <n>] [--queue-depth <n>] [--shards <n>] [--journal <path>]
+          [--sequential] [--trace] [--metrics[=json]]
+          [--inject-fault-site <site>[:<occurrence>]]
   bschema client <addr> ping
   bschema client <addr> search --filter <rfc2254> [--base <dn>] [--scope base|one|sub] [--limit <n>] [--explain]
   bschema client <addr> apply <tx.ldif>
@@ -893,6 +894,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut port_file: Option<&str> = None;
     let mut threads = 4usize;
     let mut queue_depth = 64usize;
+    let mut shards = 1usize;
     let mut journal_path: Option<&str> = None;
     let mut inject_site: Option<(String, u64)> = None;
     let mut positional: Vec<&str> = Vec::new();
@@ -913,6 +915,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
             "--queue-depth" => {
                 queue_depth = parse_num("--queue-depth", next_value(&mut it, "--queue-depth")?)?
             }
+            "--shards" => shards = parse_num("--shards", next_value(&mut it, "--shards")?)?,
             "--journal" => journal_path = Some(next_value(&mut it, "--journal")?),
             "--inject-fault-site" => {
                 let word = next_value(&mut it, "--inject-fault-site")?;
@@ -944,9 +947,18 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     };
     let options =
         if sequential { LegalityOptions::sequential() } else { LegalityOptions::parallel(0) };
-    let managed = ManagedDirectory::with_instance(parsed.schema.clone(), dir)
-        .map_err(|e| CliError { message: e.to_string(), code: 1 })?
-        .with_options(options);
+    // `--shards N` partitions the forest by top-level subtree (the
+    // Theorem 4.1 transaction unit): writes to distinct shards commit
+    // concurrently, cross-shard transactions take the 2-phase path.
+    let base_service = if shards > 1 {
+        DirectoryService::new_sharded(parsed.schema.clone(), dir, shards)
+            .map_err(|e| CliError { message: e.to_string(), code: 1 })?
+    } else {
+        let managed = ManagedDirectory::with_instance(parsed.schema.clone(), dir)
+            .map_err(|e| CliError { message: e.to_string(), code: 1 })?
+            .with_options(options);
+        DirectoryService::new(managed)
+    };
 
     let recorder = Arc::new(Recorder::new());
     let plan = inject_site.map(|(site, occurrence)| {
@@ -961,7 +973,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     // most recent and 16 slowest completed request span trees, queryable
     // over the wire with `bschema client <addr> trace`.
     let flight = obs.trace.then(|| Arc::new(FlightRecorder::new(16)));
-    let mut service = DirectoryService::new(managed)
+    let mut service = base_service
         .with_limits(ServiceLimits {
             ldif: ldif_limits,
             filter_depth: limits.filter_depth(),
@@ -987,7 +999,9 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let handle = Server::spawn(Arc::new(service), config)
         .map_err(|e| usage_error(format!("cannot serve on {addr:?}: {e}")))?;
     let bound = handle.addr();
-    eprintln!("SERVING {bound} ({threads} worker(s), queue depth {queue_depth})");
+    eprintln!(
+        "SERVING {bound} ({threads} worker(s), queue depth {queue_depth}, {shards} shard(s))"
+    );
     if let Some(path) = port_file {
         std::fs::write(path, format!("{bound}\n"))
             .map_err(|e| usage_error(format!("cannot write port file {path:?}: {e}")))?;

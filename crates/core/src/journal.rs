@@ -70,11 +70,33 @@ use crate::updates::{NodeRef, Transaction, TxOp};
 /// DN suffix shared by every journal record.
 pub const JOURNAL_DN_SUFFIX: &str = "cn=journal";
 
+/// The journal file for shard `shard` of a sharded directory whose
+/// unsharded journal would live at `base`: `<base>.shard<k>`. Keeping
+/// the per-shard files siblings of the unsharded path means `serve
+/// --shards N` and plain `serve` can point at the same `--journal`
+/// argument.
+pub fn shard_journal_path(base: &std::path::Path, shard: usize) -> std::path::PathBuf {
+    let name = base
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "journal".to_owned());
+    base.with_file_name(format!("{name}.shard{shard}"))
+}
+
 /// One transaction as read back from a journal.
 #[derive(Debug, Clone)]
 pub struct JournalTx {
     /// The transaction id from its `begin` record.
     pub id: u64,
+    /// Global transaction id stamped by a sharded 2-phase apply
+    /// (`jrngid`), shared by every participating shard's journal.
+    /// `None` for ordinary single-engine transactions.
+    pub gid: Option<u64>,
+    /// Number of shards participating in the global transaction
+    /// (`jrnpeers`). A cross-shard transaction only counts as committed
+    /// if a commit record for its `gid` is intact in all `peers`
+    /// journals — the reconciliation `ShardedDirectory::recover` runs.
+    pub peers: Option<u64>,
     /// The recorded operations, in op order.
     pub ops: Vec<TxOp>,
     /// Whether an intact `commit` record was found.
@@ -131,6 +153,10 @@ pub struct Journal {
     /// final transaction alone does not set this — aborted transactions
     /// are normal journal content.
     pub truncated: bool,
+    /// The shard index qualifying every record DN
+    /// (`op=<seq>,shard=<k>,cn=journal`), when this is a shard journal.
+    /// Mixed-shard files are treated as crash damage.
+    pub shard: Option<u64>,
     /// One past the highest intact record sequence number (where a
     /// resumed writer continues).
     next_seq: u64,
@@ -142,6 +168,9 @@ pub struct Journal {
 struct ParsedRecord {
     kind: String,
     tx: u64,
+    gid: Option<u64>,
+    peers: Option<u64>,
+    shard: Option<u64>,
     op: Option<usize>,
     parent: Option<String>,
     rdn: Option<String>,
@@ -153,12 +182,22 @@ fn parse_u64(s: &str) -> Option<u64> {
     s.trim().parse().ok()
 }
 
+/// Decodes a record DN `op=<seq>[,shard=<k>],cn=journal`, returning the
+/// optional shard qualifier. `None` means the DN is not a journal
+/// record DN for `expected_seq`.
+fn decode_record_dn(dn: &str, expected_seq: u64) -> Option<Option<u64>> {
+    let rest = dn.strip_prefix(&format!("op={expected_seq},"))?;
+    if rest == JOURNAL_DN_SUFFIX {
+        return Some(None);
+    }
+    let shard = rest.strip_suffix(&format!(",{JOURNAL_DN_SUFFIX}"))?.strip_prefix("shard=")?;
+    Some(Some(parse_u64(shard)?))
+}
+
 /// Decodes one LDIF record into a journal record; `None` means the
 /// record is not an intact journal record (torn tail, foreign content).
 fn decode_record(rec: &LdifRecord, expected_seq: u64) -> Option<ParsedRecord> {
-    if rec.dn.to_string() != format!("op={expected_seq},{JOURNAL_DN_SUFFIX}") {
-        return None;
-    }
+    let shard = decode_record_dn(&rec.dn.to_string(), expected_seq)?;
     // jrndone is written last; its absence (or a mismatched sequence)
     // marks a record cut short by a crash.
     if parse_u64(rec.entry.first_value("jrndone")?)? != expected_seq {
@@ -166,6 +205,8 @@ fn decode_record(rec: &LdifRecord, expected_seq: u64) -> Option<ParsedRecord> {
     }
     let kind = rec.entry.first_value("jrntype")?.to_owned();
     let tx = parse_u64(rec.entry.first_value("jrntx")?)?;
+    let gid = rec.entry.first_value("jrngid").and_then(parse_u64);
+    let peers = rec.entry.first_value("jrnpeers").and_then(parse_u64);
     let op = match rec.entry.first_value("jrnop") {
         Some(v) => Some(parse_u64(v)? as usize),
         None => None,
@@ -177,10 +218,20 @@ fn decode_record(rec: &LdifRecord, expected_seq: u64) -> Option<ParsedRecord> {
         None => None,
     };
     let mut payload = rec.entry.clone();
-    for attr in ["jrntype", "jrntx", "jrnop", "jrnparent", "jrnrdn", "jrntarget", "jrndone"] {
+    for attr in [
+        "jrntype",
+        "jrntx",
+        "jrngid",
+        "jrnpeers",
+        "jrnop",
+        "jrnparent",
+        "jrnrdn",
+        "jrntarget",
+        "jrndone",
+    ] {
         payload.remove_attribute(attr);
     }
-    Some(ParsedRecord { kind, tx, op, parent, rdn, target, payload })
+    Some(ParsedRecord { kind, tx, gid, peers, shard, op, parent, rdn, target, payload })
 }
 
 fn decode_parent(spec: &str) -> Option<Option<NodeRef>> {
@@ -244,6 +295,15 @@ impl Journal {
                 journal.truncated = true;
                 break 'records;
             };
+            // A shard journal carries one shard qualifier throughout; a
+            // record from another shard (or the unsharded form) is
+            // foreign content, i.e. damage.
+            if journal.next_seq == 0 {
+                journal.shard = record.shard;
+            } else if journal.shard != record.shard {
+                journal.truncated = true;
+                break 'records;
+            }
             match record.kind.as_str() {
                 "begin" => {
                     if let Some(tx) = open.take() {
@@ -253,7 +313,13 @@ impl Journal {
                         // damage; aborted txs are normal journal content.
                         journal.txs.push(tx);
                     }
-                    open = Some(JournalTx { id: record.tx, ops: Vec::new(), committed: false });
+                    open = Some(JournalTx {
+                        id: record.tx,
+                        gid: record.gid,
+                        peers: record.peers,
+                        ops: Vec::new(),
+                        committed: false,
+                    });
                 }
                 "insert" | "delete" => {
                     let valid = matches!(&open, Some(tx) if tx.id == record.tx)
@@ -341,6 +407,9 @@ pub struct JournalWriter {
     seq: u64,
     next_tx: u64,
     pending: String,
+    /// Shard qualifier written into every record DN
+    /// (`op=<seq>,shard=<k>,cn=journal`).
+    shard: Option<usize>,
 }
 
 impl JournalWriter {
@@ -349,9 +418,24 @@ impl JournalWriter {
         JournalWriter::default()
     }
 
-    /// A writer that appends after an existing journal's intact prefix.
+    /// A writer that appends after an existing journal's intact prefix,
+    /// keeping the journal's shard qualifier (if any).
     pub fn resume_after(journal: &Journal) -> Self {
-        JournalWriter { seq: journal.next_seq, next_tx: journal.next_tx, pending: String::new() }
+        JournalWriter {
+            seq: journal.next_seq,
+            next_tx: journal.next_tx,
+            pending: String::new(),
+            shard: journal.shard.map(|k| k as usize),
+        }
+    }
+
+    /// Qualifies every subsequent record DN with `shard=<k>` — the
+    /// per-shard journal form of a [`ShardedDirectory`].
+    ///
+    /// [`ShardedDirectory`]: crate::sharded::ShardedDirectory
+    pub fn with_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
     }
 
     fn emit(&mut self, kind: &str, tx: u64, extra: &[(&str, String)], payload: Option<&Entry>) {
@@ -363,8 +447,12 @@ impl JournalWriter {
         for (attr, value) in extra {
             entry.add_value(attr, value.clone());
         }
+        let dn = match self.shard {
+            Some(k) => format!("op={seq},shard={k},{JOURNAL_DN_SUFFIX}"),
+            None => format!("op={seq},{JOURNAL_DN_SUFFIX}"),
+        };
         let mut record = String::new();
-        write_record(&mut record, &format!("op={seq},{JOURNAL_DN_SUFFIX}"), &entry);
+        write_record(&mut record, &dn, &entry);
         // write_record ends with the blank separator; jrndone must be the
         // record's final attribute line so truncation is detectable.
         record.pop();
@@ -376,9 +464,22 @@ impl JournalWriter {
     /// Records `begin` plus one record per op (the write-ahead half) and
     /// returns the transaction id for [`commit`](JournalWriter::commit).
     pub fn begin(&mut self, tx: &Transaction) -> u64 {
+        self.begin_with(tx, &[])
+    }
+
+    /// Like [`begin`](JournalWriter::begin), but stamps the begin record
+    /// with a global transaction id and participant count. A sharded
+    /// 2-phase apply writes the same `gid` into every participating
+    /// shard's journal; recovery then treats the transaction as
+    /// committed only when all `peers` journals committed it.
+    pub fn begin_global(&mut self, tx: &Transaction, gid: u64, peers: u64) -> u64 {
+        self.begin_with(tx, &[("jrngid", gid.to_string()), ("jrnpeers", peers.to_string())])
+    }
+
+    fn begin_with(&mut self, tx: &Transaction, begin_extra: &[(&str, String)]) -> u64 {
         let id = self.next_tx;
         self.next_tx += 1;
-        self.emit("begin", id, &[], None);
+        self.emit("begin", id, begin_extra, None);
         for (i, op) in tx.ops().iter().enumerate() {
             match op {
                 TxOp::Insert { parent, rdn, entry } => {
@@ -638,6 +739,76 @@ mod tests {
         let reparsed = Journal::parse(&full);
         assert!(!reparsed.truncated);
         assert_eq!(reparsed.committed().count(), 2);
+    }
+
+    #[test]
+    fn shard_qualified_records_roundtrip_with_gid_and_peers() {
+        let (_, ids) = white_pages_instance();
+        let mut tx = Transaction::new();
+        tx.insert_under(ids.databases, researcher("zoe"));
+
+        let mut writer = JournalWriter::new().with_shard(3);
+        let id = writer.begin_global(&tx, 41, 2);
+        writer.commit(id);
+        let text = writer.take_pending();
+        assert!(text.contains("op=0,shard=3,cn=journal"));
+
+        let journal = Journal::parse(&text);
+        assert!(!journal.truncated, "{journal:?}");
+        assert_eq!(journal.shard, Some(3));
+        assert_eq!(journal.txs.len(), 1);
+        assert_eq!(journal.txs[0].gid, Some(41));
+        assert_eq!(journal.txs[0].peers, Some(2));
+        assert!(journal.txs[0].committed);
+        // The payload entry is untouched by the gid/peers stamps.
+        let replayed = journal.txs[0].to_transaction();
+        assert_eq!(replayed.len(), 1);
+
+        // A plain writer leaves both stamps off.
+        let mut plain = JournalWriter::new();
+        let id = plain.begin(&tx);
+        plain.commit(id);
+        let plain_journal = Journal::parse(&plain.take_pending());
+        assert_eq!(plain_journal.shard, None);
+        assert_eq!(plain_journal.txs[0].gid, None);
+        assert_eq!(plain_journal.txs[0].peers, None);
+
+        // Resuming a shard journal keeps the qualifier.
+        let mut resumed = JournalWriter::resume_after(&journal);
+        let id = resumed.begin(&tx);
+        resumed.commit(id);
+        let more = resumed.take_pending();
+        assert!(more.contains("op=3,shard=3,cn=journal"));
+        let mut full = text;
+        full.push_str(&more);
+        assert_eq!(Journal::parse(&full).committed().count(), 2);
+    }
+
+    #[test]
+    fn mixed_shard_records_are_crash_damage() {
+        let (_, ids) = white_pages_instance();
+        let mut tx = Transaction::new();
+        tx.insert_under(ids.databases, researcher("zoe"));
+        let mut a = JournalWriter::new().with_shard(0);
+        let id = a.begin(&tx);
+        a.commit(id);
+        let mut text = a.take_pending();
+        // A record from another shard's writer, with the right sequence
+        // number, is still rejected.
+        let mut b = JournalWriter { seq: 3, next_tx: 1, pending: String::new(), shard: Some(1) };
+        let id = b.begin(&tx);
+        b.commit(id);
+        text.push_str(&b.take_pending());
+        let journal = Journal::parse(&text);
+        assert!(journal.truncated);
+        assert_eq!(journal.committed().count(), 1, "the intact shard-0 prefix survives");
+    }
+
+    #[test]
+    fn shard_journal_paths_are_siblings_of_the_base() {
+        let base = std::path::Path::new("/var/data/dir.wal");
+        assert_eq!(shard_journal_path(base, 0), std::path::Path::new("/var/data/dir.wal.shard0"));
+        assert_eq!(shard_journal_path(base, 7), std::path::Path::new("/var/data/dir.wal.shard7"));
     }
 
     #[test]

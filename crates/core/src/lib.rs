@@ -53,6 +53,7 @@ pub mod managed;
 pub mod paper;
 pub mod qopt;
 pub mod schema;
+pub mod sharded;
 pub mod updates;
 
 pub use consistency::ConsistencyChecker;
@@ -63,4 +64,5 @@ pub use legality::{LegalityChecker, LegalityOptions, LegalityReport, Violation};
 pub use managed::ManagedDirectory;
 pub use qopt::SchemaAwareOptimizer;
 pub use schema::{DirectorySchema, ForbidKind, RelKind, SchemaBuilder, SchemaError};
+pub use sharded::{ShardedDirectory, ShardedError, ShardedTxOutcome};
 pub use updates::{Transaction, TxOp};

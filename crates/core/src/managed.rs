@@ -133,7 +133,7 @@ fn record_rollback(probe: &dyn Probe, report: &LegalityReport) {
 }
 
 /// Extracts a human-readable reason from a caught panic payload.
-fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -156,7 +156,7 @@ fn guard_probe(f: impl FnOnce()) -> Option<String> {
 /// Maps an inconsistent consistency-check result to a structured error:
 /// a present ◇∅ derivation is the proof, a missing one is an engine bug
 /// and says so instead of degrading to an empty string.
-fn inconsistency_error(result: &crate::consistency::ConsistencyResult) -> ManagedError {
+pub(crate) fn inconsistency_error(result: &crate::consistency::ConsistencyResult) -> ManagedError {
     match result.explain_inconsistency() {
         Some(proof) => ManagedError::InconsistentSchema(proof),
         None => ManagedError::Internal(

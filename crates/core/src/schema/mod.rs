@@ -97,6 +97,22 @@ impl DirectorySchema {
         &self.structure
     }
 
+    /// A copy of this schema with `Cr = ∅` — every required class
+    /// dropped, all other components untouched.
+    ///
+    /// This is the *shard-local* view of a schema: of the Definition 2.4
+    /// triple `(Cr, Er, Ef)`, only `◇c` quantifies over the whole
+    /// instance; every required/forbidden relationship is witnessed
+    /// inside a single top-level subtree (the Figure 5 Δ-queries are
+    /// subtree-local, Theorem 4.1). A shard holding complete top-level
+    /// subtrees can therefore check `(∅, Er, Ef)` locally while the
+    /// shard router enforces `Cr` with global per-class counts.
+    pub fn without_required_classes(&self) -> DirectorySchema {
+        let mut schema = self.clone();
+        schema.structure.clear_required_classes();
+        schema
+    }
+
     /// Total element count `|S|` across all three components — the schema
     /// size used in complexity accounting.
     pub fn size(&self) -> usize {

@@ -140,6 +140,14 @@ impl StructureSchema {
         }
     }
 
+    /// Empties `Cr`, leaving `Er`/`Ef` untouched. Used to derive the
+    /// shard-local view of a schema: `◇c` is the only instance-global
+    /// element of the triple, so per-shard checkers drop it and the
+    /// shard router enforces it with global per-class counts.
+    pub(crate) fn clear_required_classes(&mut self) {
+        self.required_classes.clear();
+    }
+
     /// `Cr`, sorted.
     pub fn required_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
         self.required_classes.iter().copied()

@@ -327,6 +327,46 @@ impl DirectoryInstance {
             .map(move |id| (id, self.entries[id.index()].as_ref().expect("live node has an entry")))
     }
 
+    /// Copies the subtree of `src` rooted at `root` into this instance
+    /// as a new top-level subtree, preserving preorder (and therefore
+    /// sibling order), entry content, and naming. Slot ids in `self`
+    /// are assigned in copy order, so grafting the same subtrees in the
+    /// same order always yields the same canonical bytes — the basis of
+    /// the sharded≡unsharded comparison, which rebuilds both engines'
+    /// states through this method before comparing.
+    pub fn graft_subtree(
+        &mut self,
+        src: &DirectoryInstance,
+        root: EntryId,
+    ) -> Result<EntryId, InstanceError> {
+        let root_entry =
+            src.entry(root).ok_or(InstanceError::Forest(ForestError::NoSuchEntry(root)))?.clone();
+        let new_root = match src.rdn(root) {
+            Some(rdn) => self.add_named_root(rdn.clone(), root_entry)?,
+            None => self.add_root_entry(root_entry),
+        };
+        // Explicit stack, children pushed in reverse so pops preserve
+        // sibling order.
+        let mut stack: Vec<(EntryId, EntryId)> = Vec::new();
+        let kids: Vec<EntryId> = src.forest.children(root).collect();
+        for &k in kids.iter().rev() {
+            stack.push((k, new_root));
+        }
+        while let Some((s, dst_parent)) = stack.pop() {
+            let entry =
+                src.entry(s).ok_or(InstanceError::Forest(ForestError::NoSuchEntry(s)))?.clone();
+            let d = match src.rdn(s) {
+                Some(rdn) => self.add_named_child(dst_parent, rdn.clone(), entry)?,
+                None => self.add_child_entry(dst_parent, entry)?,
+            };
+            let kids: Vec<EntryId> = src.forest.children(s).collect();
+            for &k in kids.iter().rev() {
+                stack.push((k, d));
+            }
+        }
+        Ok(new_root)
+    }
+
     /// A canonical byte serialization of the full observable state: every
     /// live entry in preorder with its slot id, parent id, RDN, object
     /// classes, and attribute values in storage order. Two instances have
@@ -566,6 +606,30 @@ mod tests {
         assert!(matches!(d.dn(r), Err(InstanceError::Unnamed(_))));
         d.set_rdn(r, Rdn::single("uid", "a")).unwrap();
         assert_eq!(d.dn(r).unwrap().to_string(), "uid=a");
+    }
+
+    #[test]
+    fn graft_subtree_preserves_order_naming_and_content() {
+        let mut d = DirectoryInstance::default();
+        let r = d.add_named_root(Rdn::single("o", "a"), person("r")).unwrap();
+        let a = d.add_named_child(r, Rdn::single("uid", "a"), person("a")).unwrap();
+        d.add_named_child(r, Rdn::single("uid", "b"), person("b")).unwrap();
+        d.add_child_entry(a, person("leaf")).unwrap();
+
+        let mut fresh = DirectoryInstance::default();
+        let copied = fresh.graft_subtree(&d, r).unwrap();
+        assert_eq!(fresh.len(), 4);
+        assert_eq!(fresh.rdn(copied).unwrap().to_string(), "o=a");
+        let uids: Vec<_> =
+            fresh.iter().map(|(_, e)| e.first_value("uid").unwrap().to_owned()).collect();
+        assert_eq!(uids, ["r", "a", "leaf", "b"], "graft must preserve preorder");
+        // The unnamed leaf stays unnamed.
+        assert_eq!(fresh.iter().filter(|&(id, _)| fresh.rdn(id).is_none()).count(), 1);
+        // Same graft order ⇒ same canonical bytes, regardless of the
+        // source's slot history.
+        let mut again = DirectoryInstance::default();
+        again.graft_subtree(&d, r).unwrap();
+        assert_eq!(fresh.canonical_bytes(), again.canonical_bytes());
     }
 
     #[test]

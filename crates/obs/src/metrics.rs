@@ -142,8 +142,12 @@ impl Histogram {
     }
 
     /// Folds `other` into `self` — element-wise bucket addition, so
-    /// per-worker histograms combine into one with the same quantile
-    /// estimates a single shared histogram would have produced.
+    /// per-worker (or per-shard) histograms combine into one with the
+    /// same quantile estimates a single shared histogram would have
+    /// produced. An empty `other` is a no-op: an idle shard must not
+    /// drag the merged `min` to its 0 sentinel. Sums saturate rather
+    /// than wrap, so a pathological series degrades its totals instead
+    /// of panicking the scrape path.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
             return;
@@ -155,10 +159,10 @@ impl Histogram {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += *theirs;
+            *mine = mine.saturating_add(*theirs);
         }
     }
 
@@ -463,6 +467,50 @@ mod tests {
         let mut empty = Histogram::default();
         empty.merge(&b);
         assert_eq!(empty, b);
+    }
+
+    /// The per-shard merge edges: idle shards contribute nothing (not a
+    /// phantom `min=0` observation), an all-idle merge stays a clean
+    /// zero (no NaN mean, zero quantiles), and merging overflowing sums
+    /// saturates instead of wrapping or panicking.
+    #[test]
+    fn merge_empty_shard_edges() {
+        // All shards idle: the merged histogram is exactly empty.
+        let mut merged = Histogram::default();
+        for _ in 0..4 {
+            merged.merge(&Histogram::default());
+        }
+        assert_eq!(merged, Histogram::default());
+        assert_eq!(merged.count(), 0);
+        assert_eq!((merged.min(), merged.max()), (0, 0));
+        assert_eq!(merged.p50(), 0);
+        assert_eq!(merged.p99(), 0);
+        assert_eq!(merged.mean(), 0.0, "empty mean must be 0.0, not NaN");
+
+        // One busy shard among idle ones: the merge is that shard,
+        // bit-for-bit — the idle shards' min/max sentinels never leak.
+        let mut busy = Histogram::default();
+        busy.record(40);
+        busy.record(9_000);
+        let mut merged = Histogram::default();
+        merged.merge(&Histogram::default());
+        merged.merge(&busy);
+        merged.merge(&Histogram::default());
+        assert_eq!(merged, busy);
+        assert_eq!(merged.min(), 40, "idle shard dragged min to 0");
+
+        // Saturation: two histograms whose counts/sums sum past u64::MAX
+        // merge to the ceiling instead of wrapping (or panicking in
+        // debug builds) — a scrape must never die on a broken series.
+        let mut near_max = Histogram::default();
+        near_max.record(u64::MAX - 1);
+        let mut huge = near_max;
+        huge.merge(&near_max);
+        assert_eq!(huge.count(), 2);
+        assert_eq!(huge.sum(), u64::MAX, "sum must saturate, not wrap");
+        let idle_delta = huge.delta_since(&huge);
+        assert_eq!(idle_delta.count(), 0);
+        assert_eq!(idle_delta.sum(), 0, "saturated series still deltas to zero");
     }
 
     #[test]

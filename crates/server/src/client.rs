@@ -76,6 +76,10 @@ pub struct TxReceipt {
     pub ops: usize,
     /// Directory size after the commit.
     pub len: usize,
+    /// Shards the commit touched — 1 on a single-engine server (and
+    /// when talking to an older server that omits the token), > 1 when
+    /// the transaction took the cross-shard 2-phase path.
+    pub shards: usize,
 }
 
 /// One connection to a bschema server.
@@ -179,6 +183,7 @@ impl Client {
         Ok(TxReceipt {
             ops: parse_count(&frame, 2, "committed")?,
             len: parse_count(&frame, 3, "committed")?,
+            shards: frame.arg(4).and_then(|s| s.parse().ok()).unwrap_or(1),
         })
     }
 

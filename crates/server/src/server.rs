@@ -9,7 +9,7 @@
 //! | `PING`                                    | `OK pong <len>`                   |
 //! | `SEARCH [base\|one\|sub] #n` + body       | `OK entries <n> #m` + LDIF        |
 //! | `SEARCH [base\|one\|sub] explain #n` + body | `OK explain <n> #m` + plan JSON |
-//! | `TXN #n` + LDIF changes                   | `OK committed <ops> <len>`        |
+//! | `TXN #n` + LDIF changes                   | `OK committed <ops> <len> <shards>` |
 //! | `MODIFY #n` + mod lines                   | `OK modified <len>`               |
 //! | `METRICS`                                 | `OK metrics #n` + JSON            |
 //! | `STATS`                                   | `OK stats #n` + delta JSON        |
@@ -474,10 +474,14 @@ fn handle_frame(
         "TXN" => {
             let response = match frame.payload_str() {
                 Ok(ldif) => match service.apply_ldif_tx_traced(ldif, trace) {
+                    // The trailing token is the shard count the commit
+                    // touched (1 on a single-engine server); older
+                    // clients ignore it.
                     Ok(outcome) => Response::ok(&[
                         "committed",
                         &outcome.ops.to_string(),
                         &outcome.len.to_string(),
+                        &outcome.shards.to_string(),
                     ]),
                     Err(e) => e.into(),
                 },

@@ -19,17 +19,33 @@
 //! recovered from poisoning (`into_inner`), so the next writer proceeds
 //! against an intact instance. This is the paper's §4 atomicity contract
 //! lifted to a shared, concurrent frontend.
+//!
+//! ## The sharded backend
+//!
+//! [`DirectoryService::new_sharded`] swaps the single engine for a
+//! [`ShardedDirectory`]: the forest is partitioned by **top-level
+//! subtree** — the unit Theorem 4.1 proves transactions decompose into —
+//! and every `TXN` is routed by the root RDNs of its DNs. A transaction
+//! whose records all live in one shard takes only that shard's lock, so
+//! writes to distinct shards commit concurrently; a cross-shard
+//! transaction goes through the router's 2-phase apply (prepare on every
+//! involved shard, then commit everywhere or roll back everywhere).
+//! Each shard publishes its **own** snapshot: readers still only ever
+//! observe complete, §3-legal states, and an unscoped search simply
+//! fans out over the per-shard snapshots in shard order.
 
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock};
 
-use bschema_core::journal::{Journal, JournalWriter};
+use bschema_core::journal::{shard_journal_path, Journal, JournalWriter};
 use bschema_core::managed::ManagedError;
+use bschema_core::schema::DirectorySchema;
+use bschema_core::sharded::{canonical_merge, ShardedDirectory};
 use bschema_core::updates::{transaction_from_ldif, Mod};
 use bschema_core::ManagedDirectory;
-use bschema_directory::ldif::{parse_ldif_limited, write_record, LdifLimits};
+use bschema_directory::ldif::{parse_ldif_limited, write_record, LdifLimits, LdifRecord};
 use bschema_directory::{DirectoryInstance, Dn};
 use bschema_obs::{FlightRecorder, MetricsSnapshot, Probe, RequestTrace, NO_SPAN};
 use bschema_query::{
@@ -102,6 +118,9 @@ pub struct TxOutcome {
     pub ops: usize,
     /// Directory size after the commit.
     pub len: usize,
+    /// Shards the transaction touched (always 1 on the single-engine
+    /// backend; > 1 means the 2-phase cross-shard path committed it).
+    pub shards: usize,
 }
 
 /// An open journal file: the parsed history has been replayed/repaired
@@ -120,12 +139,48 @@ struct WriteHalf {
     journal: Option<JournalFile>,
 }
 
+/// The classic backend: one engine, one write mutex, one snapshot.
+#[derive(Debug)]
+struct SingleBackend {
+    write: Mutex<WriteHalf>,
+    snapshot: RwLock<Arc<DirectoryInstance>>,
+}
+
+/// The sharded backend: a [`ShardedDirectory`] routes each `TXN` to the
+/// shards owning its top-level subtrees (Theorem 4.1 boundaries), so
+/// writes to distinct shards never contend. Each shard publishes its own
+/// read snapshot; searches fan out across them in shard order.
+#[derive(Debug)]
+struct ShardedBackend {
+    sharded: ShardedDirectory,
+    snapshots: Vec<RwLock<Arc<DirectoryInstance>>>,
+}
+
+impl ShardedBackend {
+    fn new(sharded: ShardedDirectory) -> Self {
+        let snapshots = (0..sharded.shards())
+            .map(|k| RwLock::new(Arc::new(sharded.shard_instance(k))))
+            .collect();
+        ShardedBackend { sharded, snapshots }
+    }
+
+    /// Shard `k`'s published read snapshot.
+    fn snapshot(&self, k: usize) -> Arc<DirectoryInstance> {
+        self.snapshots[k].read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+#[derive(Debug)]
+enum Backend {
+    Single(SingleBackend),
+    Sharded(ShardedBackend),
+}
+
 /// The shared, thread-safe directory service. See the module docs for
 /// the snapshot/write-lock protocol.
 #[derive(Debug)]
 pub struct DirectoryService {
-    write: Mutex<WriteHalf>,
-    snapshot: RwLock<Arc<DirectoryInstance>>,
+    backend: Backend,
     probe: Arc<dyn Probe + Send + Sync>,
     recorder: Option<Arc<bschema_obs::Recorder>>,
     flight: Option<Arc<FlightRecorder>>,
@@ -145,14 +200,43 @@ impl DirectoryService {
     /// instance.
     pub fn new(managed: ManagedDirectory) -> Self {
         let snapshot = Arc::new(managed.instance().clone());
-        DirectoryService {
+        Self::from_backend(Backend::Single(SingleBackend {
             write: Mutex::new(WriteHalf { managed, journal: None }),
             snapshot: RwLock::new(snapshot),
+        }))
+    }
+
+    /// Wraps a sharded directory: `dir` is validated and partitioned
+    /// into `shards` top-level-subtree shards (see
+    /// [`ShardedDirectory::with_instance`]); transactions are routed by
+    /// DN prefix so writes to distinct shards commit concurrently.
+    pub fn new_sharded(
+        schema: DirectorySchema,
+        dir: DirectoryInstance,
+        shards: usize,
+    ) -> Result<Self, ServiceError> {
+        let sharded = ShardedDirectory::with_instance(schema, dir, shards)
+            .map_err(|e| ServiceError::from_managed(&e))?;
+        Ok(Self::from_backend(Backend::Sharded(ShardedBackend::new(sharded))))
+    }
+
+    fn from_backend(backend: Backend) -> Self {
+        DirectoryService {
+            backend,
             probe: Arc::new(bschema_obs::NoopProbe),
             recorder: None,
             flight: None,
             stats_baseline: Mutex::new(MetricsSnapshot::default()),
             limits: ServiceLimits::default(),
+        }
+    }
+
+    /// Number of write shards behind this service (1 for the classic
+    /// single-engine backend).
+    pub fn shards(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 1,
+            Backend::Sharded(b) => b.sharded.shards(),
         }
     }
 
@@ -162,17 +246,29 @@ impl DirectoryService {
         self
     }
 
-    /// Attaches `probe` to the request path **and** to the inner managed
-    /// directory, so one probe sees both the `server.*` sites and the
-    /// legality engine's counters/spans.
+    /// Attaches `probe` to the request path **and** to the inner
+    /// engine(s), so one probe sees both the `server.*` sites and the
+    /// legality engine's counters/spans (plus, on a sharded backend,
+    /// the router's `sharded.*` 2-phase sites).
     pub fn with_probe(self, probe: Arc<dyn Probe + Send + Sync>) -> Self {
-        let half = self.write.into_inner().unwrap_or_else(|e| e.into_inner());
-        DirectoryService {
-            write: Mutex::new(WriteHalf {
-                managed: half.managed.with_probe(probe.clone()),
-                journal: half.journal,
+        let backend = match self.backend {
+            Backend::Single(b) => {
+                let half = b.write.into_inner().unwrap_or_else(|e| e.into_inner());
+                Backend::Single(SingleBackend {
+                    write: Mutex::new(WriteHalf {
+                        managed: half.managed.with_probe(probe.clone()),
+                        journal: half.journal,
+                    }),
+                    snapshot: b.snapshot,
+                })
+            }
+            Backend::Sharded(b) => Backend::Sharded(ShardedBackend {
+                sharded: b.sharded.with_probe(probe.clone()),
+                snapshots: b.snapshots,
             }),
-            snapshot: self.snapshot,
+        };
+        DirectoryService {
+            backend,
             probe,
             recorder: self.recorder,
             flight: self.flight,
@@ -245,23 +341,13 @@ impl DirectoryService {
     /// of transactions replayed.
     pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Result<(Self, usize), ServiceError> {
         let path = path.into();
-        let mut replayed = 0;
-        let journal = match std::fs::read_to_string(&path) {
-            Ok(text) => {
-                let journal = Journal::parse(&text);
-                if journal.truncated || journal.dropped_records > 0 {
-                    // Crash-repair: drop the torn tail on disk so the
-                    // next parse is clean.
-                    std::fs::write(&path, &text[..journal.intact_len])
-                        .map_err(|e| ServiceError::new("io", format!("repairing journal: {e}")))?;
-                }
-                journal
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Journal::empty(),
-            Err(e) => return Err(ServiceError::new("io", format!("reading journal: {e}"))),
+        let Backend::Single(backend) = &mut self.backend else {
+            return self.with_sharded_journal(path);
         };
+        let mut replayed = 0;
+        let journal = read_repaired_journal(&path)?;
         {
-            let half = self.write.get_mut().unwrap_or_else(|e| e.into_inner());
+            let half = backend.write.get_mut().unwrap_or_else(|e| e.into_inner());
             for jtx in journal.committed() {
                 half.managed.apply(&jtx.to_transaction()).map_err(|e| {
                     ServiceError::new(
@@ -274,8 +360,45 @@ impl DirectoryService {
             half.journal =
                 Some(JournalFile { path, writer: JournalWriter::resume_after(&journal) });
             let refreshed = Arc::new(half.managed.instance().clone());
-            *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = refreshed;
+            *backend.snapshot.write().unwrap_or_else(|e| e.into_inner()) = refreshed;
         }
+        Ok((self, replayed))
+    }
+
+    /// The sharded counterpart of
+    /// [`with_journal`](DirectoryService::with_journal): `base` names a
+    /// family of per-shard journal files (`<base>.shard<k>`, see
+    /// [`shard_journal_path`]). Each file's torn tail is repaired in
+    /// place, 2-phase commits torn between peers are reconciled (a `gid`
+    /// counts as committed only when every peer holds its commit
+    /// record), the committed history replays shard by shard, and each
+    /// shard's writer resumes appending to its own file. Returns the
+    /// total transactions replayed across shards.
+    fn with_sharded_journal(mut self, base: PathBuf) -> Result<(Self, usize), ServiceError> {
+        let probe = self.probe.clone();
+        let Backend::Sharded(backend) = &mut self.backend else {
+            return Err(ServiceError::new("internal", "sharded journal on a single backend"));
+        };
+        let shards = backend.sharded.shards();
+        let mut journals = Vec::with_capacity(shards);
+        let mut paths = Vec::with_capacity(shards);
+        for k in 0..shards {
+            let path = shard_journal_path(&base, k);
+            journals.push(read_repaired_journal(&path)?);
+            paths.push(path);
+        }
+        let bases = (0..shards).map(|k| backend.sharded.shard_instance(k)).collect();
+        let (recovered, reports) =
+            ShardedDirectory::recover(backend.sharded.schema().clone(), bases, &journals)
+                .map_err(|e| ServiceError::new("recovery", e.to_string()))?;
+        let replayed = reports.iter().map(|r| r.replayed).sum();
+        // Recovery rebuilds the engine, so the service probe (attached
+        // before this call in the builder chain) is re-installed.
+        let recovered = recovered.with_probe(probe);
+        for (k, path) in paths.into_iter().enumerate() {
+            recovered.set_sink(k, Box::new(move |text: &str| append_file(&path, text)));
+        }
+        *backend = ShardedBackend::new(recovered);
         Ok((self, replayed))
     }
 
@@ -284,16 +407,41 @@ impl DirectoryService {
         &self.limits
     }
 
-    /// The current read snapshot — a complete, legal instance. Cheap
-    /// (one `Arc` clone under a read lock); holders never block writers
-    /// from committing, they just keep the old instance alive.
+    /// The current read snapshot — a complete, legal instance. On the
+    /// single backend this is cheap (one `Arc` clone under a read
+    /// lock). On a sharded backend it is the **canonical merge** of the
+    /// per-shard snapshots — an O(n) rebuild, meant for assertions and
+    /// diagnostics, not the request path (searches fan out over
+    /// [`shard_snapshot`](DirectoryService::shard_snapshot)s instead).
     pub fn snapshot(&self) -> Arc<DirectoryInstance> {
-        self.snapshot.read().unwrap_or_else(|e| e.into_inner()).clone()
+        match &self.backend {
+            Backend::Single(b) => b.snapshot.read().unwrap_or_else(|e| e.into_inner()).clone(),
+            Backend::Sharded(b) => {
+                let parts: Vec<Arc<DirectoryInstance>> =
+                    (0..b.snapshots.len()).map(|k| b.snapshot(k)).collect();
+                let merged = canonical_merge(parts.iter().map(Arc::as_ref))
+                    .expect("published shard snapshots merge");
+                Arc::new(merged)
+            }
+        }
     }
 
-    /// Directory size, from the read snapshot.
+    /// Shard `k`'s current read snapshot (`k = 0` on the single
+    /// backend). Always cheap: one `Arc` clone under that shard's read
+    /// lock.
+    pub fn shard_snapshot(&self, k: usize) -> Arc<DirectoryInstance> {
+        match &self.backend {
+            Backend::Single(b) => b.snapshot.read().unwrap_or_else(|e| e.into_inner()).clone(),
+            Backend::Sharded(b) => b.snapshot(k),
+        }
+    }
+
+    /// Directory size, from the read snapshot(s).
     pub fn len(&self) -> usize {
-        self.snapshot().len()
+        match &self.backend {
+            Backend::Single(b) => b.snapshot.read().unwrap_or_else(|e| e.into_inner()).len(),
+            Backend::Sharded(b) => (0..b.snapshots.len()).map(|k| b.snapshot(k).len()).sum(),
+        }
     }
 
     /// Whether the directory is empty.
@@ -341,18 +489,33 @@ impl DirectoryService {
         limit: Option<usize>,
         probe: &dyn Probe,
     ) -> Result<(usize, String), ServiceError> {
-        let (snapshot, request) = self.build_search(base, scope, filter_src, limit)?;
-        let ids = search(&snapshot, &request);
+        let plan = self.build_search(base, scope, filter_src)?;
         let mut out = String::new();
-        for &id in &ids {
-            let dn = snapshot.dn(id).map_err(|e| ServiceError::new("internal", e.to_string()))?;
-            let entry = snapshot
-                .entry(id)
-                .ok_or_else(|| ServiceError::new("internal", format!("dangling id {id}")))?;
-            write_record(&mut out, &dn.to_string(), entry);
+        let mut total = 0usize;
+        let mut remaining = limit;
+        for (i, (_, snapshot, mut request)) in plan.into_iter().enumerate() {
+            if let Some(r) = remaining {
+                if r == 0 && i > 0 {
+                    break;
+                }
+                request = request.with_size_limit(r);
+            }
+            let ids = search(&snapshot, &request);
+            for &id in &ids {
+                let dn =
+                    snapshot.dn(id).map_err(|e| ServiceError::new("internal", e.to_string()))?;
+                let entry = snapshot
+                    .entry(id)
+                    .ok_or_else(|| ServiceError::new("internal", format!("dangling id {id}")))?;
+                write_record(&mut out, &dn.to_string(), entry);
+            }
+            total += ids.len();
+            if let Some(r) = &mut remaining {
+                *r -= ids.len().min(*r);
+            }
         }
-        probe.add("server.search_entries", ids.len() as u64);
-        Ok((ids.len(), out))
+        probe.add("server.search_entries", total as u64);
+        Ok((total, out))
     }
 
     /// EXPLAIN for a search: runs the filter through the plan-recording
@@ -368,56 +531,92 @@ impl DirectoryService {
         filter_src: &str,
         limit: Option<usize>,
     ) -> Result<(usize, String), ServiceError> {
-        let (snapshot, request) = self.build_search(base, scope, filter_src, limit)?;
-        let report = explain(&EvalContext::new(&snapshot), &Query::select(request.filter.clone()));
-        let ids = search(&snapshot, &request);
+        let plan = self.build_search(base, scope, filter_src)?;
+        let mut total = 0usize;
+        let mut remaining = limit;
+        let mut reports: Vec<(usize, String)> = Vec::new();
+        for (i, (k, snapshot, mut request)) in plan.into_iter().enumerate() {
+            if let Some(r) = remaining {
+                if r == 0 && i > 0 {
+                    break;
+                }
+                request = request.with_size_limit(r);
+            }
+            let report =
+                explain(&EvalContext::new(&snapshot), &Query::select(request.filter.clone()));
+            let found = search(&snapshot, &request).len();
+            total += found;
+            if let Some(r) = &mut remaining {
+                *r -= found.min(*r);
+            }
+            reports.push((k, report.to_json()));
+        }
         let scope_name = match scope {
             SearchScope::Base => "base",
             SearchScope::OneLevel => "one",
             SearchScope::Subtree => "sub",
         };
-        let json = format!(
-            "{{\"scope\":{},\"base\":{},\"returned\":{},\"explain\":{}}}",
+        let head = format!(
+            "{{\"scope\":{},\"base\":{},\"returned\":{total}",
             bschema_obs::json::escape(scope_name),
             base.map_or_else(|| "null".to_owned(), bschema_obs::json::escape),
-            ids.len(),
-            report.to_json()
         );
-        Ok((ids.len(), json))
+        let json = match &self.backend {
+            Backend::Single(_) => {
+                let report = reports.pop().map_or_else(|| "null".to_owned(), |(_, json)| json);
+                format!("{head},\"explain\":{report}}}")
+            }
+            // Sharded: one plan per shard the search fanned out to, in
+            // shard order, each labeled with its shard index.
+            Backend::Sharded(_) => {
+                let body: Vec<String> = reports
+                    .into_iter()
+                    .map(|(k, json)| format!("{{\"shard\":{k},\"explain\":{json}}}"))
+                    .collect();
+                format!("{head},\"shards\":[{}]}}", body.join(","))
+            }
+        };
+        Ok((total, json))
     }
 
     /// Shared front half of the search paths: parse the filter
-    /// (depth-capped), resolve the optional base DN against the current
-    /// snapshot, and assemble the request.
+    /// (depth-capped) and assemble one `(shard, snapshot, request)`
+    /// target per shard the search must visit — exactly one for a
+    /// base-scoped search (a base DN's whole subtree lives on the shard
+    /// owning its top-level RDN, the Theorem 4.1 boundary) or on the
+    /// single backend; every shard in index order for an unscoped
+    /// search on the sharded backend. Size limits are applied by the
+    /// callers, which thread the remaining budget across targets.
     fn build_search(
         &self,
         base: Option<&str>,
         scope: SearchScope,
         filter_src: &str,
-        limit: Option<usize>,
-    ) -> Result<(Arc<DirectoryInstance>, SearchRequest), ServiceError> {
+    ) -> Result<Vec<(usize, Arc<DirectoryInstance>, SearchRequest)>, ServiceError> {
         let filter = parse_filter_limited(filter_src, self.limits.filter_depth)
             .map_err(|e| ServiceError::new("bad-filter", e.to_string()))?;
-        let snapshot = self.snapshot();
-        let mut request = match base {
+        match base {
             Some(dn_src) => {
                 let dn =
                     Dn::parse(dn_src).map_err(|e| ServiceError::new("bad-dn", e.to_string()))?;
+                let k = match &self.backend {
+                    Backend::Single(_) => 0,
+                    Backend::Sharded(b) => b.sharded.shard_of_dn(&dn),
+                };
+                let snapshot = self.shard_snapshot(k);
                 let id = snapshot.lookup_dn(&dn).ok_or_else(|| {
                     ServiceError::new("no-such-base", format!("no entry named {dn_src}"))
                 })?;
-                SearchRequest::under(id, scope, filter)
+                Ok(vec![(k, snapshot, SearchRequest::under(id, scope, filter))])
             }
-            None => {
-                let mut r = SearchRequest::whole_directory(filter);
-                r.scope = scope;
-                r
-            }
-        };
-        if let Some(limit) = limit {
-            request = request.with_size_limit(limit);
+            None => Ok((0..self.shards())
+                .map(|k| {
+                    let mut r = SearchRequest::whole_directory(filter.clone());
+                    r.scope = scope;
+                    (k, self.shard_snapshot(k), r)
+                })
+                .collect()),
         }
-        Ok((snapshot, request))
     }
 
     /// The probe a request's service-level spans and counters go
@@ -454,7 +653,11 @@ impl DirectoryService {
             parse_ldif_limited(ldif, &self.limits.ldif)
                 .map_err(|e| ServiceError::new("bad-ldif", e.to_string()))
         })?;
-        let mut half = lock_unpoisoned(&self.write);
+        let backend = match &self.backend {
+            Backend::Single(b) => b,
+            Backend::Sharded(b) => return self.apply_sharded(b, records, probe),
+        };
+        let mut half = lock_unpoisoned(&backend.write);
         // Fault site: a worker dying here has changed nothing.
         probe.add("server.tx_admitted", 1);
         let tx = scoped(probe, "service.tx_build", || {
@@ -511,7 +714,7 @@ impl DirectoryService {
                         }
                     }
                 });
-                let outcome = TxOutcome { ops, len: half.managed.len() };
+                let outcome = TxOutcome { ops, len: half.managed.len(), shards: 1 };
                 scoped(probe, "service.publish", || self.publish_through(&half, probe));
                 // Fault site: a worker dying here has already committed;
                 // the client sees "panicked" (outcome unknown), readers
@@ -536,7 +739,16 @@ impl DirectoryService {
     /// instance.
     pub fn modify(&self, dn_src: &str, mods: &[Mod]) -> Result<TxOutcome, ServiceError> {
         let dn = Dn::parse(dn_src).map_err(|e| ServiceError::new("bad-dn", e.to_string()))?;
-        let mut half = lock_unpoisoned(&self.write);
+        let Backend::Single(backend) = &self.backend else {
+            // The sharded engine speaks Theorem 4.1 subtree
+            // insertions/deletions only — the units its journals and
+            // 2-phase apply are proven over.
+            return Err(ServiceError::new(
+                "unsupported",
+                "MODIFY is not supported on a sharded server; use a TXN (delete + re-insert)",
+            ));
+        };
+        let mut half = lock_unpoisoned(&backend.write);
         if half.journal.is_some() {
             return Err(ServiceError::new(
                 "unsupported",
@@ -549,7 +761,7 @@ impl DirectoryService {
         })?;
         match half.managed.modify_entry(id, mods) {
             Ok(()) => {
-                let outcome = TxOutcome { ops: 1, len: half.managed.len() };
+                let outcome = TxOutcome { ops: 1, len: half.managed.len(), shards: 1 };
                 self.publish(&half);
                 self.probe.add("server.tx_committed", 1);
                 Ok(outcome)
@@ -569,9 +781,56 @@ impl DirectoryService {
     /// [`publish`](DirectoryService::publish), counting the swap through
     /// the given (possibly per-request) probe.
     fn publish_through(&self, half: &WriteHalf, probe: &dyn Probe) {
+        let Backend::Single(backend) = &self.backend else {
+            return;
+        };
         let next = Arc::new(half.managed.instance().clone());
-        *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = next;
+        *backend.snapshot.write().unwrap_or_else(|e| e.into_inner()) = next;
         probe.add("server.snapshot_swap", 1);
+    }
+
+    /// The sharded write path: the router decodes, vets (◇c ledger),
+    /// journals and applies the transaction on exactly the shards its
+    /// DN prefixes route to — one locked shard on the fast path, the
+    /// 2-phase apply across all involved shards otherwise — then each
+    /// touched shard republishes its own snapshot. Untouched shards
+    /// keep serving reads and committing concurrently throughout.
+    fn apply_sharded(
+        &self,
+        backend: &ShardedBackend,
+        records: Vec<LdifRecord>,
+        probe: &dyn Probe,
+    ) -> Result<TxOutcome, ServiceError> {
+        probe.add("server.tx_admitted", 1);
+        let applied =
+            scoped(probe, "service.apply_sharded", || backend.sharded.apply_ldif(records));
+        match applied {
+            Ok(outcome) => {
+                scoped(probe, "service.publish", || {
+                    for &k in &outcome.shards {
+                        let next = Arc::new(backend.sharded.shard_instance(k));
+                        *backend.snapshots[k].write().unwrap_or_else(|e| e.into_inner()) = next;
+                        probe.add_labeled("server.shard_snapshot_swap", &format!("shard{k}"), 1);
+                    }
+                });
+                probe.add_labeled(
+                    "server.tx_route",
+                    if outcome.shards.len() > 1 { "cross" } else { "single" },
+                    1,
+                );
+                probe.add("server.tx_committed", 1);
+                Ok(TxOutcome {
+                    ops: outcome.ops,
+                    len: self.len(),
+                    shards: outcome.shards.len().max(1),
+                })
+            }
+            Err(e) => {
+                let code = e.code();
+                probe.add_labeled("server.tx_rejected", code, 1);
+                Err(ServiceError { code, detail: e.to_string() })
+            }
+        }
     }
 
     /// The probe attached to this service.
@@ -589,6 +848,24 @@ fn scoped<T>(probe: &dyn Probe, name: &'static str, f: impl FnOnce() -> T) -> T 
     let out = f();
     probe.span_end(span);
     out
+}
+
+/// Reads a journal file, repairing a torn tail (crash mid-write) in
+/// place so the surviving prefix reparses cleanly. A missing file is an
+/// empty journal.
+fn read_repaired_journal(path: &std::path::Path) -> Result<Journal, ServiceError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let journal = Journal::parse(&text);
+            if journal.truncated || journal.dropped_records > 0 {
+                std::fs::write(path, &text[..journal.intact_len])
+                    .map_err(|e| ServiceError::new("io", format!("repairing journal: {e}")))?;
+            }
+            Ok(journal)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Journal::empty()),
+        Err(e) => Err(ServiceError::new("io", format!("reading journal: {e}"))),
+    }
 }
 
 fn append_file(path: &std::path::Path, text: &str) -> std::io::Result<()> {
@@ -667,6 +944,106 @@ mod tests {
             svc.search(None, SearchScope::Subtree, deep, None).unwrap_err().code,
             "bad-filter"
         );
+    }
+
+    fn person_ldif(uid: &str, org: &str) -> String {
+        format!(
+            "dn: uid={uid},o={org}\nobjectClass: person\nobjectClass: top\nuid: {uid}\nname: {uid}\n"
+        )
+    }
+
+    /// Two org names from the generated `org0..org3` roots that the
+    /// router places on distinct shards.
+    fn orgs_on_distinct_shards(shards: usize) -> (String, String) {
+        let shard_of = |name: &str| {
+            bschema_core::sharded::shard_of_root_rdn(
+                &bschema_directory::Rdn::single("o", name),
+                shards,
+            )
+        };
+        let a = "org0".to_owned();
+        let b = (1..4)
+            .map(|i| format!("org{i}"))
+            .find(|name| shard_of(name) != shard_of(&a))
+            .expect("four roots cannot all collide");
+        (a, b)
+    }
+
+    #[test]
+    fn sharded_service_routes_commits_and_fans_out_searches() {
+        let base = bschema_workload::multi_org_base(4, 12, 7);
+        let svc = DirectoryService::new_sharded(white_pages_schema(), base, 4).unwrap();
+        assert_eq!(svc.shards(), 4);
+        let persons_before =
+            svc.search(None, SearchScope::Subtree, "(objectClass=person)", None).unwrap().0;
+        let (a, b) = orgs_on_distinct_shards(4);
+
+        let single = svc.apply_ldif_tx(&person_ldif("svc1", &a)).unwrap();
+        assert_eq!(single.shards, 1, "one root RDN must route to one shard");
+
+        let cross = svc
+            .apply_ldif_tx(&format!("{}\n{}", person_ldif("svc2", &a), person_ldif("svc3", &b)))
+            .unwrap();
+        assert_eq!(cross.shards, 2, "two roots on distinct shards must take the 2-phase path");
+
+        // Fan-out search sees every shard's published snapshot.
+        let (n, ldif) =
+            svc.search(None, SearchScope::Subtree, "(objectClass=person)", None).unwrap();
+        assert_eq!(n, persons_before + 3);
+        for uid in ["svc1", "svc2", "svc3"] {
+            assert!(ldif.contains(&format!("uid: {uid}")), "{uid} missing from fan-out");
+        }
+        // Base-scoped search stays on the owning shard.
+        let (n, _) = svc
+            .search(Some(&format!("o={a}")), SearchScope::Subtree, "(objectClass=person)", None)
+            .unwrap();
+        assert!(n >= 2, "org {a} holds at least svc1 + svc2");
+        // A rejected transaction leaves every snapshot untouched.
+        let before = svc.snapshot().canonical_bytes();
+        let err = svc
+            .apply_ldif_tx(&format!(
+                "dn: uid=bad,o={b}\nobjectClass: person\nobjectClass: top\nuid: bad\n"
+            ))
+            .unwrap_err();
+        assert_eq!(err.code, "rolled-back");
+        assert_eq!(svc.snapshot().canonical_bytes(), before);
+    }
+
+    #[test]
+    fn sharded_journal_replays_across_restart() {
+        let journal_base = std::env::temp_dir()
+            .join(format!("bschema-svc-sharded-journal-{}", std::process::id()));
+        for k in 0..3 {
+            let _ = std::fs::remove_file(shard_journal_path(&journal_base, k));
+        }
+        let base = bschema_workload::multi_org_base(4, 8, 11);
+        let (a, b) = orgs_on_distinct_shards(3);
+
+        let (svc, replayed) = DirectoryService::new_sharded(white_pages_schema(), base.clone(), 3)
+            .unwrap()
+            .with_journal(&journal_base)
+            .unwrap();
+        assert_eq!(replayed, 0);
+        svc.apply_ldif_tx(&person_ldif("dur1", &a)).unwrap();
+        let cross = svc
+            .apply_ldif_tx(&format!("{}\n{}", person_ldif("dur2", &a), person_ldif("dur3", &b)))
+            .unwrap();
+        assert_eq!(cross.shards, 2);
+        let final_bytes = svc.snapshot().canonical_bytes();
+        drop(svc);
+
+        // "Restart": same base, same journal family.
+        let (svc, replayed) = DirectoryService::new_sharded(white_pages_schema(), base, 3)
+            .unwrap()
+            .with_journal(&journal_base)
+            .unwrap();
+        // The single-shard tx replays once; the cross-shard tx replays
+        // on each of its two shards.
+        assert_eq!(replayed, 3);
+        assert_eq!(svc.snapshot().canonical_bytes(), final_bytes);
+        for k in 0..3 {
+            let _ = std::fs::remove_file(shard_journal_path(&journal_base, k));
+        }
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! Multi-organization LDIF transaction workloads for the
+//! sharded≡unsharded differential oracle.
+//!
+//! [`multi_org_base`] builds one instance holding several generated
+//! organizations — several top-level subtrees, so a sharded engine
+//! spreads them across shards. [`LdifWorkload::generate`] then derives a
+//! deterministic stream of LDIF-text transactions against that base:
+//! legal single-subtree inserts and deletes, legal cross-subtree
+//! transactions (touching two or more organizations, including brand-new
+//! top-level organizations), and a spread of illegal transactions
+//! (content violations, structure violations, witness-removing deletes,
+//! undecodable deletes). Both engines replay the *same LDIF text*; the
+//! oracle asserts identical verdicts and byte-identical final states.
+
+use bschema_directory::{DirectoryInstance, Dn, Rdn};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::org::{OrgGenerator, OrgParams};
+
+/// Parameters for [`multi_org_base`] and [`LdifWorkload`].
+#[derive(Debug, Clone)]
+pub struct LdifWorkloadParams {
+    /// Number of organizations (top-level subtrees) in the base.
+    pub orgs: usize,
+    /// Approximate entries per organization.
+    pub entries_per_org: usize,
+    /// Number of transactions to generate.
+    pub transactions: usize,
+    /// RNG seed (drives both the base layout and the transaction mix).
+    pub seed: u64,
+}
+
+impl Default for LdifWorkloadParams {
+    fn default() -> Self {
+        LdifWorkloadParams { orgs: 6, entries_per_org: 60, transactions: 200, seed: 0xD1FF }
+    }
+}
+
+/// One generated transaction: raw LDIF text plus the generator's intent.
+#[derive(Debug, Clone)]
+pub struct GeneratedTx {
+    /// The LDIF transaction body (blank-line-separated records).
+    pub ldif: String,
+    /// Whether the records span more than one top-level subtree (a
+    /// cross-shard transaction on any shard count > 1 where the roots
+    /// hash apart).
+    pub multi_subtree: bool,
+    /// Whether the generator built this to commit (`true`) or to be
+    /// rejected (`false`). The oracle's ground truth is engine-vs-engine
+    /// agreement, not this flag — it exists so tests can assert the mix
+    /// actually exercises both outcomes.
+    pub expect_commit: bool,
+    /// A short label for the generation rule, for failure diagnostics.
+    pub kind: &'static str,
+}
+
+/// Builds one instance with `orgs` generated organizations, each a
+/// top-level subtree `o=org<i>` (deterministic in `seed`).
+pub fn multi_org_base(orgs: usize, entries_per_org: usize, seed: u64) -> DirectoryInstance {
+    let mut base = DirectoryInstance::white_pages();
+    for i in 0..orgs.max(1) {
+        let generated = OrgGenerator::new(OrgParams {
+            target_entries: entries_per_org,
+            seed: seed ^ (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
+            ..OrgParams::default()
+        })
+        .generate();
+        let mut dir = generated.dir;
+        // Rename the generated `o=acme` root to a unique org name so the
+        // subtrees coexist as distinct top-level subtrees.
+        let name = format!("org{i}");
+        let root = generated.org;
+        if let Some(entry) = dir.entry_mut(root) {
+            entry.remove_attribute("o");
+            entry.add_value("o", &name);
+        }
+        dir.set_rdn(root, Rdn::single("o", name)).expect("root rename");
+        dir.prepare();
+        base.graft_subtree(&dir, root).expect("org roots are distinct");
+    }
+    base.prepare();
+    base
+}
+
+/// Book-keeping for one unit: its DN string, its live person DNs, and
+/// how many child units hang under it (a unit keeps a `de person`
+/// witness through its sub-units, so only a *leaf* unit's last person
+/// is a witness whose removal violates `orgGroup ⇒⇒ person`).
+#[derive(Debug)]
+struct UnitBook {
+    dn: String,
+    persons: Vec<String>,
+    subunits: usize,
+}
+
+/// The workload generator. Tracks a book-keeping mirror of the expected
+/// directory state so legal transactions reference live entries and
+/// deletions never remove the last `de person` witness (unless built to).
+#[derive(Debug)]
+pub struct LdifWorkload {
+    rng: StdRng,
+    /// Per organization: the units (index 0 is a unit directly under the
+    /// org root; the org root itself is not a person parent here, which
+    /// matches [`OrgGenerator`]'s layout).
+    orgs: Vec<Vec<UnitBook>>,
+    counter: usize,
+}
+
+impl LdifWorkload {
+    fn person_ldif(&mut self, parent_dn: &str, with_name: bool) -> (String, String) {
+        self.counter += 1;
+        let uid = format!("w{}", self.counter);
+        let dn = format!("uid={uid},{parent_dn}");
+        let mut text = format!(
+            "dn: {dn}\nobjectClass: {}\nobjectClass: person\nobjectClass: top\nuid: {uid}\n",
+            if self.rng.random_bool(0.3) { "researcher" } else { "staffMember" }
+        );
+        if with_name {
+            text.push_str(&format!("name: name of {uid}\n"));
+        }
+        (dn, text)
+    }
+
+    fn unit_ldif(&mut self, parent_dn: &str) -> (String, String) {
+        self.counter += 1;
+        let ou = format!("wunit{}", self.counter);
+        let dn = format!("ou={ou},{parent_dn}");
+        let text = format!(
+            "dn: {dn}\nobjectClass: orgUnit\nobjectClass: orgGroup\nobjectClass: top\nou: {ou}\n"
+        );
+        (dn, text)
+    }
+
+    fn org_ldif(&mut self, name: &str) -> (String, String) {
+        let dn = format!("o={name}");
+        let text = format!(
+            "dn: {dn}\nobjectClass: organization\nobjectClass: orgGroup\nobjectClass: online\nobjectClass: top\no: {name}\nuri: https://{name}.example/\n"
+        );
+        (dn, text)
+    }
+
+    fn pick_org(&mut self) -> usize {
+        self.rng.random_range(0..self.orgs.len())
+    }
+
+    fn pick_unit(&mut self, org: usize) -> usize {
+        self.rng.random_range(0..self.orgs[org].len())
+    }
+
+    /// A legal person insert into one subtree; updates book-keeping.
+    fn legal_person_insert(&mut self) -> GeneratedTx {
+        let org = self.pick_org();
+        let unit = self.pick_unit(org);
+        let parent = self.orgs[org][unit].dn.clone();
+        let (dn, text) = self.person_ldif(&parent, true);
+        self.orgs[org][unit].persons.push(dn);
+        GeneratedTx { ldif: text, multi_subtree: false, expect_commit: true, kind: "insert" }
+    }
+
+    /// A legal unit+person subtree insert; updates book-keeping.
+    fn legal_unit_insert(&mut self) -> GeneratedTx {
+        let org = self.pick_org();
+        let unit = self.pick_unit(org);
+        let parent = self.orgs[org][unit].dn.clone();
+        let (unit_dn, unit_text) = self.unit_ldif(&parent);
+        let (person_dn, person_text) = self.person_ldif(&unit_dn, true);
+        self.orgs[org][unit].subunits += 1;
+        self.orgs[org].push(UnitBook { dn: unit_dn, persons: vec![person_dn], subunits: 0 });
+        GeneratedTx {
+            ldif: format!("{unit_text}\n{person_text}"),
+            multi_subtree: false,
+            expect_commit: true,
+            kind: "insert-subtree",
+        }
+    }
+
+    /// A legal delete of one person whose unit keeps another; falls back
+    /// to an insert when no unit has two persons.
+    fn legal_delete(&mut self) -> GeneratedTx {
+        let start_org = self.pick_org();
+        for probe in 0..self.orgs.len() {
+            let org = (start_org + probe) % self.orgs.len();
+            if let Some(unit) = self.orgs[org].iter().position(|u| u.persons.len() >= 2) {
+                let pick = self.rng.random_range(0..self.orgs[org][unit].persons.len());
+                let victim = self.orgs[org][unit].persons.remove(pick);
+                return GeneratedTx {
+                    ldif: format!("dn: {victim}\nchangetype: delete\n"),
+                    multi_subtree: false,
+                    expect_commit: true,
+                    kind: "delete",
+                };
+            }
+        }
+        self.legal_person_insert()
+    }
+
+    /// A legal transaction touching two distinct organizations.
+    fn legal_cross_insert(&mut self) -> GeneratedTx {
+        if self.orgs.len() < 2 {
+            return self.legal_person_insert();
+        }
+        let a = self.pick_org();
+        let b = (a + 1 + self.rng.random_range(0..self.orgs.len() - 1)) % self.orgs.len();
+        let unit_a = self.pick_unit(a);
+        let unit_b = self.pick_unit(b);
+        let parent_a = self.orgs[a][unit_a].dn.clone();
+        let parent_b = self.orgs[b][unit_b].dn.clone();
+        let (dn_a, text_a) = self.person_ldif(&parent_a, true);
+        let (dn_b, text_b) = self.person_ldif(&parent_b, true);
+        self.orgs[a][unit_a].persons.push(dn_a);
+        self.orgs[b][unit_b].persons.push(dn_b);
+        GeneratedTx {
+            ldif: format!("{text_a}\n{text_b}"),
+            multi_subtree: true,
+            expect_commit: true,
+            kind: "cross-insert",
+        }
+    }
+
+    /// A legal transaction creating a whole new top-level organization
+    /// *and* inserting a person into an existing one.
+    fn legal_new_org(&mut self) -> GeneratedTx {
+        self.counter += 1;
+        let name = format!("neworg{}", self.counter);
+        let (org_dn, org_text) = self.org_ldif(&name);
+        let (unit_dn, unit_text) = self.unit_ldif(&org_dn);
+        let (person_dn, person_text) = self.person_ldif(&unit_dn, true);
+        let other = self.pick_org();
+        let other_unit = self.pick_unit(other);
+        let other_parent = self.orgs[other][other_unit].dn.clone();
+        let (extra_dn, extra_text) = self.person_ldif(&other_parent, true);
+        self.orgs[other][other_unit].persons.push(extra_dn);
+        self.orgs.push(vec![UnitBook { dn: unit_dn, persons: vec![person_dn], subunits: 0 }]);
+        GeneratedTx {
+            ldif: format!("{org_text}\n{unit_text}\n{person_text}\n{extra_text}"),
+            multi_subtree: true,
+            expect_commit: true,
+            kind: "cross-new-org",
+        }
+    }
+
+    /// A person missing its required `name` attribute (content
+    /// violation → rolled back, nothing to book-keep).
+    fn violating_nameless_person(&mut self) -> GeneratedTx {
+        let org = self.pick_org();
+        let unit = self.pick_unit(org);
+        let parent = self.orgs[org][unit].dn.clone();
+        let (_, text) = self.person_ldif(&parent, false);
+        GeneratedTx {
+            ldif: text,
+            multi_subtree: false,
+            expect_commit: false,
+            kind: "reject-nameless",
+        }
+    }
+
+    /// A person with a person child (`person ↛ch top` structure
+    /// violation).
+    fn violating_person_child(&mut self) -> GeneratedTx {
+        let org = self.pick_org();
+        let unit = self.pick_unit(org);
+        let parent = self.orgs[org][unit].dn.clone();
+        let (dn, text) = self.person_ldif(&parent, true);
+        let (_, child_text) = self.person_ldif(&dn, true);
+        GeneratedTx {
+            ldif: format!("{text}\n{child_text}"),
+            multi_subtree: false,
+            expect_commit: false,
+            kind: "reject-person-child",
+        }
+    }
+
+    /// A unit with no person descendant (`orgGroup ⇒⇒ person` required
+    /// relationship violation).
+    fn violating_bare_unit(&mut self) -> GeneratedTx {
+        let org = self.pick_org();
+        let unit = self.pick_unit(org);
+        let parent = self.orgs[org][unit].dn.clone();
+        let (_, text) = self.unit_ldif(&parent);
+        GeneratedTx {
+            ldif: text,
+            multi_subtree: false,
+            expect_commit: false,
+            kind: "reject-bare-unit",
+        }
+    }
+
+    /// A cross-organization transaction whose second half is illegal:
+    /// the whole transaction must roll back on both engines, leaving the
+    /// legal first half unapplied — the cross-shard atomicity probe.
+    fn violating_cross(&mut self) -> GeneratedTx {
+        if self.orgs.len() < 2 {
+            return self.violating_nameless_person();
+        }
+        let a = self.pick_org();
+        let b = (a + 1 + self.rng.random_range(0..self.orgs.len() - 1)) % self.orgs.len();
+        let unit_a = self.pick_unit(a);
+        let unit_b = self.pick_unit(b);
+        let parent_a = self.orgs[a][unit_a].dn.clone();
+        let parent_b = self.orgs[b][unit_b].dn.clone();
+        let (_, good) = self.person_ldif(&parent_a, true);
+        let (_, bad) = self.person_ldif(&parent_b, false);
+        GeneratedTx {
+            ldif: format!("{good}\n{bad}"),
+            multi_subtree: true,
+            expect_commit: false,
+            kind: "reject-cross",
+        }
+    }
+
+    /// A delete that removes a unit's last person — the `de person`
+    /// witness — and must roll back. Falls back when every unit is
+    /// multi-person.
+    fn violating_witness_delete(&mut self) -> GeneratedTx {
+        let start_org = self.pick_org();
+        for probe in 0..self.orgs.len() {
+            let org = (start_org + probe) % self.orgs.len();
+            if let Some(unit) =
+                self.orgs[org].iter().position(|u| u.persons.len() == 1 && u.subunits == 0)
+            {
+                let victim = self.orgs[org][unit].persons[0].clone();
+                return GeneratedTx {
+                    ldif: format!("dn: {victim}\nchangetype: delete\n"),
+                    multi_subtree: false,
+                    expect_commit: false,
+                    kind: "reject-witness-delete",
+                };
+            }
+        }
+        self.violating_nameless_person()
+    }
+
+    /// A delete of a DN that does not exist (undecodable: `invalid-tx`).
+    fn invalid_missing_delete(&mut self) -> GeneratedTx {
+        self.counter += 1;
+        let org = self.pick_org();
+        let unit = self.pick_unit(org);
+        let parent = self.orgs[org][unit].dn.clone();
+        GeneratedTx {
+            ldif: format!("dn: uid=ghost{},{parent}\nchangetype: delete\n", self.counter),
+            multi_subtree: false,
+            expect_commit: false,
+            kind: "reject-missing-delete",
+        }
+    }
+
+    /// Generates the base instance and the transaction stream.
+    pub fn generate(params: LdifWorkloadParams) -> (DirectoryInstance, Vec<GeneratedTx>) {
+        let base = multi_org_base(params.orgs, params.entries_per_org, params.seed);
+        // Book-keep units and their persons from the base itself.
+        let mut orgs: Vec<Vec<UnitBook>> = Vec::new();
+        let mut unit_index: std::collections::HashMap<String, (usize, usize)> =
+            std::collections::HashMap::new();
+        for (id, entry) in base.iter() {
+            let dn = base.dn(id).expect("live entry has a dn");
+            if entry.has_class("organization") {
+                orgs.push(Vec::new());
+            } else if entry.has_class("orgUnit") {
+                let org = orgs.len() - 1;
+                let parent = dn.parent().expect("units are never roots").to_string();
+                if let Some(&(porg, punit)) = unit_index.get(&parent) {
+                    orgs[porg][punit].subunits += 1;
+                }
+                unit_index.insert(dn.to_string(), (org, orgs[org].len()));
+                orgs[org].push(UnitBook { dn: dn.to_string(), persons: Vec::new(), subunits: 0 });
+            } else if entry.has_class("person") {
+                let parent = dn.parent().expect("persons are never roots").to_string();
+                let &(org, unit) = unit_index.get(&parent).expect("person parent is a unit");
+                orgs[org][unit].persons.push(dn.to_string());
+            }
+        }
+        let mut workload =
+            LdifWorkload { rng: StdRng::seed_from_u64(params.seed), orgs, counter: 0 };
+        let mut txs = Vec::with_capacity(params.transactions);
+        for _ in 0..params.transactions {
+            let roll = workload.rng.random_range(0..100u32);
+            let tx = match roll {
+                0..=29 => workload.legal_person_insert(),
+                30..=39 => workload.legal_unit_insert(),
+                40..=54 => workload.legal_delete(),
+                55..=64 => workload.legal_cross_insert(),
+                65..=69 => workload.legal_new_org(),
+                70..=79 => workload.violating_nameless_person(),
+                80..=84 => workload.violating_person_child(),
+                85..=89 => workload.violating_bare_unit(),
+                90..=93 => workload.violating_cross(),
+                94..=96 => workload.violating_witness_delete(),
+                _ => workload.invalid_missing_delete(),
+            };
+            txs.push(tx);
+        }
+        (base, txs)
+    }
+}
+
+/// Whether `ldif`'s records span more than one top-level subtree —
+/// recomputed from the text (rather than trusted from the generator) so
+/// oracle assertions about cross-shard coverage stand on the replayed
+/// artifact itself.
+pub fn spans_multiple_subtrees(ldif: &str) -> bool {
+    let mut first_root: Option<String> = None;
+    for line in ldif.lines() {
+        if let Some(dn) = line.strip_prefix("dn: ") {
+            let parsed = match Dn::parse(dn) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let root = parsed
+                .rdns()
+                .last()
+                .map(|r| Dn::from_rdns(vec![r.clone()]).to_normalized_string())
+                .unwrap_or_default();
+            match &first_root {
+                None => first_root = Some(root),
+                Some(seen) if *seen != root => return true,
+                Some(_) => {}
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bschema_core::legality::LegalityChecker;
+    use bschema_core::paper::white_pages_schema;
+
+    #[test]
+    fn multi_org_bases_are_legal_and_multi_rooted() {
+        let base = multi_org_base(4, 40, 7);
+        assert_eq!(base.forest().roots().count(), 4);
+        let report = LegalityChecker::new(&white_pages_schema()).check(&base);
+        assert!(report.is_legal(), "{report}");
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let params = LdifWorkloadParams { transactions: 120, ..LdifWorkloadParams::default() };
+        let (_, a) = LdifWorkload::generate(params.clone());
+        let (_, b) = LdifWorkload::generate(params);
+        let texts =
+            |txs: &[GeneratedTx]| -> Vec<String> { txs.iter().map(|t| t.ldif.clone()).collect() };
+        assert_eq!(texts(&a), texts(&b));
+        assert!(a.iter().any(|t| t.multi_subtree && t.expect_commit));
+        assert!(a.iter().any(|t| t.multi_subtree && !t.expect_commit));
+        assert!(a.iter().any(|t| !t.multi_subtree && t.expect_commit));
+        assert!(a.iter().any(|t| !t.multi_subtree && !t.expect_commit));
+        assert!(a.iter().any(|t| t.kind == "delete"));
+        for tx in &a {
+            assert_eq!(
+                spans_multiple_subtrees(&tx.ldif),
+                tx.multi_subtree,
+                "hint disagrees with text for {}:\n{}",
+                tx.kind,
+                tx.ldif
+            );
+        }
+    }
+}

@@ -21,11 +21,15 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod ldif_workload;
 pub mod org;
 pub mod schema_gen;
 pub mod tx_gen;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use ldif_workload::{
+    multi_org_base, spans_multiple_subtrees, GeneratedTx, LdifWorkload, LdifWorkloadParams,
+};
 pub use org::{OrgGenerator, OrgParams};
 pub use schema_gen::{SchemaGenerator, SchemaParams};
 pub use tx_gen::{TxGenerator, TxParams};

@@ -12,6 +12,10 @@
 //!    on immutable snapshots, so a reader sees the old or the new legal
 //!    directory, never a half-applied transaction. This holds even when a
 //!    fault plan panics a worker mid-request.
+//! 4. **Sharding is invisible to correctness** — on a `--shards N`
+//!    backend, racing single-shard and cross-shard transactions commit
+//!    or roll back atomically across every shard they touch, and the
+//!    fan-out merge a reader sees is always §3-legal.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -20,10 +24,12 @@ use std::time::Duration;
 
 use bschema_core::legality::LegalityChecker;
 use bschema_core::paper::{white_pages_instance, white_pages_schema};
+use bschema_core::sharded::shard_of_root_rdn;
 use bschema_core::ManagedDirectory;
-use bschema_directory::ldif;
+use bschema_directory::{ldif, Rdn};
 use bschema_faults::{silence_injected_panics, site_from_seed, FaultPlan};
 use bschema_server::{Client, DirectoryService, Server, ServerConfig, ServiceLimits};
+use bschema_workload::multi_org_base;
 
 fn white_pages_service() -> DirectoryService {
     let (dir, _) = white_pages_instance();
@@ -385,4 +391,206 @@ fn journal_restart_recovers_wire_commits() {
     client.shutdown_server().expect("shutdown");
     handle.wait();
     let _ = std::fs::remove_file(&path);
+}
+
+/// Number of generated organizations in the sharded loopback base.
+const SHARDED_ORGS: usize = 4;
+
+/// A legal person insertion directly under a generated org root.
+fn org_person_ldif(uid: &str, org: &str) -> String {
+    format!(
+        "dn: uid={uid},o={org}\n\
+         objectClass: person\nobjectClass: top\nuid: {uid}\nname: {uid} tester\n"
+    )
+}
+
+/// Invariant 4: 8 clients race single-shard and cross-shard transactions
+/// against a 4-shard backend while a live reader dumps the fan-out merge
+/// and checks §3 legality client-side. Then two deterministic same-RDN
+/// races: on a single shard (one winner, losers `invalid-tx`) and across
+/// shards (the loser's *other-shard* half must leave no residue — the
+/// 2-phase rollback observed over the wire).
+#[test]
+fn sharded_server_survives_racing_single_and_cross_shard_writers() {
+    const SHARDS: usize = 4;
+    let base = multi_org_base(SHARDED_ORGS, 12, 0xC0FFEE);
+    let service = DirectoryService::new_sharded(white_pages_schema(), base, SHARDS)
+        .expect("multi-org base is legal");
+    let handle =
+        Server::spawn(Arc::new(service), ServerConfig { threads: 4, ..ServerConfig::default() })
+            .expect("bind sharded loopback");
+    let addr = handle.addr();
+    assert_eq!(handle.service().shards(), SHARDS);
+    let initial_len = handle.service().len();
+
+    // Two org roots guaranteed to live on distinct shards, so the
+    // cross-shard bodies below really take the 2-phase path.
+    let shard_of = |name: &str| shard_of_root_rdn(&Rdn::single("o", name), SHARDS);
+    let org_a = "org0".to_string();
+    let org_b = (1..SHARDED_ORGS)
+        .map(|i| format!("org{i}"))
+        .find(|n| shard_of(n) != shard_of(&org_a))
+        .expect("four fixed org names cannot all hash to one of four shards here");
+
+    // Live reader: every dump that succeeds during the race is the
+    // fan-out merge of the per-shard snapshots — it must be loadable
+    // and legal at every instant, or a cross-shard commit was torn.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_stop = stop.clone();
+    let reader = thread::spawn(move || {
+        let schema = white_pages_schema();
+        let checker = LegalityChecker::new(&schema);
+        let mut dumps = 0usize;
+        while !reader_stop.load(Ordering::SeqCst) {
+            let Ok(mut client) = Client::connect(addr) else { continue };
+            if let Ok(text) = client.search(None, "sub", "(objectClass=top)", None) {
+                let mut dir = ldif::load(&text).expect("reader got unloadable LDIF");
+                dir.prepare();
+                let report = checker.check(&dir);
+                assert!(report.is_legal(), "reader saw an illegal merged instance:\n{report}");
+                dumps += 1;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        dumps
+    });
+
+    // 8 writers: evens insert single-org persons (single-shard route),
+    // odds insert pairs spanning both orgs (cross-shard 2-phase). Each
+    // also fires one nameless cross-shard body that must be rolled back
+    // on every shard it touched.
+    let mut writers = Vec::new();
+    for w in 0..8usize {
+        let (org_a, org_b) = (org_a.clone(), org_b.clone());
+        writers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            let mut inserted = 0usize;
+            for i in 0..6 {
+                if w % 2 == 0 {
+                    let org = if i % 2 == 0 { &org_a } else { &org_b };
+                    let receipt = client
+                        .apply_ldif(&org_person_ldif(&format!("w{w}s{i}"), org))
+                        .expect("single-shard insert commits");
+                    assert_eq!(receipt.ops, 1);
+                    assert_eq!(receipt.shards, 1, "single-subtree tx crossed shards");
+                    inserted += 1;
+                } else {
+                    let body = format!(
+                        "{}\n{}",
+                        org_person_ldif(&format!("w{w}x{i}a"), &org_a),
+                        org_person_ldif(&format!("w{w}x{i}b"), &org_b),
+                    );
+                    let receipt = client.apply_ldif(&body).expect("cross-shard insert commits");
+                    assert_eq!(receipt.ops, 2);
+                    assert_eq!(receipt.shards, 2, "pair must span exactly two shards");
+                    inserted += 2;
+                }
+            }
+            // A nameless person is content-illegal: the cross-shard body
+            // must report `rolled-back` and add nothing anywhere.
+            let bad = format!(
+                "dn: uid=bad{w},o={org_a}\n\
+                 objectClass: person\nobjectClass: top\nuid: bad{w}\n\n{}",
+                org_person_ldif(&format!("bad{w}b"), &org_b)
+            );
+            let err = client.apply_ldif(&bad).expect_err("illegal cross-shard tx refused");
+            assert_eq!(err.server_code(), Some("rolled-back"), "{err}");
+            client.unbind().expect("clean unbind");
+            inserted
+        }));
+    }
+    let mut expected_new = 0usize;
+    for t in writers {
+        expected_new += t.join().expect("writer thread");
+    }
+
+    // Same-RDN race on one shard: all four clients insert `uid=race` at
+    // the same DN. Exactly one commits; losers see `invalid-tx`.
+    let mut racers = Vec::new();
+    for _ in 0..4 {
+        let org_a = org_a.clone();
+        racers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("racer connects");
+            match client.apply_ldif(&org_person_ldif("race", &org_a)) {
+                Ok(receipt) => {
+                    assert_eq!(receipt.shards, 1);
+                    true
+                }
+                Err(e) => {
+                    assert_eq!(e.server_code(), Some("invalid-tx"), "{e}");
+                    false
+                }
+            }
+        }));
+    }
+    let single_winners =
+        racers.into_iter().map(|t| t.join().expect("racer")).filter(|&w| w).count();
+    assert_eq!(single_winners, 1, "single-shard RDN race must have exactly one winner");
+    expected_new += 1;
+
+    // Same-RDN race across shards: each client pairs the *conflicting*
+    // `uid=xrace` on org_a's shard with a *unique* person on org_b's
+    // shard. Exactly one pair commits; every loser's org_b half must
+    // have been rolled back on the non-conflicting shard too.
+    let mut racers = Vec::new();
+    for w in 0..4usize {
+        let (org_a, org_b) = (org_a.clone(), org_b.clone());
+        racers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("cross racer connects");
+            let body = format!(
+                "{}\n{}",
+                org_person_ldif("xrace", &org_a),
+                org_person_ldif(&format!("xr{w}"), &org_b),
+            );
+            match client.apply_ldif(&body) {
+                Ok(receipt) => {
+                    assert_eq!(receipt.shards, 2);
+                    Some(w)
+                }
+                Err(e) => {
+                    assert_eq!(e.server_code(), Some("invalid-tx"), "{e}");
+                    None
+                }
+            }
+        }));
+    }
+    let cross_winners: Vec<usize> =
+        racers.into_iter().filter_map(|t| t.join().expect("cross racer")).collect();
+    assert_eq!(cross_winners.len(), 1, "cross-shard RDN race must have exactly one winner");
+    expected_new += 2;
+
+    stop.store(true, Ordering::SeqCst);
+    let dumps = reader.join().expect("reader saw only legal merges");
+    assert!(dumps > 0, "the live reader never completed a dump");
+
+    // Final state over the wire: legal, exactly the winners present.
+    let final_len = assert_wire_instance_legal(addr);
+    assert_eq!(final_len, initial_len + expected_new, "exactly the committed entries persist");
+    let mut client = Client::connect(addr).expect("final check client");
+    let count = |client: &mut Client, filter: &str| {
+        let text = client.search(None, "sub", filter, None).expect("final lookup");
+        ldif::load(&text).expect("loadable").len()
+    };
+    assert_eq!(count(&mut client, "(uid=race)"), 1, "uid=race must exist exactly once");
+    assert_eq!(count(&mut client, "(uid=xrace)"), 1, "uid=xrace must exist exactly once");
+    for w in 0..4usize {
+        let present = count(&mut client, &format!("(uid=xr{w})"));
+        let want = usize::from(cross_winners.contains(&w));
+        assert_eq!(
+            present, want,
+            "cross-race half uid=xr{w}: loser halves must be rolled back off org_b's shard"
+        );
+    }
+    assert_eq!(count(&mut client, "(uid=bad0)"), 0, "rolled-back tx left residue");
+    // Base-scoped search routes to org_b's shard alone and still sees
+    // every committed entry under that root.
+    let scoped = client
+        .search(Some(&format!("o={org_b}")), "sub", "(objectClass=person)", None)
+        .expect("base-scoped search");
+    assert!(
+        ldif::load(&scoped).expect("loadable").len() >= 6,
+        "base-scoped search missed committed entries under o={org_b}"
+    );
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
 }
