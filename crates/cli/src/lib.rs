@@ -50,12 +50,15 @@ use bschema_core::updates::{transaction_from_ldif, Transaction};
 use bschema_directory::ldif::LdifLimits;
 use bschema_directory::{ldif, DirectoryInstance};
 use bschema_faults::{silence_injected_panics, FaultPlan};
-use bschema_obs::{FlightRecorder, Probe, Recorder};
+use bschema_obs::{json::Value, FlightRecorder, Probe, Recorder, SloPolicy};
 use bschema_query::{
     explain, parse_filter_limited, search, EvalContext, SearchRequest, SearchScope,
     DEFAULT_FILTER_DEPTH,
 };
-use bschema_server::{Client, ClientError, DirectoryService, Server, ServerConfig, ServiceLimits};
+use bschema_server::{
+    Client, ClientError, DirectoryService, Monitor, MonitorConfig, Server, ServerConfig,
+    ServiceLimits,
+};
 
 /// A CLI failure: message plus process exit code.
 #[derive(Debug)]
@@ -98,6 +101,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
         "suggest-schema" => cmd_suggest(&args[1..], out),
         "serve" => cmd_serve(&args[1..], out),
         "client" => cmd_client(&args[1..], out),
+        "top" => cmd_top(&args[1..], out),
         "help" | "--help" | "-h" => {
             out.push_str(USAGE);
             Ok(0)
@@ -128,12 +132,15 @@ usage:
   bschema serve <schema.bs> [data.ldif] [--addr <ip:port>] [--port-file <path>]
           [--threads <n>] [--queue-depth <n>] [--shards <n>] [--journal <path>]
           [--sequential] [--trace] [--metrics[=json]]
+          [--monitor-interval <ms>] [--slo p99=<dur>,err=<rate>] [--audit <path>]
           [--inject-fault-site <site>[:<occurrence>]]
   bschema client <addr> ping
   bschema client <addr> search --filter <rfc2254> [--base <dn>] [--scope base|one|sub] [--limit <n>] [--explain]
   bschema client <addr> apply <tx.ldif>
   bschema client <addr> modify <mods.txt>
-  bschema client <addr> metrics | stats | trace | shutdown
+  bschema client <addr> metrics | prom | stats | trace | health | shutdown
+  bschema client <addr> watch [--ticks <n>]
+  bschema top <addr> [--once] [--ticks <n>]
 
 input limits (check, validate, apply, search, serve):
   --max-line-len <bytes>  --max-records <n>  --max-filter-depth <n>
@@ -896,6 +903,9 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut queue_depth = 64usize;
     let mut shards = 1usize;
     let mut journal_path: Option<&str> = None;
+    let mut monitor_interval_ms: Option<u64> = None;
+    let mut slo_spec: Option<&str> = None;
+    let mut audit_path: Option<&str> = None;
     let mut inject_site: Option<(String, u64)> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
@@ -917,6 +927,15 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
             }
             "--shards" => shards = parse_num("--shards", next_value(&mut it, "--shards")?)?,
             "--journal" => journal_path = Some(next_value(&mut it, "--journal")?),
+            "--monitor-interval" => {
+                let word = next_value(&mut it, "--monitor-interval")?;
+                let ms = word.parse::<u64>().map_err(|_| {
+                    usage_error(format!("--monitor-interval needs milliseconds, got {word:?}"))
+                })?;
+                monitor_interval_ms = Some(ms.max(10));
+            }
+            "--slo" => slo_spec = Some(next_value(&mut it, "--slo")?),
+            "--audit" => audit_path = Some(next_value(&mut it, "--audit")?),
             "--inject-fault-site" => {
                 let word = next_value(&mut it, "--inject-fault-site")?;
                 let (site, occurrence) = match word.rsplit_once(':') {
@@ -984,6 +1003,25 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     if let Some(flight) = &flight {
         service = service.with_flight_recorder(flight.clone());
     }
+    // `--monitor-interval` / `--slo` switch on the health plane: a
+    // sampler thread ticks the registry into a ring (`HEALTH`, `WATCH`,
+    // `bschema top`), and with an SLO attached each tick folds the
+    // window into an error-budget burn rate with edge-triggered alerts.
+    if monitor_interval_ms.is_some() || slo_spec.is_some() {
+        let slo = slo_spec
+            .map(SloPolicy::parse)
+            .transpose()
+            .map_err(|e| usage_error(format!("--slo: {e}")))?;
+        let monitor = Arc::new(Monitor::new(MonitorConfig {
+            interval: std::time::Duration::from_millis(monitor_interval_ms.unwrap_or(1000)),
+            slo,
+            audit_path: audit_path.map(std::path::PathBuf::from),
+            ..MonitorConfig::default()
+        }));
+        service = service.with_monitor(monitor);
+    } else if audit_path.is_some() {
+        return Err(usage_error("--audit needs --monitor-interval or --slo"));
+    }
     if let Some(path) = journal_path {
         let (recovered, replayed) = service
             .with_journal(path)
@@ -1026,7 +1064,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
 fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let [addr, action, rest @ ..] = args else {
         return Err(usage_error(
-            "client takes <addr> ping|search|apply|modify|metrics|stats|trace|shutdown [args]",
+            "client takes <addr> ping|search|apply|modify|metrics|prom|stats|trace|health|watch|shutdown [args]",
         ));
     };
     let connect_error =
@@ -1132,6 +1170,51 @@ fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
             let _ = writeln!(out, "{json}");
             Ok(0)
         }
+        "prom" => {
+            let text = client.metrics_prom().map_err(connect_error)?;
+            out.push_str(&text);
+            Ok(0)
+        }
+        "health" => match client.health_json() {
+            Ok(json) => {
+                let _ = writeln!(out, "{json}");
+                Ok(0)
+            }
+            Err(ClientError::Server { code, detail }) => {
+                let _ = writeln!(out, "REFUSED ({code}): {detail}");
+                Ok(1)
+            }
+            Err(e) => Err(connect_error(e)),
+        },
+        "watch" => {
+            let mut ticks = 5u64;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--ticks" => {
+                        let word = next_value(&mut it, "--ticks")?;
+                        ticks = word.parse().map_err(|_| {
+                            usage_error(format!("--ticks needs a number, got {word:?}"))
+                        })?;
+                    }
+                    other => return Err(usage_error(format!("unknown option {other:?}"))),
+                }
+            }
+            match client.watch(ticks, |seq, json| {
+                println!("TICK {seq} {json}");
+                true
+            }) {
+                Ok(streamed) => {
+                    let _ = writeln!(out, "watch: {streamed} tick(s)");
+                    Ok(0)
+                }
+                Err(ClientError::Server { code, detail }) => {
+                    let _ = writeln!(out, "REFUSED ({code}): {detail}");
+                    Ok(1)
+                }
+                Err(e) => Err(connect_error(e)),
+            }
+        }
         "stats" => match client.stats_json() {
             Ok(json) => {
                 let _ = writeln!(out, "{json}");
@@ -1161,6 +1244,208 @@ fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
         }
         other => Err(usage_error(format!("unknown client action {other:?}"))),
     }
+}
+
+/// `bschema top <addr> [--once] [--ticks <n>]` — the operator view: a
+/// `HEALTH` header (verdict, window, per-shard signals) followed by a
+/// live per-verb latency table fed from the server's `WATCH` stream.
+/// `--once` renders a single tick into the buffered output for
+/// scripting; live mode prints each tick as it lands.
+fn cmd_top(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let [addr, rest @ ..] = args else {
+        return Err(usage_error("top takes <addr> [--once] [--ticks <n>]"));
+    };
+    let mut once = false;
+    let mut ticks: Option<u64> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--ticks" => {
+                let word = next_value(&mut it, "--ticks")?;
+                ticks =
+                    Some(word.parse().map_err(|_| {
+                        usage_error(format!("--ticks needs a number, got {word:?}"))
+                    })?);
+            }
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let want = ticks.unwrap_or(if once { 1 } else { 30 }).max(1);
+    let connect_error =
+        |e: ClientError| usage_error(format!("cannot talk to server at {addr}: {e}"));
+    let mut client = Client::connect(addr.as_str()).map_err(connect_error)?.with_trace_label("top");
+    let health = match client.health_json() {
+        Ok(json) => json,
+        Err(ClientError::Server { code, detail }) => {
+            let _ = writeln!(out, "REFUSED ({code}): {detail}");
+            return Ok(1);
+        }
+        Err(e) => return Err(connect_error(e)),
+    };
+    let header = render_health(&health);
+    if once {
+        out.push_str(&header);
+    } else {
+        print!("{header}");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+    }
+    let mut rendered = String::new();
+    let streamed = match client.watch(want, |seq, json| {
+        let frame = render_tick(seq, json);
+        if once {
+            rendered.push_str(&frame);
+        } else {
+            print!("{frame}");
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+        }
+        true
+    }) {
+        Ok(streamed) => streamed,
+        Err(ClientError::Server { code, detail }) => {
+            let _ = writeln!(out, "REFUSED ({code}): {detail}");
+            return Ok(1);
+        }
+        Err(e) => return Err(connect_error(e)),
+    };
+    out.push_str(&rendered);
+    let _ = writeln!(out, "top: {streamed} tick(s)");
+    Ok(0)
+}
+
+/// A number already validated as JSON: integral values print without
+/// the trailing `.000000` the wire format carries for rates.
+fn fmt_top_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders a `HEALTH` snapshot as the `top` header. Falls back to the
+/// raw JSON if the payload does not parse (older server, truncation).
+fn render_health(json: &str) -> String {
+    let Some(v) = Value::parse(json) else {
+        return format!("{json}\n");
+    };
+    let mut s = String::new();
+    let verdict = v.get("verdict").and_then(Value::as_str).unwrap_or("?");
+    let shards = v.get("shards_total").and_then(Value::as_u64).unwrap_or(0);
+    let ticks = v.get("ticks").and_then(Value::as_u64).unwrap_or(0);
+    let _ = writeln!(
+        s,
+        "health: {} ({shards} shard(s), {ticks} tick(s) retained)",
+        verdict.to_uppercase()
+    );
+    let requests = v.path("window.requests").and_then(Value::as_u64).unwrap_or(0);
+    let req_per_s = v.path("window.req_per_s").and_then(Value::as_f64).unwrap_or(0.0);
+    let p99 = v.path("window.p99_us").and_then(Value::as_u64).unwrap_or(0);
+    let err = v.path("window.err_rate").and_then(Value::as_f64).unwrap_or(0.0);
+    let _ = writeln!(
+        s,
+        "window: {requests} request(s) ({}/s), p99 {p99}us, err-rate {}",
+        fmt_top_num(req_per_s),
+        fmt_top_num(err),
+    );
+    if let Some(burn) = v.path("slo.burn").and_then(Value::as_f64) {
+        let alerts = v.path("slo.alerts").and_then(Value::as_u64).unwrap_or(0);
+        let _ = writeln!(s, "slo: burn {} ({alerts} alert(s) fired)", fmt_top_num(burn));
+    }
+    if let Some(fit) = v.get("fitness") {
+        let legal = fit.get("legal_rate").and_then(Value::as_f64).unwrap_or(1.0);
+        let committed = fit.get("committed").and_then(Value::as_u64).unwrap_or(0);
+        let _ = writeln!(s, "fitness: legal-rate {} ({committed} committed)", fmt_top_num(legal));
+    }
+    if let Some(signals) = v.get("signals").and_then(Value::items) {
+        let _ = writeln!(
+            s,
+            "{:<18} {:>12} {:>12} {:>12} {:>6}",
+            "signal", "value", "warn", "crit", "status"
+        );
+        for sig in signals {
+            let name = sig.get("name").and_then(Value::as_str).unwrap_or("?");
+            let value = sig.get("value").and_then(Value::as_f64).unwrap_or(0.0);
+            let warn = sig.get("warn").and_then(Value::as_f64).unwrap_or(0.0);
+            let crit = sig.get("crit").and_then(Value::as_f64).unwrap_or(0.0);
+            let status = sig.get("status").and_then(Value::as_str).unwrap_or("?");
+            let _ = writeln!(
+                s,
+                "{name:<18} {:>12} {:>12} {:>12} {status:>6}",
+                fmt_top_num(value),
+                fmt_top_num(warn),
+                fmt_top_num(crit),
+            );
+        }
+    }
+    if let Some(shards) = v.get("shards").and_then(Value::items) {
+        for shard in shards {
+            let k = shard.get("shard").and_then(Value::as_u64).unwrap_or(0);
+            let status = shard.get("status").and_then(Value::as_str).unwrap_or("?");
+            let mut parts = Vec::new();
+            if let Some(signals) = shard.get("signals").and_then(Value::items) {
+                for sig in signals {
+                    let name = sig.get("name").and_then(Value::as_str).unwrap_or("?");
+                    let value = sig.get("value").and_then(Value::as_f64).unwrap_or(0.0);
+                    parts.push(format!("{name}={}", fmt_top_num(value)));
+                }
+            }
+            let _ = writeln!(s, "shard {k} [{status}] {}", parts.join(" "));
+        }
+    }
+    s
+}
+
+/// Renders one `WATCH` tick: the burn line plus a per-verb latency
+/// table and per-shard 2PC counters from the tick's metric delta.
+fn render_tick(seq: u64, json: &str) -> String {
+    let Some(v) = Value::parse(json) else {
+        return format!("TICK {seq} {json}\n");
+    };
+    let mut s = String::new();
+    let burn = v.get("burn").and_then(Value::as_f64).unwrap_or(0.0);
+    let alerts = v.get("alerts").and_then(Value::as_u64).unwrap_or(0);
+    let dur = v.get("dur_us").and_then(Value::as_u64).unwrap_or(0);
+    let _ =
+        writeln!(s, "tick {seq}: interval {dur}us, burn {}, {alerts} alert(s)", fmt_top_num(burn));
+    let mut verb_rows = Vec::new();
+    if let Some(hists) = v.path("delta.histograms").and_then(Value::entries) {
+        for (name, h) in hists {
+            if let Some(verb) = name.strip_prefix("server.request_us.") {
+                let count = h.get("count").and_then(Value::as_u64).unwrap_or(0);
+                let p50 = h.get("p50").and_then(Value::as_u64).unwrap_or(0);
+                let p99 = h.get("p99").and_then(Value::as_u64).unwrap_or(0);
+                let max = h.get("max").and_then(Value::as_u64).unwrap_or(0);
+                verb_rows.push(format!("  {verb:<10} {count:>8} {p50:>10} {p99:>10} {max:>10}"));
+            }
+        }
+    }
+    if !verb_rows.is_empty() {
+        let _ = writeln!(
+            s,
+            "  {:<10} {:>8} {:>10} {:>10} {:>10}",
+            "verb", "count", "p50_us", "p99_us", "max_us"
+        );
+        for row in verb_rows {
+            let _ = writeln!(s, "{row}");
+        }
+    }
+    let mut shard_2pc: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    if let Some(counters) = v.path("delta.counters").and_then(Value::entries) {
+        for (name, value) in counters {
+            let n = value.as_u64().unwrap_or(0);
+            if let Some(k) = name.strip_prefix("sharded.prepare.shard") {
+                shard_2pc.entry(k.to_owned()).or_default().0 += n;
+            } else if let Some(k) = name.strip_prefix("sharded.commit.shard") {
+                shard_2pc.entry(k.to_owned()).or_default().1 += n;
+            }
+        }
+    }
+    for (k, (prepares, commits)) in &shard_2pc {
+        let _ = writeln!(s, "  shard {k}: prepares={prepares} commits={commits}");
+    }
+    s
 }
 
 #[cfg(test)]
@@ -1660,6 +1945,114 @@ name: a
         assert_eq!(code, 0);
         let (code, out) = server.join().unwrap();
         assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn monitored_serve_answers_health_prom_watch_and_top() {
+        let schema = write_tmp("s22.bs", SCHEMA);
+        let data = write_tmp("d22.ldif", LDIF);
+        let port_file = write_tmp("p22.port", "");
+        std::fs::remove_file(&port_file).unwrap();
+
+        let server = {
+            let schema = schema.clone();
+            let data = data.clone();
+            let port_file = port_file.clone();
+            std::thread::spawn(move || {
+                run_ok(&[
+                    "serve",
+                    &schema,
+                    &data,
+                    "--trace",
+                    "--port-file",
+                    &port_file,
+                    "--monitor-interval",
+                    "25",
+                    "--slo",
+                    "p99=50ms,err=50%",
+                ])
+            })
+        };
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        // Traffic so the evaluation window has something to say.
+        for _ in 0..3 {
+            let (code, _) = run_ok(&["client", &addr, "ping"]);
+            assert_eq!(code, 0);
+        }
+
+        let (code, out) = run_ok(&["client", &addr, "health"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(bschema_obs::json::is_valid(out.trim()), "{out}");
+        assert!(out.contains("\"verdict\""), "{out}");
+        assert!(out.contains("\"slo\":{\"policy\""), "{out}");
+
+        let (code, out) = run_ok(&["client", &addr, "prom"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("# TYPE"), "{out}");
+        assert!(out.contains("bschema_server_request"), "{out}");
+
+        // WATCH streams the asked-for number of ticks, then ends.
+        let (code, out) = run_ok(&["client", &addr, "watch", "--ticks", "2"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("watch: 2 tick(s)"), "{out}");
+
+        // `top --once` renders the health header plus one tick.
+        let (code, out) = run_ok(&["top", &addr, "--once"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("health: "), "{out}");
+        assert!(out.contains("slo: burn "), "{out}");
+        assert!(out.contains("request_p99_us"), "{out}");
+        assert!(out.contains("top: 1 tick(s)"), "{out}");
+
+        let (code, _) = run_ok(&["client", &addr, "shutdown"]);
+        assert_eq!(code, 0);
+        let (code, out) = server.join().unwrap();
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn top_without_monitor_is_refused() {
+        let schema = write_tmp("s23.bs", SCHEMA);
+        let data = write_tmp("d23.ldif", LDIF);
+        let port_file = write_tmp("p23.port", "");
+        std::fs::remove_file(&port_file).unwrap();
+
+        let server = {
+            let schema = schema.clone();
+            let data = data.clone();
+            let port_file = port_file.clone();
+            std::thread::spawn(move || {
+                run_ok(&["serve", &schema, &data, "--port-file", &port_file])
+            })
+        };
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let (code, out) = run_ok(&["top", &addr, "--once"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("REFUSED (unsupported)"), "{out}");
+
+        let (code, out) = run_ok(&["client", &addr, "health"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("REFUSED (unsupported)"), "{out}");
+
+        let (code, _) = run_ok(&["client", &addr, "shutdown"]);
+        assert_eq!(code, 0);
+        server.join().unwrap();
     }
 
     #[test]

@@ -410,6 +410,9 @@ pub struct JournalWriter {
     /// Shard qualifier written into every record DN
     /// (`op=<seq>,shard=<k>,cn=journal`).
     shard: Option<usize>,
+    /// Record text bytes built since this writer was constructed —
+    /// excludes any replayed history a resumed writer appends after.
+    bytes: u64,
 }
 
 impl JournalWriter {
@@ -426,6 +429,7 @@ impl JournalWriter {
             next_tx: journal.next_tx,
             pending: String::new(),
             shard: journal.shard.map(|k| k as usize),
+            bytes: 0,
         }
     }
 
@@ -458,6 +462,7 @@ impl JournalWriter {
         record.pop();
         let _ = writeln!(record, "jrndone: {seq}");
         record.push('\n');
+        self.bytes = self.bytes.saturating_add(record.len() as u64);
         self.pending.push_str(&record);
     }
 
@@ -522,6 +527,21 @@ impl JournalWriter {
     /// Whether there is un-drained record text.
     pub fn has_pending(&self) -> bool {
         !self.pending.is_empty()
+    }
+
+    /// Total journal records ever numbered through this writer's
+    /// sequence — for a resumed writer this includes the replayed
+    /// history it continues after, so it measures the *journal's*
+    /// length, not this process's contribution.
+    pub fn records_emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// Record text bytes built by *this* writer (since construction /
+    /// resume) — the growth a health check should compare against a
+    /// repair threshold.
+    pub fn bytes_emitted(&self) -> u64 {
+        self.bytes
     }
 }
 
@@ -795,7 +815,8 @@ mod tests {
         let mut text = a.take_pending();
         // A record from another shard's writer, with the right sequence
         // number, is still rejected.
-        let mut b = JournalWriter { seq: 3, next_tx: 1, pending: String::new(), shard: Some(1) };
+        let mut b =
+            JournalWriter { seq: 3, next_tx: 1, pending: String::new(), shard: Some(1), bytes: 0 };
         let id = b.begin(&tx);
         b.commit(id);
         text.push_str(&b.take_pending());

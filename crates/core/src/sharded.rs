@@ -472,6 +472,25 @@ impl ShardedDirectory {
         self.lock_slot(k).managed.instance().clone()
     }
 
+    /// Entry count of shard `k` alone.
+    pub fn shard_len(&self, k: usize) -> usize {
+        self.lock_slot(k).managed.len()
+    }
+
+    /// Shard `k`'s journal growth: `(records_emitted, bytes_emitted)`
+    /// from its [`JournalWriter`] — the per-shard signals a health
+    /// check compares against repair/compaction thresholds.
+    pub fn journal_stats(&self, k: usize) -> (u64, u64) {
+        let slot = self.lock_slot(k);
+        (slot.journal.records_emitted(), slot.journal.bytes_emitted())
+    }
+
+    /// A snapshot of the `◇c` ledger: committed entry count per
+    /// required class. Empty when the schema has no `Cr`.
+    pub fn ledger(&self) -> BTreeMap<String, i64> {
+        self.counts.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
     /// The canonical merge of all shards (see [`canonical_merge`]),
     /// taken under a consistent cut (all shard locks held).
     pub fn merged_instance(&self) -> Result<DirectoryInstance, ManagedError> {

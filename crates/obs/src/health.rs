@@ -1,0 +1,440 @@
+//! The health model: per-signal thresholds, per-shard signal groups, a
+//! single aggregated verdict, and SLO burn-rate tracking.
+//!
+//! The paper gives the directory a *correctness* criterion (§3
+//! legality); this module gives the running service an *operability*
+//! one. Signals are plain `(name, value, thresholds)` triples — the
+//! server decides what to measure (journal growth, snapshot age, ◇c
+//! ledger occupancy, 2PC rates, queue depth), this module decides how
+//! to judge and render it, so the model is testable without a socket in
+//! sight. The verdict is the worst status any signal reports.
+//!
+//! [`SloPolicy`] adds service-level objectives on top: a latency target
+//! (p99) and an error budget (error rate). The burn rate is the ratio
+//! of observed to budgeted; ≥ 1.0 means the budget is burning faster
+//! than allowed, and [`AlertState`] edge-triggers exactly one alert per
+//! excursion — fire on crossing into burn, clear on crossing back.
+
+use crate::json;
+
+/// A signal's judgement, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    /// Within thresholds.
+    Ok,
+    /// Past the warn threshold.
+    Warn,
+    /// Past the crit threshold.
+    Crit,
+}
+
+impl HealthStatus {
+    /// The stable wire spelling (`ok`/`warn`/`crit`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Warn => "warn",
+            HealthStatus::Crit => "crit",
+        }
+    }
+}
+
+/// Which direction of a signal is unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Big values are bad (queue depth, latency, journal growth).
+    HighBad,
+    /// Small values are bad (◇c ledger occupancy).
+    LowBad,
+}
+
+/// One measured health signal with its thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signal {
+    /// Stable signal name (the pinned `HEALTH` vocabulary).
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Threshold for [`HealthStatus::Warn`].
+    pub warn: f64,
+    /// Threshold for [`HealthStatus::Crit`].
+    pub crit: f64,
+    /// Which side of the thresholds is unhealthy.
+    pub sense: Sense,
+}
+
+impl Signal {
+    /// A high-is-bad signal (the common case).
+    pub fn high_bad(name: impl Into<String>, value: f64, warn: f64, crit: f64) -> Self {
+        Signal { name: name.into(), value, warn, crit, sense: Sense::HighBad }
+    }
+
+    /// A low-is-bad signal.
+    pub fn low_bad(name: impl Into<String>, value: f64, warn: f64, crit: f64) -> Self {
+        Signal { name: name.into(), value, warn, crit, sense: Sense::LowBad }
+    }
+
+    /// Judges the value against the thresholds.
+    pub fn status(&self) -> HealthStatus {
+        match self.sense {
+            Sense::HighBad if self.value >= self.crit => HealthStatus::Crit,
+            Sense::HighBad if self.value >= self.warn => HealthStatus::Warn,
+            Sense::LowBad if self.value <= self.crit => HealthStatus::Crit,
+            Sense::LowBad if self.value <= self.warn => HealthStatus::Warn,
+            _ => HealthStatus::Ok,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"value\":{},\"warn\":{},\"crit\":{},\"status\":{}}}",
+            json::escape(&self.name),
+            fmt_f64(self.value),
+            fmt_f64(self.warn),
+            fmt_f64(self.crit),
+            json::escape(self.status().as_str()),
+        )
+    }
+}
+
+/// Renders an `f64` as JSON: integral values without the fraction, the
+/// rest with enough digits to round-trip sensibly. Never `NaN`/`inf`
+/// (clamped to 0 / a large sentinel) — the exposition must stay valid
+/// JSON whatever the arithmetic did.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        return "0".to_owned();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "1e308".to_owned() } else { "-1e308".to_owned() };
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// One shard's signal group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// The shard's signals.
+    pub signals: Vec<Signal>,
+}
+
+impl ShardHealth {
+    /// The worst status among this shard's signals.
+    pub fn status(&self) -> HealthStatus {
+        self.signals.iter().map(Signal::status).max().unwrap_or(HealthStatus::Ok)
+    }
+
+    fn to_json(&self) -> String {
+        let signals: Vec<String> = self.signals.iter().map(Signal::to_json).collect();
+        format!(
+            "{{\"shard\":{},\"status\":{},\"signals\":[{}]}}",
+            self.shard,
+            json::escape(self.status().as_str()),
+            signals.join(","),
+        )
+    }
+}
+
+/// The full health report: global signals, per-shard signal groups, and
+/// caller-rendered extra sections (fitness gauge, SLO state, ledger)
+/// spliced in verbatim.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Service-wide signals (queue depth, request p99, error rate, …).
+    pub global: Vec<Signal>,
+    /// Per-shard signal groups, in shard order.
+    pub shards: Vec<ShardHealth>,
+    /// Extra `"key":<json>` sections, pre-rendered by the caller. The
+    /// value must be one valid JSON value.
+    pub sections: Vec<(String, String)>,
+}
+
+impl HealthReport {
+    /// The worst status across every signal in the report.
+    pub fn verdict(&self) -> HealthStatus {
+        self.global
+            .iter()
+            .map(Signal::status)
+            .chain(self.shards.iter().map(ShardHealth::status))
+            .max()
+            .unwrap_or(HealthStatus::Ok)
+    }
+
+    /// Renders the whole report as one JSON object:
+    /// `{"verdict":..,<sections..>,"signals":[..],"shards":[..]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"verdict\":{}", json::escape(self.verdict().as_str()));
+        for (key, value) in &self.sections {
+            out.push_str(&format!(",{}:{value}", json::escape(key)));
+        }
+        let global: Vec<String> = self.global.iter().map(Signal::to_json).collect();
+        out.push_str(&format!(",\"signals\":[{}]", global.join(",")));
+        let shards: Vec<String> = self.shards.iter().map(ShardHealth::to_json).collect();
+        out.push_str(&format!(",\"shards\":[{}]}}", shards.join(",")));
+        out
+    }
+}
+
+/// A service-level objective: a p99 latency target and/or an error-rate
+/// budget, parsed from the `serve --slo` spec.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloPolicy {
+    /// Target p99 request latency in microseconds.
+    pub p99_us: Option<u64>,
+    /// Budgeted error rate (errors / requests, `0.0..=1.0`).
+    pub err_rate: Option<f64>,
+}
+
+impl SloPolicy {
+    /// Parses `p99=<duration>,err=<rate>` (either part optional, at
+    /// least one required). Durations accept `us`/`ms`/`s` suffixes
+    /// (bare numbers are µs); rates accept `0.01` or `1%`.
+    pub fn parse(spec: &str) -> Result<SloPolicy, String> {
+        let mut policy = SloPolicy::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) =
+                part.split_once('=').ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            match key.trim() {
+                "p99" => policy.p99_us = Some(parse_duration_us(value.trim())?),
+                "err" => policy.err_rate = Some(parse_rate(value.trim())?),
+                other => return Err(format!("unknown SLO key {other:?} (use p99=.., err=..)")),
+            }
+        }
+        if policy.p99_us.is_none() && policy.err_rate.is_none() {
+            return Err(format!("empty SLO spec {spec:?} (use p99=5ms,err=0.01)"));
+        }
+        Ok(policy)
+    }
+
+    /// The burn rate of the window `(p99_us, err_rate, requests)`
+    /// against this policy: observed/budgeted, the worst over the
+    /// configured objectives. 0.0 for an idle window (nothing observed,
+    /// nothing burned).
+    pub fn burn(&self, window_p99_us: u64, window_err_rate: f64, requests: u64) -> f64 {
+        if requests == 0 {
+            return 0.0;
+        }
+        let mut burn = 0.0f64;
+        if let Some(target) = self.p99_us {
+            if target > 0 {
+                burn = burn.max(window_p99_us as f64 / target as f64);
+            }
+        }
+        if let Some(budget) = self.err_rate {
+            if budget > 0.0 {
+                burn = burn.max(window_err_rate / budget);
+            } else if window_err_rate > 0.0 {
+                // Zero budget: any error is an immediate full burn.
+                burn = burn.max(f64::INFINITY);
+            }
+        }
+        burn
+    }
+
+    /// Renders the policy as JSON (`null`-free; absent objectives are
+    /// omitted).
+    pub fn to_json(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(p99) = self.p99_us {
+            parts.push(format!("\"p99_us\":{p99}"));
+        }
+        if let Some(err) = self.err_rate {
+            parts.push(format!("\"err_rate\":{}", fmt_f64(err)));
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn parse_duration_us(s: &str) -> Result<u64, String> {
+    let (digits, scale) = if let Some(d) = s.strip_suffix("us") {
+        (d, 1)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        (s, 1)
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .map(|n| n.saturating_mul(scale))
+        .map_err(|_| format!("bad duration {s:?} (use e.g. 5ms, 1500us, 2s)"))
+}
+
+fn parse_rate(s: &str) -> Result<f64, String> {
+    let (digits, scale) = match s.strip_suffix('%') {
+        Some(d) => (d, 0.01),
+        None => (s, 1.0),
+    };
+    let rate = digits
+        .trim()
+        .parse::<f64>()
+        .map_err(|_| format!("bad rate {s:?} (use e.g. 0.01 or 1%)"))?
+        * scale;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("rate {s:?} out of range 0..=1"));
+    }
+    Ok(rate)
+}
+
+/// What [`AlertState::observe`] reports about a burn-rate transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertEdge {
+    /// The burn rate just crossed ≥ 1.0: raise the alert (once).
+    Fired,
+    /// The burn rate just dropped back below 1.0: the excursion ended.
+    Cleared,
+}
+
+/// Edge-triggered alert latch: one `Fired` per excursion above the
+/// budget, one `Cleared` when it ends — never a alert storm of one
+/// event per burning tick.
+#[derive(Debug, Default)]
+pub struct AlertState {
+    burning: bool,
+    fired: u64,
+}
+
+impl AlertState {
+    /// A quiet latch.
+    pub fn new() -> Self {
+        AlertState::default()
+    }
+
+    /// Feeds one window's burn rate; returns the edge, if this tick is
+    /// one.
+    pub fn observe(&mut self, burn: f64) -> Option<AlertEdge> {
+        let burning = burn >= 1.0;
+        match (self.burning, burning) {
+            (false, true) => {
+                self.burning = true;
+                self.fired += 1;
+                Some(AlertEdge::Fired)
+            }
+            (true, false) => {
+                self.burning = false;
+                Some(AlertEdge::Cleared)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the latch currently considers the budget burning.
+    pub fn is_burning(&self) -> bool {
+        self.burning
+    }
+
+    /// Total `Fired` edges over the latch's lifetime.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_thresholds_respect_sense() {
+        let queue = Signal::high_bad("queue_depth_max", 10.0, 32.0, 56.0);
+        assert_eq!(queue.status(), HealthStatus::Ok);
+        assert_eq!(Signal::high_bad("q", 32.0, 32.0, 56.0).status(), HealthStatus::Warn);
+        assert_eq!(Signal::high_bad("q", 99.0, 32.0, 56.0).status(), HealthStatus::Crit);
+        // Low-is-bad: the ◇c ledger shape.
+        assert_eq!(Signal::low_bad("ledger_min", 5.0, 1.0, 0.0).status(), HealthStatus::Ok);
+        assert_eq!(Signal::low_bad("ledger_min", 1.0, 1.0, 0.0).status(), HealthStatus::Warn);
+        assert_eq!(Signal::low_bad("ledger_min", 0.0, 1.0, 0.0).status(), HealthStatus::Crit);
+    }
+
+    #[test]
+    fn report_verdict_is_worst_and_json_is_valid() {
+        let mut report = HealthReport {
+            global: vec![Signal::high_bad("err_rate", 0.0, 0.01, 0.05)],
+            shards: vec![
+                ShardHealth {
+                    shard: 0,
+                    signals: vec![Signal::high_bad("journal_bytes", 10.0, 1e6, 64e6)],
+                },
+                ShardHealth {
+                    shard: 1,
+                    signals: vec![Signal::high_bad("journal_bytes", 2e6, 1e6, 64e6)],
+                },
+            ],
+            sections: vec![("fitness".to_owned(), "{\"committed\":4}".to_owned())],
+        };
+        assert_eq!(report.verdict(), HealthStatus::Warn, "shard 1 warns");
+        let json = report.to_json();
+        assert!(crate::json::is_valid(&json), "{json}");
+        let v = crate::json::Value::parse(&json).unwrap();
+        assert_eq!(v.get("verdict").unwrap().as_str(), Some("warn"));
+        assert_eq!(v.path("fitness.committed").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("shards").unwrap().items().unwrap().len(), 2);
+        assert_eq!(
+            v.get("shards").unwrap().idx(1).unwrap().get("status").unwrap().as_str(),
+            Some("warn")
+        );
+        // Escalate a global signal to crit: the verdict follows.
+        report.global.push(Signal::high_bad("burn", 3.0, 0.5, 1.0));
+        assert_eq!(report.verdict(), HealthStatus::Crit);
+        // An empty report is healthy by definition.
+        assert_eq!(HealthReport::default().verdict(), HealthStatus::Ok);
+        assert!(crate::json::is_valid(&HealthReport::default().to_json()));
+    }
+
+    #[test]
+    fn slo_spec_parses_and_rejects() {
+        let slo = SloPolicy::parse("p99=5ms,err=0.01").unwrap();
+        assert_eq!(slo.p99_us, Some(5_000));
+        assert_eq!(slo.err_rate, Some(0.01));
+        assert_eq!(SloPolicy::parse("p99=1500us").unwrap().p99_us, Some(1_500));
+        assert_eq!(SloPolicy::parse("p99=2s").unwrap().p99_us, Some(2_000_000));
+        assert_eq!(SloPolicy::parse("p99=750").unwrap().p99_us, Some(750));
+        assert_eq!(SloPolicy::parse("err=1%").unwrap().err_rate, Some(0.01));
+        for bad in ["", "p99=", "p99=fast", "err=2.0", "err=-1", "nope=1", "p99"] {
+            assert!(SloPolicy::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+        assert!(crate::json::is_valid(&slo.to_json()));
+    }
+
+    #[test]
+    fn burn_rate_is_observed_over_budgeted() {
+        let slo = SloPolicy::parse("p99=1ms,err=0.1").unwrap();
+        // Idle window burns nothing.
+        assert_eq!(slo.burn(0, 0.0, 0), 0.0);
+        // Healthy: p99 at half target, no errors.
+        assert!(slo.burn(500, 0.0, 100) < 1.0);
+        // Latency burn: p99 at 2× target.
+        assert!((slo.burn(2_000, 0.0, 100) - 2.0).abs() < 1e-9);
+        // Error burn: 30% errors against a 10% budget.
+        assert!((slo.burn(0, 0.3, 100) - 3.0).abs() < 1e-9);
+        // The worst objective dominates.
+        assert!((slo.burn(2_000, 0.5, 100) - 5.0).abs() < 1e-9);
+        // A zero error budget burns infinitely on any error.
+        let strict = SloPolicy { p99_us: None, err_rate: Some(0.0) };
+        assert!(strict.burn(0, 0.01, 100).is_infinite());
+        assert_eq!(strict.burn(0, 0.0, 100), 0.0);
+    }
+
+    #[test]
+    fn alert_latch_fires_once_per_excursion() {
+        let mut latch = AlertState::new();
+        assert_eq!(latch.observe(0.2), None);
+        assert_eq!(latch.observe(1.5), Some(AlertEdge::Fired));
+        // Still burning: no storm.
+        assert_eq!(latch.observe(2.0), None);
+        assert_eq!(latch.observe(7.0), None);
+        assert!(latch.is_burning());
+        assert_eq!(latch.observe(0.3), Some(AlertEdge::Cleared));
+        assert_eq!(latch.observe(0.1), None);
+        // A second excursion fires a second alert.
+        assert_eq!(latch.observe(1.1), Some(AlertEdge::Fired));
+        assert_eq!(latch.fired(), 2);
+    }
+}

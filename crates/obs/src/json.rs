@@ -1,6 +1,9 @@
-//! Minimal JSON helpers: string escaping for the exporters and a
+//! Minimal JSON helpers: string escaping for the exporters, a
 //! dependency-free validity checker used by tests and the CLI test
-//! suite to guarantee the machine-readable output actually parses.
+//! suite to guarantee the machine-readable output actually parses, and
+//! a small [`Value`] reader so consumers (the `bschema top` renderer,
+//! CI lint scripts, the loopback suite) can pick fields out of
+//! `HEALTH`/`WATCH`/`METRICS` payloads without a dependency.
 
 /// Renders `s` as a JSON string literal (with surrounding quotes).
 pub fn escape(s: &str) -> String {
@@ -194,6 +197,260 @@ impl Parser<'_> {
     }
 }
 
+/// A parsed JSON value — the read side of the exporters. Object keys
+/// keep their document order (no map), so round-trips stay faithful to
+/// the deterministic renderings the registry produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`; the exporters only emit values that
+    /// fit).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document key order.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Nesting bound for [`Value::parse`] — generous for our own exporters,
+/// fatal for adversarial deep nesting.
+const MAX_VALUE_DEPTH: usize = 128;
+
+impl Value {
+    /// Parses one complete JSON document. `None` on any malformation —
+    /// same grammar as [`is_valid`].
+    pub fn parse(text: &str) -> Option<Value> {
+        let mut p = ValueParser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos == p.bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Member `key` of an object (first occurrence), else `None`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walks a `.`-separated member path: `v.path("window.p99_us")`.
+    pub fn path(&self, path: &str) -> Option<&Value> {
+        path.split('.').try_fold(self, |v, key| v.get(key))
+    }
+
+    /// Element `i` of an array, else `None`.
+    pub fn idx(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Arr(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn items(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members in document order, when this is an object.
+    pub fn entries(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The number, when this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64` (floor), when this is a non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string, when this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// The building twin of [`Parser`]: same grammar, but materialises a
+/// [`Value`] tree (with string escapes decoded) instead of answering
+/// yes/no.
+struct ValueParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl ValueParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Option<Value> {
+        if depth > MAX_VALUE_DEPTH {
+            return None;
+        }
+        match self.peek()? {
+            b'{' => self.object(depth),
+            b'[' => self.array(depth),
+            b'"' => self.string().map(Value::Str),
+            b't' => self.literal("true").then_some(Value::Bool(true)),
+            b'f' => self.literal("false").then_some(Value::Bool(false)),
+            b'n' => self.literal("null").then_some(Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Option<Value> {
+        self.pos += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return None;
+            }
+            self.pos += 1;
+            self.skip_ws();
+            members.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Some(Value::Obj(members));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Option<Value> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Some(Value::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.peek() != Some(b'"') {
+            return None;
+        }
+        let start = self.pos;
+        // Reuse the validator to find the closing quote and vet escapes,
+        // then decode over the validated slice.
+        let mut v = Parser { bytes: self.bytes, pos: start };
+        if !v.string() {
+            return None;
+        }
+        let body = std::str::from_utf8(&self.bytes[start + 1..v.pos - 1]).ok()?;
+        self.pos = v.pos;
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    // Lone surrogates decode to the replacement char; the
+                    // exporters never emit them.
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    fn number(&mut self) -> Option<Value> {
+        let start = self.pos;
+        let mut v = Parser { bytes: self.bytes, pos: start };
+        if !v.number() {
+            return None;
+        }
+        self.pos = v.pos;
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +503,43 @@ mod tests {
         ] {
             assert!(!is_valid(text), "{text:?} should be invalid");
         }
+    }
+
+    #[test]
+    fn value_parses_what_the_exporters_emit() {
+        let v = Value::parse(
+            r#"{"counters":{"a.b":3},"histograms":{"h":{"count":2,"p99":7}},"ok":true,"none":null,"arr":[1,"x"]}"#,
+        )
+        .unwrap();
+        assert_eq!(v.path("counters.a.b"), None, "dotted keys are literal, not paths");
+        assert_eq!(v.get("counters").unwrap().get("a.b").unwrap().as_u64(), Some(3));
+        assert_eq!(v.path("histograms.h.p99").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+        assert_eq!(v.get("arr").unwrap().idx(1).unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("arr").unwrap().items().unwrap().len(), 2);
+        // Escapes decode.
+        let s = Value::parse(r#""a\"b\nµ""#).unwrap();
+        assert_eq!(s.as_str(), Some("a\"b\nµ"));
+        // Negative and fractional numbers.
+        assert_eq!(Value::parse("-1.5e1").unwrap().as_f64(), Some(-15.0));
+        assert_eq!(Value::parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn value_rejects_what_is_valid_rejects() {
+        for text in ["", "{", "[1,]", "{\"a\":}", "{} extra", "\"unterminated", "01"] {
+            assert_eq!(Value::parse(text), None, "{text:?}");
+        }
+        // Depth bound: a 200-deep array is refused, not a stack overflow.
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert_eq!(Value::parse(&deep), None);
+    }
+
+    #[test]
+    fn value_round_trips_escaped_keys() {
+        let doc = format!("{{{}:1}}", escape("key with \"quotes\" and\nnewline"));
+        let v = Value::parse(&doc).unwrap();
+        assert_eq!(v.get("key with \"quotes\" and\nnewline").unwrap().as_u64(), Some(1));
     }
 }

@@ -48,14 +48,20 @@ pub mod json;
 
 mod flight;
 mod fmt;
+mod health;
 mod metrics;
 mod span;
+mod timeseries;
 mod trace;
 
 pub use flight::{FlightRecord, FlightRecorder};
 pub use fmt::fmt_us;
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use health::{
+    AlertEdge, AlertState, HealthReport, HealthStatus, Sense, ShardHealth, Signal, SloPolicy,
+};
+pub use metrics::{prom_name, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use span::{SpanId, SpanNode, Tracer, NO_SPAN};
+pub use timeseries::{TickPoint, TimeSeries};
 pub use trace::{RequestTrace, TraceContext};
 
 /// The instrumentation interface threaded through the engines.

@@ -259,6 +259,37 @@ impl MetricsSnapshot {
         delta
     }
 
+    /// Renders the snapshot in Prometheus text exposition style for
+    /// external scrapers: every counter becomes a `bschema_*` counter
+    /// family, every histogram a summary family (`{quantile="..."}`
+    /// series plus `_sum`/`_count`). Names are sanitised through
+    /// [`prom_name`]; keys that collide after sanitisation merge
+    /// (counters sum, histograms [`Histogram::merge`]) so the exposition
+    /// never repeats a metric name — the invariant CI lints.
+    pub fn render_prom(&self) -> String {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        for (key, &value) in &self.counters {
+            let slot = counters.entry(prom_name(key)).or_insert(0);
+            *slot = slot.saturating_add(value);
+        }
+        let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+        for (key, h) in &self.histograms {
+            histograms.entry(prom_name(key)).or_default().merge(h);
+        }
+        let mut out = String::new();
+        for (name, value) in &counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, h) in &histograms {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum(), h.count()));
+        }
+        out
+    }
+
     /// Renders the snapshot as one JSON object with deterministically
     /// (BTreeMap) ordered keys:
     /// `{"counters":{...},"histograms":{"k":{"count":..,...}}}`.
@@ -280,6 +311,21 @@ impl MetricsSnapshot {
         out.push_str("}}");
         out
     }
+}
+
+/// Sanitises a registry key into a Prometheus-legal metric name:
+/// `bschema_` prefix, lowercase, every non-`[a-z0-9_]` byte mapped to
+/// `_` (so `server.request_us.TXN` → `bschema_server_request_us_txn`).
+pub fn prom_name(key: &str) -> String {
+    let mut out = String::with_capacity(key.len() + 8);
+    out.push_str("bschema_");
+    for c in key.chars() {
+        match c.to_ascii_lowercase() {
+            c @ ('a'..='z' | '0'..='9' | '_') => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
 }
 
 /// Thread-safe counters + histograms.
@@ -371,6 +417,12 @@ impl MetricsRegistry {
     /// runs and thread schedules — CI diffs it directly.
     pub fn to_json(&self) -> String {
         self.snapshot().to_json()
+    }
+
+    /// Renders everything in Prometheus text exposition style (see
+    /// [`MetricsSnapshot::render_prom`]).
+    pub fn render_prom(&self) -> String {
+        self.snapshot().render_prom()
     }
 }
 
@@ -586,6 +638,61 @@ mod tests {
         assert!(lines[0].starts_with("apple"));
         assert!(lines[1].starts_with("zebra"));
         assert!(lines[2].contains("count=1 sum=7 min=7 mean=7.0 max=7 p50=7 p90=7 p99=7"));
+    }
+
+    /// The empty-series contract, pinned field by field: every quantile
+    /// accessor of a never-observed histogram answers exactly 0 — no
+    /// NaN, no panic, no stale sentinel. A scrape of an idle series and
+    /// the first `HEALTH` window of a fresh server both depend on it.
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let empty = Histogram::default();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.sum(), 0);
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.max(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p90(), 0);
+        assert_eq!(empty.p99(), 0);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "quantile({q}) of empty series");
+        }
+        // The same holds for an empty delta of a busy series.
+        let mut busy = Histogram::default();
+        busy.record(1000);
+        let idle = busy.delta_since(&busy);
+        assert_eq!((idle.p50(), idle.p90(), idle.p99(), idle.max()), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn prom_exposition_is_unique_typed_and_sane() {
+        let m = MetricsRegistry::new();
+        m.add("server.request.TXN", 3);
+        m.add("server.request.txn", 2); // collides after sanitisation → sums
+        m.observe("server.request_us.TXN", 100);
+        m.observe("server.request_us.TXN", 300);
+        let text = m.render_prom();
+        assert!(text.contains("# TYPE bschema_server_request_txn counter\n"));
+        assert!(text.contains("bschema_server_request_txn 5\n"), "{text}");
+        assert!(text.contains("# TYPE bschema_server_request_us_txn summary\n"));
+        assert!(text.contains("bschema_server_request_us_txn{quantile=\"0.99\"}"));
+        assert!(text.contains("bschema_server_request_us_txn_sum 400\n"));
+        assert!(text.contains("bschema_server_request_us_txn_count 2\n"));
+        // Every metric name appears exactly once, and each has a TYPE.
+        let mut names: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE "))
+            .map(|l| l.split_whitespace().nth(2).unwrap())
+            .collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate TYPE lines in {text}");
+        assert_eq!(prom_name("sharded.prepare.shard0"), "bschema_sharded_prepare_shard0");
+        assert_eq!(prom_name("weird-key µ"), "bschema_weird_key__");
+        // An empty registry exposes nothing (no stray headers).
+        assert_eq!(MetricsRegistry::new().render_prom(), "");
     }
 
     #[test]

@@ -22,6 +22,11 @@ use std::sync::Arc;
 use crate::span::{SpanNode, Tracer};
 use crate::{Probe, SpanId, NO_SPAN};
 
+/// The longest `tc=` token body ([`TraceContext::parse_token`])
+/// accepted off the wire. Generous for any real client (`<label>-<n>.<span>`)
+/// while keeping trace ids bounded in logs and flight records.
+const MAX_TOKEN_BODY: usize = 256;
+
 /// A request's trace identity: who asked (`trace_id`) and which of the
 /// caller's spans this request hangs under (`parent_span`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +58,11 @@ impl TraceContext {
     /// against new servers and vice versa.
     pub fn parse_token(token: &str) -> Option<TraceContext> {
         let body = token.strip_prefix("tc=")?;
+        // A hostile or corrupted token must not become an unbounded
+        // trace id echoed through every log line and flight record.
+        if body.len() > MAX_TOKEN_BODY {
+            return None;
+        }
         let (id, span) = body.rsplit_once('.')?;
         if id.is_empty() {
             return None;
@@ -165,6 +175,25 @@ mod tests {
         for bad in ["", "tc=", "tc=.", "tc=.5", "tc=x", "tc=x.y", "limit", "base:o=acme"] {
             assert_eq!(TraceContext::parse_token(bad), None, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn hostile_tokens_are_bounded_and_inert() {
+        // Overlong body: rejected outright, even if otherwise shaped right.
+        let long = format!("tc={}.7", "x".repeat(300));
+        assert_eq!(TraceContext::parse_token(&long), None);
+        // The longest accepted body still parses.
+        let id = "y".repeat(MAX_TOKEN_BODY - 2);
+        let edge = format!("tc={id}.7");
+        let parsed = TraceContext::parse_token(&edge).expect("body at the cap parses");
+        assert_eq!(parsed.trace_id, id);
+        // A span field beyond u64 is a parse failure, not a panic.
+        assert_eq!(TraceContext::parse_token("tc=cli.99999999999999999999999"), None);
+        assert_eq!(TraceContext::parse_token("tc=cli.-1"), None);
+        assert_eq!(TraceContext::parse_token("tc=cli.1e3"), None);
+        // Embedded NULs and controls in the id are carried, not fatal —
+        // the codec layer rejects such frames before parse_token runs.
+        assert!(TraceContext::parse_token("tc=a\u{0}b.0").is_some());
     }
 
     #[test]

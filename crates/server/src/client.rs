@@ -236,6 +236,83 @@ impl Client {
         Ok(frame.payload_str()?.to_owned())
     }
 
+    /// `METRICS prom` — the registry in Prometheus-style text
+    /// exposition.
+    pub fn metrics_prom(&mut self) -> Result<String, ClientError> {
+        let frame = self.exchange(&["METRICS", "prom"], b"")?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
+    /// `HEALTH` — the server's aggregated health verdict as one JSON
+    /// object.
+    pub fn health_json(&mut self) -> Result<String, ClientError> {
+        let frame = self.exchange(&["HEALTH"], b"")?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
+    /// `WATCH <count>` — subscribes to the server's monitor stream and
+    /// feeds each `TICK` frame `(seq, json)` to `on_tick` as it
+    /// arrives. Returns the number of ticks received. `on_tick`
+    /// returning `false` cancels the stream early (the connection is
+    /// dropped — the server treats the hang-up as cancellation), so
+    /// after an early cancel this client is consumed.
+    pub fn watch(
+        mut self,
+        count: u64,
+        mut on_tick: impl FnMut(u64, &str) -> bool,
+    ) -> Result<usize, ClientError> {
+        // Multi-frame verb: bypass `exchange` (one request, one reply).
+        write_frame(&mut self.writer, &["WATCH", &count.to_string()], b"")?;
+        let opening = read_frame(&mut self.reader, &self.limits)?
+            .ok_or_else(|| ClientError::Protocol("server closed without responding".to_owned()))?;
+        match (opening.verb(), opening.arg(1)) {
+            ("OK", Some("watch")) => {}
+            ("ERR", _) => {
+                return Err(ClientError::Server {
+                    code: opening.arg(1).unwrap_or("unknown").to_owned(),
+                    detail: opening.payload_str().unwrap_or("").to_owned(),
+                });
+            }
+            _ => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected watch opening: {:?}",
+                    opening.tokens
+                )))
+            }
+        }
+        let mut received = 0usize;
+        loop {
+            // Ticks arrive at the monitor interval; wait past the read
+            // timeout would cut a slow stream, so watchers poll with
+            // the connection's own 5s budget per frame.
+            let frame = read_frame(&mut self.reader, &self.limits)?
+                .ok_or_else(|| ClientError::Protocol("server closed mid-watch".to_owned()))?;
+            match frame.verb() {
+                "TICK" => {
+                    let seq =
+                        frame.arg(1).and_then(|s| s.parse::<u64>().ok()).ok_or_else(|| {
+                            ClientError::Protocol(format!("malformed TICK: {:?}", frame.tokens))
+                        })?;
+                    received += 1;
+                    if !on_tick(seq, frame.payload_str()?) {
+                        // Dropping the connection cancels server-side.
+                        return Ok(received);
+                    }
+                }
+                "OK" => return Ok(received),
+                "ERR" => {
+                    return Err(ClientError::Server {
+                        code: frame.arg(1).unwrap_or("unknown").to_owned(),
+                        detail: frame.payload_str().unwrap_or("").to_owned(),
+                    })
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!("unexpected watch frame {other:?}")))
+                }
+            }
+        }
+    }
+
     /// `SHUTDOWN` — asks the server to drain and exit.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.exchange(&["SHUTDOWN"], b"").map(|_| ())

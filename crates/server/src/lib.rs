@@ -18,6 +18,8 @@
 //!   serialized journaled writes, stable rejection codes.
 //! * [`server`] — acceptor, bounded queue, worker pool, session loop,
 //!   graceful drain.
+//! * [`monitor`] — the health plane: tick retention, SLO burn alerts,
+//!   and the shared state behind the `HEALTH`/`WATCH` verbs.
 //! * [`client`] — the matching synchronous client.
 //!
 //! ```no_run
@@ -43,10 +45,12 @@
 
 pub mod client;
 pub mod codec;
+pub mod monitor;
 pub mod server;
 pub mod service;
 
 pub use client::{Client, ClientError, TxReceipt};
 pub use codec::{Frame, WireError, WireLimits};
+pub use monitor::{Monitor, MonitorConfig};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use service::{DirectoryService, ServiceError, ServiceLimits, TxOutcome};

@@ -1,0 +1,179 @@
+//! The monitor plane: periodic sampling state shared between the
+//! sampler thread and the `WATCH`/`HEALTH` verbs.
+//!
+//! A server started with `--monitor-interval` spawns one sampler thread
+//! (`bschema-monitor`) that calls
+//! [`DirectoryService::monitor_tick`](crate::service::DirectoryService::monitor_tick)
+//! on each tick. The tick snapshots the metrics registry into the
+//! bounded [`TimeSeries`] ring, evaluates the SLO burn rate over the
+//! retained window, and publishes the tick's JSON here. `WATCH`
+//! sessions block on [`Monitor::wait_for_tick`] and stream each
+//! published frame; `HEALTH` reads the merged window. Everything is
+//! bounded: the ring holds a fixed tick count, and a watcher that
+//! cannot keep up is cut by the socket write timeout, never buffered
+//! without limit.
+
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use bschema_obs::{AlertEdge, AlertState, SloPolicy, TimeSeries};
+
+/// Tuning for the monitor plane.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Time between sampler ticks.
+    pub interval: Duration,
+    /// Ticks retained in the ring.
+    pub capacity: usize,
+    /// Ticks merged into the `HEALTH`/SLO evaluation window.
+    pub window: usize,
+    /// The service-level objective burn rates are computed against.
+    pub slo: Option<SloPolicy>,
+    /// File the structured `AUDIT` lines (SLO alerts) are appended to.
+    pub audit_path: Option<PathBuf>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            interval: Duration::from_secs(1),
+            capacity: 120,
+            window: 12,
+            slo: None,
+            audit_path: None,
+        }
+    }
+}
+
+/// The latest published tick, shared with blocked watchers.
+#[derive(Debug, Default)]
+struct Latest {
+    seq: u64,
+    json: String,
+}
+
+/// Shared monitor state: the retention ring, the latest published tick
+/// (with a condvar watchers block on), and the SLO alert latch.
+#[derive(Debug)]
+pub struct Monitor {
+    config: MonitorConfig,
+    ring: TimeSeries,
+    latest: Mutex<Latest>,
+    tick_ready: Condvar,
+    alert: Mutex<AlertState>,
+}
+
+impl Monitor {
+    /// A monitor with the given tuning.
+    pub fn new(config: MonitorConfig) -> Self {
+        let ring = TimeSeries::new(config.capacity);
+        Monitor {
+            config,
+            ring,
+            latest: Mutex::new(Latest::default()),
+            tick_ready: Condvar::new(),
+            alert: Mutex::new(AlertState::new()),
+        }
+    }
+
+    /// The tuning this monitor runs with.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// The retention ring of per-tick metric deltas.
+    pub fn ring(&self) -> &TimeSeries {
+        &self.ring
+    }
+
+    /// Publishes a completed tick's frame and wakes every watcher.
+    pub fn publish_tick(&self, seq: u64, json: String) {
+        let mut latest = self.latest.lock().unwrap_or_else(|e| e.into_inner());
+        latest.seq = seq;
+        latest.json = json;
+        self.tick_ready.notify_all();
+    }
+
+    /// The sequence number of the latest published tick (0 before the
+    /// first).
+    pub fn latest_seq(&self) -> u64 {
+        self.latest.lock().unwrap_or_else(|e| e.into_inner()).seq
+    }
+
+    /// Blocks until a tick newer than `after_seq` is published or
+    /// `timeout` elapses. Returns the fresh tick, or `None` on timeout
+    /// (callers re-check shutdown and loop).
+    pub fn wait_for_tick(&self, after_seq: u64, timeout: Duration) -> Option<(u64, String)> {
+        let guard = self.latest.lock().unwrap_or_else(|e| e.into_inner());
+        let (latest, _timed_out) = self
+            .tick_ready
+            .wait_timeout_while(guard, timeout, |latest| latest.seq <= after_seq)
+            .unwrap_or_else(|e| e.into_inner());
+        if latest.seq > after_seq {
+            Some((latest.seq, latest.json.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Feeds one window's burn rate through the edge-triggered alert
+    /// latch.
+    pub fn observe_burn(&self, burn: f64) -> Option<AlertEdge> {
+        self.alert.lock().unwrap_or_else(|e| e.into_inner()).observe(burn)
+    }
+
+    /// Whether the error budget is currently burning (latched).
+    pub fn is_burning(&self) -> bool {
+        self.alert.lock().unwrap_or_else(|e| e.into_inner()).is_burning()
+    }
+
+    /// Total SLO alerts fired over this monitor's lifetime.
+    pub fn alerts_fired(&self) -> u64 {
+        self.alert.lock().unwrap_or_else(|e| e.into_inner()).fired()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn watchers_see_only_fresh_ticks() {
+        let m = Monitor::new(MonitorConfig::default());
+        assert_eq!(m.latest_seq(), 0);
+        // Nothing published yet: a short wait times out empty.
+        assert_eq!(m.wait_for_tick(0, Duration::from_millis(10)), None);
+        m.publish_tick(1, "{\"tick\":1}".to_owned());
+        let (seq, json) = m.wait_for_tick(0, Duration::from_millis(10)).unwrap();
+        assert_eq!((seq, json.as_str()), (1, "{\"tick\":1}"));
+        // Already seen: waits for the next one.
+        assert_eq!(m.wait_for_tick(1, Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn publish_wakes_a_blocked_watcher() {
+        let m = Arc::new(Monitor::new(MonitorConfig::default()));
+        let watcher = {
+            let m = m.clone();
+            std::thread::spawn(move || m.wait_for_tick(0, Duration::from_secs(5)))
+        };
+        // Give the watcher a moment to block, then publish.
+        std::thread::sleep(Duration::from_millis(20));
+        m.publish_tick(7, "{}".to_owned());
+        let got = watcher.join().unwrap();
+        assert_eq!(got, Some((7, "{}".to_owned())));
+    }
+
+    #[test]
+    fn alert_latch_is_shared_and_edge_triggered() {
+        let m = Monitor::new(MonitorConfig::default());
+        assert_eq!(m.observe_burn(0.5), None);
+        assert_eq!(m.observe_burn(1.5), Some(AlertEdge::Fired));
+        assert_eq!(m.observe_burn(9.0), None);
+        assert!(m.is_burning());
+        assert_eq!(m.observe_burn(0.1), Some(AlertEdge::Cleared));
+        assert_eq!(m.alerts_fired(), 1);
+    }
+}

@@ -12,8 +12,11 @@
 //! | `TXN #n` + LDIF changes                   | `OK committed <ops> <len> <shards>` |
 //! | `MODIFY #n` + mod lines                   | `OK modified <len>`               |
 //! | `METRICS`                                 | `OK metrics #n` + JSON            |
+//! | `METRICS prom`                            | `OK metrics #n` + text exposition |
 //! | `STATS`                                   | `OK stats #n` + delta JSON        |
 //! | `TRACE`                                   | `OK trace #n` + flight JSON       |
+//! | `HEALTH`                                  | `OK health #n` + verdict JSON     |
+//! | `WATCH [count]`                           | `OK watch <count> <interval_ms>`, then `TICK <seq> #n` frames, then `OK watch-end <streamed>` |
 //! | `SHUTDOWN`                                | `OK bye` (then server drains)     |
 //! | `UNBIND`                                  | `OK bye` (closes the session)     |
 //!
@@ -30,6 +33,15 @@
 //! tree under that id, retrievable via `TRACE`. `METRICS` dumps the
 //! cumulative registry (counters **and** quantile histograms); `STATS`
 //! returns only the deltas since the previous `STATS` scrape.
+//!
+//! `HEALTH` and `WATCH` need a server started with a monitor interval:
+//! `HEALTH` returns the aggregated per-shard verdict JSON (see
+//! [`crate::service::DirectoryService::health_json`]), and `WATCH`
+//! turns the session into a bounded server-push stream — one `TICK`
+//! frame per monitor tick until `count` frames have been streamed, the
+//! client hangs up (cancellation), or the server shuts down. `METRICS
+//! prom` renders the same registry in Prometheus-style text exposition
+//! for scrape pipelines.
 //!
 //! ## Backpressure and shutdown
 //!
@@ -157,6 +169,7 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
     service: Arc<DirectoryService>,
 }
 
@@ -192,6 +205,9 @@ impl ServerHandle {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
         }
     }
 }
@@ -233,7 +249,35 @@ impl Server {
             })?
         };
 
-        Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), workers, service })
+        // The sampler thread behind `HEALTH`/`WATCH`: one tick per
+        // configured interval, sleeping in short chunks so shutdown is
+        // noticed promptly. A probe/fault panic inside a tick must not
+        // kill the plane — the next tick simply runs.
+        let monitor = match service.monitor() {
+            Some(m) => {
+                let interval = m.config().interval;
+                let service = service.clone();
+                let shutdown = shutdown.clone();
+                Some(thread::Builder::new().name("bschema-monitor".to_owned()).spawn(
+                    move || {
+                        while !shutdown.load(Ordering::SeqCst) {
+                            let _ = catch_unwind(AssertUnwindSafe(|| {
+                                service.monitor_tick();
+                            }));
+                            let mut slept = Duration::ZERO;
+                            while slept < interval && !shutdown.load(Ordering::SeqCst) {
+                                let chunk = (interval - slept).min(Duration::from_millis(50));
+                                thread::sleep(chunk);
+                                slept += chunk;
+                            }
+                        }
+                    },
+                )?)
+            }
+            None => None,
+        };
+
+        Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), workers, monitor, service })
     }
 }
 
@@ -347,6 +391,17 @@ fn serve_session(
                 return;
             }
         };
+
+        // WATCH turns the session into a server-push stream; it needs
+        // the writer, which handle_frame never sees, so it is dispatched
+        // here ahead of the one-request/one-response path.
+        if frame.verb() == "WATCH" {
+            service.probe().add_labeled("server.request", "WATCH", 1);
+            if handle_watch(service, &mut frame, &mut writer, shutdown) {
+                continue;
+            }
+            return;
+        }
 
         let started = Instant::now();
         let verb = frame.verb().to_owned();
@@ -490,9 +545,10 @@ fn handle_frame(
             (response, Control::Continue)
         }
         "MODIFY" => (handle_modify(service, frame), Control::Continue),
-        "METRICS" => (handle_metrics(service), Control::Continue),
+        "METRICS" => (handle_metrics(service, frame), Control::Continue),
         "STATS" => (handle_stats(service), Control::Continue),
         "TRACE" => (handle_trace(service), Control::Continue),
+        "HEALTH" => (handle_health(service), Control::Continue),
         "SHUTDOWN" => (Response::ok(&["bye"]), Control::ShutdownServer),
         "UNBIND" => (Response::ok(&["bye"]), Control::CloseSession),
         other => {
@@ -641,11 +697,82 @@ fn handle_modify(service: &DirectoryService, frame: &Frame) -> Response {
     }
 }
 
-fn handle_metrics(service: &DirectoryService) -> Response {
-    match service.metrics_json() {
-        Some(json) => Response::ok_payload(&["metrics"], json.into_bytes()),
-        None => Response::err("unsupported", "server started without --metrics"),
+fn handle_metrics(service: &DirectoryService, frame: &Frame) -> Response {
+    match frame.arg(1) {
+        None => match service.metrics_json() {
+            Some(json) => Response::ok_payload(&["metrics"], json.into_bytes()),
+            None => Response::err("unsupported", "server started without --metrics"),
+        },
+        Some("prom") => match service.metrics_prom() {
+            Some(text) => Response::ok_payload(&["metrics"], text.into_bytes()),
+            None => Response::err("unsupported", "server started without --metrics"),
+        },
+        Some(other) => Response::err("usage", &format!("unknown metrics mode {other:?}")),
     }
+}
+
+fn handle_health(service: &DirectoryService) -> Response {
+    match service.health_json() {
+        Some(json) => Response::ok_payload(&["health"], json.into_bytes()),
+        None => Response::err("unsupported", "server started without --monitor-interval"),
+    }
+}
+
+/// Serves a `WATCH` stream: `OK watch <count> <interval_ms>`, then one
+/// `TICK <seq>` frame per monitor tick, then `OK watch-end <streamed>`.
+/// Returns whether the session survives. A failed `TICK` write means
+/// the watcher hung up — that is how a stream is cancelled — and a
+/// watcher too slow to drain its socket is cut by the write timeout,
+/// so a stalled client never wedges a worker or buffers unboundedly.
+fn handle_watch(
+    service: &DirectoryService,
+    frame: &mut Frame,
+    writer: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> bool {
+    // A stamped trace token would otherwise be mistaken for the count.
+    let _ = frame.take_trace_context();
+    let Some(monitor) = service.monitor() else {
+        return write_frame(
+            writer,
+            &["ERR", "unsupported"],
+            b"server started without --monitor-interval",
+        )
+        .is_ok();
+    };
+    let count = match frame.arg(1) {
+        None => 60u64,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) if (1..=100_000).contains(&n) => n,
+            _ => {
+                let detail = format!("bad watch count {raw:?} (1..=100000)");
+                return write_frame(writer, &["ERR", "usage"], detail.as_bytes()).is_ok();
+            }
+        },
+    };
+    let interval_ms = monitor.config().interval.as_millis().to_string();
+    if write_frame(writer, &["OK", "watch", &count.to_string(), &interval_ms], b"").is_err() {
+        return false;
+    }
+    // Stream only ticks published after the subscription started.
+    let mut last_seq = monitor.latest_seq();
+    let mut streamed = 0u64;
+    while streamed < count {
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = write_frame(writer, &["ERR", "shutting-down"], b"");
+            return false;
+        }
+        let Some((seq, json)) = monitor.wait_for_tick(last_seq, Duration::from_millis(250)) else {
+            continue;
+        };
+        last_seq = seq;
+        if write_frame(writer, &["TICK", &seq.to_string()], json.as_bytes()).is_err() {
+            service.probe().add("server.watch_cancelled", 1);
+            return false;
+        }
+        streamed += 1;
+    }
+    write_frame(writer, &["OK", "watch-end", &streamed.to_string()], b"").is_ok()
 }
 
 fn handle_stats(service: &DirectoryService) -> Response {

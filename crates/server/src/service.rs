@@ -37,7 +37,9 @@
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use bschema_core::journal::{shard_journal_path, Journal, JournalWriter};
 use bschema_core::managed::ManagedError;
@@ -47,13 +49,17 @@ use bschema_core::updates::{transaction_from_ldif, Mod};
 use bschema_core::ManagedDirectory;
 use bschema_directory::ldif::{parse_ldif_limited, write_record, LdifLimits, LdifRecord};
 use bschema_directory::{DirectoryInstance, Dn};
-use bschema_obs::{FlightRecorder, MetricsSnapshot, Probe, RequestTrace, NO_SPAN};
+use bschema_obs::{
+    AlertEdge, FlightRecorder, HealthReport, MetricsSnapshot, Probe, RequestTrace, ShardHealth,
+    Signal, SpanNode, NO_SPAN,
+};
 use bschema_query::{
     explain, parse_filter_limited, search, EvalContext, Query, SearchRequest, SearchScope,
     DEFAULT_FILTER_DEPTH,
 };
 
 use crate::codec::WireLimits;
+use crate::monitor::Monitor;
 
 /// Resource bounds for everything that arrives over the socket.
 #[derive(Debug, Clone)]
@@ -184,6 +190,14 @@ pub struct DirectoryService {
     probe: Arc<dyn Probe + Send + Sync>,
     recorder: Option<Arc<bschema_obs::Recorder>>,
     flight: Option<Arc<FlightRecorder>>,
+    monitor: Option<Arc<Monitor>>,
+    /// The service's monotonic epoch: tick timestamps and snapshot-swap
+    /// stamps are microseconds since this instant.
+    origin: Instant,
+    /// Per-shard µs-since-`origin` of the last snapshot publish (index 0
+    /// on the single backend). 0 = never swapped, so age reads as
+    /// time-since-start.
+    last_swap_us: Vec<AtomicU64>,
     stats_baseline: Mutex<MetricsSnapshot>,
     limits: ServiceLimits,
 }
@@ -221,11 +235,18 @@ impl DirectoryService {
     }
 
     fn from_backend(backend: Backend) -> Self {
+        let shards = match &backend {
+            Backend::Single(_) => 1,
+            Backend::Sharded(b) => b.sharded.shards(),
+        };
         DirectoryService {
             backend,
             probe: Arc::new(bschema_obs::NoopProbe),
             recorder: None,
             flight: None,
+            monitor: None,
+            origin: Instant::now(),
+            last_swap_us: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             stats_baseline: Mutex::new(MetricsSnapshot::default()),
             limits: ServiceLimits::default(),
         }
@@ -272,6 +293,9 @@ impl DirectoryService {
             probe,
             recorder: self.recorder,
             flight: self.flight,
+            monitor: self.monitor,
+            origin: self.origin,
+            last_swap_us: self.last_swap_us,
             stats_baseline: self.stats_baseline,
             limits: self.limits,
         }
@@ -303,6 +327,26 @@ impl DirectoryService {
     /// The attached flight recorder, if any.
     pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
         self.flight.as_ref()
+    }
+
+    /// Attaches the monitor plane the `HEALTH`/`WATCH` verbs and the
+    /// sampler thread share. The sampler itself is spawned by
+    /// [`Server::spawn`](crate::server::Server::spawn) when a monitor
+    /// is present.
+    pub fn with_monitor(mut self, monitor: Arc<Monitor>) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// The attached monitor plane, if any.
+    pub fn monitor(&self) -> Option<&Arc<Monitor>> {
+        self.monitor.as_ref()
+    }
+
+    /// Microseconds since this service was constructed — the clock tick
+    /// timestamps and snapshot-swap stamps are taken on.
+    pub fn uptime_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
     }
 
     /// The flight recorder's buffer as one JSON line, or `None` when the
@@ -786,6 +830,7 @@ impl DirectoryService {
         };
         let next = Arc::new(half.managed.instance().clone());
         *backend.snapshot.write().unwrap_or_else(|e| e.into_inner()) = next;
+        self.stamp_swap(0);
         probe.add("server.snapshot_swap", 1);
     }
 
@@ -810,6 +855,7 @@ impl DirectoryService {
                     for &k in &outcome.shards {
                         let next = Arc::new(backend.sharded.shard_instance(k));
                         *backend.snapshots[k].write().unwrap_or_else(|e| e.into_inner()) = next;
+                        self.stamp_swap(k);
                         probe.add_labeled("server.shard_snapshot_swap", &format!("shard{k}"), 1);
                     }
                 });
@@ -837,6 +883,276 @@ impl DirectoryService {
     pub fn probe(&self) -> &(dyn Probe + Send + Sync) {
         &*self.probe
     }
+
+    /// The cumulative registry in Prometheus-style text exposition
+    /// (`# TYPE` lines, `bschema_`-prefixed sanitised names, summary
+    /// quantiles). `None` when no recorder is attached.
+    pub fn metrics_prom(&self) -> Option<String> {
+        self.recorder.as_ref().map(|r| r.metrics().render_prom())
+    }
+
+    /// Stamps shard `k`'s snapshot-swap clock (µs since `origin`).
+    fn stamp_swap(&self, k: usize) {
+        if let Some(slot) = self.last_swap_us.get(k) {
+            slot.store(self.uptime_us(), Ordering::Relaxed);
+        }
+    }
+
+    /// Shard `k`'s journal growth `(records, bytes)` — zeros when the
+    /// server runs without a journal.
+    fn shard_journal_stats(&self, k: usize) -> (u64, u64) {
+        match &self.backend {
+            Backend::Single(b) => {
+                let half = lock_unpoisoned(&b.write);
+                half.journal
+                    .as_ref()
+                    .map_or((0, 0), |j| (j.writer.records_emitted(), j.writer.bytes_emitted()))
+            }
+            Backend::Sharded(b) => b.sharded.journal_stats(k),
+        }
+    }
+
+    /// The merged activity of the monitor window:
+    /// `(window, span_us, requests, p99_us, err_rate)`.
+    fn window_stats(&self, monitor: &Monitor) -> (MetricsSnapshot, u64, u64, u64, f64) {
+        let (window, span_us) = monitor.ring().window(monitor.config().window);
+        let all = window.histograms.get("server.request_micros").copied().unwrap_or_default();
+        let requests = all.count();
+        let p99_us = all.quantile(0.99);
+        let errors: u64 = window
+            .histograms
+            .iter()
+            .filter(|(key, _)| key.starts_with("server.rejected_us."))
+            .map(|(_, h)| h.count())
+            .sum();
+        let err_rate = if requests == 0 { 0.0 } else { (errors as f64 / requests as f64).min(1.0) };
+        (window, span_us, requests, p99_us, err_rate)
+    }
+
+    /// One sampler tick: snapshot the registry into the retention ring,
+    /// evaluate the SLO burn rate over the window (raising/clearing the
+    /// edge-triggered alert), and publish the tick frame to `WATCH`
+    /// sessions. Returns the published frame; `None` without a monitor.
+    pub fn monitor_tick(&self) -> Option<String> {
+        let monitor = self.monitor.as_ref()?;
+        let cumulative = self.recorder.as_ref().map(|r| r.metrics().snapshot()).unwrap_or_default();
+        let at_us = self.uptime_us();
+        let point = monitor.ring().record(cumulative, at_us);
+        let mut burn = 0.0;
+        if let Some(slo) = monitor.config().slo {
+            let (_, _, requests, p99_us, err_rate) = self.window_stats(monitor);
+            burn = slo.burn(p99_us, err_rate, requests);
+            if let Some(edge) = monitor.observe_burn(burn) {
+                self.record_slo_edge(monitor, edge, burn, p99_us, err_rate, at_us);
+            }
+        }
+        // Splice the SLO state into the tick frame ahead of the point's
+        // own fields (`{"tick":...}` → `{"burn":...,"tick":...}`).
+        let body = point.to_json();
+        let json = format!(
+            "{{\"burn\":{},\"alerts\":{},{}",
+            fmt_rate(burn),
+            monitor.alerts_fired(),
+            &body[1..]
+        );
+        monitor.publish_tick(point.seq, json.clone());
+        Some(json)
+    }
+
+    /// Raises or clears the SLO burn alert: a counter edge on the probe,
+    /// a synthetic `monitor.slo_burn` record in the flight recorder (so
+    /// `TRACE` shows the alert next to the requests that caused it), and
+    /// a structured `AUDIT` line appended to the audit trail.
+    fn record_slo_edge(
+        &self,
+        monitor: &Monitor,
+        edge: AlertEdge,
+        burn: f64,
+        p99_us: u64,
+        err_rate: f64,
+        at_us: u64,
+    ) {
+        let event = match edge {
+            AlertEdge::Fired => "slo-burn",
+            AlertEdge::Cleared => "slo-clear",
+        };
+        match edge {
+            AlertEdge::Fired => self.probe.add("server.slo_burn_alert", 1),
+            AlertEdge::Cleared => self.probe.add("server.slo_burn_cleared", 1),
+        }
+        if matches!(edge, AlertEdge::Fired) {
+            if let Some(flight) = &self.flight {
+                let root = SpanNode {
+                    name: "monitor.slo_burn",
+                    ord: 0,
+                    start_us: at_us,
+                    dur_us: Some(0),
+                    children: Vec::new(),
+                };
+                flight.record("monitor", "ALERT", event, 0, root);
+            }
+        }
+        if let Some(path) = &monitor.config().audit_path {
+            let slo = monitor.config().slo.map_or("null".to_owned(), |s| s.to_json());
+            let detail = format!(
+                "{{\"event\":{},\"burn\":{},\"p99_us\":{p99_us},\"err_rate\":{},\"slo\":{slo}}}",
+                bschema_obs::json::escape(event),
+                fmt_rate(burn),
+                fmt_rate(err_rate),
+            );
+            let _ = append_file(path, &format!("AUDIT {at_us} {event} {detail}\n"));
+        }
+    }
+
+    /// The `HEALTH` verdict: global and per-shard signals judged against
+    /// thresholds, plus the fitness gauge, window stats, SLO state and
+    /// `◇c` ledger — one JSON object. `None` without a monitor.
+    pub fn health_json(&self) -> Option<String> {
+        let monitor = self.monitor.as_ref()?;
+        let cfg = monitor.config();
+        let (window, span_us, requests, p99_us, err_rate) = self.window_stats(monitor);
+        let now_us = self.uptime_us();
+        let req_per_s = if span_us == 0 { 0.0 } else { requests as f64 / (span_us as f64 / 1e6) };
+
+        let mut report = HealthReport::default();
+
+        // Global signals. Latency/error thresholds derive from the SLO
+        // when one is set (warn at the target, crit well past it).
+        let (p99_warn, p99_crit) = match cfg.slo.and_then(|s| s.p99_us) {
+            Some(target) => (target as f64, 2.0 * target as f64),
+            None => (100_000.0, 1_000_000.0),
+        };
+        report.global.push(Signal::high_bad("request_p99_us", p99_us as f64, p99_warn, p99_crit));
+        let (err_warn, err_crit) = match cfg.slo.and_then(|s| s.err_rate) {
+            Some(budget) => (budget, (budget * 10.0).min(1.0)),
+            None => (0.01, 0.1),
+        };
+        report.global.push(Signal::high_bad("err_rate", err_rate, err_warn, err_crit));
+        let qmax = window.histograms.get("server.queue_depth").map_or(0, |h| h.max());
+        report.global.push(Signal::high_bad("queue_depth_max", qmax as f64, 32.0, 64.0));
+        let rollbacks = window.counters.get("sharded.rollback").copied().unwrap_or(0);
+        let prepared = window.counters.get("sharded.prepared").copied().unwrap_or(0);
+        let rollback_rate = if prepared + rollbacks == 0 {
+            0.0
+        } else {
+            rollbacks as f64 / (prepared + rollbacks) as f64
+        };
+        report.global.push(Signal::high_bad("rollback_rate", rollback_rate, 0.05, 0.25));
+        let mut burn = 0.0;
+        if let Some(slo) = cfg.slo {
+            burn = slo.burn(p99_us, err_rate, requests);
+            report.global.push(Signal::high_bad("slo_burn", burn, 0.5, 1.0));
+        }
+        let ledger = match &self.backend {
+            Backend::Sharded(b) => Some(b.sharded.ledger()),
+            Backend::Single(_) => None,
+        };
+        if let Some(counts) = &ledger {
+            if !counts.is_empty() {
+                let min = counts.values().copied().min().unwrap_or(0);
+                report.global.push(Signal::low_bad("ledger_min", min as f64, 1.0, 0.0));
+            }
+        }
+
+        // Per-shard signal groups — the same pinned signal set whatever
+        // the backend, so `HEALTH` consumers need no shape switch.
+        for k in 0..self.shards() {
+            let (records, bytes) = self.shard_journal_stats(k);
+            let entries = self.shard_snapshot(k).len();
+            let swap = self.last_swap_us[k].load(Ordering::Relaxed);
+            let age_s = now_us.saturating_sub(swap) as f64 / 1e6;
+            let prepares =
+                window.counters.get(&format!("sharded.prepare.shard{k}")).copied().unwrap_or(0);
+            let commits =
+                window.counters.get(&format!("sharded.commit.shard{k}")).copied().unwrap_or(0);
+            report.shards.push(ShardHealth {
+                shard: k,
+                signals: vec![
+                    Signal::high_bad("entries", entries as f64, 1e6, 1e7),
+                    Signal::high_bad("journal_records", records as f64, 1e5, 1e6),
+                    Signal::high_bad("journal_bytes", bytes as f64, 64e6, 512e6),
+                    Signal::high_bad("snapshot_age_s", age_s, 3600.0, 86400.0),
+                    Signal::high_bad("prepares", prepares as f64, 1e12, 1e14),
+                    Signal::high_bad("commits", commits as f64, 1e12, 1e14),
+                ],
+            });
+        }
+
+        report.sections.push(("shards_total".to_owned(), self.shards().to_string()));
+        report.sections.push(("ticks".to_owned(), monitor.ring().ticks().to_string()));
+        report.sections.push((
+            "window".to_owned(),
+            format!(
+                "{{\"requests\":{requests},\"req_per_s\":{},\"p99_us\":{p99_us},\"err_rate\":{},\"span_us\":{span_us}}}",
+                fmt_rate(req_per_s),
+                fmt_rate(err_rate),
+            ),
+        ));
+        let slo_json = match cfg.slo {
+            Some(slo) => format!(
+                "{{\"policy\":{},\"burn\":{},\"burning\":{},\"alerts\":{}}}",
+                slo.to_json(),
+                fmt_rate(burn),
+                monitor.is_burning(),
+                monitor.alerts_fired(),
+            ),
+            None => "null".to_owned(),
+        };
+        report.sections.push(("slo".to_owned(), slo_json));
+        report.sections.push(("fitness".to_owned(), fitness_json(&window)));
+        let ledger_json = match &ledger {
+            Some(counts) => {
+                let min = counts.values().copied().min().unwrap_or(0);
+                let body: Vec<String> = counts
+                    .iter()
+                    .map(|(class, n)| format!("{}:{n}", bschema_obs::json::escape(class)))
+                    .collect();
+                format!("{{\"min\":{min},\"classes\":{{{}}}}}", body.join(","))
+            }
+            None => "null".to_owned(),
+        };
+        report.sections.push(("ledger".to_owned(), ledger_json));
+        Some(report.to_json())
+    }
+}
+
+/// The schema-fitness gauge over the window: commits vs rejections
+/// attributed per stable rejection code (the §3 legality verdicts the
+/// Figure 4 structure rules produce) and the Figure 5 Δ-query volume
+/// per rule.
+fn fitness_json(window: &MetricsSnapshot) -> String {
+    let committed = window.counters.get("server.tx_committed").copied().unwrap_or(0);
+    let mut rejected = Vec::new();
+    let mut rejected_total = 0u64;
+    let mut delta = Vec::new();
+    for (key, &n) in &window.counters {
+        if let Some(code) = key.strip_prefix("server.tx_rejected.") {
+            rejected.push(format!("{}:{n}", bschema_obs::json::escape(code)));
+            rejected_total += n;
+        } else if let Some(rule) = key.strip_prefix("incremental.delta_query.") {
+            delta.push(format!("{}:{n}", bschema_obs::json::escape(rule)));
+        }
+    }
+    let legal_rate = if committed + rejected_total == 0 {
+        1.0
+    } else {
+        committed as f64 / (committed + rejected_total) as f64
+    };
+    format!(
+        "{{\"committed\":{committed},\"rejected\":{{{}}},\"legal_rate\":{},\"delta_queries\":{{{}}}}}",
+        rejected.join(","),
+        fmt_rate(legal_rate),
+        delta.join(","),
+    )
+}
+
+/// Renders a rate/burn as finite JSON (a zero error budget burns to ∞,
+/// which JSON cannot carry).
+fn fmt_rate(v: f64) -> String {
+    if !v.is_finite() {
+        return "1e308".to_owned();
+    }
+    format!("{v:.6}")
 }
 
 /// Runs `f` inside a span named `name`, opened at the probe's root

@@ -28,7 +28,11 @@ use bschema_core::sharded::shard_of_root_rdn;
 use bschema_core::ManagedDirectory;
 use bschema_directory::{ldif, Rdn};
 use bschema_faults::{silence_injected_panics, site_from_seed, FaultPlan};
-use bschema_server::{Client, DirectoryService, Server, ServerConfig, ServiceLimits};
+use bschema_obs::json::Value;
+use bschema_obs::SloPolicy;
+use bschema_server::{
+    Client, DirectoryService, Monitor, MonitorConfig, Server, ServerConfig, ServiceLimits,
+};
 use bschema_workload::multi_org_base;
 
 fn white_pages_service() -> DirectoryService {
@@ -593,4 +597,231 @@ fn sharded_server_survives_racing_single_and_cross_shard_writers() {
     );
     client.shutdown_server().expect("shutdown");
     handle.wait();
+}
+
+// ---------------------------------------------------------------------------
+// The health plane: HEALTH shape, WATCH streaming, SLO burn alerting.
+// ---------------------------------------------------------------------------
+
+/// The pinned per-shard signal set — dashboards and the CI lint key on
+/// these names, so a rename here is an API break.
+const SHARD_SIGNALS: [&str; 6] =
+    ["entries", "journal_records", "journal_bytes", "snapshot_age_s", "prepares", "commits"];
+
+/// Attaches a monitor (the `serve --monitor-interval/--slo/--audit`
+/// wiring, minus the CLI).
+fn monitored(
+    service: DirectoryService,
+    interval_ms: u64,
+    slo: Option<&str>,
+    audit: Option<std::path::PathBuf>,
+) -> DirectoryService {
+    service.with_monitor(Arc::new(Monitor::new(MonitorConfig {
+        interval: Duration::from_millis(interval_ms),
+        slo: slo.map(|s| SloPolicy::parse(s).expect("test SLO spec parses")),
+        audit_path: audit,
+        ..MonitorConfig::default()
+    })))
+}
+
+fn signal_names(container: &Value) -> Vec<String> {
+    container
+        .get("signals")
+        .and_then(Value::items)
+        .unwrap_or(&[])
+        .iter()
+        .map(|s| s.get("name").and_then(Value::as_str).unwrap_or("?").to_owned())
+        .collect()
+}
+
+/// The HEALTH surface is pinned: same sections and signal names at one
+/// shard (no SLO differences aside) and at four, with the sharded-only
+/// extras (◇c ledger, 2PC rollback gauge) appearing exactly when the
+/// backend is sharded.
+#[test]
+fn health_shape_is_pinned_at_one_and_four_shards() {
+    // --- 1 shard, with an SLO so the slo section and slo_burn signal exist.
+    let service = monitored(white_pages_service(), 20, Some("p99=500ms,err=50%"), None);
+    let handle =
+        Server::spawn(Arc::new(service), ServerConfig { threads: 2, ..ServerConfig::default() })
+            .expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.ping().expect("ping");
+    let json = client.health_json().expect("HEALTH answers");
+    let v = Value::parse(&json).expect("HEALTH is valid JSON");
+    assert_eq!(v.get("shards_total").and_then(Value::as_u64), Some(1), "{json}");
+    assert!(
+        matches!(v.get("verdict").and_then(Value::as_str), Some("ok" | "warn" | "crit")),
+        "{json}"
+    );
+    for key in ["ticks", "window", "fitness"] {
+        assert!(v.get(key).is_some(), "missing section {key}: {json}");
+    }
+    assert_eq!(v.path("slo.policy.p99_us").and_then(Value::as_u64), Some(500_000), "{json}");
+    assert_eq!(v.get("ledger"), Some(&Value::Null), "single backend has no ◇c ledger: {json}");
+    assert_eq!(v.path("fitness.legal_rate").and_then(Value::as_f64), Some(1.0), "{json}");
+    let global = signal_names(&v);
+    for name in ["request_p99_us", "err_rate", "queue_depth_max", "rollback_rate", "slo_burn"] {
+        assert!(global.iter().any(|g| g == name), "missing global signal {name}: {global:?}");
+    }
+    assert!(!global.iter().any(|g| g == "ledger_min"), "ledger_min on a single backend");
+    let shards = v.get("shards").and_then(Value::items).expect("shards array");
+    assert_eq!(shards.len(), 1, "{json}");
+    assert_eq!(signal_names(&shards[0]), SHARD_SIGNALS, "{json}");
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+
+    // --- 4 shards, no SLO: per-shard shape ×4 plus the ledger extras.
+    // The monitor samples the request recorder, so wire one in as the
+    // `serve` builder chain does.
+    let base = multi_org_base(4, 20, 0xA11CE);
+    let recorder = Arc::new(bschema_obs::Recorder::new());
+    let service = DirectoryService::new_sharded(white_pages_schema(), base, 4)
+        .expect("multi-org base is legal")
+        .with_probe(recorder.clone())
+        .with_recorder(recorder);
+    let service = monitored(service, 20, None, None);
+    let handle =
+        Server::spawn(Arc::new(service), ServerConfig { threads: 2, ..ServerConfig::default() })
+            .expect("bind sharded");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    // One committed write so fitness/journal signals have something
+    // real — then wait for the commit to enter the tick window (fitness
+    // is computed over sampled ticks, not live counters).
+    client.apply_ldif(&org_person_ldif("healthprobe", "org0")).expect("probe insert commits");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let (json, v) = loop {
+        let json = client.health_json().expect("HEALTH answers");
+        let v = Value::parse(&json).expect("HEALTH is valid JSON");
+        if v.path("fitness.committed").and_then(Value::as_u64) == Some(1) {
+            break (json, v);
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "tick window never sampled the commit: {json}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(v.get("shards_total").and_then(Value::as_u64), Some(4), "{json}");
+    assert_eq!(v.get("slo"), Some(&Value::Null), "no SLO configured: {json}");
+    assert!(
+        v.path("ledger.min").and_then(Value::as_u64).expect("sharded ◇c ledger present") >= 1,
+        "{json}"
+    );
+    let global = signal_names(&v);
+    assert!(global.iter().any(|g| g == "ledger_min"), "{global:?}");
+    assert!(!global.iter().any(|g| g == "slo_burn"), "slo_burn without an SLO: {global:?}");
+    let shards = v.get("shards").and_then(Value::items).expect("shards array");
+    assert_eq!(shards.len(), 4, "{json}");
+    for shard in shards {
+        assert_eq!(signal_names(shard), SHARD_SIGNALS, "{json}");
+    }
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+}
+
+/// WATCH streams monitor ticks as they are published: at least three,
+/// strictly ordered, each a valid JSON frame carrying the burn rate and
+/// the windowed delta, with a clean `watch-end` close.
+#[test]
+fn watch_streams_at_least_three_ordered_ticks() {
+    let recorder = Arc::new(bschema_obs::Recorder::new());
+    let service = white_pages_service().with_probe(recorder.clone()).with_recorder(recorder);
+    let service = monitored(service, 15, Some("p99=500ms"), None);
+    let handle =
+        Server::spawn(Arc::new(service), ServerConfig { threads: 2, ..ServerConfig::default() })
+            .expect("bind");
+    let addr = handle.addr();
+
+    // Background traffic so the frames have deltas to carry.
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic_stop = stop.clone();
+    let traffic = thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("traffic connects");
+        while !traffic_stop.load(Ordering::SeqCst) {
+            client.ping().expect("ping");
+            thread::sleep(Duration::from_millis(2));
+        }
+        client.unbind().expect("unbind");
+    });
+
+    let client = Client::connect(addr).expect("watcher connects");
+    let mut seqs = Vec::new();
+    let streamed = client
+        .watch(3, |seq, json| {
+            let v = Value::parse(json).expect("tick frame is valid JSON");
+            assert!(v.get("burn").and_then(Value::as_f64).is_some(), "{json}");
+            assert!(v.path("delta.counters").is_some(), "{json}");
+            seqs.push(seq);
+            true
+        })
+        .expect("watch stream completes");
+    assert_eq!(streamed, 3);
+    assert_eq!(seqs.len(), 3);
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "ticks out of order: {seqs:?}");
+
+    stop.store(true, Ordering::SeqCst);
+    traffic.join().expect("traffic thread");
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+}
+
+/// The burn alert is edge-triggered: a fault-injected run — every
+/// transaction violates the error budget — raises exactly one alert
+/// however many ticks burn, and the alert lands in all three sinks
+/// (metrics counter, flight recorder via TRACE, audit trail).
+#[test]
+fn slo_burn_alert_fires_exactly_once_per_excursion() {
+    let audit =
+        std::env::temp_dir().join(format!("bschema-audit-{}-{}.log", std::process::id(), line!()));
+    let _ = std::fs::remove_file(&audit);
+    let recorder = Arc::new(bschema_obs::Recorder::new());
+    let flight = Arc::new(bschema_obs::FlightRecorder::new(16));
+    let service = white_pages_service()
+        .with_probe(recorder.clone())
+        .with_recorder(recorder.clone())
+        .with_flight_recorder(flight.clone());
+    // A 1% error budget: the all-rejections workload below burns it
+    // instantly, and keeps burning for every subsequent tick.
+    let service = monitored(service, 10, Some("err=1%"), Some(audit.clone()));
+    let handle =
+        Server::spawn(Arc::new(service), ServerConfig { threads: 2, ..ServerConfig::default() })
+            .expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    for _ in 0..5 {
+        let err = client.apply_ldif(illegal_ldif()).expect_err("illegal tx refused");
+        assert_eq!(err.server_code(), Some("rolled-back"), "{err}");
+    }
+    // Sit through several burning ticks; the latch must hold the edge.
+    let watcher = Client::connect(handle.addr()).expect("watcher connects");
+    let ticks = watcher.watch(4, |_, _| true).expect("watch during burn");
+    assert_eq!(ticks, 4);
+
+    let json = client.health_json().expect("HEALTH answers");
+    let v = Value::parse(&json).expect("valid JSON");
+    assert_eq!(v.path("slo.burning").map(|b| b == &Value::Bool(true)), Some(true), "{json}");
+    assert_eq!(v.path("slo.alerts").and_then(Value::as_u64), Some(1), "alert re-fired: {json}");
+
+    let metrics = recorder.metrics();
+    assert_eq!(metrics.counter("server.slo_burn_alert"), 1, "counter edge re-fired");
+    let alert = flight
+        .recent()
+        .into_iter()
+        .find(|r| r.verb == "ALERT")
+        .expect("alert flight-recorded for TRACE");
+    assert_eq!(alert.status, "slo-burn");
+    assert_eq!(alert.root.shape(), "monitor.slo_burn");
+
+    let trail = std::fs::read_to_string(&audit).expect("audit trail written");
+    let fired: Vec<&str> = trail.lines().filter(|l| l.contains(" slo-burn ")).collect();
+    assert_eq!(fired.len(), 1, "audit trail:\n{trail}");
+    assert!(fired[0].starts_with("AUDIT "), "{trail}");
+    let detail = fired[0].splitn(4, ' ').nth(3).expect("detail json");
+    assert!(bschema_obs::json::is_valid(detail), "{detail}");
+
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_file(&audit);
 }

@@ -196,3 +196,48 @@ fn stats_scrapes_return_only_deltas() {
     client.shutdown_server().expect("shutdown");
     handle.wait();
 }
+
+/// Hostile `tc=` tokens arriving over the wire — overlong bodies,
+/// non-numeric span ids — are never adopted as trace context and never
+/// poison the session: the request is answered, the connection stays
+/// usable, and the flight recorder holds no attacker-controlled ids.
+#[test]
+fn hostile_trace_tokens_never_poison_the_session() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let (service, flight, _recorder) = traced_service();
+    let handle =
+        Server::spawn(service, ServerConfig { threads: 2, ..Default::default() }).expect("bind");
+
+    let mut sock = std::net::TcpStream::connect(handle.addr()).expect("connect raw");
+    let mut reader = BufReader::new(sock.try_clone().expect("clone socket"));
+    let mut answer = |req: &str| -> String {
+        sock.write_all(req.as_bytes()).expect("write frame");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        line
+    };
+
+    // A 300-char token body: past the parser cap, so it stays a plain
+    // (unknown) argument — the verb refuses it, the session survives.
+    let long = format!("PING tc={}.7\n", "z".repeat(300));
+    let reply = answer(&long);
+    assert!(reply.starts_with("OK") || reply.starts_with("ERR usage"), "{reply}");
+    // A non-numeric span id is equally inert.
+    let reply = answer("PING tc=evil.99999999999999999999999\n");
+    assert!(reply.starts_with("OK") || reply.starts_with("ERR usage"), "{reply}");
+    // The same socket still serves a well-stamped request.
+    let reply = answer("PING tc=good.0\n");
+    assert!(reply.starts_with("OK"), "session poisoned: {reply}");
+
+    let ids: Vec<String> = flight.recent().into_iter().map(|r| r.trace_id).collect();
+    assert!(ids.iter().any(|id| id == "good"), "{ids:?}");
+    assert!(
+        ids.iter().all(|id| !id.contains("zzz") && !id.contains("evil")),
+        "hostile token adopted as trace id: {ids:?}"
+    );
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+}
