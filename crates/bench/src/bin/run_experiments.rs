@@ -1,6 +1,6 @@
 //! Regenerates every table/figure-level result of the paper as text tables.
 //!
-//! Usage: `run_experiments [t31|q9|t42|f4|f5|t52|qopt|srv|mon|all] [--quick] [--out <path>]`
+//! Usage: `run_experiments [t31|q9|t42|f4|f5|t52|qopt|srv|mon|rec|all] [--quick] [--out <path>]`
 //!
 //! The paper (EDBT 2000) reports no absolute measurements — its evaluation
 //! artefacts are the worked example (Figures 1–3), the reduction tables
@@ -87,6 +87,7 @@ fn main() {
         "qopt" => exp_qopt(&sizes, runs),
         "srv" => exp_srv(quick),
         "mon" => exp_mon(quick),
+        "rec" => exp_rec(quick),
         "all" => {
             exp_f1();
             exp_f4();
@@ -98,9 +99,12 @@ fn main() {
             exp_qopt(&sizes, runs);
             exp_srv(quick);
             exp_mon(quick);
+            exp_rec(quick);
         }
         other => {
-            eprintln!("unknown experiment {other:?}; use t31|q9|t42|f1|f4|f5|t52|qopt|srv|mon|all");
+            eprintln!(
+                "unknown experiment {other:?}; use t31|q9|t42|f1|f4|f5|t52|qopt|srv|mon|rec|all"
+            );
             std::process::exit(2);
         }
     }
@@ -625,6 +629,116 @@ fn exp_srv(quick: bool) {
     println!("{}", table.render());
 }
 
+/// REC: what checkpointing buys at recovery time. One journal of small
+/// committed transactions is replayed two ways over the same parsed
+/// records: cold from the seed base (every transaction re-applies
+/// through the Δ-checked path), and from a checkpoint that covers all
+/// but a short tail (slot-exact snapshot restore, one legality certify,
+/// then tail replay). Both paths must converge on byte-identical canonical
+/// state; at |D| ≥ 100k the checkpoint path must be ≥ 5× faster.
+fn exp_rec(quick: bool) {
+    use bschema_core::checkpoint::{recover_with_checkpoint, Checkpoint};
+    use bschema_core::journal::{Journal, JournalWriter};
+    use bschema_core::updates::transaction_from_ldif;
+    use bschema_core::ManagedDirectory;
+    use bschema_directory::ldif::{parse_ldif_limited, LdifLimits};
+
+    println!("== REC: crash recovery, full journal replay vs checkpoint + tail ==");
+    // |D| floor of 100k in the full run; the tail is deliberately short
+    // so the checkpoint path measures restore + certify, not replay.
+    let (orgs, per_org, txs, tail_txs) = if quick { (4, 500, 40, 4) } else { (8, 12_500, 240, 12) };
+    let schema = white_pages_schema();
+    let base = bschema_workload::multi_org_base(orgs, per_org, 0x8EC0);
+    let limits = LdifLimits::default();
+
+    // Build the history: `txs` five-person transactions appended to one
+    // journal, with a checkpoint captured `tail_txs` before the end.
+    let mut managed = ManagedDirectory::with_instance(schema.clone(), base.clone())
+        .expect("generated multi-org base is legal");
+    let mut writer = JournalWriter::new();
+    let mut journal_text = String::new();
+    let mut ckpt_text = None;
+    for i in 0..txs {
+        if i == txs - tail_txs {
+            ckpt_text = Some(
+                Checkpoint::capture(
+                    managed.instance(),
+                    &schema,
+                    writer.records_emitted(),
+                    writer.next_tx(),
+                    None,
+                )
+                .encode(),
+            );
+        }
+        let mut body = String::new();
+        for p in 0..5 {
+            body.push_str(&format!(
+                "dn: uid=rec{i}p{p},o=org{}\nobjectClass: person\nobjectClass: top\n\
+                 uid: rec{i}p{p}\nname: recovery bench\n\n",
+                i % orgs
+            ));
+        }
+        let records = parse_ldif_limited(&body, &limits).expect("bench tx parses");
+        let tx = transaction_from_ldif(managed.instance(), records).expect("bench tx is valid");
+        let id = writer.begin(&tx);
+        journal_text.push_str(&writer.take_pending());
+        managed.apply(&tx).expect("bench tx is legal");
+        writer.commit(id);
+        journal_text.push_str(&writer.take_pending());
+    }
+    let ckpt_text = ckpt_text.expect("checkpoint captured mid-history");
+    let journal = Journal::parse(&journal_text);
+    let n = managed.len();
+
+    let runs = if quick { 3 } else { 5 };
+    let full_us = time_median_us(runs, || {
+        recover_with_checkpoint(schema.clone(), base.clone(), None, &journal)
+            .expect("full replay recovers")
+    });
+    let ckpt_us = time_median_us(runs, || {
+        recover_with_checkpoint(schema.clone(), base.clone(), Some(&ckpt_text), &journal)
+            .expect("checkpoint recovery recovers")
+    });
+
+    // Both paths must land on the same canonical bytes.
+    let full = recover_with_checkpoint(schema.clone(), base.clone(), None, &journal)
+        .expect("full replay recovers");
+    let ckpt = recover_with_checkpoint(schema.clone(), base.clone(), Some(&ckpt_text), &journal)
+        .expect("checkpoint recovery recovers");
+    assert_eq!(
+        full.managed.instance().canonical_bytes(),
+        ckpt.managed.instance().canonical_bytes(),
+        "full replay and checkpoint+tail recovery must converge"
+    );
+    assert_eq!(ckpt.report.replayed, tail_txs, "only the tail replays past the checkpoint");
+
+    let speedup = full_us / ckpt_us.max(0.01);
+    let mut table =
+        Table::new(["|D|", "journal txs", "full replay", "ckpt + tail", "tail txs", "speedup"]);
+    table.row([
+        n.to_string(),
+        txs.to_string(),
+        fmt_us(full_us),
+        fmt_us(ckpt_us),
+        tail_txs.to_string(),
+        format!("{speedup:.1}x"),
+    ]);
+    println!("{}", table.render());
+    if n >= 100_000 {
+        assert!(
+            speedup >= 5.0,
+            "checkpoint+tail recovery must be >= 5x faster than full replay at |D| >= 100k \
+             (measured {speedup:.1}x)"
+        );
+    }
+    emit_bench_line(format!(
+        "{{\"experiment\":\"rec\",\"n\":{n},\"journal_txs\":{txs},\"tail_txs\":{tail_txs},\
+         \"full_replay_us\":{full_us:.1},\"ckpt_tail_us\":{ckpt_us:.1},\
+         \"speedup\":{speedup:.2}}}"
+    ));
+}
+
 /// MON: what the health plane costs. The same loopback read workload
 /// runs with the monitor off and on — and "on" is handicapped: 100ms
 /// ticks (10× the default rate) plus an SLO so every tick also folds
@@ -642,7 +756,9 @@ fn exp_mon(quick: bool) {
     println!("== MON: health-plane overhead (loopback TCP, 100ms ticks + SLO vs none) ==");
     let size = if quick { 300 } else { 1_000 };
     let clients = 4usize;
-    let per_client = if quick { 250 } else { 600 };
+    // Long enough runs that one descheduled worker cannot move the
+    // rate by whole percents: ~1s per run in the full configuration.
+    let per_client = if quick { 250 } else { 2_400 };
 
     let run_once = |monitored: bool| -> f64 {
         let org = org_of_size(size);
@@ -684,24 +800,49 @@ fn exp_mon(quick: bool) {
         (clients * (per_client * 2 + 1)) as f64 / elapsed.as_secs_f64()
     };
 
-    // Alternate off/on runs and keep the best of each: peak throughput
-    // is the stable statistic under loopback scheduling noise.
-    let trials = if quick { 3 } else { 4 };
-    let mut best_off = 0.0f64;
-    let mut best_on = 0.0f64;
-    for _ in 0..trials {
-        best_off = best_off.max(run_once(false));
-        best_on = best_on.max(run_once(true));
+    // One discarded warmup per mode first (cold caches, lazy allocator
+    // arenas, and loopback socket setup all land on whichever mode runs
+    // first), then a paired design: each trial runs off then on
+    // back-to-back and contributes one per-pair overhead, and the
+    // median pair is the reported number. Pairing cancels the slow
+    // drift (thermal, container scheduling) that sank PR7's best-of-4
+    // comparison — it measured -8.4% "overhead" (monitor-on *faster*),
+    // i.e. noise several times the sub-1% true effect. The median of
+    // adjacent-pair deltas is drift-robust and keeps the measurement
+    // inside the documented <2% bound.
+    run_once(false);
+    run_once(true);
+    let trials = if quick { 3 } else { 9 };
+    let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(trials);
+    for t in 0..trials {
+        // Alternate which mode runs first within the pair: the second
+        // run of a pair inherits warm state and would otherwise look
+        // systematically faster.
+        let (off, on) = if t % 2 == 0 {
+            let off = run_once(false);
+            (off, run_once(true))
+        } else {
+            let on = run_once(true);
+            (run_once(false), on)
+        };
+        pairs.push((off, on));
     }
-    let overhead_pct = (best_off - best_on) / best_off * 100.0;
+    let mut overheads: Vec<f64> = pairs.iter().map(|(off, on)| (off - on) / off * 100.0).collect();
+    overheads.sort_by(|a, b| a.partial_cmp(b).expect("finite overheads"));
+    let overhead_pct = overheads[overheads.len() / 2];
+    let (med_off, med_on) = pairs[pairs
+        .iter()
+        .map(|(off, on)| (off - on) / off * 100.0)
+        .position(|o| o == overhead_pct)
+        .unwrap_or(0)];
 
-    let mut table = Table::new(["mode", "req/s (best of trials)"]);
-    table.row(["monitor off".to_owned(), format!("{best_off:.0}")]);
-    table.row(["monitor on (100ms ticks + SLO)".to_owned(), format!("{best_on:.0}")]);
+    let mut table = Table::new(["mode", "req/s (median pair)"]);
+    table.row(["monitor off".to_owned(), format!("{med_off:.0}")]);
+    table.row(["monitor on (100ms ticks + SLO)".to_owned(), format!("{med_on:.0}")]);
     table.row(["overhead".to_owned(), format!("{overhead_pct:.2}%")]);
     println!("{}", table.render());
     emit_bench_line(format!(
-        "{{\"experiment\":\"mon\",\"n\":{trials},\"req_per_s_off\":{best_off:.1},\
-         \"req_per_s_on\":{best_on:.1},\"overhead_pct\":{overhead_pct:.2}}}"
+        "{{\"experiment\":\"mon\",\"n\":{trials},\"req_per_s_off\":{med_off:.1},\
+         \"req_per_s_on\":{med_on:.1},\"overhead_pct\":{overhead_pct:.2}}}"
     ));
 }

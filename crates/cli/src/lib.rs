@@ -39,6 +39,9 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use bschema_core::checkpoint::{
+    checkpoint_path, recover_with_checkpoint, truncate_journal, write_checkpoint, Checkpoint,
+};
 use bschema_core::consistency::{build_witness, ConsistencyChecker};
 use bschema_core::evolution::{self, Evolution};
 use bschema_core::journal::{Journal, JournalWriter};
@@ -56,8 +59,8 @@ use bschema_query::{
     DEFAULT_FILTER_DEPTH,
 };
 use bschema_server::{
-    Client, ClientError, DirectoryService, Monitor, MonitorConfig, Server, ServerConfig,
-    ServiceLimits,
+    Client, ClientError, DirectoryService, Follower, Monitor, MonitorConfig, ReplicationState,
+    Server, ServerConfig, ServiceLimits,
 };
 
 /// A CLI failure: message plus process exit code.
@@ -93,6 +96,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
         "check" => cmd_check(&args[1..], out),
         "apply" => cmd_apply(&args[1..], out),
         "recover" => cmd_recover(&args[1..], out),
+        "checkpoint" => cmd_checkpoint(&args[1..], out),
         "consistency" => cmd_consistency(&args[1..], out),
         "witness" => witness(&args[1..], out),
         "search" => cmd_search(&args[1..], out),
@@ -119,7 +123,8 @@ usage:
   bschema validate <schema.bs> <data.ldif>
   bschema check <data.ldif> <schema.bs> [--sequential] [--explain] [--trace] [--metrics[=json]]
   bschema apply <schema.bs> <data.ldif> <tx.ldif> [--sequential] [--journal <path>] [--inject-fault <n>] [--trace] [--metrics[=json]]
-  bschema recover <schema.bs> <base.ldif> <journal> [--trace] [--metrics[=json]]
+  bschema recover <schema.bs> <base.ldif> <journal> [--verify] [--trace] [--metrics[=json]]
+  bschema checkpoint <schema.bs> <base.ldif> <journal>
   bschema consistency <schema.bs> [--trace] [--metrics[=json]]
   bschema witness <schema.bs>
   bschema search <data.ldif> --filter <rfc2254> [--base <dn>] [--scope base|one|sub] [--schema <schema.bs>]
@@ -131,6 +136,7 @@ usage:
   bschema suggest-schema <data.ldif> [--forbidden] [--required-classes]
   bschema serve <schema.bs> [data.ldif] [--addr <ip:port>] [--port-file <path>]
           [--threads <n>] [--queue-depth <n>] [--shards <n>] [--journal <path>]
+          [--checkpoint-every <n>] [--follow <addr>] [--ship-interval <ms>]
           [--sequential] [--trace] [--metrics[=json]]
           [--monitor-interval <ms>] [--slo p99=<dur>,err=<rate>] [--audit <path>]
           [--inject-fault-site <site>[:<occurrence>]]
@@ -138,7 +144,7 @@ usage:
   bschema client <addr> search --filter <rfc2254> [--base <dn>] [--scope base|one|sub] [--limit <n>] [--explain]
   bschema client <addr> apply <tx.ldif>
   bschema client <addr> modify <mods.txt>
-  bschema client <addr> metrics | prom | stats | trace | health | shutdown
+  bschema client <addr> metrics | prom | stats | trace | health | checkpoint | shutdown
   bschema client <addr> watch [--ticks <n>]
   bschema top <addr> [--once] [--ticks <n>]
 
@@ -525,6 +531,20 @@ fn cmd_apply(args: &[String], out: &mut String) -> Result<i32, CliError> {
                 .map_err(|e| usage_error(format!("cannot repair journal {path:?}: {e}")))?;
         }
         writer = JournalWriter::resume_after(&journal);
+        // A checkpoint may have truncated the journal past the parsed
+        // cursor; new records must continue the checkpoint's numbering,
+        // or recovery's `first_seq >= ckpt.seq` tail filter would skip
+        // them.
+        if let Some(text) = read_optional_file(&checkpoint_path(std::path::Path::new(path)))? {
+            if let Ok(ckpt) = Checkpoint::decode(&text) {
+                if ckpt.seq > writer.records_emitted() || ckpt.next_tx > writer.next_tx() {
+                    writer = JournalWriter::resume_at(
+                        ckpt.seq.max(writer.records_emitted()),
+                        ckpt.next_tx.max(writer.next_tx()),
+                    );
+                }
+            }
+        }
     }
 
     let tx = build_transaction(managed.instance(), &read_file(tx_path)?, &ldif_limits)?;
@@ -590,22 +610,29 @@ fn cmd_apply(args: &[String], out: &mut String) -> Result<i32, CliError> {
 
 fn cmd_recover(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut obs = ObsOpts::default();
+    let mut verify = false;
     let mut positional: Vec<&str> = Vec::new();
     for arg in args {
         if obs.accept(arg) {
             continue;
         }
         match arg.as_str() {
+            "--verify" => verify = true,
             path if !path.starts_with("--") => positional.push(path),
             other => return Err(usage_error(format!("unknown option {other:?}"))),
         }
     }
     let [schema_path, base_path, journal_path] = positional[..] else {
-        return Err(usage_error("recover takes <schema.bs> <base.ldif> <journal>"));
+        return Err(usage_error("recover takes <schema.bs> <base.ldif> <journal> [--verify]"));
     };
     let parsed = load_schema(schema_path)?;
-    let base = load_ldif(base_path, Some(&parsed))?;
     let journal = Journal::parse(&read_file(journal_path)?);
+    let ckpt_file = checkpoint_path(std::path::Path::new(journal_path));
+    let ckpt_text = read_optional_file(&ckpt_file)?;
+    if verify {
+        return cmd_recover_verify(&parsed.schema, &journal, ckpt_text.as_deref(), out);
+    }
+    let base = load_ldif(base_path, Some(&parsed))?;
     if journal.truncated {
         let _ = writeln!(
             out,
@@ -613,8 +640,14 @@ fn cmd_recover(args: &[String], out: &mut String) -> Result<i32, CliError> {
             journal.dropped_records
         );
     }
-    match ManagedDirectory::recover(parsed.schema.clone(), base, &journal) {
-        Ok((managed, report)) => {
+    match recover_with_checkpoint(parsed.schema.clone(), base, ckpt_text.as_deref(), &journal) {
+        Ok(recovery) => {
+            let (managed, report) = (recovery.managed, recovery.report);
+            if let Some(seq) = recovery.checkpoint_seq {
+                let _ = writeln!(out, "checkpoint: restored snapshot covering seq {seq}");
+            } else if ckpt_text.is_some() {
+                let _ = writeln!(out, "checkpoint: unusable, fell back to full replay");
+            }
             let _ = writeln!(
                 out,
                 "RECOVERED: replayed {} committed tx(s), discarded {} uncommitted; directory has {} entries",
@@ -645,6 +678,174 @@ fn cmd_recover(args: &[String], out: &mut String) -> Result<i32, CliError> {
             let _ = writeln!(out, "RECOVERY FAILED: {e}");
             Ok(1)
         }
+    }
+}
+
+/// `recover --verify`: the dry run. Reports what recovery *would* do —
+/// intact/torn record counts, checkpoint usability, and the recovery
+/// point — without mutating the journal, the checkpoint, or anything
+/// else on disk.
+fn cmd_recover_verify(
+    schema: &bschema_core::schema::DirectorySchema,
+    journal: &Journal,
+    ckpt_text: Option<&str>,
+    out: &mut String,
+) -> Result<i32, CliError> {
+    let stats = journal.stats();
+    let _ = writeln!(
+        out,
+        "journal: {} intact record(s) (seq {}..{}), {} committed tx(s), {} uncommitted",
+        stats.records, stats.start_seq, stats.next_seq, stats.committed, stats.uncommitted
+    );
+    if stats.truncated {
+        let _ = writeln!(
+            out,
+            "journal: TORN tail — {} damaged record(s) would be dropped, file would shrink to {} byte(s)",
+            stats.dropped_records, stats.intact_len
+        );
+    } else {
+        let _ = writeln!(out, "journal: tail intact");
+    }
+    let expected_hash = bschema_core::checkpoint::schema_hash(schema);
+    let usable_ckpt = match ckpt_text {
+        None => {
+            let _ = writeln!(out, "checkpoint: none");
+            None
+        }
+        Some(text) => match Checkpoint::decode(text) {
+            Ok(ckpt) if ckpt.schema_hash == expected_hash => {
+                let _ = writeln!(
+                    out,
+                    "checkpoint: intact, {} entries covering seq {}",
+                    ckpt.rows.len(),
+                    ckpt.seq
+                );
+                Some(ckpt)
+            }
+            Ok(ckpt) => {
+                let _ = writeln!(
+                    out,
+                    "checkpoint: UNUSABLE — schema hash {:016x} does not match {expected_hash:016x}",
+                    ckpt.schema_hash
+                );
+                None
+            }
+            Err(e) => {
+                let _ = writeln!(out, "checkpoint: UNUSABLE — {e}");
+                None
+            }
+        },
+    };
+    let code = match usable_ckpt {
+        Some(ckpt) => {
+            let has_tail = stats.next_seq > stats.start_seq;
+            if has_tail && stats.start_seq > ckpt.seq {
+                let _ = writeln!(
+                    out,
+                    "VERIFY FAILED: gap between checkpoint seq {} and journal start seq {} — recovery would be refused",
+                    ckpt.seq, stats.start_seq
+                );
+                1
+            } else {
+                let tail = journal.committed().filter(|tx| tx.first_seq >= ckpt.seq).count();
+                let _ = writeln!(
+                    out,
+                    "recovery point: checkpoint seq {} + {tail} tail tx(s) would replay",
+                    ckpt.seq
+                );
+                0
+            }
+        }
+        None if stats.start_seq > 0 => {
+            let _ = writeln!(
+                out,
+                "VERIFY FAILED: journal starts at seq {} with no usable checkpoint — the truncated history is gone",
+                stats.start_seq
+            );
+            1
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "recovery point: full replay, {} committed tx(s) from the seed base",
+                stats.committed
+            );
+            0
+        }
+    };
+    let _ = writeln!(out, "VERIFY ONLY: no files were modified");
+    Ok(code)
+}
+
+/// `bschema checkpoint` — offline compaction: recover the directory
+/// (checkpoint + tail, or full replay), certify it legal, snapshot it
+/// into `<journal>.ckpt`, and truncate the journal. The write order
+/// (checkpoint renamed into place before the journal shrinks) means a
+/// crash mid-command never loses history.
+fn cmd_checkpoint(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut positional: Vec<&str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            path if !path.starts_with("--") => positional.push(path),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let [schema_path, base_path, journal_path] = positional[..] else {
+        return Err(usage_error("checkpoint takes <schema.bs> <base.ldif> <journal>"));
+    };
+    let parsed = load_schema(schema_path)?;
+    let base = load_ldif(base_path, Some(&parsed))?;
+    let journal = Journal::parse(&read_file(journal_path)?);
+    if journal.truncated {
+        let _ = writeln!(
+            out,
+            "journal: torn tail, {} damaged record(s) discarded",
+            journal.dropped_records
+        );
+    }
+    let ckpt_file = checkpoint_path(std::path::Path::new(journal_path));
+    let ckpt_text = read_optional_file(&ckpt_file)?;
+    let recovery = match recover_with_checkpoint(
+        parsed.schema.clone(),
+        base,
+        ckpt_text.as_deref(),
+        &journal,
+    ) {
+        Ok(recovery) => recovery,
+        Err(e) => {
+            let _ = writeln!(out, "RECOVERY FAILED: {e}");
+            return Ok(1);
+        }
+    };
+    let ckpt = Checkpoint::capture(
+        recovery.managed.instance(),
+        &parsed.schema,
+        recovery.writer.records_emitted(),
+        recovery.writer.next_tx(),
+        journal.shard,
+    );
+    let recorder = Recorder::new();
+    write_checkpoint(&ckpt_file, &ckpt.encode(), &recorder)
+        .map_err(|e| usage_error(format!("cannot write checkpoint {ckpt_file:?}: {e}")))?;
+    truncate_journal(std::path::Path::new(journal_path), &recorder)
+        .map_err(|e| usage_error(format!("cannot truncate journal {journal_path:?}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "CHECKPOINTED: {} entries at seq {} -> {}; journal truncated ({} committed tx(s) folded in)",
+        recovery.managed.len(),
+        ckpt.seq,
+        ckpt_file.display(),
+        recovery.report.replayed
+    );
+    Ok(0)
+}
+
+/// Reads a file that is allowed to be absent.
+fn read_optional_file(path: &std::path::Path) -> Result<Option<String>, CliError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(usage_error(format!("cannot read {path:?}: {e}"))),
     }
 }
 
@@ -903,6 +1104,9 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut queue_depth = 64usize;
     let mut shards = 1usize;
     let mut journal_path: Option<&str> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut follow: Option<String> = None;
+    let mut ship_interval_ms = 250u64;
     let mut monitor_interval_ms: Option<u64> = None;
     let mut slo_spec: Option<&str> = None;
     let mut audit_path: Option<&str> = None;
@@ -927,6 +1131,21 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
             }
             "--shards" => shards = parse_num("--shards", next_value(&mut it, "--shards")?)?,
             "--journal" => journal_path = Some(next_value(&mut it, "--journal")?),
+            "--checkpoint-every" => {
+                let word = next_value(&mut it, "--checkpoint-every")?;
+                let n = word.parse::<u64>().map_err(|_| {
+                    usage_error(format!("--checkpoint-every needs a commit count, got {word:?}"))
+                })?;
+                checkpoint_every = Some(n.max(1));
+            }
+            "--follow" => follow = Some(next_value(&mut it, "--follow")?.to_owned()),
+            "--ship-interval" => {
+                let word = next_value(&mut it, "--ship-interval")?;
+                let ms = word.parse::<u64>().map_err(|_| {
+                    usage_error(format!("--ship-interval needs milliseconds, got {word:?}"))
+                })?;
+                ship_interval_ms = ms.max(10);
+            }
             "--monitor-interval" => {
                 let word = next_value(&mut it, "--monitor-interval")?;
                 let ms = word.parse::<u64>().map_err(|_| {
@@ -966,10 +1185,29 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     };
     let options =
         if sequential { LegalityOptions::sequential() } else { LegalityOptions::parallel(0) };
-    // `--shards N` partitions the forest by top-level subtree (the
-    // Theorem 4.1 transaction unit): writes to distinct shards commit
-    // concurrently, cross-shard transactions take the 2-phase path.
-    let base_service = if shards > 1 {
+    // `--follow <addr>` turns this process into a read replica: the
+    // initial state bootstraps from the primary's checkpoint, writes
+    // are refused with the stable `read-only` code, and a ship loop
+    // keeps the replica fed from the primary's journal.
+    let mut follow_ctx: Option<(Arc<ReplicationState>, u64)> = None;
+    let base_service = if let Some(primary) = &follow {
+        if journal_path.is_some() || shards > 1 || data_path.is_some() {
+            return Err(usage_error(
+                "--follow replicas bootstrap from the primary; drop data.ldif, --journal, and --shards",
+            ));
+        }
+        let (managed, cursor) =
+            Follower::bootstrap_state(primary, &parsed.schema).map_err(|e| CliError {
+                message: format!("cannot bootstrap from primary {primary:?}: {e}"),
+                code: 1,
+            })?;
+        let replication = Arc::new(ReplicationState::default());
+        follow_ctx = Some((replication.clone(), cursor));
+        DirectoryService::new(managed).with_read_only().with_replication(replication)
+    } else if shards > 1 {
+        // `--shards N` partitions the forest by top-level subtree (the
+        // Theorem 4.1 transaction unit): writes to distinct shards commit
+        // concurrently, cross-shard transactions take the 2-phase path.
         DirectoryService::new_sharded(parsed.schema.clone(), dir, shards)
             .map_err(|e| CliError { message: e.to_string(), code: 1 })?
     } else {
@@ -1031,20 +1269,54 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
             let _ = writeln!(out, "journal: replayed {replayed} committed tx(s)");
         }
     }
+    if let Some(every) = checkpoint_every {
+        if journal_path.is_none() {
+            return Err(usage_error("--checkpoint-every needs --journal"));
+        }
+        service = service.with_checkpoint_every(every);
+    }
 
     let config =
         ServerConfig { addr: addr.clone(), threads, queue_depth, ..ServerConfig::default() };
-    let handle = Server::spawn(Arc::new(service), config)
+    let service = Arc::new(service);
+    let handle = Server::spawn(service.clone(), config)
         .map_err(|e| usage_error(format!("cannot serve on {addr:?}: {e}")))?;
     let bound = handle.addr();
-    eprintln!(
-        "SERVING {bound} ({threads} worker(s), queue depth {queue_depth}, {shards} shard(s))"
-    );
+    match &follow {
+        Some(primary) => eprintln!(
+            "SERVING {bound} (read replica of {primary}, {threads} worker(s), queue depth {queue_depth})"
+        ),
+        None => eprintln!(
+            "SERVING {bound} ({threads} worker(s), queue depth {queue_depth}, {shards} shard(s))"
+        ),
+    }
     if let Some(path) = port_file {
         std::fs::write(path, format!("{bound}\n"))
             .map_err(|e| usage_error(format!("cannot write port file {path:?}: {e}")))?;
     }
+    // The ship loop runs beside the acceptor until the server drains.
+    let follower_thread = match (follow, follow_ctx) {
+        (Some(primary), Some((replication, cursor))) => {
+            let mut follower = Follower::attach(
+                primary,
+                parsed.schema.clone(),
+                service.clone(),
+                replication,
+                cursor,
+            );
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop_in = stop.clone();
+            let interval = std::time::Duration::from_millis(ship_interval_ms);
+            let thread = std::thread::spawn(move || follower.run(interval, &stop_in));
+            Some((stop, thread))
+        }
+        _ => None,
+    };
     handle.wait();
+    if let Some((stop, thread)) = follower_thread {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = thread.join();
+    }
     let _ = writeln!(out, "STOPPED {bound}");
     if let Some(plan) = &plan {
         let _ = writeln!(
@@ -1064,7 +1336,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
 fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let [addr, action, rest @ ..] = args else {
         return Err(usage_error(
-            "client takes <addr> ping|search|apply|modify|metrics|prom|stats|trace|health|watch|shutdown [args]",
+            "client takes <addr> ping|search|apply|modify|metrics|prom|stats|trace|health|checkpoint|watch|shutdown [args]",
         ));
     };
     let connect_error =
@@ -1165,6 +1437,18 @@ fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
                 Err(e) => Err(connect_error(e)),
             }
         }
+        "checkpoint" => match client.checkpoint() {
+            Ok(seqs) => {
+                let joined = seqs.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+                let _ = writeln!(out, "CHECKPOINTED: journal truncated, covered seq(s) {joined}");
+                Ok(0)
+            }
+            Err(ClientError::Server { code, detail }) => {
+                let _ = writeln!(out, "REFUSED ({code}): {detail}");
+                Ok(1)
+            }
+            Err(e) => Err(connect_error(e)),
+        },
         "metrics" => {
             let json = client.metrics_json().map_err(connect_error)?;
             let _ = writeln!(out, "{json}");
@@ -2094,5 +2378,170 @@ name: a
         let args = vec!["help".to_owned()];
         assert_eq!(run(&args, &mut out).unwrap(), 0);
         assert!(out.contains("usage"));
+    }
+
+    #[test]
+    fn recover_verify_is_a_pure_dry_run() {
+        let schema = write_tmp("s24.bs", SCHEMA);
+        let data = write_tmp("d24.ldif", LDIF);
+        let journal = write_tmp("j24.jrn", "");
+        let tx = write_tmp(
+            "t24.ldif",
+            "dn: uid=b,o=acme\nobjectClass: person\nobjectClass: top\nuid: b\nname: b\n",
+        );
+        let (code, out) = run_ok(&["apply", &schema, &data, &tx, "--journal", &journal]);
+        assert_eq!(code, 0, "{out}");
+
+        let intact = std::fs::read_to_string(&journal).unwrap();
+        let (code, out) = run_ok(&["recover", &schema, &data, &journal, "--verify"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("1 committed tx(s), 0 uncommitted"), "{out}");
+        assert!(out.contains("checkpoint: none"), "{out}");
+        assert!(out.contains("recovery point: full replay, 1 committed tx(s)"), "{out}");
+        assert!(out.contains("VERIFY ONLY: no files were modified"), "{out}");
+        assert_eq!(std::fs::read_to_string(&journal).unwrap(), intact, "verify must not mutate");
+
+        // Tear the tail: verify reports the damage, still without repairing.
+        let torn = &intact[..intact.len() - 3];
+        std::fs::write(&journal, torn).unwrap();
+        let (code, out) = run_ok(&["recover", &schema, &data, &journal, "--verify"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("TORN tail"), "{out}");
+        assert!(out.contains("0 committed tx(s), 1 uncommitted"), "{out}");
+        assert_eq!(std::fs::read_to_string(&journal).unwrap(), torn, "verify must not repair");
+    }
+
+    #[test]
+    fn checkpoint_command_compacts_and_recover_replays_the_tail() {
+        let schema = write_tmp("s25.bs", SCHEMA);
+        let data = write_tmp("d25.ldif", LDIF);
+        let journal = write_tmp("j25.jrn", "");
+        let ckpt = format!("{journal}.ckpt");
+        let _ = std::fs::remove_file(&ckpt);
+        let tx_b = write_tmp(
+            "t25b.ldif",
+            "dn: uid=b,o=acme\nobjectClass: person\nobjectClass: top\nuid: b\nname: b\n",
+        );
+        let (code, out) = run_ok(&["apply", &schema, &data, &tx_b, "--journal", &journal]);
+        assert_eq!(code, 0, "{out}");
+
+        let (code, out) = run_ok(&["checkpoint", &schema, &data, &journal]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("CHECKPOINTED: 3 entries"), "{out}");
+        assert_eq!(std::fs::read_to_string(&journal).unwrap(), "", "journal truncated");
+        assert!(std::fs::read_to_string(&ckpt).unwrap().starts_with("bschema-ckpt"));
+
+        // One more journaled tx becomes the tail past the checkpoint.
+        let tx_c = write_tmp(
+            "t25c.ldif",
+            "dn: uid=c,o=acme\nobjectClass: person\nobjectClass: top\nuid: c\nname: c\n",
+        );
+        let (code, out) = run_ok(&["apply", &schema, &data, &tx_c, "--journal", &journal]);
+        assert_eq!(code, 0, "{out}");
+
+        let (code, out) = run_ok(&["recover", &schema, &data, &journal, "--verify"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("checkpoint: intact, 3 entries"), "{out}");
+        assert!(out.contains("+ 1 tail tx(s) would replay"), "{out}");
+
+        let (code, out) = run_ok(&["recover", &schema, &data, &journal]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("checkpoint: restored snapshot"), "{out}");
+        assert!(out.contains("replayed 1 committed tx(s)"), "{out}");
+        assert!(out.contains("4 entries"), "{out}");
+        assert!(out.contains("LEGAL"), "{out}");
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn serve_follow_runs_a_read_replica() {
+        let schema = write_tmp("s26.bs", SCHEMA);
+        let data = write_tmp("d26.ldif", LDIF);
+        let journal = write_tmp("j26.jrn", "");
+        let _ = std::fs::remove_file(format!("{journal}.ckpt"));
+        let pport = write_tmp("p26a.port", "");
+        let rport = write_tmp("p26b.port", "");
+        std::fs::remove_file(&pport).unwrap();
+        std::fs::remove_file(&rport).unwrap();
+
+        let wait_addr = |port_file: &str| loop {
+            if let Ok(text) = std::fs::read_to_string(port_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        let primary = {
+            let (schema, data, journal, pport) =
+                (schema.clone(), data.clone(), journal.clone(), pport.clone());
+            std::thread::spawn(move || {
+                run_ok(&[
+                    "serve",
+                    &schema,
+                    &data,
+                    "--journal",
+                    &journal,
+                    "--checkpoint-every",
+                    "2",
+                    "--port-file",
+                    &pport,
+                ])
+            })
+        };
+        let paddr = wait_addr(&pport);
+
+        let replica = {
+            let (schema, paddr, rport) = (schema.clone(), paddr.clone(), rport.clone());
+            std::thread::spawn(move || {
+                run_ok(&[
+                    "serve",
+                    &schema,
+                    "--follow",
+                    &paddr,
+                    "--ship-interval",
+                    "20",
+                    "--port-file",
+                    &rport,
+                ])
+            })
+        };
+        let raddr = wait_addr(&rport);
+
+        // The bootstrap alone carries the seed data.
+        let (code, out) = run_ok(&["client", &raddr, "ping"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("PONG: 2 entries"), "{out}");
+
+        // A write on the primary ships to the replica within a few polls.
+        let tx = write_tmp(
+            "t26.ldif",
+            "dn: uid=b,o=acme\nobjectClass: person\nobjectClass: top\nuid: b\nname: b\n",
+        );
+        let (code, out) = run_ok(&["client", &paddr, "apply", &tx]);
+        assert_eq!(code, 0, "{out}");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let (_, out) = run_ok(&["client", &raddr, "search", "--filter", "(uid=b)"]);
+            if out.contains("1 entries match") {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "replica never caught up: {out}");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        // The replica refuses writes with the stable code.
+        let (code, out) = run_ok(&["client", &raddr, "apply", &tx]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("REJECTED (read-only)"), "{out}");
+
+        let (code, _) = run_ok(&["client", &raddr, "shutdown"]);
+        assert_eq!(code, 0);
+        replica.join().unwrap();
+        let (code, _) = run_ok(&["client", &paddr, "shutdown"]);
+        assert_eq!(code, 0);
+        primary.join().unwrap();
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(format!("{journal}.ckpt"));
     }
 }

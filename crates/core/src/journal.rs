@@ -65,7 +65,7 @@ use bschema_directory::{DirectoryInstance, Dn, Entry, EntryId};
 
 use crate::managed::{ManagedDirectory, ManagedError};
 use crate::schema::DirectorySchema;
-use crate::updates::{NodeRef, Transaction, TxOp};
+use crate::updates::{Mod, NodeRef, Transaction, TxOp};
 
 /// DN suffix shared by every journal record.
 pub const JOURNAL_DN_SUFFIX: &str = "cn=journal";
@@ -83,11 +83,31 @@ pub fn shard_journal_path(base: &std::path::Path, shard: usize) -> std::path::Pa
     base.with_file_name(format!("{name}.shard{shard}"))
 }
 
+/// An LDAP Modify journalled as its own transaction: `begin`, one
+/// `modify` record per [`Mod`] (all addressing the same slot), then
+/// `commit`. Recovery applies the whole mod list in one
+/// [`ManagedDirectory::modify_entry`] call so intermediate states are
+/// never checked — only the certified end state.
+#[derive(Debug, Clone)]
+pub struct JournalModify {
+    /// The modified entry's slot.
+    pub target: EntryId,
+    /// The modifications, in record order.
+    pub mods: Vec<Mod>,
+}
+
 /// One transaction as read back from a journal.
 #[derive(Debug, Clone)]
 pub struct JournalTx {
     /// The transaction id from its `begin` record.
     pub id: u64,
+    /// The journal sequence number of this transaction's `begin` record.
+    /// Checkpoint recovery replays exactly the committed transactions
+    /// with `first_seq >= checkpoint.seq`.
+    pub first_seq: u64,
+    /// The modify payload when this transaction journalled an LDAP
+    /// Modify instead of insert/delete ops (the two never mix).
+    pub modify: Option<JournalModify>,
     /// Global transaction id stamped by a sharded 2-phase apply
     /// (`jrngid`), shared by every participating shard's journal.
     /// `None` for ordinary single-engine transactions.
@@ -157,6 +177,10 @@ pub struct Journal {
     /// (`op=<seq>,shard=<k>,cn=journal`), when this is a shard journal.
     /// Mixed-shard files are treated as crash damage.
     pub shard: Option<u64>,
+    /// The sequence number of the first record. `0` for a full journal;
+    /// a truncated journal (the tail left behind by a checkpoint) starts
+    /// at the checkpointed sequence.
+    pub start_seq: u64,
     /// One past the highest intact record sequence number (where a
     /// resumed writer continues).
     next_seq: u64,
@@ -164,8 +188,33 @@ pub struct Journal {
     next_tx: u64,
 }
 
+/// Summary statistics of a parsed journal — what `recover --verify`
+/// reports without touching the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Intact records in the parse.
+    pub records: u64,
+    /// Transactions with an intact `commit` record.
+    pub committed: usize,
+    /// Transactions without one (aborted, or cut by a crash).
+    pub uncommitted: usize,
+    /// Records discarded as a torn/corrupt tail.
+    pub dropped_records: usize,
+    /// Whether structural crash damage was found.
+    pub truncated: bool,
+    /// Sequence number of the first record (non-zero after truncation).
+    pub start_seq: u64,
+    /// One past the highest intact record sequence number.
+    pub next_seq: u64,
+    /// Byte length of the intact prefix.
+    pub intact_len: usize,
+    /// Shard qualifier, for per-shard journals.
+    pub shard: Option<u64>,
+}
+
 /// A fully decoded journal record, before transaction grouping.
 struct ParsedRecord {
+    seq: u64,
     kind: String,
     tx: u64,
     gid: Option<u64>,
@@ -175,6 +224,9 @@ struct ParsedRecord {
     parent: Option<String>,
     rdn: Option<String>,
     target: Option<usize>,
+    mod_kind: Option<String>,
+    mod_attr: Option<String>,
+    mod_values: Vec<String>,
     payload: Entry,
 }
 
@@ -182,25 +234,33 @@ fn parse_u64(s: &str) -> Option<u64> {
     s.trim().parse().ok()
 }
 
-/// Decodes a record DN `op=<seq>[,shard=<k>],cn=journal`, returning the
-/// optional shard qualifier. `None` means the DN is not a journal
-/// record DN for `expected_seq`.
-fn decode_record_dn(dn: &str, expected_seq: u64) -> Option<Option<u64>> {
-    let rest = dn.strip_prefix(&format!("op={expected_seq},"))?;
+/// Decodes a record DN `op=<seq>[,shard=<k>],cn=journal` into the
+/// sequence number and optional shard qualifier. `None` means the DN is
+/// not a journal record DN.
+fn decode_record_dn(dn: &str) -> Option<(u64, Option<u64>)> {
+    let rest = dn.strip_prefix("op=")?;
+    let (seq, rest) = rest.split_once(',')?;
+    let seq = parse_u64(seq)?;
     if rest == JOURNAL_DN_SUFFIX {
-        return Some(None);
+        return Some((seq, None));
     }
     let shard = rest.strip_suffix(&format!(",{JOURNAL_DN_SUFFIX}"))?.strip_prefix("shard=")?;
-    Some(Some(parse_u64(shard)?))
+    Some((seq, Some(parse_u64(shard)?)))
 }
 
 /// Decodes one LDIF record into a journal record; `None` means the
 /// record is not an intact journal record (torn tail, foreign content).
-fn decode_record(rec: &LdifRecord, expected_seq: u64) -> Option<ParsedRecord> {
-    let shard = decode_record_dn(&rec.dn.to_string(), expected_seq)?;
+/// With `expected_seq` the record must carry exactly that sequence
+/// number; without (the journal's first record) any sequence is
+/// accepted — that is what lets a truncated journal start mid-history.
+fn decode_record(rec: &LdifRecord, expected_seq: Option<u64>) -> Option<ParsedRecord> {
+    let (seq, shard) = decode_record_dn(&rec.dn.to_string())?;
+    if expected_seq.is_some_and(|expected| expected != seq) {
+        return None;
+    }
     // jrndone is written last; its absence (or a mismatched sequence)
     // marks a record cut short by a crash.
-    if parse_u64(rec.entry.first_value("jrndone")?)? != expected_seq {
+    if parse_u64(rec.entry.first_value("jrndone")?)? != seq {
         return None;
     }
     let kind = rec.entry.first_value("jrntype")?.to_owned();
@@ -217,6 +277,9 @@ fn decode_record(rec: &LdifRecord, expected_seq: u64) -> Option<ParsedRecord> {
         Some(v) => Some(parse_u64(v)? as usize),
         None => None,
     };
+    let mod_kind = rec.entry.first_value("jrnmod").map(str::to_owned);
+    let mod_attr = rec.entry.first_value("jrnattr").map(str::to_owned);
+    let mod_values = rec.entry.values("jrnval").to_vec();
     let mut payload = rec.entry.clone();
     for attr in [
         "jrntype",
@@ -227,11 +290,42 @@ fn decode_record(rec: &LdifRecord, expected_seq: u64) -> Option<ParsedRecord> {
         "jrnparent",
         "jrnrdn",
         "jrntarget",
+        "jrnmod",
+        "jrnattr",
+        "jrnval",
         "jrndone",
     ] {
         payload.remove_attribute(attr);
     }
-    Some(ParsedRecord { kind, tx, gid, peers, shard, op, parent, rdn, target, payload })
+    Some(ParsedRecord {
+        seq,
+        kind,
+        tx,
+        gid,
+        peers,
+        shard,
+        op,
+        parent,
+        rdn,
+        target,
+        mod_kind,
+        mod_attr,
+        mod_values,
+        payload,
+    })
+}
+
+/// Reconstructs a [`Mod`] from a `modify` record's fields.
+fn decode_mod(kind: &str, attr: Option<&str>, values: &[String]) -> Option<Mod> {
+    let attribute = attr?.to_owned();
+    let single = || (values.len() == 1).then(|| values[0].clone());
+    match kind {
+        "add" => Some(Mod::Add { attribute, value: single()? }),
+        "delete-value" => Some(Mod::DeleteValue { attribute, value: single()? }),
+        "delete-attribute" if values.is_empty() => Some(Mod::DeleteAttribute { attribute }),
+        "replace" => Some(Mod::Replace { attribute, values: values.to_vec() }),
+        _ => None,
+    }
 }
 
 fn decode_parent(spec: &str) -> Option<Option<NodeRef>> {
@@ -286,9 +380,11 @@ impl Journal {
         let mut journal = Journal::empty();
         let mut open: Option<JournalTx> = None;
         let mut intact = 0usize;
+        let mut first = true;
         'records: for (paragraph, end) in &paragraphs {
+            let expected = if first { None } else { Some(journal.next_seq) };
             let decoded = match parse_ldif(paragraph) {
-                Ok(records) if records.len() == 1 => decode_record(&records[0], journal.next_seq),
+                Ok(records) if records.len() == 1 => decode_record(&records[0], expected),
                 _ => None,
             };
             let Some(record) = decoded else {
@@ -297,9 +393,14 @@ impl Journal {
             };
             // A shard journal carries one shard qualifier throughout; a
             // record from another shard (or the unsharded form) is
-            // foreign content, i.e. damage.
-            if journal.next_seq == 0 {
+            // foreign content, i.e. damage. The first record also fixes
+            // the starting sequence — non-zero for the tail a checkpoint
+            // truncation leaves behind.
+            if first {
                 journal.shard = record.shard;
+                journal.start_seq = record.seq;
+                journal.next_seq = record.seq;
+                first = false;
             } else if journal.shard != record.shard {
                 journal.truncated = true;
                 break 'records;
@@ -315,14 +416,42 @@ impl Journal {
                     }
                     open = Some(JournalTx {
                         id: record.tx,
+                        first_seq: record.seq,
+                        modify: None,
                         gid: record.gid,
                         peers: record.peers,
                         ops: Vec::new(),
                         committed: false,
                     });
                 }
+                "modify" => {
+                    // Modify records never mix with insert/delete ops,
+                    // share one target per transaction, and are
+                    // op-indexed like any other record.
+                    let next_op =
+                        open.as_ref().map(|tx| tx.modify.as_ref().map_or(0, |m| m.mods.len()));
+                    let valid = matches!(&open, Some(tx) if tx.id == record.tx && tx.ops.is_empty())
+                        && record.op == next_op;
+                    let decoded_mod = record.mod_kind.as_deref().and_then(|k| {
+                        decode_mod(k, record.mod_attr.as_deref(), &record.mod_values)
+                    });
+                    let (Some(target), Some(m), true) = (record.target, decoded_mod, valid) else {
+                        journal.truncated = true;
+                        break 'records;
+                    };
+                    let target = EntryId::from_index(target);
+                    let tx = open.as_mut().expect("valid implies an open tx");
+                    match tx.modify.as_mut() {
+                        None => tx.modify = Some(JournalModify { target, mods: vec![m] }),
+                        Some(existing) if existing.target == target => existing.mods.push(m),
+                        Some(_) => {
+                            journal.truncated = true;
+                            break 'records;
+                        }
+                    }
+                }
                 "insert" | "delete" => {
-                    let valid = matches!(&open, Some(tx) if tx.id == record.tx)
+                    let valid = matches!(&open, Some(tx) if tx.id == record.tx && tx.modify.is_none())
                         && record.op == open.as_ref().map(|tx| tx.ops.len());
                     if !valid {
                         journal.truncated = true;
@@ -389,6 +518,34 @@ impl Journal {
     pub fn committed(&self) -> impl Iterator<Item = &JournalTx> {
         self.txs.iter().filter(|tx| tx.committed)
     }
+
+    /// One past the highest intact record sequence number — where a
+    /// resumed writer (or a replication cursor) continues.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// One past the highest transaction id seen — where a resumed
+    /// writer continues numbering transactions.
+    pub fn next_tx(&self) -> u64 {
+        self.next_tx
+    }
+
+    /// Summary statistics, for diagnostics that must not mutate the
+    /// journal (`recover --verify`).
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            records: self.next_seq - self.start_seq,
+            committed: self.committed().count(),
+            uncommitted: self.txs.iter().filter(|tx| !tx.committed).count(),
+            dropped_records: self.dropped_records,
+            truncated: self.truncated,
+            start_seq: self.start_seq,
+            next_seq: self.next_seq,
+            intact_len: self.intact_len,
+            shard: self.shard,
+        }
+    }
 }
 
 /// Serialises transactions into write-ahead journal records.
@@ -431,6 +588,14 @@ impl JournalWriter {
             shard: journal.shard.map(|k| k as usize),
             bytes: 0,
         }
+    }
+
+    /// A writer that continues at an explicit sequence and transaction
+    /// id — the resume path when a checkpoint truncated the journal to
+    /// nothing, so there is no record to parse the cursor out of; both
+    /// values come from the checkpoint header instead.
+    pub fn resume_at(seq: u64, next_tx: u64) -> Self {
+        JournalWriter { seq, next_tx, ..JournalWriter::default() }
     }
 
     /// Qualifies every subsequent record DN with `shard=<k>` — the
@@ -512,6 +677,41 @@ impl JournalWriter {
         id
     }
 
+    /// Records `begin` plus one `modify` record per [`Mod`] on `target`
+    /// (the write-ahead half of an LDAP Modify) and returns the
+    /// transaction id for [`commit`](JournalWriter::commit).
+    pub fn begin_modify(&mut self, target: EntryId, mods: &[Mod]) -> u64 {
+        let id = self.next_tx;
+        self.next_tx += 1;
+        self.emit("begin", id, &[], None);
+        for (i, m) in mods.iter().enumerate() {
+            let (kind, attribute, values): (&str, &str, Vec<String>) = match m {
+                Mod::Add { attribute, value } => ("add", attribute, vec![value.clone()]),
+                Mod::DeleteValue { attribute, value } => {
+                    ("delete-value", attribute, vec![value.clone()])
+                }
+                Mod::DeleteAttribute { attribute } => ("delete-attribute", attribute, Vec::new()),
+                Mod::Replace { attribute, values } => ("replace", attribute, values.clone()),
+            };
+            let mut payload = Entry::new();
+            for value in values {
+                payload.add_value("jrnval", value);
+            }
+            self.emit(
+                "modify",
+                id,
+                &[
+                    ("jrnop", i.to_string()),
+                    ("jrntarget", target.index().to_string()),
+                    ("jrnmod", kind.to_owned()),
+                    ("jrnattr", attribute.to_owned()),
+                ],
+                Some(&payload),
+            );
+        }
+        id
+    }
+
     /// Records the commit of `tx_id`. Only call after the transaction
     /// was applied and certified legal.
     pub fn commit(&mut self, tx_id: u64) {
@@ -535,6 +735,13 @@ impl JournalWriter {
     /// length, not this process's contribution.
     pub fn records_emitted(&self) -> u64 {
         self.seq
+    }
+
+    /// One past the highest transaction id this writer has numbered —
+    /// paired with [`records_emitted`](Self::records_emitted) it is the
+    /// cursor a checkpoint header must record.
+    pub fn next_tx(&self) -> u64 {
+        self.next_tx
     }
 
     /// Record text bytes built by *this* writer (since construction /
@@ -593,7 +800,11 @@ impl ManagedDirectory {
         let mut discarded = 0;
         for jtx in &journal.txs {
             if jtx.committed {
-                managed.apply(&jtx.to_transaction()).map_err(|e| {
+                match &jtx.modify {
+                    Some(m) => managed.modify_entry(m.target, &m.mods),
+                    None => managed.apply(&jtx.to_transaction()),
+                }
+                .map_err(|e| {
                     ManagedError::Recovery(format!("replaying committed tx {}: {e}", jtx.id))
                 })?;
                 replayed += 1;
@@ -830,6 +1041,132 @@ mod tests {
         let base = std::path::Path::new("/var/data/dir.wal");
         assert_eq!(shard_journal_path(base, 0), std::path::Path::new("/var/data/dir.wal.shard0"));
         assert_eq!(shard_journal_path(base, 7), std::path::Path::new("/var/data/dir.wal.shard7"));
+    }
+
+    #[test]
+    fn modify_records_roundtrip_and_recover() {
+        let schema = white_pages_schema();
+        let (dir, ids) = white_pages_instance();
+        let base = dir.clone();
+
+        let mut managed = ManagedDirectory::with_instance(schema.clone(), dir).unwrap();
+        let mut writer = JournalWriter::new();
+
+        // One tx with several mods, exercising every kind. The delete +
+        // re-add of a required attribute is only legal as one atomic
+        // batch — recovery must not check intermediate states.
+        let mods = [
+            Mod::DeleteAttribute { attribute: "name".into() },
+            Mod::Add { attribute: "name".into(), value: "suciu, dan".into() },
+            Mod::Replace {
+                attribute: "title".into(),
+                values: vec!["researcher".into(), "member of staff".into()],
+            },
+            Mod::DeleteValue { attribute: "title".into(), value: "member of staff".into() },
+        ];
+        let id = writer.begin_modify(ids.suciu, &mods);
+        managed.modify_entry(ids.suciu, &mods).unwrap();
+        writer.commit(id);
+
+        let text = writer.take_pending();
+        let journal = Journal::parse(&text);
+        assert!(!journal.truncated, "{journal:?}");
+        assert_eq!(journal.txs.len(), 1);
+        let jtx = &journal.txs[0];
+        assert!(jtx.committed);
+        assert_eq!(jtx.first_seq, 0);
+        let modify = jtx.modify.as_ref().expect("modify payload");
+        assert_eq!(modify.target, ids.suciu);
+        assert_eq!(modify.mods, mods);
+
+        let (recovered, report) =
+            ManagedDirectory::recover(schema, base, &journal).expect("recovery succeeds");
+        assert_eq!(report.replayed, 1);
+        assert_eq!(
+            recovered.instance().canonical_bytes(),
+            managed.instance().canonical_bytes(),
+            "modify recovery must reproduce the live state"
+        );
+    }
+
+    #[test]
+    fn torn_modify_tails_are_discarded() {
+        let (_, ids) = white_pages_instance();
+        let mut writer = JournalWriter::new();
+        let mods = [Mod::Add { attribute: "title".into(), value: "x".into() }];
+        let id = writer.begin_modify(ids.suciu, &mods);
+        writer.commit(id);
+        let text = writer.take_pending();
+        for cut in (0..text.len()).step_by(7) {
+            // No prefix short of the full text has a committed tx.
+            assert_eq!(Journal::parse(&text[..cut]).committed().count(), 0, "cut at {cut}");
+        }
+        assert_eq!(Journal::parse(&text).committed().count(), 1);
+    }
+
+    #[test]
+    fn journal_tail_may_start_mid_history() {
+        let (_, ids) = white_pages_instance();
+        let mut tx = Transaction::new();
+        tx.insert_under(ids.databases, researcher("zoe"));
+        // A writer resumed at seq 40 (as after a checkpoint truncation).
+        let mut writer = JournalWriter::resume_at(40, 7);
+        let id = writer.begin(&tx);
+        assert_eq!(id, 7);
+        writer.commit(id);
+        let text = writer.take_pending();
+        assert!(text.contains("op=40,cn=journal"));
+
+        let journal = Journal::parse(&text);
+        assert!(!journal.truncated, "{journal:?}");
+        assert_eq!(journal.start_seq, 40);
+        assert_eq!(journal.next_seq(), 43);
+        assert_eq!(journal.txs[0].first_seq, 40);
+        assert!(journal.txs[0].committed);
+        // A gap *inside* the file is still damage.
+        let mut gapped = text.clone();
+        let mut more = JournalWriter::resume_at(99, 8);
+        let id = more.begin(&tx);
+        more.commit(id);
+        gapped.push_str(&more.take_pending());
+        assert!(Journal::parse(&gapped).truncated);
+        // Resuming from the parse continues at the right sequence.
+        let resumed = JournalWriter::resume_after(&journal);
+        assert_eq!(resumed.records_emitted(), 43);
+    }
+
+    #[test]
+    fn stats_on_empty_torn_and_truncated_journals() {
+        // Empty journal.
+        let stats = Journal::parse("").stats();
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.committed, 0);
+        assert_eq!(stats.uncommitted, 0);
+        assert_eq!(stats.start_seq, 0);
+        assert_eq!(stats.next_seq, 0);
+        assert!(!stats.truncated);
+
+        // Torn-tail-only journal: nothing intact, everything dropped.
+        let stats = Journal::parse("dn: op=0,cn=journal\njrntype: begin\n").stats();
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.dropped_records, 1);
+        assert!(stats.truncated);
+        assert_eq!(stats.intact_len, 0);
+
+        // Freshly truncated journal: a tail starting mid-history.
+        let (_, ids) = white_pages_instance();
+        let mut tx = Transaction::new();
+        tx.insert_under(ids.databases, researcher("zoe"));
+        let mut writer = JournalWriter::resume_at(10, 3);
+        let id = writer.begin(&tx);
+        writer.commit(id);
+        let stats = Journal::parse(&writer.take_pending()).stats();
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.start_seq, 10);
+        assert_eq!(stats.next_seq, 13);
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.uncommitted, 0);
+        assert!(!stats.truncated);
     }
 
     #[test]

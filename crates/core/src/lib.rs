@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod consistency;
 pub mod discover;
 pub mod evolution;
@@ -56,10 +57,11 @@ pub mod schema;
 pub mod sharded;
 pub mod updates;
 
+pub use checkpoint::{recover_with_checkpoint, Checkpoint, CheckpointError, CheckpointRecovery};
 pub use consistency::ConsistencyChecker;
 pub use discover::{suggest_schema, DiscoveryOptions};
 pub use evolution::{evolve, Evolution, EvolutionError};
-pub use journal::{Journal, JournalTx, JournalWriter, RecoveryReport};
+pub use journal::{Journal, JournalModify, JournalStats, JournalTx, JournalWriter, RecoveryReport};
 pub use legality::{LegalityChecker, LegalityOptions, LegalityReport, Violation};
 pub use managed::ManagedDirectory;
 pub use qopt::SchemaAwareOptimizer;

@@ -113,6 +113,53 @@ impl DirectorySchema {
         schema
     }
 
+    /// A canonical, order-stable textual rendering of the whole schema:
+    /// every class in id order with its kind, parent, allowed
+    /// auxiliaries, and attribute constraints (already sorted inside the
+    /// attribute schema), then uniqueness declarations and the structure
+    /// triple. Unlike `Debug` — whose `HashMap` iteration order varies
+    /// between otherwise identical schemas — two equal constructions
+    /// render identically, which makes this the substrate for the
+    /// checkpoint schema hash.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if let Some(name) = &self.name {
+            let _ = writeln!(out, "schema {name}");
+        }
+        for id in self.classes.classes() {
+            let kind = if self.classes.is_core(id) { "core" } else { "auxiliary" };
+            let parent = self.classes.parent(id).map_or("-", |p| self.classes.name(p));
+            let _ = write!(out, "class {} kind={kind} parent={parent}", self.classes.name(id));
+            for aux in self.classes.allowed_auxiliaries(id) {
+                let _ = write!(out, " aux={}", self.classes.name(*aux));
+            }
+            for attr in self.attributes.required(id) {
+                let _ = write!(out, " req={attr}");
+            }
+            for attr in self.attributes.allowed(id) {
+                let _ = write!(out, " opt={attr}");
+            }
+            if self.attributes.is_extensible(id) {
+                let _ = write!(out, " extensible");
+            }
+            out.push('\n');
+        }
+        for attr in self.attributes.unique_attributes() {
+            let _ = writeln!(out, "unique {attr}");
+        }
+        for class in self.structure.required_classes() {
+            let _ = writeln!(out, "required-class {}", self.classes.name(class));
+        }
+        for rel in self.structure.required_rels() {
+            let _ = writeln!(out, "require {}", self.display_required(rel));
+        }
+        for rel in self.structure.forbidden_rels() {
+            let _ = writeln!(out, "forbid {}", self.display_forbidden(rel));
+        }
+        out
+    }
+
     /// Total element count `|S|` across all three components — the schema
     /// size used in complexity accounting.
     pub fn size(&self) -> usize {

@@ -42,16 +42,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use bschema_directory::ldif::LdifRecord;
-use bschema_directory::{DirectoryInstance, Dn, Rdn};
+use bschema_directory::{DirectoryInstance, Dn, Entry, EntryId, Rdn};
 use bschema_obs::Probe;
 
+use crate::checkpoint::{
+    checkpoint_path, recover_with_checkpoint, truncate_journal, write_checkpoint, Checkpoint,
+};
 use crate::consistency::ConsistencyChecker;
 use crate::journal::{Journal, JournalWriter, RecoveryReport};
 use crate::legality::report::Violation;
 use crate::legality::{LegalityChecker, LegalityReport};
 use crate::managed::{inconsistency_error, ManagedDirectory, ManagedError};
 use crate::schema::DirectorySchema;
-use crate::updates::{transaction_from_ldif, LdifTxError, Transaction};
+use crate::updates::{transaction_from_ldif, LdifTxError, Mod, Transaction};
 
 /// Durability callback for one shard's journal: invoked with each staged
 /// record batch at the write-ahead points (begin records before the
@@ -70,6 +73,11 @@ pub enum ShardedError {
     Tx(LdifTxError),
     /// The engine rejected or rolled back the transaction.
     Managed(ManagedError),
+    /// A MODIFY named an entry that does not exist on its shard.
+    NoSuchEntry {
+        /// The target DN as given.
+        dn: String,
+    },
 }
 
 impl ShardedError {
@@ -80,6 +88,7 @@ impl ShardedError {
         match self {
             ShardedError::Tx(_) => "invalid-tx",
             ShardedError::Managed(e) => e.code(),
+            ShardedError::NoSuchEntry { .. } => "no-such-entry",
         }
     }
 }
@@ -89,6 +98,7 @@ impl fmt::Display for ShardedError {
         match self {
             ShardedError::Tx(e) => write!(f, "invalid transaction: {e}"),
             ShardedError::Managed(e) => e.fmt(f),
+            ShardedError::NoSuchEntry { dn } => write!(f, "no entry named {dn}"),
         }
     }
 }
@@ -116,6 +126,29 @@ pub struct ShardedTxOutcome {
     pub gid: Option<u64>,
     /// Total LDIF records applied across all shards.
     pub ops: usize,
+}
+
+/// The entry as it would look after `mods` — the dry-run the `◇c`
+/// ledger admission needs before anything is journalled or applied.
+fn simulate_mods(entry: &Entry, mods: &[Mod]) -> Entry {
+    let mut simulated = entry.clone();
+    for m in mods {
+        match m {
+            Mod::Add { attribute, value } => {
+                simulated.add_value(attribute, value.clone());
+            }
+            Mod::DeleteValue { attribute, value } => {
+                simulated.remove_value(attribute, value);
+            }
+            Mod::DeleteAttribute { attribute } => {
+                simulated.remove_attribute(attribute);
+            }
+            Mod::Replace { attribute, values } => {
+                simulated.set_values(attribute, values.iter().cloned());
+            }
+        }
+    }
+    simulated
 }
 
 /// FNV-1a over the normalised (lowercased, whitespace-canonical) root
@@ -381,6 +414,158 @@ impl ShardedDirectory {
         Ok((sharded, reports))
     }
 
+    /// Checkpoint-aware recovery: like [`recover`](Self::recover), but
+    /// each shard may bring a checkpoint file's text whose snapshot
+    /// absorbs the truncated part of its journal. Cross-shard (`gid`)
+    /// reconciliation runs over the *visible* journals only — sound
+    /// because a checkpoint campaign writes every shard's checkpoint
+    /// before truncating any journal, so a global transaction's commit
+    /// records are either all still in journals or all covered by
+    /// checkpoints (and then skipped by the `first_seq >= ckpt.seq`
+    /// replay rule before the reconciled commit flag is consulted).
+    pub fn recover_with_checkpoints(
+        schema: DirectorySchema,
+        bases: Vec<DirectoryInstance>,
+        checkpoints: &[Option<String>],
+        journals: &[Journal],
+    ) -> Result<(Self, Vec<RecoveryReport>), ManagedError> {
+        if bases.len() != journals.len() || checkpoints.len() != journals.len() {
+            return Err(ManagedError::Recovery(format!(
+                "{} shard bases, {} checkpoints, {} journals",
+                bases.len(),
+                checkpoints.len(),
+                journals.len()
+            )));
+        }
+        let result = ConsistencyChecker::new(&schema).check();
+        if !result.is_consistent() {
+            return Err(inconsistency_error(&result));
+        }
+        reject_global_keys(&schema)?;
+        let mut commits: BTreeMap<u64, u64> = BTreeMap::new();
+        for journal in journals {
+            for jtx in &journal.txs {
+                if jtx.committed {
+                    if let Some(gid) = jtx.gid {
+                        *commits.entry(gid).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let local_schema = schema.without_required_classes();
+        let required = required_class_names(&schema);
+        let mut slots = Vec::with_capacity(bases.len());
+        let mut reports = Vec::with_capacity(bases.len());
+        let mut next_gid = 0u64;
+        for (k, (base, journal)) in bases.into_iter().zip(journals).enumerate() {
+            let mut reconciled = journal.clone();
+            for jtx in &mut reconciled.txs {
+                if let (Some(gid), Some(peers)) = (jtx.gid, jtx.peers) {
+                    next_gid = next_gid.max(gid + 1);
+                    if commits.get(&gid).copied().unwrap_or(0) < peers {
+                        jtx.committed = false;
+                    }
+                }
+            }
+            let recovery = recover_with_checkpoint(
+                local_schema.clone(),
+                base,
+                checkpoints[k].as_deref(),
+                &reconciled,
+            )
+            .map_err(|e| ManagedError::Recovery(format!("shard {k}: {e}")))?;
+            slots.push(Mutex::new(ShardState {
+                managed: recovery.managed,
+                journal: recovery.writer.with_shard(k),
+                sink: None,
+            }));
+            reports.push(recovery.report);
+        }
+        let counts = {
+            let mut counts = count_required(&required, &[]);
+            for slot in &slots {
+                let state = slot.lock().unwrap_or_else(|e| e.into_inner());
+                for (name, n) in count_required(&required, &[state.managed.instance()]) {
+                    *counts.get_mut(&name).expect("ledger key") += n;
+                }
+            }
+            counts
+        };
+        let sharded = ShardedDirectory {
+            schema,
+            local_schema,
+            required,
+            slots,
+            counts: Mutex::new(counts),
+            next_gid: AtomicU64::new(next_gid),
+            probe: None,
+        };
+        Ok((sharded, reports))
+    }
+
+    /// Snapshots every shard at one quiescent point: all shard locks are
+    /// taken (ascending — the global lock order) before any capture, so
+    /// a cross-shard transaction is in every returned checkpoint or in
+    /// none. Each checkpoint covers its shard's full journal (seq =
+    /// the writer's cursor, the tail after truncation is empty) and is
+    /// hashed against the *shard-local* schema — the one
+    /// [`recover_with_checkpoints`](Self::recover_with_checkpoints)
+    /// verifies against.
+    pub fn checkpoint_all(&self) -> Vec<Checkpoint> {
+        let guards: Vec<MutexGuard<'_, ShardState>> =
+            self.slots.iter().map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner())).collect();
+        guards
+            .iter()
+            .enumerate()
+            .map(|(k, state)| {
+                Checkpoint::capture(
+                    state.managed.instance(),
+                    &self.local_schema,
+                    state.journal.records_emitted(),
+                    state.journal.next_tx(),
+                    Some(k as u64),
+                )
+            })
+            .collect()
+    }
+
+    /// Runs a full checkpoint campaign to disk: under all shard locks
+    /// (held for the whole campaign, so no commit can slip between a
+    /// capture and its truncation), every shard's pending journal text
+    /// is flushed, its checkpoint written atomically next to `paths[k]`
+    /// (see [`checkpoint_path`]), and — only after **every** shard's
+    /// checkpoint landed — each journal file truncated to empty. The
+    /// write-all-then-truncate-all order is what keeps cross-shard
+    /// reconciliation sound on recovery: a `gid`'s commit records are
+    /// either all still in journals or all covered by checkpoints.
+    /// Returns the covered sequence number per shard.
+    pub fn checkpoint_and_truncate(
+        &self,
+        paths: &[std::path::PathBuf],
+        probe: &dyn Probe,
+    ) -> std::io::Result<Vec<u64>> {
+        assert_eq!(paths.len(), self.slots.len(), "one journal path per shard");
+        let mut guards: Vec<MutexGuard<'_, ShardState>> =
+            self.slots.iter().map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner())).collect();
+        let mut seqs = Vec::with_capacity(guards.len());
+        for (k, state) in guards.iter_mut().enumerate() {
+            state.persist_pending()?;
+            let ckpt = Checkpoint::capture(
+                state.managed.instance(),
+                &self.local_schema,
+                state.journal.records_emitted(),
+                state.journal.next_tx(),
+                Some(k as u64),
+            );
+            write_checkpoint(&checkpoint_path(&paths[k]), &ckpt.encode(), probe)?;
+            seqs.push(ckpt.seq);
+        }
+        for path in paths {
+            truncate_journal(path, probe)?;
+        }
+        Ok(seqs)
+    }
+
     /// Assembles shards from already-partitioned, already-validated
     /// bases (callers: [`with_instance`](Self::with_instance) and tests).
     fn from_parts(
@@ -574,6 +759,70 @@ impl ShardedDirectory {
                 Err(e)
             }
         }
+    }
+
+    /// Applies an LDAP Modify to the entry named `dn`. A Modify targets
+    /// exactly one DN, and the target's top-level subtree pins it — and
+    /// every structural consequence (Theorem 4.1 locality) — to one
+    /// shard, so this is always a single-shard operation: the shard is
+    /// locked, the mod list is journalled as one `modify` transaction
+    /// (`begin`, one record per [`Mod`], `commit`), and applied through
+    /// the shard engine's checked modify path. A modification can move
+    /// the entry in or out of a required class via its `objectClass`
+    /// values, so the `◇c` ledger sees the simulated class delta before
+    /// admission, exactly like insert/delete routing.
+    pub fn modify_dn(&self, dn: &Dn, mods: &[Mod]) -> Result<ShardedTxOutcome, ShardedError> {
+        let k = self.shard_of_dn(dn);
+        let mut guard = (k, self.lock_slot(k));
+        let target = guard
+            .1
+            .managed
+            .instance()
+            .lookup_dn(dn)
+            .ok_or_else(|| ShardedError::NoSuchEntry { dn: dn.to_string() })?;
+        let mut delta: BTreeMap<String, i64> = BTreeMap::new();
+        if !self.required.is_empty() {
+            let entry = guard.1.managed.instance().entry(target).expect("looked-up entry exists");
+            let simulated = simulate_mods(entry, mods);
+            for name in &self.required {
+                match (entry.has_class(name), simulated.has_class(name)) {
+                    (true, false) => *delta.entry(name.clone()).or_insert(0) -= 1,
+                    (false, true) => *delta.entry(name.clone()).or_insert(0) += 1,
+                    _ => {}
+                }
+            }
+        }
+        self.reserve(&delta)?;
+        let outcome = self.apply_modify(&mut guard, target, mods);
+        match outcome {
+            Ok(receipt) => {
+                self.settle(&delta);
+                Ok(receipt)
+            }
+            Err(e) => {
+                self.unreserve(&delta);
+                Err(e)
+            }
+        }
+    }
+
+    /// The journaled single-shard modify apply, mirroring
+    /// [`apply_single`](Self::apply_single)'s write-ahead discipline.
+    fn apply_modify(
+        &self,
+        guard: &mut (usize, MutexGuard<'_, ShardState>),
+        target: EntryId,
+        mods: &[Mod],
+    ) -> Result<ShardedTxOutcome, ShardedError> {
+        let (k, state) = guard;
+        let tx_id = state.journal.begin_modify(target, mods);
+        state
+            .persist_pending()
+            .map_err(|e| ManagedError::Internal(format!("shard {k} journal begin flush: {e}")))?;
+        state.managed.modify_entry(target, mods)?;
+        state.journal.commit(tx_id);
+        let _ = state.persist_pending();
+        Ok(ShardedTxOutcome { shards: vec![*k], gid: None, ops: mods.len() })
     }
 
     /// Accumulates the transaction's net effect on the `◇c` ledger:
@@ -946,5 +1195,134 @@ mod tests {
             live,
             "committed cross-shard tx lost in recovery"
         );
+    }
+
+    #[test]
+    fn single_shard_modify_routes_journals_and_recovers() {
+        let (dir, _) = white_pages_instance();
+        let schema = white_pages_schema();
+        let bases = partition(&dir, 2).expect("partition");
+        let sharded = ShardedDirectory::with_instance(schema.clone(), dir, 2).expect("legal seed");
+        let name = name_on_shard(0, 2);
+        sharded.apply_ldif(records(&org_ldif(&name))).expect("subtree inserts");
+
+        let dn = Dn::parse(&format!("uid=p,ou=u,o={name}")).expect("dn");
+        let mods = [
+            Mod::Add { attribute: "title".into(), value: "tester".into() },
+            Mod::Replace { attribute: "name".into(), values: vec!["p. tester".into()] },
+        ];
+        let outcome = sharded.modify_dn(&dn, &mods).expect("modify applies");
+        assert_eq!(outcome.shards, vec![0]);
+        assert_eq!(outcome.gid, None);
+        let after = sharded.shard_instance(0);
+        let id = after.lookup_dn(&dn).expect("entry still there");
+        assert_eq!(after.entry(id).expect("entry").values("title"), ["tester"]);
+        assert_eq!(after.entry(id).expect("entry").values("name"), ["p. tester"]);
+
+        // The modify is journalled: recovery replays it.
+        let live = sharded.merged_instance().expect("merge").canonical_bytes();
+        let journals =
+            [Journal::parse(&sharded.take_pending(0)), Journal::parse(&sharded.take_pending(1))];
+        assert!(
+            journals[0].committed().any(|tx| tx.modify.is_some()),
+            "modify tx missing from shard 0 journal"
+        );
+        let (recovered, _) = ShardedDirectory::recover(schema, bases, &journals).expect("recover");
+        assert_eq!(recovered.merged_instance().expect("merge").canonical_bytes(), live);
+    }
+
+    #[test]
+    fn modify_respects_the_required_class_ledger() {
+        let sharded = sharded(2);
+        // o=att is the only organization; a modify dropping its class
+        // would empty ◇organization — refused at admission, before any
+        // journal record or mutation.
+        let dn = Dn::parse("o=att").expect("dn");
+        let err = sharded
+            .modify_dn(
+                &dn,
+                &[Mod::DeleteValue {
+                    attribute: "objectClass".into(),
+                    value: "organization".into(),
+                }],
+            )
+            .expect_err("must not empty a required class");
+        assert_eq!(err.code(), "rolled-back", "{err}");
+        let k = sharded.shard_of_dn(&dn);
+        assert_eq!(sharded.take_pending(k), "", "refused modify must not journal");
+
+        // Unknown targets report no-such-entry.
+        let ghost = Dn::parse("o=nowhere").expect("dn");
+        let err = sharded
+            .modify_dn(&ghost, &[Mod::DeleteAttribute { attribute: "description".into() }])
+            .expect_err("ghost target");
+        assert_eq!(err.code(), "no-such-entry");
+    }
+
+    #[test]
+    fn checkpointed_sharded_recovery_matches_live_state() {
+        let (dir, _) = white_pages_instance();
+        let schema = white_pages_schema();
+        let bases = partition(&dir, 2).expect("partition");
+        let sharded = ShardedDirectory::with_instance(schema.clone(), dir, 2).expect("legal seed");
+
+        // History before the checkpoint: one committed cross-shard tx.
+        let (name0, name1) = two_names_on_distinct_shards(2);
+        let text = format!("{}\n{}", org_ldif(&name0), org_ldif(&name1));
+        sharded.apply_ldif(records(&text)).expect("cross-shard tx");
+        let hist: Vec<String> = (0..2).map(|k| sharded.take_pending(k)).collect();
+
+        let ckpts = sharded.checkpoint_all();
+        assert_eq!(ckpts.len(), 2);
+        let ckpt_texts: Vec<Option<String>> = ckpts.iter().map(|c| Some(c.encode())).collect();
+
+        // Tail after the checkpoint: a fresh subtree and a modify.
+        let extra = (0..2048)
+            .map(|i| format!("x{i}"))
+            .find(|n| shard_of_root_rdn(&Rdn::single("o", n.clone()), 2) == 1)
+            .expect("some name hashes to shard 1");
+        sharded.apply_ldif(records(&org_ldif(&extra))).expect("tail insert");
+        let dn = Dn::parse(&format!("uid=p,ou=u,o={name0}")).expect("dn");
+        sharded
+            .modify_dn(&dn, &[Mod::Add { attribute: "title".into(), value: "tail".into() }])
+            .expect("tail modify");
+        let tails: Vec<String> = (0..2).map(|k| sharded.take_pending(k)).collect();
+        let live = sharded.merged_instance().expect("merge").canonical_bytes();
+
+        // Steady state: checkpoint + short tail per shard.
+        let journals = [Journal::parse(&tails[0]), Journal::parse(&tails[1])];
+        for (k, journal) in journals.iter().enumerate() {
+            assert_eq!(journal.start_seq, ckpts[k].seq, "tail must start at the checkpoint");
+        }
+        let (recovered, reports) = ShardedDirectory::recover_with_checkpoints(
+            schema.clone(),
+            bases.clone(),
+            &ckpt_texts,
+            &journals,
+        )
+        .expect("checkpoint + tail recovers");
+        assert_eq!(reports.iter().map(|r| r.replayed).sum::<usize>(), 2);
+        assert_eq!(recovered.merged_instance().expect("merge").canonical_bytes(), live);
+
+        // Crash before truncation: checkpoint + full journal. The
+        // replay rule must not double-apply the checkpointed prefix.
+        let fulls = [format!("{}{}", hist[0], tails[0]), format!("{}{}", hist[1], tails[1])];
+        let journals = [Journal::parse(&fulls[0]), Journal::parse(&fulls[1])];
+        let (recovered, reports) = ShardedDirectory::recover_with_checkpoints(
+            schema.clone(),
+            bases.clone(),
+            &ckpt_texts,
+            &journals,
+        )
+        .expect("checkpoint + full journal recovers");
+        assert_eq!(reports.iter().map(|r| r.replayed).sum::<usize>(), 2);
+        assert_eq!(recovered.merged_instance().expect("merge").canonical_bytes(), live);
+
+        // No checkpoints at all: plain full replay still converges.
+        let no_ckpts = vec![None, None];
+        let (recovered, _) =
+            ShardedDirectory::recover_with_checkpoints(schema, bases, &no_ckpts, &journals)
+                .expect("full replay recovers");
+        assert_eq!(recovered.merged_instance().expect("merge").canonical_bytes(), live);
     }
 }

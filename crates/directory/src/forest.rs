@@ -96,6 +96,14 @@ pub enum ForestError {
         /// The illegal destination.
         target: EntryId,
     },
+    /// A slot-exact snapshot ([`Forest::from_slots`]) is internally
+    /// inconsistent — out-of-bound slots, duplicate slots, a parent that
+    /// is not alive yet, or a free list that does not cover exactly the
+    /// dead slots.
+    InvalidSnapshot {
+        /// What was wrong with the snapshot.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ForestError {
@@ -107,6 +115,9 @@ impl fmt::Display for ForestError {
             }
             ForestError::MoveIntoSelf { moved, target } => {
                 write!(f, "cannot move entry {moved} under {target}: the destination is inside the moved subtree")
+            }
+            ForestError::InvalidSnapshot { reason } => {
+                write!(f, "invalid slot snapshot: {reason}")
             }
         }
     }
@@ -150,6 +161,102 @@ impl Forest {
     /// side tables should size to this.
     pub fn slot_bound(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The dead-slot reuse stack, bottom first. [`Forest::alloc`]-backed
+    /// insertions pop from the **end**, so a snapshot that wants later
+    /// insertions to land on the same slots as the original forest must
+    /// restore this sequence verbatim ([`Forest::from_slots`]).
+    pub fn free_slots(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Rebuilds a forest with an exact slot layout: `live` lists
+    /// `(slot, parent_slot)` pairs in preorder (roots in order, each
+    /// followed by its subtree), `free` is the dead-slot reuse stack
+    /// (bottom first), and `slot_bound` is the arena size. The result is
+    /// indistinguishable from the forest that produced the snapshot:
+    /// same ids, same sibling order, and the same slots handed to future
+    /// insertions.
+    pub fn from_slots(
+        slot_bound: usize,
+        live: &[(u32, Option<u32>)],
+        free: &[u32],
+    ) -> Result<Forest, ForestError> {
+        let invalid = |reason| ForestError::InvalidSnapshot { reason };
+        if live.len() + free.len() != slot_bound {
+            return Err(invalid("live + free slot counts must equal the slot bound"));
+        }
+        let mut forest = Forest {
+            nodes: (0..slot_bound)
+                .map(|_| {
+                    let mut n = Node::detached();
+                    n.alive = false;
+                    n
+                })
+                .collect(),
+            first_root: None,
+            last_root: None,
+            free: free.to_vec(),
+            len: live.len(),
+            numbering_valid: false,
+        };
+        for &(slot, parent) in live {
+            let id = EntryId(slot);
+            if id.index() >= slot_bound {
+                return Err(invalid("live slot out of bound"));
+            }
+            if forest.nodes[id.index()].alive {
+                return Err(invalid("duplicate live slot"));
+            }
+            forest.nodes[id.index()].alive = true;
+            match parent {
+                None => match forest.last_root {
+                    Some(prev) => {
+                        forest.nodes[prev.index()].next_sibling = Some(id);
+                        forest.nodes[id.index()].prev_sibling = Some(prev);
+                        forest.last_root = Some(id);
+                    }
+                    None => {
+                        forest.first_root = Some(id);
+                        forest.last_root = Some(id);
+                    }
+                },
+                Some(p) => {
+                    let parent = EntryId(p);
+                    // Preorder guarantees the parent row came first.
+                    if parent.index() >= slot_bound || !forest.nodes[parent.index()].alive {
+                        return Err(invalid("parent slot is not alive (rows must be preorder)"));
+                    }
+                    forest.nodes[id.index()].parent = Some(parent);
+                    match forest.nodes[parent.index()].last_child {
+                        Some(prev) => {
+                            forest.nodes[prev.index()].next_sibling = Some(id);
+                            forest.nodes[id.index()].prev_sibling = Some(prev);
+                        }
+                        None => forest.nodes[parent.index()].first_child = Some(id),
+                    }
+                    forest.nodes[parent.index()].last_child = Some(id);
+                }
+            }
+        }
+        for &slot in free {
+            if slot as usize >= slot_bound {
+                return Err(invalid("free slot out of bound"));
+            }
+            if forest.nodes[slot as usize].alive {
+                return Err(invalid("free slot collides with a live slot"));
+            }
+        }
+        // live + free == bound and no free/live collision, so the free
+        // list covers exactly the dead slots unless it repeats one.
+        let mut seen = vec![false; slot_bound];
+        for &slot in free {
+            if std::mem::replace(&mut seen[slot as usize], true) {
+                return Err(invalid("duplicate free slot"));
+            }
+        }
+        Ok(forest)
     }
 
     /// Whether `id` refers to a live entry.
@@ -801,5 +908,65 @@ mod tests {
         let mut f = Forest::new();
         let r = f.add_root();
         assert_eq!(f.postorder_of(r), [r]);
+    }
+
+    /// Snapshot `f` through the slot-exact API and rebuild it.
+    fn snapshot_roundtrip(f: &Forest) -> Forest {
+        let live: Vec<(u32, Option<u32>)> = f
+            .iter()
+            .map(|id| (id.index() as u32, f.parent(id).map(|p| p.index() as u32)))
+            .collect();
+        Forest::from_slots(f.slot_bound(), &live, f.free_slots()).expect("valid snapshot")
+    }
+
+    #[test]
+    fn from_slots_reproduces_structure_and_slot_reuse() {
+        let (mut f, [att, labs, armstrong, db, laks, _suciu]) = figure1_shape();
+        // Punch holes so the free stack is non-trivial and ordered.
+        f.remove_leaf(armstrong).unwrap();
+        f.remove_leaf(laks).unwrap();
+        assert_eq!(f.free_slots(), [armstrong.index() as u32, laks.index() as u32]);
+
+        let mut restored = snapshot_roundtrip(&f);
+        assert_eq!(restored.len(), f.len());
+        assert_eq!(restored.slot_bound(), f.slot_bound());
+        assert_eq!(restored.free_slots(), f.free_slots());
+        assert_eq!(
+            restored.iter().collect::<Vec<_>>(),
+            f.iter().collect::<Vec<_>>(),
+            "preorder (ids and order) must match"
+        );
+        // Future insertions land on the same slots in both forests.
+        let a = f.add_child(db).unwrap();
+        let b = restored.add_child(db).unwrap();
+        assert_eq!(a, b, "first reused slot must match");
+        let a2 = f.add_child(att).unwrap();
+        let b2 = restored.add_child(att).unwrap();
+        assert_eq!(a2, b2, "second reused slot must match");
+        assert_eq!(
+            f.children(labs).collect::<Vec<_>>(),
+            restored.children(labs).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn from_slots_rejects_inconsistent_snapshots() {
+        let bad = |bound, live: &[(u32, Option<u32>)], free: &[u32]| {
+            assert!(
+                matches!(
+                    Forest::from_slots(bound, live, free),
+                    Err(ForestError::InvalidSnapshot { .. })
+                ),
+                "bound={bound} live={live:?} free={free:?} should be rejected"
+            );
+        };
+        bad(1, &[(0, None), (1, Some(0))], &[]); // slot out of bound
+        bad(2, &[(0, None), (0, Some(0))], &[]); // duplicate live slot
+        bad(2, &[(1, Some(0)), (0, None)], &[]); // child before parent
+        bad(2, &[(0, None)], &[0]); // free collides with live
+        bad(3, &[(0, None)], &[1, 1]); // duplicate free slot
+        bad(3, &[(0, None)], &[1]); // counts do not cover the bound
+                                    // A valid snapshot for contrast.
+        assert!(Forest::from_slots(3, &[(0, None), (2, Some(0))], &[1]).is_ok());
     }
 }

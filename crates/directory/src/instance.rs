@@ -71,6 +71,27 @@ impl fmt::Display for InstanceError {
 
 impl std::error::Error for InstanceError {}
 
+/// One preorder row of a slot-exact instance snapshot: the raw slot
+/// number, the parent's slot (if any), and the entry's naming and
+/// content. Together with the arena bound and the free stack this is
+/// the full observable state of an instance —
+/// [`DirectoryInstance::from_slots`] rebuilds an instance with
+/// byte-identical [`canonical_bytes`](DirectoryInstance::canonical_bytes)
+/// *and* identical future slot assignment, which is what lets a journal
+/// tail (addressing entries as `existing:<slot>`) replay on top of a
+/// restored checkpoint.
+#[derive(Debug, Clone)]
+pub struct SlotRow {
+    /// The raw arena slot ([`EntryId::index`]).
+    pub slot: u32,
+    /// The parent's slot, or `None` for roots.
+    pub parent: Option<u32>,
+    /// The entry's RDN, when named.
+    pub rdn: Option<Rdn>,
+    /// The entry content.
+    pub entry: Entry,
+}
+
 /// An LDAP directory instance.
 #[derive(Debug, Clone)]
 pub struct DirectoryInstance {
@@ -104,6 +125,47 @@ impl DirectoryInstance {
     /// An empty instance with the white-pages attribute namespace.
     pub fn white_pages() -> Self {
         DirectoryInstance::new(AttributeRegistry::white_pages())
+    }
+
+    /// The instance's full observable state as slot-exact snapshot rows
+    /// (preorder), for [`from_slots`](Self::from_slots). Pair with
+    /// [`Forest::slot_bound`] and [`Forest::free_slots`] via
+    /// [`forest`](Self::forest).
+    pub fn slot_rows(&self) -> Vec<SlotRow> {
+        self.forest
+            .iter()
+            .map(|id| SlotRow {
+                slot: id.index() as u32,
+                parent: self.forest.parent(id).map(|p| p.index() as u32),
+                rdn: self.rdn(id).cloned(),
+                entry: self.entries[id.index()].clone().expect("live node has an entry"),
+            })
+            .collect()
+    }
+
+    /// Rebuilds an instance from a slot-exact snapshot: `rows` in
+    /// preorder, the arena `slot_bound`, and the dead-slot `free` stack
+    /// (bottom first). The result has byte-identical
+    /// [`canonical_bytes`](Self::canonical_bytes) to the snapshot source
+    /// and assigns the same slots to future insertions — unlike
+    /// [`graft_subtree`](Self::graft_subtree), which renumbers.
+    pub fn from_slots(
+        registry: AttributeRegistry,
+        slot_bound: usize,
+        rows: Vec<SlotRow>,
+        free: &[u32],
+    ) -> Result<DirectoryInstance, InstanceError> {
+        let live: Vec<(u32, Option<u32>)> = rows.iter().map(|r| (r.slot, r.parent)).collect();
+        let forest = Forest::from_slots(slot_bound, &live, free)?;
+        let mut entries: Vec<Option<Entry>> = Vec::new();
+        let mut rdns: Vec<Option<Rdn>> = Vec::new();
+        entries.resize_with(slot_bound, || None);
+        rdns.resize_with(slot_bound, || None);
+        for row in rows {
+            entries[row.slot as usize] = Some(row.entry);
+            rdns[row.slot as usize] = row.rdn;
+        }
+        Ok(DirectoryInstance { forest, entries, rdns, registry, index: None })
     }
 
     /// The attribute namespace.
@@ -630,6 +692,35 @@ mod tests {
         let mut again = DirectoryInstance::default();
         again.graft_subtree(&d, r).unwrap();
         assert_eq!(fresh.canonical_bytes(), again.canonical_bytes());
+    }
+
+    #[test]
+    fn slot_snapshot_roundtrip_is_exact() {
+        let mut d = DirectoryInstance::white_pages();
+        let r = d.add_named_root(Rdn::single("o", "att"), person("r")).unwrap();
+        let a = d.add_named_child(r, Rdn::single("uid", "a"), person("a")).unwrap();
+        let b = d.add_child_entry(r, person("b")).unwrap();
+        d.add_child_entry(a, person("leaf")).unwrap();
+        // Punch a hole so the free stack matters.
+        d.remove_leaf(b).unwrap();
+
+        let rows = d.slot_rows();
+        let restored = DirectoryInstance::from_slots(
+            d.registry().clone(),
+            d.forest().slot_bound(),
+            rows,
+            d.forest().free_slots(),
+        )
+        .unwrap();
+        assert_eq!(restored.canonical_bytes(), d.canonical_bytes());
+        assert_eq!(restored.forest().free_slots(), d.forest().free_slots());
+        // Future insertions land on the same slot in both.
+        let mut live = d.clone();
+        let mut rest = restored.clone();
+        let x = live.add_child_entry(r, person("x")).unwrap();
+        let y = rest.add_child_entry(r, person("x")).unwrap();
+        assert_eq!(x, y, "reused slot must match");
+        assert_eq!(live.canonical_bytes(), rest.canonical_bytes());
     }
 
     #[test]

@@ -61,6 +61,6 @@ pub use dn::{Dn, Rdn};
 pub use entry::{Entry, EntryBuilder};
 pub use forest::{EntryId, Forest, ForestError};
 pub use index::InstanceIndex;
-pub use instance::{DirectoryInstance, InstanceError};
+pub use instance::{DirectoryInstance, InstanceError, SlotRow};
 pub use oid::Oid;
 pub use syntax::Syntax;

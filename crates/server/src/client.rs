@@ -250,6 +250,42 @@ impl Client {
         Ok(frame.payload_str()?.to_owned())
     }
 
+    /// `CHECKPOINT` — forces a checkpoint + journal-truncate cycle.
+    /// Returns the covered journal seq per shard.
+    pub fn checkpoint(&mut self) -> Result<Vec<u64>, ClientError> {
+        let frame = self.exchange(&["CHECKPOINT"], b"")?;
+        let list = frame.arg(2).ok_or_else(|| {
+            ClientError::Protocol(format!("malformed checkpoint response: {:?}", frame.tokens))
+        })?;
+        list.split(',')
+            .map(|s| {
+                s.parse::<u64>().map_err(|_| {
+                    ClientError::Protocol(format!("bad checkpoint seq {s:?} in {list:?}"))
+                })
+            })
+            .collect()
+    }
+
+    /// `SHIP` — bootstraps replication: returns the primary's fresh
+    /// checkpoint as `(covered_seq, next_tx, encoded checkpoint)`.
+    pub fn ship_bootstrap(&mut self) -> Result<(u64, u64, String), ClientError> {
+        let frame = self.exchange(&["SHIP"], b"")?;
+        let seq = parse_count(&frame, 2, "ship-ckpt")? as u64;
+        let next_tx = parse_count(&frame, 3, "ship-ckpt")? as u64;
+        Ok((seq, next_tx, frame.payload_str()?.to_owned()))
+    }
+
+    /// `SHIP <from-seq>` — ships the committed journal records from
+    /// `from_seq` to the primary's cursor. Returns `(cursor, records)`;
+    /// an empty record text means the follower is caught up. A server
+    /// refusal with code `ship-gap` means the records were already
+    /// compacted away — re-bootstrap.
+    pub fn ship_tail(&mut self, from_seq: u64) -> Result<(u64, String), ClientError> {
+        let frame = self.exchange(&["SHIP", &from_seq.to_string()], b"")?;
+        let next = parse_count(&frame, 3, "ship")? as u64;
+        Ok((next, frame.payload_str()?.to_owned()))
+    }
+
     /// `WATCH <count>` — subscribes to the server's monitor stream and
     /// feeds each `TICK` frame `(seq, json)` to `on_tick` as it
     /// arrives. Returns the number of ticks received. `on_tick`

@@ -20,6 +20,8 @@
 //!   graceful drain.
 //! * [`monitor`] — the health plane: tick retention, SLO burn alerts,
 //!   and the shared state behind the `HEALTH`/`WATCH` verbs.
+//! * [`replica`] — crash-consistent read replicas: checkpoint
+//!   bootstrap + journal shipping over the `SHIP` verb.
 //! * [`client`] — the matching synchronous client.
 //!
 //! ```no_run
@@ -46,11 +48,16 @@
 pub mod client;
 pub mod codec;
 pub mod monitor;
+pub mod replica;
 pub mod server;
 pub mod service;
 
 pub use client::{Client, ClientError, TxReceipt};
 pub use codec::{Frame, WireError, WireLimits};
 pub use monitor::{Monitor, MonitorConfig};
+pub use replica::{Follower, FollowerError, SyncReport};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use service::{DirectoryService, ServiceError, ServiceLimits, TxOutcome};
+pub use service::{
+    DirectoryService, ReplicationState, ServiceError, ServiceLimits, TxOutcome, SITE_SHIP_APPLY,
+    SITE_SHIP_SERVE,
+};

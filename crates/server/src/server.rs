@@ -17,6 +17,9 @@
 //! | `TRACE`                                   | `OK trace #n` + flight JSON       |
 //! | `HEALTH`                                  | `OK health #n` + verdict JSON     |
 //! | `WATCH [count]`                           | `OK watch <count> <interval_ms>`, then `TICK <seq> #n` frames, then `OK watch-end <streamed>` |
+//! | `CHECKPOINT`                              | `OK checkpointed <seq,...>`       |
+//! | `SHIP`                                    | `OK ship-ckpt <seq> <next_tx> #n` + checkpoint text |
+//! | `SHIP <from-seq>`                         | `OK ship <from> <next> #n` + journal records |
 //! | `SHUTDOWN`                                | `OK bye` (then server drains)     |
 //! | `UNBIND`                                  | `OK bye` (closes the session)     |
 //!
@@ -25,6 +28,15 @@
 //! followed by `add:`/`deletevalue:`/`deleteattr:`/`replace:` lines.
 //! Failures are `ERR <code> [#n]` with the detail as payload; codes are
 //! stable (see [`crate::service::ServiceError`]).
+//!
+//! `CHECKPOINT` forces a checkpoint + journal-truncate cycle and
+//! answers with the covered seq per shard. `SHIP` is the replication
+//! protocol (journaled single-engine primaries only): with no argument
+//! it captures and returns a fresh checkpoint for a follower to
+//! bootstrap from; with a `from-seq` it returns the committed journal
+//! records from that seq to the primary's cursor (possibly empty when
+//! the follower is caught up). `ERR ship-gap` tells the follower its
+//! cursor predates the retained journal — it must re-bootstrap.
 //!
 //! Any request may additionally carry a `tc=<trace-id>.<parent-span>`
 //! header token (see [`bschema_obs::TraceContext`]): on a server started
@@ -545,6 +557,8 @@ fn handle_frame(
             (response, Control::Continue)
         }
         "MODIFY" => (handle_modify(service, frame), Control::Continue),
+        "CHECKPOINT" => (handle_checkpoint(service), Control::Continue),
+        "SHIP" => (handle_ship(service, frame), Control::Continue),
         "METRICS" => (handle_metrics(service, frame), Control::Continue),
         "STATS" => (handle_stats(service), Control::Continue),
         "TRACE" => (handle_trace(service), Control::Continue),
@@ -694,6 +708,43 @@ fn handle_modify(service: &DirectoryService, frame: &Frame) -> Response {
     match service.modify(&dn, &mods) {
         Ok(outcome) => Response::ok(&["modified", &outcome.len.to_string()]),
         Err(e) => e.into(),
+    }
+}
+
+fn handle_checkpoint(service: &DirectoryService) -> Response {
+    match service.checkpoint_now() {
+        Ok(seqs) => {
+            let list = seqs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+            Response::ok(&["checkpointed", &list])
+        }
+        Err(e) => e.into(),
+    }
+}
+
+fn handle_ship(service: &DirectoryService, frame: &Frame) -> Response {
+    match frame.arg(1) {
+        // Bootstrap: a fresh checkpoint of the committed state.
+        None => match service.ship_bootstrap() {
+            Ok((seq, next_tx, text)) => Response::ok_payload(
+                &["ship-ckpt", &seq.to_string(), &next_tx.to_string()],
+                text.into_bytes(),
+            ),
+            Err(e) => e.into(),
+        },
+        // Tail: the committed journal records from the follower's cursor.
+        Some(arg) => {
+            let from_seq = match arg.parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => return Response::err("usage", &format!("bad from-seq {arg:?}")),
+            };
+            match service.ship_tail(from_seq) {
+                Ok((next, text)) => Response::ok_payload(
+                    &["ship", &from_seq.to_string(), &next.to_string()],
+                    text.into_bytes(),
+                ),
+                Err(e) => e.into(),
+            }
+        }
     }
 }
 

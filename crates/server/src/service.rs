@@ -41,7 +41,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use bschema_core::journal::{shard_journal_path, Journal, JournalWriter};
+use bschema_core::checkpoint::{
+    checkpoint_path, recover_with_checkpoint, truncate_journal, write_checkpoint, Checkpoint,
+};
+use bschema_core::journal::{shard_journal_path, Journal, JournalTx, JournalWriter};
 use bschema_core::managed::ManagedError;
 use bschema_core::schema::DirectorySchema;
 use bschema_core::sharded::{canonical_merge, ShardedDirectory};
@@ -143,6 +146,9 @@ struct JournalFile {
 struct WriteHalf {
     managed: ManagedDirectory,
     journal: Option<JournalFile>,
+    /// Commits since the last checkpoint — the trigger counter for
+    /// `--checkpoint-every`. Mutated only under the write mutex.
+    since_checkpoint: u64,
 }
 
 /// The classic backend: one engine, one write mutex, one snapshot.
@@ -160,6 +166,15 @@ struct SingleBackend {
 struct ShardedBackend {
     sharded: ShardedDirectory,
     snapshots: Vec<RwLock<Arc<DirectoryInstance>>>,
+    /// The journal family base path (`<base>.shard<k>` per shard) when
+    /// journaling is attached — the checkpoint campaign derives its
+    /// per-shard checkpoint paths from this.
+    journal_base: Option<PathBuf>,
+    /// Commits since the last checkpoint campaign. An atomic (not under
+    /// any one shard's lock) because single-shard commits proceed in
+    /// parallel; the worst race is one extra campaign, which is
+    /// idempotent.
+    commits_since_checkpoint: AtomicU64,
 }
 
 impl ShardedBackend {
@@ -167,7 +182,12 @@ impl ShardedBackend {
         let snapshots = (0..sharded.shards())
             .map(|k| RwLock::new(Arc::new(sharded.shard_instance(k))))
             .collect();
-        ShardedBackend { sharded, snapshots }
+        ShardedBackend {
+            sharded,
+            snapshots,
+            journal_base: None,
+            commits_since_checkpoint: AtomicU64::new(0),
+        }
     }
 
     /// Shard `k`'s published read snapshot.
@@ -180,6 +200,88 @@ impl ShardedBackend {
 enum Backend {
     Single(SingleBackend),
     Sharded(ShardedBackend),
+}
+
+/// Fault/probe site visited while serving a `SHIP` tail to a follower,
+/// before any journal bytes are read. Injecting a panic here makes the
+/// follower see `ERR panicked` and retry — the primary's state is
+/// untouched (nothing has been mutated).
+pub const SITE_SHIP_SERVE: &str = "ship.serve";
+
+/// Fault/probe site visited by a follower just before applying a
+/// shipped transaction. Injecting a panic here kills the sync pass with
+/// the replica's instance intact (the guarded apply has not started),
+/// so the next pass re-ships and converges.
+pub const SITE_SHIP_APPLY: &str = "ship.apply";
+
+/// Replication-lag gauges shared between a follower's ship loop (which
+/// stamps them after every sync) and the `HEALTH` plane (which judges
+/// them). All values are monotone or last-write-wins, so plain relaxed
+/// atomics suffice.
+#[derive(Debug, Default)]
+pub struct ReplicationState {
+    /// Highest journal seq the follower has applied through.
+    applied_seq: AtomicU64,
+    /// The primary's journal cursor observed at the last successful ship.
+    source_seq: AtomicU64,
+    /// µs-since-service-origin of the last successful ship exchange.
+    last_ship_us: AtomicU64,
+    /// Checkpoint bootstraps: 1 after the initial attach, +1 for every
+    /// `ship-gap` re-bootstrap.
+    bootstraps: AtomicU64,
+    /// Failed ship exchanges (connection drops, injected faults, …).
+    errors: AtomicU64,
+}
+
+impl ReplicationState {
+    /// Stamps a successful ship: the follower applied through `applied`
+    /// while the primary's cursor stood at `source`, observed at `at_us`.
+    pub fn record_ship(&self, applied: u64, source: u64, at_us: u64) {
+        self.applied_seq.store(applied, Ordering::Relaxed);
+        self.source_seq.store(source, Ordering::Relaxed);
+        self.last_ship_us.store(at_us, Ordering::Relaxed);
+    }
+
+    /// Counts a checkpoint bootstrap (initial attach or `ship-gap`).
+    pub fn record_bootstrap(&self) {
+        self.bootstraps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a failed ship exchange.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Journal records the replica is behind the primary.
+    pub fn lag(&self) -> u64 {
+        let source = self.source_seq.load(Ordering::Relaxed);
+        source.saturating_sub(self.applied_seq.load(Ordering::Relaxed))
+    }
+
+    /// Highest journal seq applied on the replica.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq.load(Ordering::Relaxed)
+    }
+
+    /// The primary's cursor at the last successful ship.
+    pub fn source_seq(&self) -> u64 {
+        self.source_seq.load(Ordering::Relaxed)
+    }
+
+    /// µs-since-origin of the last successful ship (0 = never).
+    pub fn last_ship_us(&self) -> u64 {
+        self.last_ship_us.load(Ordering::Relaxed)
+    }
+
+    /// Total checkpoint bootstraps.
+    pub fn bootstraps(&self) -> u64 {
+        self.bootstraps.load(Ordering::Relaxed)
+    }
+
+    /// Total failed ship exchanges.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
 }
 
 /// The shared, thread-safe directory service. See the module docs for
@@ -200,6 +302,15 @@ pub struct DirectoryService {
     last_swap_us: Vec<AtomicU64>,
     stats_baseline: Mutex<MetricsSnapshot>,
     limits: ServiceLimits,
+    /// Checkpoint + truncate the journal every N commits (`None` =
+    /// never; explicit `CHECKPOINT`/`checkpoint_now` still works).
+    checkpoint_every: Option<u64>,
+    /// A read replica: every write verb is refused with the stable
+    /// `read-only` code; mutations arrive only through
+    /// [`replicate_tx`](DirectoryService::replicate_tx).
+    read_only: bool,
+    /// Replication-lag gauges, present when this service is a follower.
+    replication: Option<Arc<ReplicationState>>,
 }
 
 /// Locks here never stay poisoned: a panicking writer's state was
@@ -215,7 +326,7 @@ impl DirectoryService {
     pub fn new(managed: ManagedDirectory) -> Self {
         let snapshot = Arc::new(managed.instance().clone());
         Self::from_backend(Backend::Single(SingleBackend {
-            write: Mutex::new(WriteHalf { managed, journal: None }),
+            write: Mutex::new(WriteHalf { managed, journal: None, since_checkpoint: 0 }),
             snapshot: RwLock::new(snapshot),
         }))
     }
@@ -249,6 +360,9 @@ impl DirectoryService {
             last_swap_us: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             stats_baseline: Mutex::new(MetricsSnapshot::default()),
             limits: ServiceLimits::default(),
+            checkpoint_every: None,
+            read_only: false,
+            replication: None,
         }
     }
 
@@ -279,6 +393,7 @@ impl DirectoryService {
                     write: Mutex::new(WriteHalf {
                         managed: half.managed.with_probe(probe.clone()),
                         journal: half.journal,
+                        since_checkpoint: half.since_checkpoint,
                     }),
                     snapshot: b.snapshot,
                 })
@@ -286,6 +401,8 @@ impl DirectoryService {
             Backend::Sharded(b) => Backend::Sharded(ShardedBackend {
                 sharded: b.sharded.with_probe(probe.clone()),
                 snapshots: b.snapshots,
+                journal_base: b.journal_base,
+                commits_since_checkpoint: b.commits_since_checkpoint,
             }),
         };
         DirectoryService {
@@ -298,7 +415,44 @@ impl DirectoryService {
             last_swap_us: self.last_swap_us,
             stats_baseline: self.stats_baseline,
             limits: self.limits,
+            checkpoint_every: self.checkpoint_every,
+            read_only: self.read_only,
+            replication: self.replication,
         }
+    }
+
+    /// Checkpoints + truncates the journal after every `every` commits
+    /// (clamped to at least 1). Needs a journal attached to take effect;
+    /// on the sharded backend this runs the all-shard campaign.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = Some(every.max(1));
+        self
+    }
+
+    /// Turns this service into a read replica: `TXN` and `MODIFY` are
+    /// refused with the stable `read-only` code, and mutations arrive
+    /// only through [`replicate_tx`](DirectoryService::replicate_tx).
+    pub fn with_read_only(mut self) -> Self {
+        self.read_only = true;
+        self
+    }
+
+    /// Whether this service refuses client writes.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Attaches the replication-lag gauges a follower's ship loop
+    /// updates; `HEALTH` then reports `replication_lag_records` and
+    /// `ship_age_s` signals plus a `replication` section.
+    pub fn with_replication(mut self, replication: Arc<ReplicationState>) -> Self {
+        self.replication = Some(replication);
+        self
+    }
+
+    /// The attached replication gauges, if this service is a follower.
+    pub fn replication(&self) -> Option<&Arc<ReplicationState>> {
+        self.replication.as_ref()
     }
 
     /// Attaches the recorder the `METRICS` verb reads from. This only
@@ -377,32 +531,40 @@ impl DirectoryService {
         Some(Arc::new(RequestTrace::new(self.probe.clone(), root_name)))
     }
 
-    /// Attaches a write-ahead journal at `path`, replaying any existing
-    /// history first: a torn tail (crash during a write) is repaired in
-    /// place by truncating the file to its intact prefix, committed
-    /// transactions are replayed through the checked apply path, and the
-    /// writer resumes after the highest recorded id. Returns the number
-    /// of transactions replayed.
+    /// Attaches a write-ahead journal at `path`, recovering any existing
+    /// state first through the checkpoint-aware ladder: when a sibling
+    /// checkpoint file (`<path>.ckpt`) is present and intact, the forest
+    /// is restored from it and only the journal **tail** (records past
+    /// the checkpoint's covered seq) replays through the checked apply
+    /// path; otherwise the whole journal replays from the seed `base`.
+    /// A torn journal tail (crash during a write) is repaired in place
+    /// by truncating the file to its intact prefix, and the writer
+    /// resumes after the highest recorded seq on either source. Returns
+    /// the number of transactions replayed (tail only, after a
+    /// checkpoint restore).
     pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Result<(Self, usize), ServiceError> {
         let path = path.into();
         let Backend::Single(backend) = &mut self.backend else {
             return self.with_sharded_journal(path);
         };
-        let mut replayed = 0;
         let journal = read_repaired_journal(&path)?;
+        let ckpt_text = read_optional(&checkpoint_path(&path))?;
+        let replayed;
         {
             let half = backend.write.get_mut().unwrap_or_else(|e| e.into_inner());
-            for jtx in journal.committed() {
-                half.managed.apply(&jtx.to_transaction()).map_err(|e| {
-                    ServiceError::new(
-                        "recovery",
-                        format!("replaying committed journal tx {}: {e}", jtx.id),
-                    )
-                })?;
-                replayed += 1;
-            }
-            half.journal =
-                Some(JournalFile { path, writer: JournalWriter::resume_after(&journal) });
+            // Recovery rebuilds the managed directory, so the probe the
+            // builder chain attached earlier moves over to the recovered
+            // engine.
+            let probe = half.managed.swap_probe(None);
+            let schema = half.managed.schema().clone();
+            let base = half.managed.instance().clone();
+            let recovery = recover_with_checkpoint(schema, base, ckpt_text.as_deref(), &journal)
+                .map_err(|e| ServiceError::new("recovery", e.to_string()))?;
+            replayed = recovery.report.replayed;
+            let mut managed = recovery.managed;
+            managed.swap_probe(probe);
+            half.managed = managed;
+            half.journal = Some(JournalFile { path, writer: recovery.writer });
             let refreshed = Arc::new(half.managed.instance().clone());
             *backend.snapshot.write().unwrap_or_else(|e| e.into_inner()) = refreshed;
         }
@@ -431,10 +593,18 @@ impl DirectoryService {
             journals.push(read_repaired_journal(&path)?);
             paths.push(path);
         }
+        let mut checkpoints = Vec::with_capacity(shards);
+        for path in &paths {
+            checkpoints.push(read_optional(&checkpoint_path(path))?);
+        }
         let bases = (0..shards).map(|k| backend.sharded.shard_instance(k)).collect();
-        let (recovered, reports) =
-            ShardedDirectory::recover(backend.sharded.schema().clone(), bases, &journals)
-                .map_err(|e| ServiceError::new("recovery", e.to_string()))?;
+        let (recovered, reports) = ShardedDirectory::recover_with_checkpoints(
+            backend.sharded.schema().clone(),
+            bases,
+            &checkpoints,
+            &journals,
+        )
+        .map_err(|e| ServiceError::new("recovery", e.to_string()))?;
         let replayed = reports.iter().map(|r| r.replayed).sum();
         // Recovery rebuilds the engine, so the service probe (attached
         // before this call in the builder chain) is re-installed.
@@ -443,6 +613,7 @@ impl DirectoryService {
             recovered.set_sink(k, Box::new(move |text: &str| append_file(&path, text)));
         }
         *backend = ShardedBackend::new(recovered);
+        backend.journal_base = Some(base);
         Ok((self, replayed))
     }
 
@@ -693,6 +864,10 @@ impl DirectoryService {
         trace: Option<&Arc<RequestTrace>>,
     ) -> Result<TxOutcome, ServiceError> {
         let probe = self.request_probe(trace);
+        if self.read_only {
+            probe.add_labeled("server.tx_rejected", "read-only", 1);
+            return Err(Self::read_only_refusal());
+        }
         let records = scoped(probe, "service.parse_ldif", || {
             parse_ldif_limited(ldif, &self.limits.ldif)
                 .map_err(|e| ServiceError::new("bad-ldif", e.to_string()))
@@ -764,6 +939,7 @@ impl DirectoryService {
                 // the client sees "panicked" (outcome unknown), readers
                 // see the new legal instance.
                 probe.add("server.tx_committed", 1);
+                self.maybe_checkpoint_single(&mut half);
                 Ok(outcome)
             }
             Err(e) => {
@@ -776,38 +952,54 @@ impl DirectoryService {
     }
 
     /// Applies an attribute-level modification to the entry named `dn`,
-    /// atomically through the same guarded path. Rejected with code
-    /// `unsupported` when a journal is attached: the journal format
-    /// records subtree insertions/deletions only, and silently applying
-    /// an unjournaled write would make recovery diverge from the live
-    /// instance.
+    /// atomically through the same guarded path. On a journaled server
+    /// the modification is write-ahead logged as a `modify` record
+    /// (mirroring the `TXN` begin/commit discipline), so recovery
+    /// replays it; on the sharded backend it routes to the single shard
+    /// owning the DN's top-level subtree — MODIFY never crosses a
+    /// Theorem 4.1 boundary, so the 2-phase path is never needed.
     pub fn modify(&self, dn_src: &str, mods: &[Mod]) -> Result<TxOutcome, ServiceError> {
+        if self.read_only {
+            self.probe.add_labeled("server.tx_rejected", "read-only", 1);
+            return Err(Self::read_only_refusal());
+        }
         let dn = Dn::parse(dn_src).map_err(|e| ServiceError::new("bad-dn", e.to_string()))?;
-        let Backend::Single(backend) = &self.backend else {
-            // The sharded engine speaks Theorem 4.1 subtree
-            // insertions/deletions only — the units its journals and
-            // 2-phase apply are proven over.
-            return Err(ServiceError::new(
-                "unsupported",
-                "MODIFY is not supported on a sharded server; use a TXN (delete + re-insert)",
-            ));
+        let backend = match &self.backend {
+            Backend::Single(b) => b,
+            Backend::Sharded(b) => return self.modify_sharded(b, &dn, mods),
         };
         let mut half = lock_unpoisoned(&backend.write);
-        if half.journal.is_some() {
-            return Err(ServiceError::new(
-                "unsupported",
-                "MODIFY is not journaled; use a TXN (delete + re-insert) on a journaled server",
-            ));
-        }
         self.probe.add("server.tx_admitted", 1);
         let id = half.managed.instance().lookup_dn(&dn).ok_or_else(|| {
             ServiceError::new("no-such-entry", format!("no entry named {dn_src}"))
         })?;
+        // Write-ahead: like TXN, the begin + modify records are durable
+        // before the mutation, so a crash mid-apply leaves an
+        // uncommitted tail that recovery discards.
+        let tx_id = match &mut half.journal {
+            Some(journal) => {
+                let tx_id = journal.writer.begin_modify(id, mods);
+                let pending = journal.writer.take_pending();
+                append_file(&journal.path, &pending)
+                    .map_err(|e| ServiceError::new("io", format!("journal begin: {e}")))?;
+                Some(tx_id)
+            }
+            None => None,
+        };
         match half.managed.modify_entry(id, mods) {
             Ok(()) => {
-                let outcome = TxOutcome { ops: 1, len: half.managed.len(), shards: 1 };
+                if let (Some(tx_id), Some(journal)) = (tx_id, &mut half.journal) {
+                    journal.writer.commit(tx_id);
+                    let pending = journal.writer.take_pending();
+                    if append_file(&journal.path, &pending).is_err() {
+                        // Applied and legal; only durability degraded.
+                        self.probe.add("server.journal_commit_io_error", 1);
+                    }
+                }
+                let outcome = TxOutcome { ops: mods.len(), len: half.managed.len(), shards: 1 };
                 self.publish(&half);
                 self.probe.add("server.tx_committed", 1);
+                self.maybe_checkpoint_single(&mut half);
                 Ok(outcome)
             }
             Err(e) => {
@@ -815,6 +1007,43 @@ impl DirectoryService {
                 Err(ServiceError::from_managed(&e))
             }
         }
+    }
+
+    /// MODIFY on the sharded backend: the router locks the single shard
+    /// owning the DN, journals + applies the modification there, and the
+    /// touched shard republishes its snapshot.
+    fn modify_sharded(
+        &self,
+        backend: &ShardedBackend,
+        dn: &Dn,
+        mods: &[Mod],
+    ) -> Result<TxOutcome, ServiceError> {
+        self.probe.add("server.tx_admitted", 1);
+        match backend.sharded.modify_dn(dn, mods) {
+            Ok(outcome) => {
+                for &k in &outcome.shards {
+                    let next = Arc::new(backend.sharded.shard_instance(k));
+                    *backend.snapshots[k].write().unwrap_or_else(|e| e.into_inner()) = next;
+                    self.stamp_swap(k);
+                    self.probe.add_labeled("server.shard_snapshot_swap", &format!("shard{k}"), 1);
+                }
+                self.probe.add_labeled("server.tx_route", "single", 1);
+                self.probe.add("server.tx_committed", 1);
+                let shards = outcome.shards.len().max(1);
+                self.maybe_checkpoint_sharded(backend);
+                Ok(TxOutcome { ops: outcome.ops, len: self.len(), shards })
+            }
+            Err(e) => {
+                let code = e.code();
+                self.probe.add_labeled("server.tx_rejected", code, 1);
+                Err(ServiceError { code, detail: e.to_string() })
+            }
+        }
+    }
+
+    /// The stable refusal every write verb gets on a read replica.
+    fn read_only_refusal() -> ServiceError {
+        ServiceError::new("read-only", "this server is a read replica; send writes to the primary")
     }
 
     /// Swaps the read snapshot to the current (post-commit) instance.
@@ -865,11 +1094,9 @@ impl DirectoryService {
                     1,
                 );
                 probe.add("server.tx_committed", 1);
-                Ok(TxOutcome {
-                    ops: outcome.ops,
-                    len: self.len(),
-                    shards: outcome.shards.len().max(1),
-                })
+                let shards = outcome.shards.len().max(1);
+                self.maybe_checkpoint_sharded(backend);
+                Ok(TxOutcome { ops: outcome.ops, len: self.len(), shards })
             }
             Err(e) => {
                 let code = e.code();
@@ -882,6 +1109,236 @@ impl DirectoryService {
     /// The probe attached to this service.
     pub fn probe(&self) -> &(dyn Probe + Send + Sync) {
         &*self.probe
+    }
+
+    /// Checkpoints now: captures the forest into `<journal>.ckpt`
+    /// (atomic temp-file + rename), then truncates the journal to empty.
+    /// Returns the covered seq per shard. Refused with `unsupported`
+    /// when no journal is attached — without one there is nothing to
+    /// compact and recovery has no file to find.
+    pub fn checkpoint_now(&self) -> Result<Vec<u64>, ServiceError> {
+        match &self.backend {
+            Backend::Single(b) => {
+                let mut half = lock_unpoisoned(&b.write);
+                self.checkpoint_single(&mut half).map(|seq| vec![seq])
+            }
+            Backend::Sharded(b) => self.checkpoint_sharded(b),
+        }
+    }
+
+    /// The single-engine checkpoint: runs entirely under the held write
+    /// mutex, so capture → write → truncate admits no interleaved
+    /// commit. The crash ordering (checkpoint renamed before the journal
+    /// is truncated) is what makes every intermediate state recoverable.
+    fn checkpoint_single(&self, half: &mut WriteHalf) -> Result<u64, ServiceError> {
+        let Some(journal) = &half.journal else {
+            return Err(ServiceError::new(
+                "unsupported",
+                "checkpointing needs a journal; start the server with --journal",
+            ));
+        };
+        let ckpt = Checkpoint::capture(
+            half.managed.instance(),
+            half.managed.schema(),
+            journal.writer.records_emitted(),
+            journal.writer.next_tx(),
+            None,
+        );
+        write_checkpoint(&checkpoint_path(&journal.path), &ckpt.encode(), &*self.probe)
+            .map_err(|e| ServiceError::new("io", format!("writing checkpoint: {e}")))?;
+        truncate_journal(&journal.path, &*self.probe)
+            .map_err(|e| ServiceError::new("io", format!("truncating journal: {e}")))?;
+        half.since_checkpoint = 0;
+        self.probe.add("server.checkpoint", 1);
+        Ok(ckpt.seq)
+    }
+
+    /// The sharded checkpoint campaign: delegates to
+    /// [`ShardedDirectory::checkpoint_and_truncate`], which holds every
+    /// shard lock across capture + write + truncate so no commit can
+    /// slip between a shard's capture and its journal truncation.
+    fn checkpoint_sharded(&self, backend: &ShardedBackend) -> Result<Vec<u64>, ServiceError> {
+        let Some(base) = &backend.journal_base else {
+            return Err(ServiceError::new(
+                "unsupported",
+                "checkpointing needs a journal; start the server with --journal",
+            ));
+        };
+        let paths: Vec<PathBuf> =
+            (0..backend.sharded.shards()).map(|k| shard_journal_path(base, k)).collect();
+        let seqs = backend
+            .sharded
+            .checkpoint_and_truncate(&paths, &*self.probe)
+            .map_err(|e| ServiceError::new("io", format!("checkpoint campaign: {e}")))?;
+        backend.commits_since_checkpoint.store(0, Ordering::Relaxed);
+        self.probe.add("server.checkpoint", 1);
+        Ok(seqs)
+    }
+
+    /// The `--checkpoint-every` trigger on the single backend, called
+    /// with the write mutex still held after a commit. A failed
+    /// checkpoint surfaces through the probe, never by failing the
+    /// already-committed request; the counter stays saturated so the
+    /// next commit retries.
+    fn maybe_checkpoint_single(&self, half: &mut WriteHalf) {
+        let Some(every) = self.checkpoint_every else { return };
+        if half.journal.is_none() {
+            return;
+        }
+        half.since_checkpoint += 1;
+        if half.since_checkpoint >= every {
+            if let Err(e) = self.checkpoint_single(half) {
+                self.probe.add_labeled("server.checkpoint_error", e.code, 1);
+            }
+        }
+    }
+
+    /// The `--checkpoint-every` trigger on the sharded backend. The
+    /// counter is advisory (commits race on it), which at worst runs one
+    /// extra campaign — idempotent, since the campaign serializes on the
+    /// shard locks.
+    fn maybe_checkpoint_sharded(&self, backend: &ShardedBackend) {
+        let Some(every) = self.checkpoint_every else { return };
+        if backend.journal_base.is_none() {
+            return;
+        }
+        let n = backend.commits_since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= every {
+            if let Err(e) = self.checkpoint_sharded(backend) {
+                self.probe.add_labeled("server.checkpoint_error", e.code, 1);
+            }
+        }
+    }
+
+    /// Serves a follower's bootstrap: captures a fresh checkpoint of the
+    /// current committed state under the write lock and returns
+    /// `(seq, next_tx, encoded checkpoint)`. The capture is trivially
+    /// consistent with the shipped stream — no journal record past
+    /// `seq` exists at capture time, so the follower's cursor starts
+    /// exactly where shipping resumes.
+    pub fn ship_bootstrap(&self) -> Result<(u64, u64, String), ServiceError> {
+        let Backend::Single(backend) = &self.backend else {
+            return Err(ServiceError::new(
+                "unsupported",
+                "SHIP serves single-engine primaries only",
+            ));
+        };
+        let half = lock_unpoisoned(&backend.write);
+        let Some(journal) = &half.journal else {
+            return Err(ServiceError::new(
+                "unsupported",
+                "SHIP needs a journaled primary; start it with --journal",
+            ));
+        };
+        let ckpt = Checkpoint::capture(
+            half.managed.instance(),
+            half.managed.schema(),
+            journal.writer.records_emitted(),
+            journal.writer.next_tx(),
+            None,
+        );
+        self.probe.add("server.ship_bootstrap", 1);
+        Ok((ckpt.seq, ckpt.next_tx, ckpt.encode()))
+    }
+
+    /// Serves a follower's tail request: returns `(next_seq, records)` —
+    /// the raw journal record text from `from_seq` up to the primary's
+    /// cursor. Reading happens under the write mutex (the same lock
+    /// appends hold), so the file is always a consistent prefix.
+    /// `ship-gap` means the requested records were already truncated
+    /// into a checkpoint (or lost to a degraded-durability append): the
+    /// follower must re-bootstrap.
+    pub fn ship_tail(&self, from_seq: u64) -> Result<(u64, String), ServiceError> {
+        let Backend::Single(backend) = &self.backend else {
+            return Err(ServiceError::new(
+                "unsupported",
+                "SHIP serves single-engine primaries only",
+            ));
+        };
+        let half = lock_unpoisoned(&backend.write);
+        let Some(journal) = &half.journal else {
+            return Err(ServiceError::new(
+                "unsupported",
+                "SHIP needs a journaled primary; start it with --journal",
+            ));
+        };
+        let cursor = journal.writer.records_emitted();
+        // Fault site: dying here serves nothing — the follower sees the
+        // `panicked` code and retries the same cursor.
+        self.probe.add(SITE_SHIP_SERVE, 1);
+        if from_seq > cursor {
+            return Err(ServiceError::new(
+                "ship-gap",
+                format!("follower asks for seq {from_seq} but the journal ends at {cursor}"),
+            ));
+        }
+        if from_seq == cursor {
+            return Ok((cursor, String::new()));
+        }
+        let text = match std::fs::read_to_string(&journal.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(ServiceError::new("io", format!("reading journal: {e}"))),
+        };
+        let parsed = Journal::parse(&text);
+        if parsed.next_seq() != cursor || parsed.start_seq > from_seq {
+            return Err(ServiceError::new(
+                "ship-gap",
+                format!(
+                    "records below seq {cursor} are no longer in the journal; re-bootstrap from \
+                     a fresh checkpoint"
+                ),
+            ));
+        }
+        let tail = journal_text_from(&text[..parsed.intact_len], from_seq).ok_or_else(|| {
+            ServiceError::new("ship-gap", format!("seq {from_seq} not found in the journal"))
+        })?;
+        Ok((cursor, tail.to_owned()))
+    }
+
+    /// Applies one committed transaction shipped from a primary, through
+    /// the same legality engine client writes go through. This is the
+    /// follower's only mutation path — it bypasses the `read-only` gate
+    /// by construction, not by flag.
+    pub fn replicate_tx(&self, jtx: &JournalTx) -> Result<(), ServiceError> {
+        let Backend::Single(backend) = &self.backend else {
+            return Err(ServiceError::new(
+                "unsupported",
+                "replication applies to the single-engine backend only",
+            ));
+        };
+        let mut half = lock_unpoisoned(&backend.write);
+        // Fault site: dying here leaves the replica's instance intact;
+        // the next sync pass re-ships the same records and converges.
+        self.probe.add(SITE_SHIP_APPLY, 1);
+        match &jtx.modify {
+            Some(m) => half.managed.modify_entry(m.target, &m.mods),
+            None => half.managed.apply(&jtx.to_transaction()),
+        }
+        .map_err(|e| {
+            ServiceError::new("replication", format!("applying shipped tx {}: {e}", jtx.id))
+        })?;
+        self.publish(&half);
+        Ok(())
+    }
+
+    /// Swaps in a freshly bootstrapped state — the follower's `ship-gap`
+    /// re-bootstrap path. The previous engine's probe moves over to the
+    /// new one, and the snapshot republishes immediately.
+    pub fn install_follower_state(&self, managed: ManagedDirectory) -> Result<(), ServiceError> {
+        let Backend::Single(backend) = &self.backend else {
+            return Err(ServiceError::new(
+                "unsupported",
+                "replication applies to the single-engine backend only",
+            ));
+        };
+        let mut half = lock_unpoisoned(&backend.write);
+        let probe = half.managed.swap_probe(None);
+        let mut managed = managed;
+        managed.swap_probe(probe);
+        half.managed = managed;
+        self.publish(&half);
+        Ok(())
     }
 
     /// The cumulative registry in Prometheus-style text exposition
@@ -1053,6 +1510,16 @@ impl DirectoryService {
                 report.global.push(Signal::low_bad("ledger_min", min as f64, 1.0, 0.0));
             }
         }
+        if let Some(rep) = &self.replication {
+            report.global.push(Signal::high_bad(
+                "replication_lag_records",
+                rep.lag() as f64,
+                1_000.0,
+                100_000.0,
+            ));
+            let ship_age_s = now_us.saturating_sub(rep.last_ship_us()) as f64 / 1e6;
+            report.global.push(Signal::high_bad("ship_age_s", ship_age_s, 10.0, 120.0));
+        }
 
         // Per-shard signal groups — the same pinned signal set whatever
         // the backend, so `HEALTH` consumers need no shape switch.
@@ -1112,6 +1579,18 @@ impl DirectoryService {
             None => "null".to_owned(),
         };
         report.sections.push(("ledger".to_owned(), ledger_json));
+        let replication_json = match &self.replication {
+            Some(rep) => format!(
+                "{{\"applied_seq\":{},\"source_seq\":{},\"lag\":{},\"bootstraps\":{},\"errors\":{}}}",
+                rep.applied_seq(),
+                rep.source_seq(),
+                rep.lag(),
+                rep.bootstraps(),
+                rep.errors(),
+            ),
+            None => "null".to_owned(),
+        };
+        report.sections.push(("replication".to_owned(), replication_json));
         Some(report.to_json())
     }
 }
@@ -1182,6 +1661,36 @@ fn read_repaired_journal(path: &std::path::Path) -> Result<Journal, ServiceError
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Journal::empty()),
         Err(e) => Err(ServiceError::new("io", format!("reading journal: {e}"))),
     }
+}
+
+/// Reads a file that may legitimately not exist (checkpoints before the
+/// first campaign).
+fn read_optional(path: &std::path::Path) -> Result<Option<String>, ServiceError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(ServiceError::new("io", format!("reading {}: {e}", path.display()))),
+    }
+}
+
+/// The suffix of `intact` (repaired journal record text) starting at
+/// the record with sequence `from_seq`, or `None` when that record is
+/// not present. Record DNs are the first line of each LDIF paragraph,
+/// so the needle is anchored to a line start.
+fn journal_text_from(intact: &str, from_seq: u64) -> Option<&str> {
+    let needle = format!("dn: op={from_seq},");
+    if intact.starts_with(&needle) {
+        return Some(intact);
+    }
+    let mut search = 0;
+    while let Some(pos) = intact[search..].find(&needle) {
+        let at = search + pos;
+        if intact.as_bytes()[at - 1] == b'\n' {
+            return Some(&intact[at..]);
+        }
+        search = at + needle.len();
+    }
+    None
 }
 
 fn append_file(path: &std::path::Path, text: &str) -> std::io::Result<()> {
@@ -1373,5 +1882,89 @@ mod tests {
         assert_eq!(n, 1);
         // Attribute names are stored lowercased.
         assert!(ldif.contains("telephonenumber: +1 973"), "{ldif}");
+    }
+
+    #[test]
+    fn modify_is_journaled_and_replays_across_restart() {
+        let path =
+            std::env::temp_dir().join(format!("bschema-svc-modify-{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(bschema_core::checkpoint::checkpoint_path(&path));
+
+        let (svc, _) = service().with_journal(&path).unwrap();
+        svc.apply_ldif_tx(
+            "dn: uid=pat,ou=attLabs,o=att\nobjectClass: staffMember\nobjectClass: person\nobjectClass: top\nuid: pat\nname: pat\n",
+        )
+        .unwrap();
+        let dn = "uid=pat,ou=attLabs,o=att";
+        svc.modify(dn, &[Mod::Add { attribute: "telephoneNumber".into(), value: "+1 201".into() }])
+            .unwrap();
+        // A rejected modify must not replay: the begin records stay in
+        // the journal as an uncommitted (discarded) tail.
+        let err = svc.modify(dn, &[Mod::DeleteAttribute { attribute: "name".into() }]).unwrap_err();
+        assert_eq!(err.code, "rolled-back", "dropping a required attribute must reject");
+        let final_bytes = svc.snapshot().canonical_bytes();
+        drop(svc);
+
+        let (svc, replayed) = service().with_journal(&path).unwrap();
+        assert_eq!(replayed, 2, "one TXN + one committed MODIFY replay");
+        assert_eq!(svc.snapshot().canonical_bytes(), final_bytes);
+        let (n, _) = svc.search(Some(dn), SearchScope::Base, "(telephoneNumber=*)", None).unwrap();
+        assert_eq!(n, 1, "replayed modify must be visible");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_modify_routes_to_owning_shard() {
+        let base = bschema_workload::multi_org_base(4, 10, 3);
+        let svc = DirectoryService::new_sharded(white_pages_schema(), base, 3).unwrap();
+        let (org, _) = orgs_on_distinct_shards(3);
+        svc.apply_ldif_tx(&person_ldif("modme", &org)).unwrap();
+        let dn = format!("uid=modme,o={org}");
+        let outcome = svc
+            .modify(
+                &dn,
+                &[Mod::Add { attribute: "telephoneNumber".into(), value: "+1 973".into() }],
+            )
+            .unwrap();
+        assert_eq!(outcome.shards, 1, "MODIFY never crosses a subtree boundary");
+        let (n, ldif) =
+            svc.search(Some(&dn), SearchScope::Base, "(telephoneNumber=*)", None).unwrap();
+        assert_eq!(n, 1, "republished shard snapshot must show the modification");
+        assert!(ldif.contains("telephonenumber: +1 973"), "{ldif}");
+        let err =
+            svc.modify("uid=ghost,o=org0", &[Mod::DeleteAttribute { attribute: "name".into() }]);
+        assert_eq!(err.unwrap_err().code, "no-such-entry");
+    }
+
+    #[test]
+    fn checkpoint_every_compacts_the_journal() {
+        let path = std::env::temp_dir()
+            .join(format!("bschema-svc-ckpt-every-{}.journal", std::process::id()));
+        let ckpt = bschema_core::checkpoint::checkpoint_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&ckpt);
+
+        let (svc, _) = service().with_journal(&path).unwrap();
+        let svc = svc.with_checkpoint_every(2);
+        let person = |uid: &str| {
+            format!(
+                "dn: uid={uid},ou=attLabs,o=att\nobjectClass: staffMember\nobjectClass: person\nobjectClass: top\nuid: {uid}\nname: {uid}\n"
+            )
+        };
+        svc.apply_ldif_tx(&person("a1")).unwrap();
+        assert!(!ckpt.exists(), "one commit must not checkpoint yet");
+        svc.apply_ldif_tx(&person("a2")).unwrap();
+        assert!(ckpt.exists(), "second commit trips --checkpoint-every 2");
+        assert_eq!(std::fs::read_to_string(&path).unwrap_or_default(), "", "journal truncated");
+        svc.apply_ldif_tx(&person("a3")).unwrap();
+        let final_bytes = svc.snapshot().canonical_bytes();
+        drop(svc);
+
+        let (svc, replayed) = service().with_journal(&path).unwrap();
+        assert_eq!(replayed, 1, "only the post-checkpoint tail replays");
+        assert_eq!(svc.snapshot().canonical_bytes(), final_bytes);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&ckpt);
     }
 }
