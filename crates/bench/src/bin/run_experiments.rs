@@ -1,6 +1,6 @@
 //! Regenerates every table/figure-level result of the paper as text tables.
 //!
-//! Usage: `run_experiments [t31|q9|t42|f4|f5|t52|qopt|srv|mon|rec|all] [--quick] [--out <path>]`
+//! Usage: `run_experiments [t31|q9|t42|f4|f5|t52|qopt|srv|mon|rec|evo|all] [--quick] [--out <path>]`
 //!
 //! The paper (EDBT 2000) reports no absolute measurements — its evaluation
 //! artefacts are the worked example (Figures 1–3), the reduction tables
@@ -88,6 +88,7 @@ fn main() {
         "srv" => exp_srv(quick),
         "mon" => exp_mon(quick),
         "rec" => exp_rec(quick),
+        "evo" => exp_evo(quick),
         "all" => {
             exp_f1();
             exp_f4();
@@ -100,10 +101,11 @@ fn main() {
             exp_srv(quick);
             exp_mon(quick);
             exp_rec(quick);
+            exp_evo(quick);
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use t31|q9|t42|f1|f4|f5|t52|qopt|srv|mon|rec|all"
+                "unknown experiment {other:?}; use t31|q9|t42|f1|f4|f5|t52|qopt|srv|mon|rec|evo|all"
             );
             std::process::exit(2);
         }
@@ -844,5 +846,110 @@ fn exp_mon(quick: bool) {
     emit_bench_line(format!(
         "{{\"experiment\":\"mon\",\"n\":{trials},\"req_per_s_off\":{med_off:.1},\
          \"req_per_s_on\":{med_on:.1},\"overhead_pct\":{overhead_pct:.2}}}"
+    ));
+}
+
+/// EVO: what a live schema cutover costs. The incremental recheck the
+/// evolution plane runs for a restricting step (`recheck_new_element` —
+/// only the proposed bound is evaluated, §6.2) is measured against the
+/// full §3 legality pass an offline evolution would run, at |D| ≈ 10k.
+/// Then a real cutover is driven on a live `DirectoryService` under a
+/// concurrent writer, and the maximum write latency the epoch swap
+/// caused — the write stall an operator would observe — is recorded.
+fn exp_evo(quick: bool) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use bschema_core::evolution::plan::parse_proposal;
+    use bschema_core::ManagedDirectory;
+    use bschema_server::DirectoryService;
+
+    println!("== EVO: incremental cutover recheck vs full section-3 recheck ==");
+    let (orgs, per_org) = if quick { (4, 250) } else { (4, 2_500) };
+    let schema = white_pages_schema();
+    let base = bschema_workload::multi_org_base(orgs, per_org, 0xE40);
+    let n = base.len();
+
+    // A satisfiable tighten: every generated person already sits under
+    // an organization root, so requiring the ancestor is restricting
+    // (it must be rechecked) but violation-free.
+    let step = "require-rel person ancestor organization";
+    let plan = parse_proposal(&schema, step).expect("bench proposal parses");
+    assert!(!plan.is_relaxing_only(), "the bench step must be restricting");
+
+    let runs = if quick { 3 } else { 9 };
+    let incremental_us = time_median_us(runs, || {
+        let report = plan.recheck(&base);
+        assert!(report.is_legal(), "the tighten is satisfiable");
+        report
+    });
+    let full_us = time_median_us(runs, || {
+        let report = LegalityChecker::new(&plan.target).check(&base);
+        assert!(report.is_legal(), "the tighten is satisfiable");
+        report
+    });
+    let speedup = full_us / incremental_us.max(0.01);
+
+    // The live cutover: one writer commits conforming persons the whole
+    // time; every request is timed, so the slowest one bounds the write
+    // stall the PROPOSE -> CHECK -> COMMIT sequence caused.
+    let service = Arc::new(DirectoryService::new(
+        ManagedDirectory::with_instance(schema.clone(), base.clone())
+            .expect("generated multi-org base is legal"),
+    ));
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let service = Arc::clone(&service);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut max_us = 0.0f64;
+            let mut i = 0usize;
+            while !done.load(Ordering::SeqCst) {
+                let ldif = format!(
+                    "dn: uid=evo{i},o=org{}\nobjectClass: person\nobjectClass: top\n\
+                     uid: evo{i}\nname: evo bench\n",
+                    i % 4
+                );
+                let t = Instant::now();
+                service.apply_ldif_tx(&ldif).expect("conforming write commits during cutover");
+                max_us = max_us.max(t.elapsed().as_secs_f64() * 1e6);
+                i += 1;
+            }
+            (max_us, i)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(25));
+    service.schema_propose(step).expect("bench proposal stages");
+    service.schema_check().expect("the instance satisfies the tighten");
+    service.schema_commit().expect("cutover commits under writes");
+    std::thread::sleep(Duration::from_millis(25));
+    done.store(true, Ordering::SeqCst);
+    let (max_stall_us, writer_txs) = writer.join().expect("writer thread");
+    assert_eq!(service.schema_epoch(), 1, "the cutover landed");
+    assert!(writer_txs > 0, "the writer must overlap the cutover");
+
+    let mut table =
+        Table::new(["|D|", "incremental recheck", "full section-3", "speedup", "max write stall"]);
+    table.row([
+        n.to_string(),
+        fmt_us(incremental_us),
+        fmt_us(full_us),
+        format!("{speedup:.1}x"),
+        fmt_us(max_stall_us),
+    ]);
+    println!("{}", table.render());
+    if !quick && n >= 10_000 {
+        assert!(
+            speedup >= 2.0,
+            "the incremental cutover recheck must beat the full section-3 pass at |D| >= 10k \
+             (measured {speedup:.2}x)"
+        );
+    }
+    emit_bench_line(format!(
+        "{{\"experiment\":\"evo\",\"n\":{n},\"step\":\"require-rel person ancestor organization\",\
+         \"incremental_us\":{incremental_us:.1},\"full_us\":{full_us:.1},\
+         \"speedup\":{speedup:.2},\"max_stall_us\":{max_stall_us:.1},\
+         \"writer_txs\":{writer_txs}}}"
     ));
 }

@@ -16,6 +16,7 @@
 //! bschema print-schema <schema.bs>                  parse + normalise the DSL
 //! bschema evolve <schema.bs> <data.ldif> <step...>  try a schema-evolution step
 //! bschema suggest-schema <data.ldif>                mine a schema from data (§6.2)
+//! bschema discover <data.ldif>                      mine a schema as pure DSL (SCHEMA PROPOSE input)
 //! ```
 //!
 //! The instrumented commands (`check`, `apply`, `consistency`, `recover`)
@@ -48,7 +49,6 @@ use bschema_core::journal::{Journal, JournalWriter};
 use bschema_core::legality::{translate, LegalityChecker, LegalityOptions};
 use bschema_core::managed::{ManagedDirectory, ManagedError};
 use bschema_core::schema::dsl::{parse_schema, print_schema, ParsedSchema};
-use bschema_core::schema::{ForbidKind, RelKind};
 use bschema_core::updates::{transaction_from_ldif, Transaction};
 use bschema_directory::ldif::LdifLimits;
 use bschema_directory::{ldif, DirectoryInstance};
@@ -103,6 +103,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
         "print-schema" => cmd_print_schema(&args[1..], out),
         "evolve" => cmd_evolve(&args[1..], out),
         "suggest-schema" => cmd_suggest(&args[1..], out),
+        "discover" => cmd_discover(&args[1..], out),
         "serve" => cmd_serve(&args[1..], out),
         "client" => cmd_client(&args[1..], out),
         "top" => cmd_top(&args[1..], out),
@@ -131,9 +132,14 @@ usage:
   bschema print-schema <schema.bs>
   bschema evolve <schema.bs> <data.ldif> require-attr <class> <attr>
   bschema evolve <schema.bs> <data.ldif> allow-attr <class> <attr>
+  bschema evolve <schema.bs> <data.ldif> require-class <class>
   bschema evolve <schema.bs> <data.ldif> require-rel <src> <ch|de|pa|an> <tgt>
   bschema evolve <schema.bs> <data.ldif> forbid-rel <upper> <ch|de> <lower>
+  bschema evolve <schema.bs> <data.ldif> add-class <name> [parent]
+  bschema evolve <schema.bs> <data.ldif> add-aux <name>
+  bschema evolve <schema.bs> <data.ldif> allow-aux <core> <aux>
   bschema suggest-schema <data.ldif> [--forbidden] [--required-classes]
+  bschema discover <data.ldif> [--forbidden] [--required-classes]
   bschema serve <schema.bs> [data.ldif] [--addr <ip:port>] [--port-file <path>]
           [--threads <n>] [--queue-depth <n>] [--shards <n>] [--journal <path>]
           [--checkpoint-every <n>] [--follow <addr>] [--ship-interval <ms>]
@@ -145,6 +151,8 @@ usage:
   bschema client <addr> apply <tx.ldif>
   bschema client <addr> modify <mods.txt>
   bschema client <addr> metrics | prom | stats | trace | health | checkpoint | shutdown
+  bschema client <addr> schema propose <payload-file> | --step <word>...
+  bschema client <addr> schema check | status | commit | abort
   bschema client <addr> watch [--ticks <n>]
   bschema top <addr> [--once] [--ticks <n>]
 
@@ -1049,43 +1057,44 @@ fn cmd_suggest(args: &[String], out: &mut String) -> Result<i32, CliError> {
     Ok(0)
 }
 
+/// `bschema discover <data.ldif>` — mines a bounding-schema from the
+/// instance (§6.2) and emits it as **pure schema DSL**, nothing else:
+/// the output is directly valid as a `SCHEMA PROPOSE` payload
+/// (`bschema discover data.ldif | bschema client <addr> schema propose
+/// /dev/stdin`) or a `bschema serve` schema file. `suggest-schema` is
+/// the human-facing variant with a provenance header.
+fn cmd_discover(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut ldif_path: Option<&str> = None;
+    let mut options = bschema_core::discover::DiscoveryOptions::default();
+    for arg in args {
+        match arg.as_str() {
+            "--forbidden" => options.forbidden = true,
+            "--required-classes" => options.required_classes = true,
+            path if !path.starts_with("--") => ldif_path = Some(path),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+    }
+    let ldif_path = ldif_path.ok_or_else(|| usage_error("discover needs a data.ldif"))?;
+    let dir = load_ldif(ldif_path, None)?;
+    let suggested = bschema_core::discover::suggest_schema(&dir, &options);
+    // The emitted DSL must round-trip: parse back and accept its own
+    // source instance, or it would be refused as a PROPOSE payload.
+    let report = LegalityChecker::new(&suggested).check(&dir);
+    debug_assert!(report.is_legal(), "discovery invariant: {report}");
+    out.push_str(&print_schema(&suggested, None));
+    Ok(0)
+}
+
+/// One grammar for evolution steps everywhere: `bschema evolve`
+/// arguments parse through the same [`plan::parse_step_words`] the
+/// server's `SCHEMA PROPOSE` step lines go through, so anything the
+/// CLI accepts offline is also a valid online proposal (and vice
+/// versa) — including the relaxing `add-class` / `add-aux` /
+/// `allow-aux` forms.
 fn parse_step(words: &[String]) -> Result<Evolution, CliError> {
     let words: Vec<&str> = words.iter().map(String::as_str).collect();
-    let rel_kind = |w: &str| match w {
-        "ch" | "child" => Ok(RelKind::Child),
-        "de" | "descendant" => Ok(RelKind::Descendant),
-        "pa" | "parent" => Ok(RelKind::Parent),
-        "an" | "ancestor" => Ok(RelKind::Ancestor),
-        other => Err(usage_error(format!("unknown relationship kind {other:?}"))),
-    };
-    match words.as_slice() {
-        ["require-attr", class, attr] => Ok(Evolution::RequireAttribute {
-            class: (*class).to_owned(),
-            attribute: (*attr).to_owned(),
-        }),
-        ["allow-attr", class, attr] => Ok(Evolution::AllowAttribute {
-            class: (*class).to_owned(),
-            attribute: (*attr).to_owned(),
-        }),
-        ["require-class", class] => Ok(Evolution::RequireClass { class: (*class).to_owned() }),
-        ["require-rel", src, kind, tgt] => Ok(Evolution::RequireRel {
-            source: (*src).to_owned(),
-            kind: rel_kind(kind)?,
-            target: (*tgt).to_owned(),
-        }),
-        ["forbid-rel", upper, kind, lower] => Ok(Evolution::ForbidRel {
-            upper: (*upper).to_owned(),
-            kind: match *kind {
-                "ch" | "child" => ForbidKind::Child,
-                "de" | "descendant" => ForbidKind::Descendant,
-                other => {
-                    return Err(usage_error(format!("forbidden kind must be ch|de, got {other:?}")))
-                }
-            },
-            lower: (*lower).to_owned(),
-        }),
-        _ => Err(usage_error("unknown evolution step; see `bschema help`")),
-    }
+    bschema_core::evolution::plan::parse_step_words(&words)
+        .map_err(|e| usage_error(format!("{e}; see `bschema help`")))
 }
 
 /// `bschema serve <schema.bs> [data.ldif] [flags]` — runs the wire
@@ -1189,7 +1198,11 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     // initial state bootstraps from the primary's checkpoint, writes
     // are refused with the stable `read-only` code, and a ship loop
     // keeps the replica fed from the primary's journal.
-    let mut follow_ctx: Option<(Arc<ReplicationState>, u64)> = None;
+    let mut follow_ctx: Option<(
+        Arc<ReplicationState>,
+        u64,
+        bschema_core::schema::DirectorySchema,
+    )> = None;
     let base_service = if let Some(primary) = &follow {
         if journal_path.is_some() || shards > 1 || data_path.is_some() {
             return Err(usage_error(
@@ -1202,7 +1215,10 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
                 code: 1,
             })?;
         let replication = Arc::new(ReplicationState::default());
-        follow_ctx = Some((replication.clone(), cursor));
+        // Track the schema the bootstrap actually restored under — the
+        // primary may have evolved past the schema file this replica
+        // was launched with.
+        follow_ctx = Some((replication.clone(), cursor, managed.schema().clone()));
         DirectoryService::new(managed).with_read_only().with_replication(replication)
     } else if shards > 1 {
         // `--shards N` partitions the forest by top-level subtree (the
@@ -1296,14 +1312,9 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
     }
     // The ship loop runs beside the acceptor until the server drains.
     let follower_thread = match (follow, follow_ctx) {
-        (Some(primary), Some((replication, cursor))) => {
-            let mut follower = Follower::attach(
-                primary,
-                parsed.schema.clone(),
-                service.clone(),
-                replication,
-                cursor,
-            );
+        (Some(primary), Some((replication, cursor, follower_schema))) => {
+            let mut follower =
+                Follower::attach(primary, follower_schema, service.clone(), replication, cursor);
             let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
             let stop_in = stop.clone();
             let interval = std::time::Duration::from_millis(ship_interval_ms);
@@ -1336,7 +1347,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, CliError> {
 fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let [addr, action, rest @ ..] = args else {
         return Err(usage_error(
-            "client takes <addr> ping|search|apply|modify|metrics|prom|stats|trace|health|checkpoint|watch|shutdown [args]",
+            "client takes <addr> ping|search|apply|modify|schema|metrics|prom|stats|trace|health|checkpoint|watch|shutdown [args]",
         ));
     };
     let connect_error =
@@ -1525,6 +1536,42 @@ fn cmd_client(args: &[String], out: &mut String) -> Result<i32, CliError> {
             client.shutdown_server().map_err(connect_error)?;
             let _ = writeln!(out, "server draining");
             Ok(0)
+        }
+        "schema" => {
+            let report = |out: &mut String, result: Result<String, ClientError>| match result {
+                Ok(json) => {
+                    let _ = writeln!(out, "{json}");
+                    Ok(0)
+                }
+                Err(ClientError::Server { code, detail }) => {
+                    let _ = writeln!(out, "REFUSED ({code}): {detail}");
+                    Ok(1)
+                }
+                Err(e) => Err(connect_error(e)),
+            };
+            match rest {
+                [sub, args @ ..] if sub == "propose" => {
+                    let payload = match args {
+                        [flag, words @ ..] if flag == "--step" && !words.is_empty() => {
+                            words.join(" ")
+                        }
+                        [path] => read_file(path)?,
+                        _ => {
+                            return Err(usage_error(
+                                "client schema propose takes <payload-file> or --step <word>...",
+                            ))
+                        }
+                    };
+                    report(out, client.schema_propose(&payload))
+                }
+                [sub] if sub == "check" => report(out, client.schema_check()),
+                [sub] if sub == "status" => report(out, client.schema_status()),
+                [sub] if sub == "commit" => report(out, client.schema_commit()),
+                [sub] if sub == "abort" => report(out, client.schema_abort()),
+                _ => Err(usage_error(
+                    "client schema takes propose <payload-file>|--step <word>... | check | status | commit | abort",
+                )),
+            }
         }
         other => Err(usage_error(format!("unknown client action {other:?}"))),
     }

@@ -187,6 +187,15 @@ pub struct Checkpoint {
     pub next_tx: u64,
     /// [`schema_hash`] of the schema the snapshot was certified under.
     pub schema_hash: u64,
+    /// The certifying schema itself, as schema-DSL text (`ckpdsl`).
+    /// Lets recovery *adopt* the checkpoint's schema after a journalled
+    /// evolution instead of fataling on the hash mismatch — the on-disk
+    /// boot schema is then merely the epoch-0 ancestor. `None` for
+    /// checkpoints written before this field existed. For a shard
+    /// checkpoint the hash covers the localised schema but the embedded
+    /// DSL is the *full* schema, so sharded recovery can re-derive the
+    /// global ◇c ledger.
+    pub schema_dsl: Option<String>,
     /// Shard index for per-shard checkpoints of a sharded directory.
     pub shard: Option<u64>,
     /// The arena slot bound ([`Forest::slot_bound`]).
@@ -215,6 +224,7 @@ impl Checkpoint {
             seq,
             next_tx,
             schema_hash: schema_hash(schema),
+            schema_dsl: Some(crate::schema::dsl::print_schema(schema, None)),
             shard,
             slot_bound: instance.forest().slot_bound(),
             free: instance.forest().free_slots().to_vec(),
@@ -232,6 +242,9 @@ impl Checkpoint {
         header.add_value("ckpseq", self.seq.to_string());
         header.add_value("ckptx", self.next_tx.to_string());
         header.add_value("ckpschema", format!("{:016x}", self.schema_hash));
+        if let Some(dsl) = &self.schema_dsl {
+            header.add_value("ckpdsl", crate::journal::escape_text(dsl));
+        }
         header.add_value("ckpbound", self.slot_bound.to_string());
         header.add_value("ckpentries", self.rows.len().to_string());
         if let Some(shard) = self.shard {
@@ -312,6 +325,8 @@ impl Checkpoint {
             .first_value("ckpschema")
             .and_then(|v| u64::from_str_radix(v.trim(), 16).ok())
             .ok_or_else(|| torn("missing or malformed ckpschema"))?;
+        let schema_dsl =
+            header.entry.first_value("ckpdsl").map(crate::journal::unescape_text);
         let slot_bound = field("ckpbound")? as usize;
         let entries = field("ckpentries")? as usize;
         let shard = match header.entry.first_value("ckpshard") {
@@ -332,7 +347,35 @@ impl Checkpoint {
                 rows.len()
             )));
         }
-        Ok(Checkpoint { seq, next_tx, schema_hash, shard, slot_bound, free, rows })
+        Ok(Checkpoint { seq, next_tx, schema_hash, schema_dsl, shard, slot_bound, free, rows })
+    }
+
+    /// The full embedded schema (`ckpdsl`), hash-verified: it must
+    /// reproduce the header hash either directly or through its
+    /// localised form (a shard checkpoint hashes the engine's
+    /// `without_required_classes` schema but embeds the full one).
+    /// `None` for pre-`ckpdsl` checkpoints or a DSL that fails
+    /// verification — the safe direction, falling back to the old
+    /// mismatch behaviour.
+    pub fn embedded_full_schema(&self) -> Option<DirectorySchema> {
+        let dsl = self.schema_dsl.as_deref()?;
+        let full = crate::schema::dsl::parse_schema(dsl).ok()?.schema;
+        let ok = schema_hash(&full) == self.schema_hash
+            || schema_hash(&full.without_required_classes()) == self.schema_hash;
+        ok.then_some(full)
+    }
+
+    /// The *engine* schema this checkpoint was certified under — the
+    /// hash-matching form of [`embedded_full_schema`]: the full schema,
+    /// or its localised form for a shard checkpoint.
+    ///
+    /// [`embedded_full_schema`]: Checkpoint::embedded_full_schema
+    pub fn embedded_engine_schema(&self) -> Option<DirectorySchema> {
+        let full = self.embedded_full_schema()?;
+        if schema_hash(&full) == self.schema_hash {
+            return Some(full);
+        }
+        Some(full.without_required_classes())
     }
 
     /// Rebuilds the instance this checkpoint snapshots, over the given
@@ -450,12 +493,20 @@ pub fn recover_with_checkpoint(
     ckpt_text: Option<&str>,
     journal: &Journal,
 ) -> Result<CheckpointRecovery, ManagedError> {
+    let mut schema = schema;
     let state = match ckpt_text {
         None => CkptState::Absent,
         Some(text) => match Checkpoint::decode(text) {
             Ok(ckpt) => {
                 let expected = schema_hash(&schema);
                 if ckpt.schema_hash == expected {
+                    CkptState::Usable(ckpt)
+                } else if let Some(adopted) = ckpt.embedded_engine_schema() {
+                    // The checkpoint post-dates a journalled schema
+                    // evolution: the boot schema is merely the epoch-0
+                    // ancestor. Adopt the (hash-verified) embedded
+                    // schema the snapshot was certified under.
+                    schema = adopted;
                     CkptState::Usable(ckpt)
                 } else {
                     CkptState::Unusable(CheckpointError::SchemaMismatch {
@@ -489,9 +540,13 @@ pub fn recover_with_checkpoint(
                     continue;
                 }
                 if jtx.committed {
-                    match &jtx.modify {
-                        Some(m) => managed.modify_entry(m.target, &m.mods),
-                        None => managed.apply(&jtx.to_transaction()),
+                    match (&jtx.schema, &jtx.modify) {
+                        (Some(s), _) => s
+                            .engine_schema()
+                            .map_err(ManagedError::Recovery)
+                            .and_then(|schema| managed.set_schema(schema)),
+                        (None, Some(m)) => managed.modify_entry(m.target, &m.mods),
+                        (None, None) => managed.apply(&jtx.to_transaction()),
                     }
                     .map_err(|e| {
                         ManagedError::Recovery(format!("replaying committed tx {}: {e}", jtx.id))

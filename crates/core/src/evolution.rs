@@ -15,6 +15,8 @@
 //!   element, one Figure 4 query for a structure element — plus a schema
 //!   consistency re-verification.
 
+pub mod plan;
+
 use std::fmt;
 
 use bschema_directory::DirectoryInstance;

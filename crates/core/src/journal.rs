@@ -96,6 +96,44 @@ pub struct JournalModify {
     pub mods: Vec<Mod>,
 }
 
+/// A schema evolution journalled as its own transaction: `begin`, one
+/// `schema` record carrying the complete evolved schema as escaped DSL
+/// text, then `commit`. Recovery swaps the engine's schema (after the
+/// usual Figures 6–7 consistency closure) instead of mutating entries —
+/// the paper's §6.2 "no modifications to existing directory entries"
+/// claim, made durable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSchema {
+    /// The complete evolved schema, as schema-DSL text. Always the
+    /// *full* schema (required classes included), even in a shard
+    /// journal — see [`JournalSchema::local`].
+    pub dsl: String,
+    /// Whether the engine that journalled this record runs under the
+    /// localised schema (required classes stripped — a Theorem 4.1
+    /// shard engine). Replay must apply `without_required_classes()`
+    /// before swapping; the full DSL is still recorded so sharded
+    /// recovery can re-derive the global schema and its ◇c ledger.
+    pub local: bool,
+}
+
+impl JournalSchema {
+    /// Parses the recorded DSL into the full evolved schema (required
+    /// classes included).
+    pub fn full_schema(&self) -> Result<DirectorySchema, String> {
+        crate::schema::dsl::parse_schema(&self.dsl)
+            .map(|parsed| parsed.schema)
+            .map_err(|e| format!("journalled schema does not parse: {e}"))
+    }
+
+    /// The schema the journalling *engine* must swap to on replay: the
+    /// full schema, or its localised form (`without_required_classes`)
+    /// when the record came from a shard engine.
+    pub fn engine_schema(&self) -> Result<DirectorySchema, String> {
+        let full = self.full_schema()?;
+        Ok(if self.local { full.without_required_classes() } else { full })
+    }
+}
+
 /// One transaction as read back from a journal.
 #[derive(Debug, Clone)]
 pub struct JournalTx {
@@ -108,6 +146,9 @@ pub struct JournalTx {
     /// The modify payload when this transaction journalled an LDAP
     /// Modify instead of insert/delete ops (the two never mix).
     pub modify: Option<JournalModify>,
+    /// The schema payload when this transaction journalled a schema
+    /// evolution cutover (never mixes with ops or modify).
+    pub schema: Option<JournalSchema>,
     /// Global transaction id stamped by a sharded 2-phase apply
     /// (`jrngid`), shared by every participating shard's journal.
     /// `None` for ordinary single-engine transactions.
@@ -227,7 +268,46 @@ struct ParsedRecord {
     mod_kind: Option<String>,
     mod_attr: Option<String>,
     mod_values: Vec<String>,
+    schema_dsl: Option<String>,
+    schema_local: bool,
     payload: Entry,
+}
+
+/// Flattens multi-line schema-DSL text into a single LDIF value
+/// (`\` → `\\`, newline → `\n`). Blank DSL lines are significant to the
+/// schema grammar, so a per-line encoding would not round-trip.
+pub(crate) fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_text`].
+pub(crate) fn unescape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -280,6 +360,8 @@ fn decode_record(rec: &LdifRecord, expected_seq: Option<u64>) -> Option<ParsedRe
     let mod_kind = rec.entry.first_value("jrnmod").map(str::to_owned);
     let mod_attr = rec.entry.first_value("jrnattr").map(str::to_owned);
     let mod_values = rec.entry.values("jrnval").to_vec();
+    let schema_dsl = rec.entry.first_value("jrnschema").map(unescape_text);
+    let schema_local = rec.entry.first_value("jrnlocal").is_some();
     let mut payload = rec.entry.clone();
     for attr in [
         "jrntype",
@@ -293,6 +375,8 @@ fn decode_record(rec: &LdifRecord, expected_seq: Option<u64>) -> Option<ParsedRe
         "jrnmod",
         "jrnattr",
         "jrnval",
+        "jrnschema",
+        "jrnlocal",
         "jrndone",
     ] {
         payload.remove_attribute(attr);
@@ -311,6 +395,8 @@ fn decode_record(rec: &LdifRecord, expected_seq: Option<u64>) -> Option<ParsedRe
         mod_kind,
         mod_attr,
         mod_values,
+        schema_dsl,
+        schema_local,
         payload,
     })
 }
@@ -418,11 +504,27 @@ impl Journal {
                         id: record.tx,
                         first_seq: record.seq,
                         modify: None,
+                        schema: None,
                         gid: record.gid,
                         peers: record.peers,
                         ops: Vec::new(),
                         committed: false,
                     });
+                }
+                "schema" => {
+                    // A schema cutover is a one-record transaction; it
+                    // never mixes with ops, modify, or another schema
+                    // record.
+                    let valid = matches!(&open, Some(tx) if tx.id == record.tx
+                        && tx.ops.is_empty()
+                        && tx.modify.is_none()
+                        && tx.schema.is_none());
+                    let (Some(dsl), true) = (record.schema_dsl, valid) else {
+                        journal.truncated = true;
+                        break 'records;
+                    };
+                    let tx = open.as_mut().expect("valid implies an open tx");
+                    tx.schema = Some(JournalSchema { dsl, local: record.schema_local });
                 }
                 "modify" => {
                     // Modify records never mix with insert/delete ops,
@@ -430,7 +532,9 @@ impl Journal {
                     // op-indexed like any other record.
                     let next_op =
                         open.as_ref().map(|tx| tx.modify.as_ref().map_or(0, |m| m.mods.len()));
-                    let valid = matches!(&open, Some(tx) if tx.id == record.tx && tx.ops.is_empty())
+                    let valid = matches!(&open, Some(tx) if tx.id == record.tx
+                        && tx.ops.is_empty()
+                        && tx.schema.is_none())
                         && record.op == next_op;
                     let decoded_mod = record.mod_kind.as_deref().and_then(|k| {
                         decode_mod(k, record.mod_attr.as_deref(), &record.mod_values)
@@ -451,7 +555,9 @@ impl Journal {
                     }
                 }
                 "insert" | "delete" => {
-                    let valid = matches!(&open, Some(tx) if tx.id == record.tx && tx.modify.is_none())
+                    let valid = matches!(&open, Some(tx) if tx.id == record.tx
+                        && tx.modify.is_none()
+                        && tx.schema.is_none())
                         && record.op == open.as_ref().map(|tx| tx.ops.len());
                     if !valid {
                         journal.truncated = true;
@@ -712,6 +818,31 @@ impl JournalWriter {
         id
     }
 
+    /// Records `begin` plus one `schema` record carrying the complete
+    /// evolved schema as DSL text (the write-ahead half of a schema
+    /// evolution cutover) and returns the transaction id for
+    /// [`commit`](JournalWriter::commit). `local` marks the record as
+    /// written by a shard engine running under the localised schema
+    /// (required classes stripped on replay); `global` stamps
+    /// `(gid, peers)` so a sharded cutover commits all-or-nothing under
+    /// the same reconciliation as cross-shard transactions.
+    pub fn begin_schema(&mut self, dsl: &str, local: bool, global: Option<(u64, u64)>) -> u64 {
+        let id = self.next_tx;
+        self.next_tx += 1;
+        let mut begin_extra: Vec<(&str, String)> = Vec::new();
+        if let Some((gid, peers)) = global {
+            begin_extra.push(("jrngid", gid.to_string()));
+            begin_extra.push(("jrnpeers", peers.to_string()));
+        }
+        self.emit("begin", id, &begin_extra, None);
+        let mut extra = vec![("jrnop", "0".to_owned()), ("jrnschema", escape_text(dsl))];
+        if local {
+            extra.push(("jrnlocal", "1".to_owned()));
+        }
+        self.emit("schema", id, &extra, None);
+        id
+    }
+
     /// Records the commit of `tx_id`. Only call after the transaction
     /// was applied and certified legal.
     pub fn commit(&mut self, tx_id: u64) {
@@ -800,9 +931,13 @@ impl ManagedDirectory {
         let mut discarded = 0;
         for jtx in &journal.txs {
             if jtx.committed {
-                match &jtx.modify {
-                    Some(m) => managed.modify_entry(m.target, &m.mods),
-                    None => managed.apply(&jtx.to_transaction()),
+                match (&jtx.schema, &jtx.modify) {
+                    (Some(s), _) => s
+                        .engine_schema()
+                        .map_err(ManagedError::Recovery)
+                        .and_then(|schema| managed.set_schema(schema)),
+                    (None, Some(m)) => managed.modify_entry(m.target, &m.mods),
+                    (None, None) => managed.apply(&jtx.to_transaction()),
                 }
                 .map_err(|e| {
                     ManagedError::Recovery(format!("replaying committed tx {}: {e}", jtx.id))
@@ -1167,6 +1302,127 @@ mod tests {
         assert_eq!(stats.committed, 1);
         assert_eq!(stats.uncommitted, 0);
         assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn schema_records_roundtrip_and_recover() {
+        use crate::checkpoint::schema_hash;
+        use crate::evolution::{self, Evolution};
+        use crate::schema::dsl::print_schema;
+
+        let schema = white_pages_schema();
+        let (dir, ids) = white_pages_instance();
+        let base = dir.clone();
+        let mut managed = ManagedDirectory::with_instance(schema.clone(), dir).unwrap();
+        let mut writer = JournalWriter::new();
+
+        // A normal tx, then a journalled evolution, then a tx that is
+        // only legal under the evolved schema.
+        let mut tx = Transaction::new();
+        tx.insert_under(ids.databases, researcher("zoe"));
+        managed.apply_journaled(&tx, &mut writer).unwrap();
+
+        let step =
+            Evolution::AllowAttribute { class: "researcher".into(), attribute: "homePage".into() };
+        let evolved = evolution::evolve(&schema, &step, managed.instance()).unwrap();
+        let dsl = print_schema(&evolved, None);
+        let id = writer.begin_schema(&dsl, false, None);
+        managed.set_schema(evolved.clone()).unwrap();
+        writer.commit(id);
+
+        let mut tx = Transaction::new();
+        tx.insert_under(
+            ids.databases,
+            Entry::builder()
+                .classes(["researcher", "person", "top"])
+                .attr("uid", "pat")
+                .attr("name", "pat")
+                .attr("homePage", "https://example.net/~pat")
+                .build(),
+        );
+        managed.apply_journaled(&tx, &mut writer).unwrap();
+
+        let text = writer.take_pending();
+        let journal = Journal::parse(&text);
+        assert!(!journal.truncated, "{journal:?}");
+        assert_eq!(journal.committed().count(), 3);
+        let jschema = journal.txs[1].schema.as_ref().expect("schema payload");
+        assert_eq!(jschema.dsl, dsl, "multi-line DSL must round-trip through the escape");
+        assert!(!jschema.local);
+        assert_eq!(schema_hash(&jschema.engine_schema().unwrap()), schema_hash(&evolved));
+
+        // Recovery starting from the *old* schema replays the evolution
+        // and converges byte-identically.
+        let (recovered, report) =
+            ManagedDirectory::recover(schema, base.clone(), &journal).expect("recovery succeeds");
+        assert_eq!(report.replayed, 3);
+        assert_eq!(schema_hash(recovered.schema()), schema_hash(&evolved));
+        assert_eq!(recovered.instance().canonical_bytes(), managed.instance().canonical_bytes());
+
+        // A `local` record strips required classes on replay.
+        let mut w = JournalWriter::new();
+        let id = w.begin_schema(&dsl, true, Some((9, 4)));
+        w.commit(id);
+        let j = Journal::parse(&w.take_pending());
+        let jtx = &j.txs[0];
+        assert_eq!(jtx.gid, Some(9));
+        assert_eq!(jtx.peers, Some(4));
+        let s = jtx.schema.as_ref().unwrap();
+        assert!(s.local);
+        assert_eq!(
+            schema_hash(&s.engine_schema().unwrap()),
+            schema_hash(&evolved.without_required_classes())
+        );
+        assert_eq!(schema_hash(&s.full_schema().unwrap()), schema_hash(&evolved));
+    }
+
+    #[test]
+    fn torn_schema_records_are_discarded() {
+        let mut writer = JournalWriter::new();
+        let id = writer.begin_schema("class person extends top\n  require uid\n", false, None);
+        writer.commit(id);
+        let text = writer.take_pending();
+        // Any cut that damages the final `jrndone` loses the commit
+        // (the last two bytes are the closing newlines — trimming those
+        // leaves the record intact, as for any journal).
+        for cut in (0..text.len().saturating_sub(2)).step_by(5) {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            assert_eq!(Journal::parse(&text[..cut]).committed().count(), 0, "cut at {cut}");
+        }
+        let journal = Journal::parse(&text);
+        assert_eq!(journal.committed().count(), 1);
+        // A schema record never mixes into an op transaction.
+        let (_, ids) = white_pages_instance();
+        let mut tx = Transaction::new();
+        tx.insert_under(ids.databases, researcher("zoe"));
+        let mut mixed = JournalWriter::new();
+        let tx_id = mixed.begin(&tx);
+        let mut schema_rec = String::new();
+        // Hand-build a schema record inside the open op transaction.
+        schema_rec.push_str("dn: op=2,cn=journal\n");
+        schema_rec.push_str(&format!("jrntype: schema\njrntx: {tx_id}\njrnop: 0\n"));
+        schema_rec.push_str("jrnschema: class x extends top\njrndone: 2\n\n");
+        let mut text = mixed.take_pending();
+        text.push_str(&schema_rec);
+        assert!(Journal::parse(&text).truncated, "schema record after ops is damage");
+    }
+
+    #[test]
+    fn escape_text_roundtrips() {
+        for s in [
+            "",
+            "plain",
+            "two\nlines",
+            "trailing\n",
+            "back\\slash",
+            "\\n literal",
+            "mix\\\nof\\nall\n\n",
+        ] {
+            assert_eq!(unescape_text(&escape_text(s)), s, "{s:?}");
+        }
+        assert!(!escape_text("a\nb").contains('\n'));
     }
 
     #[test]

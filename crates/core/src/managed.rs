@@ -301,6 +301,22 @@ impl ManagedDirectory {
         &self.schema
     }
 
+    /// Swaps the enforced schema — the epoch cutover of a schema
+    /// evolution. Only the Figures 6–7 consistency closure runs here;
+    /// the caller attests the instance was already verified legal under
+    /// `schema` (the evolution plane's targeted recheck, or a journalled
+    /// cutover record that was only committed after one). `known_legal`
+    /// is deliberately preserved on the same trust basis as journal
+    /// replay trusting committed transactions.
+    pub fn set_schema(&mut self, schema: DirectorySchema) -> Result<(), ManagedError> {
+        let result = ConsistencyChecker::new(&schema).check();
+        if !result.is_consistent() {
+            return Err(inconsistency_error(&result));
+        }
+        self.schema = schema;
+        Ok(())
+    }
+
     /// Read access to the underlying instance.
     pub fn instance(&self) -> &DirectoryInstance {
         &self.dir

@@ -39,7 +39,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use bschema_directory::ldif::LdifRecord;
 use bschema_directory::{DirectoryInstance, Dn, Entry, EntryId, Rdn};
@@ -263,6 +263,83 @@ fn count_required(required: &[String], parts: &[&DirectoryInstance]) -> BTreeMap
     counts
 }
 
+/// Accumulates a transaction's net effect on the `◇c` ledger under the
+/// given `Cr` key set: +1 per required class listed by an inserted
+/// entry, −1 per required class listed by a deleted one. Deletes name
+/// exactly one existing entry each (the leaf-only discipline rejects
+/// anything else later, with no mutation), so summing per record is
+/// exact.
+fn ledger_delta(
+    required: &[String],
+    dir: &DirectoryInstance,
+    records: &[LdifRecord],
+    delta: &mut BTreeMap<String, i64>,
+) {
+    if required.is_empty() {
+        return;
+    }
+    for rec in records {
+        let is_delete =
+            rec.entry.first_value("changetype").is_some_and(|c| c.eq_ignore_ascii_case("delete"));
+        if is_delete {
+            if let Some(id) = dir.lookup_dn(&rec.dn) {
+                if let Some(entry) = dir.entry(id) {
+                    for name in required {
+                        if entry.has_class(name) {
+                            *delta.entry(name.clone()).or_insert(0) -= 1;
+                        }
+                    }
+                }
+            }
+        } else {
+            for name in required {
+                if rec.entry.has_class(name) {
+                    *delta.entry(name.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The full schema a recovered sharded directory converges to. Every
+/// cutover journals an identical full-schema record on all shards under
+/// one `gid`, so after cross-shard reconciliation the newest surviving
+/// schema record (max `gid`, any journal) names the final schema; with
+/// no surviving record, a checkpoint's embedded schema covers cutovers
+/// the truncated journals no longer show (every checkpoint of a
+/// campaign snapshots the same epoch, so any shard's will do); with
+/// neither, the boot schema stands.
+fn final_full_schema(
+    boot: &DirectorySchema,
+    journals: &[Journal],
+    commits: &BTreeMap<u64, u64>,
+    checkpoints: &[Option<Checkpoint>],
+) -> Result<DirectorySchema, ManagedError> {
+    let mut best: Option<(u64, &crate::journal::JournalSchema)> = None;
+    for journal in journals {
+        for jtx in &journal.txs {
+            let (Some(schema), true) = (&jtx.schema, jtx.committed) else { continue };
+            let intact = match (jtx.gid, jtx.peers) {
+                (Some(gid), Some(peers)) => commits.get(&gid).copied().unwrap_or(0) >= peers,
+                _ => true,
+            };
+            let rank = jtx.gid.unwrap_or(0);
+            if intact && best.is_none_or(|(prev, _)| rank >= prev) {
+                best = Some((rank, schema));
+            }
+        }
+    }
+    if let Some((_, schema)) = best {
+        return schema.full_schema().map_err(ManagedError::Recovery);
+    }
+    for ckpt in checkpoints.iter().flatten() {
+        if let Some(full) = ckpt.embedded_full_schema() {
+            return Ok(full);
+        }
+    }
+    Ok(boot.clone())
+}
+
 /// One shard: a managed directory over the `Cr`-stripped schema, its
 /// journal writer, and an optional durability sink.
 struct ShardState {
@@ -286,14 +363,34 @@ impl ShardState {
     }
 }
 
+/// One schema generation: the full bounding-schema, its `Cr`-stripped
+/// per-shard projection, and the `◇c` ledger's key set. All three swap
+/// together — atomically, under every shard lock — when
+/// [`ShardedDirectory::swap_schema`] cuts over to an evolved schema.
+struct SchemaEpoch {
+    schema: DirectorySchema,
+    local: DirectorySchema,
+    /// `Cr` class names, the ledger's key set.
+    required: Vec<String>,
+}
+
+impl SchemaEpoch {
+    fn new(schema: DirectorySchema) -> Self {
+        let local = schema.without_required_classes();
+        let required = required_class_names(&schema);
+        SchemaEpoch { schema, local, required }
+    }
+}
+
 /// A directory sharded on top-level subtrees, safe to share across
 /// threads (`&self` write API): each shard sits behind its own lock, so
 /// single-shard transactions on different shards commit concurrently.
 pub struct ShardedDirectory {
-    schema: DirectorySchema,
-    local_schema: DirectorySchema,
-    /// `Cr` class names, the ledger's key set.
-    required: Vec<String>,
+    /// The current schema generation. Lock order: epoch before any
+    /// shard lock (writers hold the epoch write lock across the whole
+    /// cutover; the data path takes a brief read and releases it before
+    /// or while acquiring shard locks in ascending order).
+    epoch: RwLock<SchemaEpoch>,
     slots: Vec<Mutex<ShardState>>,
     /// Live-entry count per required class — the global `◇c` ledger.
     /// Locked only while the involved shard locks are already held
@@ -305,9 +402,10 @@ pub struct ShardedDirectory {
 
 impl fmt::Debug for ShardedDirectory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let required = self.epoch.read().unwrap_or_else(|e| e.into_inner()).required.clone();
         f.debug_struct("ShardedDirectory")
             .field("shards", &self.slots.len())
-            .field("required", &self.required)
+            .field("required", &required)
             .finish_non_exhaustive()
     }
 }
@@ -368,8 +466,11 @@ impl ShardedDirectory {
                 }
             }
         }
+        // The journals may carry committed schema cutovers; the epoch
+        // the recovered directory lands on is the newest surviving one.
+        let final_schema = final_full_schema(&schema, journals, &commits, &[])?;
+        reject_global_keys(&final_schema)?;
         let local_schema = schema.without_required_classes();
-        let required = required_class_names(&schema);
         let mut slots = Vec::with_capacity(bases.len());
         let mut reports = Vec::with_capacity(bases.len());
         let mut next_gid = 0u64;
@@ -392,20 +493,19 @@ impl ShardedDirectory {
             slots.push(Mutex::new(ShardState { managed, journal: journal_writer, sink: None }));
             reports.push(report);
         }
+        let epoch = SchemaEpoch::new(final_schema);
         let counts = {
-            let mut counts = count_required(&required, &[]);
+            let mut counts = count_required(&epoch.required, &[]);
             for slot in &slots {
                 let state = slot.lock().unwrap_or_else(|e| e.into_inner());
-                for (name, n) in count_required(&required, &[state.managed.instance()]) {
+                for (name, n) in count_required(&epoch.required, &[state.managed.instance()]) {
                     *counts.get_mut(&name).expect("ledger key") += n;
                 }
             }
             counts
         };
         let sharded = ShardedDirectory {
-            schema,
-            local_schema,
-            required,
+            epoch: RwLock::new(epoch),
             slots,
             counts: Mutex::new(counts),
             next_gid: AtomicU64::new(next_gid),
@@ -452,8 +552,15 @@ impl ShardedDirectory {
                 }
             }
         }
+        // Decode the checkpoints once: schema derivation consults their
+        // embedded schemas when no journal still shows a cutover record.
+        let decoded: Vec<Option<Checkpoint>> = checkpoints
+            .iter()
+            .map(|text| text.as_deref().and_then(|t| Checkpoint::decode(t).ok()))
+            .collect();
+        let final_schema = final_full_schema(&schema, journals, &commits, &decoded)?;
+        reject_global_keys(&final_schema)?;
         let local_schema = schema.without_required_classes();
-        let required = required_class_names(&schema);
         let mut slots = Vec::with_capacity(bases.len());
         let mut reports = Vec::with_capacity(bases.len());
         let mut next_gid = 0u64;
@@ -481,20 +588,19 @@ impl ShardedDirectory {
             }));
             reports.push(recovery.report);
         }
+        let epoch = SchemaEpoch::new(final_schema);
         let counts = {
-            let mut counts = count_required(&required, &[]);
+            let mut counts = count_required(&epoch.required, &[]);
             for slot in &slots {
                 let state = slot.lock().unwrap_or_else(|e| e.into_inner());
-                for (name, n) in count_required(&required, &[state.managed.instance()]) {
+                for (name, n) in count_required(&epoch.required, &[state.managed.instance()]) {
                     *counts.get_mut(&name).expect("ledger key") += n;
                 }
             }
             counts
         };
         let sharded = ShardedDirectory {
-            schema,
-            local_schema,
-            required,
+            epoch: RwLock::new(epoch),
             slots,
             counts: Mutex::new(counts),
             next_gid: AtomicU64::new(next_gid),
@@ -512,19 +618,26 @@ impl ShardedDirectory {
     /// [`recover_with_checkpoints`](Self::recover_with_checkpoints)
     /// verifies against.
     pub fn checkpoint_all(&self) -> Vec<Checkpoint> {
+        let epoch = self.epoch.read().unwrap_or_else(|e| e.into_inner());
+        let full_dsl = crate::schema::dsl::print_schema(&epoch.schema, None);
         let guards: Vec<MutexGuard<'_, ShardState>> =
             self.slots.iter().map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner())).collect();
         guards
             .iter()
             .enumerate()
             .map(|(k, state)| {
-                Checkpoint::capture(
+                let mut ckpt = Checkpoint::capture(
                     state.managed.instance(),
-                    &self.local_schema,
+                    &epoch.local,
                     state.journal.records_emitted(),
                     state.journal.next_tx(),
                     Some(k as u64),
-                )
+                );
+                // The hash stays shard-local; the embedded document is
+                // the *full* schema so recovery can rebuild the epoch
+                // (and `Cr`) once the journal prefix is truncated away.
+                ckpt.schema_dsl = Some(full_dsl.clone());
+                ckpt
             })
             .collect()
     }
@@ -545,18 +658,21 @@ impl ShardedDirectory {
         probe: &dyn Probe,
     ) -> std::io::Result<Vec<u64>> {
         assert_eq!(paths.len(), self.slots.len(), "one journal path per shard");
+        let epoch = self.epoch.read().unwrap_or_else(|e| e.into_inner());
+        let full_dsl = crate::schema::dsl::print_schema(&epoch.schema, None);
         let mut guards: Vec<MutexGuard<'_, ShardState>> =
             self.slots.iter().map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner())).collect();
         let mut seqs = Vec::with_capacity(guards.len());
         for (k, state) in guards.iter_mut().enumerate() {
             state.persist_pending()?;
-            let ckpt = Checkpoint::capture(
+            let mut ckpt = Checkpoint::capture(
                 state.managed.instance(),
-                &self.local_schema,
+                &epoch.local,
                 state.journal.records_emitted(),
                 state.journal.next_tx(),
                 Some(k as u64),
             );
+            ckpt.schema_dsl = Some(full_dsl.clone());
             write_checkpoint(&checkpoint_path(&paths[k]), &ckpt.encode(), probe)?;
             seqs.push(ckpt.seq);
         }
@@ -572,13 +688,12 @@ impl ShardedDirectory {
         schema: DirectorySchema,
         bases: Vec<DirectoryInstance>,
     ) -> Result<Self, ManagedError> {
-        let local_schema = schema.without_required_classes();
-        let required = required_class_names(&schema);
+        let epoch = SchemaEpoch::new(schema);
         let refs: Vec<&DirectoryInstance> = bases.iter().collect();
-        let counts = count_required(&required, &refs);
+        let counts = count_required(&epoch.required, &refs);
         let mut slots = Vec::with_capacity(bases.len());
         for (k, base) in bases.into_iter().enumerate() {
-            let managed = ManagedDirectory::with_instance(local_schema.clone(), base)?;
+            let managed = ManagedDirectory::with_instance(epoch.local.clone(), base)?;
             slots.push(Mutex::new(ShardState {
                 managed,
                 journal: JournalWriter::new().with_shard(k),
@@ -586,9 +701,7 @@ impl ShardedDirectory {
             }));
         }
         Ok(ShardedDirectory {
-            schema,
-            local_schema,
-            required,
+            epoch: RwLock::new(epoch),
             slots,
             counts: Mutex::new(counts),
             next_gid: AtomicU64::new(0),
@@ -622,14 +735,21 @@ impl ShardedDirectory {
         self.slots.len()
     }
 
-    /// The full bounding-schema (with `Cr`).
-    pub fn schema(&self) -> &DirectorySchema {
-        &self.schema
+    /// The full bounding-schema (with `Cr`) of the current epoch.
+    /// Returned by value: the epoch can be swapped out from under a
+    /// borrow by [`swap_schema`](Self::swap_schema).
+    pub fn schema(&self) -> DirectorySchema {
+        self.epoch.read().unwrap_or_else(|e| e.into_inner()).schema.clone()
     }
 
-    /// The per-shard schema (`Cr` stripped).
-    pub fn local_schema(&self) -> &DirectorySchema {
-        &self.local_schema
+    /// The per-shard schema (`Cr` stripped) of the current epoch.
+    pub fn local_schema(&self) -> DirectorySchema {
+        self.epoch.read().unwrap_or_else(|e| e.into_inner()).local.clone()
+    }
+
+    /// The current epoch's `Cr` class names.
+    fn required(&self) -> Vec<String> {
+        self.epoch.read().unwrap_or_else(|e| e.into_inner()).required.clone()
     }
 
     /// Total entry count across shards.
@@ -645,9 +765,10 @@ impl ShardedDirectory {
     /// Whole-directory §3 legality: every shard legal under the local
     /// schema, plus a positive ledger count for every `◇c ∈ Cr`.
     pub fn is_legal(&self) -> bool {
+        let required = self.required();
         let counts_ok = {
             let counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
-            self.required.iter().all(|name| counts.get(name).copied().unwrap_or(0) > 0)
+            required.iter().all(|name| counts.get(name).copied().unwrap_or(0) > 0)
         };
         counts_ok && (0..self.slots.len()).all(|k| self.lock_slot(k).managed.is_legal())
     }
@@ -708,6 +829,11 @@ impl ShardedDirectory {
     /// the `◇c` ledger, and applied — one locked shard on the fast
     /// path, a 2-phase apply across all involved shards otherwise.
     pub fn apply_ldif(&self, records: Vec<LdifRecord>) -> Result<ShardedTxOutcome, ShardedError> {
+        // Pin this transaction's `Cr` view before taking shard locks
+        // (the epoch-before-shards lock order): a concurrent cutover
+        // holds every shard lock, so the epoch cannot change while this
+        // transaction's shard locks are held.
+        let required = self.required();
         let n = self.slots.len();
         let ops = records.len();
         let mut groups: Vec<Vec<LdifRecord>> = (0..n).map(|_| Vec::new()).collect();
@@ -733,7 +859,7 @@ impl ShardedDirectory {
         let mut delta: BTreeMap<String, i64> = BTreeMap::new();
         for (k, guard) in &guards {
             let group = std::mem::take(&mut groups[*k]);
-            self.ledger_delta(guard.managed.instance(), &group, &mut delta)?;
+            ledger_delta(&required, guard.managed.instance(), &group, &mut delta);
             let tx = transaction_from_ldif(guard.managed.instance(), group)?;
             tx.normalize(guard.managed.instance()).map_err(ManagedError::Transaction)?;
             subtxs.push(tx);
@@ -772,6 +898,7 @@ impl ShardedDirectory {
     /// values, so the `◇c` ledger sees the simulated class delta before
     /// admission, exactly like insert/delete routing.
     pub fn modify_dn(&self, dn: &Dn, mods: &[Mod]) -> Result<ShardedTxOutcome, ShardedError> {
+        let required = self.required();
         let k = self.shard_of_dn(dn);
         let mut guard = (k, self.lock_slot(k));
         let target = guard
@@ -781,10 +908,10 @@ impl ShardedDirectory {
             .lookup_dn(dn)
             .ok_or_else(|| ShardedError::NoSuchEntry { dn: dn.to_string() })?;
         let mut delta: BTreeMap<String, i64> = BTreeMap::new();
-        if !self.required.is_empty() {
+        if !required.is_empty() {
             let entry = guard.1.managed.instance().entry(target).expect("looked-up entry exists");
             let simulated = simulate_mods(entry, mods);
-            for name in &self.required {
+            for name in &required {
                 match (entry.has_class(name), simulated.has_class(name)) {
                     (true, false) => *delta.entry(name.clone()).or_insert(0) -= 1,
                     (false, true) => *delta.entry(name.clone()).or_insert(0) += 1,
@@ -825,42 +952,107 @@ impl ShardedDirectory {
         Ok(ShardedTxOutcome { shards: vec![*k], gid: None, ops: mods.len() })
     }
 
-    /// Accumulates the transaction's net effect on the `◇c` ledger:
-    /// +1 per required class listed by an inserted entry, −1 per
-    /// required class listed by a deleted one. Deletes name exactly one
-    /// existing entry each (the leaf-only discipline rejects anything
-    /// else later, with no mutation), so summing per record is exact.
-    fn ledger_delta(
+    /// Atomically cuts every shard over to the evolved `target` schema.
+    /// `dsl` is the target's full-schema document, journalled verbatim.
+    ///
+    /// The caller is responsible for §3 legality of the live instance
+    /// under `target` (the evolution plane rechecks before calling);
+    /// this method owns the mechanics: under the epoch write lock and
+    /// every shard lock (ascending — no transaction can interleave), a
+    /// schema record carrying one global id is staged and flushed on
+    /// every shard (write-ahead, `jrnlocal` so replay strips `Cr`),
+    /// each shard engine swaps to the `Cr`-stripped target, the `◇c`
+    /// ledger is re-derived from scratch under the new `Cr` key set,
+    /// the epoch is published, and every shard's commit record lands.
+    /// A crash between the phases tears the cutover; recovery's
+    /// all-peers reconciliation then discards it on every shard, so
+    /// the directory converges to the pre-cutover epoch.
+    pub fn swap_schema(&self, target: DirectorySchema, dsl: &str) -> Result<(), ShardedError> {
+        self.swap_inner(target, dsl, None::<fn(&DirectoryInstance) -> Result<(), ShardedError>>)
+    }
+
+    /// [`swap_schema`](Self::swap_schema) with a pre-cutover validation
+    /// hook: `validate` runs against the canonical merge of all shards
+    /// while every shard lock is held — no transaction can commit
+    /// between the validation and the epoch swap, which is exactly the
+    /// window the §6.2 incremental recheck must close. An `Err` aborts
+    /// the cutover with nothing journalled and nothing swapped.
+    pub fn swap_schema_validated(
         &self,
-        dir: &DirectoryInstance,
-        records: &[LdifRecord],
-        delta: &mut BTreeMap<String, i64>,
+        target: DirectorySchema,
+        dsl: &str,
+        validate: impl FnOnce(&DirectoryInstance) -> Result<(), ShardedError>,
     ) -> Result<(), ShardedError> {
-        if self.required.is_empty() {
-            return Ok(());
+        self.swap_inner(target, dsl, Some(validate))
+    }
+
+    fn swap_inner<F>(
+        &self,
+        target: DirectorySchema,
+        dsl: &str,
+        validate: Option<F>,
+    ) -> Result<(), ShardedError>
+    where
+        F: FnOnce(&DirectoryInstance) -> Result<(), ShardedError>,
+    {
+        let result = ConsistencyChecker::new(&target).check();
+        if !result.is_consistent() {
+            return Err(inconsistency_error(&result).into());
         }
-        for rec in records {
-            let is_delete = rec
-                .entry
-                .first_value("changetype")
-                .is_some_and(|c| c.eq_ignore_ascii_case("delete"));
-            if is_delete {
-                if let Some(id) = dir.lookup_dn(&rec.dn) {
-                    if let Some(entry) = dir.entry(id) {
-                        for name in &self.required {
-                            if entry.has_class(name) {
-                                *delta.entry(name.clone()).or_insert(0) -= 1;
-                            }
-                        }
-                    }
-                }
-            } else {
-                for name in &self.required {
-                    if rec.entry.has_class(name) {
-                        *delta.entry(name.clone()).or_insert(0) += 1;
-                    }
-                }
+        reject_global_keys(&target).map_err(ShardedError::Managed)?;
+        let probe = self.probe();
+        let mut epoch = self.epoch.write().unwrap_or_else(|e| e.into_inner());
+        let mut guards: Vec<MutexGuard<'_, ShardState>> =
+            (0..self.slots.len()).map(|k| self.lock_slot(k)).collect();
+        // Validation runs under every shard lock, against the same
+        // frozen state the swap will publish.
+        if let Some(validate) = validate {
+            let merged = canonical_merge(guards.iter().map(|g| g.managed.instance()))?;
+            validate(&merged)?;
+        }
+        let gid = self.next_gid.fetch_add(1, Ordering::Relaxed);
+        let peers = guards.len() as u64;
+        // Phase 1: write-ahead the schema record on every shard. A
+        // flush error aborts with only uncommitted records staged —
+        // recovery discards them and the old epoch stands.
+        let mut tx_ids = Vec::with_capacity(guards.len());
+        for (k, state) in guards.iter_mut().enumerate() {
+            probe.add_labeled("sharded.schema.prepare", &format!("shard{k}"), 1);
+            let tx_id = state.journal.begin_schema(dsl, true, Some((gid, peers)));
+            state.persist_pending().map_err(|e| {
+                ShardedError::Managed(ManagedError::Internal(format!(
+                    "shard {k} journal begin flush: {e}"
+                )))
+            })?;
+            tx_ids.push(tx_id);
+        }
+        // Fault/probe site between epoch prepare (schema records
+        // write-ahead on every shard) and the swap: a panic here leaves
+        // uncommitted schema records — recovery discards them and the
+        // old epoch stands, so a retried cutover succeeds cleanly.
+        probe.add("schema.cutover", 1);
+        // Swap every shard engine onto the Cr-stripped target. The
+        // target was consistency-checked above, so per-shard refusal is
+        // unreachable; if it ever fires, fail before any engine moved.
+        let local = target.without_required_classes();
+        for state in guards.iter_mut() {
+            state.managed.set_schema(local.clone()).map_err(ShardedError::Managed)?;
+        }
+        // Re-derive the `◇c` ledger under the new `Cr` key set.
+        let required = required_class_names(&target);
+        let mut counts = count_required(&required, &[]);
+        for state in guards.iter() {
+            for (name, n) in count_required(&required, &[state.managed.instance()]) {
+                *counts.get_mut(&name).expect("ledger key") += n;
             }
+        }
+        *self.counts.lock().unwrap_or_else(|e| e.into_inner()) = counts;
+        *epoch = SchemaEpoch { schema: target, local, required };
+        // Phase 2: commit records. A torn flush here is repaired at
+        // recovery by the all-peers reconciliation rule.
+        for (i, state) in guards.iter_mut().enumerate() {
+            state.journal.commit(tx_ids[i]);
+            let _ = state.persist_pending();
         }
         Ok(())
     }
@@ -1324,5 +1516,113 @@ mod tests {
             ShardedDirectory::recover_with_checkpoints(schema, bases, &no_ckpts, &journals)
                 .expect("full replay recovers");
         assert_eq!(recovered.merged_instance().expect("merge").canonical_bytes(), live);
+    }
+
+    /// The white-pages schema evolved by one relaxing step, plus its
+    /// canonical DSL document.
+    fn relaxed_schema() -> (DirectorySchema, String) {
+        let step = crate::evolution::Evolution::AllowAttribute {
+            class: "person".into(),
+            attribute: "nickname".into(),
+        };
+        let target = crate::evolution::apply(&white_pages_schema(), &step).expect("relaxing step");
+        let dsl = crate::schema::dsl::print_schema(&target, None);
+        (target, dsl)
+    }
+
+    #[test]
+    fn schema_swap_is_journalled_on_every_shard_and_recovers() {
+        let (dir, _) = white_pages_instance();
+        let schema = white_pages_schema();
+        let bases = partition(&dir, 2).expect("partition");
+        let sharded = ShardedDirectory::with_instance(schema.clone(), dir, 2).expect("legal seed");
+
+        let (target, dsl) = relaxed_schema();
+        sharded.swap_schema(target.clone(), &dsl).expect("relaxing cutover");
+        assert_eq!(
+            crate::schema::dsl::print_schema(&sharded.schema(), None),
+            dsl,
+            "live epoch must be the evolved schema"
+        );
+        // A write only legal under the evolved schema now commits.
+        sharded
+            .apply_ldif(records(
+                "dn: uid=nick,ou=databases,ou=attLabs,o=att\nobjectClass: person\nobjectClass: top\nuid: nick\nname: nick\nnickname: nn\n",
+            ))
+            .expect("evolved-schema insert");
+        assert!(sharded.is_legal());
+
+        // Recovery from the boot schema replays the cutover and the
+        // post-cutover write, converging on the evolved epoch.
+        let live = sharded.merged_instance().expect("merge").canonical_bytes();
+        let journals =
+            [Journal::parse(&sharded.take_pending(0)), Journal::parse(&sharded.take_pending(1))];
+        for (k, journal) in journals.iter().enumerate() {
+            assert!(
+                journal.txs.iter().any(|tx| tx.committed && tx.schema.is_some()),
+                "shard {k} journal is missing the schema record"
+            );
+        }
+        let (recovered, _) =
+            ShardedDirectory::recover(schema, bases, &journals).expect("recover across cutover");
+        assert_eq!(crate::schema::dsl::print_schema(&recovered.schema(), None), dsl);
+        assert_eq!(recovered.merged_instance().expect("merge").canonical_bytes(), live);
+        assert!(recovered.is_legal());
+    }
+
+    #[test]
+    fn torn_schema_swap_reconciles_to_the_old_epoch() {
+        let (dir, _) = white_pages_instance();
+        let schema = white_pages_schema();
+        let bases = partition(&dir, 2).expect("partition");
+        let sharded = ShardedDirectory::with_instance(schema.clone(), dir, 2).expect("legal seed");
+        let (target, dsl) = relaxed_schema();
+        sharded.swap_schema(target, &dsl).expect("cutover");
+
+        // Simulate a crash between the commit flushes: shard 1 keeps
+        // only its begin+schema records (strip the trailing commit
+        // paragraph). The all-peers rule must discard the cutover on
+        // both shards.
+        let full = sharded.take_pending(1);
+        let cut = full.rfind("\ndn: op=").expect("commit record present");
+        let torn = &full[..cut + 1];
+        let journals = [Journal::parse(&sharded.take_pending(0)), Journal::parse(torn)];
+        assert!(journals[0].txs.iter().any(|tx| tx.committed && tx.schema.is_some()));
+        assert!(!journals[1].txs.iter().any(|tx| tx.committed && tx.schema.is_some()));
+        let (recovered, _) =
+            ShardedDirectory::recover(schema.clone(), bases, &journals).expect("recover");
+        assert_eq!(
+            crate::schema::dsl::print_schema(&recovered.schema(), None),
+            crate::schema::dsl::print_schema(&schema, None),
+            "a torn cutover must roll back to the boot epoch"
+        );
+    }
+
+    #[test]
+    fn checkpoints_after_a_swap_embed_and_restore_the_evolved_epoch() {
+        let (dir, _) = white_pages_instance();
+        let schema = white_pages_schema();
+        let bases = partition(&dir, 2).expect("partition");
+        let sharded = ShardedDirectory::with_instance(schema.clone(), dir, 2).expect("legal seed");
+        let (target, dsl) = relaxed_schema();
+        sharded.swap_schema(target, &dsl).expect("cutover");
+        for k in 0..2 {
+            let _ = sharded.take_pending(k);
+        }
+
+        // Checkpoints taken after the cutover embed the full evolved
+        // schema; recovery from them (journals truncated, boot schema
+        // pre-evolution) must land on the evolved epoch.
+        let ckpts = sharded.checkpoint_all();
+        let ckpt_texts: Vec<Option<String>> = ckpts.iter().map(|c| Some(c.encode())).collect();
+        let empties = [Journal::parse(""), Journal::parse("")];
+        let (recovered, _) =
+            ShardedDirectory::recover_with_checkpoints(schema, bases, &ckpt_texts, &empties)
+                .expect("checkpointed recovery across cutover");
+        assert_eq!(crate::schema::dsl::print_schema(&recovered.schema(), None), dsl);
+        assert_eq!(
+            recovered.merged_instance().expect("merge").canonical_bytes(),
+            sharded.merged_instance().expect("merge").canonical_bytes()
+        );
     }
 }

@@ -349,6 +349,44 @@ impl Client {
         }
     }
 
+    /// `SCHEMA PROPOSE` — stages an evolution proposal. The payload is
+    /// either a full schema-DSL replacement or a single
+    /// `Evolution-step: <words>` line. Returns the proposal JSON.
+    pub fn schema_propose(&mut self, payload: &str) -> Result<String, ClientError> {
+        let frame = self.exchange(&["SCHEMA", "PROPOSE"], payload.as_bytes())?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
+    /// `SCHEMA CHECK` — rechecks the staged proposal against a live
+    /// snapshot, off the write path. Returns the recheck JSON; a
+    /// refusal with code `schema-violates` carries the violation
+    /// report naming the offending entries.
+    pub fn schema_check(&mut self) -> Result<String, ClientError> {
+        let frame = self.exchange(&["SCHEMA", "CHECK"], b"")?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
+    /// `SCHEMA STATUS` — the current schema epoch, hash, and staged
+    /// proposal (if any) as one JSON object.
+    pub fn schema_status(&mut self) -> Result<String, ClientError> {
+        let frame = self.exchange(&["SCHEMA", "STATUS"], b"")?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
+    /// `SCHEMA COMMIT` — revalidates the staged proposal under the
+    /// write lock and atomically cuts over to the new schema epoch.
+    /// Returns the cutover JSON.
+    pub fn schema_commit(&mut self) -> Result<String, ClientError> {
+        let frame = self.exchange(&["SCHEMA", "COMMIT"], b"")?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
+    /// `SCHEMA ABORT` — discards the staged proposal.
+    pub fn schema_abort(&mut self) -> Result<String, ClientError> {
+        let frame = self.exchange(&["SCHEMA", "ABORT"], b"")?;
+        Ok(frame.payload_str()?.to_owned())
+    }
+
     /// `SHUTDOWN` — asks the server to drain and exit.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.exchange(&["SHUTDOWN"], b"").map(|_| ())

@@ -4,7 +4,9 @@
 //!
 //! 1. **Bootstrap** — `SHIP` (no argument) makes the primary capture a
 //!    fresh checkpoint of its committed state under the write lock and
-//!    return it. The follower verifies the schema hash, restores the
+//!    return it. The follower verifies the schema hash (adopting the
+//!    checkpoint's embedded schema when the primary has evolved past
+//!    the follower's boot schema), restores the
 //!    slot-exact forest ([`Checkpoint::restore`] via
 //!    [`recover_with_checkpoint`]), and starts its cursor at the
 //!    checkpoint's covered seq. Slot-exactness matters: every later
@@ -114,7 +116,7 @@ impl Follower {
     ) -> Result<(ManagedDirectory, u64), FollowerError> {
         let mut client = Client::connect(addr)?;
         let (seq, _next_tx, text) = client.ship_bootstrap()?;
-        let managed = decode_state(schema, &text)?;
+        let (managed, _adopted) = decode_state(schema, &text)?;
         Ok((managed, seq))
     }
 
@@ -191,6 +193,13 @@ impl Follower {
                 continue;
             }
             self.service.replicate_tx(jtx).map_err(|e| FollowerError::Apply(e.to_string()))?;
+            // A shipped schema record moves the replica to the new
+            // epoch; track it so a later re-bootstrap expects the
+            // evolved schema's hash rather than the boot schema's.
+            if let Some(schema) = &jtx.schema {
+                self.schema =
+                    schema.engine_schema().map_err(|e| FollowerError::Apply(e.to_string()))?;
+            }
             applied += 1;
         }
         self.cursor = self.cursor.max(source_cursor);
@@ -204,10 +213,11 @@ impl Follower {
             return Err(FollowerError::Bootstrap("no connection".to_owned()));
         };
         let (seq, _next_tx, text) = client.ship_bootstrap()?;
-        let managed = decode_state(&self.schema, &text)?;
+        let (managed, schema) = decode_state(&self.schema, &text)?;
         self.service
             .install_follower_state(managed)
             .map_err(|e| FollowerError::Bootstrap(e.to_string()))?;
+        self.schema = schema;
         self.cursor = seq;
         self.replication.record_bootstrap();
         self.replication.record_ship(seq, seq, self.service.uptime_us());
@@ -232,21 +242,34 @@ impl Follower {
     }
 }
 
-/// Decodes + restores a shipped checkpoint under `schema`. Unlike
-/// recovery on the primary (where a mismatched checkpoint degrades to
-/// full journal replay), a follower has no journal to fall back on —
-/// any defect is fatal here, never a silently empty replica.
-fn decode_state(schema: &DirectorySchema, text: &str) -> Result<ManagedDirectory, FollowerError> {
+/// Decodes + restores a shipped checkpoint under `schema`, returning
+/// the managed replica state and the schema it was restored under.
+/// Unlike recovery on the primary (where a mismatched checkpoint
+/// degrades to full journal replay), a follower has no journal to fall
+/// back on — so on a hash mismatch (the primary's schema evolved since
+/// this follower booted) it **adopts** the schema embedded in the
+/// checkpoint instead of erroring out permanently. Only a checkpoint
+/// with no verifiable embedded schema is fatal.
+fn decode_state(
+    schema: &DirectorySchema,
+    text: &str,
+) -> Result<(ManagedDirectory, DirectorySchema), FollowerError> {
     let ckpt = Checkpoint::decode(text).map_err(|e| FollowerError::Bootstrap(e.to_string()))?;
     let expected = schema_hash(schema);
-    if ckpt.schema_hash != expected {
+    let restore_schema = if ckpt.schema_hash == expected {
+        schema.clone()
+    } else if let Some(adopted) = ckpt.embedded_engine_schema() {
+        adopted
+    } else {
         return Err(FollowerError::Bootstrap(format!(
-            "primary checkpoint schema hash {:016x} does not match follower schema {expected:016x}",
+            "primary checkpoint schema hash {:016x} does not match follower schema {expected:016x} \
+             and the checkpoint embeds no verifiable schema to adopt",
             ckpt.schema_hash
         )));
-    }
+    };
     let base = DirectoryInstance::new(AttributeRegistry::default());
-    let recovery = recover_with_checkpoint(schema.clone(), base, Some(text), &Journal::empty())
-        .map_err(|e| FollowerError::Bootstrap(e.to_string()))?;
-    Ok(recovery.managed)
+    let recovery =
+        recover_with_checkpoint(restore_schema.clone(), base, Some(text), &Journal::empty())
+            .map_err(|e| FollowerError::Bootstrap(e.to_string()))?;
+    Ok((recovery.managed, restore_schema))
 }

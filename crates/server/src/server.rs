@@ -17,6 +17,11 @@
 //! | `TRACE`                                   | `OK trace #n` + flight JSON       |
 //! | `HEALTH`                                  | `OK health #n` + verdict JSON     |
 //! | `WATCH [count]`                           | `OK watch <count> <interval_ms>`, then `TICK <seq> #n` frames, then `OK watch-end <streamed>` |
+//! | `SCHEMA PROPOSE #n` + DSL or step         | `OK schema #m` + proposal JSON    |
+//! | `SCHEMA CHECK`                            | `OK schema #m` + recheck JSON     |
+//! | `SCHEMA STATUS`                           | `OK schema #m` + epoch JSON       |
+//! | `SCHEMA COMMIT`                           | `OK schema #m` + cutover JSON     |
+//! | `SCHEMA ABORT`                            | `OK schema #m` + abort JSON       |
 //! | `CHECKPOINT`                              | `OK checkpointed <seq,...>`       |
 //! | `SHIP`                                    | `OK ship-ckpt <seq> <next_tx> #n` + checkpoint text |
 //! | `SHIP <from-seq>`                         | `OK ship <from> <next> #n` + journal records |
@@ -45,6 +50,15 @@
 //! tree under that id, retrievable via `TRACE`. `METRICS` dumps the
 //! cumulative registry (counters **and** quantile histograms); `STATS`
 //! returns only the deltas since the previous `STATS` scrape.
+//!
+//! `SCHEMA` is the online evolution plane (see
+//! [`crate::service::DirectoryService::schema_propose`]): `PROPOSE`
+//! stages a full schema-DSL replacement or a single `Evolution-step:`
+//! payload, `CHECK` rechecks a restricting proposal against a live
+//! snapshot off the write path, `COMMIT` revalidates under the write
+//! lock and atomically swaps the schema epoch (journaled as a schema
+//! record on every shard), and `ABORT` discards the staged proposal.
+//! Relaxing-only proposals (Definition 2.7) skip the recheck entirely.
 //!
 //! `HEALTH` and `WATCH` need a server started with a monitor interval:
 //! `HEALTH` returns the aggregated per-shard verdict JSON (see
@@ -557,6 +571,7 @@ fn handle_frame(
             (response, Control::Continue)
         }
         "MODIFY" => (handle_modify(service, frame), Control::Continue),
+        "SCHEMA" => (handle_schema(service, frame), Control::Continue),
         "CHECKPOINT" => (handle_checkpoint(service), Control::Continue),
         "SHIP" => (handle_ship(service, frame), Control::Continue),
         "METRICS" => (handle_metrics(service, frame), Control::Continue),
@@ -707,6 +722,34 @@ fn handle_modify(service: &DirectoryService, frame: &Frame) -> Response {
     }
     match service.modify(&dn, &mods) {
         Ok(outcome) => Response::ok(&["modified", &outcome.len.to_string()]),
+        Err(e) => e.into(),
+    }
+}
+
+/// `SCHEMA <PROPOSE|CHECK|STATUS|COMMIT|ABORT>` — the online schema
+/// evolution plane. `PROPOSE` carries the proposal in the payload
+/// (evolution steps or a full schema-DSL document); the other
+/// subcommands take no payload. Every response carries a JSON body.
+fn handle_schema(service: &DirectoryService, frame: &Frame) -> Response {
+    let sub = frame.arg(1).unwrap_or("");
+    let result = match sub.to_ascii_uppercase().as_str() {
+        "PROPOSE" => match frame.payload_str() {
+            Ok(payload) => service.schema_propose(payload),
+            Err(e) => return Response::err("proto", &e.to_string()),
+        },
+        "CHECK" => service.schema_check(),
+        "STATUS" => Ok(service.schema_status()),
+        "COMMIT" => service.schema_commit(),
+        "ABORT" => service.schema_abort(),
+        other => {
+            return Response::err(
+                "usage",
+                &format!("unknown SCHEMA subcommand {other:?}; expected PROPOSE, CHECK, STATUS, COMMIT or ABORT"),
+            )
+        }
+    };
+    match result {
+        Ok(body) => Response::ok_payload(&["schema"], body.into_bytes()),
         Err(e) => e.into(),
     }
 }

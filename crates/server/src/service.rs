@@ -42,9 +42,12 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use bschema_core::checkpoint::{
-    checkpoint_path, recover_with_checkpoint, truncate_journal, write_checkpoint, Checkpoint,
+    checkpoint_path, recover_with_checkpoint, schema_hash, truncate_journal, write_checkpoint,
+    Checkpoint,
 };
+use bschema_core::evolution::plan::{parse_proposal, EvolutionPlan, PlanError};
 use bschema_core::journal::{shard_journal_path, Journal, JournalTx, JournalWriter};
+use bschema_core::legality::LegalityReport;
 use bschema_core::managed::ManagedError;
 use bschema_core::schema::DirectorySchema;
 use bschema_core::sharded::{canonical_merge, ShardedDirectory};
@@ -284,6 +287,19 @@ impl ReplicationState {
     }
 }
 
+/// A staged schema evolution: the parsed [`EvolutionPlan`] plus the
+/// freshness token of its last successful off-write-path recheck.
+#[derive(Debug)]
+struct StagedEvolution {
+    plan: EvolutionPlan,
+    /// `commit_counter` observed when `SCHEMA CHECK` passed; `None`
+    /// until a check passes (and again after a failed one). When it
+    /// still equals the live counter at `SCHEMA COMMIT` time on the
+    /// single backend, nothing committed since the checked snapshot, so
+    /// the commit can skip the under-lock recheck entirely.
+    checked_at: Option<u64>,
+}
+
 /// The shared, thread-safe directory service. See the module docs for
 /// the snapshot/write-lock protocol.
 #[derive(Debug)]
@@ -311,6 +327,19 @@ pub struct DirectoryService {
     read_only: bool,
     /// Replication-lag gauges, present when this service is a follower.
     replication: Option<Arc<ReplicationState>>,
+    /// The evolution plane: at most one staged schema proposal at a
+    /// time (`SCHEMA PROPOSE` → `CHECK` → `COMMIT`/`ABORT`).
+    evolution: Mutex<Option<StagedEvolution>>,
+    /// Completed schema cutovers since this service started — the
+    /// `HEALTH` plane's `schema_epoch` signal. A restart resets it; the
+    /// schema *hash* identifies a schema across restarts.
+    schema_epoch: AtomicU64,
+    /// Committed writes (TXN + MODIFY). On the single backend this is
+    /// bumped under the write mutex, making it a sound freshness token
+    /// for `SCHEMA CHECK`/`COMMIT`; on the sharded backend bumps race
+    /// past the shard locks, so the cutover path always rechecks under
+    /// its own locks instead of trusting the counter.
+    commit_counter: AtomicU64,
 }
 
 /// Locks here never stay poisoned: a panicking writer's state was
@@ -363,6 +392,9 @@ impl DirectoryService {
             checkpoint_every: None,
             read_only: false,
             replication: None,
+            evolution: Mutex::new(None),
+            schema_epoch: AtomicU64::new(0),
+            commit_counter: AtomicU64::new(0),
         }
     }
 
@@ -418,6 +450,9 @@ impl DirectoryService {
             checkpoint_every: self.checkpoint_every,
             read_only: self.read_only,
             replication: self.replication,
+            evolution: self.evolution,
+            schema_epoch: self.schema_epoch,
+            commit_counter: self.commit_counter,
         }
     }
 
@@ -561,6 +596,16 @@ impl DirectoryService {
             let recovery = recover_with_checkpoint(schema, base, ckpt_text.as_deref(), &journal)
                 .map_err(|e| ServiceError::new("recovery", e.to_string()))?;
             replayed = recovery.report.replayed;
+            // `STATUS`'s epoch counter survives the restart: every
+            // schema record the replay applied is a cutover this state
+            // has absorbed (evolutions folded into a used checkpoint are
+            // its epoch-0 baseline).
+            let epoch_base = recovery.checkpoint_seq.unwrap_or(0);
+            let replayed_epochs = journal
+                .committed()
+                .filter(|jtx| jtx.schema.is_some() && jtx.first_seq >= epoch_base)
+                .count() as u64;
+            self.schema_epoch.store(replayed_epochs, Ordering::SeqCst);
             let mut managed = recovery.managed;
             managed.swap_probe(probe);
             half.managed = managed;
@@ -599,13 +644,27 @@ impl DirectoryService {
         }
         let bases = (0..shards).map(|k| backend.sharded.shard_instance(k)).collect();
         let (recovered, reports) = ShardedDirectory::recover_with_checkpoints(
-            backend.sharded.schema().clone(),
+            backend.sharded.schema(),
             bases,
             &checkpoints,
             &journals,
         )
         .map_err(|e| ServiceError::new("recovery", e.to_string()))?;
         let replayed = reports.iter().map(|r| r.replayed).sum();
+        // `STATUS`'s epoch counter survives the restart. Every shard
+        // journals its own copy of each schema record, so shard 0 stands
+        // in for the family; records folded into its checkpoint are the
+        // recovered state's epoch-0 baseline.
+        let epoch_base = checkpoints[0]
+            .as_deref()
+            .and_then(|text| Checkpoint::decode(text).ok())
+            .map(|ckpt| ckpt.seq)
+            .unwrap_or(0);
+        let replayed_epochs = journals[0]
+            .committed()
+            .filter(|jtx| jtx.schema.is_some() && jtx.first_seq >= epoch_base)
+            .count() as u64;
+        self.schema_epoch.store(replayed_epochs, Ordering::SeqCst);
         // Recovery rebuilds the engine, so the service probe (attached
         // before this call in the builder chain) is re-installed.
         let recovered = recovered.with_probe(probe);
@@ -939,6 +998,7 @@ impl DirectoryService {
                 // the client sees "panicked" (outcome unknown), readers
                 // see the new legal instance.
                 probe.add("server.tx_committed", 1);
+                self.commit_counter.fetch_add(1, Ordering::SeqCst);
                 self.maybe_checkpoint_single(&mut half);
                 Ok(outcome)
             }
@@ -999,6 +1059,7 @@ impl DirectoryService {
                 let outcome = TxOutcome { ops: mods.len(), len: half.managed.len(), shards: 1 };
                 self.publish(&half);
                 self.probe.add("server.tx_committed", 1);
+                self.commit_counter.fetch_add(1, Ordering::SeqCst);
                 self.maybe_checkpoint_single(&mut half);
                 Ok(outcome)
             }
@@ -1029,6 +1090,7 @@ impl DirectoryService {
                 }
                 self.probe.add_labeled("server.tx_route", "single", 1);
                 self.probe.add("server.tx_committed", 1);
+                self.commit_counter.fetch_add(1, Ordering::SeqCst);
                 let shards = outcome.shards.len().max(1);
                 self.maybe_checkpoint_sharded(backend);
                 Ok(TxOutcome { ops: outcome.ops, len: self.len(), shards })
@@ -1094,6 +1156,7 @@ impl DirectoryService {
                     1,
                 );
                 probe.add("server.tx_committed", 1);
+                self.commit_counter.fetch_add(1, Ordering::SeqCst);
                 let shards = outcome.shards.len().max(1);
                 self.maybe_checkpoint_sharded(backend);
                 Ok(TxOutcome { ops: outcome.ops, len: self.len(), shards })
@@ -1311,9 +1374,20 @@ impl DirectoryService {
         // Fault site: dying here leaves the replica's instance intact;
         // the next sync pass re-ships the same records and converges.
         self.probe.add(SITE_SHIP_APPLY, 1);
-        match &jtx.modify {
-            Some(m) => half.managed.modify_entry(m.target, &m.mods),
-            None => half.managed.apply(&jtx.to_transaction()),
+        match (&jtx.schema, &jtx.modify) {
+            // A shipped schema cutover: the primary already certified
+            // the instance legal under the new schema, so the follower
+            // adopts it directly and bumps its own epoch.
+            (Some(s), _) => s
+                .engine_schema()
+                .map_err(ManagedError::Recovery)
+                .and_then(|schema| half.managed.set_schema(schema))
+                .map(|()| {
+                    self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+                    self.probe.add("server.schema_replicated", 1);
+                }),
+            (None, Some(m)) => half.managed.modify_entry(m.target, &m.mods),
+            (None, None) => half.managed.apply(&jtx.to_transaction()),
         }
         .map_err(|e| {
             ServiceError::new("replication", format!("applying shipped tx {}: {e}", jtx.id))
@@ -1339,6 +1413,225 @@ impl DirectoryService {
         half.managed = managed;
         self.publish(&half);
         Ok(())
+    }
+
+    /// The current full bounding-schema (with `Cr`), whatever the
+    /// backend.
+    pub fn current_schema(&self) -> DirectorySchema {
+        match &self.backend {
+            Backend::Single(b) => lock_unpoisoned(&b.write).managed.schema().clone(),
+            Backend::Sharded(b) => b.sharded.schema(),
+        }
+    }
+
+    /// Completed schema cutovers since this service started.
+    pub fn schema_epoch(&self) -> u64 {
+        self.schema_epoch.load(Ordering::Relaxed)
+    }
+
+    /// `SCHEMA PROPOSE`: parses `payload` (a list of evolution steps or
+    /// a full schema-DSL document) against the current schema and
+    /// stages the resulting plan. At most one proposal is staged at a
+    /// time; a second is refused with `schema-pending` until the first
+    /// commits or aborts.
+    pub fn schema_propose(&self, payload: &str) -> Result<String, ServiceError> {
+        if self.read_only {
+            return Err(Self::read_only_refusal());
+        }
+        let mut slot = lock_unpoisoned(&self.evolution);
+        if slot.is_some() {
+            return Err(ServiceError::new(
+                "schema-pending",
+                "a schema proposal is already staged; SCHEMA COMMIT or SCHEMA ABORT it first",
+            ));
+        }
+        let current = self.current_schema();
+        let plan = parse_proposal(&current, payload).map_err(|e| match &e {
+            PlanError::Inconsistent(_) => ServiceError::new("schema-inconsistent", e.to_string()),
+            _ => ServiceError::new("schema-invalid", e.to_string()),
+        })?;
+        self.probe.add("server.schema_propose", 1);
+        let body = format!(
+            "{{\"staged\":true,\"description\":{},\"relaxing\":{},\"restricting\":{},\"requires_recheck\":{}}}",
+            bschema_obs::json::escape(&plan.describe()),
+            plan.relaxing,
+            plan.restricting,
+            !plan.is_relaxing_only(),
+        );
+        *slot = Some(StagedEvolution { plan, checked_at: None });
+        Ok(body)
+    }
+
+    /// `SCHEMA CHECK`: runs the staged plan's targeted recheck (§6.2 —
+    /// only the restricting steps' new elements; Definition 2.7 exempts
+    /// relaxing ones) against a read snapshot, entirely off the write
+    /// path. A pass records the commit counter so `SCHEMA COMMIT` can
+    /// skip its under-lock recheck when nothing committed in between; a
+    /// failure reports the offending entries and leaves the proposal
+    /// staged for inspection or abort.
+    pub fn schema_check(&self) -> Result<String, ServiceError> {
+        let mut slot = lock_unpoisoned(&self.evolution);
+        let Some(staged) = slot.as_mut() else {
+            return Err(ServiceError::new("schema-none", "no schema proposal is staged"));
+        };
+        // Load the freshness token *before* the snapshot: any commit
+        // after this load bumps the counter, so an unchanged counter at
+        // COMMIT time proves the checked snapshot is still the live
+        // instance.
+        let counter = self.commit_counter.load(Ordering::SeqCst);
+        self.probe.add("server.schema_check", 1);
+        let report = match &self.backend {
+            Backend::Single(_) => staged.plan.recheck(&self.snapshot()),
+            Backend::Sharded(b) => {
+                let merged = b
+                    .sharded
+                    .merged_instance()
+                    .map_err(|e| ServiceError::new("internal", e.to_string()))?;
+                staged.plan.recheck(&merged)
+            }
+        };
+        if report.is_legal() {
+            staged.checked_at = Some(counter);
+            Ok(format!(
+                "{{\"ok\":true,\"mode\":{},\"checked_at\":{counter}}}",
+                bschema_obs::json::escape(&staged.plan.describe()),
+            ))
+        } else {
+            staged.checked_at = None;
+            let dir = match &self.backend {
+                Backend::Single(_) => (*self.snapshot()).clone(),
+                Backend::Sharded(b) => b
+                    .sharded
+                    .merged_instance()
+                    .map_err(|e| ServiceError::new("internal", e.to_string()))?,
+            };
+            Err(ServiceError::new("schema-violates", render_violations(&report, &dir)))
+        }
+    }
+
+    /// `SCHEMA STATUS`: the current epoch, schema hash, and the staged
+    /// proposal (if any) as one JSON object.
+    pub fn schema_status(&self) -> String {
+        let slot = lock_unpoisoned(&self.evolution);
+        let pending = match slot.as_ref() {
+            Some(staged) => format!(
+                "{{\"description\":{},\"relaxing\":{},\"restricting\":{},\"checked\":{}}}",
+                bschema_obs::json::escape(&staged.plan.describe()),
+                staged.plan.relaxing,
+                staged.plan.restricting,
+                staged.checked_at.is_some(),
+            ),
+            None => "null".to_owned(),
+        };
+        drop(slot);
+        format!(
+            "{{\"epoch\":{},\"hash\":\"{:016x}\",\"shards\":{},\"pending\":{pending}}}",
+            self.schema_epoch(),
+            schema_hash(&self.current_schema()),
+            self.shards(),
+        )
+    }
+
+    /// `SCHEMA ABORT`: drops the staged proposal.
+    pub fn schema_abort(&self) -> Result<String, ServiceError> {
+        if self.read_only {
+            return Err(Self::read_only_refusal());
+        }
+        let mut slot = lock_unpoisoned(&self.evolution);
+        if slot.take().is_none() {
+            return Err(ServiceError::new("schema-none", "no schema proposal is staged"));
+        }
+        self.probe.add("server.schema_abort", 1);
+        Ok("{\"aborted\":true}".to_owned())
+    }
+
+    /// `SCHEMA COMMIT`: the live cutover. Under the write lock (single)
+    /// or every shard lock (sharded), the staged plan is revalidated —
+    /// skipped entirely for relaxing-only plans (Definition 2.7), and
+    /// on the single backend also when nothing committed since a passed
+    /// `SCHEMA CHECK` — then the full-schema record is write-ahead
+    /// journalled, the engine swaps schemas, and the commit record
+    /// lands. The `schema.cutover` fault site sits between the prepare
+    /// (journalled schema record) and the swap: a panic there leaves an
+    /// uncommitted record that recovery discards, the old epoch intact,
+    /// and the proposal still staged — a retry simply succeeds.
+    pub fn schema_commit(&self) -> Result<String, ServiceError> {
+        if self.read_only {
+            return Err(Self::read_only_refusal());
+        }
+        let mut slot = lock_unpoisoned(&self.evolution);
+        let Some(staged) = slot.as_ref() else {
+            return Err(ServiceError::new("schema-none", "no schema proposal is staged"));
+        };
+        let target = staged.plan.target.clone();
+        let dsl = staged.plan.dsl.clone();
+        match &self.backend {
+            Backend::Single(b) => {
+                let mut half = lock_unpoisoned(&b.write);
+                let unchanged =
+                    staged.checked_at == Some(self.commit_counter.load(Ordering::SeqCst));
+                if !staged.plan.is_relaxing_only() && !unchanged {
+                    let report = staged.plan.recheck(half.managed.instance());
+                    if !report.is_legal() {
+                        let detail = render_violations(&report, half.managed.instance());
+                        self.probe.add_labeled("server.tx_rejected", "schema-violates", 1);
+                        return Err(ServiceError::new("schema-violates", detail));
+                    }
+                }
+                // Write-ahead: the schema record must be durable before
+                // the swap, mirroring the TXN begin/commit discipline.
+                let tx_id = match &mut half.journal {
+                    Some(journal) => {
+                        let id = journal.writer.begin_schema(&dsl, false, None);
+                        let pending = journal.writer.take_pending();
+                        append_file(&journal.path, &pending)
+                            .map_err(|e| ServiceError::new("io", format!("journal begin: {e}")))?;
+                        Some(id)
+                    }
+                    None => None,
+                };
+                // Fault site between prepare and swap (see method docs).
+                self.probe.add("schema.cutover", 1);
+                half.managed.set_schema(target).map_err(|e| ServiceError::from_managed(&e))?;
+                if let (Some(id), Some(journal)) = (tx_id, &mut half.journal) {
+                    journal.writer.commit(id);
+                    let pending = journal.writer.take_pending();
+                    if append_file(&journal.path, &pending).is_err() {
+                        self.probe.add("server.journal_commit_io_error", 1);
+                    }
+                }
+                self.publish(&half);
+            }
+            Backend::Sharded(b) => {
+                let plan = staged.plan.clone();
+                let violation = std::cell::RefCell::new(None);
+                let result = b.sharded.swap_schema_validated(target, &dsl, |merged| {
+                    // The counter is not trusted here (sharded commits
+                    // bump it outside the shard locks); restricting
+                    // plans always revalidate under the locks.
+                    if !plan.is_relaxing_only() {
+                        let report = plan.recheck(merged);
+                        if !report.is_legal() {
+                            *violation.borrow_mut() = Some(render_violations(&report, merged));
+                            return Err(ManagedError::IllegalInstance(report).into());
+                        }
+                    }
+                    Ok(())
+                });
+                if let Some(detail) = violation.into_inner() {
+                    self.probe.add_labeled("server.tx_rejected", "schema-violates", 1);
+                    return Err(ServiceError::new("schema-violates", detail));
+                }
+                result.map_err(|e| ServiceError { code: e.code(), detail: e.to_string() })?;
+            }
+        }
+        let epoch = self.schema_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        *slot = None;
+        self.probe.add("server.schema_commit", 1);
+        Ok(format!(
+            "{{\"committed\":true,\"epoch\":{epoch},\"hash\":\"{:016x}\"}}",
+            schema_hash(&self.current_schema()),
+        ))
     }
 
     /// The cumulative registry in Prometheus-style text exposition
@@ -1500,6 +1793,15 @@ impl DirectoryService {
             burn = slo.burn(p99_us, err_rate, requests);
             report.global.push(Signal::high_bad("slo_burn", burn, 0.5, 1.0));
         }
+        // Informational: cutovers this run. The thresholds are set far
+        // beyond reach — the signal exists so dashboards see the epoch
+        // move, not to alert on it.
+        report.global.push(Signal::high_bad(
+            "schema_epoch",
+            self.schema_epoch() as f64,
+            1e12,
+            1e14,
+        ));
         let ledger = match &self.backend {
             Backend::Sharded(b) => Some(b.sharded.ledger()),
             Backend::Single(_) => None,
@@ -1579,6 +1881,15 @@ impl DirectoryService {
             None => "null".to_owned(),
         };
         report.sections.push(("ledger".to_owned(), ledger_json));
+        let pending = lock_unpoisoned(&self.evolution).is_some();
+        report.sections.push((
+            "schema".to_owned(),
+            format!(
+                "{{\"epoch\":{},\"hash\":\"{:016x}\",\"pending\":{pending}}}",
+                self.schema_epoch(),
+                schema_hash(&self.current_schema()),
+            ),
+        ));
         let replication_json = match &self.replication {
             Some(rep) => format!(
                 "{{\"applied_seq\":{},\"source_seq\":{},\"lag\":{},\"bootstraps\":{},\"errors\":{}}}",
@@ -1593,6 +1904,25 @@ impl DirectoryService {
         report.sections.push(("replication".to_owned(), replication_json));
         Some(report.to_json())
     }
+}
+
+/// Renders a recheck failure as an EXPLAIN-style report naming the
+/// offending entries by DN (first few, with a count of the rest).
+fn render_violations(report: &LegalityReport, dir: &DirectoryInstance) -> String {
+    let total = report.len();
+    let mut parts: Vec<String> = Vec::new();
+    for v in report.violations().iter().take(5) {
+        match v.entry().and_then(|id| dir.dn(id).ok()) {
+            Some(dn) => parts.push(format!("{v} (dn: {dn})")),
+            None => parts.push(v.to_string()),
+        }
+    }
+    let more = if total > parts.len() {
+        format!("; +{} more", total - parts.len())
+    } else {
+        String::new()
+    };
+    format!("{total} violation(s) under the proposed schema: {}{more}", parts.join("; "))
 }
 
 /// The schema-fitness gauge over the window: commits vs rejections

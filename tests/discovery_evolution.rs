@@ -3,6 +3,7 @@
 
 use bschema_core::consistency::ConsistencyChecker;
 use bschema_core::discover::{suggest_schema, DiscoveryOptions};
+use bschema_core::evolution::plan::parse_proposal;
 use bschema_core::evolution::{evolve, Evolution};
 use bschema_core::legality::LegalityChecker;
 use bschema_core::managed::ManagedDirectory;
@@ -98,4 +99,93 @@ fn discovered_schema_manages_future_growth() {
             .build(),
     );
     assert!(err.is_err(), "deviant structure must be rejected");
+}
+
+/// A restricting tighten the instance cannot meet is refused, and the
+/// recheck report names the offending entries by DN — the payload an
+/// operator sees from `SCHEMA CHECK` / `SCHEMA COMMIT`.
+#[test]
+fn rejected_tighten_names_offending_entries() {
+    let org = OrgGenerator::new(OrgParams { seed: 11, target_entries: 80, ..OrgParams::default() })
+        .generate();
+    let schema = bschema_core::paper::white_pages_schema();
+    assert!(LegalityChecker::new(&schema).check(&org.dir).is_legal());
+
+    // `title` is allowed but the generator never sets it, so requiring
+    // it violates on every person.
+    let plan = parse_proposal(&schema, "require-attr person title").expect("valid proposal");
+    assert!(!plan.is_relaxing_only(), "require-attr tightens the bounds");
+    let report = plan.recheck(&org.dir);
+    assert!(!report.is_legal(), "no generated person carries a title");
+
+    let mut named = 0usize;
+    for violation in report.violations() {
+        let Some(id) = violation.entry() else { continue };
+        let dn = org.dir.dn(id).expect("the report names live entries");
+        let entry = org.dir.entry(id).expect("the report names live entries");
+        assert!(entry.has_class("person"), "only persons can violate, got dn {dn}");
+        assert!(!entry.has_attribute("title"));
+        named += 1;
+    }
+    assert!(named > 0, "a rejected tighten must name its offenders");
+}
+
+/// The operator loop for an unsatisfiable tighten: widen first (allow
+/// the attribute — relaxing, instant), migrate the data, and only then
+/// tighten. Each stage rechecks exactly as the live cutover would.
+#[test]
+fn widen_then_migrate_then_tighten() {
+    let org = OrgGenerator::new(OrgParams { seed: 3, target_entries: 60, ..OrgParams::default() })
+        .generate();
+    let schema = bschema_core::paper::white_pages_schema();
+    let mut dir = org.dir.clone();
+
+    // Tightening straight to `require-attr person mail` is refused at
+    // recheck time: no entry carries the attribute yet.
+    let direct = parse_proposal(&schema, "require-attr person mail").expect("tighten parses");
+    assert!(
+        !direct.recheck(&dir).is_legal(),
+        "no person has mail yet — the direct tighten must be refused"
+    );
+
+    // Widen: allow the attribute. Relaxing — no recheck needed, and the
+    // old instance stays legal under the widened schema.
+    let widen = parse_proposal(&schema, "allow-attr person mail").expect("widen parses");
+    assert!(widen.is_relaxing_only(), "allow-attr is relaxing (Definition 2.7)");
+    let widened = widen.target.clone();
+    assert!(LegalityChecker::new(&widened).check(&dir).is_legal());
+
+    // Migrate: backfill the attribute on every person.
+    let persons: Vec<_> =
+        dir.iter().filter(|(_, e)| e.has_class("person")).map(|(id, _)| id).collect();
+    for id in persons {
+        let uid = dir.entry(id).unwrap().first_value("uid").unwrap_or("someone").to_owned();
+        dir.entry_mut(id).unwrap().add_value("mail", format!("{uid}@example.org"));
+    }
+    dir.prepare();
+
+    // Tighten: the same step now parses and its targeted recheck passes.
+    let tighten = parse_proposal(&widened, "require-attr person mail").expect("tighten parses");
+    assert!(!tighten.is_relaxing_only());
+    let report = tighten.recheck(&dir);
+    assert!(report.is_legal(), "after migration the tighten must pass: {report}");
+    assert!(LegalityChecker::new(&tighten.target).check(&dir).is_legal());
+}
+
+/// On an empty directory every restricting step is trivially safe: the
+/// recheck has nothing to violate, so any consistent tighten commits.
+#[test]
+fn restricting_evolution_on_an_empty_directory_is_trivially_safe() {
+    let mut empty = bschema_directory::DirectoryInstance::white_pages();
+    empty.prepare();
+    let schema = bschema_core::paper::white_pages_schema();
+
+    let step = Evolution::RequireAttribute { class: "person".into(), attribute: "title".into() };
+    let evolved = evolve(&schema, &step, &empty).expect("no entries, nothing to violate");
+    assert!(ConsistencyChecker::new(&evolved).check().is_consistent());
+
+    // The plan engine agrees: stage the same step as a proposal and the
+    // recheck comes back clean.
+    let plan = parse_proposal(&schema, "require-attr person title").expect("valid proposal");
+    assert!(plan.recheck(&empty).is_legal());
 }
